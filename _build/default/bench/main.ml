@@ -1,0 +1,433 @@
+(* Evaluation harness.
+
+   The reproduced paper (EDBT'06 Ws) has no experimental section: its
+   evaluation artifacts are the worked Examples 1-5 and Table 4.  This
+   harness therefore has two parts:
+
+   1. "Shape" reports regenerating every observable artifact of the paper
+      (per-experiment ids EX1, EX2, EX3+EX5, EX4+T4 in DESIGN.md), printed
+      as paper-vs-measured tables;
+
+   2. Bechamel micro/mesobenchmarks for the synthetic experiments S1-S4 of
+      DESIGN.md (transformation cost, 4-valued vs classical reasoning time,
+      answer quality under growing inconsistency, inclusion-kind ablation),
+      one Test.make per series point.
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing *)
+
+let run_group ~name tests =
+  Printf.printf "\n-- timing: %s --\n%!" name;
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (test_name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some (t :: _) ->
+          if t > 1e9 then
+            Printf.printf "  %-48s %10.2f s/run\n" test_name (t /. 1e9)
+          else if t > 1e6 then
+            Printf.printf "  %-48s %10.2f ms/run\n" test_name (t /. 1e6)
+          else if t > 1e3 then
+            Printf.printf "  %-48s %10.2f us/run\n" test_name (t /. 1e3)
+          else Printf.printf "  %-48s %10.0f ns/run\n" test_name t
+      | _ -> Printf.printf "  %-48s (no estimate)\n" test_name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+let bench name f = Test.make ~name (Staged.stage f)
+
+let section title =
+  let line = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n%!" line title line
+
+(* ------------------------------------------------------------------ *)
+(* EX1 / EX2 / EX3+EX5 / EX4: the paper's qualitative results *)
+
+let truth t a c = Para.instance_truth t a (Concept.Atom c)
+
+let report_paper_examples () =
+  section "EX1-EX4: paper examples - expected (paper text) vs measured";
+  let row name expected measured =
+    Printf.printf "  %-52s %-8s %-8s %s\n" name expected measured
+      (if expected = measured then "OK" else "MISMATCH")
+  in
+  Printf.printf "  %-52s %-8s %-8s\n" "query" "paper" "dl4";
+
+  let t1 = Para.create Paper_examples.example1 in
+  row "EX1 four-valued satisfiable" "yes"
+    (if Para.satisfiable t1 then "yes" else "no");
+  row "EX1 info that bill is a doctor" "yes"
+    (if Para.entails_instance t1 "bill" (Concept.Atom "Doctor") then "yes"
+     else "no");
+  row "EX1 info that bill is not a doctor" "no"
+    (if Para.entails_not_instance t1 "bill" (Concept.Atom "Doctor") then "yes"
+     else "no");
+  row "EX1 john : Doctor" "TOP" (Truth.to_string (truth t1 "john" "Doctor"));
+  row "EX1 john : Patient (irrelevant)" "BOT"
+    (Truth.to_string (truth t1 "john" "Patient"));
+
+  let t2 = Para.create Paper_examples.example2 in
+  row "EX2 john : ReadPatientRecordTeam" "TOP"
+    (Truth.to_string (truth t2 "john" "ReadPatientRecordTeam"));
+  row "EX2 john : Patient" "BOT" (Truth.to_string (truth t2 "john" "Patient"));
+
+  let t3 = Para.create Paper_examples.example3 in
+  row "EX3 classical rendition satisfiable" "no"
+    (if Tableau.kb_satisfiable Paper_examples.example3_classical then "yes"
+     else "no");
+  row "EX3 four-valued satisfiable" "yes"
+    (if Para.satisfiable t3 then "yes" else "no");
+  row "EX5 Fly-(tweety) holds" "yes"
+    (if
+       Reasoner.instance_of (Para.classical_reasoner t3) "tweety"
+         (Concept.Atom (Mangle.neg_atom "Fly"))
+     then "yes"
+     else "no");
+  row "EX5 Fly+(tweety) holds" "no"
+    (if
+       Reasoner.instance_of (Para.classical_reasoner t3) "tweety"
+         (Concept.Atom (Mangle.pos_atom "Fly"))
+     then "yes"
+     else "no");
+
+  let t4 = Para.create Paper_examples.example4 in
+  row "EX4 four-valued satisfiable" "yes"
+    (if Para.satisfiable t4 then "yes" else "no");
+  row "EX4 smith : Parent" "t" (Truth.to_string (truth t4 "smith" "Parent"));
+  row "EX4 smith : Married" "f" (Truth.to_string (truth t4 "smith" "Married"))
+
+(* ------------------------------------------------------------------ *)
+(* EX4+T4: regenerate Table 4 by model enumeration *)
+
+let report_table4 () =
+  section
+    "EX4+T4: Table 4 - four-valued models of Example 4 over {smith, kate}";
+  let has_child = Role.name "hasChild" in
+  let statements m =
+    [ Interp4.role_truth_value m has_child "smith" "kate";
+      Interp4.truth_value m (Concept.At_least (1, has_child)) "smith";
+      Interp4.truth_value m (Concept.Atom "Parent") "smith";
+      Interp4.truth_value m (Concept.Atom "Married") "smith" ]
+  in
+  let module Rows = Set.Make (struct
+    type t = Truth.t list
+
+    let compare = List.compare Truth.compare
+  end) in
+  let realized =
+    Seq.fold_left
+      (fun acc m -> Rows.add (statements m) acc)
+      Rows.empty
+      (Enum.models4 Paper_examples.example4)
+  in
+  Printf.printf "  %-14s %-16s %-10s %-10s\n" "hasChild(s,k)" ">=1.hasChild(s)"
+    "Parent(s)" "Married(s)";
+  Rows.iter
+    (fun r ->
+      match List.map Truth.to_string r with
+      | [ a; b; c; d ] -> Printf.printf "  %-14s %-16s %-10s %-10s\n" a b c d
+      | _ -> ())
+    realized;
+  let expected = Rows.of_list (List.map fst Paper_examples.table4_rows) in
+  Printf.printf "  rows: %d (paper: 9);  exact match with Table 4: %b\n"
+    (Rows.cardinal realized)
+    (Rows.equal realized expected)
+
+(* ------------------------------------------------------------------ *)
+(* S3: answer quality under growing inconsistency *)
+
+let classical_of_kb4 (kb : Kb4.t) =
+  Axiom.make
+    ~tbox:
+      (List.filter_map
+         (function
+           | Kb4.Concept_inclusion (_, c, d) -> Some (Axiom.Concept_sub (c, d))
+           | Kb4.Role_inclusion (_, r, s) -> Some (Axiom.Role_sub (r, s))
+           | Kb4.Data_role_inclusion (_, u, v) ->
+               Some (Axiom.Data_role_sub (u, v))
+           | Kb4.Transitive r -> Some (Axiom.Transitive r))
+         kb.Kb4.tbox)
+    ~abox:kb.Kb4.abox
+
+let report_quality () =
+  section "S3: answer quality vs injected inconsistency (ours; see DESIGN.md)";
+  Printf.printf
+    "  base: contradiction-free random KB (seed 7); queries: every\n\
+    \  (individual, atomic concept) pair; cells count queries.\n\n";
+  let base =
+    Gen.kb4
+      { Gen.default with
+        seed = 7;
+        n_concepts = 8;
+        n_individuals = 8;
+        n_tbox = 12;
+        n_abox = 20;
+        max_depth = 1;
+        inconsistency_rate = 0.0;
+        material_fraction = 0.0;
+        allow_negation = false }
+  in
+  Printf.printf "  %-6s | %-26s | %-26s | %s\n" "contr."
+    "classical acc/rej/und" "selection acc/rej/und" "dl4 t/f/TOP/BOT";
+  List.iter
+    (fun count ->
+      let kb = Gen.inject_contradictions ~seed:(100 + count) ~count base in
+      let classical = classical_of_kb4 kb in
+      let t = Para.create kb in
+      let signature = Kb4.signature kb in
+      let queries =
+        List.concat_map
+          (fun a ->
+            List.map
+              (fun c -> (a, Concept.Atom c))
+              signature.Axiom.concepts)
+          signature.Axiom.individuals
+      in
+      let count_answers f =
+        List.fold_left
+          (fun (acc, rej, und) q ->
+            match f q with
+            | Baselines.Accepted -> (acc + 1, rej, und)
+            | Baselines.Rejected -> (acc, rej + 1, und)
+            | Baselines.Undetermined -> (acc, rej, und + 1))
+          (0, 0, 0) queries
+      in
+      let reasoner = Reasoner.create classical in
+      let trivial = not (Reasoner.is_consistent reasoner) in
+      let ca, cr, cu =
+        count_answers (fun (a, c) ->
+            if trivial then Baselines.Accepted
+            else if Reasoner.instance_of reasoner a c then Baselines.Accepted
+            else if Reasoner.instance_of reasoner a (Concept.neg c) then
+              Baselines.Rejected
+            else Baselines.Undetermined)
+      in
+      let sa, sr, su =
+        count_answers (fun (a, c) ->
+            Baselines.selection_instance classical a c)
+      in
+      let dt, df, dtop, dbot =
+        List.fold_left
+          (fun (t', f', top, bot) (a, c) ->
+            match Para.instance_truth t a c with
+            | Truth.True -> (t' + 1, f', top, bot)
+            | Truth.False -> (t', f' + 1, top, bot)
+            | Truth.Both -> (t', f', top + 1, bot)
+            | Truth.Neither -> (t', f', top, bot + 1))
+          (0, 0, 0, 0) queries
+      in
+      Printf.printf "  %-6d | %7d /%5d /%6d    | %7d /%5d /%6d    | %d / %d / %d / %d\n%!"
+        count ca cr cu sa sr su dt df dtop dbot)
+    [ 0; 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* S4: ablation over the three inclusion kinds *)
+
+let report_ablation () =
+  section "S4: ablation - the default axiom under |->, <, -> (Example 3)";
+  Printf.printf "  %-10s %-12s %-14s %-12s\n" "kind" "satisfiable"
+    "tweety:Fly" "tweety:Bird";
+  List.iter
+    (fun kind ->
+      let kb =
+        { Paper_examples.example3 with
+          Kb4.tbox =
+            Kb4.Concept_inclusion
+              ( kind,
+                Concept.And
+                  ( Concept.Atom "Bird",
+                    Concept.Exists (Role.name "hasWing", Concept.Atom "Wing")
+                  ),
+                Concept.Atom "Fly" )
+            :: List.tl (Paper_examples.example3 : Kb4.t).tbox }
+      in
+      let t = Para.create kb in
+      Printf.printf "  %-10s %-12b %-14s %-12s\n"
+        (Kb4.inclusion_symbol kind)
+        (Para.satisfiable t)
+        (Truth.to_string (truth t "tweety" "Fly"))
+        (Truth.to_string (truth t "tweety" "Bird")))
+    Kb4.all_inclusions;
+  Printf.printf
+    "\n  exception chains (n defaults, each with a penguin-style exception):\n";
+  Printf.printf "  %-6s %-22s %-22s\n" "n" "4-valued satisfiable"
+    "classical satisfiable";
+  List.iter
+    (fun n ->
+      let kb = Gen.exception_chains ~n in
+      let classical = classical_of_kb4 kb in
+      Printf.printf "  %-6d %-22b %-22b\n" n
+        (Para.satisfiable (Para.create kb))
+        (Tableau.kb_satisfiable classical))
+    [ 1; 4; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Timing benches *)
+
+let paper_benches () =
+  [ bench "example1_instance_query" (fun () ->
+        let t = Para.create Paper_examples.example1 in
+        Para.instance_truth t "bill" (Concept.Atom "Doctor"));
+    bench "example2_instance_query" (fun () ->
+        let t = Para.create Paper_examples.example2 in
+        Para.instance_truth t "john" (Concept.Atom "ReadPatientRecordTeam"));
+    bench "example3_satisfiability" (fun () ->
+        Tableau.kb_satisfiable (Transform.kb Paper_examples.example3));
+    bench "example3_classical_unsat" (fun () ->
+        Tableau.kb_satisfiable Paper_examples.example3_classical);
+    bench "example4_satisfiability" (fun () ->
+        Tableau.kb_satisfiable (Transform.kb Paper_examples.example4));
+    bench "example4_table4_enumeration" (fun () ->
+        Seq.fold_left (fun n _ -> n + 1) 0 (Enum.models4 Paper_examples.example4))
+  ]
+
+(* S1: the transformation is linear time (the paper: "polynomial"). *)
+let transform_benches () =
+  List.map
+    (fun n ->
+      let kb =
+        Gen.kb4
+          { Gen.default with
+            seed = n;
+            n_concepts = max 10 (n / 10);
+            n_individuals = max 10 (n / 10);
+            n_tbox = n / 2;
+            n_abox = n / 2 }
+      in
+      bench (Printf.sprintf "transform_%05d_axioms" n) (fun () ->
+          Transform.kb kb))
+    [ 100; 400; 1600; 6400 ]
+
+(* S2: classical vs four-valued satisfiability cost on the same ontology,
+   consistent and with injected contradictions.  Same complexity class
+   (Theorem 6); the gap is a constant factor from the doubled signature. *)
+let reasoning_benches () =
+  List.concat_map
+    (fun n ->
+      (* consistent workload: negation-free, so both readings are
+         satisfiable and the comparison is signature-for-signature fair *)
+      let p =
+        { Gen.default with
+          seed = 11;
+          n_concepts = max 6 (n / 4);
+          n_individuals = max 6 (n / 4);
+          n_tbox = n / 2;
+          n_abox = n / 2;
+          max_depth = 1;
+          inconsistency_rate = 0.0;
+          material_fraction = 0.2;
+          allow_negation = false }
+      in
+      let kb4 = Gen.kb4 p in
+      let classical = Gen.classical p in
+      let kbar = Transform.kb kb4 in
+      (* inconsistent workload: same shape with negations and injected
+         contradictions; the classical reading trivializes (fast unsat),
+         the four-valued one keeps reasoning *)
+      let p_inc = { p with allow_negation = true } in
+      let kb4_inc =
+        Gen.inject_contradictions ~seed:13 ~count:(max 1 (n / 10)) (Gen.kb4 p_inc)
+      in
+      let classical_inc = Gen.classical p_inc in
+      let kbar_inc = Transform.kb kb4_inc in
+      (* chronological backtracking is worst-case exponential; a branch
+         budget keeps pathological draws from stalling the harness (blown
+         budgets read as `false` and are noted in EXPERIMENTS.md) *)
+      let sat kb () =
+        try Tableau.kb_satisfiable ~max_branches:50_000 kb
+        with Tableau.Resource_limit _ -> false
+      in
+      [ bench (Printf.sprintf "consistent_classical_%04d" n) (sat classical);
+        bench (Printf.sprintf "consistent_fourvalued_%04d" n) (sat kbar);
+        bench (Printf.sprintf "inconsistent_classical_%04d" n) (sat classical_inc);
+        bench (Printf.sprintf "inconsistent_fourvalued_%04d" n) (sat kbar_inc) ])
+    [ 40; 80; 160 ]
+
+let query_benches () =
+  List.map
+    (fun n ->
+      let kb =
+        Gen.kb4
+          { Gen.default with
+            seed = 23;
+            n_concepts = max 6 (n / 4);
+            n_individuals = max 6 (n / 4);
+            n_tbox = n / 2;
+            n_abox = n / 2;
+            max_depth = 1;
+            inconsistency_rate = 0.1 }
+      in
+      let t = Para.create kb in
+      bench (Printf.sprintf "instance_truth_%04d" n) (fun () ->
+          Para.instance_truth t "a0" (Concept.Atom "C0")))
+    [ 40; 80; 160 ]
+
+(* S5 (ours): native four-valued tableau vs the transformation pipeline *)
+let engine_benches () =
+  List.concat_map
+    (fun (label, kb) ->
+      [ bench (label ^ "_transformation") (fun () ->
+            Tableau.kb_satisfiable (Transform.kb kb));
+        bench (label ^ "_native") (fun () ->
+            Tableau4.satisfiable (Tableau4.create kb)) ])
+    [ ("example1", Paper_examples.example1);
+      ("example3", Paper_examples.example3);
+      ("example4", Paper_examples.example4);
+      ("chains16", Gen.exception_chains ~n:16) ]
+
+let ablation_benches () =
+  List.map
+    (fun kind ->
+      let name =
+        match kind with
+        | Kb4.Material -> "material"
+        | Kb4.Internal -> "internal"
+        | Kb4.Strong -> "strong"
+      in
+      let kb =
+        Kb4.make
+          ~tbox:
+            (List.init 20 (fun i ->
+                 Kb4.Concept_inclusion
+                   ( kind,
+                     Concept.Atom (Printf.sprintf "A%d" i),
+                     Concept.Atom (Printf.sprintf "A%d" (i + 1)) )))
+          ~abox:[ Axiom.Instance_of ("x", Concept.Atom "A0") ]
+      in
+      let t = Para.create kb in
+      bench ("chain20_" ^ name) (fun () ->
+          Para.instance_truth t "x" (Concept.Atom "A20")))
+    Kb4.all_inclusions
+
+let () =
+  section "dl4 evaluation harness";
+  Printf.printf
+    "The reproduced paper has no measured tables; the EX* reports regenerate\n\
+     its worked examples and Table 4, and S1-S4 are the synthetic evaluation\n\
+     defined in DESIGN.md.  Timings are OLS estimates (bechamel).\n";
+  report_paper_examples ();
+  report_table4 ();
+  report_quality ();
+  report_ablation ();
+  section "timing series (S1-S4)";
+  run_group ~name:"paper" (paper_benches ());
+  run_group ~name:"scale_transform" (transform_benches ());
+  run_group ~name:"scale_reasoning" (reasoning_benches ());
+  run_group ~name:"scale_query" (query_benches ());
+  run_group ~name:"engines" (engine_benches ());
+  run_group ~name:"ablation" (ablation_benches ());
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,394 @@
+(* dl4 — command-line front end for the paraconsistent OWL DL reasoner.
+
+   Subcommands: check, query, classify, retrieve, transform, models,
+   explain, repair, stats, convert.
+   Knowledge bases are read in the surface syntax of [Surface] (see
+   README.md for the grammar). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_kb4 path =
+  match Surface.parse_kb4 (read_file path) with
+  | Ok kb -> kb
+  | Error e ->
+      Format.eprintf "%s: %a@." path Surface.pp_error e;
+      exit 2
+
+let load_kb path =
+  match Surface.parse_kb (read_file path) with
+  | Ok kb -> kb
+  | Error e ->
+      Format.eprintf "%s: %a@." path Surface.pp_error e;
+      exit 2
+
+let load_concept src =
+  match Surface.parse_concept src with
+  | Ok c -> c
+  | Error e ->
+      Format.eprintf "concept %S: %a@." src Surface.pp_error e;
+      exit 2
+
+let load_owl path =
+  match Owl_functional.parse_ontology (read_file path) with
+  | Ok kb -> kb
+  | Error e ->
+      Format.eprintf "%s: %a@." path Owl_functional.pp_error e;
+      exit 2
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some non_dir_file) None
+    & info [] ~docv:"FILE" ~doc:"Knowledge base in dl4 surface syntax.")
+
+let classical_flag =
+  Arg.(
+    value & flag
+    & info [ "classical" ]
+        ~doc:"Read the file as a classical SHOIN(D) KB (inclusions use <<).")
+
+let owl_flag =
+  Arg.(
+    value & flag
+    & info [ "owl" ]
+        ~doc:
+          "Read the file as OWL 2 functional-style syntax (classical \
+           semantics; inclusions are treated as internal in four-valued \
+           mode).")
+
+let max_nodes_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "max-nodes" ] ~docv:"N"
+        ~doc:"Tableau completion-graph node limit.")
+
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run file classical owl max_nodes =
+    if classical || owl then begin
+      let kb = if owl then load_owl file else load_kb file in
+      let r = Reasoner.create ~max_nodes kb in
+      List.iter (Format.printf "warning: %s@.") (Reasoner.validate r);
+      if Reasoner.is_consistent r then begin
+        Format.printf "consistent@.";
+        0
+      end
+      else begin
+        Format.printf
+          "INCONSISTENT: under two-valued semantics every conclusion follows@.";
+        1
+      end
+    end
+    else begin
+      let kb = load_kb4 file in
+      let t = Para.create ~max_nodes kb in
+      if not (Para.satisfiable t) then begin
+        Format.printf "four-valued UNSATISFIABLE@.";
+        1
+      end
+      else begin
+        Format.printf "four-valued satisfiable@.";
+        (match Para.contradictions t with
+        | [] -> Format.printf "no localized contradictions@."
+        | cs ->
+            Format.printf "localized contradictions (value TOP):@.";
+            List.iter
+              (fun (a, c) -> Format.printf "  %s : %s@." a c)
+              cs);
+        0
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Check satisfiability; in four-valued mode also report the \
+          localized contradictions.")
+    Term.(const run $ file_arg $ classical_flag $ owl_flag $ max_nodes_arg)
+
+let query_cmd =
+  let individual =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "i"; "individual" ] ~docv:"NAME" ~doc:"Individual to query.")
+  in
+  let concept_src =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "c"; "concept" ] ~docv:"CONCEPT"
+          ~doc:"Concept expression in surface syntax.")
+  in
+  let run file ind csrc max_nodes =
+    let kb = load_kb4 file in
+    let c = load_concept csrc in
+    let t = Para.create ~max_nodes kb in
+    let v = Para.instance_truth t ind c in
+    Format.printf "%s : %s  =  %a@." ind (Concept.to_string c) Truth.pp v;
+    (match v with
+    | Truth.True -> Format.printf "supported: yes;  denied: no@."
+    | Truth.False -> Format.printf "supported: no;  denied: yes@."
+    | Truth.Both ->
+        Format.printf "supported: yes;  denied: yes  (contradiction)@."
+    | Truth.Neither -> Format.printf "supported: no;  denied: no@.");
+    0
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Four-valued instance query: the Belnap value the KB supports for \
+          C(a).")
+    Term.(const run $ file_arg $ individual $ concept_src $ max_nodes_arg)
+
+let classify_cmd =
+  let run file max_nodes =
+    let kb = load_kb4 file in
+    let t = Para.create ~max_nodes kb in
+    List.iter
+      (fun (cls, direct) ->
+        let lhs = String.concat " = " cls in
+        match direct with
+        | [] -> Format.printf "%s@." lhs
+        | _ -> Format.printf "%s < %s@." lhs (String.concat ", " direct))
+      (Para.taxonomy t);
+    0
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Reduced taxonomy under internal inclusion: equivalence classes \
+          with their direct super-classes.")
+    Term.(const run $ file_arg $ max_nodes_arg)
+
+let transform_cmd =
+  let run file =
+    let kb = load_kb4 file in
+    print_string (Surface.kb_to_string (Transform.kb kb));
+    0
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:
+         "Print the classical induced KB (Definition 7) in surface syntax \
+          (parseable with --classical).")
+    Term.(const run $ file_arg)
+
+let models_cmd =
+  let extra =
+    Arg.(
+      value & opt int 0
+      & info [ "extra" ] ~docv:"N" ~doc:"Anonymous domain elements to add.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 10
+      & info [ "limit" ] ~docv:"N" ~doc:"Maximum number of models to print.")
+  in
+  let run file extra limit =
+    let kb = load_kb4 file in
+    let count = ref 0 in
+    Seq.iter
+      (fun m ->
+        incr count;
+        Format.printf "--- model %d ---@.%a@." !count Interp4.pp m)
+      (Seq.take limit (Enum.models4 ~extra kb));
+    if !count = 0 then Format.printf "no four-valued model over this domain@.";
+    0
+  in
+  Cmd.v
+    (Cmd.info "models"
+       ~doc:
+         "Enumerate four-valued models over the KB's individuals (plus \
+          --extra anonymous elements).  Exponential; small KBs only.")
+    Term.(const run $ file_arg $ extra $ limit)
+
+let retrieve_cmd =
+  let concept_src =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "c"; "concept" ] ~docv:"CONCEPT"
+          ~doc:"Concept expression in surface syntax.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Also print individuals with value f or BOT (default: only \
+                designated answers).")
+  in
+  let run file csrc all max_nodes =
+    let kb = load_kb4 file in
+    let c = load_concept csrc in
+    let t = Para.create ~max_nodes kb in
+    List.iter
+      (fun (a, v) ->
+        if all || Truth.designated v then
+          Format.printf "  %-20s %a@." a Truth.pp v)
+      (Para.retrieve t c);
+    0
+  in
+  Cmd.v
+    (Cmd.info "retrieve"
+       ~doc:"Four-valued instance retrieval: the Belnap value of C(a) for \
+             every named individual.")
+    Term.(const run $ file_arg $ concept_src $ all $ max_nodes_arg)
+
+let explain_cmd =
+  let individual =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "i"; "individual" ] ~docv:"NAME" ~doc:"Individual to explain.")
+  in
+  let concept_src =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "c"; "concept" ] ~docv:"CONCEPT" ~doc:"Concept expression.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Enumerate several justifications (up to 10).")
+  in
+  let run file ind csrc all max_nodes =
+    let kb = load_kb4 file in
+    match (ind, csrc) with
+    | Some ind, Some csrc ->
+        let c = load_concept csrc in
+        let t = Para.create ~max_nodes kb in
+        let v = Para.instance_truth t ind c in
+        Format.printf "%s : %s = %a@." ind (Concept.to_string c) Truth.pp v;
+        let queries =
+          match v with
+          | Truth.True -> [ Explain.Instance (ind, c) ]
+          | Truth.False -> [ Explain.Not_instance (ind, c) ]
+          | Truth.Both -> [ Explain.Contradiction (ind, c) ]
+          | Truth.Neither -> []
+        in
+        if queries = [] then
+          Format.printf "nothing to explain: no supported information@.";
+        List.iter
+          (fun q ->
+            let js =
+              if all then Explain.all_justifications ~max_nodes kb q
+              else Option.to_list (Explain.justification ~max_nodes kb q)
+            in
+            List.iteri
+              (fun i j ->
+                Format.printf "@.justification %d for %a:@.%s" (i + 1)
+                  Explain.pp_query q
+                  (Surface.kb4_to_string j))
+              js)
+          queries;
+        0
+    | _ ->
+        (* no query: explain every localized contradiction *)
+        let t = Para.create ~max_nodes kb in
+        let explained = Explain.contradictions_explained ~max_nodes t in
+        if explained = [] then
+          Format.printf "no localized contradictions@."
+        else
+          List.iter
+            (fun (a, cname, j) ->
+              Format.printf "%s : %s = TOP, because:@.%s@." a cname
+                (Surface.kb4_to_string j))
+            explained;
+        0
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Pinpoint the axioms responsible for an answer (or for every \
+          localized contradiction when no query is given).")
+    Term.(const run $ file_arg $ individual $ concept_src $ all $ max_nodes_arg)
+
+let repair_cmd =
+  let run file =
+    let kb = load_kb file in
+    print_string (Surface.kb_to_string (Baselines.stratified_repair kb));
+    0
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Print a maximal consistent sub-KB of a classical KB \
+          (stratification baseline; TBox preferred over ABox).")
+    Term.(const run $ file_arg)
+
+let stats_cmd =
+  let run file classical owl =
+    let stats =
+      if owl then Kb_stats.of_kb (load_owl file)
+      else if classical then Kb_stats.of_kb (load_kb file)
+      else Kb_stats.of_kb4 (load_kb4 file)
+    in
+    Format.printf "%a@." Kb_stats.pp stats;
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Knowledge-base metrics and DL expressivity (e.g. SHOIN(D)).")
+    Term.(const run $ file_arg $ classical_flag $ owl_flag)
+
+let convert_cmd =
+  let to_owl =
+    Arg.(
+      value & flag
+      & info [ "to-owl" ]
+          ~doc:"Convert dl4 surface syntax (classical mode, <<) to OWL \
+                functional syntax.")
+  in
+  let from_owl =
+    Arg.(
+      value & flag
+      & info [ "from-owl" ]
+          ~doc:"Convert OWL functional syntax to dl4 surface syntax.")
+  in
+  let run file to_owl from_owl =
+    if to_owl then begin
+      print_string (Owl_functional.to_functional (load_kb file));
+      0
+    end
+    else if from_owl then begin
+      print_string (Surface.kb_to_string (load_owl file));
+      0
+    end
+    else begin
+      Format.eprintf "convert: pass --to-owl or --from-owl@.";
+      2
+    end
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert between the dl4 surface syntax and OWL 2 \
+             functional-style syntax.")
+    Term.(const run $ file_arg $ to_owl $ from_owl)
+
+let main =
+  Cmd.group
+    (Cmd.info "dl4" ~version:"1.0.0"
+       ~doc:
+         "Paraconsistent reasoning with inconsistent OWL DL ontologies via \
+          four-valued description logic SHOIN(D)4.")
+    [ check_cmd;
+      query_cmd;
+      classify_cmd;
+      transform_cmd;
+      models_cmd;
+      retrieve_cmd;
+      explain_cmd;
+      repair_cmd;
+      stats_cmd;
+      convert_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/diagnose.ml: Axiom Baselines Concept Explain Format Interp4 Kb4 List Para String Surface Truth

@@ -1,0 +1,1 @@
+examples/family.ml: Concept Enum Format Interp4 List Paper_examples Para Role Seq Set Surface Truth

@@ -1,0 +1,1 @@
+examples/medical.ml: Axiom Baselines Concept Format Kb4 List Paper_examples Para String Surface Truth

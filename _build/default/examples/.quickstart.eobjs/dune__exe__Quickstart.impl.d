@@ -1,0 +1,1 @@
+examples/quickstart.ml: Concept Format Para Reasoner Surface Truth

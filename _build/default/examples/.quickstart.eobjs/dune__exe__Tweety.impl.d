@@ -1,0 +1,1 @@
+examples/tweety.ml: Concept Format Kb4 List Mangle Paper_examples Para Reasoner Role Surface Tableau Truth

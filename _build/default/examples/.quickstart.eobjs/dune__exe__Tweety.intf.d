@@ -1,0 +1,1 @@
+examples/tweety.mli:

@@ -1,0 +1,81 @@
+(* Diagnosing an inconsistent ontology end-to-end: localize contradictions,
+   measure them, pinpoint the responsible axioms, retrieve instances
+   four-valuedly, and exhibit a four-valued model.
+
+   Run with:  dune exec examples/diagnose.exe *)
+
+let () =
+  (* A staff database that drifted out of sync: two sources disagree about
+     robin, and a policy conflict affects interns. *)
+  let kb =
+    Surface.parse_kb4_exn
+      {|
+      Manager < Employee.
+      Intern < Employee.
+      Intern < ~PayrollMember.
+      Employee < PayrollMember.
+      Contractor < ~Employee.
+
+      robin : Manager.
+      robin : Contractor.      # source conflict!
+      casey : Intern.
+      drew : Employee.
+      |}
+  in
+  let t = Para.create kb in
+
+  Format.printf "four-valued satisfiable: %b@." (Para.satisfiable t);
+  Format.printf "inconsistency degree:    %.2f@.@." (Para.inconsistency_degree t);
+
+  (* 1. localize *)
+  Format.printf "localized contradictions:@.";
+  List.iter
+    (fun (a, c) -> Format.printf "  %s : %s = TOP@." a c)
+    (Para.contradictions t);
+
+  (* 2. explain: which axioms are responsible? *)
+  Format.printf "@.pinpointing (one minimal justification each):@.";
+  List.iter
+    (fun (a, c, j) ->
+      Format.printf "  %s : %s = TOP because of %d axioms:@." a c (Kb4.size j);
+      String.split_on_char '\n' (Surface.kb4_to_string j)
+      |> List.iter (fun line -> if line <> "" then Format.printf "    %s@." line))
+    (Explain.contradictions_explained t);
+
+  (* 3. queries still work, away from and even at the conflict *)
+  Format.printf "@.four-valued instance retrieval for PayrollMember:@.";
+  List.iter
+    (fun (a, v) -> Format.printf "  %-8s %a@." a Truth.pp v)
+    (Para.retrieve t (Concept.Atom "PayrollMember"));
+
+  Format.printf "@.designated instances of Employee: %s@."
+    (String.concat ", " (Para.retrieve_instances t (Concept.Atom "Employee")));
+
+  (* 4. a concrete four-valued model witnessing satisfiability *)
+  (match Para.find_model4 t with
+  | Some m ->
+      Format.printf "@.a four-valued model (Definition 9 of the paper):@.%a@."
+        Interp4.pp m
+  | None -> Format.printf "@.(no finite model extracted)@.");
+
+  (* 5. contrast with the stratified-repair baseline, which silently drops
+     an axiom to restore consistency *)
+  let classical =
+    Surface.parse_kb_exn
+      {|
+      Manager << Employee.
+      Intern << Employee.
+      Intern << ~PayrollMember.
+      Employee << PayrollMember.
+      Contractor << ~Employee.
+      robin : Manager.
+      robin : Contractor.
+      casey : Intern.
+      drew : Employee.
+      |}
+  in
+  let repaired = Baselines.stratified_repair classical in
+  Format.printf
+    "@.stratified repair silently dropped %d of %d axioms; dl4 dropped none.@."
+    (Axiom.size classical - Axiom.size repaired)
+    (Axiom.size classical)

@@ -1,0 +1,73 @@
+(* Example 4 and Table 4 of the paper: number restrictions under four-valued
+   semantics.  Single Smith adopts a child — a parent, but not married.
+   Regenerates Table 4 by enumerating the four-valued models over the domain
+   {smith, kate}.
+
+   Run with:  dune exec examples/family.exe *)
+
+let () =
+  Format.printf "Knowledge base:@.%s@."
+    (Surface.kb4_to_string Paper_examples.example4);
+
+  let t = Para.create Paper_examples.example4 in
+  Format.printf "four-valued satisfiable: %b@." (Para.satisfiable t);
+
+  let has_child = Role.name "hasChild" in
+  let statements =
+    [ ("hasChild(s,k)", `Role ("smith", has_child, "kate"));
+      (">=1.hasChild(s)", `Concept ("smith", Concept.At_least (1, has_child)));
+      ("Parent(s)", `Concept ("smith", Concept.Atom "Parent"));
+      ("Married(s)", `Concept ("smith", Concept.Atom "Married")) ]
+  in
+
+  (* Entailment-level answers (what holds in every model): *)
+  Format.printf "@.supported values (across all models):@.";
+  List.iter
+    (fun (label, q) ->
+      let v =
+        match q with
+        | `Role (a, r, b) -> Para.role_truth t a r b
+        | `Concept (a, c) -> Para.instance_truth t a c
+      in
+      Format.printf "  %-18s = %a@." label Truth.pp v)
+    statements;
+
+  (* Table 4: the value combinations realized by individual models. *)
+  Format.printf
+    "@.Table 4 — truth-value rows realized by four-valued models over@.";
+  Format.printf "{smith, kate} (the paper's M1-M9):@.@.";
+  Format.printf "  %-14s %-18s %-10s %-10s@." "hasChild(s,k)" ">=1.hasChild(s)"
+    "Parent(s)" "Married(s)";
+
+  let module Rows = Set.Make (struct
+    type t = Truth.t list
+
+    let compare = List.compare Truth.compare
+  end) in
+  let eval_row m =
+    List.map
+      (fun (_, q) ->
+        match q with
+        | `Role (a, r, b) -> Interp4.role_truth_value m r a b
+        | `Concept (a, c) -> Interp4.truth_value m c a)
+      statements
+  in
+  let rows =
+    Seq.fold_left
+      (fun acc m -> Rows.add (eval_row m) acc)
+      Rows.empty
+      (Enum.models4 Paper_examples.example4)
+  in
+  Rows.iter
+    (fun row ->
+      match List.map Truth.to_string row with
+      | [ a; b; c; d ] -> Format.printf "  %-14s %-18s %-10s %-10s@." a b c d
+      | _ -> assert false)
+    rows;
+  Format.printf "@.%d distinct rows (the paper lists models M1-M9).@."
+    (Rows.cardinal rows);
+
+  (* Cross-check against the hard-coded table from the paper text. *)
+  let expected = Rows.of_list (List.map fst Paper_examples.table4_rows) in
+  Format.printf "matches the paper's Table 4 exactly: %b@."
+    (Rows.equal rows expected)

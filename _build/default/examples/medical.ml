@@ -1,0 +1,72 @@
+(* The paper's motivating domain (Examples 1 and 2): medical-records access
+   control with conflicting policies, comparing the four-valued approach
+   against the classical reasoner and the consistent-subset baselines.
+
+   Run with:  dune exec examples/medical.exe *)
+
+let rule = String.make 64 '-'
+
+let () =
+  (* -------------------- Example 1 -------------------- *)
+  Format.printf "%s@.Example 1: an inconsistent hospital ABox@.%s@." rule rule;
+  let kb1 = Paper_examples.example1 in
+  Format.printf "%s@." (Surface.kb4_to_string kb1);
+
+  let t1 = Para.create kb1 in
+  Format.printf "four-valued satisfiable: %b@.@." (Para.satisfiable t1);
+
+  let doctor = Concept.Atom "Doctor" in
+  Format.printf "is there information that bill IS a doctor?     %b@."
+    (Para.entails_instance t1 "bill" doctor);
+  Format.printf "is there information that bill is NOT a doctor? %b@."
+    (Para.entails_not_instance t1 "bill" doctor);
+  Format.printf "bill : Doctor = %a@." Truth.pp
+    (Para.instance_truth t1 "bill" doctor);
+  Format.printf "john : Doctor = %a  (the contradiction, localized)@."
+    Truth.pp
+    (Para.instance_truth t1 "john" doctor);
+  Format.printf "john : Patient = %a (irrelevant facts are NOT inferred)@.@."
+    Truth.pp
+    (Para.instance_truth t1 "john" (Concept.Atom "Patient"));
+
+  (* -------------------- Example 2 -------------------- *)
+  Format.printf "%s@.Example 2: may john read patient records?@.%s@." rule rule;
+  let kb2 = Paper_examples.example2 in
+  Format.printf "%s@." (Surface.kb4_to_string kb2);
+
+  let t2 = Para.create kb2 in
+  let rprt = Concept.Atom "ReadPatientRecordTeam" in
+  Format.printf "john : ReadPatientRecordTeam = %a@.@." Truth.pp
+    (Para.instance_truth t2 "john" rprt);
+
+  (* The same question across approaches.  The classical reading is
+     inconsistent, so the classical baseline accepts everything; the
+     consistent-subset baselines silently pick a side or abstain; the
+     four-valued reasoner reports the conflict. *)
+  let classical2 =
+    Axiom.make
+      ~tbox:
+        [ Axiom.Concept_sub
+            (Concept.Atom "SurgicalTeam",
+             Concept.Not (Concept.Atom "ReadPatientRecordTeam"));
+          Axiom.Concept_sub (Concept.Atom "UrgencyTeam", rprt) ]
+      ~abox:kb2.Kb4.abox
+  in
+  Format.printf "classical KB trivial (inconsistent): %b@."
+    (Baselines.classical_is_trivial classical2);
+  Format.printf "classical answer:            %a@." Baselines.pp_answer
+    (Baselines.classical_instance classical2 "john" rprt);
+  Format.printf "syntactic-selection answer:  %a@." Baselines.pp_answer
+    (Baselines.selection_instance classical2 "john" rprt);
+  Format.printf "stratified-repair answer:    %a@." Baselines.pp_answer
+    (Baselines.stratified_instance classical2 "john" rprt);
+  Format.printf "four-valued answer:          %a (decision), value %a@."
+    Baselines.pp_answer
+    (Baselines.para_instance t2 "john" rprt)
+    Truth.pp
+    (Para.instance_truth t2 "john" rprt);
+
+  Format.printf "@.localized contradictions found by dl4:@.";
+  List.iter
+    (fun (a, c) -> Format.printf "  %s : %s = TOP@." a c)
+    (Para.contradictions t2)

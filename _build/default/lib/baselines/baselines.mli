@@ -1,0 +1,71 @@
+(** Baseline approaches to querying (possibly inconsistent) ontologies.
+
+    The paper's related-work section (§5) contrasts [SHOIN(D)4] with two
+    families of approaches: reasoning with consistent subsets selected by
+    syntactic relevance (Huang, van Harmelen & ten Teije, IJCAI'05) and
+    stratification-based repair (Benferhat et al.).  This module implements
+    executable versions of both, plus the trivializing classical baseline,
+    so the evaluation harness can compare answer quality and cost.
+
+    All baselines answer three-way: a query is {!Accepted}, {!Rejected}
+    (its negation follows), or {!Undetermined}. *)
+
+type answer = Accepted | Rejected | Undetermined
+
+val pp_answer : Format.formatter -> answer -> unit
+val answer_to_string : answer -> string
+val equal_answer : answer -> answer -> bool
+
+(** {1 Classical (trivializing) baseline} *)
+
+val classical_instance : Axiom.kb -> string -> Concept.t -> answer
+(** Standard entailment.  On an inconsistent KB both [C(a)] and [¬C(a)] are
+    entailed and the answer is reported as [Accepted] — the triviality the
+    paper criticizes. *)
+
+val classical_is_trivial : Axiom.kb -> bool
+(** Whether the KB is inconsistent (and hence entails everything). *)
+
+(** {1 Syntactic-relevance subset selection (Huang et al.)}
+
+    A linear-extension selection function: Σ₁ is the set of axioms
+    syntactically relevant to the query (sharing a signature symbol); Σₖ₊₁
+    adds all axioms relevant to Σₖ.  Reasoning uses the largest consistent
+    Σₖ; the extension stops at a fixpoint, at [max_k], or just before Σ
+    turns inconsistent. *)
+
+val selection_instance :
+  ?max_k:int -> Axiom.kb -> string -> Concept.t -> answer
+
+val selection_subset : ?max_k:int -> Axiom.kb -> Concept.t -> string -> Axiom.kb
+(** The consistent subset the previous function reasons with (exposed for
+    inspection and for the evaluation harness). *)
+
+(** {1 Stratification-based repair (Benferhat et al., simplified)}
+
+    Axioms carry integer ranks (lower = higher priority; default: TBox = 0,
+    ABox = 1).  The repair walks the axioms in rank order and keeps each
+    axiom whose addition preserves consistency — a greedy, deterministic
+    rendering of lexicographic preference. *)
+
+type ranked = {
+  rank_tbox : Axiom.tbox_axiom -> int;
+  rank_abox : Axiom.abox_axiom -> int;
+}
+
+val default_ranks : ranked
+
+val stratified_repair : ?ranks:ranked -> Axiom.kb -> Axiom.kb
+(** A maximal (w.r.t. the greedy order) consistent sub-KB. *)
+
+val stratified_instance :
+  ?ranks:ranked -> Axiom.kb -> string -> Concept.t -> answer
+
+(** {1 The paper's approach, on the same query interface} *)
+
+val para_instance : Para.t -> string -> Concept.t -> answer
+(** Four-valued answer collapsed to three-way for comparison: [True ↦
+    Accepted], [False ↦ Rejected], [Both]/[Neither] ↦ [Undetermined] (a ⊤
+    answer supports both sides, so as a {e decision} it is undetermined —
+    but unlike the subset baselines the contradiction is reported, see
+    {!Para.instance_truth}). *)

@@ -1,0 +1,1 @@
+lib/core/cq.ml: Concept Kb4 List Para Role Set String Truth

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Axiom Concept Format Kb4 List Para

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Concept Format Kb4 Para

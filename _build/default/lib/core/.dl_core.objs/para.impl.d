@@ -1,0 +1,1 @@
+lib/core/para.ml: Axiom Concept Induced Interp4 Kb4 List Reasoner Transform Truth

@@ -1,0 +1,1 @@
+lib/core/para.mli: Axiom Concept Interp4 Kb4 Reasoner Role Truth

@@ -1,0 +1,89 @@
+type term = Var of string | Ind of string
+
+type atom =
+  | Concept_atom of Concept.t * term
+  | Role_atom of Role.t * term * term
+
+type t = { head : string list; body : atom list }
+
+module Strings = Set.Make (String)
+
+let term_vars = function Var v -> [ v ] | Ind _ -> []
+
+let atom_vars = function
+  | Concept_atom (_, t) -> term_vars t
+  | Role_atom (_, t1, t2) -> term_vars t1 @ term_vars t2
+
+let variables q =
+  Strings.elements
+    (List.fold_left
+       (fun acc a -> Strings.union acc (Strings.of_list (atom_vars a)))
+       Strings.empty q.body)
+
+let make ~head ~body =
+  let q = { head; body } in
+  let vs = Strings.of_list (variables q) in
+  List.iter
+    (fun v ->
+      if not (Strings.mem v vs) then
+        invalid_arg ("Cq.make: head variable " ^ v ^ " not in body"))
+    head;
+  q
+
+let resolve binding = function
+  | Ind a -> a
+  | Var v -> (
+      match List.assoc_opt v binding with
+      | Some a -> a
+      | None -> invalid_arg ("Cq: unbound variable " ^ v))
+
+let truth_of_binding para q binding =
+  List.fold_left
+    (fun acc atom ->
+      let v =
+        match atom with
+        | Concept_atom (c, t) ->
+            Para.instance_truth para (resolve binding t) c
+        | Role_atom (r, t1, t2) ->
+            Para.role_truth para (resolve binding t1) r (resolve binding t2)
+      in
+      Truth.conj acc v)
+    Truth.True q.body
+
+let all_bindings para q =
+  let individuals = (Kb4.signature (Para.kb para)).individuals in
+  let vars = variables q in
+  let rec bind acc = function
+    | [] -> [ List.rev acc ]
+    | v :: rest ->
+        List.concat_map (fun a -> bind ((v, a) :: acc) rest) individuals
+  in
+  List.map
+    (fun binding -> (binding, truth_of_binding para q binding))
+    (bind [] vars)
+
+let answers para q =
+  let tuples =
+    List.filter_map
+      (fun (binding, v) ->
+        if Truth.designated v then
+          Some (List.map (fun h -> List.assoc h binding) q.head, v)
+        else None)
+      (all_bindings para q)
+  in
+  (* deduplicate projected tuples, keeping the ≤k-strongest value seen:
+     a tuple supported cleanly (t) by one binding and contradictorily (⊤)
+     by another reports t if any clean support exists *)
+  let dedup =
+    List.fold_left
+      (fun acc (tuple, v) ->
+        match List.assoc_opt tuple acc with
+        | None -> (tuple, v) :: acc
+        | Some Truth.Both when Truth.equal v Truth.True ->
+            (tuple, v) :: List.remove_assoc tuple acc
+        | Some _ -> acc)
+      [] tuples
+  in
+  List.stable_sort
+    (fun (_, v1) (_, v2) -> Truth.compare v1 v2)
+    (List.rev dedup)

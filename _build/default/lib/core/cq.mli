@@ -1,0 +1,42 @@
+(** Grounded conjunctive queries over a [SHOIN(D)4] knowledge base.
+
+    A query is a conjunction of concept and role atoms over variables and
+    individuals, e.g. [Q(x) ← Doctor(x) ∧ hasPatient(x, y)].  Semantics is
+    {e grounded}: variables range over the named individuals of the KB (no
+    existential unnamed witnesses), which is the usual pragmatic regime for
+    instance retrieval front-ends.
+
+    Answers are four-valued: the value of a grounded body is the ≤t-meet of
+    its atoms' Belnap values (so one contradictory atom taints the tuple to
+    ⊤, one denied atom makes it f).  [answers] returns the tuples whose
+    value is designated (t or ⊤), most certain first. *)
+
+type term =
+  | Var of string
+  | Ind of string
+
+type atom =
+  | Concept_atom of Concept.t * term
+  | Role_atom of Role.t * term * term
+
+type t = {
+  head : string list;  (** distinguished variables, in answer-tuple order *)
+  body : atom list;
+}
+
+val make : head:string list -> body:atom list -> t
+(** @raise Invalid_argument if a head variable does not occur in the body. *)
+
+val variables : t -> string list
+(** All variables of the body (sorted). *)
+
+val truth_of_binding : Para.t -> t -> (string * string) list -> Truth.t
+(** The Belnap value of the body under a complete variable binding. *)
+
+val answers : Para.t -> t -> (string list * Truth.t) list
+(** Designated answer tuples (projected to [head]), deduplicated, with
+    tuples valued [t] before tuples valued ⊤. *)
+
+val all_bindings : Para.t -> t -> ((string * string) list * Truth.t) list
+(** Every complete binding with its value — including [f] and ⊥ ones; for
+    diagnosis and tests. *)

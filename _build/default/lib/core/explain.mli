@@ -1,0 +1,41 @@
+(** Black-box axiom pinpointing for [SHOIN(D)4] entailments.
+
+    A {e justification} for an entailment [K ⊨⁴ φ] is a minimal sub-KB
+    [J ⊆ K] with [J ⊨⁴ φ].  For a paraconsistent reasoner the flagship use
+    is explaining a contradiction: when [instance_truth] returns [Both], the
+    justification of "told true" and "told false" together pinpoints the
+    axioms responsible for the conflict.
+
+    The implementation is reasoner-independent ("black-box" pinpointing in
+    the DL literature): deletion-based contraction finds one justification
+    with O(|K|) entailment checks; Reiter's hitting-set tree enumerates
+    further ones.  Each entailment check builds a fresh {!Para} reasoner, so
+    this is meant for diagnosis, not for hot loops. *)
+
+type query =
+  | Instance of string * Concept.t        (** K ⊨⁴ C(a) *)
+  | Not_instance of string * Concept.t    (** K ⊨⁴ ¬C(a) *)
+  | Contradiction of string * Concept.t
+      (** both of the above — the TOP answer *)
+  | Inclusion of Kb4.inclusion * Concept.t * Concept.t
+  | Unsatisfiable                          (** K is 4-unsatisfiable *)
+
+val pp_query : Format.formatter -> query -> unit
+
+val holds : ?max_nodes:int -> Kb4.t -> query -> bool
+(** Does the entailment hold in the (sub-)KB? *)
+
+val justification : ?max_nodes:int -> Kb4.t -> query -> Kb4.t option
+(** One minimal justification, or [None] when the entailment does not hold
+    in the full KB.  Minimality: removing any single axiom of the result
+    breaks the entailment. *)
+
+val all_justifications :
+  ?max_nodes:int -> ?limit:int -> Kb4.t -> query -> Kb4.t list
+(** Up to [limit] (default 10) distinct justifications, enumerated with a
+    hitting-set tree. *)
+
+val contradictions_explained :
+  ?max_nodes:int -> Para.t -> (string * string * Kb4.t) list
+(** For every localized contradiction [(a, A)] of {!Para.contradictions},
+    one justification of [Contradiction (a, Atom A)]. *)

@@ -1,0 +1,146 @@
+type t = {
+  kb : Kb4.t;
+  classical_kb : Axiom.kb;
+  reasoner : Reasoner.t;
+}
+
+let create ?max_nodes ?max_branches kb =
+  let classical_kb = Transform.kb kb in
+  { kb;
+    classical_kb;
+    reasoner = Reasoner.create ?max_nodes ?max_branches classical_kb }
+
+let kb t = t.kb
+let classical_kb t = t.classical_kb
+let classical_reasoner t = t.reasoner
+
+let satisfiable t = Reasoner.is_consistent t.reasoner
+
+let entails_instance t a c =
+  not (Reasoner.consistent_with t.reasoner [ Transform.instance_query c a ])
+
+let entails_not_instance t a c =
+  not
+    (Reasoner.consistent_with t.reasoner [ Transform.negative_instance_query c a ])
+
+let instance_truth t a c =
+  Truth.of_pair
+    ~told_true:(entails_instance t a c)
+    ~told_false:(entails_not_instance t a c)
+
+let entails_inclusion t kind c d =
+  List.for_all
+    (fun test -> not (Reasoner.concept_satisfiable t.reasoner test))
+    (Transform.inclusion_tests kind c d)
+
+let role_truth t a r b =
+  let told_true = Reasoner.role_entailed t.reasoner a (Transform.plus_role r) b in
+  let told_false =
+    not
+      (Reasoner.consistent_with t.reasoner
+         [ Axiom.Role_assertion (a, Transform.eq_role r, b) ])
+  in
+  Truth.of_pair ~told_true ~told_false
+
+let classify t =
+  let atoms = (Kb4.signature t.kb).concepts in
+  List.map
+    (fun a ->
+      let supers =
+        List.filter
+          (fun b ->
+            b <> a
+            && entails_inclusion t Kb4.Internal (Concept.Atom a) (Concept.Atom b))
+          atoms
+      in
+      (a, supers))
+    atoms
+
+(* Group equivalent atoms and reduce the subsumption DAG to direct edges. *)
+let taxonomy t =
+  let hierarchy = classify t in
+  let supers a = try List.assoc a hierarchy with Not_found -> [] in
+  let equiv a b = List.mem b (supers a) && List.mem a (supers b) in
+  let atoms = List.map fst hierarchy in
+  (* canonical representative: first member in signature order *)
+  let repr a = List.find (fun b -> equiv a b || b = a) atoms in
+  let classes =
+    List.filter_map
+      (fun a ->
+        if repr a = a then
+          Some (a :: List.filter (fun b -> b <> a && equiv a b) atoms)
+        else None)
+      atoms
+  in
+  let strict_supers a =
+    List.filter (fun b -> not (equiv a b)) (supers a)
+  in
+  List.map
+    (fun cls ->
+      let a = List.hd cls in
+      let ss = strict_supers a in
+      (* direct supers: not implied through another strict super *)
+      let direct =
+        List.filter
+          (fun b ->
+            (not (List.exists (fun c -> c <> b && List.mem b (strict_supers c)) ss))
+            && repr b = b)
+          ss
+      in
+      (cls, direct))
+    classes
+
+let contradictions t =
+  let signature = Kb4.signature t.kb in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun c ->
+          match instance_truth t a (Concept.Atom c) with
+          | Truth.Both -> Some (a, c)
+          | Truth.True | Truth.False | Truth.Neither -> None)
+        signature.concepts)
+    signature.individuals
+
+let truth_table t ~individuals ~concepts =
+  List.map
+    (fun a ->
+      (a, List.map (fun c -> (c, instance_truth t a c)) concepts))
+    individuals
+
+let retrieve t c =
+  List.map
+    (fun a -> (a, instance_truth t a c))
+    (Kb4.signature t.kb).individuals
+
+let retrieve_instances t c =
+  List.filter_map
+    (fun (a, v) -> if Truth.designated v then Some a else None)
+    (retrieve t c)
+
+let inconsistency_degree t =
+  let signature = Kb4.signature t.kb in
+  let informative = ref 0 and contradictory = ref 0 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun c ->
+          match instance_truth t a (Concept.Atom c) with
+          | Truth.Both ->
+              incr informative;
+              incr contradictory
+          | Truth.True | Truth.False -> incr informative
+          | Truth.Neither -> ())
+        signature.concepts)
+    signature.individuals;
+  if !informative = 0 then 0.
+  else float_of_int !contradictory /. float_of_int !informative
+
+let find_model4 t =
+  match Reasoner.find_model t.reasoner with
+  | None -> None
+  | Some m ->
+      let candidate =
+        Induced.four_of_classical ~signature:(Kb4.signature t.kb) m
+      in
+      if Interp4.is_model candidate t.kb then Some candidate else None

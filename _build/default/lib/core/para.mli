@@ -1,0 +1,96 @@
+(** Paraconsistent reasoning with inconsistent OWL DL ontologies — the
+    paper's contribution, as a library.
+
+    A {!t} wraps a [SHOIN(D)4] knowledge base [K] together with its
+    classical induced KB [K̄] (Definition 7) and a classical tableau
+    reasoner over [K̄].  By Theorem 6, the four-valued models of [K]
+    correspond exactly to the classical models of [K̄], so every
+    four-valued reasoning task below is answered by classical reasoning
+    over [K̄] — "mature reasoning mechanisms of classical description logic
+    remain useful" (§6).
+
+    The flagship query is {!instance_truth}: the Belnap value the knowledge
+    base supports for [C(a)] —
+
+    - [True]: there is information that [a] is a [C] and none that it is
+      not;
+    - [False]: information that it is not, none that it is;
+    - [Both] (⊤): the KB is contradictory about [C(a)] — the contradiction
+      is {e localized} here instead of trivializing the KB;
+    - [Neither] (⊥): the KB says nothing about [C(a)]. *)
+
+type t
+
+val create : ?max_nodes:int -> ?max_branches:int -> Kb4.t -> t
+
+val kb : t -> Kb4.t
+val classical_kb : t -> Axiom.kb
+(** The induced [K̄] of Definition 7. *)
+
+val classical_reasoner : t -> Reasoner.t
+
+val satisfiable : t -> bool
+(** Four-valued satisfiability of [K], decided as classical satisfiability
+    of [K̄] (Theorem 6).  Unlike classical [SHOIN(D)], most inconsistent
+    ontologies are four-valued satisfiable; unsatisfiability arises only
+    from hard constraints (⊥-assertions, number-restriction conflicts on
+    told information, ≠-clashes). *)
+
+val entails_instance : t -> string -> Concept.t -> bool
+(** [entails_instance t a c] is [K ⊨⁴ C(a)]: does every four-valued model
+    put [aᴵ ∈ proj⁺(Cᴵ)]?  Decided as inconsistency of
+    [K̄ ∪ {ā : ¬C̄}]. *)
+
+val entails_not_instance : t -> string -> Concept.t -> bool
+(** [K ⊨⁴ (¬C)(a)] — "is there information that [a] is not a [C]?". *)
+
+val instance_truth : t -> string -> Concept.t -> Truth.t
+(** Combines the two entailments into the supported Belnap value. *)
+
+val entails_inclusion : t -> Kb4.inclusion -> Concept.t -> Concept.t -> bool
+(** Corollary 7: [C ⊑kind D] holds in [K] iff the corresponding test
+    concepts are unsatisfiable w.r.t. [K̄]. *)
+
+val role_truth : t -> string -> Role.t -> string -> Truth.t
+(** Supported Belnap value for [R(a, b)]: told-true iff [K̄ ⊨ R⁺(a,b)],
+    told-false iff [K̄ ∪ {R⁼(a,b)}] is inconsistent (the negative part of
+    [Rᴵ] is the complement of [R⁼] under Definition 8). *)
+
+val classify : t -> (string * string list) list
+(** Atomic concept hierarchy under internal inclusion ⊏ (the inclusion whose
+    satisfaction mirrors classical ⊑ on told-positive information). *)
+
+val taxonomy : t -> (string list * string list) list
+(** The classification as a reduced taxonomy: equivalence classes of atomic
+    concepts (each led by its canonical representative) paired with their
+    {e direct} super-class representatives (transitive reduction of
+    {!classify}). *)
+
+val contradictions : t -> (string * string) list
+(** All (individual, atomic concept) pairs whose {!instance_truth} is [Both]
+    — the localized contradictions of the ontology.  Quadratic in the
+    signature; meant for diagnosis and the evaluation harness. *)
+
+val truth_table : t -> individuals:string list -> concepts:Concept.t list ->
+  (string * (Concept.t * Truth.t) list) list
+(** [truth_table t ~individuals ~concepts] evaluates {!instance_truth} on
+    the grid — the shape of the paper's Table 4. *)
+
+val retrieve : t -> Concept.t -> (string * Truth.t) list
+(** The supported Belnap value of [C(a)] for every named individual of the
+    KB — four-valued instance retrieval. *)
+
+val retrieve_instances : t -> Concept.t -> string list
+(** The individuals whose value for [C] is designated ([t] or ⊤). *)
+
+val inconsistency_degree : t -> float
+(** Fraction of entries of the (individual × atomic concept) grid that are
+    valued ⊤, among the entries carrying any information (value ≠ ⊥) — a
+    simple inconsistency measure in the style of the paraconsistency
+    literature.  [0.] for contradiction-free KBs (and for empty grids). *)
+
+val find_model4 : t -> Interp4.t option
+(** A verified finite four-valued model of [K], obtained by extracting a
+    classical model of [K̄] from the tableau and reading it back through
+    Definition 9.  [None] if [K] is 4-unsatisfiable or no finite model was
+    constructed. *)

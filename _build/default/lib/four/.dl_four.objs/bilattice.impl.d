@@ -1,0 +1,1 @@
+lib/four/bilattice.ml: Set Truth

@@ -1,0 +1,1 @@
+lib/four/bilattice.mli: Set Truth

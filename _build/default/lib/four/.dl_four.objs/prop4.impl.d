@@ -1,0 +1,1 @@
+lib/four/prop4.ml: Bool Format List Seq Set String Truth

@@ -1,0 +1,1 @@
+lib/four/prop4.mli: Format Seq Truth

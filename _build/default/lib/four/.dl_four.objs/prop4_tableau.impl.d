@@ -1,0 +1,1 @@
+lib/four/prop4_tableau.ml: Int List Prop4 Set String

@@ -1,0 +1,1 @@
+lib/four/prop4_tableau.mli: Prop4

@@ -1,0 +1,1 @@
+lib/four/truth.ml: Format Int

@@ -1,0 +1,1 @@
+lib/four/truth.mli: Format

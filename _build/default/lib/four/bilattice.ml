@@ -1,0 +1,31 @@
+module Make (Elt : Set.OrderedType) = struct
+  module S = Set.Make (Elt)
+
+  type t = { pos : S.t; neg : S.t }
+
+  let make ~pos ~neg = { pos; neg }
+  let proj_pos v = v.pos
+  let proj_neg v = v.neg
+
+  let top ~domain = { pos = domain; neg = S.empty }
+  let bottom ~domain = { pos = S.empty; neg = domain }
+
+  let neg v = { pos = v.neg; neg = v.pos }
+
+  let meet_t a b = { pos = S.inter a.pos b.pos; neg = S.union a.neg b.neg }
+  let join_t a b = { pos = S.union a.pos b.pos; neg = S.inter a.neg b.neg }
+  let meet_k a b = { pos = S.inter a.pos b.pos; neg = S.inter a.neg b.neg }
+  let join_k a b = { pos = S.union a.pos b.pos; neg = S.union a.neg b.neg }
+
+  let leq_t a b = S.subset a.pos b.pos && S.subset b.neg a.neg
+  let leq_k a b = S.subset a.pos b.pos && S.subset a.neg b.neg
+  let equal a b = S.equal a.pos b.pos && S.equal a.neg b.neg
+
+  let truth_value_of v a =
+    Truth.of_pair ~told_true:(S.mem a v.pos) ~told_false:(S.mem a v.neg)
+
+  let classical ~domain p = { pos = p; neg = S.diff domain p }
+
+  let is_classical ~domain v =
+    S.is_empty (S.inter v.pos v.neg) && S.equal (S.union v.pos v.neg) domain
+end

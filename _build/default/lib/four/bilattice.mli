@@ -1,0 +1,55 @@
+(** Bilattices of pairs of sets, as used in §2.2 of the paper.
+
+    For a given domain, the space [{<P, N>}] — where [P] ("positive") is the
+    set of elements supporting truth and [N] ("negative") the set supporting
+    falsity — forms a bilattice under the truth order ≤t and the knowledge
+    order ≤k (Fitting).  The paper only uses the truth-order connectives:
+
+    - negation: [¬<P,N> = <N,P>]
+    - meet:     [<P1,N1> ∧ <P2,N2> = <P1 ∩ P2, N1 ∪ N2>]
+    - join:     [<P1,N1> ∨ <P2,N2> = <P1 ∪ P2, N1 ∩ N2>]
+
+    and the two projections [proj⁺]/[proj⁻] (Definition 1). *)
+
+module Make (Elt : Set.OrderedType) : sig
+  module S : Set.S with type elt = Elt.t
+
+  type t = { pos : S.t; neg : S.t }
+  (** An extended truth value [<P, N>].  No disjointness or covering
+      constraint relates [pos] and [neg]; re-imposing
+      [pos ∩ neg = ∅ ∧ pos ∪ neg = Δ] recovers classical semantics. *)
+
+  val make : pos:S.t -> neg:S.t -> t
+
+  (** [proj_pos <P,N> = P] and [proj_neg <P,N> = N] (Definition 1). *)
+
+  val proj_pos : t -> S.t
+  val proj_neg : t -> S.t
+
+  val top : domain:S.t -> t
+  (** [⊤ᴵ = <Δ, ∅>] — the concept ⊤, not the truth value. *)
+
+  val bottom : domain:S.t -> t
+  (** [⊥ᴵ = <∅, Δ>]. *)
+
+  val neg : t -> t
+  val meet_t : t -> t -> t
+  val join_t : t -> t -> t
+  val meet_k : t -> t -> t
+  val join_k : t -> t -> t
+
+  val leq_t : t -> t -> bool
+  val leq_k : t -> t -> bool
+  val equal : t -> t -> bool
+
+  val truth_value_of : t -> Elt.t -> Truth.t
+  (** [truth_value_of <P,N> a] is the Belnap value of membership of [a]
+      (Definition 3): [True] if [a ∈ P \ N], [False] if [a ∈ N \ P],
+      [Both] if in both, [Neither] if in neither. *)
+
+  val classical : domain:S.t -> S.t -> t
+  (** [classical ~domain p] embeds a two-valued extension: [<p, domain \ p>]. *)
+
+  val is_classical : domain:S.t -> t -> bool
+  (** Whether [pos] and [neg] partition [domain]. *)
+end

@@ -1,0 +1,120 @@
+type formula =
+  | Atom of string
+  | Neg of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Material of formula * formula
+  | Internal of formula * formula
+  | Strong of formula * formula
+  | Equiv of formula * formula
+
+let atom s = Atom s
+let neg f = Neg f
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+
+module Strings = Set.Make (String)
+
+let atoms f =
+  let rec go acc = function
+    | Atom s -> Strings.add s acc
+    | Neg f -> go acc f
+    | And (a, b) | Or (a, b) | Material (a, b) | Internal (a, b)
+    | Strong (a, b) | Equiv (a, b) ->
+        go (go acc a) b
+  in
+  Strings.elements (go Strings.empty f)
+
+type valuation = string -> Truth.t
+
+let rec eval v = function
+  | Atom s -> v s
+  | Neg f -> Truth.neg (eval v f)
+  | And (a, b) -> Truth.conj (eval v a) (eval v b)
+  | Or (a, b) -> Truth.disj (eval v a) (eval v b)
+  | Material (a, b) -> Truth.material_implication (eval v a) (eval v b)
+  | Internal (a, b) -> Truth.internal_implication (eval v a) (eval v b)
+  | Strong (a, b) -> Truth.strong_implication (eval v a) (eval v b)
+  | Equiv (a, b) -> Truth.strong_equivalence (eval v a) (eval v b)
+
+(* All assignments of the four values to [names], as a lazy sequence. *)
+let valuations names =
+  let rec go = function
+    | [] -> Seq.return []
+    | n :: rest ->
+        Seq.concat_map
+          (fun tail ->
+            Seq.map (fun tv -> (n, tv) :: tail) (List.to_seq Truth.all))
+          (go rest)
+  in
+  Seq.map
+    (fun assoc name ->
+      match List.assoc_opt name assoc with
+      | Some tv -> tv
+      | None -> Truth.Neither)
+    (go names)
+
+let joint_atoms gamma phi =
+  List.fold_left
+    (fun acc f -> Strings.union acc (Strings.of_list (atoms f)))
+    (Strings.of_list (atoms phi))
+    gamma
+  |> Strings.elements
+
+let entails gamma phi =
+  let names = joint_atoms gamma phi in
+  Seq.for_all
+    (fun v ->
+      if List.for_all (fun g -> Truth.designated (eval v g)) gamma then
+        Truth.designated (eval v phi)
+      else true)
+    (valuations names)
+
+(* Classical evaluation: atoms range over {t, f}; all implications collapse
+   to material implication, and ↔ to classical equivalence. *)
+let rec eval2 v = function
+  | Atom s -> v s
+  | Neg f -> not (eval2 v f)
+  | And (a, b) -> eval2 v a && eval2 v b
+  | Or (a, b) -> eval2 v a || eval2 v b
+  | Material (a, b) | Internal (a, b) | Strong (a, b) ->
+      (not (eval2 v a)) || eval2 v b
+  | Equiv (a, b) -> Bool.equal (eval2 v a) (eval2 v b)
+
+let valuations2 names =
+  let rec go = function
+    | [] -> Seq.return []
+    | n :: rest ->
+        Seq.concat_map
+          (fun tail ->
+            Seq.map (fun b -> (n, b) :: tail) (List.to_seq [ true; false ]))
+          (go rest)
+  in
+  Seq.map
+    (fun assoc name ->
+      match List.assoc_opt name assoc with Some b -> b | None -> false)
+    (go names)
+
+let entails_classically gamma phi =
+  let names = joint_atoms gamma phi in
+  Seq.for_all
+    (fun v ->
+      if List.for_all (eval2 v) gamma then eval2 v phi else true)
+    (valuations2 names)
+
+let valid phi = entails [] phi
+
+let rec pp ppf = function
+  | Atom s -> Format.pp_print_string ppf s
+  | Neg f -> Format.fprintf ppf "~%a" pp_paren f
+  | And (a, b) -> Format.fprintf ppf "%a /\\ %a" pp_paren a pp_paren b
+  | Or (a, b) -> Format.fprintf ppf "%a \\/ %a" pp_paren a pp_paren b
+  | Material (a, b) -> Format.fprintf ppf "%a |-> %a" pp_paren a pp_paren b
+  | Internal (a, b) -> Format.fprintf ppf "%a => %a" pp_paren a pp_paren b
+  | Strong (a, b) -> Format.fprintf ppf "%a -> %a" pp_paren a pp_paren b
+  | Equiv (a, b) -> Format.fprintf ppf "%a <-> %a" pp_paren a pp_paren b
+
+and pp_paren ppf f =
+  match f with
+  | Atom _ -> pp ppf f
+  | _ -> Format.fprintf ppf "(%a)" pp f

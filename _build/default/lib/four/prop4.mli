@@ -1,0 +1,50 @@
+(** Propositional four-valued logic with an enumeration-based consequence
+    relation ⊨⁴.
+
+    This small module is the propositional core underlying the paper's §2.2:
+    it lets us machine-check Proposition 1 (the deduction property of the
+    internal implication ⊃), Proposition 2 (congruence of ↔) and the two
+    counterexamples showing that material (↦) and strong (→) implication lack
+    the deduction property.  Entailment is decided by enumerating all [4^n]
+    four-valued valuations of the (finite) signature, so it is an oracle for
+    small formulas, not an efficient prover. *)
+
+type formula =
+  | Atom of string
+  | Neg of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Material of formula * formula  (** φ ↦ ψ ≝ ¬φ ∨ ψ *)
+  | Internal of formula * formula  (** φ ⊃ ψ *)
+  | Strong of formula * formula    (** φ → ψ *)
+  | Equiv of formula * formula     (** φ ↔ ψ *)
+
+val atom : string -> formula
+val neg : formula -> formula
+val ( &&& ) : formula -> formula -> formula
+val ( ||| ) : formula -> formula -> formula
+
+val atoms : formula -> string list
+(** Sorted, deduplicated atoms occurring in the formula. *)
+
+type valuation = string -> Truth.t
+
+val eval : valuation -> formula -> Truth.t
+
+val valuations : string list -> valuation Seq.t
+(** All four-valued valuations of the given atoms ([4^n] of them).  Atoms
+    outside the list are mapped to [Truth.Neither]. *)
+
+val entails : formula list -> formula -> bool
+(** [entails gamma phi] is Γ ⊨⁴ φ: every valuation (over the atoms of
+    Γ ∪ {φ}) that designates every member of Γ designates φ. *)
+
+val entails_classically : formula list -> formula -> bool
+(** Two-valued entailment over the same syntax ([Material], [Internal] and
+    [Strong] all collapse to material implication classically), used to
+    contrast triviality with paraconsistency in tests and benches. *)
+
+val valid : formula -> bool
+(** [valid phi] = [entails [] phi]. *)
+
+val pp : Format.formatter -> formula -> unit

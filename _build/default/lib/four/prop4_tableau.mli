@@ -1,0 +1,28 @@
+(** A signed-tableau decision procedure for Belnap's four-valued
+    propositional logic (the §2.2 substrate), in the style of
+    Bloesch/Arieli–Avron signed calculi.
+
+    Four signs track the two independent information bits of a formula's
+    value: [T φ] (t ∈ v(φ)), [NT φ] (t ∉ v(φ)), [F φ] (f ∈ v(φ)) and
+    [NF φ] (f ∉ v(φ)).  A branch closes only on [T/NT] or [F/NF] conflicts
+    on the same formula — [T a] and [F a] together are satisfiable (value
+    ⊤), which is exactly the paraconsistency of the logic.
+
+    [Γ ⊨⁴ φ] is refuted by a tableau for [{T γ | γ ∈ Γ} ∪ {NT φ}]: the
+    entailment holds iff every branch closes.  Agreement with the
+    enumeration-based {!Prop4.entails} is property-tested; unlike
+    enumeration the tableau does not enumerate [4^|atoms|] valuations. *)
+
+type sign =
+  | T    (** told true *)
+  | NT   (** not told true *)
+  | F    (** told false *)
+  | NF   (** not told false *)
+
+val entails : Prop4.formula list -> Prop4.formula -> bool
+(** Tableau-based [Γ ⊨⁴ φ]. *)
+
+val valid : Prop4.formula -> bool
+
+val satisfiable : (sign * Prop4.formula) list -> bool
+(** Is there a four-valued valuation realizing all the signed formulas? *)

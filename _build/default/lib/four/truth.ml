@@ -1,0 +1,69 @@
+type t = True | False | Both | Neither
+
+let equal (a : t) (b : t) = a = b
+
+let to_int = function True -> 0 | False -> 1 | Both -> 2 | Neither -> 3
+let compare a b = Int.compare (to_int a) (to_int b)
+
+let all = [ True; False; Both; Neither ]
+
+let of_pair ~told_true ~told_false =
+  match (told_true, told_false) with
+  | true, false -> True
+  | false, true -> False
+  | true, true -> Both
+  | false, false -> Neither
+
+let told_true = function True | Both -> true | False | Neither -> false
+let told_false = function False | Both -> true | True | Neither -> false
+let designated = function True | Both -> true | False | Neither -> false
+
+let neg v =
+  of_pair ~told_true:(told_false v) ~told_false:(told_true v)
+
+let conj a b =
+  of_pair
+    ~told_true:(told_true a && told_true b)
+    ~told_false:(told_false a || told_false b)
+
+let disj a b =
+  of_pair
+    ~told_true:(told_true a || told_true b)
+    ~told_false:(told_false a && told_false b)
+
+let consensus a b =
+  of_pair
+    ~told_true:(told_true a && told_true b)
+    ~told_false:(told_false a && told_false b)
+
+let gullibility a b =
+  of_pair
+    ~told_true:(told_true a || told_true b)
+    ~told_false:(told_false a || told_false b)
+
+(* a ≤t b iff told-true(a) ⊆ told-true(b) and told-false(b) ⊆ told-false(a). *)
+let leq_t a b =
+  (not (told_true a) || told_true b)
+  && (not (told_false b) || told_false a)
+
+(* a ≤k b iff both information sets grow. *)
+let leq_k a b =
+  (not (told_true a) || told_true b)
+  && (not (told_false a) || told_false b)
+
+let material_implication a b = disj (neg a) b
+let internal_implication a b = if designated a then b else True
+
+let strong_implication a b =
+  conj (internal_implication a b) (internal_implication (neg b) (neg a))
+
+let strong_equivalence a b =
+  conj (strong_implication a b) (strong_implication b a)
+
+let to_string = function
+  | True -> "t"
+  | False -> "f"
+  | Both -> "TOP"
+  | Neither -> "BOT"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

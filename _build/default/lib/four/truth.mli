@@ -1,0 +1,80 @@
+(** Belnap's four truth values and the algebra of the logic [FOUR] (paper §2.2).
+
+    The four values are the elements of the smallest non-trivial bilattice:
+    [True] = {t}, [False] = {f}, [Both] = {t,f} (contradiction, written ⊤ in
+    the paper) and [Neither] = {} (lack of information, written ⊥).  Two
+    partial orders structure them: the truth order [leq_t]
+    (False ≤ Both/Neither ≤ True) and the knowledge order [leq_k]
+    (Neither ≤ True/False ≤ Both). *)
+
+type t =
+  | True     (** {t} — told true, not told false *)
+  | False    (** {f} — told false, not told true *)
+  | Both     (** {t,f} — contradictory information (⊤) *)
+  | Neither  (** {} — no information (⊥) *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val all : t list
+(** The four values, in a fixed order ([True; False; Both; Neither]). *)
+
+val of_pair : told_true:bool -> told_false:bool -> t
+(** Build a value from its two information bits. *)
+
+val told_true : t -> bool
+(** [told_true v] iff t ∈ v, i.e. [v] is [True] or [Both]. *)
+
+val told_false : t -> bool
+(** [told_false v] iff f ∈ v, i.e. [v] is [False] or [Both]. *)
+
+val designated : t -> bool
+(** Membership in the designated set {t, ⊤} used for four-valued entailment. *)
+
+(** {1 Truth-order operations (the logic's connectives)} *)
+
+val neg : t -> t
+(** Belnap negation: swaps told-true and told-false; fixes [Both] and
+    [Neither]. *)
+
+val conj : t -> t -> t
+(** Meet in the truth order ≤t (the logic's ∧). *)
+
+val disj : t -> t -> t
+(** Join in the truth order ≤t (the logic's ∨). *)
+
+(** {1 Knowledge-order operations (bilattice structure)} *)
+
+val consensus : t -> t -> t
+(** Meet in the knowledge order ≤k (keep what both sources agree on). *)
+
+val gullibility : t -> t -> t
+(** Join in the knowledge order ≤k (accept everything from both sources). *)
+
+val leq_t : t -> t -> bool
+(** Truth order: [False ≤t Both ≤t True] and [False ≤t Neither ≤t True];
+    [Both] and [Neither] are incomparable. *)
+
+val leq_k : t -> t -> bool
+(** Knowledge order: [Neither ≤k True ≤k Both] and
+    [Neither ≤k False ≤k Both]; [True] and [False] are incomparable. *)
+
+(** {1 The three implications of §2.2} *)
+
+val material_implication : t -> t -> t
+(** [φ ↦ ψ  =  ¬φ ∨ ψ].  Tolerates exceptions: [Both ↦ False] is designated. *)
+
+val internal_implication : t -> t -> t
+(** [φ ⊃ ψ]: returns [ψ] when φ is designated, [True] otherwise.  This is the
+    implication matching the basic consequence relation ⊨⁴ (Proposition 1). *)
+
+val strong_implication : t -> t -> t
+(** [φ → ψ  =  (φ ⊃ ψ) ∧ (¬ψ ⊃ ¬φ)]. *)
+
+val strong_equivalence : t -> t -> t
+(** [φ ↔ ψ  =  (φ → ψ) ∧ (ψ → φ)] — the congruence of Proposition 2. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [t], [f], [TOP] (⊤) or [BOT] (⊥). *)
+
+val to_string : t -> string

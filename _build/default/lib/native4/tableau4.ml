@@ -1,0 +1,767 @@
+exception Unsupported of string
+
+(* ------------------------------------------------------------------ *)
+(* Signed concepts: the four membership bits of Definition 3. *)
+
+type sign = P | NP | N | NN
+
+module SC = struct
+  type t = sign * Concept.t
+
+  let compare (s1, c1) (s2, c2) =
+    let tag = function P -> 0 | NP -> 1 | N -> 2 | NN -> 3 in
+    let k = Int.compare (tag s1) (tag s2) in
+    if k <> 0 then k else Concept.compare c1 c2
+end
+
+module SCSet = Set.Make (SC)
+module IMap = Map.Make (Int)
+module ISet = Set.Make (Int)
+module SMap = Map.Make (String)
+module RSet = Role.Set
+
+module EMap = Map.Make (struct
+  type t = int * int
+
+  let compare (a1, b1) (a2, b2) =
+    let c = Int.compare a1 a2 in
+    if c <> 0 then c else Int.compare b1 b2
+end)
+
+let opposite = function P -> NP | NP -> P | N -> NN | NN -> N
+
+(* Sign absorption through negation: proj±(¬C) swap. *)
+let through_not = function P -> N | N -> P | NP -> NN | NN -> NP
+
+type node = {
+  slabels : SCSet.t;
+  parent : int option;
+  data_asserted : (string * Datatype.value) list;
+}
+
+type state = {
+  nodes : node IMap.t;
+  edges : RSet.t EMap.t;  (* told-positive role edges *)
+  distinct : ISet.t IMap.t;
+  names : int SMap.t;
+  next_id : int;
+}
+
+type ctx = {
+  mutable branches : int;
+  max_branches : int;
+  h : Hierarchy.t;  (* over the internal role axioms *)
+  constraints : (SC.t * SC.t) list;
+      (* each TBox inclusion as a binary disjunction of signed concepts,
+         holding at every node (Table 3):
+         internal C ⊏ D  ↝  NP C | P D
+         material C ↦ D  ↝  N C  | P D
+         strong   C → D  ↝  the internal pair plus  NN D | N C *)
+  pairwise : bool;  (* blocking mode: inverse roles present? *)
+  max_nodes : int;
+}
+
+exception Clashed
+
+(* ------------------------------------------------------------------ *)
+(* State helpers (a simplified copy of the classical engine's) *)
+
+let node st x = IMap.find x st.nodes
+let slabels st x = (node st x).slabels
+
+let edge_label st x y =
+  match EMap.find_opt (x, y) st.edges with Some s -> s | None -> RSet.empty
+
+let distinct_of st x =
+  match IMap.find_opt x st.distinct with Some s -> s | None -> ISet.empty
+
+let are_distinct st x y = ISet.mem y (distinct_of st x)
+
+let add_distinct st x y =
+  { st with
+    distinct =
+      IMap.add x
+        (ISet.add y (distinct_of st x))
+        (IMap.add y (ISet.add x (distinct_of st y)) st.distinct) }
+
+let add_slabels st x scs =
+  let n = node st x in
+  { st with
+    nodes =
+      IMap.add x
+        { n with slabels = List.fold_left (fun s sc -> SCSet.add sc s) n.slabels scs }
+        st.nodes }
+
+let new_node ctx st ~parent ~slabels:scs =
+  if st.next_id >= ctx.max_nodes then
+    raise (Tableau.Resource_limit "native4 node limit");
+  let id = st.next_id in
+  ( id,
+    { st with
+      nodes =
+        IMap.add id { slabels = SCSet.of_list scs; parent; data_asserted = [] } st.nodes;
+      next_id = id + 1 } )
+
+let add_edge st x y rs =
+  { st with edges = EMap.add (x, y) (RSet.union rs (edge_label st x y)) st.edges }
+
+let neighbour_roles st x =
+  EMap.fold
+    (fun (a, b) rs acc ->
+      if a = x && b = x then
+        RSet.fold (fun r acc -> (x, r) :: (x, Role.inv r) :: acc) rs acc
+      else if a = x then RSet.fold (fun r acc -> (b, r) :: acc) rs acc
+      else if b = x then RSet.fold (fun r acc -> (a, Role.inv r) :: acc) rs acc
+      else acc)
+    st.edges []
+
+let r_neighbours ctx st x r =
+  ISet.elements
+    (ISet.of_list
+       (List.filter_map
+          (fun (y, t) -> if Hierarchy.sub_of ctx.h t r then Some y else None)
+          (neighbour_roles st x)))
+
+(* ------------------------------------------------------------------ *)
+(* Merging (no pruning subtleties needed at native4's scale: prune the
+   source subtree like the classical engine) *)
+
+let subtree st root =
+  let rec go acc x =
+    let children =
+      IMap.fold (fun y n acc -> if n.parent = Some x then y :: acc else acc) st.nodes []
+    in
+    List.fold_left go (ISet.add x acc) children
+  in
+  go ISet.empty root
+
+let rec merge st ~src ~dst =
+  if src = dst then Some st
+  else if ISet.mem dst (subtree st src) then merge st ~src:dst ~dst:src
+  else if are_distinct st src dst then None
+  else begin
+    let doomed = ISet.remove src (subtree st src) in
+    let keep x = not (ISet.mem x doomed) in
+    let st =
+      { st with
+        nodes = IMap.filter (fun x _ -> keep x) st.nodes;
+        edges = EMap.filter (fun (a, b) _ -> keep a && keep b) st.edges;
+        distinct =
+          IMap.filter_map
+            (fun x s -> if keep x then Some (ISet.diff s doomed) else None)
+            st.distinct }
+    in
+    let nsrc = node st src and ndst = node st dst in
+    let st =
+      { st with
+        nodes =
+          IMap.add dst
+            { ndst with
+              slabels = SCSet.union ndst.slabels nsrc.slabels;
+              data_asserted = nsrc.data_asserted @ ndst.data_asserted }
+            st.nodes }
+    in
+    let st =
+      EMap.fold
+        (fun (a, b) rs st ->
+          if a = src && b = src then add_edge st dst dst rs
+          else if a = src then add_edge st dst b rs
+          else if b = src then add_edge st a dst rs
+          else st)
+        st.edges st
+    in
+    let st =
+      { st with edges = EMap.filter (fun (a, b) _ -> a <> src && b <> src) st.edges }
+    in
+    let st = ISet.fold (fun y st -> add_distinct st y dst) (distinct_of st src) st in
+    let st =
+      { st with
+        distinct = IMap.remove src st.distinct;
+        names = SMap.map (fun x -> if x = src then dst else x) st.names;
+        nodes = IMap.remove src st.nodes }
+    in
+    if are_distinct st dst dst then None else Some st
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Clash detection *)
+
+let exists_distinct_clique st k ys =
+  let rec go chosen = function
+    | [] -> List.length chosen >= k
+    | _ when List.length chosen >= k -> true
+    | y :: rest ->
+        (List.for_all (fun z -> are_distinct st y z) chosen && go (y :: chosen) rest)
+        || go chosen rest
+  in
+  go [] ys
+
+(* Upper bounds on told-positive R-neighbours carried by a label. *)
+let pos_upper_bounds ls =
+  SCSet.fold
+    (fun sc acc ->
+      match sc with
+      | NP, Concept.At_least (n, r) -> (r, n - 1) :: acc
+      | NN, Concept.At_most (n, r) -> (r, n) :: acc
+      | _ -> acc)
+    ls []
+
+(* Interval constraints on the per-(node, role) count of NON-negated
+   successors (the counterpart of the transformation's R⁼ role). *)
+let rneg_interval_clash ls =
+  let bounds =
+    SCSet.fold
+      (fun sc acc ->
+        match sc with
+        | NP, Concept.At_most (n, r) -> (r, `Lower (n + 1)) :: acc
+        | NN, Concept.At_least (n, r) -> (r, `Lower n) :: acc
+        | P, Concept.At_most (n, r) -> (r, `Upper n) :: acc
+        | N, Concept.At_least (n, r) -> (r, `Upper (n - 1)) :: acc
+        | _ -> acc)
+      ls []
+  in
+  List.exists
+    (fun (r, b) ->
+      match b with
+      | `Upper hi ->
+          (* the count is a set cardinality, implicitly ≥ 0 *)
+          hi < 0
+      | `Lower lo ->
+          List.exists
+            (fun (r', b') ->
+              match b' with
+              | `Upper hi -> Role.equal r r' && lo > hi
+              | `Lower _ -> false)
+            bounds)
+    bounds
+
+(* Signed data concepts as classical constraints on the told data edges. *)
+let data_constraints ls =
+  SCSet.fold
+    (fun sc acc ->
+      match sc with
+      | P, (Concept.Data_exists _ as c) -> c :: acc
+      | P, (Concept.Data_forall _ as c) -> c :: acc
+      | P, (Concept.Data_at_least _ as c) -> c :: acc
+      | NN, (Concept.Data_forall _ as c) -> c :: acc
+      | NN, Concept.Data_exists (u, d) -> Concept.Data_exists (u, d) :: acc
+      | NP, Concept.Data_exists (u, d) | N, Concept.Data_exists (u, d) ->
+          Concept.Data_forall (u, Datatype.Complement d) :: acc
+      | NP, Concept.Data_forall (u, d) | N, Concept.Data_forall (u, d) ->
+          Concept.Data_exists (u, Datatype.Complement d) :: acc
+      | NP, Concept.Data_at_least (n, u) -> Concept.Data_at_most (n - 1, u) :: acc
+      | N, Concept.Data_at_most (n, u) -> Concept.Data_at_least (n + 1, u) :: acc
+      | NN, Concept.Data_at_most (n, u) -> Concept.Data_at_most (n, u) :: acc
+      | _ -> acc)
+    ls []
+
+(* dneg-side interval constraints for datatype number restrictions. *)
+let dneg_interval_clash ls =
+  let bounds =
+    SCSet.fold
+      (fun sc acc ->
+        match sc with
+        | NP, Concept.Data_at_most (n, u) -> (u, `Lower (n + 1)) :: acc
+        | NN, Concept.Data_at_least (n, u) -> (u, `Lower n) :: acc
+        | P, Concept.Data_at_most (n, u) -> (u, `Upper n) :: acc
+        | N, Concept.Data_at_least (n, u) -> (u, `Upper (n - 1)) :: acc
+        | _ -> acc)
+      ls []
+  in
+  List.exists
+    (fun (u, b) ->
+      match b with
+      | `Upper hi -> hi < 0
+      | `Lower lo ->
+          List.exists
+            (fun (u', b') ->
+              match b' with
+              | `Upper hi -> String.equal u u' && lo > hi
+              | `Lower _ -> false)
+            bounds)
+    bounds
+
+let node_clash ctx st x =
+  let ls = slabels st x in
+  SCSet.exists
+    (fun (sgn, c) ->
+      SCSet.mem (opposite sgn, c) ls
+      ||
+      match (sgn, c) with
+      | P, Concept.Bottom | NN, Concept.Bottom -> true
+      | NP, Concept.Top | N, Concept.Top -> true
+      | NP, Concept.One_of os ->
+          List.exists (fun o -> SMap.find_opt o st.names = Some x) os
+      | _ -> false)
+    ls
+  || List.exists
+       (fun (r, u) ->
+         u < 0
+         ||
+         let ys = r_neighbours ctx st x r in
+         List.length ys > u && exists_distinct_clique st (u + 1) ys)
+       (pos_upper_bounds ls)
+  || rneg_interval_clash ls || dneg_interval_clash ls
+  || are_distinct st x x
+
+let any_clash ctx st = IMap.exists (fun x _ -> node_clash ctx st x) st.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Rule shapes *)
+
+(* ∀-shaped signed quantifiers: (what to add at every told R-neighbour). *)
+let universal_shape (sgn, (c : Concept.t)) =
+  match (sgn, c) with
+  | P, Forall (r, body) -> Some (r, (P, body), fun r' -> (P, Concept.Forall (r', body)))
+  | NN, Forall (r, body) -> Some (r, (NN, body), fun r' -> (NN, Concept.Forall (r', body)))
+  | NP, Exists (r, body) -> Some (r, (NP, body), fun r' -> (NP, Concept.Exists (r', body)))
+  | N, Exists (r, body) -> Some (r, (N, body), fun r' -> (N, Concept.Exists (r', body)))
+  | _ -> None
+
+(* ∃-shaped signed quantifiers: (role, signed body) to witness. *)
+let existential_shape (sgn, (c : Concept.t)) =
+  match (sgn, c) with
+  | P, Exists (r, body) -> Some (r, (P, body))
+  | NN, Exists (r, body) -> Some (r, (NN, body))
+  | NP, Forall (r, body) -> Some (r, (NP, body))
+  | N, Forall (r, body) -> Some (r, (N, body))
+  | _ -> None
+
+(* Lower bounds on told-positive successors. *)
+let pos_lower_bound (sgn, (c : Concept.t)) =
+  match (sgn, c) with
+  | P, At_least (n, r) -> Some (r, n)
+  | N, At_most (n, r) -> Some (r, n + 1)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Saturation: deterministic rules to fixpoint. *)
+
+let saturate ctx st =
+  let changed = ref true in
+  let st = ref st in
+  while !changed do
+    changed := false;
+    let add x scs =
+      let scs = List.filter (fun sc -> not (SCSet.mem sc (slabels !st x))) scs in
+      if scs <> [] then begin
+        st := add_slabels !st x scs;
+        changed := true
+      end
+    in
+    let ids = IMap.fold (fun x _ acc -> x :: acc) !st.nodes [] in
+    List.iter
+      (fun x ->
+        if IMap.mem x !st.nodes then
+          SCSet.iter
+            (fun sc ->
+              if IMap.mem x !st.nodes then begin
+                (match sc with
+                | sgn, Concept.Not c -> add x [ (through_not sgn, c) ]
+                | P, Concept.And (a, b) -> add x [ (P, a); (P, b) ]
+                | NN, Concept.And (a, b) -> add x [ (NN, a); (NN, b) ]
+                | N, Concept.Or (a, b) -> add x [ (N, a); (N, b) ]
+                | NP, Concept.Or (a, b) -> add x [ (NP, a); (NP, b) ]
+                | P, Concept.One_of [ o ] -> (
+                    match SMap.find_opt o !st.names with
+                    | Some y when y = x -> ()
+                    | Some y -> (
+                        match merge !st ~src:x ~dst:y with
+                        | Some st' ->
+                            st := st';
+                            changed := true
+                        | None -> raise Clashed)
+                    | None ->
+                        let n = node !st x in
+                        st :=
+                          { !st with
+                            nodes = IMap.add x { n with parent = None } !st.nodes;
+                            names = SMap.add o x !st.names };
+                        changed := true)
+                | NP, Concept.One_of os ->
+                    List.iter
+                      (fun o ->
+                        let st', y =
+                          match SMap.find_opt o !st.names with
+                          | Some y -> (!st, y)
+                          | None ->
+                              let y, st' = new_node ctx !st ~parent:None ~slabels:[] in
+                              ({ st' with names = SMap.add o y st'.names }, y)
+                        in
+                        st := st';
+                        if not (are_distinct !st x y) then begin
+                          st := add_distinct !st x y;
+                          changed := true
+                        end)
+                      os
+                | _ -> ());
+                (* ∀-shaped propagation with transitivity *)
+                match universal_shape sc with
+                | Some (r, body_sc, trans_sc) ->
+                    List.iter (fun y -> add y [ body_sc ]) (r_neighbours ctx !st x r);
+                    List.iter
+                      (fun r' ->
+                        List.iter
+                          (fun y -> add y [ trans_sc r' ])
+                          (r_neighbours ctx !st x r'))
+                      (Hierarchy.transitive_subs_below ctx.h r)
+                | None -> ()
+              end)
+            (slabels !st x))
+      ids
+  done;
+  !st
+
+(* ------------------------------------------------------------------ *)
+(* Blocking (full recomputation; equality or pairwise on signed labels) *)
+
+let compute_blocked ctx st =
+  let blocked = ref ISet.empty in
+  IMap.iter
+    (fun x n ->
+      match n.parent with
+      | None -> ()
+      | Some px ->
+          if ISet.mem px !blocked then blocked := ISet.add x !blocked
+          else begin
+            let lx = n.slabels in
+            let blocks y =
+              if ctx.pairwise then
+                match (node st y).parent with
+                | None -> false
+                | Some py ->
+                    SCSet.equal (slabels st y) lx
+                    && SCSet.equal (slabels st py) (slabels st px)
+                    && RSet.equal
+                         (RSet.union (edge_label st py y)
+                            (RSet.map Role.inv (edge_label st y py)))
+                         (RSet.union (edge_label st px x)
+                            (RSet.map Role.inv (edge_label st x px)))
+              else SCSet.equal (slabels st y) lx
+            in
+            let rec walk y =
+              if y <> x && (not (ISet.mem y !blocked)) && blocks y then
+                blocked := ISet.add x !blocked
+              else
+                match (node st y).parent with None -> () | Some py -> walk py
+            in
+            walk px
+          end)
+    st.nodes;
+  !blocked
+
+(* ------------------------------------------------------------------ *)
+(* Choices and generation *)
+
+type choice =
+  | Axiom_choice of int * SC.t list
+  | Merge_pairs of (int * int) list
+  | Nominal_pick of int * string list
+
+let find_choice ctx st =
+  let found = ref None in
+  (try
+     IMap.iter
+       (fun x n ->
+         (* signed disjunction-shaped concepts *)
+         SCSet.iter
+           (fun sc ->
+             let branches =
+               match sc with
+               | NP, Concept.And (a, b) -> Some [ (NP, a); (NP, b) ]
+               | N, Concept.And (a, b) -> Some [ (N, a); (N, b) ]
+               | P, Concept.Or (a, b) -> Some [ (P, a); (P, b) ]
+               | NN, Concept.Or (a, b) -> Some [ (NN, a); (NN, b) ]
+               | _ -> None
+             in
+             (match branches with
+             | Some alts when not (List.exists (fun alt -> SCSet.mem alt n.slabels) alts)
+               ->
+                 found := Some (Axiom_choice (x, alts));
+                 raise Exit
+             | _ -> ());
+             (* nominal disjunction *)
+             match sc with
+             | P, Concept.One_of (_ :: _ :: _ as os) ->
+                 if not (List.exists (fun o -> SMap.find_opt o st.names = Some x) os)
+                 then begin
+                   found := Some (Nominal_pick (x, os));
+                   raise Exit
+                 end
+             | _ -> ())
+           n.slabels;
+         (* TBox inclusion branching *)
+         List.iter
+           (fun (sc1, sc2) ->
+             if not (SCSet.mem sc1 n.slabels || SCSet.mem sc2 n.slabels) then begin
+               found := Some (Axiom_choice (x, [ sc1; sc2 ]));
+               raise Exit
+             end)
+           ctx.constraints;
+         (* ≤-style merging on told successors *)
+         List.iter
+           (fun (r, u) ->
+             if u >= 0 then
+               let ys = r_neighbours ctx st x r in
+               if List.length ys > u then begin
+                 let pairs = ref [] in
+                 List.iteri
+                   (fun i y ->
+                     List.iteri
+                       (fun j z ->
+                         if i < j && not (are_distinct st y z) then
+                           let src, dst = if y > z then (y, z) else (z, y) in
+                           pairs := (src, dst) :: !pairs)
+                       ys)
+                   ys;
+                 if !pairs <> [] then begin
+                   found := Some (Merge_pairs !pairs);
+                   raise Exit
+                 end
+               end)
+           (pos_upper_bounds n.slabels))
+       st.nodes
+   with Exit -> ());
+  !found
+
+let find_generating ctx st =
+  let blocked = compute_blocked ctx st in
+  let result = ref None in
+  (try
+     IMap.iter
+       (fun x n ->
+         if not (ISet.mem x blocked) then
+           SCSet.iter
+             (fun sc ->
+               (match existential_shape sc with
+               | Some (r, body_sc) ->
+                   let witnessed =
+                     List.exists
+                       (fun y -> SCSet.mem body_sc (slabels st y))
+                       (r_neighbours ctx st x r)
+                   in
+                   if not witnessed then begin
+                     result :=
+                       Some
+                         (fun st ->
+                           let y, st = new_node ctx st ~parent:(Some x) ~slabels:[ body_sc ] in
+                           add_edge st x y (RSet.singleton r));
+                     raise Exit
+                   end
+               | None -> ());
+               match pos_lower_bound sc with
+               | Some (r, k) ->
+                   if not (exists_distinct_clique st k (r_neighbours ctx st x r))
+                   then begin
+                     result :=
+                       Some
+                         (fun st ->
+                           let rec go st created i =
+                             if i = 0 then st
+                             else
+                               let y, st = new_node ctx st ~parent:(Some x) ~slabels:[] in
+                               let st = add_edge st x y (RSet.singleton r) in
+                               let st =
+                                 List.fold_left (fun st z -> add_distinct st y z) st created
+                               in
+                               go st (y :: created) (i - 1)
+                           in
+                           go st [] k);
+                     raise Exit
+                   end
+               | None -> ())
+             n.slabels)
+       st.nodes
+   with Exit -> ());
+  !result
+
+let data_ok ctx st =
+  IMap.for_all
+    (fun _ n ->
+      Datacheck.satisfiable
+        ~data_supers:(Hierarchy.data_supers ctx.h)
+        ~asserted:n.data_asserted
+        ~constraints:(data_constraints n.slabels))
+    st.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Expansion *)
+
+let rec expand ctx st =
+  match saturate ctx st with
+  | exception Clashed -> false
+  | st ->
+      if any_clash ctx st then false
+      else begin
+        ctx.branches <- ctx.branches + 1;
+        if ctx.branches > ctx.max_branches then
+          raise (Tableau.Resource_limit "native4 branch limit");
+        match find_choice ctx st with
+        | Some (Axiom_choice (x, alts)) ->
+            List.exists (fun sc -> expand ctx (add_slabels st x [ sc ])) alts
+        | Some (Merge_pairs pairs) ->
+            List.exists
+              (fun (src, dst) ->
+                match merge st ~src ~dst with
+                | Some st' -> expand ctx st'
+                | None -> false)
+              pairs
+        | Some (Nominal_pick (x, os)) ->
+            List.exists
+              (fun o -> expand ctx (add_slabels st x [ (P, Concept.One_of [ o ]) ]))
+              os
+        | None -> (
+            match find_generating ctx st with
+            | Some apply -> expand ctx (apply st)
+            | None -> data_ok ctx st)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Public interface *)
+
+type t = { ctx : ctx; base : state }
+
+let create ?(max_nodes = 20_000) ?(max_branches = max_int) (kb : Kb4.t) =
+  (* role axioms: internal inclusions and transitivity feed the hierarchy;
+     the rneg-side role axioms are not supported natively *)
+  let classical_role_axioms =
+    List.filter_map
+      (fun ax ->
+        match (ax : Kb4.tbox_axiom) with
+        | Kb4.Role_inclusion (Kb4.Internal, r, s) -> Some (Axiom.Role_sub (r, s))
+        | Kb4.Data_role_inclusion (Kb4.Internal, u, v) ->
+            Some (Axiom.Data_role_sub (u, v))
+        | Kb4.Transitive r -> Some (Axiom.Transitive r)
+        | Kb4.Role_inclusion ((Kb4.Material | Kb4.Strong), _, _)
+        | Kb4.Data_role_inclusion ((Kb4.Material | Kb4.Strong), _, _) ->
+            raise
+              (Unsupported
+                 "material/strong role inclusions: use the transformation \
+                  pipeline (Para)")
+        | Kb4.Concept_inclusion _ -> None)
+      kb.tbox
+  in
+  (* each concept inclusion as binary signed disjunctions (Table 3) *)
+  let constraints =
+    List.concat_map
+      (fun ax ->
+        match (ax : Kb4.tbox_axiom) with
+        | Kb4.Concept_inclusion (Kb4.Internal, c, d) -> [ ((NP, c), (P, d)) ]
+        | Kb4.Concept_inclusion (Kb4.Material, c, d) -> [ ((N, c), (P, d)) ]
+        | Kb4.Concept_inclusion (Kb4.Strong, c, d) ->
+            [ ((NP, c), (P, d)); ((NN, d), (N, c)) ]
+        | _ -> [])
+      kb.tbox
+  in
+  let uses_inverse =
+    let concept_has_inv c =
+      List.exists
+        (fun (sub : Concept.t) ->
+          match sub with
+          | Exists (Role.Inv _, _) | Forall (Role.Inv _, _)
+          | At_least (_, Role.Inv _) | At_most (_, Role.Inv _) ->
+              true
+          | _ -> false)
+        (Concept.subconcepts c)
+    in
+    List.exists
+      (fun ((_, c), (_, d)) -> concept_has_inv c || concept_has_inv d)
+      constraints
+    || List.exists
+         (function
+           | Axiom.Role_sub (r, s) -> Role.is_inverse r || Role.is_inverse s
+           | _ -> false)
+         classical_role_axioms
+    || List.exists
+         (function
+           | Axiom.Instance_of (_, c) -> concept_has_inv c
+           | Axiom.Role_assertion (_, r, _) -> Role.is_inverse r
+           | _ -> false)
+         kb.abox
+  in
+  let ctx =
+    { branches = 0;
+      max_branches;
+      h = Hierarchy.build classical_role_axioms;
+      constraints;
+      pairwise = uses_inverse;
+      max_nodes }
+  in
+  let st =
+    { nodes = IMap.empty;
+      edges = EMap.empty;
+      distinct = IMap.empty;
+      names = SMap.empty;
+      next_id = 0 }
+  in
+  let get_node st a =
+    match SMap.find_opt a st.names with
+    | Some x -> (x, st)
+    | None ->
+        let x, st = new_node ctx st ~parent:None ~slabels:[] in
+        (x, { st with names = SMap.add a x st.names })
+  in
+  let st =
+    List.fold_left
+      (fun st ax ->
+        match (ax : Axiom.abox_axiom) with
+        | Instance_of (a, c) ->
+            let x, st = get_node st a in
+            add_slabels st x [ (P, c) ]
+        | Role_assertion (a, r, b) ->
+            let x, st = get_node st a in
+            let y, st = get_node st b in
+            let x, y, r =
+              match r with Role.Inv s -> (y, x, Role.Name s) | _ -> (x, y, r)
+            in
+            add_edge st x y (RSet.singleton r)
+        | Data_assertion (a, u, v) ->
+            let x, st = get_node st a in
+            let n = node st x in
+            { st with
+              nodes =
+                IMap.add x
+                  { n with data_asserted = (u, v) :: n.data_asserted }
+                  st.nodes }
+        | Same (a, b) ->
+            let x, st = get_node st a in
+            let y, st = get_node st b in
+            (match merge st ~src:y ~dst:x with
+            | Some st -> st
+            | None -> raise Clashed)
+        | Different (a, b) ->
+            let x, st = get_node st a in
+            let y, st = get_node st b in
+            add_distinct st x y)
+      st kb.abox
+  in
+  let st =
+    if IMap.is_empty st.nodes then snd (new_node ctx st ~parent:None ~slabels:[])
+    else st
+  in
+  { ctx; base = st }
+
+let run t extra =
+  t.ctx.branches <- 0;
+  let st =
+    List.fold_left
+      (fun st (a, sc) ->
+        match SMap.find_opt a st.names with
+        | Some x -> add_slabels st x [ sc ]
+        | None ->
+            (* fresh individual: a root node *)
+            let x, st =
+              new_node t.ctx st ~parent:None ~slabels:[ sc ]
+            in
+            { st with names = SMap.add a x st.names })
+      t.base extra
+  in
+  match expand t.ctx st with b -> b | exception Clashed -> false
+
+let satisfiable t = run t []
+let entails_instance t a c = not (run t [ (a, (NP, c)) ])
+let entails_not_instance t a c = not (run t [ (a, (NN, c)) ])
+
+let instance_truth t a c =
+  Truth.of_pair ~told_true:(entails_instance t a c)
+    ~told_false:(entails_not_instance t a c)

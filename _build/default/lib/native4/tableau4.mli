@@ -1,0 +1,48 @@
+(** A {e native} four-valued tableau for [SHOIN(D)4] — deciding the paper's
+    reasoning problems directly on Table 2/3 semantics, without the
+    detour through the classical transformation.
+
+    The paper argues (§4, §5) that the transformation makes a dedicated
+    calculus unnecessary.  This module is the ablation for that claim: a
+    direct calculus whose node labels carry {e signed} concepts recording
+    the four membership bits independently —
+
+    - [P C]:  x ∈ proj⁺(Cᴵ)      (told member)
+    - [NP C]: x ∉ proj⁺(Cᴵ)
+    - [N C]:  x ∈ proj⁻(Cᴵ)      (told non-member)
+    - [NN C]: x ∉ proj⁻(Cᴵ)
+
+    A branch closes only on [P/NP] or [N/NN] conflicts on the same concept;
+    [P C] and [N C] coexist (value ⊤).  Graph edges carry told-positive
+    role memberships; the negative role parts never create edges — the
+    number-restriction bits that count non-negated successors reduce to
+    interval constraints checked per node (the counterpart of the
+    transformation's [R⁼] roles).
+
+    Differential testing against the transformation pipeline ({!Para}) on
+    random knowledge bases is the executable form of Theorem 6; the
+    evaluation harness compares the two engines' costs.
+
+    Supported fragment: everything except material/strong {e role}
+    inclusions (their [rneg]-side constraints are only implemented in the
+    transformation path); {!Unsupported} is raised on those. *)
+
+exception Unsupported of string
+
+type t
+
+val create : ?max_nodes:int -> ?max_branches:int -> Kb4.t -> t
+(** Resource budgets as in {!Tableau}: {!Tableau.Resource_limit} is raised
+    when exceeded. *)
+
+val satisfiable : t -> bool
+(** Four-valued KB satisfiability, decided natively. *)
+
+val entails_instance : t -> string -> Concept.t -> bool
+(** [K ⊨⁴ C(a)], via unsatisfiability of [K] plus the signed assertion
+    [NP C] at [a]. *)
+
+val entails_not_instance : t -> string -> Concept.t -> bool
+(** [K ⊨⁴ ¬C(a)], via the signed assertion [NN C] at [a]. *)
+
+val instance_truth : t -> string -> Concept.t -> Truth.t

@@ -1,0 +1,1 @@
+lib/owl/owl.ml: Axiom Concept Datatype Hierarchy List Reasoner Role Transform

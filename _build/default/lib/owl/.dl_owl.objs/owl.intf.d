@@ -1,0 +1,1 @@
+lib/owl/owl.mli: Axiom Kb4 Reasoner

@@ -1,0 +1,1 @@
+lib/owl/owl_functional.ml: Array Axiom Buffer Concept Datatype Either Format List Printf Role String

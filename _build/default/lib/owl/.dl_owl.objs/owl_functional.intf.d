@@ -1,0 +1,1 @@
+lib/owl/owl_functional.mli: Axiom Format

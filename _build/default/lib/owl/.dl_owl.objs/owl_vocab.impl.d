@@ -1,0 +1,1 @@
+lib/owl/owl_vocab.ml: Axiom Concept Role

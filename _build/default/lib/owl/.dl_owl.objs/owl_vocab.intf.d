@@ -1,0 +1,1 @@
+lib/owl/owl_vocab.mli: Axiom Concept Datatype Role

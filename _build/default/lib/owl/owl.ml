@@ -1,0 +1,38 @@
+let tbox_axiom_entailed reasoner = function
+  | Axiom.Concept_sub (c, d) -> Reasoner.subsumes reasoner c d
+  | Axiom.Role_sub (r, s) ->
+      (not (Reasoner.is_consistent reasoner))
+      ||
+      let h = Hierarchy.build (Reasoner.kb reasoner).Axiom.tbox in
+      Hierarchy.sub_of h r s
+  | Axiom.Data_role_sub (u, v) ->
+      (not (Reasoner.is_consistent reasoner))
+      ||
+      let h = Hierarchy.build (Reasoner.kb reasoner).Axiom.tbox in
+      List.mem v (Hierarchy.data_supers h u)
+  | Axiom.Transitive r ->
+      (not (Reasoner.is_consistent reasoner))
+      ||
+      let h = Hierarchy.build (Reasoner.kb reasoner).Axiom.tbox in
+      Hierarchy.transitive h (Role.Name r)
+
+let abox_axiom_entailed reasoner = function
+  | Axiom.Instance_of (a, c) -> Reasoner.instance_of reasoner a c
+  | Axiom.Role_assertion (a, r, b) -> Reasoner.role_entailed reasoner a r b
+  | Axiom.Data_assertion (a, u, v) ->
+      (* U(a,v) entailed iff adding a:∀U.¬{v} is inconsistent *)
+      not
+        (Reasoner.consistent_with reasoner
+           [ Axiom.Instance_of
+               ( a,
+                 Concept.Data_forall
+                   (u, Datatype.Complement (Datatype.One_of [ v ])) ) ])
+  | Axiom.Same (a, b) -> Reasoner.same_entailed reasoner a b
+  | Axiom.Different (a, b) -> Reasoner.different_entailed reasoner a b
+
+let entails o1 o2 =
+  let reasoner = Reasoner.create o1 in
+  List.for_all (tbox_axiom_entailed reasoner) o2.Axiom.tbox
+  && List.for_all (abox_axiom_entailed reasoner) o2.Axiom.abox
+
+let entails4 o1 o2 = entails (Transform.kb o1) (Transform.kb o2)

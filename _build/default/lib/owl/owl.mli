@@ -1,0 +1,25 @@
+(** OWL-DL-style ontology entailment.
+
+    §2.1 of the paper: "the main semantic relationship for OWL DL is
+    entailment between pairs of OWL ontologies.  An ontology O₁ entails an
+    ontology O₂ iff all interpretations that satisfy O₁ also satisfy O₂",
+    and OWL DL entailment transforms into [SHOIN(D)] KB (un)satisfiability
+    (Horrocks & Patel-Schneider 2004).  This module implements that
+    reduction axiom by axiom, and its four-valued counterpart through the
+    paper's transformation.
+
+    Caveat: role-inclusion and transitivity axioms are checked against the
+    syntactic role-hierarchy closure (plus the trivial case of an
+    inconsistent premise ontology); this is how deployed OWL reasoners of
+    the era answered role entailment, and is complete except for roles
+    forced semantically empty. *)
+
+val tbox_axiom_entailed : Reasoner.t -> Axiom.tbox_axiom -> bool
+val abox_axiom_entailed : Reasoner.t -> Axiom.abox_axiom -> bool
+
+val entails : Axiom.kb -> Axiom.kb -> bool
+(** [entails o1 o2] — classical OWL DL entailment [O₁ ⊨ O₂]. *)
+
+val entails4 : Kb4.t -> Kb4.t -> bool
+(** Four-valued ontology entailment [O₁ ⊨⁴ O₂], decided classically over
+    the induced KBs (Theorem 6): [O₁ ⊨⁴ O₂] iff [Ō₁ ⊨ Ō₂]. *)

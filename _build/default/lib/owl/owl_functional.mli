@@ -1,0 +1,41 @@
+(** Reader and writer for (a subset of) the OWL 2 functional-style syntax,
+    covering the OWL DL constructs that map onto [SHOIN(D)] (Table 1 of the
+    paper).
+
+    Supported axioms: [SubClassOf], [EquivalentClasses], [DisjointClasses],
+    [SubObjectPropertyOf], [TransitiveObjectProperty],
+    [SubDataPropertyOf], [ClassAssertion], [ObjectPropertyAssertion],
+    [NegativeObjectPropertyAssertion] (encoded as [a : ∀R.¬{b}]),
+    [DataPropertyAssertion], [SameIndividual], [DifferentIndividuals];
+    [Declaration]s and [Prefix]/[Import] lines are accepted and ignored.
+
+    Class expressions: [owl:Thing], [owl:Nothing],
+    [ObjectIntersectionOf], [ObjectUnionOf], [ObjectComplementOf],
+    [ObjectOneOf], [ObjectSomeValuesFrom], [ObjectAllValuesFrom],
+    [ObjectMinCardinality], [ObjectMaxCardinality],
+    [ObjectExactCardinality], [ObjectHasValue] (as [∃R.{a}]),
+    [ObjectInverseOf]; data ranges: [xsd:integer], [xsd:string],
+    [xsd:boolean], [rdfs:Literal], [DataOneOf], [DataComplementOf] and
+    [DatatypeRestriction] with [xsd:minInclusive]/[xsd:maxInclusive]
+    facets; literals ["lex"^^xsd:type] (plain strings default to
+    [xsd:string]).
+
+    Entity IRIs keep their prefixed form verbatim ([:A] is read as the name
+    [A]; [pre:A] stays [pre:A]); full IRIs in angle brackets are reduced to
+    their fragment.  The writer emits the same subset, so ontologies
+    round-trip. *)
+
+type error = { message : string; offset : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_ontology : string -> (Axiom.kb, error) result
+(** Accepts either a bare sequence of axioms or an
+    [Ontology(<iri> … )] wrapper (with optional [Prefix] declarations
+    before it). *)
+
+val parse_ontology_exn : string -> Axiom.kb
+
+val to_functional : ?ontology_iri:string -> Axiom.kb -> string
+(** Serialize as a functional-syntax document (with [Ontology(...)]
+    wrapper). *)

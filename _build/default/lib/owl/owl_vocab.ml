@@ -1,0 +1,38 @@
+let thing = Concept.Top
+let nothing = Concept.Bottom
+let owl_class name = Concept.Atom name
+let object_property name = Role.name name
+let inverse_of = Role.inv
+
+let object_intersection_of = Concept.conj
+let object_union_of = Concept.disj
+let object_complement_of = Concept.neg
+let object_one_of os = Concept.One_of os
+let object_some_values_from r c = Concept.Exists (r, c)
+let object_all_values_from r c = Concept.Forall (r, c)
+let object_min_cardinality n r = Concept.At_least (n, r)
+let object_max_cardinality n r = Concept.At_most (n, r)
+
+let object_exact_cardinality n r =
+  Concept.And (Concept.At_least (n, r), Concept.At_most (n, r))
+
+let data_some_values_from u d = Concept.Data_exists (u, d)
+let data_all_values_from u d = Concept.Data_forall (u, d)
+let data_min_cardinality n u = Concept.Data_at_least (n, u)
+let data_max_cardinality n u = Concept.Data_at_most (n, u)
+
+let sub_class_of c d = Axiom.Concept_sub (c, d)
+let equivalent_classes = Axiom.concept_equiv
+let disjoint_classes = Axiom.disjoint
+let sub_object_property_of r s = Axiom.Role_sub (r, s)
+let transitive_object_property r = Axiom.Transitive r
+
+let class_assertion c a = Axiom.Instance_of (a, c)
+let object_property_assertion r a b = Axiom.Role_assertion (a, r, b)
+
+let negative_object_property_assertion r a b =
+  Axiom.Instance_of (a, Concept.Forall (r, Concept.Not (Concept.One_of [ b ])))
+
+let data_property_assertion u a v = Axiom.Data_assertion (a, u, v)
+let same_individual a b = Axiom.Same (a, b)
+let different_individuals a b = Axiom.Different (a, b)

@@ -1,0 +1,44 @@
+(** OWL-flavoured constructors — a thin sugar layer mapping the OWL abstract
+    syntax (functional-style names) onto the [SHOIN(D)] AST, for users coming
+    from OWL tooling.  Purely syntactic; see the OWL-to-[SHOIN(D)]
+    correspondence in Table 1 of the paper. *)
+
+val thing : Concept.t                     (* owl:Thing *)
+val nothing : Concept.t                   (* owl:Nothing *)
+
+val owl_class : string -> Concept.t
+val object_property : string -> Role.t
+val inverse_of : Role.t -> Role.t
+
+val object_intersection_of : Concept.t list -> Concept.t
+val object_union_of : Concept.t list -> Concept.t
+val object_complement_of : Concept.t -> Concept.t
+val object_one_of : string list -> Concept.t
+val object_some_values_from : Role.t -> Concept.t -> Concept.t
+val object_all_values_from : Role.t -> Concept.t -> Concept.t
+val object_min_cardinality : int -> Role.t -> Concept.t
+val object_max_cardinality : int -> Role.t -> Concept.t
+
+val object_exact_cardinality : int -> Role.t -> Concept.t
+(** [≥n.R ⊓ ≤n.R]. *)
+
+val data_some_values_from : string -> Datatype.t -> Concept.t
+val data_all_values_from : string -> Datatype.t -> Concept.t
+val data_min_cardinality : int -> string -> Concept.t
+val data_max_cardinality : int -> string -> Concept.t
+
+val sub_class_of : Concept.t -> Concept.t -> Axiom.tbox_axiom
+val equivalent_classes : Concept.t -> Concept.t -> Axiom.tbox_axiom list
+val disjoint_classes : Concept.t -> Concept.t -> Axiom.tbox_axiom
+val sub_object_property_of : Role.t -> Role.t -> Axiom.tbox_axiom
+val transitive_object_property : string -> Axiom.tbox_axiom
+
+val class_assertion : Concept.t -> string -> Axiom.abox_axiom
+val object_property_assertion : Role.t -> string -> string -> Axiom.abox_axiom
+val negative_object_property_assertion :
+  Role.t -> string -> string -> Axiom.abox_axiom
+(** Encoded as [a : ∀R.¬{b}] per the usual OWL-DL reduction. *)
+
+val data_property_assertion : string -> string -> Datatype.value -> Axiom.abox_axiom
+val same_individual : string -> string -> Axiom.abox_axiom
+val different_individuals : string -> string -> Axiom.abox_axiom

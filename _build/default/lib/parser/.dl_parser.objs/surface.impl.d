@@ -1,0 +1,1 @@
+lib/parser/surface.ml: Array Axiom Concept Datatype Format Kb4 List Role Surface_lexer

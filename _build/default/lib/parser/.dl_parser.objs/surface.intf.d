@@ -1,0 +1,1 @@
+lib/parser/surface.mli: Axiom Concept Format Kb4

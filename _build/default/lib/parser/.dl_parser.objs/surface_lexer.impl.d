@@ -1,0 +1,1 @@
+lib/parser/surface_lexer.ml: Array Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/parser/surface_lexer.mli: Format

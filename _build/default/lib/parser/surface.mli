@@ -1,0 +1,48 @@
+(** Parser and printer for the dl4 surface syntax.
+
+    A knowledge base is a sequence of statements, each terminated by [.]:
+
+    {v
+    # TBox
+    Penguin < Bird.                      # internal inclusion (⊏)
+    Bird & some hasWing.Wing |-> Fly.    # material inclusion (↦)
+    Penguin -> ~Fly.                     # strong inclusion (→)
+    C << D.                              # classical inclusion (⊑, classical KBs)
+    role r < s.     role r |-> s.        # role inclusions
+    datarole u < v.
+    transitive r.
+
+    # ABox
+    tweety : Penguin & Bird.
+    hasWing(tweety, w).
+    age(smith, 42).                      # data assertion (value literal)
+    a = b.     a != b.
+    v}
+
+    Concepts: [Top], [Bottom], atomic names, [~C], [C & D], [C | D],
+    [{o1, o2}], [some r.C], [only r.C], [>= 2 r], [<= 1 r^-],
+    [some u:int[0..10]], [only u:string], [>= 2 data u].
+    Datatypes: [integer], [string], [boolean], [anyValue], [noValue],
+    [int[lo..hi]] ([*] = unbounded), [{1, "a", true}], [not(D)].
+
+    Parsers for four-valued KBs ([parse_kb4]; inclusion operators [<],
+    [|->], [->]) and classical KBs ([parse_kb]; operator [<<]) are separate
+    entry points over the same grammar.  The printers in {!Axiom} / {!Kb4}
+    emit exactly this syntax, so printing round-trips. *)
+
+type error = { message : string; offset : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_kb4 : string -> (Kb4.t, error) result
+val parse_kb : string -> (Axiom.kb, error) result
+val parse_concept : string -> (Concept.t, error) result
+
+val parse_kb4_exn : string -> Kb4.t
+(** @raise Failure with a rendered error. *)
+
+val parse_kb_exn : string -> Axiom.kb
+val parse_concept_exn : string -> Concept.t
+
+val kb4_to_string : Kb4.t -> string
+val kb_to_string : Axiom.kb -> string

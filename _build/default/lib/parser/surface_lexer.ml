@@ -1,0 +1,236 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | DOT
+  | DOTDOT
+  | COMMA
+  | COLON
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | AMP
+  | PIPE
+  | TILDE
+  | STAR
+  | GEQ
+  | LEQ
+  | LT
+  | SUBSUMED
+  | MATERIAL
+  | STRONG
+  | EQUALS
+  | NEQ
+  | INVSUF
+  | KW_SOME
+  | KW_ONLY
+  | KW_NOT
+  | KW_TOP
+  | KW_BOTTOM
+  | KW_TRANSITIVE
+  | KW_ROLE
+  | KW_DATAROLE
+  | KW_DATA
+  | KW_INT
+  | KW_INTEGER
+  | KW_STRING
+  | KW_BOOLEAN
+  | KW_ANYVALUE
+  | KW_NOVALUE
+  | KW_TRUE
+  | KW_FALSE
+  | EOF
+
+exception Lex_error of string * int
+
+let keyword = function
+  | "some" -> Some KW_SOME
+  | "only" -> Some KW_ONLY
+  | "not" -> Some KW_NOT
+  | "Top" -> Some KW_TOP
+  | "Bottom" -> Some KW_BOTTOM
+  | "transitive" -> Some KW_TRANSITIVE
+  | "role" -> Some KW_ROLE
+  | "datarole" -> Some KW_DATAROLE
+  | "data" -> Some KW_DATA
+  | "int" -> Some KW_INT
+  | "integer" -> Some KW_INTEGER
+  | "string" -> Some KW_STRING
+  | "boolean" -> Some KW_BOOLEAN
+  | "anyValue" -> Some KW_ANYVALUE
+  | "noValue" -> Some KW_NOVALUE
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t pos = toks := (t, pos) :: !toks in
+  let peek i = if i < n then Some src.[i] else None in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      (* absorb one trailing mangling mark if directly attached and not the
+         start of an operator or another word *)
+      (match peek !j with
+      | Some ('+' | '-' | '=') ->
+          let mark = src.[!j] in
+          let after = peek (!j + 1) in
+          let blocks =
+            match (mark, after) with
+            | '-', Some '>' -> true (* A-> is A STRONG *)
+            | _, Some c when is_ident_char c -> true (* a=b, a-b *)
+            | _ -> false
+          in
+          if not blocks then incr j
+      | _ -> ());
+      let word = String.sub src !i (!j - !i) in
+      (match keyword word with
+      | Some kw -> emit kw start
+      | None -> emit (IDENT word) start);
+      i := !j
+    end
+    else if is_digit c || (c = '-' && (match peek (!i + 1) with Some d -> is_digit d | None -> false)) then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      emit (INT (int_of_string (String.sub src !i (!j - !i)))) start;
+      i := !j
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      let closed = ref false in
+      while (not !closed) && !j < n do
+        (match src.[!j] with
+        | '"' -> closed := true
+        | '\\' when !j + 1 < n ->
+            incr j;
+            (* the printer emits OCaml-style escapes (%S) *)
+            Buffer.add_char buf
+              (match src.[!j] with
+              | 'n' -> '\n'
+              | 't' -> '\t'
+              | 'r' -> '\r'
+              | c -> c)
+        | ch -> Buffer.add_char buf ch);
+        incr j
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", start));
+      emit (STRING (Buffer.contents buf)) start;
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      let adv t k =
+        emit t start;
+        i := !i + k
+      in
+      match c with
+      | '.' -> if two = ".." then adv DOTDOT 2 else adv DOT 1
+      | ',' -> adv COMMA 1
+      | ':' -> adv COLON 1
+      | '(' -> adv LPAREN 1
+      | ')' -> adv RPAREN 1
+      | '{' -> adv LBRACE 1
+      | '}' -> adv RBRACE 1
+      | '[' -> adv LBRACKET 1
+      | ']' -> adv RBRACKET 1
+      | '&' -> adv AMP 1
+      | '~' -> adv TILDE 1
+      | '*' -> adv STAR 1
+      | '|' -> if three = "|->" then adv MATERIAL 3 else adv PIPE 1
+      | '>' ->
+          if two = ">=" then adv GEQ 2
+          else raise (Lex_error ("unexpected '>'", start))
+      | '<' ->
+          if two = "<<" then adv SUBSUMED 2
+          else if two = "<=" then adv LEQ 2
+          else adv LT 1
+      | '-' ->
+          if two = "->" then adv STRONG 2
+          else raise (Lex_error ("unexpected '-'", start))
+      | '=' -> adv EQUALS 1
+      | '!' ->
+          if two = "!=" then adv NEQ 2
+          else raise (Lex_error ("unexpected '!'", start))
+      | '^' ->
+          if two = "^-" then adv INVSUF 2
+          else raise (Lex_error ("unexpected '^'", start))
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, start))
+    end
+  done;
+  emit EOF n;
+  Array.of_list (List.rev !toks)
+
+let pp_token ppf t =
+  let s =
+    match t with
+    | IDENT s -> Printf.sprintf "identifier %S" s
+    | INT n -> Printf.sprintf "integer %d" n
+    | STRING s -> Printf.sprintf "string %S" s
+    | DOT -> "'.'"
+    | DOTDOT -> "'..'"
+    | COMMA -> "','"
+    | COLON -> "':'"
+    | LPAREN -> "'('"
+    | RPAREN -> "')'"
+    | LBRACE -> "'{'"
+    | RBRACE -> "'}'"
+    | LBRACKET -> "'['"
+    | RBRACKET -> "']'"
+    | AMP -> "'&'"
+    | PIPE -> "'|'"
+    | TILDE -> "'~'"
+    | STAR -> "'*'"
+    | GEQ -> "'>='"
+    | LEQ -> "'<='"
+    | LT -> "'<'"
+    | SUBSUMED -> "'<<'"
+    | MATERIAL -> "'|->'"
+    | STRONG -> "'->'"
+    | EQUALS -> "'='"
+    | NEQ -> "'!='"
+    | INVSUF -> "'^-'"
+    | KW_SOME -> "'some'"
+    | KW_ONLY -> "'only'"
+    | KW_NOT -> "'not'"
+    | KW_TOP -> "'Top'"
+    | KW_BOTTOM -> "'Bottom'"
+    | KW_TRANSITIVE -> "'transitive'"
+    | KW_ROLE -> "'role'"
+    | KW_DATAROLE -> "'datarole'"
+    | KW_DATA -> "'data'"
+    | KW_INT -> "'int'"
+    | KW_INTEGER -> "'integer'"
+    | KW_STRING -> "'string'"
+    | KW_BOOLEAN -> "'boolean'"
+    | KW_ANYVALUE -> "'anyValue'"
+    | KW_NOVALUE -> "'noValue'"
+    | KW_TRUE -> "'true'"
+    | KW_FALSE -> "'false'"
+    | EOF -> "end of input"
+  in
+  Format.pp_print_string ppf s

@@ -1,0 +1,62 @@
+(** Lexer for the dl4 surface syntax (see {!Surface} for the grammar).
+
+    Identifiers are [[A-Za-z_][A-Za-z0-9_]*], optionally absorbing one
+    trailing [+], [-] or [=] when it is immediately attached and not part of
+    an operator — this lets the printed, name-mangled output of the
+    transformation ([Bird-], [hasWing+], [hasChild=]) be parsed back. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | DOT            (* . *)
+  | DOTDOT         (* .. *)
+  | COMMA
+  | COLON
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | AMP            (* & *)
+  | PIPE           (* | *)
+  | TILDE          (* ~ *)
+  | STAR           (* * *)
+  | GEQ            (* >= *)
+  | LEQ            (* <= *)
+  | LT             (* <  : internal inclusion *)
+  | SUBSUMED       (* << : classical inclusion *)
+  | MATERIAL       (* |-> *)
+  | STRONG         (* -> *)
+  | EQUALS         (* = *)
+  | NEQ            (* != *)
+  | INVSUF         (* ^- : role inverse suffix *)
+  | KW_SOME
+  | KW_ONLY
+  | KW_NOT
+  | KW_TOP
+  | KW_BOTTOM
+  | KW_TRANSITIVE
+  | KW_ROLE
+  | KW_DATAROLE
+  | KW_DATA
+  | KW_INT         (* int[lo..hi] *)
+  | KW_INTEGER
+  | KW_STRING
+  | KW_BOOLEAN
+  | KW_ANYVALUE
+  | KW_NOVALUE
+  | KW_TRUE
+  | KW_FALSE
+  | EOF
+
+exception Lex_error of string * int
+(** Message and (0-based) character offset. *)
+
+val tokenize : string -> (token * int) array
+(** All tokens with their start offsets, ending with [EOF].
+    Comments run from [#] to end of line.
+    @raise Lex_error on an unexpected character. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,1 @@
+lib/semantics/enum.ml: Axiom Datatype ESet Interp Interp4 Kb4 List Seq

@@ -1,0 +1,1 @@
+lib/semantics/enum.mli: Axiom Datatype Interp Interp4 Kb4 Seq

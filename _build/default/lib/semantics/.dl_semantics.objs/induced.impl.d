@@ -1,0 +1,1 @@
+lib/semantics/induced.ml: Axiom ESet Interp Interp4 List Mangle PSet Role SMap VSet

@@ -1,0 +1,1 @@
+lib/semantics/induced.mli: Axiom Interp Interp4

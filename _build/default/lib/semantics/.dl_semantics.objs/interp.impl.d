@@ -1,0 +1,1 @@
+lib/semantics/interp.ml: Axiom Concept Datatype Format Int List Map Role Set String

@@ -1,0 +1,1 @@
+lib/semantics/interp.mli: Axiom Concept Datatype Format Map Role Set

@@ -1,0 +1,1 @@
+lib/semantics/interp4.ml: Axiom Concept Datatype ESet Format Interp Kb4 List PSet Role SMap Truth VSet

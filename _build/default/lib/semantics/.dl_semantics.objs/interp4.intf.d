@@ -1,0 +1,1 @@
+lib/semantics/interp4.mli: Axiom Concept Datatype Format Interp Kb4 Role Truth

@@ -1,0 +1,83 @@
+open Interp
+
+let all_pairs domain =
+  ESet.fold
+    (fun x acc -> ESet.fold (fun y acc -> PSet.add (x, y) acc) domain acc)
+    domain PSet.empty
+
+let all_data_pairs domain data_domain =
+  ESet.fold
+    (fun x acc ->
+      List.fold_left (fun acc v -> VSet.add (x, v) acc) acc data_domain)
+    domain VSet.empty
+
+let classical_of_four (i : Interp4.t) : Interp.t =
+  let concepts =
+    SMap.fold
+      (fun a (e : Interp4.cext) m ->
+        m
+        |> SMap.add (Mangle.pos_atom a) e.cpos
+        |> SMap.add (Mangle.neg_atom a) e.cneg)
+      i.concepts SMap.empty
+  in
+  let univ = all_pairs i.domain in
+  let roles =
+    SMap.fold
+      (fun r (e : Interp4.rext) m ->
+        m
+        |> SMap.add (Mangle.plus_role r) e.rpos
+        |> SMap.add (Mangle.eq_role r) (PSet.diff univ e.rneg))
+      i.roles SMap.empty
+  in
+  let data_univ = all_data_pairs i.domain i.data_domain in
+  let data_roles =
+    SMap.fold
+      (fun u (e : Interp4.dext) m ->
+        m
+        |> SMap.add (Mangle.plus_role u) e.dpos
+        |> SMap.add (Mangle.eq_role u) (VSet.diff data_univ e.dneg))
+      i.data_roles SMap.empty
+  in
+  { domain = i.domain;
+    data_domain = i.data_domain;
+    concepts;
+    roles;
+    data_roles;
+    individuals = i.individuals }
+
+let four_of_classical ~(signature : Axiom.signature) (i : Interp.t) : Interp4.t =
+  let concepts =
+    List.fold_left
+      (fun m a ->
+        SMap.add a
+          { Interp4.cpos = concept_ext i (Mangle.pos_atom a);
+            cneg = concept_ext i (Mangle.neg_atom a) }
+          m)
+      SMap.empty signature.concepts
+  in
+  let univ = all_pairs i.domain in
+  let roles =
+    List.fold_left
+      (fun m r ->
+        SMap.add r
+          { Interp4.rpos = role_ext i (Role.Name (Mangle.plus_role r));
+            rneg = PSet.diff univ (role_ext i (Role.Name (Mangle.eq_role r))) }
+          m)
+      SMap.empty signature.roles
+  in
+  let data_univ = all_data_pairs i.domain i.data_domain in
+  let data_roles =
+    List.fold_left
+      (fun m u ->
+        SMap.add u
+          { Interp4.dpos = data_role_ext i (Mangle.plus_role u);
+            dneg = VSet.diff data_univ (data_role_ext i (Mangle.eq_role u)) }
+          m)
+      SMap.empty signature.data_roles
+  in
+  { domain = i.domain;
+    data_domain = i.data_domain;
+    concepts;
+    roles;
+    data_roles;
+    individuals = i.individuals }

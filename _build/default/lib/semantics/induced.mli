@@ -1,0 +1,17 @@
+(** Induced interpretations (Definitions 8 and 9).
+
+    [classical_of_four] builds the classical induced interpretation Ī of a
+    four-valued interpretation I: same domain and individuals, [A⁺ ↦ P] and
+    [A⁻ ↦ Q] for [Aᴵ = <P, Q>], [R⁺ ↦ proj⁺(Rᴵ)] and
+    [R⁼ ↦ Δ×Δ \ proj⁻(Rᴵ)] (and likewise for datatype roles over
+    [Δ×Δᴰ]).
+
+    [four_of_classical] is the converse of Definition 9: it reads the
+    mangled extensions of a classical interpretation back into a four-valued
+    interpretation over the given original signature.  The two maps are
+    mutually inverse; together with the KB transformation they realize the
+    decomposability of [SHOIN(D)4] (Lemma 5 / Theorem 6). *)
+
+val classical_of_four : Interp4.t -> Interp.t
+
+val four_of_classical : signature:Axiom.signature -> Interp.t -> Interp4.t

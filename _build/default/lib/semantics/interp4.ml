@@ -1,0 +1,301 @@
+open Interp
+
+type cext = { cpos : ESet.t; cneg : ESet.t }
+type rext = { rpos : PSet.t; rneg : PSet.t }
+type dext = { dpos : VSet.t; dneg : VSet.t }
+
+type t = {
+  domain : ESet.t;
+  data_domain : Datatype.value list;
+  concepts : cext SMap.t;
+  roles : rext SMap.t;
+  data_roles : dext SMap.t;
+  individuals : int SMap.t;
+}
+
+let make ~domain ?(data_domain = []) ?(concepts = []) ?(roles = [])
+    ?(data_roles = []) ?(individuals = []) () =
+  { domain;
+    data_domain;
+    concepts =
+      List.fold_left
+        (fun m (a, pos, neg) ->
+          SMap.add a { cpos = ESet.of_list pos; cneg = ESet.of_list neg } m)
+        SMap.empty concepts;
+    roles =
+      List.fold_left
+        (fun m (r, pos, neg) ->
+          SMap.add r { rpos = PSet.of_list pos; rneg = PSet.of_list neg } m)
+        SMap.empty roles;
+    data_roles =
+      List.fold_left
+        (fun m (u, pos, neg) ->
+          SMap.add u { dpos = VSet.of_list pos; dneg = VSet.of_list neg } m)
+        SMap.empty data_roles;
+    individuals =
+      List.fold_left (fun m (a, x) -> SMap.add a x m) SMap.empty individuals }
+
+let concept_ext i a =
+  match SMap.find_opt a i.concepts with
+  | Some e -> e
+  | None -> { cpos = ESet.empty; cneg = ESet.empty }
+
+let flip ps = PSet.map (fun (x, y) -> (y, x)) ps
+
+let role_ext i = function
+  | Role.Name r -> (
+      match SMap.find_opt r i.roles with
+      | Some e -> e
+      | None -> { rpos = PSet.empty; rneg = PSet.empty })
+  | Role.Inv r -> (
+      match SMap.find_opt r i.roles with
+      | Some e -> { rpos = flip e.rpos; rneg = flip e.rneg }
+      | None -> { rpos = PSet.empty; rneg = PSet.empty })
+
+let data_role_ext i u =
+  match SMap.find_opt u i.data_roles with
+  | Some e -> e
+  | None -> { dpos = VSet.empty; dneg = VSet.empty }
+
+let individual i a = SMap.find a i.individuals
+
+let successors pairs x =
+  PSet.fold (fun (a, b) acc -> if a = x then ESet.add b acc else acc) pairs ESet.empty
+
+let data_successors pairs x =
+  VSet.fold (fun (a, v) acc -> if a = x then v :: acc else acc) pairs []
+
+(* #{y ∈ Δ | (x,y) ∉ neg} — the "not told-absent" successor count used by
+   the four-valued number restrictions of Table 2. *)
+let non_negated_successor_count domain neg x =
+  ESet.cardinal (ESet.filter (fun y -> not (PSet.mem (x, y) neg)) domain)
+
+let non_negated_data_successor_count data_domain dneg x =
+  List.length
+    (List.filter (fun v -> not (VSet.mem (x, v) dneg)) data_domain)
+
+let rec eval i (c : Concept.t) : cext =
+  match c with
+  | Top -> { cpos = i.domain; cneg = ESet.empty }
+  | Bottom -> { cpos = ESet.empty; cneg = i.domain }
+  | Atom a -> concept_ext i a
+  | Not c ->
+      let e = eval i c in
+      { cpos = e.cneg; cneg = e.cpos }
+  | And (a, b) ->
+      let ea = eval i a and eb = eval i b in
+      { cpos = ESet.inter ea.cpos eb.cpos; cneg = ESet.union ea.cneg eb.cneg }
+  | Or (a, b) ->
+      let ea = eval i a and eb = eval i b in
+      { cpos = ESet.union ea.cpos eb.cpos; cneg = ESet.inter ea.cneg eb.cneg }
+  | One_of os ->
+      { cpos = ESet.of_list (List.map (individual i) os); cneg = ESet.empty }
+  | Exists (r, c) ->
+      let re = role_ext i r and ce = eval i c in
+      let pos =
+        ESet.filter
+          (fun x -> not (ESet.is_empty (ESet.inter (successors re.rpos x) ce.cpos)))
+          i.domain
+      and neg =
+        ESet.filter
+          (fun x -> ESet.subset (successors re.rpos x) ce.cneg)
+          i.domain
+      in
+      { cpos = pos; cneg = neg }
+  | Forall (r, c) ->
+      let re = role_ext i r and ce = eval i c in
+      let pos =
+        ESet.filter (fun x -> ESet.subset (successors re.rpos x) ce.cpos) i.domain
+      and neg =
+        ESet.filter
+          (fun x -> not (ESet.is_empty (ESet.inter (successors re.rpos x) ce.cneg)))
+          i.domain
+      in
+      { cpos = pos; cneg = neg }
+  | At_least (n, r) ->
+      let re = role_ext i r in
+      let pos =
+        ESet.filter (fun x -> ESet.cardinal (successors re.rpos x) >= n) i.domain
+      and neg =
+        ESet.filter
+          (fun x -> non_negated_successor_count i.domain re.rneg x < n)
+          i.domain
+      in
+      { cpos = pos; cneg = neg }
+  | At_most (n, r) ->
+      let re = role_ext i r in
+      let pos =
+        ESet.filter
+          (fun x -> non_negated_successor_count i.domain re.rneg x <= n)
+          i.domain
+      and neg =
+        ESet.filter (fun x -> ESet.cardinal (successors re.rpos x) > n) i.domain
+      in
+      { cpos = pos; cneg = neg }
+  | Data_exists (u, d) ->
+      let ue = data_role_ext i u in
+      let pos =
+        ESet.filter
+          (fun x ->
+            List.exists (fun v -> Datatype.member v d) (data_successors ue.dpos x))
+          i.domain
+      and neg =
+        ESet.filter
+          (fun x ->
+            List.for_all
+              (fun v -> not (Datatype.member v d))
+              (data_successors ue.dpos x))
+          i.domain
+      in
+      { cpos = pos; cneg = neg }
+  | Data_forall (u, d) ->
+      let ue = data_role_ext i u in
+      let pos =
+        ESet.filter
+          (fun x ->
+            List.for_all (fun v -> Datatype.member v d) (data_successors ue.dpos x))
+          i.domain
+      and neg =
+        ESet.filter
+          (fun x ->
+            List.exists
+              (fun v -> not (Datatype.member v d))
+              (data_successors ue.dpos x))
+          i.domain
+      in
+      { cpos = pos; cneg = neg }
+  | Data_at_least (n, u) ->
+      let ue = data_role_ext i u in
+      let pos =
+        ESet.filter
+          (fun x ->
+            List.length
+              (List.sort_uniq Datatype.compare_value (data_successors ue.dpos x))
+            >= n)
+          i.domain
+      and neg =
+        ESet.filter
+          (fun x -> non_negated_data_successor_count i.data_domain ue.dneg x < n)
+          i.domain
+      in
+      { cpos = pos; cneg = neg }
+  | Data_at_most (n, u) ->
+      let ue = data_role_ext i u in
+      let pos =
+        ESet.filter
+          (fun x -> non_negated_data_successor_count i.data_domain ue.dneg x <= n)
+          i.domain
+      and neg =
+        ESet.filter
+          (fun x ->
+            List.length
+              (List.sort_uniq Datatype.compare_value (data_successors ue.dpos x))
+            > n)
+          i.domain
+      in
+      { cpos = pos; cneg = neg }
+
+let truth_value i c a =
+  let e = eval i c and x = individual i a in
+  Truth.of_pair ~told_true:(ESet.mem x e.cpos) ~told_false:(ESet.mem x e.cneg)
+
+let role_truth_value i r a b =
+  let e = role_ext i r in
+  let p = (individual i a, individual i b) in
+  Truth.of_pair ~told_true:(PSet.mem p e.rpos) ~told_false:(PSet.mem p e.rneg)
+
+let is_transitive pairs =
+  PSet.for_all
+    (fun (x, y) ->
+      PSet.for_all (fun (y', z) -> y <> y' || PSet.mem (x, z) pairs) pairs)
+    pairs
+
+let all_pairs domain =
+  ESet.fold
+    (fun x acc -> ESet.fold (fun y acc -> PSet.add (x, y) acc) domain acc)
+    domain PSet.empty
+
+let all_data_pairs domain data_domain =
+  ESet.fold
+    (fun x acc ->
+      List.fold_left (fun acc v -> VSet.add (x, v) acc) acc data_domain)
+    domain VSet.empty
+
+let satisfies_tbox i = function
+  | Kb4.Concept_inclusion (kind, c, d) -> (
+      let ec = eval i c and ed = eval i d in
+      match kind with
+      | Kb4.Material -> ESet.subset (ESet.diff i.domain ec.cneg) ed.cpos
+      | Kb4.Internal -> ESet.subset ec.cpos ed.cpos
+      | Kb4.Strong ->
+          ESet.subset ec.cpos ed.cpos && ESet.subset ed.cneg ec.cneg)
+  | Kb4.Role_inclusion (kind, r, s) -> (
+      let er = role_ext i r and es = role_ext i s in
+      match kind with
+      | Kb4.Material ->
+          PSet.subset (PSet.diff (all_pairs i.domain) er.rneg) es.rpos
+      | Kb4.Internal -> PSet.subset er.rpos es.rpos
+      | Kb4.Strong -> PSet.subset er.rpos es.rpos && PSet.subset es.rneg er.rneg)
+  | Kb4.Data_role_inclusion (kind, u, v) -> (
+      let eu = data_role_ext i u and ev = data_role_ext i v in
+      match kind with
+      | Kb4.Material ->
+          VSet.subset
+            (VSet.diff (all_data_pairs i.domain i.data_domain) eu.dneg)
+            ev.dpos
+      | Kb4.Internal -> VSet.subset eu.dpos ev.dpos
+      | Kb4.Strong -> VSet.subset eu.dpos ev.dpos && VSet.subset ev.dneg eu.dneg)
+  | Kb4.Transitive r -> is_transitive (role_ext i (Role.Name r)).rpos
+
+let satisfies_abox i = function
+  | Axiom.Instance_of (a, c) -> ESet.mem (individual i a) (eval i c).cpos
+  | Axiom.Role_assertion (a, r, b) ->
+      PSet.mem (individual i a, individual i b) (role_ext i r).rpos
+  | Axiom.Data_assertion (a, u, v) ->
+      VSet.mem (individual i a, v) (data_role_ext i u).dpos
+  | Axiom.Same (a, b) -> individual i a = individual i b
+  | Axiom.Different (a, b) -> individual i a <> individual i b
+
+let is_model i (kb : Kb4.t) =
+  List.for_all (satisfies_tbox i) kb.tbox && List.for_all (satisfies_abox i) kb.abox
+
+let of_classical (i : Interp.t) : t =
+  { domain = i.domain;
+    data_domain = i.data_domain;
+    concepts =
+      SMap.map (fun p -> { cpos = p; cneg = ESet.diff i.domain p }) i.concepts;
+    roles =
+      SMap.map
+        (fun p -> { rpos = p; rneg = PSet.diff (all_pairs i.domain) p })
+        i.roles;
+    data_roles =
+      SMap.map
+        (fun p ->
+          { dpos = p; dneg = VSet.diff (all_data_pairs i.domain i.data_domain) p })
+        i.data_roles;
+    individuals = i.individuals }
+
+let pp_eset ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (ESet.elements s)
+
+let pp_pset ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (x, y) -> Format.fprintf ppf "(%d,%d)" x y))
+    (PSet.elements s)
+
+let pp ppf i =
+  Format.fprintf ppf "@[<v>domain = %a@," pp_eset i.domain;
+  SMap.iter
+    (fun a e -> Format.fprintf ppf "%s = <%a, %a>@," a pp_eset e.cpos pp_eset e.cneg)
+    i.concepts;
+  SMap.iter
+    (fun r e -> Format.fprintf ppf "%s = <%a, %a>@," r pp_pset e.rpos pp_pset e.rneg)
+    i.roles;
+  SMap.iter (fun a x -> Format.fprintf ppf "%s -> %d@," a x) i.individuals;
+  Format.fprintf ppf "@]"

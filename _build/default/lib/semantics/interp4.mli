@@ -1,0 +1,72 @@
+(** Finite four-valued interpretations of [SHOIN(D)4] (Definition 2, Tables
+    2–3).
+
+    Atomic concepts map to pairs [<P, N>] of subsets of the domain; roles map
+    to pairs of edge sets.  The paper's Table 2 writes role extensions as
+    products [P₁×P₂]; its proofs only ever use the positive/negative
+    projections as sets of pairs, so we store arbitrary pair sets (products
+    are a special case) — see DESIGN.md.
+
+    Two deliberate corrections of typos in the paper's tables, both forced by
+    the paper's own proofs (Proposition 4, Lemma 5, Theorem 6):
+    - material {e role} inclusion uses [Δ×Δ \ proj⁻(R₁)] (Table 3 prints
+      [proj⁺]);
+    - the negative parts of [∃U.D]/[∀U.D] follow the object-role pattern
+      with the classical complement of [D] (Table 2's entries as printed are
+      not dual and would break [¬∃U.D = ∀U.¬D]). *)
+
+type cext = { cpos : Interp.ESet.t; cneg : Interp.ESet.t }
+type rext = { rpos : Interp.PSet.t; rneg : Interp.PSet.t }
+type dext = { dpos : Interp.VSet.t; dneg : Interp.VSet.t }
+
+type t = {
+  domain : Interp.ESet.t;
+  data_domain : Datatype.value list;
+  concepts : cext Interp.SMap.t;
+  roles : rext Interp.SMap.t;
+  data_roles : dext Interp.SMap.t;
+  individuals : int Interp.SMap.t;
+}
+
+val make :
+  domain:Interp.ESet.t ->
+  ?data_domain:Datatype.value list ->
+  ?concepts:(string * int list * int list) list ->
+  ?roles:(string * (int * int) list * (int * int) list) list ->
+  ?data_roles:
+    (string * (int * Datatype.value) list * (int * Datatype.value) list) list ->
+  ?individuals:(string * int) list ->
+  unit ->
+  t
+(** Each concept entry is [(name, positive, negative)]; likewise for roles. *)
+
+val concept_ext : t -> string -> cext
+val role_ext : t -> Role.t -> rext
+val data_role_ext : t -> string -> dext
+val individual : t -> string -> int
+
+val eval : t -> Concept.t -> cext
+(** [Cᴵ = <P, N>] per Table 2.  Nominals take the canonical negative part
+    [N = ∅] (Table 2 leaves [N] unconstrained). *)
+
+val truth_value : t -> Concept.t -> string -> Truth.t
+(** The Belnap value of [C(a)] (Definition 3). *)
+
+val role_truth_value : t -> Role.t -> string -> string -> Truth.t
+(** The Belnap value of [R(a, b)] (Definition 3). *)
+
+val satisfies_tbox : t -> Kb4.tbox_axiom -> bool
+(** Table 3. Transitivity constrains the positive part only, matching
+    Definition 6's [Trans(R) ↦ Trans(R⁺)]. *)
+
+val satisfies_abox : t -> Axiom.abox_axiom -> bool
+(** [a : C] iff [aᴵ ∈ proj⁺(Cᴵ)]; role and data assertions constrain the
+    positive parts. *)
+
+val is_model : t -> Kb4.t -> bool
+
+val of_classical : Interp.t -> t
+(** Embeds a two-valued interpretation: every extension [P] becomes
+    [<P, Δ \ P>] (the classical corner of the bilattice). *)
+
+val pp : Format.formatter -> t -> unit

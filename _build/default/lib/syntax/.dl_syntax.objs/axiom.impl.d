@@ -1,0 +1,1 @@
+lib/syntax/axiom.ml: Concept Datatype Format Int List Role Set String

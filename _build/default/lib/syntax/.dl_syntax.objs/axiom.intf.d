@@ -1,0 +1,1 @@
+lib/syntax/axiom.mli: Concept Datatype Format Role

@@ -1,0 +1,1 @@
+lib/syntax/concept.ml: Datatype Format Int List Map Role Set Stdlib String

@@ -1,0 +1,1 @@
+lib/syntax/concept.mli: Datatype Format Map Role Set

@@ -1,0 +1,1 @@
+lib/syntax/datatype.ml: Bool Format Int List Option Set String

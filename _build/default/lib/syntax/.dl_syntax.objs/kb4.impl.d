@@ -1,0 +1,1 @@
+lib/syntax/kb4.ml: Axiom Concept Format Int List Role String

@@ -1,0 +1,1 @@
+lib/syntax/kb4.mli: Axiom Concept Format Role

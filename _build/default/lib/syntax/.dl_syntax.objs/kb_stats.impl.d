@@ -1,0 +1,1 @@
+lib/syntax/kb_stats.ml: Axiom Buffer Concept Format Kb4 List Role

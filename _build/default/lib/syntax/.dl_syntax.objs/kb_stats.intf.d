@@ -1,0 +1,1 @@
+lib/syntax/kb_stats.mli: Axiom Format Kb4

@@ -1,0 +1,1 @@
+lib/syntax/role.ml: Format Map Set String

@@ -1,0 +1,1 @@
+lib/syntax/role.mli: Format Map Set

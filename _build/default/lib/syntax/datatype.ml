@@ -1,0 +1,309 @@
+type value = Int of int | Str of string | Bool of bool
+
+let compare_value a b =
+  let tag = function Int _ -> 0 | Str _ -> 1 | Bool _ -> 2 in
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | _ -> Int.compare (tag a) (tag b)
+
+let equal_value a b = compare_value a b = 0
+
+let pp_value ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+
+type t =
+  | Top_data
+  | Bottom_data
+  | Int_type
+  | String_type
+  | Bool_type
+  | Int_range of int option * int option
+  | One_of of value list
+  | Complement of t
+
+let rec compare a b =
+  let tag = function
+    | Top_data -> 0
+    | Bottom_data -> 1
+    | Int_type -> 2
+    | String_type -> 3
+    | Bool_type -> 4
+    | Int_range _ -> 5
+    | One_of _ -> 6
+    | Complement _ -> 7
+  in
+  match (a, b) with
+  | Int_range (l1, h1), Int_range (l2, h2) ->
+      let c = Option.compare Int.compare l1 l2 in
+      if c <> 0 then c else Option.compare Int.compare h1 h2
+  | One_of v1, One_of v2 -> List.compare compare_value v1 v2
+  | Complement d1, Complement d2 -> compare d1 d2
+  | _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Integer interval sets: unions of disjoint intervals with optionally
+   unbounded endpoints, closed under union, intersection and complement. *)
+
+module Iset = struct
+  (* Invariant: sorted by lower bound, pairwise disjoint and non-adjacent. *)
+  type iv = { lo : int option; hi : int option }
+  type t = iv list
+
+  let empty : t = []
+  let full : t = [ { lo = None; hi = None } ]
+
+  let nonempty_iv iv =
+    match (iv.lo, iv.hi) with Some l, Some h -> l <= h | _ -> true
+
+  let of_range lo hi =
+    let iv = { lo; hi } in
+    if nonempty_iv iv then [ iv ] else []
+
+  let lo_le a b =
+    (* lower-bound order, None = -inf *)
+    match (a, b) with
+    | None, _ -> true
+    | Some _, None -> false
+    | Some x, Some y -> x <= y
+
+  (* Merge a sorted-by-lo list of possibly overlapping intervals. *)
+  let normalize ivs =
+    let ivs = List.filter nonempty_iv ivs in
+    let ivs = List.sort (fun a b -> if lo_le a.lo b.lo then -1 else 1) ivs in
+    let touches prev next =
+      (* prev.hi >= next.lo - 1, i.e. overlapping or adjacent *)
+      match (prev.hi, next.lo) with
+      | None, _ -> true
+      | _, None -> true
+      | Some h, Some l -> h >= l - 1
+    in
+    let hi_max a b =
+      match (a, b) with
+      | None, _ | _, None -> None
+      | Some x, Some y -> Some (max x y)
+    in
+    let rec go acc = function
+      | [] -> List.rev acc
+      | iv :: rest -> (
+          match acc with
+          | prev :: acc' when touches prev iv ->
+              go ({ prev with hi = hi_max prev.hi iv.hi } :: acc') rest
+          | _ -> go (iv :: acc) rest)
+    in
+    go [] ivs
+
+  let union a b = normalize (a @ b)
+
+  let complement ivs =
+    (* Walk the gaps of a normalized interval list. *)
+    let rec go lower = function
+      | [] -> [ { lo = lower; hi = None } ]
+      | { lo = Some l; hi } :: rest ->
+          let gap =
+            match lower with
+            | None -> [ { lo = None; hi = Some (l - 1) } ]
+            | Some lb when lb <= l - 1 ->
+                [ { lo = Some lb; hi = Some (l - 1) } ]
+            | Some _ -> []
+          in
+          gap @ after hi rest
+      | { lo = None; hi } :: rest -> after hi rest
+    and after hi rest =
+      match hi with
+      | None -> [] (* covered to +inf *)
+      | Some h -> go (Some (h + 1)) rest
+    in
+    normalize (go None ivs)
+
+  let inter a b = complement (union (complement a) (complement b))
+
+  let of_points pts = normalize (List.map (fun p -> { lo = Some p; hi = Some p }) pts)
+
+  let mem x ivs =
+    List.exists
+      (fun iv ->
+        (match iv.lo with None -> true | Some l -> l <= x)
+        && match iv.hi with None -> true | Some h -> x <= h)
+      ivs
+
+  type card = Finite of int | Infinite
+
+  let cardinal ivs =
+    List.fold_left
+      (fun acc iv ->
+        match (acc, iv.lo, iv.hi) with
+        | Infinite, _, _ | _, None, _ | _, _, None -> Infinite
+        | Finite n, Some l, Some h -> Finite (n + h - l + 1))
+      (Finite 0) ivs
+
+  (* Up to [n] witnesses, preferring small absolute values for readability. *)
+  let pick n ivs =
+    let rec from_iv n iv acc =
+      if n = 0 then acc
+      else
+        match (iv.lo, iv.hi) with
+        | Some l, Some h ->
+            if l > h then acc
+            else from_iv (n - 1) { iv with lo = Some (l + 1) } (l :: acc)
+        | Some l, None -> from_iv (n - 1) { iv with lo = Some (l + 1) } (l :: acc)
+        | None, Some h -> from_iv (n - 1) { iv with hi = Some (h - 1) } (h :: acc)
+        | None, None -> from_iv (n - 1) { iv with lo = Some 1 } (0 :: acc)
+    in
+    let rec go n = function
+      | [] -> []
+      | iv :: rest ->
+          let got = List.rev (from_iv n iv []) in
+          got @ go (n - List.length got) rest
+    in
+    go n ivs
+end
+
+(* ------------------------------------------------------------------ *)
+(* Extensions per kind.  The value spaces of the three kinds are disjoint. *)
+
+module SS = Set.Make (String)
+
+type str_ext = Fin of SS.t | Cofin of SS.t
+type bool_ext = { has_true : bool; has_false : bool }
+
+type ext = { ints : Iset.t; strs : str_ext; bools : bool_ext }
+
+let ext_empty =
+  { ints = Iset.empty; strs = Fin SS.empty; bools = { has_true = false; has_false = false } }
+
+let ext_full =
+  { ints = Iset.full; strs = Cofin SS.empty; bools = { has_true = true; has_false = true } }
+
+let str_inter a b =
+  match (a, b) with
+  | Fin x, Fin y -> Fin (SS.inter x y)
+  | Fin x, Cofin y | Cofin y, Fin x -> Fin (SS.diff x y)
+  | Cofin x, Cofin y -> Cofin (SS.union x y)
+
+let str_compl = function Fin x -> Cofin x | Cofin x -> Fin x
+
+let bool_inter a b =
+  { has_true = a.has_true && b.has_true; has_false = a.has_false && b.has_false }
+
+let bool_compl a = { has_true = not a.has_true; has_false = not a.has_false }
+
+let ext_inter a b =
+  { ints = Iset.inter a.ints b.ints;
+    strs = str_inter a.strs b.strs;
+    bools = bool_inter a.bools b.bools }
+
+let ext_compl a =
+  { ints = Iset.complement a.ints; strs = str_compl a.strs; bools = bool_compl a.bools }
+
+let rec denote = function
+  | Top_data -> ext_full
+  | Bottom_data -> ext_empty
+  | Int_type -> { ext_empty with ints = Iset.full }
+  | String_type -> { ext_empty with strs = Cofin SS.empty }
+  | Bool_type -> { ext_empty with bools = { has_true = true; has_false = true } }
+  | Int_range (lo, hi) -> { ext_empty with ints = Iset.of_range lo hi }
+  | One_of vs ->
+      List.fold_left
+        (fun acc v ->
+          match v with
+          | Int n -> { acc with ints = Iset.union acc.ints (Iset.of_points [ n ]) }
+          | Str s ->
+              let strs =
+                match acc.strs with
+                | Fin set -> Fin (SS.add s set)
+                | Cofin set -> Cofin (SS.remove s set)
+              in
+              { acc with strs }
+          | Bool true -> { acc with bools = { acc.bools with has_true = true } }
+          | Bool false -> { acc with bools = { acc.bools with has_false = true } })
+        ext_empty vs
+  | Complement d -> ext_compl (denote d)
+
+let member v d =
+  let e = denote d in
+  match v with
+  | Int n -> Iset.mem n e.ints
+  | Str s -> ( match e.strs with Fin set -> SS.mem s set | Cofin set -> not (SS.mem s set))
+  | Bool true -> e.bools.has_true
+  | Bool false -> e.bools.has_false
+
+let intersection ds = List.fold_left (fun acc d -> ext_inter acc (denote d)) ext_full ds
+
+type card = Finite of int | Infinite
+
+let ext_cardinal e =
+  let int_card =
+    match Iset.cardinal e.ints with
+    | Iset.Infinite -> Infinite
+    | Iset.Finite n -> Finite n
+  in
+  let str_card = match e.strs with Fin set -> Finite (SS.cardinal set) | Cofin _ -> Infinite in
+  let bool_card =
+    Finite ((if e.bools.has_true then 1 else 0) + if e.bools.has_false then 1 else 0)
+  in
+  match (int_card, str_card, bool_card) with
+  | Infinite, _, _ | _, Infinite, _ | _, _, Infinite -> Infinite
+  | Finite a, Finite b, Finite c -> Finite (a + b + c)
+
+let cardinal_at_least n ds =
+  if n <= 0 then true
+  else
+    match ext_cardinal (intersection ds) with
+    | Infinite -> true
+    | Finite k -> k >= n
+
+let satisfiable ds = cardinal_at_least 1 ds
+
+let witnesses n ds =
+  if n <= 0 then []
+  else
+    let e = intersection ds in
+    let ints = List.map (fun i -> Int i) (Iset.pick n e.ints) in
+    let need = n - List.length ints in
+    let strs =
+      if need <= 0 then []
+      else
+        match e.strs with
+        | Fin set ->
+            List.filteri (fun i _ -> i < need) (List.map (fun s -> Str s) (SS.elements set))
+        | Cofin excluded ->
+            (* Generate fresh strings avoiding the excluded set. *)
+            let rec fresh acc i k =
+              if k = 0 then List.rev acc
+              else
+                let s = "v" ^ string_of_int i in
+                if SS.mem s excluded then fresh acc (i + 1) k
+                else fresh (Str s :: acc) (i + 1) (k - 1)
+            in
+            fresh [] 0 need
+    in
+    let need = need - List.length strs in
+    let bools =
+      if need <= 0 then []
+      else
+        (if e.bools.has_true then [ Bool true ] else [])
+        @ (if e.bools.has_false then [ Bool false ] else [])
+    in
+    let bools = List.filteri (fun i _ -> i < need) bools in
+    ints @ strs @ bools
+
+let rec pp ppf = function
+  | Top_data -> Format.pp_print_string ppf "anyValue"
+  | Bottom_data -> Format.pp_print_string ppf "noValue"
+  | Int_type -> Format.pp_print_string ppf "integer"
+  | String_type -> Format.pp_print_string ppf "string"
+  | Bool_type -> Format.pp_print_string ppf "boolean"
+  | Int_range (lo, hi) ->
+      let b = function None -> "*" | Some n -> string_of_int n in
+      Format.fprintf ppf "int[%s..%s]" (b lo) (b hi)
+  | One_of vs ->
+      Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_value) vs
+  | Complement d -> Format.fprintf ppf "not(%a)" pp d
+
+let to_string d = Format.asprintf "%a" pp d

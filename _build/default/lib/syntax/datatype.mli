@@ -1,0 +1,49 @@
+(** The concrete domain — the "(D)" of [SHOIN(D)].
+
+    The paper treats datatypes abstractly ([Dᴰ ⊆ Δᴰ]).  We implement the
+    simple-datatype regime of OWL DL implementations of that era: integers
+    (with ranges), strings, booleans and enumerated value sets ([oneOf]),
+    closed under complement.  The module provides the two decision procedures
+    a tableau needs: emptiness of a conjunction of datatype constraints and a
+    cardinality test (for datatype number restrictions), together with
+    witness extraction for model building. *)
+
+type value =
+  | Int of int
+  | Str of string
+  | Bool of bool
+
+val compare_value : value -> value -> int
+val equal_value : value -> value -> bool
+val pp_value : Format.formatter -> value -> unit
+
+type t =
+  | Top_data                               (** every data value *)
+  | Bottom_data                            (** the empty datatype *)
+  | Int_type                               (** all integers *)
+  | String_type                            (** all strings *)
+  | Bool_type                              (** {true, false} *)
+  | Int_range of int option * int option
+      (** [Int_range (lo, hi)] — integers in [[lo, hi]]; [None] = unbounded *)
+  | One_of of value list                   (** datatype oneOf {v₁, …} *)
+  | Complement of t                        (** Δᴰ \ ... *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val member : value -> t -> bool
+(** Value-space membership. *)
+
+val satisfiable : t list -> bool
+(** Is the intersection of the given datatypes non-empty? *)
+
+val cardinal_at_least : int -> t list -> bool
+(** [cardinal_at_least n ds]: does the intersection of [ds] contain at least
+    [n] distinct values?  ([cardinal_at_least 1] = [satisfiable].) *)
+
+val witnesses : int -> t list -> value list
+(** Up to [n] distinct values in the intersection (fewer if the intersection
+    is smaller).  Used for model construction and tests. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

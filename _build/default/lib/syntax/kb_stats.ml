@@ -1,0 +1,162 @@
+type t = {
+  tbox_axioms : int;
+  abox_axioms : int;
+  concept_names : int;
+  role_names : int;
+  data_role_names : int;
+  individuals : int;
+  max_concept_size : int;
+  max_role_depth : int;
+  material_inclusions : int;
+  internal_inclusions : int;
+  strong_inclusions : int;
+  uses_disjunction : bool;
+  uses_full_negation : bool;
+  uses_transitivity : bool;
+  uses_role_hierarchy : bool;
+  uses_nominals : bool;
+  uses_inverse : bool;
+  uses_number_restrictions : bool;
+  uses_datatypes : bool;
+}
+
+let scan_concept stats c =
+  let stats = ref stats in
+  let update f = stats := f !stats in
+  List.iter
+    (fun (sub : Concept.t) ->
+      match sub with
+      | Or _ -> update (fun s -> { s with uses_disjunction = true })
+      | Not d when d <> Concept.Top && d <> Concept.Bottom -> (
+          match d with
+          | Concept.Atom _ -> ()
+          | _ -> update (fun s -> { s with uses_full_negation = true }))
+      | One_of _ -> update (fun s -> { s with uses_nominals = true })
+      | Exists (r, filler) ->
+          (* a full existential restriction is beyond the AL core *)
+          if filler <> Concept.Top then
+            update (fun s -> { s with uses_full_negation = true });
+          if Role.is_inverse r then
+            update (fun s -> { s with uses_inverse = true })
+      | Forall (r, _) ->
+          if Role.is_inverse r then
+            update (fun s -> { s with uses_inverse = true })
+      | At_least (_, r) | At_most (_, r) ->
+          update (fun s -> { s with uses_number_restrictions = true });
+          if Role.is_inverse r then
+            update (fun s -> { s with uses_inverse = true })
+      | Data_exists _ | Data_forall _ | Data_at_least _ | Data_at_most _ ->
+          update (fun s -> { s with uses_datatypes = true })
+      | Top | Bottom | Atom _ | Not _ | And _ -> ())
+    (Concept.subconcepts c);
+  { !stats with
+    max_concept_size = max !stats.max_concept_size (Concept.size c);
+    max_role_depth = max !stats.max_role_depth (Concept.depth c) }
+
+let scan_abox stats abox =
+  List.fold_left
+    (fun stats ax ->
+      match (ax : Axiom.abox_axiom) with
+      | Instance_of (_, c) -> scan_concept stats c
+      | Role_assertion (_, r, _) ->
+          if Role.is_inverse r then { stats with uses_inverse = true }
+          else stats
+      | Data_assertion _ -> { stats with uses_datatypes = true }
+      | Same _ | Different _ -> stats)
+    stats abox
+
+let base signature tbox_axioms abox_axioms =
+  { tbox_axioms;
+    abox_axioms;
+    concept_names = List.length signature.Axiom.concepts;
+    role_names = List.length signature.Axiom.roles;
+    data_role_names = List.length signature.Axiom.data_roles;
+    individuals = List.length signature.Axiom.individuals;
+    max_concept_size = 0;
+    max_role_depth = 0;
+    material_inclusions = 0;
+    internal_inclusions = 0;
+    strong_inclusions = 0;
+    uses_disjunction = false;
+    uses_full_negation = false;
+    uses_transitivity = false;
+    uses_role_hierarchy = false;
+    uses_nominals = false;
+    uses_inverse = false;
+    uses_number_restrictions = false;
+    uses_datatypes = false }
+
+let of_kb (kb : Axiom.kb) =
+  let stats =
+    base (Axiom.signature kb) (List.length kb.tbox) (List.length kb.abox)
+  in
+  let stats =
+    List.fold_left
+      (fun stats ax ->
+        match (ax : Axiom.tbox_axiom) with
+        | Concept_sub (c, d) -> scan_concept (scan_concept stats c) d
+        | Role_sub (r, s) ->
+            let stats = { stats with uses_role_hierarchy = true } in
+            if Role.is_inverse r || Role.is_inverse s then
+              { stats with uses_inverse = true }
+            else stats
+        | Data_role_sub _ -> { stats with uses_datatypes = true }
+        | Transitive _ -> { stats with uses_transitivity = true })
+      stats kb.tbox
+  in
+  scan_abox stats kb.abox
+
+let of_kb4 (kb : Kb4.t) =
+  let stats =
+    base (Kb4.signature kb) (List.length kb.tbox) (List.length kb.abox)
+  in
+  let stats =
+    List.fold_left
+      (fun stats ax ->
+        match (ax : Kb4.tbox_axiom) with
+        | Concept_inclusion (kind, c, d) ->
+            let stats = scan_concept (scan_concept stats c) d in
+            (match kind with
+            | Kb4.Material ->
+                { stats with material_inclusions = stats.material_inclusions + 1 }
+            | Kb4.Internal ->
+                { stats with internal_inclusions = stats.internal_inclusions + 1 }
+            | Kb4.Strong ->
+                { stats with strong_inclusions = stats.strong_inclusions + 1 })
+        | Role_inclusion (_, r, s) ->
+            let stats = { stats with uses_role_hierarchy = true } in
+            if Role.is_inverse r || Role.is_inverse s then
+              { stats with uses_inverse = true }
+            else stats
+        | Data_role_inclusion _ -> { stats with uses_datatypes = true }
+        | Transitive _ -> { stats with uses_transitivity = true })
+      stats kb.tbox
+  in
+  scan_abox stats kb.abox
+
+let name t =
+  let buffer = Buffer.create 8 in
+  (* S abbreviates ALC + transitive roles; otherwise AL(C) *)
+  if t.uses_transitivity then Buffer.add_string buffer "S"
+  else if t.uses_disjunction || t.uses_full_negation then
+    Buffer.add_string buffer "ALC"
+  else Buffer.add_string buffer "AL";
+  if t.uses_role_hierarchy then Buffer.add_char buffer 'H';
+  if t.uses_nominals then Buffer.add_char buffer 'O';
+  if t.uses_inverse then Buffer.add_char buffer 'I';
+  if t.uses_number_restrictions then Buffer.add_char buffer 'N';
+  if t.uses_datatypes then Buffer.add_string buffer "(D)";
+  Buffer.contents buffer
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>expressivity: %s@," (name t);
+  Format.fprintf ppf "axioms: %d TBox + %d ABox@," t.tbox_axioms t.abox_axioms;
+  if t.material_inclusions + t.internal_inclusions + t.strong_inclusions > 0
+  then
+    Format.fprintf ppf "inclusions: %d material, %d internal, %d strong@,"
+      t.material_inclusions t.internal_inclusions t.strong_inclusions;
+  Format.fprintf ppf
+    "signature: %d concepts, %d roles, %d data roles, %d individuals@,"
+    t.concept_names t.role_names t.data_role_names t.individuals;
+  Format.fprintf ppf "largest concept: %d nodes; deepest nesting: %d@]"
+    t.max_concept_size t.max_role_depth

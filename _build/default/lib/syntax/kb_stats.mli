@@ -1,0 +1,39 @@
+(** Knowledge-base metrics and expressivity detection.
+
+    [name] computes the conventional DL name of the fragment a KB actually
+    uses, built from the letters the paper's logic is named after:
+    [AL]/[ALC] core, [+] role transitivity (= [S] with [C]), [H] role
+    hierarchies, [O] nominals, [I] inverse roles, [N] (unqualified) number
+    restrictions, [(D)] datatypes — so a KB using everything is reported as
+    [SHOIN(D)], the logic of the paper. *)
+
+type t = {
+  tbox_axioms : int;
+  abox_axioms : int;
+  concept_names : int;
+  role_names : int;
+  data_role_names : int;
+  individuals : int;
+  max_concept_size : int;
+  max_role_depth : int;
+  material_inclusions : int;  (** 0 for classical KBs *)
+  internal_inclusions : int;
+  strong_inclusions : int;
+  uses_disjunction : bool;
+  uses_full_negation : bool;  (** negation of a non-atomic concept *)
+  uses_transitivity : bool;
+  uses_role_hierarchy : bool;
+  uses_nominals : bool;
+  uses_inverse : bool;
+  uses_number_restrictions : bool;
+  uses_datatypes : bool;
+}
+
+val of_kb : Axiom.kb -> t
+val of_kb4 : Kb4.t -> t
+
+val name : t -> string
+(** e.g. ["ALC"], ["SHIN(D)"], ["SHOIN(D)"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable summary. *)

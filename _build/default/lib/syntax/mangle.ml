@@ -1,0 +1,31 @@
+let pos_atom a = a ^ "+"
+let neg_atom a = a ^ "-"
+let plus_role r = r ^ "+"
+let eq_role r = r ^ "="
+
+type atom_origin = Pos of string | Neg of string | Plain of string
+type role_origin = Plus of string | Eq of string | Plain_role of string
+
+let strip_last s = String.sub s 0 (String.length s - 1)
+
+let atom_origin s =
+  let n = String.length s in
+  if n = 0 then Plain s
+  else
+    match s.[n - 1] with
+    | '+' -> Pos (strip_last s)
+    | '-' -> Neg (strip_last s)
+    | _ -> Plain s
+
+let role_origin s =
+  let n = String.length s in
+  if n = 0 then Plain_role s
+  else
+    match s.[n - 1] with
+    | '+' -> Plus (strip_last s)
+    | '=' -> Eq (strip_last s)
+    | _ -> Plain_role s
+
+let is_mangled s =
+  let n = String.length s in
+  n > 0 && (s.[n - 1] = '+' || s.[n - 1] = '-' || s.[n - 1] = '=')

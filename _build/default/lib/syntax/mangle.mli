@@ -1,0 +1,29 @@
+(** Naming scheme for the transformed language L̄ of §4.1.
+
+    The transformation of Definition 5 introduces, for every atomic concept
+    [A], two fresh atomic concepts [A⁺] and [A⁻], and for every (object or
+    datatype) role [R] two fresh roles [R⁺] and [R⁼].  We realize these as
+    decorated names using characters ([+], [-], [=]) that cannot occur in
+    identifiers of the surface syntax, so transformed names can never collide
+    with user names, and de-mangling is unambiguous.  Individual renaming
+    ā is the identity (the paper's renaming is an arbitrary bijection). *)
+
+val pos_atom : string -> string   (* A  ↦ A⁺ *)
+val neg_atom : string -> string   (* A  ↦ A⁻ *)
+val plus_role : string -> string  (* R  ↦ R⁺ *)
+val eq_role : string -> string    (* R  ↦ R⁼ *)
+
+type atom_origin =
+  | Pos of string      (** [A⁺] for user atom [A] *)
+  | Neg of string      (** [A⁻] for user atom [A] *)
+  | Plain of string    (** not a mangled name *)
+
+type role_origin =
+  | Plus of string     (** [R⁺] *)
+  | Eq of string       (** [R⁼] *)
+  | Plain_role of string
+
+val atom_origin : string -> atom_origin
+val role_origin : string -> role_origin
+
+val is_mangled : string -> bool

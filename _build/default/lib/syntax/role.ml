@@ -1,0 +1,26 @@
+type t = Name of string | Inv of string
+
+let name r = Name r
+let inv = function Name r -> Inv r | Inv r -> Name r
+let base = function Name r | Inv r -> r
+let is_inverse = function Inv _ -> true | Name _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Name x, Name y | Inv x, Inv y -> String.compare x y
+  | Name _, Inv _ -> -1
+  | Inv _, Name _ -> 1
+
+let equal a b = compare a b = 0
+
+let to_string = function Name r -> r | Inv r -> r ^ "^-"
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,26 @@
+(** Object roles of [SHOIN(D)]: atomic role names and their inverses.
+
+    Inverses are kept in a normal form where [Inv] only ever wraps an atomic
+    name, so [inv] is an involution by construction ([(R⁻)⁻ = R]). *)
+
+type t =
+  | Name of string  (** atomic role [R] *)
+  | Inv of string   (** inverse role [R⁻] *)
+
+val name : string -> t
+
+val inv : t -> t
+(** [inv (Name r) = Inv r] and [inv (Inv r) = Name r]. *)
+
+val base : t -> string
+(** The underlying atomic role name. *)
+
+val is_inverse : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/tableau/datacheck.ml: Concept Datatype List Option Set

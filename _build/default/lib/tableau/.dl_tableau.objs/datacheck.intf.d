@@ -1,0 +1,1 @@
+lib/tableau/datacheck.mli: Concept Datatype

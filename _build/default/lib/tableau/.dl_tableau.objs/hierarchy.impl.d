@@ -1,0 +1,1 @@
+lib/tableau/hierarchy.ml: Axiom List Map Role Set String

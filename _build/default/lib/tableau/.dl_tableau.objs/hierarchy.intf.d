@@ -1,0 +1,1 @@
+lib/tableau/hierarchy.mli: Axiom Role

@@ -1,0 +1,1 @@
+lib/tableau/reasoner.ml: Axiom Concept Format Hierarchy List Role Tableau

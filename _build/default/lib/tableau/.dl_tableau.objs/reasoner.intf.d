@@ -1,0 +1,1 @@
+lib/tableau/reasoner.mli: Axiom Concept Interp Role Tableau

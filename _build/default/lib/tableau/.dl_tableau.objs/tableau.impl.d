@@ -1,0 +1,1 @@
+lib/tableau/tableau.ml: Axiom Concept Datacheck Datatype Hashtbl Hierarchy Int Interp List Map Option Printf Role Set String

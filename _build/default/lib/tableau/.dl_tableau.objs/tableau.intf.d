@@ -1,0 +1,1 @@
+lib/tableau/tableau.mli: Axiom Interp

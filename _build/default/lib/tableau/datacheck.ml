@@ -1,0 +1,104 @@
+module VSet = Set.Make (struct
+  type t = Datatype.value
+
+  let compare = Datatype.compare_value
+end)
+
+type gathered = {
+  foralls : (string * Datatype.t) list;
+  exists_ : (string * Datatype.t) list;
+  at_least : (int * string) list;
+  at_most : (int * string) list;
+}
+
+let gather constraints =
+  List.fold_left
+    (fun g (c : Concept.t) ->
+      match c with
+      | Data_forall (u, d) -> { g with foralls = (u, d) :: g.foralls }
+      | Data_exists (u, d) -> { g with exists_ = (u, d) :: g.exists_ }
+      | Data_at_least (n, u) -> { g with at_least = (n, u) :: g.at_least }
+      | Data_at_most (n, u) -> { g with at_most = (n, u) :: g.at_most }
+      | _ -> g)
+    { foralls = []; exists_ = []; at_least = []; at_most = [] }
+    constraints
+
+let solve ~data_supers ~asserted ~constraints =
+  let g = gather constraints in
+  (* Constraints on values carried by (an edge labelled) [u]: every ∀v.D
+     with u ⊑* v applies. *)
+  let dall u =
+    let sups = data_supers u in
+    List.filter_map
+      (fun (v, d) -> if List.mem v sups then Some d else None)
+      g.foralls
+  in
+  let ok_asserted =
+    List.for_all
+      (fun (u, v) -> List.for_all (fun d -> Datatype.member v d) (dall u))
+      asserted
+  in
+  if not ok_asserted then None
+  else
+    (* [edges] is the explicit successor assignment being built. *)
+    let edges = ref asserted in
+    (* distinct values reachable as u-successors *)
+    let successors u =
+      List.fold_left
+        (fun acc (u', v) ->
+          if List.mem u (data_supers u') then VSet.add v acc else acc)
+        VSet.empty !edges
+    in
+    let exception Unsat in
+    try
+      (* ∃-constraints: reuse an existing admissible value if possible,
+         otherwise create a fresh witness on [u]. *)
+      List.iter
+        (fun (u, d) ->
+          let needed = d :: dall u in
+          let have =
+            VSet.exists
+              (fun v -> Datatype.member v d)
+              (successors u)
+          in
+          if not have then
+            (* prefer a value already present on other roles *)
+            let reusable =
+              List.find_opt
+                (fun (_, v) -> List.for_all (Datatype.member v) needed)
+                !edges
+            in
+            match reusable with
+            | Some (_, v) -> edges := (u, v) :: !edges
+            | None -> (
+                match Datatype.witnesses 1 needed with
+                | v :: _ -> edges := (u, v) :: !edges
+                | [] -> raise Unsat))
+        g.exists_;
+      (* ≥-constraints: top up to n distinct values on [u]. *)
+      List.iter
+        (fun (n, u) ->
+          let have = successors u in
+          let deficit = n - VSet.cardinal have in
+          if deficit > 0 then begin
+            let candidates =
+              Datatype.witnesses (n + VSet.cardinal have) (dall u)
+            in
+            let fresh =
+              List.filter (fun v -> not (VSet.mem v have)) candidates
+            in
+            if List.length fresh < deficit then raise Unsat
+            else
+              List.iteri
+                (fun i v -> if i < deficit then edges := (u, v) :: !edges)
+                fresh
+          end)
+        g.at_least;
+      (* ≤-constraints: final count. *)
+      if List.for_all (fun (n, u) -> VSet.cardinal (successors u) <= n) g.at_most
+      then Some !edges
+      else None
+    with Unsat -> None
+
+let satisfiable ~data_supers ~asserted ~constraints =
+  Option.is_some (solve ~data_supers ~asserted ~constraints)

@@ -1,0 +1,33 @@
+(** Per-node datatype (concrete domain) satisfiability.
+
+    Datatype constraints never create graph structure in the tableau: because
+    datatype expressions cannot nest object concepts, the satisfiability of
+    the datatype constraints attached to a single node is a local problem
+    over the concrete domain, decided here.
+
+    The procedure builds an explicit assignment of data successors (witness
+    values), honouring the data-role hierarchy: a successor created on [U]
+    counts as a successor for every [V] with [U ⊑* V], and a [∀V.D]
+    constraint restricts the values on every [U ⊑* V].
+
+    Sound and complete, except that in the presence of [≤ n.U] constraints
+    witness reuse across [∃]-constraints is greedy, so a rare false "unsat"
+    is possible when several overlapping existentials could share values in
+    a way greed misses (documented in DESIGN.md). *)
+
+val solve :
+  data_supers:(string -> string list) ->
+  asserted:(string * Datatype.value) list ->
+  constraints:Concept.t list ->
+  (string * Datatype.value) list option
+(** The witnessing successor assignment (a superset of [asserted]), or
+    [None] when the constraints are unsatisfiable.  [constraints] is a node
+    label; only [Data_exists], [Data_forall], [Data_at_least] and
+    [Data_at_most] members are inspected. *)
+
+val satisfiable :
+  data_supers:(string -> string list) ->
+  asserted:(string * Datatype.value) list ->
+  constraints:Concept.t list ->
+  bool
+(** [satisfiable ... = Option.is_some (solve ...)]. *)

@@ -1,0 +1,126 @@
+module RSet = Role.Set
+module RMap = Role.Map
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = {
+  role_supers : RSet.t RMap.t;  (* closure, reflexivity added on lookup *)
+  data_role_supers : SSet.t SMap.t;
+  transitive_roles : SSet.t;
+  declared_roles : RSet.t;      (* roles appearing in inclusion axioms *)
+}
+
+let add_edge m r s =
+  let cur = match RMap.find_opt r m with Some x -> x | None -> RSet.empty in
+  RMap.add r (RSet.add s cur) m
+
+(* Transitive closure by naive saturation — role hierarchies are tiny. *)
+let saturate m =
+  let changed = ref true in
+  let m = ref m in
+  while !changed do
+    changed := false;
+    RMap.iter
+      (fun r ss ->
+        RSet.iter
+          (fun s ->
+            match RMap.find_opt s !m with
+            | None -> ()
+            | Some ss' ->
+                RSet.iter
+                  (fun s' ->
+                    let cur =
+                      match RMap.find_opt r !m with
+                      | Some x -> x
+                      | None -> RSet.empty
+                    in
+                    if not (RSet.mem s' cur) then begin
+                      m := RMap.add r (RSet.add s' cur) !m;
+                      changed := true
+                    end)
+                  ss')
+          ss)
+      !m
+  done;
+  !m
+
+let saturate_str m =
+  let changed = ref true in
+  let m = ref m in
+  while !changed do
+    changed := false;
+    SMap.iter
+      (fun u vs ->
+        SSet.iter
+          (fun v ->
+            match SMap.find_opt v !m with
+            | None -> ()
+            | Some vs' ->
+                SSet.iter
+                  (fun v' ->
+                    let cur =
+                      match SMap.find_opt u !m with
+                      | Some x -> x
+                      | None -> SSet.empty
+                    in
+                    if not (SSet.mem v' cur) then begin
+                      m := SMap.add u (SSet.add v' cur) !m;
+                      changed := true
+                    end)
+                  vs')
+          vs)
+      !m
+  done;
+  !m
+
+let build tbox =
+  let role_supers, data_role_supers, transitive_roles, declared_roles =
+    List.fold_left
+      (fun (rm, dm, tr, dr) ax ->
+        match ax with
+        | Axiom.Role_sub (r, s) ->
+            let rm = add_edge rm r s in
+            let rm = add_edge rm (Role.inv r) (Role.inv s) in
+            (rm, dm, tr, RSet.add r (RSet.add s dr))
+        | Axiom.Data_role_sub (u, v) ->
+            let cur =
+              match SMap.find_opt u dm with Some x -> x | None -> SSet.empty
+            in
+            (rm, SMap.add u (SSet.add v cur) dm, tr, dr)
+        | Axiom.Transitive r -> (rm, dm, SSet.add r tr, dr)
+        | Axiom.Concept_sub _ -> (rm, dm, tr, dr))
+      (RMap.empty, SMap.empty, SSet.empty, RSet.empty)
+      tbox
+  in
+  { role_supers = saturate role_supers;
+    data_role_supers = saturate_str data_role_supers;
+    transitive_roles;
+    declared_roles }
+
+let supers h r =
+  let s =
+    match RMap.find_opt r h.role_supers with Some x -> x | None -> RSet.empty
+  in
+  RSet.add r s
+
+let sub_of h r s = RSet.mem s (supers h r)
+
+let data_supers h u =
+  let s =
+    match SMap.find_opt u h.data_role_supers with
+    | Some x -> x
+    | None -> SSet.empty
+  in
+  u :: SSet.elements (SSet.remove u s)
+
+let transitive h r = SSet.mem (Role.base r) h.transitive_roles
+
+let transitive_subs_below h s =
+  (* candidate transitive roles: both orientations of every declared
+     transitive base name *)
+  let candidates =
+    SSet.fold
+      (fun name acc -> Role.Name name :: Role.Inv name :: acc)
+      h.transitive_roles []
+  in
+  List.filter (fun r -> sub_of h r s) candidates

@@ -1,0 +1,25 @@
+(** Role-hierarchy preprocessing for the tableau.
+
+    Computes the reflexive-transitive closure ⊑* of the declared role
+    inclusions, closed under inverses (R ⊑ S implies R⁻ ⊑ S⁻), and the set of
+    transitive base roles (Trans(R) iff Trans(R⁻)). *)
+
+type t
+
+val build : Axiom.tbox_axiom list -> t
+
+val supers : t -> Role.t -> Role.Set.t
+(** All [S] with [R ⊑* S], including [R] itself. *)
+
+val sub_of : t -> Role.t -> Role.t -> bool
+(** [sub_of h r s] iff [r ⊑* s]. *)
+
+val data_supers : t -> string -> string list
+(** All data roles [V] with [U ⊑* V], including [U]. *)
+
+val transitive : t -> Role.t -> bool
+(** Whether the role's base name is declared transitive. *)
+
+val transitive_subs_below : t -> Role.t -> Role.t list
+(** All transitive [R'] with [R' ⊑* S] — the roles through which a
+    [∀S.C] constraint must be propagated (the ∀₊ rule). *)

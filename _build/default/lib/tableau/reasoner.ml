@@ -1,0 +1,106 @@
+type t = {
+  kb : Axiom.kb;
+  max_nodes : int;
+  max_branches : int;
+  stats : Tableau.stats;
+  mutable consistent : bool option;
+}
+
+let create ?(max_nodes = 20_000) ?(max_branches = max_int) kb =
+  { kb;
+    max_nodes;
+    max_branches;
+    stats = Tableau.fresh_stats ();
+    consistent = None }
+
+let kb t = t.kb
+let stats t = t.stats
+
+let sat t extra_abox =
+  Tableau.kb_satisfiable ~max_nodes:t.max_nodes ~max_branches:t.max_branches
+    ~stats:t.stats
+    { t.kb with abox = t.kb.abox @ extra_abox }
+
+let is_consistent t =
+  match t.consistent with
+  | Some b -> b
+  | None ->
+      let b = sat t [] in
+      t.consistent <- Some b;
+      b
+
+let consistent_with t extra = sat t extra
+
+let find_model t =
+  Tableau.kb_model ~max_nodes:t.max_nodes ~max_branches:t.max_branches
+    ~stats:t.stats t.kb
+
+(* Fresh names use ':', which cannot appear in surface-syntax identifiers. *)
+let fresh_individual = "q:fresh"
+let fresh_marker = "q:marker"
+
+let concept_satisfiable t c =
+  sat t [ Axiom.Instance_of (fresh_individual, c) ]
+
+let subsumes t c d =
+  not (concept_satisfiable t (Concept.And (c, Concept.Not d)))
+
+let equivalent t c d = subsumes t c d && subsumes t d c
+
+let instance_of t a c = not (sat t [ Axiom.Instance_of (a, Concept.Not c) ])
+
+let role_entailed t a r b =
+  not
+    (sat t
+       [ Axiom.Instance_of (b, Concept.Atom fresh_marker);
+         Axiom.Instance_of
+           (a, Concept.Forall (r, Concept.Not (Concept.Atom fresh_marker))) ])
+
+let same_entailed t a b =
+  not
+    (sat t
+       [ Axiom.Instance_of (a, Concept.Atom fresh_marker);
+         Axiom.Instance_of (b, Concept.Not (Concept.Atom fresh_marker)) ])
+
+let different_entailed t a b = not (sat t [ Axiom.Same (a, b) ])
+
+let classify t =
+  let atoms = (Axiom.signature t.kb).concepts in
+  List.map
+    (fun a ->
+      let supers =
+        List.filter
+          (fun b -> b <> a && subsumes t (Concept.Atom a) (Concept.Atom b))
+          atoms
+      in
+      (a, supers))
+    atoms
+
+let validate t =
+  let h = Hierarchy.build t.kb.tbox in
+  let warnings = ref [] in
+  let warn fmt = Format.kasprintf (fun s -> warnings := s :: !warnings) fmt in
+  let check_concept c =
+    List.iter
+      (fun (sub : Concept.t) ->
+        match sub with
+        | At_least (_, r) | At_most (_, r) ->
+            if Hierarchy.transitive_subs_below h r <> [] then
+              warn
+                "number restriction %s uses non-simple role %s (it has a \
+                 transitive subrole); outside the decidable fragment"
+                (Concept.to_string sub) (Role.to_string r)
+        | _ -> ())
+      (Concept.subconcepts c)
+  in
+  List.iter
+    (function
+      | Axiom.Concept_sub (c, d) ->
+          check_concept c;
+          check_concept d
+      | _ -> ())
+    t.kb.tbox;
+  List.iter
+    (function Axiom.Instance_of (_, c) -> check_concept c | _ -> ())
+    t.kb.abox;
+  List.rev !warnings

@@ -1,0 +1,56 @@
+(** Standard reasoning services for classical [SHOIN(D)] knowledge bases,
+    reduced to KB satisfiability in the usual way (cf. §2.1 of the paper: OWL
+    DL entailment reduces to [SHOIN(D)] KB (un)satisfiability).
+
+    All queries run the tableau from scratch on the (preprocessed) KB plus
+    the query assertions — there is no incremental reasoning. *)
+
+type t
+
+val create : ?max_nodes:int -> ?max_branches:int -> Axiom.kb -> t
+
+val kb : t -> Axiom.kb
+
+val stats : t -> Tableau.stats
+(** Cumulative tableau statistics over all queries run so far. *)
+
+val is_consistent : t -> bool
+(** KB satisfiability (cached after the first call). *)
+
+val consistent_with : t -> Axiom.abox_axiom list -> bool
+(** Satisfiability of the KB together with extra assertions. *)
+
+val find_model : t -> Interp.t option
+(** A verified finite model of the KB, when the tableau's completion graph
+    yields one (see {!Tableau.kb_model}). *)
+
+val concept_satisfiable : t -> Concept.t -> bool
+(** Is [C] satisfiable w.r.t. the KB (i.e. is [K ∪ {C(fresh)}]
+    satisfiable)? *)
+
+val subsumes : t -> Concept.t -> Concept.t -> bool
+(** [subsumes t c d] iff [K ⊨ C ⊑ D], i.e. [C ⊓ ¬D] is unsatisfiable
+    w.r.t. [K]. *)
+
+val equivalent : t -> Concept.t -> Concept.t -> bool
+
+val instance_of : t -> string -> Concept.t -> bool
+(** [instance_of t a c] iff [K ⊨ C(a)], i.e. [K ∪ {¬C(a)}] is
+    unsatisfiable.  In an inconsistent KB every instance check holds — the
+    triviality the paper sets out to repair. *)
+
+val role_entailed : t -> string -> Role.t -> string -> bool
+(** [K ⊨ R(a,b)], decided with a fresh marker concept:
+    [K ∪ {b : X, a : ∀R.¬X}] is unsatisfiable. *)
+
+val same_entailed : t -> string -> string -> bool
+val different_entailed : t -> string -> string -> bool
+
+val classify : t -> (string * string list) list
+(** For each atomic concept of the KB's signature, its atomic subsumers
+    (excluding itself unless equivalent). Brute-force pairwise subsumption. *)
+
+val validate : t -> string list
+(** Static well-formedness warnings, e.g. number restrictions over
+    non-simple (transitive) roles, which fall outside the decidable
+    fragment. *)

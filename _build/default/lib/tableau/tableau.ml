@@ -1,0 +1,1171 @@
+exception Resource_limit of string
+
+module CSet = Concept.Set
+module IMap = Map.Make (Int)
+module ISet = Set.Make (Int)
+module RSet = Role.Set
+module SMap = Map.Make (String)
+
+module EKey = struct
+  type t = int * int
+
+  let compare (a1, b1) (a2, b2) =
+    let c = Int.compare a1 a2 in
+    if c <> 0 then c else Int.compare b1 b2
+end
+
+module EMap = Map.Make (EKey)
+
+type stats = {
+  mutable branches_explored : int;
+  mutable nodes_created : int;
+  mutable merges : int;
+}
+
+let fresh_stats () = { branches_explored = 0; nodes_created = 0; merges = 0 }
+
+type node = {
+  labels : CSet.t;
+  parent : int option;  (* [Some p] for blockable tree nodes *)
+  data_asserted : (string * Datatype.value) list;
+}
+
+type state = {
+  nodes : node IMap.t;
+  edges : RSet.t EMap.t;       (* directed edges labelled with role sets *)
+  succs : ISet.t IMap.t;       (* adjacency index: x -> {y | (x,y) edge} *)
+  preds : ISet.t IMap.t;       (* adjacency index: y -> {x | (x,y) edge} *)
+  distinct : ISet.t IMap.t;    (* symmetric ≠ relation *)
+  names : int SMap.t;          (* individual name -> node id *)
+  next_id : int;
+  dirty : ISet.t;              (* nodes whose rules must be (re)examined *)
+  open_or : ISet.t;            (* nodes that may carry an undecided ⊔ *)
+  counting : ISet.t;           (* nodes carrying ≤-restrictions or
+                                  disjunctive nominals *)
+  gen_pending : ISet.t;        (* nodes whose generating rules may apply *)
+}
+
+(* Blocking strategy, chosen by the expressivity actually used by the KB
+   (weaker blocking converges much earlier):
+   - [Subset]: L(x) ⊆ L(y) for an ancestor y — sound without inverse roles
+     and without at-most restrictions (constraints only ever look down the
+     tree and grow monotonically);
+   - [Equal]: L(x) = L(y) — sound without inverse roles;
+   - [Pairwise]: the full SHIQ-style condition, used whenever inverse roles
+     occur. *)
+type blocking = Subset | Equal | Pairwise
+
+type ctx = {
+  h : Hierarchy.t;
+  unfold : Concept.t list SMap.t;  (* lazily unfolded atomic-LHS axioms *)
+  gcis : Concept.t list;           (* internalized: added to every node *)
+  blocking : blocking;
+  max_nodes : int;
+  max_branches : int;
+  stats : stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* State accessors *)
+
+let node st x = IMap.find x st.nodes
+
+let labels st x = (node st x).labels
+
+let edge_label st x y =
+  match EMap.find_opt (x, y) st.edges with Some s -> s | None -> RSet.empty
+
+let distinct_of st x =
+  match IMap.find_opt x st.distinct with Some s -> s | None -> ISet.empty
+
+let are_distinct st x y = ISet.mem y (distinct_of st x)
+
+let mark_dirty st x = { st with dirty = ISet.add x st.dirty }
+
+let add_distinct st x y =
+  let dx = ISet.add y (distinct_of st x) in
+  let dy = ISet.add x (distinct_of st y) in
+  { st with
+    distinct = IMap.add x dx (IMap.add y dy st.distinct);
+    dirty = ISet.add x (ISet.add y st.dirty) }
+
+let add_labels st x cs =
+  let n = node st x in
+  let labels = List.fold_left (fun acc c -> CSet.add c acc) n.labels cs in
+  let has_or =
+    List.exists (function Concept.Or _ -> true | _ -> false) cs
+  in
+  let has_counting =
+    List.exists
+      (function
+        | Concept.At_most _ | Concept.One_of (_ :: _ :: _) -> true
+        | _ -> false)
+      cs
+  in
+  { st with
+    nodes = IMap.add x { n with labels } st.nodes;
+    dirty = ISet.add x st.dirty;
+    open_or = (if has_or then ISet.add x st.open_or else st.open_or);
+    counting = (if has_counting then ISet.add x st.counting else st.counting);
+    gen_pending = ISet.add x st.gen_pending }
+
+let iset_at m x = match IMap.find_opt x m with Some s -> s | None -> ISet.empty
+
+let add_edge_label st x y rs =
+  let cur = edge_label st x y in
+  { st with
+    edges = EMap.add (x, y) (RSet.union cur rs) st.edges;
+    succs = IMap.add x (ISet.add y (iset_at st.succs x)) st.succs;
+    preds = IMap.add y (ISet.add x (iset_at st.preds y)) st.preds;
+    dirty = ISet.add x (ISet.add y st.dirty);
+    gen_pending = ISet.add x (ISet.add y st.gen_pending) }
+
+let new_node ctx st ~parent ~labels:lbls =
+  if st.next_id >= ctx.max_nodes then
+    raise (Resource_limit (Printf.sprintf "node limit %d exceeded" ctx.max_nodes));
+  ctx.stats.nodes_created <- ctx.stats.nodes_created + 1;
+  let id = st.next_id in
+  let n = { labels = CSet.empty; parent; data_asserted = [] } in
+  let st =
+    { st with
+      nodes = IMap.add id n st.nodes;
+      next_id = id + 1;
+      dirty = ISet.add id st.dirty }
+  in
+  (id, add_labels st id lbls)
+
+(* All (neighbour, connecting-role) pairs of [x]; a role appears once per
+   edge label entry.  Uses the adjacency indices: O(degree). *)
+let neighbour_roles st x =
+  let out =
+    ISet.fold
+      (fun y acc ->
+        RSet.fold (fun r acc -> (y, r) :: acc) (edge_label st x y) acc)
+      (iset_at st.succs x) []
+  in
+  ISet.fold
+    (fun y acc ->
+      RSet.fold (fun r acc -> (y, Role.inv r) :: acc) (edge_label st y x) acc)
+    (iset_at st.preds x) out
+
+(* Nodes y that are R-neighbours of x (deduplicated). *)
+let r_neighbours ctx st x r =
+  let ys =
+    List.filter_map
+      (fun (y, t) -> if Hierarchy.sub_of ctx.h t r then Some y else None)
+      (neighbour_roles st x)
+  in
+  ISet.elements (ISet.of_list ys)
+
+(* ------------------------------------------------------------------ *)
+(* Blocking (pairwise, ancestor) *)
+
+(* The label of the tree edge p -> x as seen from p, including redirected
+   back-edges. *)
+let tree_edge_label st p x =
+  let fwd = edge_label st p x in
+  let bwd = RSet.map Role.inv (edge_label st x p) in
+  RSet.union fwd bwd
+
+(* Blocking status: the set of blocked nodes (directly or indirectly) and,
+   for directly blocked nodes, their blocking witness (used by model
+   extraction to tie the loop back). *)
+let compute_blocking ctx st =
+  (* Process nodes by id: parents are always older than their children. *)
+  let blocked = ref ISet.empty in
+  let witness = ref IMap.empty in
+  IMap.iter
+    (fun x n ->
+      match n.parent with
+      | None -> ()
+      | Some px ->
+          if ISet.mem px !blocked then blocked := ISet.add x !blocked
+          else begin
+            let lx = n.labels and lpx = labels st px in
+            match ctx.blocking with
+            | Subset | Equal ->
+                (* anywhere blocking: any older unblocked witness *)
+                let blocks y =
+                  match ctx.blocking with
+                  | Subset -> CSet.subset lx (labels st y)
+                  | Equal | Pairwise -> CSet.equal (labels st y) lx
+                in
+                (try
+                   IMap.iter
+                     (fun y _ ->
+                       if y >= x then raise Exit
+                       else if (not (ISet.mem y !blocked)) && blocks y then begin
+                         blocked := ISet.add x !blocked;
+                         witness := IMap.add x y !witness;
+                         raise Exit
+                       end)
+                     st.nodes
+                 with Exit -> ())
+            | Pairwise ->
+                let ex = tree_edge_label st px x in
+                let blocks y =
+                  match (node st y).parent with
+                  | None -> false
+                  | Some py ->
+                      CSet.equal (labels st y) lx
+                      && CSet.equal (labels st py) lpx
+                      && RSet.equal (tree_edge_label st py y) ex
+                in
+                let rec walk_up y =
+                  if y <> x && (not (ISet.mem y !blocked)) && blocks y then begin
+                    blocked := ISet.add x !blocked;
+                    witness := IMap.add x y !witness
+                  end
+                  else
+                    match (node st y).parent with
+                    | None -> ()
+                    | Some py -> walk_up py
+                in
+                (* walk strictly above x, starting from its parent *)
+                walk_up px
+          end)
+    st.nodes;
+  (!blocked, !witness)
+
+
+(* ------------------------------------------------------------------ *)
+(* Merging with pruning *)
+
+let subtree st root =
+  let rec go acc x =
+    let children =
+      IMap.fold
+        (fun y n acc -> if n.parent = Some x then y :: acc else acc)
+        st.nodes []
+    in
+    List.fold_left go (ISet.add x acc) children
+  in
+  go ISet.empty root
+
+let remove_nodes st doomed =
+  let nodes = IMap.filter (fun x _ -> not (ISet.mem x doomed)) st.nodes in
+  let edges =
+    EMap.filter
+      (fun (a, b) _ -> not (ISet.mem a doomed || ISet.mem b doomed))
+      st.edges
+  in
+  let distinct =
+    IMap.filter_map
+      (fun x s ->
+        if ISet.mem x doomed then None
+        else
+          let s = ISet.diff s doomed in
+          Some s)
+      st.distinct
+  in
+  let prune_index m =
+    IMap.filter_map
+      (fun x s ->
+        if ISet.mem x doomed then None else Some (ISet.diff s doomed))
+      m
+  in
+  { st with
+    nodes;
+    edges;
+    distinct;
+    succs = prune_index st.succs;
+    preds = prune_index st.preds;
+    dirty = ISet.diff st.dirty doomed;
+    open_or = ISet.diff st.open_or doomed;
+    counting = ISet.diff st.counting doomed;
+    gen_pending = ISet.diff st.gen_pending doomed }
+
+(* Merge node [src] into [dst]: union labels, redirect edges, transfer
+   distinctness and names, prune src's blockable subtree.  Returns [None] on
+   a ≠-clash. *)
+let rec merge ctx st ~src ~dst =
+  if src = dst then Some st
+  else if ISet.mem dst (subtree st src) then merge ctx st ~src:dst ~dst:src
+  else if are_distinct st src dst then None
+  else begin
+    ctx.stats.merges <- ctx.stats.merges + 1;
+    let doomed = ISet.remove src (subtree st src) in
+    let st = remove_nodes st doomed in
+    let nsrc = node st src and ndst = node st dst in
+    (* union labels and asserted data edges *)
+    let ndst =
+      { ndst with
+        labels = CSet.union ndst.labels nsrc.labels;
+        data_asserted = nsrc.data_asserted @ ndst.data_asserted }
+    in
+    let st = { st with nodes = IMap.add dst ndst st.nodes } in
+    (* redirect edges *)
+    let st =
+      EMap.fold
+        (fun (a, b) rs st ->
+          if a = src && b = src then add_edge_label st dst dst rs
+          else if a = src then add_edge_label st dst b rs
+          else if b = src then add_edge_label st a dst rs
+          else st)
+        st.edges st
+    in
+    let st =
+      { st with
+        edges = EMap.filter (fun (a, b) _ -> a <> src && b <> src) st.edges }
+    in
+    (* transfer distinctness *)
+    let st =
+      ISet.fold (fun y st -> add_distinct st y dst) (distinct_of st src) st
+    in
+    (* purge src from the adjacency indices of its neighbours *)
+    let preds' =
+      ISet.fold
+        (fun y m -> IMap.add y (ISet.remove src (iset_at m y)) m)
+        (iset_at st.succs src) st.preds
+    in
+    let succs' =
+      ISet.fold
+        (fun y m -> IMap.add y (ISet.remove src (iset_at m y)) m)
+        (iset_at st.preds src) st.succs
+    in
+    let st =
+      { st with
+        distinct = IMap.remove src st.distinct;
+        names = SMap.map (fun x -> if x = src then dst else x) st.names;
+        nodes = IMap.remove src st.nodes;
+        succs = IMap.remove src succs';
+        preds = IMap.remove src preds' }
+    in
+    (* re-examine the merged node and everything around it *)
+    let st =
+      ISet.fold
+        (fun y st -> mark_dirty st y)
+        (ISet.union (iset_at st.succs dst) (iset_at st.preds dst))
+        (mark_dirty st dst)
+    in
+    (* dst absorbed src's label: it may now carry choices or new work *)
+    let st =
+      { st with
+        open_or = ISet.add dst st.open_or;
+        counting = ISet.add dst st.counting;
+        gen_pending =
+          ISet.union st.gen_pending
+            (ISet.add dst
+               (ISet.union (iset_at st.succs dst) (iset_at st.preds dst))) }
+    in
+    if are_distinct st dst dst then None else Some st
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Clash detection *)
+
+(* Is there a set of [k] pairwise-distinct nodes among [ys]? *)
+let exists_distinct_clique st k ys =
+  let rec go chosen = function
+    | [] -> List.length chosen >= k
+    | _ when List.length chosen >= k -> true
+    | y :: rest ->
+        (List.for_all (fun z -> are_distinct st y z) chosen
+        && go (y :: chosen) rest)
+        || go chosen rest
+  in
+  go [] ys
+
+let node_clash ctx st x =
+  let ls = labels st x in
+  CSet.mem Concept.Bottom ls
+  || CSet.exists
+       (fun c ->
+         match (c : Concept.t) with
+         | Not (Atom a) -> CSet.mem (Concept.Atom a) ls
+         | Not (One_of os) ->
+             List.exists (fun o -> SMap.find_opt o st.names = Some x) os
+         | At_most (n, r) ->
+             let ys = r_neighbours ctx st x r in
+             List.length ys > n && exists_distinct_clique st (n + 1) ys
+         | _ -> false)
+       ls
+  || are_distinct st x x
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic saturation *)
+
+exception Clashed
+
+let rec disjuncts (c : Concept.t) =
+  match c with Or (a, b) -> disjuncts a @ disjuncts b | c -> [ c ]
+
+(* A disjunct is locally falsified when its (atomic) complement is already
+   in the label: choosing it would clash immediately.  Used for unit
+   propagation and branch pruning. *)
+let falsified lbls (d : Concept.t) =
+  match d with
+  | Atom a -> CSet.mem (Concept.Not (Concept.Atom a)) lbls
+  | Not (Atom a) -> CSet.mem (Concept.Atom a) lbls
+  | Bottom -> true
+  | _ -> false
+
+(* Apply all deterministic, non-generating rules until fixpoint, driven by
+   the dirty set: only nodes whose label, edges or distinctness changed are
+   re-examined.  Returns the saturated state and the set of nodes touched
+   (the only candidates for new clashes).
+   Raises [Clashed] on a merge clash. *)
+let saturate ctx st =
+  let st = ref st in
+  let touched = ref ISet.empty in
+  while not (ISet.is_empty !st.dirty) do
+    let work = !st.dirty in
+    st := { !st with dirty = ISet.empty };
+    touched := ISet.union !touched work;
+    let add x cs =
+      let cs = List.filter (fun c -> not (CSet.mem c (labels !st x))) cs in
+      if cs <> [] then st := add_labels !st x cs
+    in
+    let ids = ISet.elements work in
+    List.iter
+      (fun x ->
+        if IMap.mem x !st.nodes then begin
+          (* GCIs on every node *)
+          add x ctx.gcis;
+          CSet.iter
+            (fun c ->
+              if IMap.mem x !st.nodes then
+                match (c : Concept.t) with
+                | And (a, b) -> add x [ a; b ]
+                | Or _ ->
+                    (* unit propagation over the flattened disjunction *)
+                    let lbls = labels !st x in
+                    let ds = disjuncts c in
+                    if not (List.exists (fun d -> CSet.mem d lbls) ds) then begin
+                      match List.filter (fun d -> not (falsified lbls d)) ds with
+                      | [] -> add x [ Concept.Bottom ]
+                      | [ d ] -> add x [ d ]
+                      | _ :: _ :: _ -> ()
+                    end
+                | Atom a -> (
+                    match SMap.find_opt a ctx.unfold with
+                    | Some cs -> add x cs
+                    | None -> ())
+                | Forall (s, body) ->
+                    List.iter
+                      (fun y -> add y [ body ])
+                      (r_neighbours ctx !st x s);
+                    (* ∀₊: propagate through transitive subroles *)
+                    List.iter
+                      (fun r ->
+                        List.iter
+                          (fun y -> add y [ Concept.Forall (r, body) ])
+                          (r_neighbours ctx !st x r))
+                      (Hierarchy.transitive_subs_below ctx.h s)
+                | One_of [ o ] -> (
+                    match SMap.find_opt o !st.names with
+                    | Some y when y = x -> ()
+                    | Some y -> (
+                        match merge ctx !st ~src:x ~dst:y with
+                        | Some st' -> st := st'
+                        | None -> raise Clashed)
+                    | None ->
+                        (* x becomes the named node for o; promote to root
+                           so it can never be pruned or blocked *)
+                        let n = node !st x in
+                        st :=
+                          mark_dirty
+                            { !st with
+                              nodes =
+                                IMap.add x { n with parent = None } !st.nodes;
+                              names = SMap.add o x !st.names }
+                            x)
+                | Not (One_of os) ->
+                    List.iter
+                      (fun o ->
+                        let st', y =
+                          match SMap.find_opt o !st.names with
+                          | Some y -> (!st, y)
+                          | None ->
+                              let y, st' =
+                                new_node ctx !st ~parent:None ~labels:[]
+                              in
+                              ( { st' with names = SMap.add o y st'.names },
+                                y )
+                        in
+                        st := st';
+                        if not (are_distinct !st x y) then
+                          st := add_distinct !st x y)
+                      os
+                | _ -> ())
+            (labels !st x)
+        end)
+      ids
+  done;
+  (!st, !touched)
+
+(* ------------------------------------------------------------------ *)
+(* Nondeterministic choices *)
+
+type choice =
+  | Disjunction of int * Concept.t list        (* node, disjuncts to try *)
+  | Merge_pairs of (int * int) list            (* ≤-rule merge candidates *)
+  | Nominal_choice of int * string list        (* node, nominals to try *)
+
+let find_choice ctx st =
+  (* Disjunctions first, scanning only nodes registered in [open_or] and
+     pruning the ones that turn out fully decided; fail-first heuristic:
+     branch on a disjunction with the fewest live alternatives. *)
+  let best = ref None in
+  let best_size = ref max_int in
+  let still_open = ref ISet.empty in
+  ISet.iter
+    (fun x ->
+      match IMap.find_opt x st.nodes with
+      | None -> ()
+      | Some n ->
+          let node_open = ref false in
+          CSet.iter
+            (fun c ->
+              match (c : Concept.t) with
+              | Or _ ->
+                  let ds = disjuncts c in
+                  if not (List.exists (fun d -> CSet.mem d n.labels) ds) then begin
+                    node_open := true;
+                    (* saturation already handled the 0/1-candidate cases *)
+                    let live =
+                      List.filter (fun d -> not (falsified n.labels d)) ds
+                    in
+                    let k = List.length live in
+                    if k < !best_size then begin
+                      best := Some (Disjunction (x, live));
+                      best_size := k
+                    end
+                  end
+              | _ -> ())
+            n.labels;
+          if !node_open then still_open := ISet.add x !still_open)
+    st.open_or;
+  let st = { st with open_or = !still_open } in
+  match !best with
+  | Some _ as choice -> (choice, st)
+  | None ->
+      (* counting choices: ≤-merges and disjunctive nominals.  Nodes with
+         ≤-restrictions stay registered (new edges can retrigger them);
+         nodes whose only reason was a now-resolved nominal are pruned. *)
+      let found = ref None in
+      let still = ref ISet.empty in
+      (try
+         ISet.iter
+           (fun x ->
+             match IMap.find_opt x st.nodes with
+             | None -> ()
+             | Some n ->
+                 let keep = ref false in
+                 CSet.iter
+                   (fun c ->
+                     match (c : Concept.t) with
+                     | At_most (k, r) ->
+                         keep := true;
+                         let ys = r_neighbours ctx st x r in
+                         if List.length ys > k then begin
+                           let pairs = ref [] in
+                           List.iteri
+                             (fun i y ->
+                               List.iteri
+                                 (fun j z ->
+                                   if i < j && not (are_distinct st y z) then
+                                     let src, dst =
+                                       if y > z then (y, z) else (z, y)
+                                     in
+                                     pairs := (src, dst) :: !pairs)
+                                 ys)
+                             ys;
+                           if !pairs <> [] then begin
+                             still := ISet.add x !still;
+                             found := Some (Merge_pairs !pairs);
+                             raise Exit
+                           end
+                           (* no mergeable pair: clash will be caught by
+                              the clique check *)
+                         end
+                     | One_of (_ :: _ :: _ as os) ->
+                         if
+                           not
+                             (List.exists
+                                (fun o -> SMap.find_opt o st.names = Some x)
+                                os)
+                         then begin
+                           keep := true;
+                           still := ISet.add x !still;
+                           found := Some (Nominal_choice (x, os));
+                           raise Exit
+                         end
+                     | _ -> ())
+                   n.labels;
+                 if !keep then still := ISet.add x !still)
+           st.counting
+       with Exit ->
+         (* keep the not-yet-visited nodes registered *)
+         ISet.iter
+           (fun x -> still := ISet.add x !still)
+           st.counting);
+      (!found, { st with counting = !still })
+
+(* ------------------------------------------------------------------ *)
+(* Generating rules *)
+
+(* Lazy blocked check with per-call memoization: a node is blocked iff an
+   ancestor directly blocks it or an ancestor is itself blocked. *)
+let blocked_checker ctx st =
+  let memo = Hashtbl.create 16 in
+  let rec directly_blocked x =
+    match (node st x).parent with
+    | None -> false
+    | Some px -> (
+        let lx = labels st x and lpx = labels st px in
+        match ctx.blocking with
+        | Subset | Equal ->
+            (* ANYWHERE blocking: any older unblocked node may witness —
+               essential to collapse exponential unfolding trees *)
+            let blocks y = match ctx.blocking with
+              | Subset -> CSet.subset lx (labels st y)
+              | Equal | Pairwise -> CSet.equal (labels st y) lx
+            in
+            IMap.exists
+              (fun y _ -> y < x && (not (is_blocked y)) && blocks y)
+              st.nodes
+        | Pairwise ->
+            (* ancestor pairwise blocking (inverse roles present) *)
+            let ex = tree_edge_label st px x in
+            let blocks y =
+              match (node st y).parent with
+              | None -> false
+              | Some py ->
+                  CSet.equal (labels st y) lx
+                  && CSet.equal (labels st py) lpx
+                  && RSet.equal (tree_edge_label st py y) ex
+            in
+            let rec walk y =
+              (y <> x && (not (is_blocked y)) && blocks y)
+              ||
+              match (node st y).parent with
+              | None -> false
+              | Some py -> walk py
+            in
+            walk px)
+  and is_blocked x =
+    match Hashtbl.find_opt memo x with
+    | Some b -> b
+    | None ->
+        let b =
+          match (node st x).parent with
+          | None -> false
+          | Some px -> is_blocked px || directly_blocked x
+        in
+        Hashtbl.add memo x b;
+        b
+  in
+  is_blocked
+
+(* Generating rules are only re-examined on the pending frontier: nodes
+   whose label or neighbourhood changed since they were last found fully
+   expanded.  Blocked nodes stay pending (they may unblock later); nodes
+   with nothing to generate are dropped.  Returns the (possibly pruned)
+   state alongside the rule application. *)
+let find_generating ctx st =
+  let is_blocked = blocked_checker ctx st in
+  let result = ref None in
+  let still = ref ISet.empty in
+  (try
+     ISet.iter
+       (fun x ->
+         match IMap.find_opt x st.nodes with
+         | None -> ()
+         | Some n ->
+             if is_blocked x then still := ISet.add x !still
+             else
+               let applicable = ref false in
+               CSet.iter
+                 (fun c ->
+                   match (c : Concept.t) with
+                   | Exists (r, body) ->
+                       let witnessed =
+                         List.exists
+                           (fun y -> CSet.mem body (labels st y))
+                           (r_neighbours ctx st x r)
+                       in
+                       if not witnessed then begin
+                         applicable := true;
+                         result :=
+                           Some
+                             (fun st ->
+                               let y, st =
+                                 new_node ctx st ~parent:(Some x)
+                                   ~labels:[ body ]
+                               in
+                               add_edge_label st x y (RSet.singleton r));
+                         raise Exit
+                       end
+                   | At_least (k, r) ->
+                       let ys = r_neighbours ctx st x r in
+                       if not (exists_distinct_clique st k ys) then begin
+                         applicable := true;
+                         result :=
+                           Some
+                             (fun st ->
+                               (* create k fresh pairwise-distinct
+                                  successors *)
+                               let rec go st created i =
+                                 if i = 0 then (st, created)
+                                 else
+                                   let y, st =
+                                     new_node ctx st ~parent:(Some x)
+                                       ~labels:[]
+                                   in
+                                   let st =
+                                     add_edge_label st x y (RSet.singleton r)
+                                   in
+                                   let st =
+                                     List.fold_left
+                                       (fun st z -> add_distinct st y z)
+                                       st created
+                                   in
+                                   go st (y :: created) (i - 1)
+                               in
+                               let st, _ = go st [] k in
+                               st);
+                         raise Exit
+                       end
+                   | _ -> ())
+                 n.labels;
+               ignore !applicable)
+       st.gen_pending
+   with Exit ->
+     (* keep everything pending: the applied rule will re-register what it
+        touches, and unvisited nodes must not be lost *)
+     still := st.gen_pending);
+  (!result, { st with gen_pending = !still })
+
+(* ------------------------------------------------------------------ *)
+(* Final (rule-free) checks: datatypes *)
+
+let data_ok ctx st =
+  IMap.for_all
+    (fun _ n ->
+      Datacheck.satisfiable
+        ~data_supers:(Hierarchy.data_supers ctx.h)
+        ~asserted:n.data_asserted
+        ~constraints:(CSet.elements n.labels))
+    st.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Main expansion loop *)
+
+(* Expand to a complete, clash-free state ([Some]) or fail ([None]). *)
+let rec expand ctx st =
+  match saturate ctx st with
+  | exception Clashed -> None
+  | st, touched ->
+      if
+        ISet.exists
+          (fun x -> IMap.mem x st.nodes && node_clash ctx st x)
+          touched
+      then None
+      else begin
+        if ctx.stats.branches_explored > ctx.max_branches then
+          raise
+            (Resource_limit
+               (Printf.sprintf "branch limit %d exceeded" ctx.max_branches));
+        let choice, st = find_choice ctx st in
+        match choice with
+        | Some (Disjunction (x, ds)) ->
+            (* semantic branching: later alternatives assert the negation
+               of the ones already refuted, so subproblems don't overlap *)
+            let rec try_branches negs = function
+              | [] -> None
+              | d :: rest -> (
+                  ctx.stats.branches_explored <-
+                    ctx.stats.branches_explored + 1;
+                  match expand ctx (add_labels st x (d :: negs)) with
+                  | Some _ as r -> r
+                  | None ->
+                      try_branches (Concept.nnf (Concept.Not d) :: negs) rest)
+            in
+            try_branches [] ds
+        | Some (Merge_pairs pairs) ->
+            List.find_map
+              (fun (src, dst) ->
+                ctx.stats.branches_explored <- ctx.stats.branches_explored + 1;
+                match merge ctx st ~src ~dst with
+                | Some st' -> expand ctx st'
+                | None -> None)
+              pairs
+        | Some (Nominal_choice (x, os)) ->
+            List.find_map
+              (fun o ->
+                ctx.stats.branches_explored <- ctx.stats.branches_explored + 1;
+                expand ctx (add_labels st x [ Concept.One_of [ o ] ]))
+              os
+        | None -> (
+            match find_generating ctx st with
+            | Some apply, st -> expand ctx (apply st)
+            | None, st -> if data_ok ctx st then Some st else None)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Preprocessing: absorption and internalization *)
+
+let rec conjuncts (c : Concept.t) =
+  match c with And (a, b) -> conjuncts a @ conjuncts b | c -> [ c ]
+
+let preprocess_tbox tbox =
+  List.fold_left
+    (fun (unfold, gcis) ax ->
+      match ax with
+      | Axiom.Concept_sub (c, d) -> (
+          let cs = conjuncts c in
+          match
+            List.partition (function Concept.Atom _ -> true | _ -> false) cs
+          with
+          | Concept.Atom a :: extra_atoms, rest ->
+              (* absorb into A ⊑ nnf(¬(rest ⊓ extras) ⊔ D) *)
+              let residue = extra_atoms @ rest in
+              let rhs =
+                if residue = [] then Concept.nnf d
+                else
+                  Concept.nnf
+                    (Concept.Or (Concept.Not (Concept.conj residue), d))
+              in
+              let cur =
+                match SMap.find_opt a unfold with Some l -> l | None -> []
+              in
+              (SMap.add a (rhs :: cur) unfold, gcis)
+          | _ ->
+              let gci = Concept.nnf (Concept.Or (Concept.Not c, d)) in
+              (unfold, gci :: gcis))
+      | Axiom.Role_sub _ | Axiom.Data_role_sub _ | Axiom.Transitive _ ->
+          (unfold, gcis))
+    (SMap.empty, []) tbox
+
+let initial_state ctx (kb : Axiom.kb) =
+  let st =
+    { nodes = IMap.empty;
+      edges = EMap.empty;
+      succs = IMap.empty;
+      preds = IMap.empty;
+      distinct = IMap.empty;
+      names = SMap.empty;
+      next_id = 0;
+      dirty = ISet.empty;
+      open_or = ISet.empty;
+      counting = ISet.empty;
+      gen_pending = ISet.empty }
+  in
+  let get_node st a =
+    match SMap.find_opt a st.names with
+    | Some x -> (x, st)
+    | None ->
+        let x, st = new_node ctx st ~parent:None ~labels:[] in
+        (x, { st with names = SMap.add a x st.names })
+  in
+  let st =
+    List.fold_left
+      (fun st ax ->
+        match (ax : Axiom.abox_axiom) with
+        | Instance_of (a, c) ->
+            let x, st = get_node st a in
+            add_labels st x [ Concept.nnf c ]
+        | Role_assertion (a, r, b) ->
+            let x, st = get_node st a in
+            let y, st = get_node st b in
+            let x, y, r =
+              match r with Role.Inv s -> (y, x, Role.Name s) | _ -> (x, y, r)
+            in
+            add_edge_label st x y (RSet.singleton r)
+        | Data_assertion (a, u, v) ->
+            let x, st = get_node st a in
+            let n = node st x in
+            { st with
+              nodes =
+                IMap.add x
+                  { n with data_asserted = (u, v) :: n.data_asserted }
+                  st.nodes }
+        | Same (a, b) ->
+            let x, st = get_node st a in
+            let y, st = get_node st b in
+            (match merge ctx st ~src:y ~dst:x with
+            | Some st -> st
+            | None -> raise Clashed)
+        | Different (a, b) ->
+            let x, st = get_node st a in
+            let y, st = get_node st b in
+            add_distinct st x y)
+      st kb.abox
+  in
+  (* non-empty domain *)
+  if IMap.is_empty st.nodes then
+    let _, st = new_node ctx st ~parent:None ~labels:[] in
+    st
+  else st
+
+(* Pick the weakest sound blocking strategy for the KB's expressivity. *)
+let choose_blocking (kb : Axiom.kb) =
+  let uses_inverse = ref false and uses_at_most = ref false in
+  let scan_concept c =
+    List.iter
+      (fun (sub : Concept.t) ->
+        match sub with
+        | Exists (Role.Inv _, _)
+        | Forall (Role.Inv _, _)
+        | At_least (_, Role.Inv _) ->
+            uses_inverse := true
+        | At_most (_, r) ->
+            uses_at_most := true;
+            if Role.is_inverse r then uses_inverse := true
+        | _ -> ())
+      (Concept.subconcepts c)
+  in
+  List.iter
+    (function
+      | Axiom.Concept_sub (c, d) ->
+          scan_concept (Concept.nnf c);
+          scan_concept (Concept.nnf d);
+          (* negation can flip ≤ into ≥ and vice versa *)
+          scan_concept (Concept.nnf (Concept.Not c));
+          scan_concept (Concept.nnf (Concept.Not d))
+      | Axiom.Role_sub (r, s) ->
+          if Role.is_inverse r || Role.is_inverse s then uses_inverse := true
+      | Axiom.Data_role_sub _ | Axiom.Transitive _ -> ())
+    kb.tbox;
+  List.iter
+    (function
+      | Axiom.Instance_of (_, c) -> scan_concept (Concept.nnf c)
+      | Axiom.Role_assertion (_, r, _) ->
+          if Role.is_inverse r then uses_inverse := true
+      | Axiom.Data_assertion _ | Axiom.Same _ | Axiom.Different _ -> ())
+    kb.abox;
+  if !uses_inverse then Pairwise else if !uses_at_most then Equal else Subset
+
+let completed_state ?(max_nodes = 20_000) ?(max_branches = max_int)
+    ?(stats = fresh_stats ()) (kb : Axiom.kb) =
+  let unfold, gcis = preprocess_tbox kb.tbox in
+  let ctx =
+    { h = Hierarchy.build kb.tbox;
+      unfold;
+      gcis;
+      blocking = choose_blocking kb;
+      max_nodes;
+      max_branches;
+      stats }
+  in
+  match initial_state ctx kb with
+  | exception Clashed -> (ctx, None)
+  | st -> (ctx, expand ctx st)
+
+let kb_satisfiable ?max_nodes ?max_branches ?stats kb =
+  Option.is_some (snd (completed_state ?max_nodes ?max_branches ?stats kb))
+
+(* ------------------------------------------------------------------ *)
+(* Model extraction.
+
+   From a complete clash-free completion graph we build a finite candidate
+   model: blocked branches are tied back to their blocking witnesses, role
+   extensions are closed under the role hierarchy and declared
+   transitivity, and datatype successors come from the local solver's
+   witness assignment.  The SH(O)IN(D) family does not enjoy the finite
+   model property, so the construction can fail; the candidate is therefore
+   VERIFIED against the knowledge base and returned only when it checks
+   out. *)
+
+module SSet = Set.Make (String)
+
+let transitive_closure pairs =
+  let rec fix ps =
+    let ps' =
+      Interp.PSet.fold
+        (fun (x, y) acc ->
+          Interp.PSet.fold
+            (fun (y', z) acc ->
+              if y = y' then Interp.PSet.add (x, z) acc else acc)
+            ps acc)
+        ps ps
+    in
+    if Interp.PSet.equal ps ps' then ps else fix ps'
+  in
+  fix pairs
+
+let extract_model ctx (kb : Axiom.kb) st =
+  let all_blocked, witness = compute_blocking ctx st in
+  (* Directly blocked nodes are KEPT as domain elements (they may be needed
+     as distinct ≥-successors); they satisfy their constraints by mirroring
+     the outgoing edges of their blocking witness.  Only the subtrees below
+     them (indirectly blocked nodes) are dropped. *)
+  let directly_blocked x = IMap.mem x witness in
+  let keep x = (not (ISet.mem x all_blocked)) || directly_blocked x in
+  (* surviving directed edges with their role labels *)
+  let kept_edges =
+    EMap.fold
+      (fun (a, b) rs acc ->
+        if keep a && keep b && not (directly_blocked a) then
+          ((a, b), rs) :: acc
+        else acc)
+      st.edges []
+  in
+  (* base extensions per atomic role name *)
+  let base =
+    List.fold_left
+      (fun m ((a, b), rs) ->
+        RSet.fold
+          (fun r m ->
+            let name, edge =
+              match r with
+              | Role.Name s -> (s, (a, b))
+              | Role.Inv s -> (s, (b, a))
+            in
+            let cur =
+              match SMap.find_opt name m with
+              | Some ps -> ps
+              | None -> Interp.PSet.empty
+            in
+            SMap.add name (Interp.PSet.add edge cur) m)
+          rs m)
+      SMap.empty kept_edges
+  in
+  (* each directly blocked node mirrors its witness's outgoing edges *)
+  let base =
+    IMap.fold
+      (fun x y m ->
+        SMap.map
+          (fun ps ->
+            Interp.PSet.fold
+              (fun (a, b) ps -> if a = y then Interp.PSet.add (x, b) ps else ps)
+              ps ps)
+          m)
+      witness base
+  in
+  let base_ext r =
+    (* extension of a possibly-inverse role from the base edges *)
+    match r with
+    | Role.Name s -> (
+        match SMap.find_opt s base with
+        | Some ps -> ps
+        | None -> Interp.PSet.empty)
+    | Role.Inv s -> (
+        match SMap.find_opt s base with
+        | Some ps -> Interp.PSet.map (fun (x, y) -> (y, x)) ps
+        | None -> Interp.PSet.empty)
+  in
+  let role_names =
+    SSet.union
+      (SSet.of_list (SMap.fold (fun k _ acc -> k :: acc) base []))
+      (SSet.of_list (Axiom.signature kb).roles)
+  in
+  (* E(R) = edges of all subroles of R; the canonical extension adds the
+     transitive closure of E(T) for every transitive T ⊑* R *)
+  let sub_edges r =
+    SSet.fold
+      (fun name acc ->
+        List.fold_left
+          (fun acc t ->
+            if Hierarchy.sub_of ctx.h t r then
+              Interp.PSet.union acc (base_ext t)
+            else acc)
+          acc
+          [ Role.Name name; Role.Inv name ])
+      role_names Interp.PSet.empty
+  in
+  let canonical_ext name =
+    let direct = sub_edges (Role.Name name) in
+    SSet.fold
+      (fun sub acc ->
+        List.fold_left
+          (fun acc t ->
+            if Hierarchy.transitive ctx.h t && Hierarchy.sub_of ctx.h t (Role.Name name)
+            then Interp.PSet.union acc (transitive_closure (sub_edges t))
+            else acc)
+          acc
+          [ Role.Name sub; Role.Inv sub ])
+      role_names direct
+  in
+  let roles =
+    SSet.fold
+      (fun name m -> Interp.SMap.add name (canonical_ext name) m)
+      role_names Interp.SMap.empty
+  in
+  (* concept extensions from the node labels *)
+  let concepts =
+    IMap.fold
+      (fun x n m ->
+        if keep x then
+          CSet.fold
+            (fun c m ->
+              match (c : Concept.t) with
+              | Atom a ->
+                  let cur =
+                    match Interp.SMap.find_opt a m with
+                    | Some s -> s
+                    | None -> Interp.ESet.empty
+                  in
+                  Interp.SMap.add a (Interp.ESet.add x cur) m
+              | _ -> m)
+            n.labels m
+        else m)
+      st.nodes Interp.SMap.empty
+  in
+  (* datatype successors from the local solver's witness assignments *)
+  let exception No_data in
+  match
+    IMap.fold
+      (fun x n (data_roles, values) ->
+        if keep x then
+          match
+            Datacheck.solve
+              ~data_supers:(Hierarchy.data_supers ctx.h)
+              ~asserted:n.data_asserted
+              ~constraints:(CSet.elements n.labels)
+          with
+          | None -> raise No_data
+          | Some assignment ->
+              ( List.fold_left
+                  (fun m (u, v) ->
+                    let cur =
+                      match Interp.SMap.find_opt u m with
+                      | Some s -> s
+                      | None -> Interp.VSet.empty
+                    in
+                    Interp.SMap.add u (Interp.VSet.add (x, v) cur) m)
+                  data_roles assignment,
+                List.fold_left (fun vs (_, v) -> v :: vs) values assignment )
+        else (data_roles, values))
+      st.nodes (Interp.SMap.empty, [])
+  with
+  | exception No_data -> None
+  | data_roles, values ->
+      (* data-role hierarchy closure on the assignments *)
+      let data_roles =
+        Interp.SMap.fold
+          (fun u ext m ->
+            List.fold_left
+              (fun m v ->
+                let cur =
+                  match Interp.SMap.find_opt v m with
+                  | Some s -> s
+                  | None -> Interp.VSet.empty
+                in
+                Interp.SMap.add v (Interp.VSet.union cur ext) m)
+              m
+              (Hierarchy.data_supers ctx.h u))
+          data_roles data_roles
+      in
+      let domain =
+        IMap.fold
+          (fun x _ acc -> if keep x then Interp.ESet.add x acc else acc)
+          st.nodes Interp.ESet.empty
+      in
+      let candidate =
+        { Interp.domain;
+          data_domain = List.sort_uniq Datatype.compare_value values;
+          concepts;
+          roles;
+          data_roles;
+          individuals =
+            SMap.fold (fun k v m -> Interp.SMap.add k v m) st.names
+              Interp.SMap.empty }
+      in
+      if Interp.is_model candidate kb then Some candidate else None
+
+let kb_model ?max_nodes ?max_branches ?stats kb =
+  match completed_state ?max_nodes ?max_branches ?stats kb with
+  | _, None -> None
+  | ctx, Some st -> extract_model ctx kb st

@@ -1,0 +1,60 @@
+(** Tableau decision procedure for [SHOIN(D)] knowledge-base satisfiability.
+
+    A from-scratch completion-graph tableau in the style of Horrocks &
+    Sattler's algorithms for the SH* family:
+
+    - negation normal form on entry; lazy unfolding of absorbed
+      atomic-left-hand-side axioms, remaining GCIs internalized as
+      disjunctions added to every node;
+    - role hierarchies (closed under inverses) and transitive roles with the
+      ∀₊ propagation rule;
+    - inverse roles with {e pairwise} ancestor blocking;
+    - unqualified number restrictions with distinctness constraints, merging
+      (with pruning) and (n+1)-clique clash detection;
+    - nominals by merging into named root nodes (negated nominals as
+      distinctness constraints);
+    - datatypes via the local per-node solver in {!Datacheck};
+    - ABox reasoning: individuals are root nodes; [=]/[≠] become merges and
+      distinctness constraints.
+
+    Completeness envelope: complete for [SHIN(D)] and for nominals that
+    interact with inverses/number restrictions only through merging (no
+    NN-rule: the full [SHOIN] corner published after the reproduced paper is
+    out of scope — see DESIGN.md).  Number restrictions are expected to use
+    simple roles (no transitive subroles), the standard [SHOIN] restriction;
+    {!Reasoner.validate} reports violations.
+
+    Nondeterminism is explored by chronological backtracking over immutable
+    states; [max_nodes] bounds the completion graph and {!Resource_limit} is
+    raised when exceeded. *)
+
+exception Resource_limit of string
+
+type stats = {
+  mutable branches_explored : int;
+  mutable nodes_created : int;
+  mutable merges : int;
+}
+
+val kb_satisfiable :
+  ?max_nodes:int -> ?max_branches:int -> ?stats:stats -> Axiom.kb -> bool
+(** Decides satisfiability of the knowledge base.
+    @raise Resource_limit if the completion graph exceeds [max_nodes]
+    (default 20_000) or the search explores more than [max_branches]
+    alternatives (default unlimited; chronological backtracking is
+    worst-case exponential). *)
+
+val kb_model :
+  ?max_nodes:int -> ?max_branches:int -> ?stats:stats -> Axiom.kb ->
+  Interp.t option
+(** Extract a finite model from an open tableau branch: blocked branches
+    are tied back to their blocking witnesses, role extensions are closed
+    under the hierarchy and declared transitivity, datatype successors come
+    from the concrete-domain solver's witnesses.  The result is {e
+    verified} with {!Interp.is_model} before being returned, so [Some i]
+    really is a model.  [None] means the KB is unsatisfiable {e or} no
+    finite model could be constructed this way (the [SHIN] family lacks the
+    finite model property).
+    @raise Resource_limit as {!kb_satisfiable}. *)
+
+val fresh_stats : unit -> stats

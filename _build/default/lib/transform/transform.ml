@@ -1,0 +1,102 @@
+let plus_role = function
+  | Role.Name r -> Role.Name (Mangle.plus_role r)
+  | Role.Inv r -> Role.Inv (Mangle.plus_role r)
+
+let eq_role = function
+  | Role.Name r -> Role.Name (Mangle.eq_role r)
+  | Role.Inv r -> Role.Inv (Mangle.eq_role r)
+
+(* Fresh unconstrained atom standing for the (information-free) negative part
+   of a nominal; ':' cannot occur in surface-syntax identifiers. *)
+let nominal_complement_atom os = "nom:" ^ String.concat "," os ^ "-"
+
+let rec concept_pos (c : Concept.t) : Concept.t =
+  match c with
+  | Atom a -> Atom (Mangle.pos_atom a)
+  | Top -> Top
+  | Bottom -> Bottom
+  | Not d -> concept_neg d
+  | And (a, b) -> And (concept_pos a, concept_pos b)
+  | Or (a, b) -> Or (concept_pos a, concept_pos b)
+  | One_of os -> One_of os
+  | Exists (r, d) -> Exists (plus_role r, concept_pos d)
+  | Forall (r, d) -> Forall (plus_role r, concept_pos d)
+  | At_least (n, r) -> At_least (n, plus_role r)
+  | At_most (n, r) -> At_most (n, eq_role r)
+  | Data_exists (u, d) -> Data_exists (Mangle.plus_role u, d)
+  | Data_forall (u, d) -> Data_forall (Mangle.plus_role u, d)
+  | Data_at_least (n, u) -> Data_at_least (n, Mangle.plus_role u)
+  | Data_at_most (n, u) -> Data_at_most (n, Mangle.eq_role u)
+
+and concept_neg (c : Concept.t) : Concept.t =
+  match c with
+  | Atom a -> Atom (Mangle.neg_atom a)
+  | Top -> Bottom
+  | Bottom -> Top
+  | Not d -> concept_pos d
+  | And (a, b) -> Or (concept_neg a, concept_neg b)
+  | Or (a, b) -> And (concept_neg a, concept_neg b)
+  | One_of os -> Atom (nominal_complement_atom os)
+  | Exists (r, d) -> Forall (plus_role r, concept_neg d)
+  | Forall (r, d) -> Exists (plus_role r, concept_neg d)
+  | At_least (n, r) -> if n = 0 then Bottom else At_most (n - 1, eq_role r)
+  | At_most (n, r) -> At_least (n + 1, plus_role r)
+  | Data_exists (u, d) -> Data_forall (Mangle.plus_role u, Datatype.Complement d)
+  | Data_forall (u, d) -> Data_exists (Mangle.plus_role u, Datatype.Complement d)
+  | Data_at_least (n, u) ->
+      if n = 0 then Bottom else Data_at_most (n - 1, Mangle.eq_role u)
+  | Data_at_most (n, u) -> Data_at_least (n + 1, Mangle.plus_role u)
+
+let tbox_axiom (ax : Kb4.tbox_axiom) : Axiom.tbox_axiom list =
+  match ax with
+  | Kb4.Concept_inclusion (Kb4.Material, c, d) ->
+      [ Axiom.Concept_sub (Concept.Not (concept_neg c), concept_pos d) ]
+  | Kb4.Concept_inclusion (Kb4.Internal, c, d) ->
+      [ Axiom.Concept_sub (concept_pos c, concept_pos d) ]
+  | Kb4.Concept_inclusion (Kb4.Strong, c, d) ->
+      [ Axiom.Concept_sub (concept_pos c, concept_pos d);
+        Axiom.Concept_sub (concept_neg d, concept_neg c) ]
+  | Kb4.Role_inclusion (Kb4.Material, r, s) ->
+      [ Axiom.Role_sub (eq_role r, plus_role s) ]
+  | Kb4.Role_inclusion (Kb4.Internal, r, s) ->
+      [ Axiom.Role_sub (plus_role r, plus_role s) ]
+  | Kb4.Role_inclusion (Kb4.Strong, r, s) ->
+      [ Axiom.Role_sub (plus_role r, plus_role s);
+        Axiom.Role_sub (eq_role r, eq_role s) ]
+  | Kb4.Data_role_inclusion (Kb4.Material, u, v) ->
+      [ Axiom.Data_role_sub (Mangle.eq_role u, Mangle.plus_role v) ]
+  | Kb4.Data_role_inclusion (Kb4.Internal, u, v) ->
+      [ Axiom.Data_role_sub (Mangle.plus_role u, Mangle.plus_role v) ]
+  | Kb4.Data_role_inclusion (Kb4.Strong, u, v) ->
+      [ Axiom.Data_role_sub (Mangle.plus_role u, Mangle.plus_role v);
+        Axiom.Data_role_sub (Mangle.eq_role u, Mangle.eq_role v) ]
+  | Kb4.Transitive r -> [ Axiom.Transitive (Mangle.plus_role r) ]
+
+let abox_axiom (ax : Axiom.abox_axiom) : Axiom.abox_axiom =
+  match ax with
+  | Axiom.Instance_of (a, c) -> Axiom.Instance_of (a, concept_pos c)
+  | Axiom.Role_assertion (a, r, b) -> Axiom.Role_assertion (a, plus_role r, b)
+  | Axiom.Data_assertion (a, u, v) ->
+      Axiom.Data_assertion (a, Mangle.plus_role u, v)
+  | Axiom.Same _ | Axiom.Different _ -> ax
+
+let kb (k : Kb4.t) : Axiom.kb =
+  { Axiom.tbox = List.concat_map tbox_axiom k.tbox;
+    abox = List.map abox_axiom k.abox }
+
+let inclusion_tests kind c d =
+  match kind with
+  | Kb4.Material ->
+      [ Concept.And
+          (Concept.Not (concept_neg c), Concept.Not (concept_pos d)) ]
+  | Kb4.Internal ->
+      [ Concept.And (concept_pos c, Concept.Not (concept_pos d)) ]
+  | Kb4.Strong ->
+      [ Concept.And (concept_pos c, Concept.Not (concept_pos d));
+        Concept.And (concept_neg d, Concept.Not (concept_neg c)) ]
+
+let instance_query c a =
+  Axiom.Instance_of (a, Concept.Not (concept_pos c))
+
+let negative_instance_query c a =
+  Axiom.Instance_of (a, Concept.Not (concept_neg c))

@@ -1,0 +1,55 @@
+(** The reduction of [SHOIN(D)4] to [SHOIN(D)] — Definitions 5–7 of §4.1 and
+    the query compilation of Corollary 7.
+
+    [concept_pos c] is the paper's [C̄]; [concept_neg c] is [(¬C)bar].  The
+    transformed vocabulary uses the decorated names of {!Mangle}: [A⁺]/[A⁻]
+    for atomic concepts, [R⁺]/[R⁼] for roles.  Individual renaming is the
+    identity.  All transformations are linear-time in the size of the input
+    (the paper notes "polynomial time").
+
+    One clause is missing from the paper's Definition 5: the transformation
+    of a negated nominal [¬{o₁,…}].  Table 2 gives [{o₁,…}] the value
+    [<{o₁ᴵ,…}, N>] with [N] unconstrained, i.e. the negative part of a
+    nominal carries no information; accordingly we map [¬{o₁,…}] to a fresh,
+    unconstrained atomic concept (deterministically named from the nominal),
+    which keeps the reduction sound.  See DESIGN.md. *)
+
+val plus_role : Role.t -> Role.t
+(** [R ↦ R⁺], commuting with inverse: [(R⁻)⁺ = (R⁺)⁻] (Def. 5(19)). *)
+
+val eq_role : Role.t -> Role.t
+(** [R ↦ R⁼], commuting with inverse. *)
+
+val concept_pos : Concept.t -> Concept.t
+(** [C̄] — Definition 5. *)
+
+val concept_neg : Concept.t -> Concept.t
+(** [(¬C)bar] — Definition 5's clauses for negated concepts. *)
+
+val tbox_axiom : Kb4.tbox_axiom -> Axiom.tbox_axiom list
+(** Definition 6(1–3).  Material inclusion yields [¬(¬C₁)bar ⊑ C̄₂]; strong
+    inclusion yields two classical inclusions. *)
+
+val abox_axiom : Axiom.abox_axiom -> Axiom.abox_axiom
+(** Definition 6(4): [a : C ↦ ā : C̄]; role and data assertions move to the
+    positive role ([R(a,b) ↦ R⁺(a,b)]); (in)equalities are unchanged. *)
+
+val kb : Kb4.t -> Axiom.kb
+(** The classical induced KB [K̄] (Definition 7). *)
+
+(** {1 Query compilation (Corollary 7 and instance queries)} *)
+
+val inclusion_tests : Kb4.inclusion -> Concept.t -> Concept.t -> Concept.t list
+(** [inclusion_tests kind c d] returns the classical concepts whose joint
+    unsatisfiability w.r.t. [K̄] decides [C ⊑kind D] in [K]:
+    material → [¬(¬C)bar ⊓ ¬C̄₂]; internal → [C̄ ⊓ ¬D̄]; strong → both the
+    internal test and [(¬D)bar ⊓ ¬(¬C)bar]. *)
+
+val instance_query : Concept.t -> string -> Axiom.abox_axiom
+(** [instance_query c a]: the assertion [ā : ¬C̄] whose addition to [K̄]
+    makes it inconsistent iff [K ⊨⁴ C(a)] ("is there information asserting
+    that [a] is a [C]?"). *)
+
+val negative_instance_query : Concept.t -> string -> Axiom.abox_axiom
+(** The assertion [ā : ¬(¬C)bar] testing [K ⊨⁴ ¬C(a)] ("is there
+    information asserting that [a] is {e not} a [C]?"). *)

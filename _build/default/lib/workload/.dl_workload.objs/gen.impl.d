@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Axiom Concept Fun Kb4 List Printf Random Role

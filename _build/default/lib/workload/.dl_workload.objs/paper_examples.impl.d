@@ -1,0 +1,1 @@
+lib/workload/paper_examples.ml: Axiom Concept Kb4 Role Truth

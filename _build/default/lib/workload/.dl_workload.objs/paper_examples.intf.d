@@ -1,0 +1,1 @@
+lib/workload/paper_examples.mli: Axiom Kb4 Truth

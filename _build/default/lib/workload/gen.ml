@@ -1,0 +1,166 @@
+type params = {
+  seed : int;
+  n_concepts : int;
+  n_roles : int;
+  n_individuals : int;
+  n_tbox : int;
+  n_abox : int;
+  max_depth : int;
+  inconsistency_rate : float;
+  material_fraction : float;
+  allow_negation : bool;
+}
+
+let default =
+  { seed = 42;
+    n_concepts = 20;
+    n_roles = 5;
+    n_individuals = 20;
+    n_tbox = 30;
+    n_abox = 40;
+    max_depth = 2;
+    inconsistency_rate = 0.1;
+    material_fraction = 0.3;
+    allow_negation = true }
+
+let concept_name i = "C" ^ string_of_int i
+let role_name i = "r" ^ string_of_int i
+let individual_name i = "a" ^ string_of_int i
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let random_atom rng p = Concept.Atom (concept_name (Random.State.int rng p.n_concepts))
+let random_role rng p = Role.name (role_name (Random.State.int rng p.n_roles))
+let random_individual rng p = individual_name (Random.State.int rng p.n_individuals)
+
+(* Random concept of nesting depth at most [depth].  Shapes are weighted
+   towards the constructors common in real ontologies (conjunctions and
+   existentials). *)
+let rec random_concept rng p depth =
+  if depth = 0 then
+    match Random.State.int rng 4 with
+    | 2 when p.allow_negation -> Concept.Not (random_atom rng p)
+    | _ -> random_atom rng p
+  else
+    match Random.State.int rng 10 with
+    | 0 | 1 ->
+        Concept.And
+          (random_concept rng p (depth - 1), random_concept rng p (depth - 1))
+    | 2 ->
+        Concept.Or
+          (random_concept rng p (depth - 1), random_concept rng p (depth - 1))
+    | 3 | 4 | 5 ->
+        Concept.Exists (random_role rng p, random_concept rng p (depth - 1))
+    | 6 ->
+        Concept.Forall (random_role rng p, random_concept rng p (depth - 1))
+    | 7 -> Concept.At_least (1 + Random.State.int rng 2, random_role rng p)
+    | 8 when p.allow_negation -> Concept.Not (random_atom rng p)
+    | _ -> random_atom rng p
+
+let random_tbox rng p =
+  List.init p.n_tbox (fun _ ->
+      let lhs = random_atom rng p in
+      let rhs = random_concept rng p p.max_depth in
+      let kind =
+        if Random.State.float rng 1.0 < p.material_fraction then Kb4.Material
+        else Kb4.Internal
+      in
+      Kb4.Concept_inclusion (kind, lhs, rhs))
+
+let random_abox rng p =
+  List.init p.n_abox (fun _ ->
+      match Random.State.int rng 5 with
+      | 0 | 1 ->
+          Axiom.Instance_of (random_individual rng p, random_atom rng p)
+      | 2 when p.allow_negation ->
+          Axiom.Instance_of
+            (random_individual rng p, Concept.Not (random_atom rng p))
+      | 3 ->
+          Axiom.Role_assertion
+            (random_individual rng p, random_role rng p, random_individual rng p)
+      | _ ->
+          Axiom.Instance_of
+            (random_individual rng p, random_concept rng p 1))
+
+let contradictions rng p =
+  let n =
+    int_of_float (ceil (p.inconsistency_rate *. float_of_int p.n_individuals))
+  in
+  List.concat
+    (List.init n (fun _ ->
+         let a = random_individual rng p and c = random_atom rng p in
+         [ Axiom.Instance_of (a, c); Axiom.Instance_of (a, Concept.Not c) ]))
+
+let kb4 p =
+  let rng = Random.State.make [| p.seed |] in
+  let tbox = random_tbox rng p in
+  let abox = random_abox rng p @ contradictions rng p in
+  Kb4.make ~tbox ~abox
+
+let classical p =
+  let k = kb4 p in
+  let tbox =
+    List.filter_map
+      (function
+        | Kb4.Concept_inclusion (_, c, d) -> Some (Axiom.Concept_sub (c, d))
+        | Kb4.Role_inclusion (_, r, s) -> Some (Axiom.Role_sub (r, s))
+        | Kb4.Data_role_inclusion (_, u, v) -> Some (Axiom.Data_role_sub (u, v))
+        | Kb4.Transitive r -> Some (Axiom.Transitive r))
+      k.Kb4.tbox
+  in
+  Axiom.make ~tbox ~abox:k.Kb4.abox
+
+let taxonomy ~depth ~branching =
+  let name level j = Printf.sprintf "C%d_%d" level j in
+  let tbox = ref [] in
+  for level = 1 to depth do
+    let width = int_of_float (float_of_int branching ** float_of_int level) in
+    for j = 0 to width - 1 do
+      tbox :=
+        Axiom.Concept_sub
+          (Concept.Atom (name level j), Concept.Atom (name (level - 1) (j / branching)))
+        :: !tbox
+    done
+  done;
+  Axiom.make ~tbox:!tbox ~abox:[]
+
+let inject_contradictions ~seed ~count (kb : Kb4.t) =
+  let rng = Random.State.make [| seed |] in
+  let signature = Kb4.signature kb in
+  let concepts =
+    match signature.Axiom.concepts with [] -> [ "C0" ] | cs -> cs
+  in
+  let individuals =
+    match signature.Axiom.individuals with [] -> [ "a0" ] | is -> is
+  in
+  let extra =
+    List.concat
+      (List.init count (fun _ ->
+           let a = pick rng individuals and c = pick rng concepts in
+           [ Axiom.Instance_of (a, Concept.Atom c);
+             Axiom.Instance_of (a, Concept.Not (Concept.Atom c)) ]))
+  in
+  { kb with Kb4.abox = kb.Kb4.abox @ extra }
+
+let exception_chains ~n =
+  let tbox =
+    List.concat
+      (List.init n (fun i ->
+           let b = Concept.Atom (Printf.sprintf "B%d" i)
+           and f = Concept.Atom (Printf.sprintf "F%d" i)
+           and pg = Concept.Atom (Printf.sprintf "P%d" i) in
+           [ Kb4.Concept_inclusion (Kb4.Material, b, f);
+             Kb4.Concept_inclusion (Kb4.Internal, pg, b);
+             Kb4.Concept_inclusion (Kb4.Internal, pg, Concept.Not f) ]))
+  in
+  let abox =
+    List.map
+      (fun i ->
+        Axiom.Instance_of
+          ( Printf.sprintf "a%d" i,
+            Concept.And
+              ( Concept.Atom (Printf.sprintf "P%d" i),
+                Concept.Atom (Printf.sprintf "B%d" i) ) ))
+      (List.init n Fun.id)
+  in
+  Kb4.make ~tbox ~abox

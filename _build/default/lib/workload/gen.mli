@@ -1,0 +1,51 @@
+(** Deterministic synthetic ontology generators and inconsistency injectors
+    for the evaluation harness (experiments S1–S4 in DESIGN.md).
+
+    All generators are pure functions of their parameters (the [seed] drives
+    a private PRNG state), so benchmarks are reproducible. *)
+
+type params = {
+  seed : int;
+  n_concepts : int;        (** size of the atomic concept vocabulary *)
+  n_roles : int;
+  n_individuals : int;
+  n_tbox : int;            (** number of concept inclusion axioms *)
+  n_abox : int;            (** number of ABox assertions *)
+  max_depth : int;         (** maximal nesting depth of generated concepts *)
+  inconsistency_rate : float;
+      (** fraction of individuals receiving a contradictory pair
+          [A(a), ¬A(a)] on top of the base ABox *)
+  material_fraction : float;
+      (** fraction of TBox inclusions that are material (exception-tolerant);
+          the rest are internal *)
+  allow_negation : bool;
+      (** when false, no negated concepts or assertions are generated, so
+          both the classical and the four-valued reading are consistent —
+          the "consistent workload" of experiment S2 *)
+}
+
+val default : params
+
+val kb4 : params -> Kb4.t
+(** A random [SHOIN(D)4] knowledge base.  Left-hand sides of inclusions are
+    atomic (absorbable), right-hand sides are random concepts; the ABox
+    asserts random (possibly negated) atomic memberships and role edges, then
+    contradictions are injected per [inconsistency_rate]. *)
+
+val classical : params -> Axiom.kb
+(** The same KB with every inclusion read as classical ⊑ (the baseline
+    input). *)
+
+val taxonomy : depth:int -> branching:int -> Axiom.kb
+(** A complete concept tree: [C_{i,j} ⊑ C_{i-1, j/branching}]; used by the
+    classification benches.  Concept names are [C0_0], [C1_0], … *)
+
+val inject_contradictions : seed:int -> count:int -> Kb4.t -> Kb4.t
+(** Adds [count] fresh contradictory pairs [A(a), ¬A(a)] over the KB's own
+    signature (or a fresh one if empty). *)
+
+val exception_chains : n:int -> Kb4.t
+(** [n] penguin-style default/exception triads: for each [i],
+    [Bᵢ ↦ Fᵢ], [Pᵢ ⊏ Bᵢ], [Pᵢ ⊏ ¬Fᵢ] with an instance [aᵢ : Pᵢ ⊓ Bᵢ].
+    Classically unsatisfiable as soon as the material arrow is read as ⊑;
+    four-valued satisfiable.  Used by the ablation bench (S4). *)

@@ -1,0 +1,78 @@
+open Concept
+
+let example1 =
+  Kb4.make
+    ~tbox:
+      [ Kb4.Concept_inclusion
+          ( Kb4.Internal,
+            Exists (Role.name "hasPatient", Atom "Patient"),
+            Atom "Doctor" ) ]
+    ~abox:
+      [ Axiom.Instance_of ("john", Atom "Doctor");
+        Axiom.Instance_of ("john", Not (Atom "Doctor"));
+        Axiom.Instance_of ("mary", Atom "Patient");
+        Axiom.Role_assertion ("bill", Role.name "hasPatient", "mary") ]
+
+let example2 =
+  Kb4.make
+    ~tbox:
+      [ Kb4.Concept_inclusion
+          (Kb4.Internal, Atom "SurgicalTeam", Not (Atom "ReadPatientRecordTeam"));
+        Kb4.Concept_inclusion
+          (Kb4.Internal, Atom "UrgencyTeam", Atom "ReadPatientRecordTeam") ]
+    ~abox:
+      [ Axiom.Instance_of ("john", Atom "SurgicalTeam");
+        Axiom.Instance_of ("john", Atom "UrgencyTeam") ]
+
+let winged_bird = And (Atom "Bird", Exists (Role.name "hasWing", Atom "Wing"))
+
+let example3_abox =
+  [ Axiom.Instance_of ("tweety", Atom "Bird");
+    Axiom.Instance_of ("tweety", Atom "Penguin");
+    Axiom.Instance_of ("w", Atom "Wing");
+    Axiom.Role_assertion ("tweety", Role.name "hasWing", "w") ]
+
+let example3 =
+  Kb4.make
+    ~tbox:
+      [ Kb4.Concept_inclusion (Kb4.Material, winged_bird, Atom "Fly");
+        Kb4.Concept_inclusion (Kb4.Internal, Atom "Penguin", Atom "Bird");
+        Kb4.Concept_inclusion
+          ( Kb4.Internal,
+            Atom "Penguin",
+            Exists (Role.name "hasWing", Atom "Wing") );
+        Kb4.Concept_inclusion (Kb4.Internal, Atom "Penguin", Not (Atom "Fly")) ]
+    ~abox:example3_abox
+
+let example3_classical =
+  Axiom.make
+    ~tbox:
+      [ Axiom.Concept_sub (winged_bird, Atom "Fly");
+        Axiom.Concept_sub (Atom "Penguin", Atom "Bird");
+        Axiom.Concept_sub
+          (Atom "Penguin", Exists (Role.name "hasWing", Atom "Wing"));
+        Axiom.Concept_sub (Atom "Penguin", Not (Atom "Fly")) ]
+    ~abox:example3_abox
+
+let example4 =
+  Kb4.make
+    ~tbox:
+      [ Kb4.Concept_inclusion
+          (Kb4.Internal, At_least (1, Role.name "hasChild"), Atom "Parent");
+        Kb4.Concept_inclusion (Kb4.Material, Atom "Parent", Atom "Married") ]
+    ~abox:
+      [ Axiom.Role_assertion ("smith", Role.name "hasChild", "kate");
+        Axiom.Instance_of ("smith", Not (Atom "Married")) ]
+
+(* Table 4: values of hasChild(s,k), >=1.hasChild(s), Parent(s), Married(s). *)
+let table4_rows =
+  let t = Truth.True and top = Truth.Both and f = Truth.False in
+  [ ([ t; t; t; top ], "M1-M4 (hasChild t, Parent t)");
+    ([ top; t; t; top ], "M1-M4 (hasChild TOP, Parent t)");
+    ([ t; t; top; top ], "M1-M4 (hasChild t, Parent TOP)");
+    ([ top; t; top; top ], "M1-M4 (hasChild TOP, Parent TOP)");
+    ([ t; t; top; f ], "M5-M6 (hasChild t)");
+    ([ top; t; top; f ], "M5-M6 (hasChild TOP)");
+    ([ top; top; t; top ], "M7-M8 (Parent t)");
+    ([ top; top; top; top ], "M7-M8 (Parent TOP)");
+    ([ top; top; top; f ], "M9") ]

@@ -1,0 +1,47 @@
+(** The worked examples of the paper (§1, §3.3, §4.2) as knowledge-base
+    values, used by the integration tests, the runnable examples and the
+    evaluation harness. *)
+
+(** {1 Example 1 — inconsistent medical ABox}
+
+    TBox: [∃hasPatient.Patient ⊏ Doctor].
+    ABox: [Doctor(john)], [¬Doctor(john)], [Patient(mary)],
+    [hasPatient(bill, mary)].  Four-valued satisfiable; supports
+    [Doctor(bill)] positively but not negatively. *)
+
+val example1 : Kb4.t
+
+(** {1 Example 2 (and §1) — access-control conflict}
+
+    TBox: [SurgicalTeam ⊏ ¬ReadPatientRecordTeam],
+    [UrgencyTeam ⊏ ReadPatientRecordTeam].
+    ABox: [SurgicalTeam(john)], [UrgencyTeam(john)].  Both the positive and
+    the negative query about [ReadPatientRecordTeam(john)] are supported
+    (value ⊤); [Patient(john)] is ⊥. *)
+
+val example2 : Kb4.t
+
+(** {1 Example 3 / Example 5 — Tweety the penguin}
+
+    The four-valued TBox uses material inclusion for the default
+    "winged birds fly" and internal inclusions for the exact knowledge; the
+    classical rendition [example3_classical] is unsatisfiable. *)
+
+val example3 : Kb4.t
+
+val example3_classical : Axiom.kb
+(** The [SHOIN(D)] rendition of example 3 (all ⊑); unsatisfiable. *)
+
+(** {1 Example 4 / Table 4 — adopted child}
+
+    TBox: [≥1.hasChild ⊏ Parent], [Parent ↦ Married].
+    ABox: [hasChild(smith, kate)], [¬Married(smith)]. *)
+
+val example4 : Kb4.t
+
+val table4_rows : (Truth.t list * string) list
+(** The nine rows of Table 4 — the supported truth values of
+    [hasChild(s,k)], [≥1.hasChild(s)], [Parent(s)], [Married(s)] in the
+    paper's models M1–M9, each with its label.  These are exactly the
+    value combinations realizable by four-valued models over the domain
+    [{smith, kate}] (see EXPERIMENTS.md, experiment EX4+T4). *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Axiom Baselines Concept Kb4 List Para Surface Tableau

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Concept Kb4 List Para Printf Reasoner Role String Surface Truth

@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Concept Cq List Para Role Stdlib Surface Truth

@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Axiom Concept Enum Interp Interp4 Kb4 List Paper_examples Para Reasoner Role Seq Stdlib Tableau Truth

@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Axiom Concept Explain Kb4 List Paper_examples Para Surface

@@ -1,0 +1,1 @@
+test/test_four.ml: Alcotest Bilattice Format Int List Prop4 Prop4_tableau Truth

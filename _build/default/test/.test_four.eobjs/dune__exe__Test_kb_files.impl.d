@@ -1,0 +1,1 @@
+test/test_kb_files.ml: Alcotest Concept Filename Fun Kb4 Owl_functional Para Surface Tableau Truth

@@ -1,0 +1,1 @@
+test/test_native4.ml: Alcotest Axiom Concept Kb4 List Paper_examples Para Printf Role Surface Tableau4 Truth

@@ -1,0 +1,1 @@
+test/test_owl.ml: Alcotest Axiom Concept Owl Owl_vocab Reasoner Role Surface Tableau

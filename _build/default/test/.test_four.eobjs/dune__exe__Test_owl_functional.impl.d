@@ -1,0 +1,1 @@
+test/test_owl_functional.ml: Alcotest Axiom Concept Datatype Kb4 List Owl_functional Paper_examples Para Role Tableau Transform Truth

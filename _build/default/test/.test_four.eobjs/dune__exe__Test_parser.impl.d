@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Axiom Concept Datatype Gen Kb4 List Paper_examples Role Surface Transform

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Axiom Concept Datatype Enum Fmt Induced Interp Interp4 Kb4 List Mangle Paper_examples Role Seq Tableau Truth

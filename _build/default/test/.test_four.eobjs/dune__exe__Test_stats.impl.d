@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Kb_stats Paper_examples Surface Transform

@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Axiom Concept Datatype Kb4 List Mangle Role String

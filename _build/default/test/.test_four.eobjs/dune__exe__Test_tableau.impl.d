@@ -1,0 +1,1 @@
+test/test_tableau.ml: Alcotest Axiom Concept Datatype Interp Interp4 List Paper_examples Para Printf Reasoner Role String Tableau

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Axiom Concept Datatype Enum Induced Interp Interp4 Kb4 List Mangle Paper_examples Para Printf Role Seq Tableau Transform

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Axiom Concept Gen Kb4 List Paper_examples Para Printf Reasoner Tableau

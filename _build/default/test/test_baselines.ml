@@ -1,0 +1,145 @@
+(* Tests for the baseline strategies: classical (trivializing), syntactic
+   subset selection, stratified repair — and their contrast with dl4. *)
+
+open Concept
+
+let answer = Alcotest.testable Baselines.pp_answer Baselines.equal_answer
+
+let kb_of = Surface.parse_kb_exn
+
+let consistent_kb = kb_of {| A << B. x : A. y : ~B. |}
+
+let inconsistent_kb =
+  kb_of {| A << B. x : A. x : ~B. z : C. |}
+
+let classical_tests =
+  [ Alcotest.test_case "consistent KB: normal answers" `Quick (fun () ->
+        Alcotest.check answer "x:B accepted" Baselines.Accepted
+          (Baselines.classical_instance consistent_kb "x" (Atom "B"));
+        Alcotest.check answer "y:A rejected (classical contraposition)"
+          Baselines.Rejected
+          (Baselines.classical_instance consistent_kb "y" (Atom "A"));
+        Alcotest.check answer "x:C undetermined" Baselines.Undetermined
+          (Baselines.classical_instance consistent_kb "x" (Atom "C"));
+        Alcotest.check answer "y:B rejected" Baselines.Rejected
+          (Baselines.classical_instance consistent_kb "y" (Atom "B")));
+    Alcotest.test_case "inconsistent KB: everything accepted" `Quick
+      (fun () ->
+        Alcotest.(check bool)
+          "trivial" true
+          (Baselines.classical_is_trivial inconsistent_kb);
+        Alcotest.check answer "z:Unrelated accepted (!)" Baselines.Accepted
+          (Baselines.classical_instance inconsistent_kb "z" (Atom "Unrelated")))
+  ]
+
+let selection_tests =
+  [ Alcotest.test_case "answers from the relevant consistent region" `Quick
+      (fun () ->
+        (* the contradiction around x does not involve z's part of the KB *)
+        Alcotest.check answer "z:C accepted" Baselines.Accepted
+          (Baselines.selection_instance inconsistent_kb "z" (Atom "C")));
+    Alcotest.test_case "abstains where the conflict is" `Quick (fun () ->
+        (* around x everything is entangled with the contradiction *)
+        Alcotest.check answer "x:B undetermined" Baselines.Undetermined
+          (Baselines.selection_instance inconsistent_kb "x" (Atom "B")));
+    Alcotest.test_case "on consistent KBs matches classical" `Quick (fun () ->
+        List.iter
+          (fun (ind, c) ->
+            Alcotest.check answer
+              (ind ^ " agrees")
+              (Baselines.classical_instance consistent_kb ind c)
+              (Baselines.selection_instance consistent_kb ind c))
+          [ ("x", Atom "B"); ("y", Atom "B"); ("y", Atom "A") ]);
+    Alcotest.test_case "selection subset is consistent" `Quick (fun () ->
+        let subset =
+          Baselines.selection_subset inconsistent_kb (Atom "B") "x"
+        in
+        Alcotest.(check bool) "consistent" true (Tableau.kb_satisfiable subset))
+  ]
+
+let stratified_tests =
+  [ Alcotest.test_case "repair keeps a consistent sub-KB" `Quick (fun () ->
+        let repaired = Baselines.stratified_repair inconsistent_kb in
+        Alcotest.(check bool) "consistent" true (Tableau.kb_satisfiable repaired);
+        (* TBox is rank 0, so the axiom A << B survives; one of the two
+           conflicting assertions about x is dropped *)
+        Alcotest.(check int) "tbox kept" 1 (List.length repaired.Axiom.tbox);
+        Alcotest.(check int) "one abox axiom dropped" 2
+          (List.length repaired.Axiom.abox));
+    Alcotest.test_case "repair of a consistent KB is the identity" `Quick
+      (fun () ->
+        let repaired = Baselines.stratified_repair consistent_kb in
+        Alcotest.(check int) "size" (Axiom.size consistent_kb)
+          (Axiom.size repaired));
+    Alcotest.test_case "ranks change which side wins" `Quick (fun () ->
+        let kb = kb_of {| x : A. x : ~A. |} in
+        (* default order keeps the first assertion *)
+        let r1 = Baselines.stratified_repair kb in
+        Alcotest.(check bool)
+          "keeps x:A" true
+          (List.exists
+             (function
+               | Axiom.Instance_of ("x", Atom "A") -> true
+               | _ -> false)
+             r1.Axiom.abox);
+        (* rank the positive assertion lower priority: now ~A survives *)
+        let ranks =
+          { Baselines.default_ranks with
+            Baselines.rank_abox =
+              (function
+              | Axiom.Instance_of (_, Atom _) -> 5
+              | _ -> 1) }
+        in
+        let r2 = Baselines.stratified_repair ~ranks kb in
+        Alcotest.(check bool)
+          "keeps x:~A" true
+          (List.exists
+             (function
+               | Axiom.Instance_of ("x", Not (Atom "A")) -> true
+               | _ -> false)
+             r2.Axiom.abox));
+    Alcotest.test_case "stratified answers are decisive but arbitrary" `Quick
+      (fun () ->
+        let kb = kb_of {| x : A. x : ~A. |} in
+        (* the repair silently picks a side... *)
+        Alcotest.check answer "accepted" Baselines.Accepted
+          (Baselines.stratified_instance kb "x" (Atom "A"));
+        (* ...whereas dl4 reports the conflict *)
+        let t = Para.create (Kb4.of_classical kb) in
+        Alcotest.check answer "undetermined" Baselines.Undetermined
+          (Baselines.para_instance t "x" (Atom "A")))
+  ]
+
+let para_comparison_tests =
+  [ Alcotest.test_case "para answers survive unrelated contradictions" `Quick
+      (fun () ->
+        let kb4 =
+          Surface.parse_kb4_exn {| A < B. x : A. x : ~B. z : C. |}
+        in
+        let t = Para.create kb4 in
+        Alcotest.check answer "z:C accepted" Baselines.Accepted
+          (Baselines.para_instance t "z" (Atom "C"));
+        (* unlike subset selection, dl4 still reports x's entailed facts *)
+        Alcotest.check answer "x:A accepted" Baselines.Accepted
+          (Baselines.para_instance t "x" (Atom "A")));
+    Alcotest.test_case "three-way collapse of Belnap values" `Quick (fun () ->
+        let t =
+          Para.create
+            (Surface.parse_kb4_exn {| x : A. x : ~B. x : C. x : ~C. |})
+        in
+        Alcotest.check answer "t -> accepted" Baselines.Accepted
+          (Baselines.para_instance t "x" (Atom "A"));
+        Alcotest.check answer "f -> rejected" Baselines.Rejected
+          (Baselines.para_instance t "x" (Atom "B"));
+        Alcotest.check answer "TOP -> undetermined" Baselines.Undetermined
+          (Baselines.para_instance t "x" (Atom "C"));
+        Alcotest.check answer "BOT -> undetermined" Baselines.Undetermined
+          (Baselines.para_instance t "x" (Atom "D")))
+  ]
+
+let () =
+  Alcotest.run "baselines"
+    [ ("classical", classical_tests);
+      ("selection", selection_tests);
+      ("stratified", stratified_tests);
+      ("para-comparison", para_comparison_tests) ]

@@ -1,0 +1,115 @@
+(* Tests for grounded conjunctive queries. *)
+
+open Concept
+
+let tv = Alcotest.testable Truth.pp Truth.equal
+
+let kb =
+  Surface.parse_kb4_exn
+    {|
+    Surgeon < Doctor.
+    hasPatient(bill, mary).
+    mary : Patient.
+    bill : Surgeon.
+    dana : Doctor.
+    dana : ~Surgeon.
+    eve : Doctor.
+    eve : ~Doctor.
+    |}
+
+let t = Para.create kb
+
+let q_doctors =
+  Cq.make ~head:[ "x" ] ~body:[ Cq.Concept_atom (Atom "Doctor", Cq.Var "x") ]
+
+let q_treating =
+  Cq.make ~head:[ "x"; "y" ]
+    ~body:
+      [ Cq.Concept_atom (Atom "Doctor", Cq.Var "x");
+        Cq.Role_atom (Role.name "hasPatient", Cq.Var "x", Cq.Var "y");
+        Cq.Concept_atom (Atom "Patient", Cq.Var "y") ]
+
+let answer_tuples q = List.map fst (Cq.answers t q)
+
+let cq_tests =
+  [ Alcotest.test_case "single-atom retrieval" `Quick (fun () ->
+        Alcotest.(check (slist (list string) Stdlib.compare))
+          "doctors"
+          [ [ "bill" ]; [ "dana" ]; [ "eve" ] ]
+          (answer_tuples q_doctors));
+    Alcotest.test_case "contradictory support is reported as TOP" `Quick
+      (fun () ->
+        let values = Cq.answers t q_doctors in
+        Alcotest.check tv "eve tainted" Truth.Both
+          (List.assoc [ "eve" ] values);
+        Alcotest.check tv "bill clean" Truth.True
+          (List.assoc [ "bill" ] values));
+    Alcotest.test_case "join across roles" `Quick (fun () ->
+        Alcotest.(check (list (list string)))
+          "treating pairs"
+          [ [ "bill"; "mary" ] ]
+          (answer_tuples q_treating));
+    Alcotest.test_case "clean answers sort before tainted ones" `Quick
+      (fun () ->
+        match Cq.answers t q_doctors with
+        | (_, v1) :: _ ->
+            Alcotest.check tv "first is t" Truth.True v1
+        | [] -> Alcotest.fail "expected answers");
+    Alcotest.test_case "constants in queries" `Quick (fun () ->
+        let q =
+          Cq.make ~head:[ "y" ]
+            ~body:
+              [ Cq.Role_atom (Role.name "hasPatient", Cq.Ind "bill", Cq.Var "y") ]
+        in
+        Alcotest.(check (list (list string))) "mary" [ [ "mary" ] ] (answer_tuples q));
+    Alcotest.test_case "boolean query (empty head)" `Quick (fun () ->
+        let q =
+          Cq.make ~head:[]
+            ~body:[ Cq.Concept_atom (Atom "Patient", Cq.Ind "mary") ]
+        in
+        match Cq.answers t q with
+        | [ ([], v) ] -> Alcotest.check tv "t" Truth.True v
+        | _ -> Alcotest.fail "expected the empty tuple");
+    Alcotest.test_case "denied atoms kill the tuple" `Quick (fun () ->
+        let q =
+          Cq.make ~head:[ "x" ]
+            ~body:
+              [ Cq.Concept_atom (Atom "Doctor", Cq.Var "x");
+                Cq.Concept_atom (Atom "Surgeon", Cq.Var "x") ]
+        in
+        (* dana is a doctor but told NOT a surgeon: conj(t, f) = f *)
+        Alcotest.(check bool)
+          "dana excluded" false
+          (List.mem [ "dana" ] (answer_tuples q)));
+    Alcotest.test_case "all_bindings reports non-designated values too"
+      `Quick (fun () ->
+        let q =
+          Cq.make ~head:[ "x" ]
+            ~body:[ Cq.Concept_atom (Atom "Surgeon", Cq.Var "x") ]
+        in
+        let bindings = Cq.all_bindings t q in
+        let value_of ind =
+          List.assoc [ ("x", ind) ]
+            (List.map (fun (b, v) -> (b, v)) bindings)
+        in
+        Alcotest.check tv "dana f" Truth.False (value_of "dana");
+        Alcotest.check tv "mary BOT" Truth.Neither (value_of "mary"));
+    Alcotest.test_case "head variable must occur in body" `Quick (fun () ->
+        match
+          Cq.make ~head:[ "z" ]
+            ~body:[ Cq.Concept_atom (Atom "Doctor", Cq.Var "x") ]
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "complex concept atoms" `Quick (fun () ->
+        let q =
+          Cq.make ~head:[ "x" ]
+            ~body:
+              [ Cq.Concept_atom
+                  (Exists (Role.name "hasPatient", Atom "Patient"), Cq.Var "x") ]
+        in
+        Alcotest.(check (list (list string)))
+          "bill" [ [ "bill" ] ] (answer_tuples q))
+  ]
+
+let () = Alcotest.run "cq" [ ("conjunctive-queries", cq_tests) ]

@@ -1,0 +1,112 @@
+(* Tests for the concrete domain: membership, conjunction satisfiability,
+   cardinality, complements, witnesses. *)
+
+open Datatype
+
+let check_bool name expected got =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool) name expected got)
+
+let member_tests =
+  [ check_bool "int in range" true (member (Int 5) (Int_range (Some 0, Some 10)));
+    check_bool "int below range" false
+      (member (Int (-1)) (Int_range (Some 0, Some 10)));
+    check_bool "int in unbounded range" true
+      (member (Int 1_000_000) (Int_range (Some 0, None)));
+    check_bool "string not in int range" false
+      (member (Str "x") (Int_range (Some 0, Some 10)));
+    check_bool "string in String_type" true (member (Str "x") String_type);
+    check_bool "bool in Bool_type" true (member (Bool true) Bool_type);
+    check_bool "value in one_of" true
+      (member (Str "a") (One_of [ Str "a"; Int 3 ]));
+    check_bool "value not in one_of" false
+      (member (Str "b") (One_of [ Str "a"; Int 3 ]));
+    check_bool "complement flips membership" true
+      (member (Int 42) (Complement (Int_range (Some 0, Some 10))));
+    check_bool "double complement" true
+      (member (Int 5) (Complement (Complement (Int_range (Some 0, Some 10)))));
+    check_bool "everything in Top_data" true (member (Bool false) Top_data);
+    check_bool "nothing in Bottom_data" false (member (Int 0) Bottom_data)
+  ]
+
+let satisfiability_tests =
+  [ check_bool "overlapping ranges" true
+      (satisfiable [ Int_range (Some 0, Some 10); Int_range (Some 5, Some 20) ]);
+    check_bool "disjoint ranges" false
+      (satisfiable [ Int_range (Some 0, Some 4); Int_range (Some 5, Some 20) ]);
+    check_bool "range with complement point" true
+      (satisfiable
+         [ Int_range (Some 0, Some 1); Complement (One_of [ Int 0 ]) ]);
+    check_bool "singleton range minus its point" false
+      (satisfiable
+         [ Int_range (Some 3, Some 3); Complement (One_of [ Int 3 ]) ]);
+    check_bool "int and string types disjoint" false
+      (satisfiable [ Int_type; String_type ]);
+    check_bool "empty conjunction satisfiable" true (satisfiable []);
+    check_bool "bottom kills everything" false
+      (satisfiable [ Bottom_data; Top_data ]);
+    check_bool "complement of top is empty" false
+      (satisfiable [ Complement Top_data ]);
+    check_bool "one_of intersected with range" true
+      (satisfiable [ One_of [ Int 7; Int 99 ]; Int_range (Some 0, Some 10) ]);
+    check_bool "one_of disjoint from range" false
+      (satisfiable [ One_of [ Int 99 ]; Int_range (Some 0, Some 10) ])
+  ]
+
+let cardinality_tests =
+  [ check_bool "range [1,3] has >= 3" true
+      (cardinal_at_least 3 [ Int_range (Some 1, Some 3) ]);
+    check_bool "range [1,3] lacks >= 4" false
+      (cardinal_at_least 4 [ Int_range (Some 1, Some 3) ]);
+    check_bool "unbounded range has any cardinality" true
+      (cardinal_at_least 1_000_000 [ Int_range (None, Some 0) ]);
+    check_bool "booleans max out at 2" false (cardinal_at_least 3 [ Bool_type ]);
+    check_bool "booleans reach 2" true (cardinal_at_least 2 [ Bool_type ]);
+    check_bool "strings are infinite" true
+      (cardinal_at_least 1_000_000 [ String_type ]);
+    check_bool "cofinite strings still infinite" true
+      (cardinal_at_least 10 [ Complement (One_of [ Str "a" ]) ]);
+    check_bool "zero is always satisfied" true (cardinal_at_least 0 [ Bottom_data ]);
+    check_bool "top data counts across kinds" true
+      (cardinal_at_least 5 [ Top_data ]);
+    check_bool "range with punched holes" false
+      (cardinal_at_least 3
+         [ Int_range (Some 1, Some 3); Complement (One_of [ Int 2 ]) ])
+  ]
+
+let witness_tests =
+  [ Alcotest.test_case "witnesses are members and distinct" `Quick (fun () ->
+        let ds = [ Int_range (Some 0, Some 100); Complement (One_of [ Int 1 ]) ] in
+        let ws = witnesses 5 ds in
+        Alcotest.(check int) "count" 5 (List.length ws);
+        List.iter
+          (fun w ->
+            Alcotest.(check bool)
+              "member" true
+              (List.for_all (member w) ds))
+          ws;
+        Alcotest.(check int)
+          "distinct" 5
+          (List.length (List.sort_uniq compare_value ws)));
+    Alcotest.test_case "witnesses limited by small datatype" `Quick (fun () ->
+        let ws = witnesses 5 [ Bool_type ] in
+        Alcotest.(check int) "count" 2 (List.length ws));
+    Alcotest.test_case "cofinite string witnesses avoid exclusions" `Quick
+      (fun () ->
+        let ds = [ Complement (One_of [ Str "v0"; Str "v1" ]) ] in
+        let ws = witnesses 3 ds in
+        Alcotest.(check int) "count" 3 (List.length ws);
+        List.iter
+          (fun w ->
+            Alcotest.(check bool) "member" true (List.for_all (member w) ds))
+          ws);
+    Alcotest.test_case "no witnesses from empty datatype" `Quick (fun () ->
+        Alcotest.(check int) "count" 0 (List.length (witnesses 3 [ Bottom_data ])))
+  ]
+
+let () =
+  Alcotest.run "datatype"
+    [ ("membership", member_tests);
+      ("satisfiability", satisfiability_tests);
+      ("cardinality", cardinality_tests);
+      ("witnesses", witness_tests) ]

@@ -1,0 +1,122 @@
+(* Tests for black-box axiom pinpointing (Explain). *)
+
+let kb_of = Surface.parse_kb4_exn
+
+let kb4_size (kb : Kb4.t) = Kb4.size kb
+
+let has_tbox (kb : Kb4.t) ax =
+  List.exists (fun ax' -> Kb4.compare_tbox_axiom ax ax' = 0) kb.tbox
+
+let has_abox (kb : Kb4.t) ax =
+  List.exists (fun ax' -> Axiom.compare_abox_axiom ax ax' = 0) kb.abox
+
+open Concept
+
+let justification_tests =
+  [ Alcotest.test_case "minimal justification of a derived instance" `Quick
+      (fun () ->
+        let kb = kb_of "A < B. B < C. x : A. y : D." in
+        match Explain.justification kb (Explain.Instance ("x", Atom "C")) with
+        | None -> Alcotest.fail "entailment should hold"
+        | Some j ->
+            Alcotest.(check int) "three axioms" 3 (kb4_size j);
+            Alcotest.(check bool)
+              "contains A < B" true
+              (has_tbox j (Kb4.Concept_inclusion (Kb4.Internal, Atom "A", Atom "B")));
+            Alcotest.(check bool)
+              "contains x : A" true
+              (has_abox j (Axiom.Instance_of ("x", Atom "A")));
+            Alcotest.(check bool)
+              "irrelevant fact dropped" false
+              (has_abox j (Axiom.Instance_of ("y", Atom "D"))));
+    Alcotest.test_case "no justification for non-entailment" `Quick (fun () ->
+        let kb = kb_of "x : A." in
+        Alcotest.(check bool)
+          "none" true
+          (Explain.justification kb (Explain.Instance ("x", Atom "B")) = None));
+    Alcotest.test_case "justification is really minimal" `Quick (fun () ->
+        let kb = kb_of "A < C. B < C. x : A. x : B. x : C." in
+        match Explain.justification kb (Explain.Instance ("x", Atom "C")) with
+        | None -> Alcotest.fail "holds"
+        | Some j ->
+            (* any single support suffices; minimality means size 1 or 2 *)
+            Alcotest.(check bool) "small" true (kb4_size j <= 2));
+    Alcotest.test_case "contradiction pinpointing" `Quick (fun () ->
+        let kb = kb_of "A < B. C < ~B. x : A. x : C. y : A." in
+        match
+          Explain.justification kb (Explain.Contradiction ("x", Atom "B"))
+        with
+        | None -> Alcotest.fail "x : B should be TOP"
+        | Some j ->
+            Alcotest.(check int) "four axioms" 4 (kb4_size j);
+            Alcotest.(check bool)
+              "y's fact not involved" false
+              (has_abox j (Axiom.Instance_of ("y", Atom "A"))));
+    Alcotest.test_case "inclusion justification" `Quick (fun () ->
+        let kb = kb_of "A < B. B < C. C < D. x : E." in
+        match
+          Explain.justification kb
+            (Explain.Inclusion (Kb4.Internal, Atom "A", Atom "C"))
+        with
+        | None -> Alcotest.fail "holds"
+        | Some j -> Alcotest.(check int) "two axioms" 2 (kb4_size j));
+    Alcotest.test_case "unsatisfiability justification" `Quick (fun () ->
+        let kb = kb_of "x : Bottom. y : A." in
+        match Explain.justification kb Explain.Unsatisfiable with
+        | None -> Alcotest.fail "unsat"
+        | Some j ->
+            Alcotest.(check int) "just the Bottom assertion" 1 (kb4_size j))
+  ]
+
+let hst_tests =
+  [ Alcotest.test_case "two independent supports yield two justifications"
+      `Quick (fun () ->
+        let kb = kb_of "A < C. B < C. x : A. x : B." in
+        let js =
+          Explain.all_justifications kb (Explain.Instance ("x", Atom "C"))
+        in
+        Alcotest.(check int) "two" 2 (List.length js);
+        List.iter
+          (fun j -> Alcotest.(check int) "each of size 2" 2 (kb4_size j))
+          js);
+    Alcotest.test_case "single support yields one justification" `Quick
+      (fun () ->
+        let kb = kb_of "A < B. x : A." in
+        Alcotest.(check int)
+          "one" 1
+          (List.length
+             (Explain.all_justifications kb (Explain.Instance ("x", Atom "B")))));
+    Alcotest.test_case "limit caps enumeration" `Quick (fun () ->
+        let kb = kb_of "A < D. B < D. C < D. x : A. x : B. x : C." in
+        Alcotest.(check int)
+          "limited" 2
+          (List.length
+             (Explain.all_justifications ~limit:2 kb
+                (Explain.Instance ("x", Atom "D")))));
+    Alcotest.test_case "three supports found without limit" `Quick (fun () ->
+        let kb = kb_of "A < D. B < D. C < D. x : A. x : B. x : C." in
+        Alcotest.(check int)
+          "three" 3
+          (List.length
+             (Explain.all_justifications kb (Explain.Instance ("x", Atom "D")))))
+  ]
+
+let integration_tests =
+  [ Alcotest.test_case "explaining the paper's Example 2 conflict" `Quick
+      (fun () ->
+        let t = Para.create Paper_examples.example2 in
+        let explained = Explain.contradictions_explained t in
+        match explained with
+        | [ (a, c, j) ] ->
+            Alcotest.(check string) "individual" "john" a;
+            Alcotest.(check string) "concept" "ReadPatientRecordTeam" c;
+            (* the conflict needs both team memberships and both axioms *)
+            Alcotest.(check int) "all four axioms involved" 4 (kb4_size j)
+        | _ -> Alcotest.fail "expected exactly one contradiction")
+  ]
+
+let () =
+  Alcotest.run "explain"
+    [ ("justification", justification_tests);
+      ("hitting-set", hst_tests);
+      ("integration", integration_tests) ]

@@ -1,0 +1,156 @@
+(* Tests for the native four-valued tableau, including differential
+   agreement with the transformation pipeline (the executable Theorem 6). *)
+
+let tv = Alcotest.testable Truth.pp Truth.equal
+
+open Concept
+
+let kb_of = Surface.parse_kb4_exn
+
+let check_bool name expected got =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool) name expected got)
+
+let basic_tests =
+  [ check_bool "empty KB satisfiable" true
+      (Tableau4.satisfiable (Tableau4.create Kb4.empty));
+    check_bool "plain contradiction is 4-satisfiable" true
+      (Tableau4.satisfiable (Tableau4.create (kb_of "x : A. x : ~A.")));
+    check_bool "Bottom assertion unsatisfiable" false
+      (Tableau4.satisfiable (Tableau4.create (kb_of "x : Bottom.")));
+    check_bool "distinctness clash unsatisfiable" false
+      (Tableau4.satisfiable (Tableau4.create (kb_of "a = b. a != b.")));
+    check_bool "datatype clash unsatisfiable" false
+      (Tableau4.satisfiable
+         (Tableau4.create (kb_of "u(a, 5). a : only u:int[0..4].")));
+    Alcotest.test_case "material/strong role inclusions unsupported" `Quick
+      (fun () ->
+        match Tableau4.create (kb_of "role r |-> s.") with
+        | exception Tableau4.Unsupported _ -> ()
+        | _ -> Alcotest.fail "expected Unsupported")
+  ]
+
+let instance_tests =
+  [ Alcotest.test_case "all four values, natively" `Quick (fun () ->
+        let t =
+          Tableau4.create (kb_of "A < B. x : A. x : C. x : ~C. x : ~D.")
+        in
+        Alcotest.check tv "A" Truth.True (Tableau4.instance_truth t "x" (Atom "A"));
+        Alcotest.check tv "B derived" Truth.True
+          (Tableau4.instance_truth t "x" (Atom "B"));
+        Alcotest.check tv "C" Truth.Both (Tableau4.instance_truth t "x" (Atom "C"));
+        Alcotest.check tv "D" Truth.False (Tableau4.instance_truth t "x" (Atom "D"));
+        Alcotest.check tv "E" Truth.Neither
+          (Tableau4.instance_truth t "x" (Atom "E")));
+    Alcotest.test_case "material inclusion tolerates exceptions" `Quick
+      (fun () ->
+        let t = Tableau4.create Paper_examples.example3 in
+        Alcotest.(check bool) "sat" true (Tableau4.satisfiable t);
+        Alcotest.check tv "tweety cannot fly" Truth.False
+          (Tableau4.instance_truth t "tweety" (Atom "Fly"));
+        Alcotest.check tv "tweety is a penguin" Truth.True
+          (Tableau4.instance_truth t "tweety" (Atom "Penguin")));
+    Alcotest.test_case "strong inclusion contraposes natively" `Quick
+      (fun () ->
+        let t = Tableau4.create (kb_of "B -> F. x : ~F.") in
+        Alcotest.check tv "B = f" Truth.False
+          (Tableau4.instance_truth t "x" (Atom "B")));
+    Alcotest.test_case "paper example 1 natively" `Quick (fun () ->
+        let t = Tableau4.create Paper_examples.example1 in
+        Alcotest.(check bool) "sat" true (Tableau4.satisfiable t);
+        Alcotest.(check bool)
+          "bill is a doctor" true
+          (Tableau4.entails_instance t "bill" (Atom "Doctor"));
+        Alcotest.(check bool)
+          "no info bill is not a doctor" false
+          (Tableau4.entails_not_instance t "bill" (Atom "Doctor")));
+    Alcotest.test_case "paper example 2 natively" `Quick (fun () ->
+        let t = Tableau4.create Paper_examples.example2 in
+        Alcotest.check tv "TOP" Truth.Both
+          (Tableau4.instance_truth t "john" (Atom "ReadPatientRecordTeam"));
+        Alcotest.check tv "BOT" Truth.Neither
+          (Tableau4.instance_truth t "john" (Atom "Patient")));
+    Alcotest.test_case "paper example 4 natively" `Quick (fun () ->
+        let t = Tableau4.create Paper_examples.example4 in
+        Alcotest.(check bool) "sat" true (Tableau4.satisfiable t);
+        Alcotest.check tv "Parent t" Truth.True
+          (Tableau4.instance_truth t "smith" (Atom "Parent"));
+        Alcotest.check tv "Married f" Truth.False
+          (Tableau4.instance_truth t "smith" (Atom "Married")))
+  ]
+
+let counting_tests =
+  [ check_bool ">=2 asserted positively is satisfiable" true
+      (Tableau4.satisfiable (Tableau4.create (kb_of "x : >= 2 r.")));
+    check_bool "told <=1 never clashes with told edges (Table 2)" true
+      (Tableau4.satisfiable
+         (Tableau4.create (kb_of "x : <= 1 r. r(x, y). r(x, z). y != z.")));
+    Alcotest.test_case "NP >= bounds told successors" `Quick (fun () ->
+        (* K |=4 (>=2.r)(x) should fail with one told edge *)
+        let t = Tableau4.create (kb_of "r(x, y).") in
+        Alcotest.(check bool)
+          "not entailed" false
+          (Tableau4.entails_instance t "x" (At_least (2, Role.name "r")));
+        Alcotest.(check bool)
+          "one is entailed" true
+          (Tableau4.entails_instance t "x" (At_least (1, Role.name "r"))));
+    Alcotest.test_case "rneg interval conflict clashes" `Quick (fun () ->
+        (* told (<=0.r)(x) gives upper bound 0 non-negated successors;
+           told ~(<=1.r)(x) via N-side... the conflicting pair is expressed
+           with ~: x : ~(>= 1 r) forces <= 0 non-negated, and
+           x : ~(<= 2 r) forces... use entailment instead:
+           K = { x : <= 0 r } |=4 (<= 2 r)(x)? Negative-count semantics:
+           told <=0 means 0 non-negated, so <=2 holds positively. *)
+        let t = Tableau4.create (kb_of "x : <= 0 r.") in
+        Alcotest.(check bool)
+          "<=2 follows from <=0" true
+          (Tableau4.entails_instance t "x" (At_most (2, Role.name "r"))))
+  ]
+
+(* Differential: native engine vs transformation pipeline. *)
+let differential_fixed_tests =
+  let cases =
+    [ "A < B. B < C. x : A. y : ~C.";
+      "A |-> B. x : A. x : ~B.";
+      "A -> B. x : ~B. y : A.";
+      "A < some r.B. x : A.";
+      "A < only r.B. x : A. r(x, y).";
+      "x : A | B. x : ~A.";
+      "x : A & ~A. y : B.";
+      "A < ~A. x : A.";
+      "role r < s. transitive s. r(x, y). s(y, z). x : only s.C.";
+      "x : >= 2 r. x : ~(<= 1 r).";
+      "x : {o}. o : A.";
+      "u(a, 3). a : some u:int[0..5].";
+      "A |-> B. B |-> C. x : A. x : ~B." ]
+  in
+  List.mapi
+    (fun i src ->
+      Alcotest.test_case (Printf.sprintf "agreement on fixed KB %d" i) `Quick
+        (fun () ->
+          let kb = kb_of src in
+          let native = Tableau4.create kb in
+          let para = Para.create kb in
+          Alcotest.(check bool)
+            "satisfiability agrees" (Para.satisfiable para)
+            (Tableau4.satisfiable native);
+          let signature = Kb4.signature kb in
+          List.iter
+            (fun a ->
+              List.iter
+                (fun cname ->
+                  let c = Atom cname in
+                  Alcotest.check tv
+                    (Printf.sprintf "%s:%s" a cname)
+                    (Para.instance_truth para a c)
+                    (Tableau4.instance_truth native a c))
+                signature.Axiom.concepts)
+            signature.Axiom.individuals))
+    cases
+
+let () =
+  Alcotest.run "native4"
+    [ ("basic", basic_tests);
+      ("instances", instance_tests);
+      ("counting", counting_tests);
+      ("differential-fixed", differential_fixed_tests) ]

@@ -1,0 +1,136 @@
+(* Tests for the OWL facade: ontology entailment (classical and four-valued)
+   and the vocabulary sugar. *)
+
+open Concept
+
+let kb_of = Surface.parse_kb_exn
+let kb4_of = Surface.parse_kb4_exn
+
+let check_entails name expected o1 o2 =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool) name expected (Owl.entails o1 o2))
+
+let entailment_tests =
+  [ check_entails "subsumption chain entailed" true
+      (kb_of "A << B. B << C.")
+      (kb_of "A << C.");
+    check_entails "reverse not entailed" false
+      (kb_of "A << B. B << C.")
+      (kb_of "C << A.");
+    check_entails "abox consequences entailed" true
+      (kb_of "A << B. x : A.")
+      (kb_of "x : B.");
+    check_entails "role hierarchy entailed" true
+      (kb_of "role r << s. role s << t.")
+      (kb_of "role r << t.");
+    check_entails "transitivity declared" true
+      (kb_of "transitive r.")
+      (kb_of "transitive r.");
+    check_entails "transitivity not invented" false
+      (kb_of "role r << s.")
+      (kb_of "transitive r.");
+    check_entails "role assertion via hierarchy" true
+      (kb_of "role r << s. r(a, b).")
+      (kb_of "s(a, b).");
+    check_entails "inconsistent premise entails anything" true
+      (kb_of "x : A. x : ~A.")
+      (kb_of "y : Banana. role p << q.");
+    check_entails "equality entailment" true
+      (kb_of "a = b. a : A.")
+      (kb_of "b : A. a = b.");
+    check_entails "empty ontology entailed by anything" true
+      (kb_of "x : A.")
+      Axiom.empty;
+    check_entails "data assertion entailed" true
+      (kb_of "age(a, 5).")
+      (kb_of "age(a, 5).");
+    check_entails "different data value not entailed" false
+      (kb_of "age(a, 5).")
+      (kb_of "age(a, 6).")
+  ]
+
+let entailment4_tests =
+  [ Alcotest.test_case "four-valued entailment is paraconsistent" `Quick
+      (fun () ->
+        let o1 = kb4_of "x : A. x : ~A." in
+        Alcotest.(check bool)
+          "does not entail y:B" false
+          (Owl.entails4 o1 (kb4_of "y : B."));
+        Alcotest.(check bool)
+          "entails its own facts" true
+          (Owl.entails4 o1 (kb4_of "x : A. x : ~A.")));
+    Alcotest.test_case "four-valued entailment through inclusions" `Quick
+      (fun () ->
+        let o1 = kb4_of "A < B. x : A." in
+        Alcotest.(check bool) "x:B" true (Owl.entails4 o1 (kb4_of "x : B."));
+        Alcotest.(check bool)
+          "A < B itself" true
+          (Owl.entails4 o1 (kb4_of "A < B.")));
+    Alcotest.test_case "material axiom does not entail internal axiom" `Quick
+      (fun () ->
+        let o1 = kb4_of "A |-> B." in
+        Alcotest.(check bool)
+          "A < B not entailed" false
+          (Owl.entails4 o1 (kb4_of "A < B."));
+        Alcotest.(check bool)
+          "A |-> B entailed" true
+          (Owl.entails4 o1 (kb4_of "A |-> B.")))
+  ]
+
+let vocab_tests =
+  [ Alcotest.test_case "constructors build the expected AST" `Quick (fun () ->
+        let c = Alcotest.testable Concept.pp Concept.equal in
+        Alcotest.check c "intersection"
+          (And (Atom "A", Atom "B"))
+          (Owl_vocab.object_intersection_of [ Owl_vocab.owl_class "A"; Owl_vocab.owl_class "B" ]);
+        Alcotest.check c "some values"
+          (Exists (Role.name "r", Atom "A"))
+          (Owl_vocab.object_some_values_from (Owl_vocab.object_property "r")
+             (Owl_vocab.owl_class "A"));
+        Alcotest.check c "exact cardinality"
+          (And (At_least (2, Role.name "r"), At_most (2, Role.name "r")))
+          (Owl_vocab.object_exact_cardinality 2 (Owl_vocab.object_property "r"));
+        Alcotest.check c "thing and nothing" Top Owl_vocab.thing;
+        Alcotest.check c "nothing" Bottom Owl_vocab.nothing);
+    Alcotest.test_case "negative property assertion behaves correctly" `Quick
+      (fun () ->
+        let kb =
+          Axiom.make ~tbox:[]
+            ~abox:
+              [ Owl_vocab.object_property_assertion (Role.name "r") "a" "b";
+                Owl_vocab.negative_object_property_assertion (Role.name "r") "a"
+                  "b" ]
+        in
+        Alcotest.(check bool)
+          "clash" false
+          (Tableau.kb_satisfiable kb));
+    Alcotest.test_case "negative property assertion alone is fine" `Quick
+      (fun () ->
+        let kb =
+          Axiom.make ~tbox:[]
+            ~abox:
+              [ Owl_vocab.object_property_assertion (Role.name "r") "a" "c";
+                Owl_vocab.negative_object_property_assertion (Role.name "r") "a"
+                  "b" ]
+        in
+        Alcotest.(check bool) "sat" true (Tableau.kb_satisfiable kb));
+    Alcotest.test_case "disjoint and equivalent classes" `Quick (fun () ->
+        let kb =
+          Axiom.make
+            ~tbox:
+              (Owl_vocab.equivalent_classes (Atom "A") (Atom "B")
+              @ [ Owl_vocab.disjoint_classes (Atom "B") (Atom "C") ])
+            ~abox:[ Owl_vocab.class_assertion (Atom "A") "x" ]
+        in
+        let r = Reasoner.create kb in
+        Alcotest.(check bool) "x : B" true (Reasoner.instance_of r "x" (Atom "B"));
+        Alcotest.(check bool)
+          "x : ~C" true
+          (Reasoner.instance_of r "x" (Not (Atom "C"))))
+  ]
+
+let () =
+  Alcotest.run "owl"
+    [ ("entailment", entailment_tests);
+      ("entailment4", entailment4_tests);
+      ("vocab", vocab_tests) ]

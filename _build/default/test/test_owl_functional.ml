@@ -1,0 +1,186 @@
+(* Tests for the OWL 2 functional-style syntax reader/writer. *)
+
+let concept = Alcotest.testable Concept.pp Concept.equal
+
+open Concept
+
+let parse = Owl_functional.parse_ontology_exn
+
+let parsing_tests =
+  [ Alcotest.test_case "subclass with intersection and existential" `Quick
+      (fun () ->
+        let kb =
+          parse
+            {| SubClassOf(ObjectIntersectionOf(:Bird ObjectSomeValuesFrom(:hasWing :Wing)) :Fly) |}
+        in
+        match kb.Axiom.tbox with
+        | [ Axiom.Concept_sub (lhs, rhs) ] ->
+            Alcotest.check concept "lhs"
+              (And (Atom "Bird", Exists (Role.name "hasWing", Atom "Wing")))
+              lhs;
+            Alcotest.check concept "rhs" (Atom "Fly") rhs
+        | _ -> Alcotest.fail "shape");
+    Alcotest.test_case "ontology wrapper, prefixes and declarations" `Quick
+      (fun () ->
+        let kb =
+          parse
+            {|
+            Prefix(:=<http://example.org/med#>)
+            Ontology(<http://example.org/med>
+              Declaration(Class(:Doctor))
+              Declaration(NamedIndividual(:john))
+              SubClassOf(:Surgeon :Doctor)
+              ClassAssertion(:Surgeon :john)
+            )
+            |}
+        in
+        Alcotest.(check int) "one tbox axiom" 1 (List.length kb.Axiom.tbox);
+        Alcotest.(check int) "one abox axiom" 1 (List.length kb.Axiom.abox));
+    Alcotest.test_case "full IRIs reduce to fragments" `Quick (fun () ->
+        let kb =
+          parse
+            {| SubClassOf(<http://example.org/onto#Cat> <http://example.org/onto#Animal>) |}
+        in
+        match kb.Axiom.tbox with
+        | [ Axiom.Concept_sub (Atom "Cat", Atom "Animal") ] -> ()
+        | _ -> Alcotest.fail "shape");
+    Alcotest.test_case "equivalent and disjoint classes expand" `Quick
+      (fun () ->
+        let kb = parse "EquivalentClasses(:A :B) DisjointClasses(:C :D)" in
+        Alcotest.(check int) "three axioms" 3 (List.length kb.Axiom.tbox));
+    Alcotest.test_case "cardinalities and inverse properties" `Quick
+      (fun () ->
+        let kb =
+          parse
+            {| SubClassOf(:A ObjectMinCardinality(2 ObjectInverseOf(:r)))
+               SubClassOf(:A ObjectMaxCardinality(1 :r))
+               SubClassOf(:A ObjectExactCardinality(3 :s)) |}
+        in
+        match kb.Axiom.tbox with
+        | [ Axiom.Concept_sub (_, At_least (2, Role.Inv "r"));
+            Axiom.Concept_sub (_, At_most (1, Role.Name "r"));
+            Axiom.Concept_sub (_, And (At_least (3, _), At_most (3, _))) ] ->
+            ()
+        | _ -> Alcotest.fail "shape");
+    Alcotest.test_case "data ranges and literals" `Quick (fun () ->
+        let kb =
+          parse
+            {| SubClassOf(:Adult DataSomeValuesFrom(:age
+                 DatatypeRestriction(xsd:integer xsd:minInclusive "18"^^xsd:integer)))
+               DataPropertyAssertion(:age :smith "42"^^xsd:integer)
+               DataPropertyAssertion(:name :smith "Smith")
+               DataPropertyAssertion(:single :smith "true"^^xsd:boolean) |}
+        in
+        (match kb.Axiom.tbox with
+        | [ Axiom.Concept_sub
+              (_, Data_exists ("age", Datatype.Int_range (Some 18, None))) ] ->
+            ()
+        | _ -> Alcotest.fail "tbox shape");
+        match kb.Axiom.abox with
+        | [ Axiom.Data_assertion (_, "age", Datatype.Int 42);
+            Axiom.Data_assertion (_, "name", Datatype.Str "Smith");
+            Axiom.Data_assertion (_, "single", Datatype.Bool true) ] ->
+            ()
+        | _ -> Alcotest.fail "abox shape");
+    Alcotest.test_case "has-value sugar" `Quick (fun () ->
+        let kb = parse "SubClassOf(:A ObjectHasValue(:r :b))" in
+        match kb.Axiom.tbox with
+        | [ Axiom.Concept_sub (_, Exists (Role.Name "r", One_of [ "b" ])) ] ->
+            ()
+        | _ -> Alcotest.fail "shape");
+    Alcotest.test_case "same/different individuals n-ary" `Quick (fun () ->
+        let kb = parse "DifferentIndividuals(:a :b :c)" in
+        Alcotest.(check int) "three pairs" 3 (List.length kb.Axiom.abox));
+    Alcotest.test_case "negative property assertion encoding" `Quick
+      (fun () ->
+        let kb = parse "NegativeObjectPropertyAssertion(:r :a :b)" in
+        match kb.Axiom.abox with
+        | [ Axiom.Instance_of ("a", Forall (Role.Name "r", Not (One_of [ "b" ]))) ]
+          ->
+            ()
+        | _ -> Alcotest.fail "shape");
+    Alcotest.test_case "parse errors are reported with offsets" `Quick
+      (fun () ->
+        match Owl_functional.parse_ontology "SubClassOf(:A" with
+        | Error e -> Alcotest.(check bool) "offset" true (e.Owl_functional.offset >= 0)
+        | Ok _ -> Alcotest.fail "should fail")
+  ]
+
+let kb_equal (k1 : Axiom.kb) (k2 : Axiom.kb) =
+  List.length k1.tbox = List.length k2.tbox
+  && List.length k1.abox = List.length k2.abox
+  && List.for_all2 (fun a b -> Axiom.compare_tbox_axiom a b = 0) k1.tbox k2.tbox
+  && List.for_all2 (fun a b -> Axiom.compare_abox_axiom a b = 0) k1.abox k2.abox
+
+let roundtrip_tests =
+  let cases =
+    [ ("tweety", Paper_examples.example3_classical);
+      ("transformed tweety", Transform.kb Paper_examples.example3);
+      ( "datatypes",
+        Axiom.make
+          ~tbox:
+            [ Axiom.Concept_sub
+                ( Concept.Atom "Adult",
+                  Concept.Data_exists
+                    ("age", Datatype.Int_range (Some 18, Some 120)) );
+              Axiom.Data_role_sub ("age", "attribute");
+              Axiom.Transitive "partOf" ]
+          ~abox:
+            [ Axiom.Data_assertion ("smith", "age", Datatype.Int 42);
+              Axiom.Same ("smith", "smith2");
+              Axiom.Different ("smith", "kate") ] );
+      ( "numbers and nominals",
+        Axiom.make
+          ~tbox:
+            [ Axiom.Concept_sub
+                ( Concept.At_least (2, Role.Inv "r"),
+                  Concept.Or
+                    ( Concept.One_of [ "a"; "b" ],
+                      Concept.Not (Concept.Atom "C") ) ) ]
+          ~abox:[ Axiom.Role_assertion ("a", Role.Inv "r", "b") ] )
+    ]
+  in
+  List.map
+    (fun (label, kb) ->
+      Alcotest.test_case ("roundtrip " ^ label) `Quick (fun () ->
+          let doc = Owl_functional.to_functional kb in
+          match Owl_functional.parse_ontology doc with
+          | Ok kb' ->
+              if not (kb_equal kb kb') then
+                Alcotest.failf "mismatch after roundtrip:@.%s" doc
+          | Error e ->
+              Alcotest.failf "reparse failed: %a@.%s" Owl_functional.pp_error e
+                doc))
+    cases
+
+let pipeline_tests =
+  [ Alcotest.test_case "OWL document reasoned about four-valuedly" `Quick
+      (fun () ->
+        (* read a classically inconsistent OWL ontology, reason with dl4 *)
+        let kb =
+          parse
+            {|
+            Ontology(<http://example.org/hospital>
+              SubClassOf(:SurgicalTeam ObjectComplementOf(:ReadPatientRecordTeam))
+              SubClassOf(:UrgencyTeam :ReadPatientRecordTeam)
+              ClassAssertion(:SurgicalTeam :john)
+              ClassAssertion(:UrgencyTeam :john)
+            )
+            |}
+        in
+        Alcotest.(check bool)
+          "classically inconsistent" false
+          (Tableau.kb_satisfiable kb);
+        let t = Para.create (Kb4.of_classical kb) in
+        Alcotest.(check bool) "4-satisfiable" true (Para.satisfiable t);
+        Alcotest.(check bool)
+          "conflict localized" true
+          (Truth.equal Truth.Both
+             (Para.instance_truth t "john" (Atom "ReadPatientRecordTeam"))))
+  ]
+
+let () =
+  Alcotest.run "owl-functional"
+    [ ("parsing", parsing_tests);
+      ("roundtrip", roundtrip_tests);
+      ("pipeline", pipeline_tests) ]

@@ -1,0 +1,205 @@
+(* Tests for the surface-syntax lexer/parser, including round trips through
+   the printers. *)
+
+let concept = Alcotest.testable Concept.pp Concept.equal
+
+let parse_c = Surface.parse_concept_exn
+
+let check_concept name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.check concept name expected (parse_c src))
+
+open Concept
+
+let concept_tests =
+  [ check_concept "atom" "Bird" (Atom "Bird");
+    check_concept "top/bottom" "Top & Bottom" (And (Top, Bottom));
+    check_concept "negation" "~Bird" (Not (Atom "Bird"));
+    check_concept "double negation" "~~Bird" (Not (Not (Atom "Bird")));
+    check_concept "conjunction left assoc" "A & B & C"
+      (And (And (Atom "A", Atom "B"), Atom "C"));
+    check_concept "precedence & over |" "A & B | C"
+      (Or (And (Atom "A", Atom "B"), Atom "C"));
+    check_concept "parens override" "A & (B | C)"
+      (And (Atom "A", Or (Atom "B", Atom "C")));
+    check_concept "exists" "some hasWing.Wing"
+      (Exists (Role.name "hasWing", Atom "Wing"));
+    check_concept "forall with complex body" "only r.(A & B)"
+      (Forall (Role.name "r", And (Atom "A", Atom "B")));
+    check_concept "inverse role" "some r^-.A" (Exists (Role.Inv "r", Atom "A"));
+    check_concept "at least" ">= 2 hasChild"
+      (At_least (2, Role.name "hasChild"));
+    check_concept "at most inverse" "<= 1 r^-" (At_most (1, Role.Inv "r"));
+    check_concept "nominal" "{a, b}" (One_of [ "a"; "b" ]);
+    check_concept "negated nominal" "~{a}" (Not (One_of [ "a" ]));
+    check_concept "data exists" "some age:int[0..17]"
+      (Data_exists ("age", Datatype.Int_range (Some 0, Some 17)));
+    check_concept "data forall unbounded" "only age:int[18..*]"
+      (Data_forall ("age", Datatype.Int_range (Some 18, None)));
+    check_concept "data at least" ">= 2 data phone"
+      (Data_at_least (2, "phone"));
+    check_concept "data enum" "some color:{\"red\", \"green\"}"
+      (Data_exists ("color", Datatype.One_of [ Datatype.Str "red"; Datatype.Str "green" ]));
+    check_concept "data complement" "only age:not(int[0..17])"
+      (Data_forall ("age", Datatype.Complement (Datatype.Int_range (Some 0, Some 17))));
+    check_concept "boolean datatype" "some flag:boolean"
+      (Data_exists ("flag", Datatype.Bool_type));
+    check_concept "negative bound" "some t:int[-10..10]"
+      (Data_exists ("t", Datatype.Int_range (Some (-10), Some 10)));
+    check_concept "mangled positive atom" "Bird+" (Atom "Bird+");
+    check_concept "mangled negative atom" "Fly-" (Atom "Fly-");
+    check_concept "mangled conjunction" "Bird+ & Fly-"
+      (And (Atom "Bird+", Atom "Fly-"));
+    check_concept "mangled roles" "some hasWing+.Wing+ & <= 1 hasChild="
+      (And
+         ( Exists (Role.name "hasWing+", Atom "Wing+"),
+           At_most (1, Role.name "hasChild=") ));
+    check_concept "strong arrow not absorbed into ident"
+      "(A)" (Atom "A")
+  ]
+
+let kb4_tests =
+  [ Alcotest.test_case "tweety KB parses" `Quick (fun () ->
+        let src =
+          {|
+          # Example 3 of the paper
+          Bird & some hasWing.Wing |-> Fly.
+          Penguin < Bird.
+          Penguin < some hasWing.Wing.
+          Penguin < ~Fly.
+          tweety : Bird.
+          tweety : Penguin.
+          w : Wing.
+          hasWing(tweety, w).
+          |}
+        in
+        let kb = Surface.parse_kb4_exn src in
+        Alcotest.(check int) "tbox" 4 (List.length kb.Kb4.tbox);
+        Alcotest.(check int) "abox" 4 (List.length kb.Kb4.abox);
+        (* structurally identical to the built-in example *)
+        Alcotest.(check bool)
+          "matches Paper_examples.example3" true
+          (List.for_all2
+             (fun a b -> Kb4.compare_tbox_axiom a b = 0)
+             kb.Kb4.tbox
+             (Paper_examples.example3 : Kb4.t).tbox));
+    Alcotest.test_case "all three inclusion kinds" `Quick (fun () ->
+        let kb = Surface.parse_kb4_exn "A < B. A |-> C. A -> D." in
+        match kb.Kb4.tbox with
+        | [ Kb4.Concept_inclusion (Kb4.Internal, _, _);
+            Kb4.Concept_inclusion (Kb4.Material, _, _);
+            Kb4.Concept_inclusion (Kb4.Strong, _, _) ] ->
+            ()
+        | _ -> Alcotest.fail "wrong kinds");
+    Alcotest.test_case "role and data-role inclusions, transitivity" `Quick
+      (fun () ->
+        let kb =
+          Surface.parse_kb4_exn
+            "role r < s. role r^- |-> s. datarole u -> v. transitive r."
+        in
+        Alcotest.(check int) "tbox" 4 (List.length kb.Kb4.tbox));
+    Alcotest.test_case "equalities and data assertions" `Quick (fun () ->
+        let kb =
+          Surface.parse_kb4_exn "a = b. a != c. age(a, 42). name(a, \"joe\")."
+        in
+        Alcotest.(check int) "abox" 4 (List.length kb.Kb4.abox);
+        match kb.Kb4.abox with
+        | [ Axiom.Same _; Axiom.Different _; Axiom.Data_assertion (_, "age", Datatype.Int 42);
+            Axiom.Data_assertion (_, "name", Datatype.Str "joe") ] ->
+            ()
+        | _ -> Alcotest.fail "wrong abox");
+    Alcotest.test_case "comments and whitespace are skipped" `Quick (fun () ->
+        let kb = Surface.parse_kb4_exn "# only a comment\n  \n A < B. # tail" in
+        Alcotest.(check int) "tbox" 1 (List.length kb.Kb4.tbox))
+  ]
+
+let classical_tests =
+  [ Alcotest.test_case "classical KB uses <<" `Quick (fun () ->
+        let kb = Surface.parse_kb_exn "A << B. x : A." in
+        Alcotest.(check int) "tbox" 1 (List.length kb.Axiom.tbox));
+    Alcotest.test_case "classical mode rejects 4-valued arrows" `Quick
+      (fun () ->
+        match Surface.parse_kb "A |-> B." with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "should not parse");
+    Alcotest.test_case "4-valued mode rejects <<" `Quick (fun () ->
+        match Surface.parse_kb4 "A << B." with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "should not parse")
+  ]
+
+let error_tests =
+  [ Alcotest.test_case "missing dot" `Quick (fun () ->
+        match Surface.parse_kb4 "A < B" with
+        | Error e -> Alcotest.(check bool) "offset" true (e.Surface.offset >= 0)
+        | Ok _ -> Alcotest.fail "should not parse");
+    Alcotest.test_case "unexpected character" `Quick (fun () ->
+        match Surface.parse_kb4 "A $ B." with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "should not parse");
+    Alcotest.test_case "unterminated string" `Quick (fun () ->
+        match Surface.parse_kb4 "name(a, \"joe)." with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "should not parse");
+    Alcotest.test_case "dangling quantifier" `Quick (fun () ->
+        match Surface.parse_concept "some r." with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "should not parse")
+  ]
+
+(* Round trips: print a KB, parse it back, compare. *)
+let kb4_equal (k1 : Kb4.t) (k2 : Kb4.t) =
+  List.length k1.tbox = List.length k2.tbox
+  && List.length k1.abox = List.length k2.abox
+  && List.for_all2 (fun a b -> Kb4.compare_tbox_axiom a b = 0) k1.tbox k2.tbox
+  && List.for_all2 (fun a b -> Axiom.compare_abox_axiom a b = 0) k1.abox k2.abox
+
+let roundtrip_tests =
+  let cases =
+    [ ("example1", Paper_examples.example1);
+      ("example2", Paper_examples.example2);
+      ("example3", Paper_examples.example3);
+      ("example4", Paper_examples.example4);
+      ("exception chains", Gen.exception_chains ~n:5);
+      ("random kb (seed 1)", Gen.kb4 { Gen.default with seed = 1 });
+      ("random kb (seed 2)", Gen.kb4 { Gen.default with seed = 2; max_depth = 3 }) ]
+  in
+  List.map
+    (fun (name, kb) ->
+      Alcotest.test_case ("roundtrip " ^ name) `Quick (fun () ->
+          let printed = Surface.kb4_to_string kb in
+          match Surface.parse_kb4 printed with
+          | Ok kb' ->
+              if not (kb4_equal kb kb') then
+                Alcotest.failf "round trip mismatch:@.%s" printed
+          | Error e ->
+              Alcotest.failf "reparse failed: %a@.%s" Surface.pp_error e printed))
+    cases
+
+let mangled_roundtrip_tests =
+  [ Alcotest.test_case "transformed KB prints and reparses (classical)" `Quick
+      (fun () ->
+        let kbar = Transform.kb Paper_examples.example3 in
+        let printed = Surface.kb_to_string kbar in
+        match Surface.parse_kb printed with
+        | Ok kb' ->
+            Alcotest.(check int)
+              "tbox size"
+              (List.length kbar.Axiom.tbox)
+              (List.length kb'.Axiom.tbox);
+            Alcotest.(check bool)
+              "tbox equal" true
+              (List.for_all2
+                 (fun a b -> Axiom.compare_tbox_axiom a b = 0)
+                 kbar.Axiom.tbox kb'.Axiom.tbox)
+        | Error e -> Alcotest.failf "reparse failed: %a@.%s" Surface.pp_error e printed)
+  ]
+
+let () =
+  Alcotest.run "parser"
+    [ ("concepts", concept_tests);
+      ("kb4", kb4_tests);
+      ("classical", classical_tests);
+      ("errors", error_tests);
+      ("roundtrip", roundtrip_tests);
+      ("mangled-roundtrip", mangled_roundtrip_tests) ]

@@ -1,0 +1,285 @@
+(* Tests for the finite-model semantics: two-valued and four-valued
+   evaluation (Tables 1-3), Propositions 3 and 4 on concrete cases, induced
+   interpretations (Definitions 8-9), and enumeration. *)
+
+open Concept
+
+let tv = Alcotest.testable Truth.pp Truth.equal
+let eset =
+  Alcotest.testable
+    (fun ppf s -> Fmt.Dump.list Fmt.int ppf (Interp.ESet.elements s))
+    Interp.ESet.equal
+
+let eset_of = Interp.ESet.of_list
+let elements s = Interp.ESet.elements s
+
+let r = Role.name "r"
+
+(* A fixed two-valued interpretation over {0,1,2}. *)
+let i2 =
+  Interp.make
+    ~domain:(eset_of [ 0; 1; 2 ])
+    ~concepts:[ ("A", [ 0; 1 ]); ("B", [ 1 ]) ]
+    ~roles:[ ("r", [ (0, 1); (1, 2) ]) ]
+    ~individuals:[ ("x", 0); ("y", 1); ("z", 2) ]
+    ()
+
+let interp2_tests =
+  let check name expected c =
+    Alcotest.test_case name `Quick (fun () ->
+        Alcotest.check eset name (eset_of expected) (Interp.eval i2 c))
+  in
+  [ check "atom" [ 0; 1 ] (Atom "A");
+    check "negation" [ 2 ] (Not (Atom "A"));
+    check "conjunction" [ 1 ] (And (Atom "A", Atom "B"));
+    check "disjunction" [ 0; 1 ] (Or (Atom "A", Atom "B"));
+    check "top" [ 0; 1; 2 ] Top;
+    check "bottom" [] Bottom;
+    check "exists" [ 0 ] (Exists (r, Atom "B"));
+    check "forall (vacuous at 2)" [ 0; 2 ] (Forall (r, Atom "B"));
+    check "inverse exists" [ 1; 2 ] (Exists (Role.inv r, Top));
+    check "at least 1" [ 0; 1 ] (At_least (1, r));
+    check "at most 0" [ 2 ] (At_most (0, r));
+    check "nominal" [ 0; 2 ] (One_of [ "x"; "z" ]);
+    Alcotest.test_case "model checking axioms" `Quick (fun () ->
+        Alcotest.(check bool)
+          "B << A holds" true
+          (Interp.satisfies_tbox i2 (Axiom.Concept_sub (Atom "B", Atom "A")));
+        Alcotest.(check bool)
+          "A << B fails" false
+          (Interp.satisfies_tbox i2 (Axiom.Concept_sub (Atom "A", Atom "B")));
+        Alcotest.(check bool)
+          "r not transitive here" false
+          (Interp.satisfies_tbox i2 (Axiom.Transitive "r"));
+        Alcotest.(check bool)
+          "x : A" true
+          (Interp.satisfies_abox i2 (Axiom.Instance_of ("x", Atom "A")));
+        Alcotest.(check bool)
+          "r(x,y)" true
+          (Interp.satisfies_abox i2 (Axiom.Role_assertion ("x", r, "y"))));
+    Alcotest.test_case "data evaluation" `Quick (fun () ->
+        let i =
+          Interp.make
+            ~domain:(eset_of [ 0 ])
+            ~data_roles:[ ("u", [ (0, Datatype.Int 5); (0, Datatype.Int 20) ]) ]
+            ()
+        in
+        let in_range = Datatype.Int_range (Some 0, Some 10) in
+        Alcotest.check eset "exists" (eset_of [ 0 ])
+          (Interp.eval i (Data_exists ("u", in_range)));
+        Alcotest.check eset "forall fails" (eset_of [])
+          (Interp.eval i (Data_forall ("u", in_range)));
+        Alcotest.check eset "at least 2" (eset_of [ 0 ])
+          (Interp.eval i (Data_at_least (2, "u"))))
+  ]
+
+(* A fixed four-valued interpretation. *)
+let i4 =
+  Interp4.make
+    ~domain:(eset_of [ 0; 1; 2 ])
+    ~concepts:[ ("A", [ 0; 1 ], [ 1; 2 ]); ("B", [ 1 ], []) ]
+    ~roles:[ ("r", [ (0, 1) ], [ (0, 2) ]) ]
+    ~individuals:[ ("x", 0); ("y", 1); ("z", 2) ]
+    ()
+
+let interp4_tests =
+  [ Alcotest.test_case "atomic truth values (Definition 3)" `Quick (fun () ->
+        Alcotest.check tv "A(x)=t" Truth.True (Interp4.truth_value i4 (Atom "A") "x");
+        Alcotest.check tv "A(y)=TOP" Truth.Both (Interp4.truth_value i4 (Atom "A") "y");
+        Alcotest.check tv "A(z)=f" Truth.False (Interp4.truth_value i4 (Atom "A") "z");
+        Alcotest.check tv "B(x)=BOT" Truth.Neither (Interp4.truth_value i4 (Atom "B") "x"));
+    Alcotest.test_case "role truth values" `Quick (fun () ->
+        Alcotest.check tv "r(x,y)=t" Truth.True (Interp4.role_truth_value i4 r "x" "y");
+        Alcotest.check tv "r(x,z)=f" Truth.False (Interp4.role_truth_value i4 r "x" "z");
+        Alcotest.check tv "r(y,z)=BOT" Truth.Neither
+          (Interp4.role_truth_value i4 r "y" "z"));
+    Alcotest.test_case "negation swaps projections" `Quick (fun () ->
+        let e = Interp4.eval i4 (Not (Atom "A")) in
+        Alcotest.(check (list int)) "pos" [ 1; 2 ] (elements e.Interp4.cpos);
+        Alcotest.(check (list int)) "neg" [ 0; 1 ] (elements e.Interp4.cneg));
+    Alcotest.test_case "Proposition 3: lattice identities with Top/Bottom"
+      `Quick (fun () ->
+        let cases = [ Atom "A"; Atom "B"; And (Atom "A", Not (Atom "B")) ] in
+        List.iter
+          (fun c ->
+            let e = Interp4.eval i4 c in
+            let check_eq name d =
+              let e' = Interp4.eval i4 d in
+              Alcotest.(check bool)
+                name true
+                (Interp.ESet.equal e.Interp4.cpos e'.Interp4.cpos
+                && Interp.ESet.equal e.Interp4.cneg e'.Interp4.cneg)
+            in
+            check_eq "C & Top = C" (And (c, Top));
+            check_eq "C | Bottom = C" (Or (c, Bottom));
+            let top4 = Interp4.eval i4 Top and e_or = Interp4.eval i4 (Or (c, Top)) in
+            Alcotest.(check bool)
+              "C | Top = Top" true
+              (Interp.ESet.equal top4.Interp4.cpos e_or.Interp4.cpos
+              && Interp.ESet.equal top4.Interp4.cneg e_or.Interp4.cneg))
+          cases);
+    Alcotest.test_case "Proposition 4: de Morgan and quantifier duality"
+      `Quick (fun () ->
+        let eq c d =
+          let ec = Interp4.eval i4 c and ed = Interp4.eval i4 d in
+          Interp.ESet.equal ec.Interp4.cpos ed.Interp4.cpos
+          && Interp.ESet.equal ec.Interp4.cneg ed.Interp4.cneg
+        in
+        let a = Atom "A" and b = Atom "B" in
+        Alcotest.(check bool) "~~A = A" true (eq (Not (Not a)) a);
+        Alcotest.(check bool) "~(A|B) = ~A & ~B" true
+          (eq (Not (Or (a, b))) (And (Not a, Not b)));
+        Alcotest.(check bool) "~(A&B) = ~A | ~B" true
+          (eq (Not (And (a, b))) (Or (Not a, Not b)));
+        Alcotest.(check bool) "~(only r.A) = some r.~A" true
+          (eq (Not (Forall (r, a))) (Exists (r, Not a)));
+        Alcotest.(check bool) "~(some r.A) = only r.~A" true
+          (eq (Not (Exists (r, a))) (Forall (r, Not a)));
+        Alcotest.(check bool) "~(>=2 r) = <=1 r" true
+          (eq (Not (At_least (2, r))) (At_most (1, r)));
+        Alcotest.(check bool) "~(<=1 r) = >=2 r" true
+          (eq (Not (At_most (1, r))) (At_least (2, r))));
+    Alcotest.test_case "four-valued quantifiers use told-positive edges"
+      `Quick (fun () ->
+        (* x's only told r-successor is y; A(y) = TOP so y is in both
+           projections of A *)
+        let e = Interp4.eval i4 (Exists (r, Atom "A")) in
+        Alcotest.(check bool) "x in pos" true (Interp.ESet.mem 0 e.Interp4.cpos);
+        Alcotest.(check bool)
+          "x also in neg (successor told-not-A)" true
+          (Interp.ESet.mem 0 e.Interp4.cneg));
+    Alcotest.test_case "inclusion satisfaction: the three grades" `Quick
+      (fun () ->
+        (* A = <{0,1},{1,2}>, B = <{1},{}> *)
+        let internal = Kb4.Concept_inclusion (Kb4.Internal, Atom "B", Atom "A") in
+        Alcotest.(check bool)
+          "B < A holds (pos subset)" true
+          (Interp4.satisfies_tbox i4 internal);
+        let strong = Kb4.Concept_inclusion (Kb4.Strong, Atom "B", Atom "A") in
+        Alcotest.(check bool)
+          "B -> A fails (neg not reversed)" false
+          (Interp4.satisfies_tbox i4 strong);
+        let material = Kb4.Concept_inclusion (Kb4.Material, Atom "A", Atom "B") in
+        (* Δ \ neg(A) = {0}; pos(B) = {1}: fails *)
+        Alcotest.(check bool)
+          "A |-> B fails" false
+          (Interp4.satisfies_tbox i4 material);
+        let material2 = Kb4.Concept_inclusion (Kb4.Material, Not (Atom "A"), Atom "B") in
+        (* Δ \ neg(~A) = Δ \ pos(A) = {2}; pos(B) = {1}: fails *)
+        Alcotest.(check bool)
+          "~A |-> B fails" false
+          (Interp4.satisfies_tbox i4 material2));
+    Alcotest.test_case "classical embedding satisfies classical corner"
+      `Quick (fun () ->
+        let i4c = Interp4.of_classical i2 in
+        (* the embedded interpretation assigns classical values everywhere *)
+        List.iter
+          (fun ind ->
+            let v = Interp4.truth_value i4c (Atom "A") ind in
+            Alcotest.(check bool)
+              "two-valued" true
+              (Truth.equal v Truth.True || Truth.equal v Truth.False))
+          [ "x"; "y"; "z" ])
+  ]
+
+(* Induced interpretations: Definitions 8 and 9 are mutually inverse. *)
+let induced_tests =
+  [ Alcotest.test_case "classical_of_four exposes projections" `Quick
+      (fun () ->
+        let c = Induced.classical_of_four i4 in
+        Alcotest.check eset "A+ = pos(A)" (eset_of [ 0; 1 ])
+          (Interp.concept_ext c (Mangle.pos_atom "A"));
+        Alcotest.check eset "A- = neg(A)" (eset_of [ 1; 2 ])
+          (Interp.concept_ext c (Mangle.neg_atom "A"));
+        (* R= = Δ×Δ \ neg(R): (0,2) is the only negated edge *)
+        Alcotest.(check bool)
+          "(0,2) not in r=" false
+          (Interp.PSet.mem (0, 2)
+             (Interp.role_ext c (Role.Name (Mangle.eq_role "r"))));
+        Alcotest.(check bool)
+          "(1,0) in r=" true
+          (Interp.PSet.mem (1, 0)
+             (Interp.role_ext c (Role.Name (Mangle.eq_role "r")))));
+    Alcotest.test_case "round trip four -> classical -> four" `Quick (fun () ->
+        let signature =
+          { Axiom.concepts = [ "A"; "B" ];
+            roles = [ "r" ];
+            data_roles = [];
+            individuals = [ "x"; "y"; "z" ] }
+        in
+        let back = Induced.four_of_classical ~signature (Induced.classical_of_four i4) in
+        List.iter
+          (fun a ->
+            let e = Interp4.concept_ext i4 a and e' = Interp4.concept_ext back a in
+            Alcotest.(check bool)
+              ("concept " ^ a) true
+              (Interp.ESet.equal e.Interp4.cpos e'.Interp4.cpos
+              && Interp.ESet.equal e.Interp4.cneg e'.Interp4.cneg))
+          [ "A"; "B" ];
+        let e = Interp4.role_ext i4 r and e' = Interp4.role_ext back r in
+        Alcotest.(check bool)
+          "role r" true
+          (Interp.PSet.equal e.Interp4.rpos e'.Interp4.rpos
+          && Interp.PSet.equal e.Interp4.rneg e'.Interp4.rneg))
+  ]
+
+let enum_tests =
+  [ Alcotest.test_case "subsets count" `Quick (fun () ->
+        Alcotest.(check int)
+          "2^3" 8
+          (List.length (List.of_seq (Enum.subsets [ 1; 2; 3 ]))));
+    Alcotest.test_case "interps4 count for tiny signature" `Quick (fun () ->
+        (* one concept, no roles, one individual: 2^1 × 2^1 = 4 *)
+        let signature =
+          { Axiom.concepts = [ "A" ]; roles = []; data_roles = []; individuals = [ "x" ] }
+        in
+        Alcotest.(check int)
+          "4" 4
+          (Seq.length (Enum.interps4 ~signature ())));
+    Alcotest.test_case "contradictory ABox has 4-models but no 2-models"
+      `Quick (fun () ->
+        let abox =
+          [ Axiom.Instance_of ("x", Atom "A");
+            Axiom.Instance_of ("x", Not (Atom "A")) ]
+        in
+        let kb4 = Kb4.make ~tbox:[] ~abox in
+        let kb2 = Axiom.make ~tbox:[] ~abox in
+        Alcotest.(check bool) "4-model exists" true (Enum.exists_model4 kb4);
+        Alcotest.(check bool) "no 2-model" false (Enum.exists_model2 kb2));
+    Alcotest.test_case "every enumerated 4-model of example2 supports both"
+      `Quick (fun () ->
+        Alcotest.(check bool)
+          "john in pos and neg of RPRT everywhere" true
+          (Enum.for_all_models4 Paper_examples.example2 (fun m ->
+               let e = Interp4.eval m (Atom "ReadPatientRecordTeam") in
+               let j = Interp4.individual m "john" in
+               Interp.ESet.mem j e.Interp4.cpos && Interp.ESet.mem j e.Interp4.cneg)));
+    Alcotest.test_case "two-valued enumeration agrees with tableau" `Quick
+      (fun () ->
+        let kbs =
+          [ Axiom.make ~tbox:[ Axiom.Concept_sub (Atom "A", Atom "B") ]
+              ~abox:[ Axiom.Instance_of ("x", Atom "A") ];
+            Axiom.make ~tbox:[ Axiom.Concept_sub (Atom "A", Atom "B") ]
+              ~abox:
+                [ Axiom.Instance_of ("x", Atom "A");
+                  Axiom.Instance_of ("x", Not (Atom "B")) ];
+            Axiom.make ~tbox:[]
+              ~abox:
+                [ Axiom.Instance_of ("x", Exists (r, Atom "A"));
+                  Axiom.Instance_of ("x", Forall (r, Not (Atom "A"))) ] ]
+        in
+        List.iter
+          (fun kb ->
+            (* one extra anonymous element is enough for these KBs *)
+            Alcotest.(check bool)
+              "agree" (Tableau.kb_satisfiable kb)
+              (Enum.exists_model2 ~extra:1 kb))
+          kbs)
+  ]
+
+let () =
+  Alcotest.run "semantics"
+    [ ("interp2", interp2_tests);
+      ("interp4", interp4_tests);
+      ("induced", induced_tests);
+      ("enum", enum_tests) ]

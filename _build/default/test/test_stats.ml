@@ -1,0 +1,74 @@
+(* Tests for KB metrics and expressivity naming. *)
+
+
+let kb_of = Surface.parse_kb_exn
+let kb4_of = Surface.parse_kb4_exn
+
+let check_name label src expected =
+  Alcotest.test_case label `Quick (fun () ->
+      Alcotest.(check string)
+        label expected
+        (Kb_stats.name (Kb_stats.of_kb (kb_of src))))
+
+let naming_tests =
+  [ check_name "conjunctive core is AL" "A << B & C. x : A." "AL";
+    check_name "value restriction stays AL" "A << only r.B." "AL";
+    check_name "limited existential stays AL" "A << some r.Top." "AL";
+    check_name "full existential lifts to ALC" "A << some r.B." "ALC";
+    check_name "disjunction lifts to ALC" "A << B | C." "ALC";
+    check_name "complex negation lifts to ALC" "A << ~(B & C)." "ALC";
+    check_name "atomic negation stays AL" "A << ~B." "AL";
+    check_name "transitivity gives S" "transitive r. A << some r.B." "S";
+    check_name "hierarchy letter H" "role r << s." "ALH";
+    check_name "nominals letter O" "A << {o1, o2}." "ALO";
+    check_name "inverse letter I" "A << only r^-.B." "ALI";
+    check_name "numbers letter N" "A << >= 2 r." "ALN";
+    check_name "datatypes suffix (D)" "A << some age:integer." "AL(D)";
+    check_name "the full logic of the paper"
+      "transitive t. role r << s. A << ({o} | some r^-.B) & >= 2 s. age(x, 5)."
+      "SHOIN(D)";
+    Alcotest.test_case "four-valued KB counts inclusion kinds" `Quick
+      (fun () ->
+        let stats =
+          Kb_stats.of_kb4 (kb4_of "A < B. A |-> C. B -> C. x : A.")
+        in
+        Alcotest.(check int) "internal" 1 stats.Kb_stats.internal_inclusions;
+        Alcotest.(check int) "material" 1 stats.Kb_stats.material_inclusions;
+        Alcotest.(check int) "strong" 1 stats.Kb_stats.strong_inclusions);
+    Alcotest.test_case "counts and measures" `Quick (fun () ->
+        let stats =
+          Kb_stats.of_kb
+            (kb_of "A << some r.(B & only s.C). x : A. r(x, y). x != y.")
+        in
+        Alcotest.(check int) "tbox" 1 stats.Kb_stats.tbox_axioms;
+        Alcotest.(check int) "abox" 3 stats.Kb_stats.abox_axioms;
+        Alcotest.(check int) "concepts" 3 stats.Kb_stats.concept_names;
+        Alcotest.(check int) "roles" 2 stats.Kb_stats.role_names;
+        Alcotest.(check int) "individuals" 2 stats.Kb_stats.individuals;
+        Alcotest.(check int) "depth" 2 stats.Kb_stats.max_role_depth);
+    Alcotest.test_case "paper examples report the expected fragments" `Quick
+      (fun () ->
+        Alcotest.(check string)
+          "example3 is ALC" "ALC"
+          (Kb_stats.name (Kb_stats.of_kb4 Paper_examples.example3));
+        Alcotest.(check string)
+          "example4 has numbers" "ALN"
+          (Kb_stats.name (Kb_stats.of_kb4 Paper_examples.example4)));
+    Alcotest.test_case "transformed KB keeps the fragment family" `Quick
+      (fun () ->
+        (* the transformation doubles the signature but must not invent
+           constructors beyond the source fragment (nominal complements
+           aside) *)
+        let stats4 = Kb_stats.of_kb4 Paper_examples.example3 in
+        let statsbar = Kb_stats.of_kb (Transform.kb Paper_examples.example3) in
+        Alcotest.(check string)
+          "same name" (Kb_stats.name stats4) (Kb_stats.name statsbar);
+        (* each source atom contributes A+ and, when it occurs under
+           negation somewhere, A-: between 1x and 2x the signature *)
+        Alcotest.(check bool)
+          "signature grows but at most doubles" true
+          (statsbar.Kb_stats.concept_names >= stats4.Kb_stats.concept_names
+          && statsbar.Kb_stats.concept_names <= 2 * stats4.Kb_stats.concept_names))
+  ]
+
+let () = Alcotest.run "stats" [ ("kb-stats", naming_tests) ]

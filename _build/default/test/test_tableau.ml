@@ -1,0 +1,606 @@
+(* Tests for the classical SHOIN(D) tableau reasoner. *)
+
+open Concept
+
+let atom = Concept.Atom "A"
+let b = Concept.Atom "B"
+let c = Concept.Atom "C"
+let r = Role.name "r"
+let s = Role.name "s"
+
+let sat ?(tbox = []) ?(abox = []) () =
+  Tableau.kb_satisfiable { Axiom.tbox; abox }
+
+let check_sat name expected kb_sat =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool) name expected kb_sat)
+
+let csat ?(tbox = []) concept =
+  sat ~tbox ~abox:[ Axiom.Instance_of ("x", concept) ] ()
+
+(* ------------------------------------------------------------------ *)
+(* Basic propositional-style satisfiability *)
+
+let basic_tests =
+  [ check_sat "empty KB is satisfiable" true (sat ());
+    check_sat "A is satisfiable" true (csat atom);
+    check_sat "A & ~A is unsatisfiable" false (csat (And (atom, Not atom)));
+    check_sat "A | ~A is satisfiable" true (csat (Or (atom, Not atom)));
+    check_sat "Bottom is unsatisfiable" false (csat Bottom);
+    check_sat "Top is satisfiable" true (csat Top);
+    check_sat "deep nesting: (A|B) & (~A|B) & (A|~B) & (~A|~B) unsat" false
+      (csat
+         (conj
+            [ Or (atom, b);
+              Or (Not atom, b);
+              Or (atom, Not b);
+              Or (Not atom, Not b) ]));
+    check_sat "three-way disjunction keeps one branch open" true
+      (csat (conj [ disj [ atom; b; c ]; Not atom; Not b ]));
+    check_sat "contradiction via disjunction both branches closed" false
+      (csat (conj [ disj [ atom; b ]; Not atom; Not b ]))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Quantifiers *)
+
+let quantifier_tests =
+  [ check_sat "some r.A satisfiable" true (csat (Exists (r, atom)));
+    check_sat "some r.A & only r.~A unsat" false
+      (csat (And (Exists (r, atom), Forall (r, Not atom))));
+    check_sat "some r.A & only r.B: successor gets both" true
+      (csat (And (Exists (r, atom), Forall (r, b))));
+    check_sat "some r.(A & ~A) unsat" false
+      (csat (Exists (r, And (atom, Not atom))));
+    check_sat "only r.Bottom satisfiable (no successor forced)" true
+      (csat (Forall (r, Bottom)));
+    check_sat "some r.Top & only r.Bottom unsat" false
+      (csat (And (Exists (r, Top), Forall (r, Bottom))));
+    check_sat "nested: some r.(some s.A) & only r.(only s.~A) unsat" false
+      (csat
+         (And (Exists (r, Exists (s, atom)), Forall (r, Forall (s, Not atom)))))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* TBox reasoning: subsumption via unsatisfiability, GCIs, cycles *)
+
+let tbox_tests =
+  [ check_sat "A << B makes A & ~B unsat" false
+      (csat
+         ~tbox:[ Axiom.Concept_sub (atom, b) ]
+         (And (atom, Not b)));
+    check_sat "chain A<<B<<C: A & ~C unsat" false
+      (csat
+         ~tbox:[ Axiom.Concept_sub (atom, b); Axiom.Concept_sub (b, c) ]
+         (And (atom, Not c)));
+    check_sat "cyclic TBox A << some r.A is satisfiable (blocking)" true
+      (csat ~tbox:[ Axiom.Concept_sub (atom, Exists (r, atom)) ] atom);
+    check_sat "cyclic GCI Top << some r.A terminates (blocking)" true
+      (csat ~tbox:[ Axiom.Concept_sub (Top, Exists (r, atom)) ] atom);
+    check_sat "complex LHS GCI: (some r.A) << B, with r-succ in A, ~B unsat"
+      false
+      (sat
+         ~tbox:[ Axiom.Concept_sub (Exists (r, atom), b) ]
+         ~abox:
+           [ Axiom.Instance_of ("x", Not b);
+             Axiom.Role_assertion ("x", r, "y");
+             Axiom.Instance_of ("y", atom) ]
+         ());
+    check_sat "unsatisfiable TBox: Top << A, Top << ~A" false
+      (sat
+         ~tbox:[ Axiom.Concept_sub (Top, atom); Axiom.Concept_sub (Top, Not atom) ]
+         ~abox:[ Axiom.Instance_of ("x", Top) ]
+         ())
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Role hierarchies and transitivity *)
+
+let role_tests =
+  [ check_sat "r << s propagates only s.C to r-successor" false
+      (sat
+         ~tbox:[ Axiom.Role_sub (r, s) ]
+         ~abox:
+           [ Axiom.Instance_of ("x", Forall (s, Not atom));
+             Axiom.Role_assertion ("x", r, "y");
+             Axiom.Instance_of ("y", atom) ]
+         ());
+    check_sat "transitive role propagates forall two steps" false
+      (sat
+         ~tbox:[ Axiom.Transitive "r" ]
+         ~abox:
+           [ Axiom.Instance_of ("x", Forall (r, Not atom));
+             Axiom.Role_assertion ("x", r, "y");
+             Axiom.Role_assertion ("y", r, "z");
+             Axiom.Instance_of ("z", atom) ]
+         ());
+    check_sat "without transitivity two steps are fine" true
+      (sat
+         ~abox:
+           [ Axiom.Instance_of ("x", Forall (r, Not atom));
+             Axiom.Role_assertion ("x", r, "y");
+             Axiom.Role_assertion ("y", r, "z");
+             Axiom.Instance_of ("z", atom) ]
+         ());
+    check_sat "transitive subrole: Trans(r), r << s, only s.~A blocks chain"
+      false
+      (sat
+         ~tbox:[ Axiom.Transitive "r"; Axiom.Role_sub (r, s) ]
+         ~abox:
+           [ Axiom.Instance_of ("x", Forall (s, Not atom));
+             Axiom.Role_assertion ("x", r, "y");
+             Axiom.Role_assertion ("y", r, "z");
+             Axiom.Instance_of ("z", atom) ]
+         ())
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Inverse roles *)
+
+let inverse_tests =
+  [ check_sat "inverse: r(x,y) and y: only r^-.~A with x:A unsat" false
+      (sat
+         ~abox:
+           [ Axiom.Instance_of ("x", atom);
+             Axiom.Role_assertion ("x", r, "y");
+             Axiom.Instance_of ("y", Forall (Role.inv r, Not atom)) ]
+         ());
+    check_sat "inverse: some r.(only r^-.~A) & A unsat" false
+      (csat (conj [ atom; Exists (r, Forall (Role.inv r, Not atom)) ]));
+    check_sat "inverse: some r.(only r^-.A) & A satisfiable" true
+      (csat (conj [ atom; Exists (r, Forall (Role.inv r, atom)) ]));
+    check_sat "inverse role assertion: r^-(x,y) same as r(y,x)" false
+      (sat
+         ~abox:
+           [ Axiom.Role_assertion ("x", Role.inv r, "y");
+             Axiom.Instance_of ("y", Forall (r, Not atom));
+             Axiom.Instance_of ("x", atom) ]
+         ())
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Number restrictions *)
+
+let number_tests =
+  [ check_sat ">= 2 r satisfiable" true (csat (At_least (2, r)));
+    check_sat ">= 2 r & <= 1 r unsat" false
+      (csat (And (At_least (2, r), At_most (1, r))));
+    check_sat ">= 1 r & <= 1 r satisfiable" true
+      (csat (And (At_least (1, r), At_most (1, r))));
+    check_sat "<= 0 r & some r.Top unsat" false
+      (csat (And (At_most (0, r), Exists (r, Top))));
+    check_sat "two named successors merge under <= 1" true
+      (sat
+         ~abox:
+           [ Axiom.Instance_of ("x", At_most (1, r));
+             Axiom.Role_assertion ("x", r, "y");
+             Axiom.Role_assertion ("x", r, "z") ]
+         ());
+    check_sat "two distinct named successors clash under <= 1" false
+      (sat
+         ~abox:
+           [ Axiom.Instance_of ("x", At_most (1, r));
+             Axiom.Role_assertion ("x", r, "y");
+             Axiom.Role_assertion ("x", r, "z");
+             Axiom.Different ("y", "z") ]
+         ());
+    check_sat "merge propagates labels: <=1 r with A-succ and ~A-succ unsat"
+      false
+      (sat
+         ~abox:
+           [ Axiom.Instance_of ("x", At_most (1, r));
+             Axiom.Role_assertion ("x", r, "y");
+             Axiom.Role_assertion ("x", r, "z");
+             Axiom.Instance_of ("y", atom);
+             Axiom.Instance_of ("z", Not atom) ]
+         ());
+    check_sat "at-least over subrole counts for superrole" false
+      (csat
+         ~tbox:[ Axiom.Role_sub (r, s) ]
+         (And (At_least (2, r), At_most (1, s))));
+    check_sat ">= 3 r & <= 2 r unsat (multi-merge)" false
+      (csat (And (At_least (3, r), At_most (2, r))))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Nominals *)
+
+let nominal_tests =
+  [ check_sat "x : {o} merges x with o" false
+      (sat
+         ~abox:
+           [ Axiom.Instance_of ("x", One_of [ "o" ]);
+             Axiom.Instance_of ("x", atom);
+             Axiom.Instance_of ("o", Not atom) ]
+         ());
+    check_sat "negated nominal keeps nodes apart" true
+      (sat
+         ~abox:
+           [ Axiom.Instance_of ("x", Not (One_of [ "o" ]));
+             Axiom.Instance_of ("x", atom);
+             Axiom.Instance_of ("o", Not atom) ]
+         ());
+    check_sat "x : {o} and x : ~{o} clash" false
+      (sat
+         ~abox:
+           [ Axiom.Instance_of ("x", One_of [ "o" ]);
+             Axiom.Instance_of ("x", Not (One_of [ "o" ])) ]
+         ());
+    check_sat "disjunctive nominal {o1,o2} picks a consistent branch" true
+      (sat
+         ~abox:
+           [ Axiom.Instance_of ("x", One_of [ "o1"; "o2" ]);
+             Axiom.Instance_of ("x", atom);
+             Axiom.Instance_of ("o1", Not atom) ]
+         ());
+    check_sat "disjunctive nominal with both branches closed" false
+      (sat
+         ~abox:
+           [ Axiom.Instance_of ("x", One_of [ "o1"; "o2" ]);
+             Axiom.Instance_of ("x", atom);
+             Axiom.Instance_of ("o1", Not atom);
+             Axiom.Instance_of ("o2", Not atom) ]
+         ())
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* ABox equality / inequality *)
+
+let abox_tests =
+  [ check_sat "a = b merges labels" false
+      (sat
+         ~abox:
+           [ Axiom.Same ("a", "b");
+             Axiom.Instance_of ("a", atom);
+             Axiom.Instance_of ("b", Not atom) ]
+         ());
+    check_sat "a != a is unsatisfiable" false
+      (sat ~abox:[ Axiom.Different ("a", "a") ] ());
+    check_sat "a = b with a != b unsatisfiable" false
+      (sat ~abox:[ Axiom.Same ("a", "b"); Axiom.Different ("a", "b") ] ());
+    check_sat "equality closes role paths" false
+      (sat
+         ~abox:
+           [ Axiom.Same ("a", "b");
+             Axiom.Role_assertion ("x", r, "a");
+             Axiom.Instance_of ("x", Forall (r, atom));
+             Axiom.Instance_of ("b", Not atom) ]
+         ())
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Datatypes *)
+
+let dt = Datatype.Int_range (Some 0, Some 10)
+let dt_hi = Datatype.Int_range (Some 5, Some 20)
+
+let datatype_tests =
+  [ check_sat "data exists in range satisfiable" true
+      (csat (Data_exists ("u", dt)));
+    check_sat "exists & forall with empty intersection unsat" false
+      (csat
+         (And
+            ( Data_exists ("u", Datatype.Int_range (Some 0, Some 4)),
+              Data_forall ("u", dt_hi) )));
+    check_sat "exists & forall with overlap satisfiable" true
+      (csat (And (Data_exists ("u", dt), Data_forall ("u", dt_hi))));
+    check_sat "asserted value violating forall unsat" false
+      (sat
+         ~abox:
+           [ Axiom.Data_assertion ("x", "u", Datatype.Int 42);
+             Axiom.Instance_of ("x", Data_forall ("u", dt)) ]
+         ());
+    check_sat "asserted value inside forall satisfiable" true
+      (sat
+         ~abox:
+           [ Axiom.Data_assertion ("x", "u", Datatype.Int 3);
+             Axiom.Instance_of ("x", Data_forall ("u", dt)) ]
+         ());
+    check_sat "at-least 5 over a 3-value datatype unsat" false
+      (csat
+         (And
+            ( Data_at_least (5, "u"),
+              Data_forall ("u", Datatype.Int_range (Some 1, Some 3)) )));
+    check_sat "at-least 3 over a 3-value datatype satisfiable" true
+      (csat
+         (And
+            ( Data_at_least (3, "u"),
+              Data_forall ("u", Datatype.Int_range (Some 1, Some 3)) )));
+    check_sat "at-most 0 with asserted value unsat" false
+      (sat
+         ~abox:
+           [ Axiom.Data_assertion ("x", "u", Datatype.Int 1);
+             Axiom.Instance_of ("x", Data_at_most (0, "u")) ]
+         ());
+    check_sat "boolean datatype at-least 3 unsat" false
+      (csat
+         (And (Data_at_least (3, "u"), Data_forall ("u", Datatype.Bool_type))));
+    check_sat "data role hierarchy: value on u counts for v" false
+      (sat
+         ~tbox:[ Axiom.Data_role_sub ("u", "v") ]
+         ~abox:
+           [ Axiom.Data_assertion ("x", "u", Datatype.Int 42);
+             Axiom.Instance_of ("x", Data_forall ("v", dt)) ]
+         ())
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Reasoner services *)
+
+let services_tests =
+  let penguin_kb =
+    Axiom.make
+      ~tbox:
+        [ Axiom.Concept_sub (Atom "Penguin", Atom "Bird");
+          Axiom.Concept_sub (Atom "Bird", Atom "Animal");
+          Axiom.Concept_sub (Atom "Penguin", Not (Atom "Flyer")) ]
+      ~abox:[ Axiom.Instance_of ("tweety", Atom "Penguin") ]
+  in
+  let t = Reasoner.create penguin_kb in
+  [ Alcotest.test_case "consistent penguin KB" `Quick (fun () ->
+        Alcotest.(check bool) "consistent" true (Reasoner.is_consistent t));
+    Alcotest.test_case "subsumption Penguin << Animal" `Quick (fun () ->
+        Alcotest.(check bool)
+          "subsumes" true
+          (Reasoner.subsumes t (Atom "Penguin") (Atom "Animal")));
+    Alcotest.test_case "no reverse subsumption" `Quick (fun () ->
+        Alcotest.(check bool)
+          "subsumes" false
+          (Reasoner.subsumes t (Atom "Animal") (Atom "Penguin")));
+    Alcotest.test_case "instance tweety : Animal" `Quick (fun () ->
+        Alcotest.(check bool)
+          "instance" true
+          (Reasoner.instance_of t "tweety" (Atom "Animal")));
+    Alcotest.test_case "instance tweety : ~Flyer" `Quick (fun () ->
+        Alcotest.(check bool)
+          "instance" true
+          (Reasoner.instance_of t "tweety" (Not (Atom "Flyer"))));
+    Alcotest.test_case "non-instance tweety : Flyer" `Quick (fun () ->
+        Alcotest.(check bool)
+          "instance" false
+          (Reasoner.instance_of t "tweety" (Atom "Flyer")));
+    Alcotest.test_case "classify finds the chain" `Quick (fun () ->
+        let hierarchy = Reasoner.classify t in
+        let supers a = List.assoc a hierarchy in
+        Alcotest.(check (slist string String.compare))
+          "penguin supers"
+          [ "Bird"; "Animal" ]
+          (supers "Penguin"));
+    Alcotest.test_case "role entailment through hierarchy" `Quick (fun () ->
+        let kb =
+          Axiom.make
+            ~tbox:[ Axiom.Role_sub (r, s) ]
+            ~abox:[ Axiom.Role_assertion ("a", r, "b") ]
+        in
+        let t = Reasoner.create kb in
+        Alcotest.(check bool) "s(a,b)" true (Reasoner.role_entailed t "a" s "b");
+        Alcotest.(check bool)
+          "r(b,a) not entailed" false
+          (Reasoner.role_entailed t "b" r "a"));
+    Alcotest.test_case "same/different entailment" `Quick (fun () ->
+        let kb =
+          Axiom.make ~tbox:[]
+            ~abox:
+              [ Axiom.Same ("a", "b"); Axiom.Different ("a", "c") ]
+        in
+        let t = Reasoner.create kb in
+        Alcotest.(check bool) "a=b" true (Reasoner.same_entailed t "a" "b");
+        Alcotest.(check bool) "a!=c" true (Reasoner.different_entailed t "a" "c");
+        Alcotest.(check bool)
+          "b=c open" false
+          (Reasoner.same_entailed t "b" "c"));
+    Alcotest.test_case "validate flags non-simple number restriction" `Quick
+      (fun () ->
+        let kb =
+          Axiom.make
+            ~tbox:[ Axiom.Transitive "r" ]
+            ~abox:[ Axiom.Instance_of ("x", At_most (1, r)) ]
+        in
+        let t = Reasoner.create kb in
+        Alcotest.(check bool) "warned" true (Reasoner.validate t <> []))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Model extraction *)
+
+let model_tests =
+  let check_model name kb ~expect_model =
+    Alcotest.test_case name `Quick (fun () ->
+        match Tableau.kb_model kb with
+        | Some m ->
+            Alcotest.(check bool) "expected a model" true expect_model;
+            (* kb_model verifies internally; double-check anyway *)
+            Alcotest.(check bool) "verified" true (Interp.is_model m kb)
+        | None ->
+            Alcotest.(check bool)
+              "expected no (finite) model" false expect_model)
+  in
+  [ check_model "propositional model" ~expect_model:true
+      (Axiom.make
+         ~tbox:[ Axiom.Concept_sub (atom, b) ]
+         ~abox:[ Axiom.Instance_of ("x", atom) ]);
+    check_model "unsat KB has no model" ~expect_model:false
+      (Axiom.make ~tbox:[] ~abox:[ Axiom.Instance_of ("x", And (atom, Not atom)) ]);
+    check_model "existential chain model" ~expect_model:true
+      (Axiom.make ~tbox:[]
+         ~abox:[ Axiom.Instance_of ("x", Exists (r, Exists (s, atom))) ]);
+    check_model "cyclic TBox model via blocking loop" ~expect_model:true
+      (Axiom.make
+         ~tbox:[ Axiom.Concept_sub (atom, Exists (r, atom)) ]
+         ~abox:[ Axiom.Instance_of ("x", atom) ]);
+    check_model "transitive role model" ~expect_model:true
+      (Axiom.make
+         ~tbox:[ Axiom.Transitive "r"; Axiom.Role_sub (r, s) ]
+         ~abox:
+           [ Axiom.Role_assertion ("x", r, "y");
+             Axiom.Role_assertion ("y", r, "z");
+             Axiom.Instance_of ("x", Forall (s, atom)) ]);
+    check_model "number restriction model" ~expect_model:true
+      (Axiom.make ~tbox:[]
+         ~abox:[ Axiom.Instance_of ("x", And (At_least (2, r), At_most (3, r))) ]);
+    check_model "datatype model" ~expect_model:true
+      (Axiom.make ~tbox:[]
+         ~abox:
+           [ Axiom.Instance_of
+               ( "x",
+                 And
+                   ( Data_exists ("u", Datatype.Int_range (Some 0, Some 5)),
+                     Data_at_least (2, "u") ) ) ]);
+    Alcotest.test_case "extracted model satisfies asserted facts" `Quick
+      (fun () ->
+        let kb =
+          Axiom.make
+            ~tbox:[ Axiom.Concept_sub (Atom "Penguin", Atom "Bird") ]
+            ~abox:
+              [ Axiom.Instance_of ("tweety", Atom "Penguin");
+                Axiom.Role_assertion ("tweety", Role.name "likes", "w") ]
+        in
+        match Tableau.kb_model kb with
+        | None -> Alcotest.fail "expected model"
+        | Some m ->
+            let tw = Interp.individual m "tweety" in
+            Alcotest.(check bool)
+              "tweety in Bird" true
+              (Interp.ESet.mem tw (Interp.eval m (Atom "Bird")));
+            Alcotest.(check bool)
+              "likes edge" true
+              (Interp.PSet.mem
+                 (tw, Interp.individual m "w")
+                 (Interp.role_ext m (Role.name "likes"))));
+    Alcotest.test_case "reasoner facade exposes models" `Quick (fun () ->
+        let t = Reasoner.create (Axiom.make ~tbox:[] ~abox:[ Axiom.Instance_of ("x", atom) ]) in
+        Alcotest.(check bool) "some model" true (Reasoner.find_model t <> None));
+    Alcotest.test_case "Para.find_model4 returns a verified 4-model" `Quick
+      (fun () ->
+        let t = Para.create Paper_examples.example2 in
+        match Para.find_model4 t with
+        | None -> Alcotest.fail "expected 4-model"
+        | Some m ->
+            Alcotest.(check bool)
+              "is 4-model" true
+              (Interp4.is_model m Paper_examples.example2))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Resource limits and engine statistics *)
+
+let resource_tests =
+  [ Alcotest.test_case "node limit raises Resource_limit" `Quick (fun () ->
+        (* an infinite-model-only KB needs many nodes before blocking; a
+           tiny limit trips first *)
+        let kb =
+          Axiom.make
+            ~tbox:
+              [ Axiom.Concept_sub (Top, Exists (r, atom));
+                Axiom.Concept_sub (Top, Exists (s, b)) ]
+            ~abox:[ Axiom.Instance_of ("x", Top) ]
+        in
+        match Tableau.kb_satisfiable ~max_nodes:2 kb with
+        | exception Tableau.Resource_limit _ -> ()
+        | _ -> Alcotest.fail "expected Resource_limit");
+    Alcotest.test_case "branch limit raises Resource_limit" `Quick (fun () ->
+        let kb =
+          Axiom.make ~tbox:[]
+            ~abox:
+              [ Axiom.Instance_of
+                  ( "x",
+                    conj
+                      (List.init 6 (fun i ->
+                           Or
+                             ( Atom (Printf.sprintf "P%d" i),
+                               Atom (Printf.sprintf "Q%d" i) ))) ) ]
+        in
+        match Tableau.kb_satisfiable ~max_branches:2 kb with
+        | exception Tableau.Resource_limit _ -> ()
+        | (_ : bool) ->
+            (* a very lucky search could finish within the budget, but the
+               six independent disjunctions need at least six choices *)
+            Alcotest.fail "expected Resource_limit");
+    Alcotest.test_case "stats count work" `Quick (fun () ->
+        let stats = Tableau.fresh_stats () in
+        let kb =
+          Axiom.make ~tbox:[]
+            ~abox:
+              [ Axiom.Instance_of ("x", Exists (r, Exists (r, atom)));
+                Axiom.Instance_of ("x", Or (atom, b)) ]
+        in
+        Alcotest.(check bool) "sat" true (Tableau.kb_satisfiable ~stats kb);
+        Alcotest.(check bool)
+          "created successors" true
+          (stats.Tableau.nodes_created >= 2);
+        Alcotest.(check bool)
+          "explored a branch" true
+          (stats.Tableau.branches_explored >= 1))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Combined-feature stress cases *)
+
+let stress_tests =
+  [ check_sat "hierarchy + transitivity + inverse + numbers" true
+      (sat
+         ~tbox:
+           [ Axiom.Role_sub (r, s);
+             Axiom.Transitive "s";
+             Axiom.Concept_sub (atom, Exists (r, atom)) ]
+         ~abox:
+           [ Axiom.Instance_of ("x", atom);
+             Axiom.Instance_of ("x", At_most (3, s));
+             Axiom.Instance_of ("x", Forall (s, b)) ]
+         ());
+    check_sat "deep unsatisfiable chain through hierarchy" false
+      (sat
+         ~tbox:
+           [ Axiom.Role_sub (r, s);
+             Axiom.Transitive "s";
+             Axiom.Concept_sub (atom, Exists (r, atom)) ]
+         ~abox:
+           [ Axiom.Instance_of ("x", atom);
+             (* every s-reachable node is ~A, but the r-chain is all A *)
+             Axiom.Instance_of ("x", Forall (s, Not atom)) ]
+         ());
+    check_sat "nominal + number restriction interplay" false
+      (sat
+         ~abox:
+           [ Axiom.Instance_of ("x", At_most (1, r));
+             Axiom.Role_assertion ("x", r, "a");
+             Axiom.Role_assertion ("x", r, "b");
+             Axiom.Instance_of ("a", atom);
+             Axiom.Instance_of ("b", Not atom);
+             Axiom.Different ("a", "b") ]
+         ());
+    check_sat "disjunction over quantifiers picks workable branch" true
+      (csat
+         ~tbox:[ Axiom.Concept_sub (atom, Bottom) ]
+         (Or (Exists (r, atom), Exists (r, b))));
+    check_sat "three-level alternating quantifiers unsat" false
+      (csat
+         (conj
+            [ Exists (r, Forall (s, atom));
+              Forall (r, Exists (s, b));
+              Forall (r, Forall (s, Not atom)) ]));
+    check_sat "merge cascades through equalities" false
+      (sat
+         ~abox:
+           [ Axiom.Same ("a", "b");
+             Axiom.Same ("b", "c");
+             Axiom.Instance_of ("a", atom);
+             Axiom.Instance_of ("c", Not atom) ]
+         ())
+  ]
+
+let () =
+  Alcotest.run "tableau"
+    [ ("basic", basic_tests);
+      ("quantifiers", quantifier_tests);
+      ("tbox", tbox_tests);
+      ("roles", role_tests);
+      ("inverse", inverse_tests);
+      ("numbers", number_tests);
+      ("nominals", nominal_tests);
+      ("abox", abox_tests);
+      ("datatypes", datatype_tests);
+      ("services", services_tests);
+      ("models", model_tests);
+      ("resources", resource_tests);
+      ("stress", stress_tests) ]

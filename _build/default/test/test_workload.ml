@@ -1,0 +1,97 @@
+(* Tests for the synthetic workload generators. *)
+
+let workload_tests =
+  [ Alcotest.test_case "generation is deterministic in the seed" `Quick
+      (fun () ->
+        let k1 = Gen.kb4 Gen.default and k2 = Gen.kb4 Gen.default in
+        Alcotest.(check bool)
+          "same tbox" true
+          (List.for_all2
+             (fun a b -> Kb4.compare_tbox_axiom a b = 0)
+             k1.Kb4.tbox k2.Kb4.tbox);
+        Alcotest.(check bool)
+          "same abox" true
+          (List.for_all2
+             (fun a b -> Axiom.compare_abox_axiom a b = 0)
+             k1.Kb4.abox k2.Kb4.abox));
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let k1 = Gen.kb4 { Gen.default with seed = 1 } in
+        let k2 = Gen.kb4 { Gen.default with seed = 2 } in
+        Alcotest.(check bool)
+          "differ" false
+          (List.length k1.Kb4.tbox = List.length k2.Kb4.tbox
+          && List.for_all2
+               (fun a b -> Kb4.compare_tbox_axiom a b = 0)
+               k1.Kb4.tbox k2.Kb4.tbox));
+    Alcotest.test_case "axiom counts follow the parameters" `Quick (fun () ->
+        let p = { Gen.default with n_tbox = 17; n_abox = 23; inconsistency_rate = 0.0 } in
+        let kb = Gen.kb4 p in
+        Alcotest.(check int) "tbox" 17 (List.length kb.Kb4.tbox);
+        Alcotest.(check int) "abox" 23 (List.length kb.Kb4.abox));
+    Alcotest.test_case "inconsistency injection adds pairs" `Quick (fun () ->
+        let p = { Gen.default with n_abox = 10; inconsistency_rate = 0.5 } in
+        let kb = Gen.kb4 p in
+        (* ceil(0.5 × 20 individuals) = 10 pairs = 20 extra assertions *)
+        Alcotest.(check int) "abox" 30 (List.length kb.Kb4.abox));
+    Alcotest.test_case "generated 4-valued KBs are 4-satisfiable" `Quick
+      (fun () ->
+        (* atomic-LHS internal/material axioms plus atomic contradictions
+           can never produce a hard (Bottom-style) clash *)
+        List.iter
+          (fun seed ->
+            let kb = Gen.kb4 { Gen.default with seed; n_tbox = 15; n_abox = 20 } in
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d" seed)
+              true
+              (Para.satisfiable (Para.create kb)))
+          [ 1; 2; 3 ]);
+    Alcotest.test_case "taxonomy has depth × branching structure" `Quick
+      (fun () ->
+        let kb = Gen.taxonomy ~depth:2 ~branching:3 in
+        (* 3 + 9 inclusions *)
+        Alcotest.(check int) "axioms" 12 (List.length kb.Axiom.tbox);
+        let r = Reasoner.create kb in
+        Alcotest.(check bool)
+          "leaf under root" true
+          (Reasoner.subsumes r (Concept.Atom "C2_8") (Concept.Atom "C0_0")));
+    Alcotest.test_case "inject_contradictions adds 2 axioms per count" `Quick
+      (fun () ->
+        let kb = Paper_examples.example2 in
+        let kb' = Gen.inject_contradictions ~seed:7 ~count:3 kb in
+        Alcotest.(check int)
+          "abox grows by 6"
+          (List.length kb.Kb4.abox + 6)
+          (List.length kb'.Kb4.abox));
+    Alcotest.test_case "exception chains: classical explodes, dl4 does not"
+      `Quick (fun () ->
+        let kb = Gen.exception_chains ~n:3 in
+        let t = Para.create kb in
+        Alcotest.(check bool) "4-sat" true (Para.satisfiable t);
+        (* each instance is a non-flying penguin *)
+        Alcotest.(check bool)
+          "F0 denied for a0" true
+          (Para.entails_not_instance t "a0" (Concept.Atom "F0"));
+        Alcotest.(check bool)
+          "F0 not supported for a0" false
+          (Para.entails_instance t "a0" (Concept.Atom "F0"));
+        (* the classical rendering (material read as <<) is inconsistent *)
+        let classical =
+          Axiom.make
+            ~tbox:
+              (List.filter_map
+                 (function
+                   | Kb4.Concept_inclusion (_, c, d) ->
+                       Some (Axiom.Concept_sub (c, d))
+                   | Kb4.Role_inclusion (_, r, s) -> Some (Axiom.Role_sub (r, s))
+                   | Kb4.Data_role_inclusion (_, u, v) ->
+                       Some (Axiom.Data_role_sub (u, v))
+                   | Kb4.Transitive r -> Some (Axiom.Transitive r))
+                 kb.Kb4.tbox)
+            ~abox:kb.Kb4.abox
+        in
+        Alcotest.(check bool)
+          "classical unsat" false
+          (Tableau.kb_satisfiable classical))
+  ]
+
+let () = Alcotest.run "workload" [ ("generators", workload_tests) ]
