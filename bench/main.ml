@@ -276,6 +276,91 @@ let report_ablation () =
     [ 1; 4; 16 ]
 
 (* ------------------------------------------------------------------ *)
+(* S6: the Dl_engine classification & realization engine *)
+
+let engine_workloads =
+  let gen seed n_tbox =
+    ( Printf.sprintf "gen_seed%d_tbox%d" seed n_tbox,
+      Gen.kb4
+        { Gen.default with
+          seed;
+          n_concepts = 10;
+          n_individuals = 8;
+          n_tbox;
+          n_abox = 16;
+          max_depth = 1;
+          inconsistency_rate = 0.1 } )
+  in
+  [ ("example1", Paper_examples.example1);
+    ("example2", Paper_examples.example2);
+    ("example3", Paper_examples.example3);
+    ("example4", Paper_examples.example4);
+    ("chains8", Gen.exception_chains ~n:8);
+    gen 3 12;
+    gen 5 18 ]
+
+let report_engine_classification () =
+  section
+    "S6a: engine classification vs naive all-pairs (tableau calls per KB)";
+  Printf.printf "  %-20s %-7s %-7s %-7s %-7s %-7s %s\n" "kb" "atoms" "naive"
+    "engine" "saved" "told" "agree";
+  List.iter
+    (fun (label, kb) ->
+      let t = Para.create kb in
+      let naive = Para.classify_naive t in
+      let e = Engine.create kb in
+      let cls = Engine.classification e in
+      let s = cls.Classify.stats in
+      Printf.printf "  %-20s %-7d %-7d %-7d %-7d %-7d %s\n%!" label s.atoms
+        s.naive_tests s.tableau_tests
+        (Classify.tableau_calls_saved s)
+        s.told_hits
+        (if cls.Classify.supers = naive then "OK" else "MISMATCH"))
+    engine_workloads
+
+let report_engine_cache () =
+  section "S6b: verdict cache - cold vs warm batch of instance queries";
+  let kb =
+    Gen.kb4
+      { Gen.default with
+        seed = 17;
+        n_concepts = 8;
+        n_individuals = 8;
+        n_tbox = 12;
+        n_abox = 20;
+        max_depth = 1;
+        inconsistency_rate = 0.1 }
+  in
+  let signature = Kb4.signature kb in
+  let queries =
+    List.concat_map
+      (fun a -> List.map (fun c -> (a, c)) signature.Axiom.concepts)
+      signature.Axiom.individuals
+  in
+  let batch e =
+    List.iter
+      (fun (a, c) -> ignore (Engine.instance_truth e a (Concept.Atom c)))
+      queries
+  in
+  let e = Engine.create kb in
+  let time f =
+    let t0 = Sys.time () in
+    f ();
+    Sys.time () -. t0
+  in
+  let cold = time (fun () -> batch e) in
+  let s1 = Engine.stats e in
+  let warm = time (fun () -> batch e) in
+  let s2 = Engine.stats e in
+  Printf.printf
+    "  %d queries;  cold: %.3fs (%d misses, %d tableau calls)\n\
+    \              warm: %.3fs (%d hits);  speedup: %.0fx\n"
+    (List.length queries) cold s1.Engine.cache.Verdict_cache.misses
+    s1.Engine.tableau_calls warm
+    (s2.Engine.cache.Verdict_cache.hits - s1.Engine.cache.Verdict_cache.hits)
+    (cold /. Float.max warm 1e-9)
+
+(* ------------------------------------------------------------------ *)
 (* Timing benches *)
 
 let paper_benches () =
@@ -389,6 +474,48 @@ let engine_benches () =
       ("example4", Paper_examples.example4);
       ("chains16", Gen.exception_chains ~n:16) ]
 
+(* S6 timing: naive vs engine classification, and cold vs warm cache.  The
+   warm engine is created (and pre-warmed) once, so every measured run is
+   answered from the verdict cache. *)
+let engine_classification_benches () =
+  List.concat_map
+    (fun (label, kb) ->
+      [ bench ("classify_naive_" ^ label) (fun () ->
+            Para.classify_naive (Para.create kb));
+        bench ("classify_engine_" ^ label) (fun () ->
+            Engine.classify (Engine.create kb)) ])
+    [ ("example3", Paper_examples.example3);
+      ("chains8", Gen.exception_chains ~n:8) ]
+
+let engine_cache_benches () =
+  let kb =
+    Gen.kb4
+      { Gen.default with
+        seed = 17;
+        n_concepts = 8;
+        n_individuals = 8;
+        n_tbox = 12;
+        n_abox = 20;
+        max_depth = 1;
+        inconsistency_rate = 0.1 }
+  in
+  let signature = Kb4.signature kb in
+  let queries =
+    List.concat_map
+      (fun a -> List.map (fun c -> (a, c)) signature.Axiom.concepts)
+      signature.Axiom.individuals
+  in
+  let batch e =
+    List.iter
+      (fun (a, c) -> ignore (Engine.instance_truth e a (Concept.Atom c)))
+      queries
+  in
+  let warm = Engine.create kb in
+  batch warm;
+  [ bench "query_batch_cold_cache" (fun () -> batch (Engine.create kb));
+    bench "query_batch_warm_cache" (fun () -> batch warm);
+    bench "realize_cold" (fun () -> Engine.realization (Engine.create kb)) ]
+
 let ablation_benches () =
   List.map
     (fun kind ->
@@ -423,11 +550,15 @@ let () =
   report_table4 ();
   report_quality ();
   report_ablation ();
+  report_engine_classification ();
+  report_engine_cache ();
   section "timing series (S1-S4)";
   run_group ~name:"paper" (paper_benches ());
   run_group ~name:"scale_transform" (transform_benches ());
   run_group ~name:"scale_reasoning" (reasoning_benches ());
   run_group ~name:"scale_query" (query_benches ());
   run_group ~name:"engines" (engine_benches ());
+  run_group ~name:"classification" (engine_classification_benches ());
+  run_group ~name:"verdict_cache" (engine_cache_benches ());
   run_group ~name:"ablation" (ablation_benches ());
   Printf.printf "\ndone.\n"

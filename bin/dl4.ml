@@ -68,6 +68,25 @@ let max_nodes_arg =
     & info [ "max-nodes" ] ~docv:"N"
         ~doc:"Tableau completion-graph node limit.")
 
+let cache_size_arg =
+  Arg.(
+    value
+    & opt int Engine.default_cache_capacity
+    & info [ "cache-size" ] ~docv:"N"
+        ~doc:"Capacity of the LRU verdict cache (number of tableau verdicts).")
+
+let no_cache_flag =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the verdict cache: every query pays its tableau calls.")
+
+let make_engine ~max_nodes ~cache_size ~no_cache kb =
+  Engine.create ~cache_capacity:(if no_cache then 0 else cache_size) ~max_nodes
+    kb
+
+let print_engine_stats e = Format.printf "%a@." Engine.pp_stats (Engine.stats e)
+
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
@@ -149,24 +168,74 @@ let query_cmd =
     Term.(const run $ file_arg $ individual $ concept_src $ max_nodes_arg)
 
 let classify_cmd =
-  let run file max_nodes =
+  let run file max_nodes cache_size no_cache =
     let kb = load_kb4 file in
-    let t = Para.create ~max_nodes kb in
+    let e = make_engine ~max_nodes ~cache_size ~no_cache kb in
     List.iter
       (fun (cls, direct) ->
         let lhs = String.concat " = " cls in
         match direct with
         | [] -> Format.printf "%s@." lhs
         | _ -> Format.printf "%s < %s@." lhs (String.concat ", " direct))
-      (Para.taxonomy t);
+      (Engine.taxonomy e);
+    print_engine_stats e;
     0
   in
   Cmd.v
     (Cmd.info "classify"
        ~doc:
          "Reduced taxonomy under internal inclusion: equivalence classes \
-          with their direct super-classes.")
-    Term.(const run $ file_arg $ max_nodes_arg)
+          with their direct super-classes.  Classification is told-subsumer \
+          seeded and DAG-pruned; the stats line reports the tableau calls \
+          saved over the naive all-pairs loop.")
+    Term.(
+      const run $ file_arg $ max_nodes_arg $ cache_size_arg $ no_cache_flag)
+
+let realize_cmd =
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Also print the full Belnap truth value grid (default: only the \
+             most-specific types and the contradictions).")
+  in
+  let run file all max_nodes cache_size no_cache =
+    let kb = load_kb4 file in
+    let e = make_engine ~max_nodes ~cache_size ~no_cache kb in
+    List.iter
+      (fun (entry : Realize.entry) ->
+        let tops =
+          List.filter_map
+            (fun (c, v) -> if v = Truth.Both then Some c else None)
+            entry.Realize.types
+        in
+        Format.printf "%s : %s%s@." entry.Realize.name
+          (match entry.Realize.most_specific with
+          | [] -> "(no told-positive atomic type)"
+          | msc -> String.concat ", " msc)
+          (match tops with
+          | [] -> ""
+          | _ -> "  [TOP: " ^ String.concat ", " tops ^ "]");
+        if all then
+          List.iter
+            (fun (c, v) ->
+              if v <> Truth.Neither then
+                Format.printf "    %-20s %a@." c Truth.pp v)
+            entry.Realize.types)
+      (Engine.realization e).Realize.entries;
+    print_engine_stats e;
+    0
+  in
+  Cmd.v
+    (Cmd.info "realize"
+       ~doc:
+         "ABox realization: the most-specific atomic types of every \
+          individual with their Belnap values, computed with instance checks \
+          pruned through the classified hierarchy.")
+    Term.(
+      const run $ file_arg $ all $ max_nodes_arg $ cache_size_arg
+      $ no_cache_flag)
 
 let transform_cmd =
   let run file =
@@ -383,6 +452,7 @@ let main =
     [ check_cmd;
       query_cmd;
       classify_cmd;
+      realize_cmd;
       transform_cmd;
       models_cmd;
       retrieve_cmd;

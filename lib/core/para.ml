@@ -42,53 +42,30 @@ let role_truth t a r b =
   in
   Truth.of_pair ~told_true ~told_false
 
-let classify t =
-  let atoms = (Kb4.signature t.kb).concepts in
+let atomic_subsumes t a b =
+  entails_inclusion t Kb4.Internal (Concept.Atom a) (Concept.Atom b)
+
+let signature_atoms t =
+  (* [Axiom.signature] already deduplicates, but classification would pay
+     every duplicate with a full row of tableau calls — keep the guarantee
+     local *)
+  List.sort_uniq String.compare (Kb4.signature t.kb).concepts
+
+let classify_naive t =
+  let atoms = signature_atoms t in
   List.map
     (fun a ->
-      let supers =
-        List.filter
-          (fun b ->
-            b <> a
-            && entails_inclusion t Kb4.Internal (Concept.Atom a) (Concept.Atom b))
-          atoms
-      in
-      (a, supers))
+      let candidates = List.filter (fun b -> b <> a) atoms in
+      (a, List.filter (atomic_subsumes t a) candidates))
     atoms
 
-(* Group equivalent atoms and reduce the subsumption DAG to direct edges. *)
-let taxonomy t =
-  let hierarchy = classify t in
-  let supers a = try List.assoc a hierarchy with Not_found -> [] in
-  let equiv a b = List.mem b (supers a) && List.mem a (supers b) in
-  let atoms = List.map fst hierarchy in
-  (* canonical representative: first member in signature order *)
-  let repr a = List.find (fun b -> equiv a b || b = a) atoms in
-  let classes =
-    List.filter_map
-      (fun a ->
-        if repr a = a then
-          Some (a :: List.filter (fun b -> b <> a && equiv a b) atoms)
-        else None)
-      atoms
-  in
-  let strict_supers a =
-    List.filter (fun b -> not (equiv a b)) (supers a)
-  in
-  List.map
-    (fun cls ->
-      let a = List.hd cls in
-      let ss = strict_supers a in
-      (* direct supers: not implied through another strict super *)
-      let direct =
-        List.filter
-          (fun b ->
-            (not (List.exists (fun c -> c <> b && List.mem b (strict_supers c)) ss))
-            && repr b = b)
-          ss
-      in
-      (cls, direct))
-    classes
+let classify t =
+  (Classify.run ~atoms:(signature_atoms t)
+     ~told:(Engine.told_subsumptions t.kb)
+     ~test:(atomic_subsumes t))
+    .Classify.supers
+
+let taxonomy t = Classify.taxonomy (classify t)
 
 let contradictions t =
   let signature = Kb4.signature t.kb in

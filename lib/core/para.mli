@@ -58,7 +58,15 @@ val role_truth : t -> string -> Role.t -> string -> Truth.t
 
 val classify : t -> (string * string list) list
 (** Atomic concept hierarchy under internal inclusion ⊏ (the inclusion whose
-    satisfaction mirrors classical ⊑ on told-positive information). *)
+    satisfaction mirrors classical ⊑ on told-positive information).
+    Delegates to the engine's {!Classify.run}: told-subsumer seeding plus
+    DAG-pruned search, so most pairs are answered without a tableau call.
+    Same contents as {!classify_naive}. *)
+
+val classify_naive : t -> (string * string list) list
+(** The O(n²) all-pairs baseline — one tableau subsumption test per ordered
+    pair of distinct atoms.  Kept as the differential-testing and
+    benchmarking reference for {!classify}. *)
 
 val taxonomy : t -> (string list * string list) list
 (** The classification as a reduced taxonomy: equivalence classes of atomic

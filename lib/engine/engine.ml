@@ -1,0 +1,158 @@
+(* Query keys: every reasoning service bottoms out in a boolean tableau
+   verdict, distinguished by what is added to K̄ — a fresh-individual concept
+   satisfiability test or a (possibly negated) instance query. *)
+module Key = struct
+  type t =
+    | Sat of Qkey.t
+    | Instance of string * Qkey.t
+    | Not_instance of string * Qkey.t
+
+  let equal a b =
+    match (a, b) with
+    | Sat k1, Sat k2 -> Qkey.equal k1 k2
+    | Instance (x, k1), Instance (y, k2)
+    | Not_instance (x, k1), Not_instance (y, k2) ->
+        String.equal x y && Qkey.equal k1 k2
+    | _ -> false
+
+  let hash = function
+    | Sat k -> 3 * Qkey.hash k
+    | Instance (x, k) -> (5 * Qkey.hash k) + Hashtbl.hash x
+    | Not_instance (x, k) -> (7 * Qkey.hash k) + Hashtbl.hash x
+end
+
+module Cache = Verdict_cache.Make (Key)
+
+type t = {
+  kb : Kb4.t;
+  reasoner : Reasoner.t;
+  cache : bool Cache.t;
+  mutable tableau_calls : int;
+  mutable classification : Classify.t option;
+  mutable realization : Realize.t option;
+}
+
+let default_cache_capacity = 4096
+
+let create ?(cache_capacity = default_cache_capacity) ?max_nodes ?max_branches
+    kb =
+  { kb;
+    reasoner = Reasoner.create ?max_nodes ?max_branches (Transform.kb kb);
+    cache = Cache.create ~capacity:cache_capacity;
+    tableau_calls = 0;
+    classification = None;
+    realization = None }
+
+let kb t = t.kb
+let reasoner t = t.reasoner
+
+let verdict t key compute =
+  Cache.find_or_add t.cache key (fun () ->
+      t.tableau_calls <- t.tableau_calls + 1;
+      compute ())
+
+let satisfiable t = Reasoner.is_consistent t.reasoner
+
+let entails_instance t a c =
+  verdict t
+    (Key.Instance (a, Qkey.of_concept c))
+    (fun () ->
+      not (Reasoner.consistent_with t.reasoner [ Transform.instance_query c a ]))
+
+let entails_not_instance t a c =
+  verdict t
+    (Key.Not_instance (a, Qkey.of_concept c))
+    (fun () ->
+      not
+        (Reasoner.consistent_with t.reasoner
+           [ Transform.negative_instance_query c a ]))
+
+let instance_truth t a c =
+  Truth.of_pair
+    ~told_true:(entails_instance t a c)
+    ~told_false:(entails_not_instance t a c)
+
+let concept_satisfiable t c =
+  verdict t
+    (Key.Sat (Qkey.of_concept c))
+    (fun () -> Reasoner.concept_satisfiable t.reasoner c)
+
+let entails_inclusion t kind c d =
+  List.for_all
+    (fun test -> not (concept_satisfiable t test))
+    (Transform.inclusion_tests kind c d)
+
+let subsumes t a b =
+  entails_inclusion t Kb4.Internal (Concept.Atom a) (Concept.Atom b)
+
+(* Atoms in conjunctive positions of a right-hand side: [A ⊏ B ⊓ (C ⊓ D)]
+   tells us [A ⊑ B], [A ⊑ C], [A ⊑ D] (Definition 6 maps internal/strong
+   inclusions to classical inclusions of the positive translations). *)
+let rec conjunct_atoms = function
+  | Concept.Atom b -> [ b ]
+  | Concept.And (x, y) -> conjunct_atoms x @ conjunct_atoms y
+  | _ -> []
+
+let told_subsumptions (kb : Kb4.t) =
+  List.concat_map
+    (function
+      | Kb4.Concept_inclusion ((Kb4.Internal | Kb4.Strong), Concept.Atom a, rhs)
+        ->
+          List.map (fun b -> (a, b)) (conjunct_atoms rhs)
+      | _ -> [])
+    kb.Kb4.tbox
+
+let classification t =
+  match t.classification with
+  | Some c -> c
+  | None ->
+      let atoms = (Kb4.signature t.kb).Axiom.concepts in
+      let c =
+        Classify.run ~atoms
+          ~told:(told_subsumptions t.kb)
+          ~test:(fun a b -> subsumes t a b)
+      in
+      t.classification <- Some c;
+      c
+
+let classify t = (classification t).Classify.supers
+let taxonomy t = Classify.taxonomy (classify t)
+
+let realization t =
+  match t.realization with
+  | Some r -> r
+  | None ->
+      let cls = classification t in
+      let signature = Kb4.signature t.kb in
+      let r =
+        Realize.run ~individuals:signature.Axiom.individuals
+          ~atoms:signature.Axiom.concepts
+          ~supers:(Classify.supers_fn cls)
+          ~check_pos:(fun a c -> entails_instance t a (Concept.Atom c))
+          ~check_neg:(fun a c -> entails_not_instance t a (Concept.Atom c))
+      in
+      t.realization <- Some r;
+      r
+
+type stats = {
+  cache : Verdict_cache.stats;
+  tableau_calls : int;
+  classification : Classify.stats option;
+  realization : Realize.stats option;
+}
+
+let stats (t : t) =
+  { cache = Cache.stats t.cache;
+    tableau_calls = t.tableau_calls;
+    classification = Option.map (fun c -> c.Classify.stats) t.classification;
+    realization = Option.map (fun r -> r.Realize.stats) t.realization }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "cache: %a@.tableau calls paid: %d" Verdict_cache.pp_stats
+    s.cache s.tableau_calls;
+  Option.iter
+    (fun c -> Format.fprintf ppf "@.classification: %a" Classify.pp_stats c)
+    s.classification;
+  Option.iter
+    (fun r -> Format.fprintf ppf "@.realization: %a" Realize.pp_stats r)
+    s.realization

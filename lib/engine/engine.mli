@@ -1,0 +1,68 @@
+(** The memoizing classification & realization engine over the four-valued
+    reduction — the query-traffic front end of the stack.
+
+    An {!t} owns the classical induced KB [K̄] (Definition 7), one tableau
+    reasoner over it, a bounded LRU {!Verdict_cache} of tableau verdicts
+    keyed by canonical {!Qkey} query keys, and lazily-built classification
+    ({!Classify}) and realization ({!Realize}) indexes.  One-shot callers
+    get the same answers as {!Para}; repeated query traffic is served from
+    the cache and the indexes instead of re-running the tableau. *)
+
+type t
+
+val create :
+  ?cache_capacity:int -> ?max_nodes:int -> ?max_branches:int -> Kb4.t -> t
+(** [cache_capacity] defaults to 4096 verdicts; [0] disables caching
+    entirely (every query pays its tableau calls, as with bare {!Para}). *)
+
+val default_cache_capacity : int
+val kb : t -> Kb4.t
+val reasoner : t -> Reasoner.t
+
+(** {1 Cached reasoning services}
+
+    Same semantics as the corresponding {!Para} queries; verdicts are
+    memoized under canonical query keys. *)
+
+val satisfiable : t -> bool
+val entails_instance : t -> string -> Concept.t -> bool
+val entails_not_instance : t -> string -> Concept.t -> bool
+val instance_truth : t -> string -> Concept.t -> Truth.t
+val entails_inclusion : t -> Kb4.inclusion -> Concept.t -> Concept.t -> bool
+
+val subsumes : t -> string -> string -> bool
+(** Atomic internal subsumption [⊏] — the classification oracle. *)
+
+(** {1 Told information} *)
+
+val told_subsumptions : Kb4.t -> (string * string) list
+(** Atomic subsumptions syntactically present in the TBox: one [(a, b)] per
+    internal or strong inclusion with atomic left-hand side [a] and [b]
+    ranging over the atoms in conjunctive positions of the right-hand side.
+    Sound for internal subsumption by Definition 6. *)
+
+(** {1 Indexes} *)
+
+val classification : t -> Classify.t
+(** Built on first use with told seeding and DAG pruning; cached. *)
+
+val classify : t -> (string * string list) list
+(** Same contents as the naive all-pairs loop ({!Para.classify_naive}). *)
+
+val taxonomy : t -> (string list * string list) list
+
+val realization : t -> Realize.t
+(** Built on first use on top of {!classification}; cached. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  cache : Verdict_cache.stats;
+  tableau_calls : int;
+      (** tableau invocations actually paid (cache misses do, hits don't) *)
+  classification : Classify.stats option;  (** [None] until built *)
+  realization : Realize.stats option;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

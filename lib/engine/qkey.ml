@@ -1,0 +1,15 @@
+type t = { concept : Concept.t; hash : int }
+
+let of_concept c =
+  let concept = Concept.canon c in
+  { concept; hash = Concept.hash concept }
+
+let concept k = k.concept
+let hash k = k.hash
+let equal a b = a.hash = b.hash && Concept.equal a.concept b.concept
+
+let compare a b =
+  let c = Int.compare a.hash b.hash in
+  if c <> 0 then c else Concept.compare a.concept b.concept
+
+let pp ppf k = Concept.pp ppf k.concept

@@ -1,0 +1,24 @@
+(** Canonical query keys.
+
+    A [Qkey.t] is a concept in {!Concept.canon} canonical NNF together with
+    its precomputed structural hash.  Two syntactically different but
+    canonically identical query concepts (commuted conjunctions, duplicated
+    disjuncts, unsorted nominals, double negations, …) map to the same key,
+    so the verdict cache and the classification engine share work across
+    semantically identical queries without any extra tableau calls. *)
+
+type t
+
+val of_concept : Concept.t -> t
+(** Canonicalize and hash.  Linear in the concept, plus the sorting of
+    flattened [And]/[Or] spines. *)
+
+val concept : t -> Concept.t
+(** The canonical representative (already in NNF). *)
+
+val equal : t -> t -> bool
+(** Hash-gated structural equality on the canonical forms. *)
+
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

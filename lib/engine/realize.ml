@@ -1,0 +1,105 @@
+module SS = Set.Make (String)
+
+type stats = {
+  individuals : int;
+  atoms : int;
+  naive_checks : int;
+  positive_checks : int;
+  negative_checks : int;
+  pruned : int;
+}
+
+let checks_saved s =
+  s.naive_checks - s.positive_checks - s.negative_checks
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d individuals x %d atoms: %d+%d instance checks (naive %d; %d pruned)"
+    s.individuals s.atoms s.positive_checks s.negative_checks s.naive_checks
+    s.pruned
+
+type entry = {
+  name : string;
+  types : (string * Truth.t) list;
+  most_specific : string list;
+}
+
+type t = { entries : entry list; stats : stats }
+
+let run ~individuals ~atoms ~supers ~check_pos ~check_neg =
+  let atoms = List.sort_uniq String.compare atoms in
+  let individuals = List.sort_uniq String.compare individuals in
+  let sup = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace sup c (SS.of_list (supers c))) atoms;
+  let sup_of c = Option.value ~default:SS.empty (Hashtbl.find_opt sup c) in
+  let subs = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      SS.iter
+        (fun c ->
+          let cur = Option.value ~default:SS.empty (Hashtbl.find_opt subs c) in
+          Hashtbl.replace subs c (SS.add d cur))
+        (sup_of d))
+    atoms;
+  let subs_of c = Option.value ~default:SS.empty (Hashtbl.find_opt subs c) in
+  (* top-down: atoms with fewer subsumers first, so a refuted concept prunes
+     its whole cone of subsumees before any of them is checked *)
+  let order =
+    List.sort
+      (fun a b ->
+        let c = Int.compare (SS.cardinal (sup_of a)) (SS.cardinal (sup_of b)) in
+        if c <> 0 then c else String.compare a b)
+      atoms
+  in
+  let positive_checks = ref 0
+  and negative_checks = ref 0
+  and pruned = ref 0 in
+  let entries =
+    List.map
+      (fun a ->
+        let settled = Hashtbl.create 16 in
+        let settle c v =
+          if not (Hashtbl.mem settled c) then begin
+            Hashtbl.add settled c v;
+            incr pruned
+          end
+        in
+        List.iter
+          (fun c ->
+            if not (Hashtbl.mem settled c) then begin
+              incr positive_checks;
+              let v = check_pos a c in
+              Hashtbl.add settled c v;
+              if v then SS.iter (fun s -> settle s true) (sup_of c)
+              else SS.iter (fun d -> settle d false) (subs_of c)
+            end)
+          order;
+        let pos c = Hashtbl.find settled c in
+        let types =
+          List.map
+            (fun c ->
+              incr negative_checks;
+              let told_false = check_neg a c in
+              (c, Truth.of_pair ~told_true:(pos c) ~told_false))
+            atoms
+        in
+        let strictly_below d c = SS.mem c (sup_of d) && not (SS.mem d (sup_of c)) in
+        let most_specific =
+          List.filter
+            (fun c ->
+              pos c
+              && not (List.exists (fun d -> pos d && strictly_below d c) atoms))
+            atoms
+        in
+        { name = a; types; most_specific })
+      individuals
+  in
+  let ni = List.length individuals and na = List.length atoms in
+  { entries;
+    stats =
+      { individuals = ni;
+        atoms = na;
+        naive_checks = 2 * ni * na;
+        positive_checks = !positive_checks;
+        negative_checks = !negative_checks;
+        pruned = !pruned } }

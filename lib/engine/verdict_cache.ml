@@ -1,0 +1,124 @@
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d hits / %d misses / %d evictions (%d/%d entries)"
+    s.hits s.misses s.evictions s.size s.capacity
+
+module Make (K : Hashtbl.HashedType) = struct
+  module H = Hashtbl.Make (K)
+
+  (* Intrusive doubly-linked recency list; [front] is most recent. *)
+  type 'v node = {
+    key : K.t;
+    mutable value : 'v;
+    mutable prev : 'v node option;  (* towards the front *)
+    mutable next : 'v node option;  (* towards the back *)
+  }
+
+  type 'v t = {
+    capacity : int;
+    table : 'v node H.t;
+    mutable front : 'v node option;
+    mutable back : 'v node option;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create ~capacity =
+    let capacity = max 0 capacity in
+    { capacity;
+      table = H.create (max 16 (min capacity 4096));
+      front = None;
+      back = None;
+      hits = 0;
+      misses = 0;
+      evictions = 0 }
+
+  let capacity t = t.capacity
+  let length t = H.length t.table
+
+  let unlink t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.front <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> t.back <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_front t n =
+    n.next <- t.front;
+    n.prev <- None;
+    (match t.front with Some f -> f.prev <- Some n | None -> t.back <- Some n);
+    t.front <- Some n
+
+  let touch t n =
+    match t.front with
+    | Some f when f == n -> ()
+    | _ ->
+        unlink t n;
+        push_front t n
+
+  let find t k =
+    match H.find_opt t.table k with
+    | Some n ->
+        t.hits <- t.hits + 1;
+        touch t n;
+        Some n.value
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+
+  let evict_lru t =
+    match t.back with
+    | None -> ()
+    | Some n ->
+        unlink t n;
+        H.remove t.table n.key;
+        t.evictions <- t.evictions + 1
+
+  let add t k v =
+    if t.capacity > 0 then begin
+      (match H.find_opt t.table k with
+      | Some n ->
+          n.value <- v;
+          touch t n
+      | None ->
+          let n = { key = k; value = v; prev = None; next = None } in
+          H.replace t.table k n;
+          push_front t n);
+      while H.length t.table > t.capacity do
+        evict_lru t
+      done
+    end
+
+  let find_or_add t k f =
+    match find t k with
+    | Some v -> v
+    | None ->
+        let v = f () in
+        add t k v;
+        v
+
+  let stats t =
+    { hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      size = H.length t.table;
+      capacity = t.capacity }
+
+  let reset_stats t =
+    t.hits <- 0;
+    t.misses <- 0;
+    t.evictions <- 0
+
+  let clear t =
+    H.reset t.table;
+    t.front <- None;
+    t.back <- None;
+    reset_stats t
+end

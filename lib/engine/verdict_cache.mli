@@ -1,0 +1,46 @@
+(** Bounded LRU memoization of tableau verdicts.
+
+    Every reasoning service of the stack bottoms out in a boolean tableau
+    verdict ("is [K̄] plus this query satisfiable?").  The cache maps
+    canonical query keys to verdicts with least-recently-used eviction, so a
+    query-traffic workload pays the tableau only once per distinct canonical
+    query while the working set fits the capacity.
+
+    All operations are O(1) amortized (hash table plus an intrusive
+    doubly-linked recency list). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;      (** current number of cached entries *)
+  capacity : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+module Make (K : Hashtbl.HashedType) : sig
+  type 'v t
+
+  val create : capacity:int -> 'v t
+  (** [capacity <= 0] creates a disabled cache: every lookup misses, nothing
+      is stored — the switch behind the CLI's [--no-cache]. *)
+
+  val capacity : 'v t -> int
+  val length : 'v t -> int
+
+  val find : 'v t -> K.t -> 'v option
+  (** Counts a hit (and refreshes recency) or a miss. *)
+
+  val add : 'v t -> K.t -> 'v -> unit
+  (** Inserts or overwrites; evicts the least recently used entry when the
+      capacity is exceeded. *)
+
+  val find_or_add : 'v t -> K.t -> (unit -> 'v) -> 'v
+  (** Memoizing lookup: on a miss, compute, store, return. *)
+
+  val stats : 'v t -> stats
+  val reset_stats : 'v t -> unit
+  val clear : 'v t -> unit
+  (** Drops all entries and resets the counters. *)
+end

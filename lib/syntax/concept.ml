@@ -106,6 +106,66 @@ and nnf_neg = function
   | Data_at_least (n, u) -> if n = 0 then Bottom else Data_at_most (n - 1, u)
   | Data_at_most (n, u) -> Data_at_least (n + 1, u)
 
+let rec hash c =
+  let comb tag h = (tag * 65599) + h in
+  match c with
+  | Top -> 1
+  | Bottom -> 2
+  | Atom a -> comb 3 (Hashtbl.hash a)
+  | Not d -> comb 5 (hash d)
+  | And (a, b) -> comb 7 ((hash a * 31) + hash b)
+  | Or (a, b) -> comb 11 ((hash a * 31) + hash b)
+  | One_of os -> comb 13 (Hashtbl.hash os)
+  | Exists (r, d) -> comb 17 ((Hashtbl.hash r * 31) + hash d)
+  | Forall (r, d) -> comb 19 ((Hashtbl.hash r * 31) + hash d)
+  | At_least (n, r) -> comb 23 ((n * 31) + Hashtbl.hash r)
+  | At_most (n, r) -> comb 29 ((n * 31) + Hashtbl.hash r)
+  | Data_exists (u, d) -> comb 31 ((Hashtbl.hash u * 31) + Hashtbl.hash d)
+  | Data_forall (u, d) -> comb 37 ((Hashtbl.hash u * 31) + Hashtbl.hash d)
+  | Data_at_least (n, u) -> comb 41 ((n * 31) + Hashtbl.hash u)
+  | Data_at_most (n, u) -> comb 43 ((n * 31) + Hashtbl.hash u)
+
+(* Canonicalization happens after NNF, so [Not] only wraps atoms/nominals
+   and the connectives to flatten are the n-ary readings of [And]/[Or]. *)
+let canon c =
+  let rec conjuncts = function
+    | And (a, b) -> conjuncts a @ conjuncts b
+    | c -> [ c ]
+  in
+  let rec disjuncts = function
+    | Or (a, b) -> disjuncts a @ disjuncts b
+    | c -> [ c ]
+  in
+  let rec go c =
+    match c with
+    | Top | Bottom | Atom _ -> c
+    | One_of os -> One_of (List.sort_uniq String.compare os)
+    | Not d -> neg (go d)
+    | And _ -> rebuild_and (List.map go (conjuncts c))
+    | Or _ -> rebuild_or (List.map go (disjuncts c))
+    | Exists (r, d) -> Exists (r, go d)
+    | Forall (r, d) -> Forall (r, go d)
+    | At_least _ | At_most _ -> c
+    | Data_exists _ | Data_forall _ | Data_at_least _ | Data_at_most _ -> c
+  and rebuild_and cs =
+    let cs = List.sort_uniq compare (List.concat_map conjuncts cs) in
+    if List.mem Bottom cs then Bottom
+    else
+      match List.filter (fun c -> c <> Top) cs with
+      | [] -> Top
+      | [ c ] -> c
+      | c :: rest -> List.fold_left (fun acc d -> And (acc, d)) c rest
+  and rebuild_or cs =
+    let cs = List.sort_uniq compare (List.concat_map disjuncts cs) in
+    if List.mem Top cs then Top
+    else
+      match List.filter (fun c -> c <> Bottom) cs with
+      | [] -> Bottom
+      | [ c ] -> c
+      | c :: rest -> List.fold_left (fun acc d -> Or (acc, d)) c rest
+  in
+  go (nnf c)
+
 let rec is_nnf = function
   | Top | Bottom | Atom _ | One_of _ -> true
   | Not (Atom _) | Not (One_of _) -> true

@@ -45,6 +45,18 @@ val nnf : t -> t
 
 val is_nnf : t -> bool
 
+val canon : t -> t
+(** Canonical NNF, the query-key normal form of the engine layer: {!nnf}
+    followed by flattening of [And]/[Or] chains into sorted, duplicate-free
+    right-nested spines (absorbing [Top]/[Bottom] units), and sorting of
+    nominal lists.  Commuted, reassociated and duplicated conjunctions or
+    disjunctions of the same concept all map to one representative, so
+    structural equality on canonical forms is a sound (not complete)
+    approximation of semantic equivalence. *)
+
+val hash : t -> int
+(** Structural hash, compatible with {!equal}. *)
+
 val size : t -> int
 (** Number of AST nodes. *)
 
