@@ -361,6 +361,139 @@ let report_engine_cache () =
     (cold /. Float.max warm 1e-9)
 
 (* ------------------------------------------------------------------ *)
+(* S6c: domain-pool speedup.  Wall clock via [Unix.gettimeofday] —
+   [Sys.time] is CPU time summed over domains, which would make a parallel
+   run look slower the better it scales.  Classification and the batched
+   query grid are run at pool widths 1/2/4; the taxonomy is asserted
+   identical across widths (sharding only redistributes rows), and the raw
+   numbers — including the machine's recommended domain count, without
+   which a speedup figure is meaningless — are written to
+   BENCH_oracle.json. *)
+
+let report_engine_parallel () =
+  section "S6c: domain-pool speedup (1/2/4 domains) -> BENCH_oracle.json";
+  let kb =
+    Gen.kb4
+      { Gen.default with
+        seed = 29;
+        n_concepts = 14;
+        n_individuals = 10;
+        n_tbox = 20;
+        n_abox = 24;
+        max_depth = 1;
+        inconsistency_rate = 0.1 }
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let widths = [ 1; 2; 4 ] in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  recommended_domain_count: %d%s\n" cores
+    (if cores <= 1 then "  (single core: no real speedup is possible here)"
+     else "");
+  let classification =
+    List.map
+      (fun j ->
+        let e = Engine.create ~jobs:j kb in
+        let tax, dt = wall (fun () -> Engine.classify e) in
+        (j, tax, dt))
+      widths
+  in
+  let _, tax1, cls1 =
+    match classification with r :: _ -> r | [] -> assert false
+  in
+  List.iter
+    (fun (j, tax, dt) ->
+      if tax <> tax1 then
+        failwith
+          (Printf.sprintf "S6c: taxonomy at jobs=%d differs from jobs=1" j);
+      Printf.printf "  classify     jobs=%d  %8.3fs  speedup %.2fx\n%!" j dt
+        (cls1 /. dt))
+    classification;
+  (* the batched query grid: every (individual, atom) pair, both
+     information bits, one Oracle.check_all fan-out per run (this is the
+     path Para.retrieve / contradictions and the Cq front end share) *)
+  let grid =
+    List.map
+      (fun j ->
+        let t = Para.create ~jobs:j kb in
+        let cs, dt = wall (fun () -> Para.contradictions t) in
+        (j, cs, dt))
+      widths
+  in
+  let _, grid1_answers, grid1 =
+    match grid with r :: _ -> r | [] -> assert false
+  in
+  List.iter
+    (fun (j, cs, dt) ->
+      if cs <> grid1_answers then
+        failwith
+          (Printf.sprintf "S6c: grid answers at jobs=%d differ from jobs=1" j);
+      Printf.printf "  query grid   jobs=%d  %8.3fs  speedup %.2fx\n%!" j dt
+        (grid1 /. dt))
+    grid;
+  (* a conjunctive-query batch over the same pool-backed oracle *)
+  let queries =
+    [ Cq.make ~head:[ "x" ]
+        ~body:[ Cq.Concept_atom (Concept.Atom "C0", Cq.Var "x") ];
+      Cq.make ~head:[ "x"; "y" ]
+        ~body:
+          [ Cq.Concept_atom (Concept.Atom "C0", Cq.Var "x");
+            Cq.Role_atom (Role.name "r0", Cq.Var "x", Cq.Var "y") ] ]
+  in
+  let cq =
+    List.map
+      (fun j ->
+        let t = Para.create ~jobs:j kb in
+        let ans, dt = wall (fun () -> List.map (Cq.answers t) queries) in
+        (j, ans, dt))
+      widths
+  in
+  let _, cq1_answers, cq1 = match cq with r :: _ -> r | [] -> assert false in
+  List.iter
+    (fun (j, ans, dt) ->
+      if ans <> cq1_answers then
+        failwith
+          (Printf.sprintf "S6c: Cq answers at jobs=%d differ from jobs=1" j);
+      Printf.printf "  cq batch     jobs=%d  %8.3fs  speedup %.2fx\n%!" j dt
+        (cq1 /. dt))
+    cq;
+  let series name base rows =
+    Printf.sprintf "  %S: [\n%s\n  ]" name
+      (String.concat ",\n"
+         (List.map
+            (fun (j, _, dt) ->
+              Printf.sprintf
+                "    {\"jobs\": %d, \"seconds\": %.6f, \"speedup\": %.3f, \
+                 \"answers_identical\": true}"
+                j dt (base /. dt))
+            rows))
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"S6c_domain_pool\",\n\
+      \  \"recommended_domain_count\": %d,\n\
+      \  \"kb\": {\"seed\": 29, \"concepts\": 14, \"individuals\": 10, \
+       \"tbox\": 20, \"abox\": 24},\n\
+       %s,\n\
+       %s,\n\
+       %s\n\
+       }\n"
+      cores
+      (series "classification" cls1 classification)
+      (series "query_grid" grid1 grid)
+      (series "cq_batch" cq1 cq)
+  in
+  let oc = open_out "BENCH_oracle.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc json);
+  Printf.printf "  wrote BENCH_oracle.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Timing benches *)
 
 let paper_benches () =
@@ -552,6 +685,7 @@ let () =
   report_ablation ();
   report_engine_classification ();
   report_engine_cache ();
+  report_engine_parallel ();
   section "timing series (S1-S4)";
   run_group ~name:"paper" (paper_benches ());
   run_group ~name:"scale_transform" (transform_benches ());

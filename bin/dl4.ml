@@ -81,16 +81,35 @@ let no_cache_flag =
     & info [ "no-cache" ]
         ~doc:"Disable the verdict cache: every query pays its tableau calls.")
 
-let make_engine ~max_nodes ~cache_size ~no_cache kb =
-  Engine.create ~cache_capacity:(if no_cache then 0 else cache_size) ~max_nodes
-    kb
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Size of the oracle's domain pool.  Batched query work \
+           (classification rows, realization, retrieval grids) is sharded \
+           across $(docv) OCaml domains, each with its own tableau \
+           reasoner; answers are identical whatever the pool width.")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the engine statistics footer: verdict-cache hits, tableau \
+           calls paid, domain-pool activity.")
+
+let make_engine ~jobs ~max_nodes ~cache_size ~no_cache kb =
+  Engine.create ~jobs
+    ~cache_capacity:(if no_cache then 0 else cache_size)
+    ~max_nodes kb
 
 let print_engine_stats e = Format.printf "%a@." Engine.pp_stats (Engine.stats e)
 
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run file classical owl max_nodes =
+  let run file classical owl max_nodes jobs stats =
     if classical || owl then begin
       let kb = if owl then load_owl file else load_kb file in
       let r = Reasoner.create ~max_nodes kb in
@@ -107,10 +126,14 @@ let check_cmd =
     end
     else begin
       let kb = load_kb4 file in
-      let t = Para.create ~max_nodes kb in
+      let t = Para.create ~jobs ~max_nodes kb in
+      let finish code =
+        if stats then print_engine_stats (Para.engine t);
+        code
+      in
       if not (Para.satisfiable t) then begin
         Format.printf "four-valued UNSATISFIABLE@.";
-        1
+        finish 1
       end
       else begin
         Format.printf "four-valued satisfiable@.";
@@ -121,7 +144,7 @@ let check_cmd =
             List.iter
               (fun (a, c) -> Format.printf "  %s : %s@." a c)
               cs);
-        0
+        finish 0
       end
     end
   in
@@ -130,7 +153,9 @@ let check_cmd =
        ~doc:
          "Check satisfiability; in four-valued mode also report the \
           localized contradictions.")
-    Term.(const run $ file_arg $ classical_flag $ owl_flag $ max_nodes_arg)
+    Term.(
+      const run $ file_arg $ classical_flag $ owl_flag $ max_nodes_arg
+      $ jobs_arg $ stats_flag)
 
 let query_cmd =
   let individual =
@@ -146,10 +171,10 @@ let query_cmd =
       & info [ "c"; "concept" ] ~docv:"CONCEPT"
           ~doc:"Concept expression in surface syntax.")
   in
-  let run file ind csrc max_nodes =
+  let run file ind csrc max_nodes jobs stats =
     let kb = load_kb4 file in
     let c = load_concept csrc in
-    let t = Para.create ~max_nodes kb in
+    let t = Para.create ~jobs ~max_nodes kb in
     let v = Para.instance_truth t ind c in
     Format.printf "%s : %s  =  %a@." ind (Concept.to_string c) Truth.pp v;
     (match v with
@@ -158,6 +183,7 @@ let query_cmd =
     | Truth.Both ->
         Format.printf "supported: yes;  denied: yes  (contradiction)@."
     | Truth.Neither -> Format.printf "supported: no;  denied: no@.");
+    if stats then print_engine_stats (Para.engine t);
     0
   in
   Cmd.v
@@ -165,12 +191,14 @@ let query_cmd =
        ~doc:
          "Four-valued instance query: the Belnap value the KB supports for \
           C(a).")
-    Term.(const run $ file_arg $ individual $ concept_src $ max_nodes_arg)
+    Term.(
+      const run $ file_arg $ individual $ concept_src $ max_nodes_arg
+      $ jobs_arg $ stats_flag)
 
 let classify_cmd =
-  let run file max_nodes cache_size no_cache =
+  let run file max_nodes cache_size no_cache jobs =
     let kb = load_kb4 file in
-    let e = make_engine ~max_nodes ~cache_size ~no_cache kb in
+    let e = make_engine ~jobs ~max_nodes ~cache_size ~no_cache kb in
     List.iter
       (fun (cls, direct) ->
         let lhs = String.concat " = " cls in
@@ -189,7 +217,8 @@ let classify_cmd =
           seeded and DAG-pruned; the stats line reports the tableau calls \
           saved over the naive all-pairs loop.")
     Term.(
-      const run $ file_arg $ max_nodes_arg $ cache_size_arg $ no_cache_flag)
+      const run $ file_arg $ max_nodes_arg $ cache_size_arg $ no_cache_flag
+      $ jobs_arg)
 
 let realize_cmd =
   let all =
@@ -200,9 +229,9 @@ let realize_cmd =
             "Also print the full Belnap truth value grid (default: only the \
              most-specific types and the contradictions).")
   in
-  let run file all max_nodes cache_size no_cache =
+  let run file all max_nodes cache_size no_cache jobs =
     let kb = load_kb4 file in
-    let e = make_engine ~max_nodes ~cache_size ~no_cache kb in
+    let e = make_engine ~jobs ~max_nodes ~cache_size ~no_cache kb in
     List.iter
       (fun (entry : Realize.entry) ->
         let tops =
@@ -235,7 +264,7 @@ let realize_cmd =
           pruned through the classified hierarchy.")
     Term.(
       const run $ file_arg $ all $ max_nodes_arg $ cache_size_arg
-      $ no_cache_flag)
+      $ no_cache_flag $ jobs_arg)
 
 let transform_cmd =
   let run file =
@@ -294,22 +323,25 @@ let retrieve_cmd =
           ~doc:"Also print individuals with value f or BOT (default: only \
                 designated answers).")
   in
-  let run file csrc all max_nodes =
+  let run file csrc all max_nodes jobs stats =
     let kb = load_kb4 file in
     let c = load_concept csrc in
-    let t = Para.create ~max_nodes kb in
+    let t = Para.create ~jobs ~max_nodes kb in
     List.iter
       (fun (a, v) ->
         if all || Truth.designated v then
           Format.printf "  %-20s %a@." a Truth.pp v)
       (Para.retrieve t c);
+    if stats then print_engine_stats (Para.engine t);
     0
   in
   Cmd.v
     (Cmd.info "retrieve"
        ~doc:"Four-valued instance retrieval: the Belnap value of C(a) for \
              every named individual.")
-    Term.(const run $ file_arg $ concept_src $ all $ max_nodes_arg)
+    Term.(
+      const run $ file_arg $ concept_src $ all $ max_nodes_arg $ jobs_arg
+      $ stats_flag)
 
 let explain_cmd =
   let individual =
@@ -329,7 +361,7 @@ let explain_cmd =
       value & flag
       & info [ "all" ] ~doc:"Enumerate several justifications (up to 10).")
   in
-  let run file ind csrc all max_nodes =
+  let run file ind csrc all max_nodes jobs =
     let kb = load_kb4 file in
     match (ind, csrc) with
     | Some ind, Some csrc ->
@@ -361,8 +393,9 @@ let explain_cmd =
           queries;
         0
     | _ ->
-        (* no query: explain every localized contradiction *)
-        let t = Para.create ~max_nodes kb in
+        (* no query: the contradictions scan is a batched grid — give it
+           the pool; the per-candidate justification probes stay serial *)
+        let t = Para.create ~jobs ~max_nodes kb in
         let explained = Explain.contradictions_explained ~max_nodes t in
         if explained = [] then
           Format.printf "no localized contradictions@."
@@ -379,7 +412,9 @@ let explain_cmd =
        ~doc:
          "Pinpoint the axioms responsible for an answer (or for every \
           localized contradiction when no query is given).")
-    Term.(const run $ file_arg $ individual $ concept_src $ all $ max_nodes_arg)
+    Term.(
+      const run $ file_arg $ individual $ concept_src $ all $ max_nodes_arg
+      $ jobs_arg)
 
 let repair_cmd =
   let run file =

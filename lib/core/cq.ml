@@ -37,43 +37,98 @@ let resolve binding = function
       | Some a -> a
       | None -> invalid_arg ("Cq: unbound variable " ^ v))
 
-let truth_of_binding para q binding =
+let truth_of_atom para binding = function
+  | Concept_atom (c, t) -> Para.instance_truth para (resolve binding t) c
+  | Role_atom (r, t1, t2) ->
+      Para.role_truth para (resolve binding t1) r (resolve binding t2)
+
+let truth_of_binding_naive para q binding =
   List.fold_left
-    (fun acc atom ->
-      let v =
-        match atom with
-        | Concept_atom (c, t) ->
-            Para.instance_truth para (resolve binding t) c
-        | Role_atom (r, t1, t2) ->
-            Para.role_truth para (resolve binding t1) r (resolve binding t2)
-      in
-      Truth.conj acc v)
+    (fun acc atom -> Truth.conj acc (truth_of_atom para binding atom))
     Truth.True q.body
 
-let all_bindings para q =
+(* [f] is absorbing for the ≤t-meet (it is the ≤t-bottom), so once the
+   running meet hits [False] the remaining atoms cannot change the value —
+   stop paying oracle calls for them. *)
+let truth_of_binding para q binding =
+  let rec go acc = function
+    | [] -> acc
+    | _ when Truth.equal acc Truth.False -> Truth.False
+    | atom :: rest -> go (Truth.conj acc (truth_of_atom para binding atom)) rest
+  in
+  go Truth.True q.body
+
+(* Staged enumeration.  Variables are bound in [variables q] order (as the
+   naive cross product does); an atom is assigned to the stage of the last
+   variable it mentions and is evaluated the moment that variable is bound,
+   so a prefix whose running meet is already [f] refutes the whole subtree
+   of completions at once.  With [prune], refuted subtrees are cut (the
+   [answers] regime: [f] is never designated); without it every completion
+   is still yielded — valued [f] by absorption, with no further oracle
+   calls. *)
+let fold_bindings ~prune para q ~init ~f =
   let individuals = (Kb4.signature (Para.kb para)).individuals in
   let vars = variables q in
+  let index = Hashtbl.create 8 in
+  List.iteri (fun i v -> Hashtbl.replace index v (i + 1)) vars;
+  let stages = Array.make (List.length vars + 1) [] in
+  List.iter
+    (fun atom ->
+      let s =
+        List.fold_left
+          (fun m v -> max m (Hashtbl.find index v))
+          0 (atom_vars atom)
+      in
+      stages.(s) <- atom :: stages.(s))
+    (List.rev q.body);
+  (* the [rev] above keeps each stage in body order *)
+  let eval_stage binding acc s =
+    List.fold_left
+      (fun acc atom ->
+        if Truth.equal acc Truth.False then Truth.False
+        else Truth.conj acc (truth_of_atom para binding atom))
+      acc stages.(s)
+  in
+  let rec go out binding acc stage = function
+    | [] -> f out (List.rev binding) acc
+    | v :: rest ->
+        List.fold_left
+          (fun out a ->
+            let binding = (v, a) :: binding in
+            let acc =
+              if Truth.equal acc Truth.False then Truth.False
+              else eval_stage binding acc stage
+            in
+            if prune && Truth.equal acc Truth.False then out
+            else go out binding acc (stage + 1) rest)
+          out individuals
+  in
+  let acc0 = eval_stage [] Truth.True 0 in
+  if prune && Truth.equal acc0 Truth.False then init
+  else go init [] acc0 1 vars
+
+let all_bindings para q =
+  List.rev
+    (fold_bindings ~prune:false para q ~init:[] ~f:(fun out binding v ->
+         (binding, v) :: out))
+
+let all_bindings_naive para q =
+  let individuals = (Kb4.signature (Para.kb para)).individuals in
   let rec bind acc = function
     | [] -> [ List.rev acc ]
     | v :: rest ->
         List.concat_map (fun a -> bind ((v, a) :: acc) rest) individuals
   in
   List.map
-    (fun binding -> (binding, truth_of_binding para q binding))
-    (bind [] vars)
+    (fun binding -> (binding, truth_of_binding_naive para q binding))
+    (bind [] (variables q))
 
-let answers para q =
-  let tuples =
-    List.filter_map
-      (fun (binding, v) ->
-        if Truth.designated v then
-          Some (List.map (fun h -> List.assoc h binding) q.head, v)
-        else None)
-      (all_bindings para q)
-  in
-  (* deduplicate projected tuples, keeping the ≤k-strongest value seen:
-     a tuple supported cleanly (t) by one binding and contradictorily (⊤)
-     by another reports t if any clean support exists *)
+let project q binding = List.map (fun h -> List.assoc h binding) q.head
+
+(* deduplicate projected tuples, keeping the ≤k-strongest value seen: a
+   tuple supported cleanly (t) by one binding and contradictorily (⊤) by
+   another reports t if any clean support exists *)
+let dedup_designated tuples =
   let dedup =
     List.fold_left
       (fun acc (tuple, v) ->
@@ -87,3 +142,16 @@ let answers para q =
   List.stable_sort
     (fun (_, v1) (_, v2) -> Truth.compare v1 v2)
     (List.rev dedup)
+
+let answers para q =
+  dedup_designated
+    (List.rev
+       (fold_bindings ~prune:true para q ~init:[] ~f:(fun out binding v ->
+            if Truth.designated v then (project q binding, v) :: out else out)))
+
+let answers_naive para q =
+  dedup_designated
+    (List.filter_map
+       (fun (binding, v) ->
+         if Truth.designated v then Some (project q binding, v) else None)
+       (all_bindings_naive para q))

@@ -9,7 +9,15 @@
     Answers are four-valued: the value of a grounded body is the ≤t-meet of
     its atoms' Belnap values (so one contradictory atom taints the tuple to
     ⊤, one denied atom makes it f).  [answers] returns the tuples whose
-    value is designated (t or ⊤), most certain first. *)
+    value is designated (t or ⊤), most certain first.
+
+    Every atom evaluation routes through the {!Para} oracle, and since PR 2
+    the evaluation is {e staged}: atoms are checked as soon as their last
+    variable is bound, so a refuted prefix ([f], the absorbing ≤t-bottom)
+    prunes the whole subtree of completions instead of grounding the full
+    |individuals|^|vars| cross product.  The [_naive] variants keep the
+    original unstaged implementations as differential-testing references —
+    same answers, more oracle traffic. *)
 
 type term =
   | Var of string
@@ -31,12 +39,30 @@ val variables : t -> string list
 (** All variables of the body (sorted). *)
 
 val truth_of_binding : Para.t -> t -> (string * string) list -> Truth.t
-(** The Belnap value of the body under a complete variable binding. *)
+(** The Belnap value of the body under a complete variable binding.
+    Short-circuits: atoms after the running meet hits [f] are not
+    evaluated (sound because [f] is absorbing for {!Truth.conj}). *)
+
+val truth_of_binding_naive : Para.t -> t -> (string * string) list -> Truth.t
+(** The full fold over every atom — no short-circuit.  Same value as
+    {!truth_of_binding}. *)
 
 val answers : Para.t -> t -> (string list * Truth.t) list
 (** Designated answer tuples (projected to [head]), deduplicated, with
-    tuples valued [t] before tuples valued ⊤. *)
+    tuples valued [t] before tuples valued ⊤.  Enumerates with staged
+    evaluation and subtree pruning. *)
+
+val answers_naive : Para.t -> t -> (string list * Truth.t) list
+(** Answers via the unpruned cross product — the differential reference. *)
 
 val all_bindings : Para.t -> t -> ((string * string) list * Truth.t) list
 (** Every complete binding with its value — including [f] and ⊥ ones; for
-    diagnosis and tests. *)
+    diagnosis and tests.  Staged evaluation: refuted prefixes still yield
+    their completions (valued [f] by absorption) without further oracle
+    calls. *)
+
+val all_bindings_naive :
+  Para.t -> t -> ((string * string) list * Truth.t) list
+(** The original cross-product enumeration, one full
+    {!truth_of_binding_naive} per binding.  Same contents as
+    {!all_bindings}, in the same order. *)

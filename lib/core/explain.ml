@@ -14,6 +14,10 @@ let pp_query ppf = function
         Concept.pp d
   | Unsatisfiable -> Format.pp_print_string ppf "unsatisfiable"
 
+(* Each candidate sub-KB gets its own oracle (via [Para.create]): a
+   contraction changes the induced K̄, so verdicts cached for one candidate
+   are meaningless for the next.  The per-oracle cache still dedups the
+   repeated probes within one candidate. *)
 let holds ?max_nodes kb query =
   let t = Para.create ?max_nodes kb in
   match query with

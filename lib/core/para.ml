@@ -1,55 +1,31 @@
-type t = {
-  kb : Kb4.t;
-  classical_kb : Axiom.kb;
-  reasoner : Reasoner.t;
-}
+(* Every boolean entailment verdict of this module routes through
+   [Engine.Oracle] (the cache- and pool-owning choke point); there are no
+   direct tableau calls in the query paths below. *)
 
-let create ?max_nodes ?max_branches kb =
-  let classical_kb = Transform.kb kb in
-  { kb;
-    classical_kb;
-    reasoner = Reasoner.create ?max_nodes ?max_branches classical_kb }
+type t = { engine : Engine.t }
 
-let kb t = t.kb
-let classical_kb t = t.classical_kb
-let classical_reasoner t = t.reasoner
+let create ?jobs ?cache_capacity ?max_nodes ?max_branches kb =
+  { engine = Engine.create ?jobs ?cache_capacity ?max_nodes ?max_branches kb }
 
-let satisfiable t = Reasoner.is_consistent t.reasoner
-
-let entails_instance t a c =
-  not (Reasoner.consistent_with t.reasoner [ Transform.instance_query c a ])
-
-let entails_not_instance t a c =
-  not
-    (Reasoner.consistent_with t.reasoner [ Transform.negative_instance_query c a ])
-
-let instance_truth t a c =
-  Truth.of_pair
-    ~told_true:(entails_instance t a c)
-    ~told_false:(entails_not_instance t a c)
-
-let entails_inclusion t kind c d =
-  List.for_all
-    (fun test -> not (Reasoner.concept_satisfiable t.reasoner test))
-    (Transform.inclusion_tests kind c d)
-
-let role_truth t a r b =
-  let told_true = Reasoner.role_entailed t.reasoner a (Transform.plus_role r) b in
-  let told_false =
-    not
-      (Reasoner.consistent_with t.reasoner
-         [ Axiom.Role_assertion (a, Transform.eq_role r, b) ])
-  in
-  Truth.of_pair ~told_true ~told_false
-
-let atomic_subsumes t a b =
-  entails_inclusion t Kb4.Internal (Concept.Atom a) (Concept.Atom b)
+let of_engine engine = { engine }
+let engine t = t.engine
+let oracle t = Engine.oracle t.engine
+let kb t = Engine.kb t.engine
+let classical_kb t = Oracle.classical_kb (oracle t)
+let classical_reasoner t = Oracle.reasoner (oracle t)
+let satisfiable t = Engine.satisfiable t.engine
+let entails_instance t a c = Engine.entails_instance t.engine a c
+let entails_not_instance t a c = Engine.entails_not_instance t.engine a c
+let instance_truth t a c = Engine.instance_truth t.engine a c
+let entails_inclusion t kind c d = Engine.entails_inclusion t.engine kind c d
+let role_truth t a r b = Engine.role_truth t.engine a r b
+let atomic_subsumes t a b = Engine.subsumes t.engine a b
 
 let signature_atoms t =
   (* [Axiom.signature] already deduplicates, but classification would pay
      every duplicate with a full row of tableau calls — keep the guarantee
      local *)
-  List.sort_uniq String.compare (Kb4.signature t.kb).concepts
+  List.sort_uniq String.compare (Kb4.signature (kb t)).concepts
 
 let classify_naive t =
   let atoms = signature_atoms t in
@@ -59,36 +35,63 @@ let classify_naive t =
       (a, List.filter (atomic_subsumes t a) candidates))
     atoms
 
-let classify t =
-  (Classify.run ~atoms:(signature_atoms t)
-     ~told:(Engine.told_subsumptions t.kb)
-     ~test:(atomic_subsumes t))
-    .Classify.supers
+let classify t = Engine.classify t.engine
+let taxonomy t = Engine.taxonomy t.engine
 
-let taxonomy t = Classify.taxonomy (classify t)
+(* Batched grid evaluation: both information bits of every pair are
+   submitted to the oracle as one batch, so the pool overlaps the tableau
+   work and repeated pairs share one verdict. *)
+let instance_truths t pairs =
+  let queries =
+    List.concat_map
+      (fun (a, c) -> [ Oracle.Instance (a, c); Oracle.Not_instance (a, c) ])
+      pairs
+  in
+  let verdicts = Oracle.check_all (oracle t) queries in
+  let rec zip pairs verdicts =
+    match (pairs, verdicts) with
+    | [], [] -> []
+    | (a, c) :: ps, told_true :: told_false :: vs ->
+        (a, c, Truth.of_pair ~told_true ~told_false) :: zip ps vs
+    | _ -> assert false
+  in
+  zip pairs verdicts
+
+let grid_pairs (signature : Axiom.signature) =
+  List.concat_map
+    (fun a -> List.map (fun c -> (a, c)) signature.Axiom.concepts)
+    signature.Axiom.individuals
 
 let contradictions t =
-  let signature = Kb4.signature t.kb in
-  List.concat_map
-    (fun a ->
-      List.filter_map
-        (fun c ->
-          match instance_truth t a (Concept.Atom c) with
-          | Truth.Both -> Some (a, c)
-          | Truth.True | Truth.False | Truth.Neither -> None)
-        signature.concepts)
-    signature.individuals
+  let pairs = grid_pairs (Kb4.signature (kb t)) in
+  List.filter_map
+    (fun ((a, c), (_, _, v)) ->
+      match v with
+      | Truth.Both -> Some (a, c)
+      | Truth.True | Truth.False | Truth.Neither -> None)
+    (List.combine pairs
+       (instance_truths t
+          (List.map (fun (a, c) -> (a, Concept.Atom c)) pairs)))
 
 let truth_table t ~individuals ~concepts =
   List.map
     (fun a ->
-      (a, List.map (fun c -> (c, instance_truth t a c)) concepts))
+      ( a,
+        List.map
+          (fun (_, c, v) -> (c, v))
+          (instance_truths t (List.map (fun c -> (a, c)) concepts)) ))
     individuals
 
 let retrieve t c =
   List.map
+    (fun (a, _, v) -> (a, v))
+    (instance_truths t
+       (List.map (fun a -> (a, c)) (Kb4.signature (kb t)).individuals))
+
+let retrieve_naive t c =
+  List.map
     (fun a -> (a, instance_truth t a c))
-    (Kb4.signature t.kb).individuals
+    (Kb4.signature (kb t)).individuals
 
 let retrieve_instances t c =
   List.filter_map
@@ -96,28 +99,25 @@ let retrieve_instances t c =
     (retrieve t c)
 
 let inconsistency_degree t =
-  let signature = Kb4.signature t.kb in
+  let pairs = grid_pairs (Kb4.signature (kb t)) in
   let informative = ref 0 and contradictory = ref 0 in
   List.iter
-    (fun a ->
-      List.iter
-        (fun c ->
-          match instance_truth t a (Concept.Atom c) with
-          | Truth.Both ->
-              incr informative;
-              incr contradictory
-          | Truth.True | Truth.False -> incr informative
-          | Truth.Neither -> ())
-        signature.concepts)
-    signature.individuals;
+    (fun (_, _, v) ->
+      match v with
+      | Truth.Both ->
+          incr informative;
+          incr contradictory
+      | Truth.True | Truth.False -> incr informative
+      | Truth.Neither -> ())
+    (instance_truths t (List.map (fun (a, c) -> (a, Concept.Atom c)) pairs));
   if !informative = 0 then 0.
   else float_of_int !contradictory /. float_of_int !informative
 
 let find_model4 t =
-  match Reasoner.find_model t.reasoner with
+  match Reasoner.find_model (classical_reasoner t) with
   | None -> None
   | Some m ->
       let candidate =
-        Induced.four_of_classical ~signature:(Kb4.signature t.kb) m
+        Induced.four_of_classical ~signature:(Kb4.signature (kb t)) m
       in
-      if Interp4.is_model candidate t.kb then Some candidate else None
+      if Interp4.is_model candidate (kb t) then Some candidate else None

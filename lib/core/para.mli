@@ -2,12 +2,18 @@
     paper's contribution, as a library.
 
     A {!t} wraps a [SHOIN(D)4] knowledge base [K] together with its
-    classical induced KB [K̄] (Definition 7) and a classical tableau
-    reasoner over [K̄].  By Theorem 6, the four-valued models of [K]
-    correspond exactly to the classical models of [K̄], so every
-    four-valued reasoning task below is answered by classical reasoning
-    over [K̄] — "mature reasoning mechanisms of classical description logic
-    remain useful" (§6).
+    classical induced KB [K̄] (Definition 7).  By Theorem 6, the
+    four-valued models of [K] correspond exactly to the classical models of
+    [K̄], so every four-valued reasoning task below is answered by
+    classical reasoning over [K̄] — "mature reasoning mechanisms of
+    classical description logic remain useful" (§6).
+
+    Since PR 2, every boolean entailment verdict of this module routes
+    through one {!Engine.Oracle} (reachable via {!oracle}): a shared
+    canonical-keyed verdict cache plus an optional OCaml 5 domain pool, so
+    repeated and batch query traffic (retrieval, contradiction scans,
+    conjunctive queries) pays each distinct tableau question once and can
+    overlap the tableau work across domains ([?jobs]).
 
     The flagship query is {!instance_truth}: the Belnap value the knowledge
     base supports for [C(a)] —
@@ -21,13 +27,30 @@
 
 type t
 
-val create : ?max_nodes:int -> ?max_branches:int -> Kb4.t -> t
+val create :
+  ?jobs:int ->
+  ?cache_capacity:int ->
+  ?max_nodes:int ->
+  ?max_branches:int ->
+  Kb4.t ->
+  t
+(** [jobs] (default 1) sizes the oracle's domain pool; [cache_capacity]
+    (default {!Engine.default_cache_capacity}) bounds the verdict cache,
+    [0] disabling it (every query pays its tableau calls — the pre-engine
+    behaviour). *)
 
+val of_engine : Engine.t -> t
+(** Wrap an existing engine, sharing its oracle (cache, pool, indexes). *)
+
+val engine : t -> Engine.t
+val oracle : t -> Oracle.t
 val kb : t -> Kb4.t
 val classical_kb : t -> Axiom.kb
 (** The induced [K̄] of Definition 7. *)
 
 val classical_reasoner : t -> Reasoner.t
+(** The oracle's coordinating reasoner — for non-verdict services (model
+    extraction, tableau statistics), not a query back door. *)
 
 val satisfiable : t -> bool
 (** Four-valued satisfiability of [K], decided as classical satisfiability
@@ -47,6 +70,13 @@ val entails_not_instance : t -> string -> Concept.t -> bool
 val instance_truth : t -> string -> Concept.t -> Truth.t
 (** Combines the two entailments into the supported Belnap value. *)
 
+val instance_truths :
+  t -> (string * Concept.t) list -> (string * Concept.t * Truth.t) list
+(** Batched {!instance_truth}: both information bits of every pair are
+    submitted to the oracle as one {!Oracle.check_all} batch, in input
+    order — the building block of {!retrieve}, {!contradictions},
+    {!truth_table} and {!inconsistency_degree}. *)
+
 val entails_inclusion : t -> Kb4.inclusion -> Concept.t -> Concept.t -> bool
 (** Corollary 7: [C ⊑kind D] holds in [K] iff the corresponding test
     concepts are unsatisfiable w.r.t. [K̄]. *)
@@ -59,14 +89,15 @@ val role_truth : t -> string -> Role.t -> string -> Truth.t
 val classify : t -> (string * string list) list
 (** Atomic concept hierarchy under internal inclusion ⊏ (the inclusion whose
     satisfaction mirrors classical ⊑ on told-positive information).
-    Delegates to the engine's {!Classify.run}: told-subsumer seeding plus
-    DAG-pruned search, so most pairs are answered without a tableau call.
-    Same contents as {!classify_naive}. *)
+    Delegates to the engine's {!Classify} index: told-subsumer seeding plus
+    DAG-pruned search, rows sharded across the domain pool, so most pairs
+    are answered without a tableau call.  Built once and cached.  Same
+    contents as {!classify_naive}. *)
 
 val classify_naive : t -> (string * string list) list
-(** The O(n²) all-pairs baseline — one tableau subsumption test per ordered
-    pair of distinct atoms.  Kept as the differential-testing and
-    benchmarking reference for {!classify}. *)
+(** The O(n²) all-pairs baseline — one oracle subsumption test per ordered
+    pair of distinct atoms, no told seeding or DAG pruning.  Kept as the
+    differential-testing and benchmarking reference for {!classify}. *)
 
 val taxonomy : t -> (string list * string list) list
 (** The classification as a reduced taxonomy: equivalence classes of atomic
@@ -77,16 +108,22 @@ val taxonomy : t -> (string list * string list) list
 val contradictions : t -> (string * string) list
 (** All (individual, atomic concept) pairs whose {!instance_truth} is [Both]
     — the localized contradictions of the ontology.  Quadratic in the
-    signature; meant for diagnosis and the evaluation harness. *)
+    signature; evaluated as one batched grid so the domain pool shares the
+    work.  Meant for diagnosis and the evaluation harness. *)
 
 val truth_table : t -> individuals:string list -> concepts:Concept.t list ->
   (string * (Concept.t * Truth.t) list) list
 (** [truth_table t ~individuals ~concepts] evaluates {!instance_truth} on
-    the grid — the shape of the paper's Table 4. *)
+    the grid (batched) — the shape of the paper's Table 4. *)
 
 val retrieve : t -> Concept.t -> (string * Truth.t) list
 (** The supported Belnap value of [C(a)] for every named individual of the
-    KB — four-valued instance retrieval. *)
+    KB — four-valued instance retrieval, submitted as one oracle batch. *)
+
+val retrieve_naive : t -> Concept.t -> (string * Truth.t) list
+(** The pre-refactor sequential loop (one {!instance_truth} per
+    individual).  Same answers as {!retrieve}; kept as its
+    differential-testing reference. *)
 
 val retrieve_instances : t -> Concept.t -> string list
 (** The individuals whose value for [C] is designated ([t] or ⊤). *)

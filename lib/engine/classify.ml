@@ -18,10 +18,20 @@ let pp_stats ppf s =
 
 type t = { supers : (string * string list) list; stats : stats }
 
-let run ~atoms ~told ~test =
+(* ------------------------------------------------------------------ *)
+(* Preparation: everything derivable from the signature and the told
+   axioms alone.  The result is read-only, so shards of the row loop can
+   share one [prep] across domains. *)
+
+type prep = {
+  atoms : string list;  (* sorted, unique *)
+  order : string list;  (* top-down topological order of the told DAG *)
+  closure : (string, SS.t) Hashtbl.t;  (* fully populated, never mutated *)
+}
+
+let prepare ~atoms ~told =
   let atoms = List.sort_uniq String.compare atoms in
   let atom_set = SS.of_list atoms in
-  let n = List.length atoms in
   (* direct told edges, restricted to the signature *)
   let told_edges = Hashtbl.create 16 in
   List.iter
@@ -32,28 +42,29 @@ let run ~atoms ~told ~test =
         in
         Hashtbl.replace told_edges a (SS.add b cur))
     told;
-  (* reflexive-transitive closure of the told graph, memoized per atom
-     (iterative DFS: told cycles — equivalent atoms — are allowed) *)
+  (* reflexive-transitive closure of the told graph, computed eagerly for
+     every atom (iterative DFS: told cycles — equivalent atoms — are
+     allowed), so the table is read-only by the time workers see it *)
   let closure = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let seen = ref (SS.singleton a) in
+      let stack = ref [ a ] in
+      while !stack <> [] do
+        let x = List.hd !stack in
+        stack := List.tl !stack;
+        SS.iter
+          (fun y ->
+            if not (SS.mem y !seen) then begin
+              seen := SS.add y !seen;
+              stack := y :: !stack
+            end)
+          (Option.value ~default:SS.empty (Hashtbl.find_opt told_edges x))
+      done;
+      Hashtbl.add closure a !seen)
+    atoms;
   let told_sup a =
-    match Hashtbl.find_opt closure a with
-    | Some s -> s
-    | None ->
-        let seen = ref (SS.singleton a) in
-        let stack = ref [ a ] in
-        while !stack <> [] do
-          let x = List.hd !stack in
-          stack := List.tl !stack;
-          SS.iter
-            (fun y ->
-              if not (SS.mem y !seen) then begin
-                seen := SS.add y !seen;
-                stack := y :: !stack
-              end)
-            (Option.value ~default:SS.empty (Hashtbl.find_opt told_edges x))
-        done;
-        Hashtbl.add closure a !seen;
-        !seen
+    Option.value ~default:SS.empty (Hashtbl.find_opt closure a)
   in
   (* top-down order: an atom's told subsumers come before it.  Sorting by
      closure cardinality is a topological order of the told DAG (strict told
@@ -68,49 +79,95 @@ let run ~atoms ~told ~test =
         if c <> 0 then c else String.compare a b)
       atoms
   in
+  { atoms; order; closure }
+
+let atoms p = p.atoms
+let order p = p.order
+
+let told_sup p a =
+  Option.value ~default:SS.empty (Hashtbl.find_opt p.closure a)
+
+(* ------------------------------------------------------------------ *)
+(* The row loop: one atom's supers, with told seeding and DAG pruning.
+   [rows] walks a shard of the classification order sequentially, carrying
+   a shard-local results table so positive verdicts of earlier rows keep
+   pruning later ones.  The final supers are the exact subsumption
+   relation whatever the sharding — pruning only skips tests whose answer
+   is already implied — so shard-parallel runs stay byte-identical. *)
+
+type row = {
+  atom : string;
+  row_supers : SS.t;
+  row_tests : int;
+  row_told : int;
+  row_dag : int;
+}
+
+let rows p ~test shard =
   let results = Hashtbl.create 16 in
-  let tableau_tests = ref 0 and told_hits = ref 0 and dag_hits = ref 0 in
-  List.iter
+  List.map
     (fun a ->
-      let seeds = SS.remove a (told_sup a) in
-      told_hits := !told_hits + SS.cardinal seeds;
+      let seeds = SS.remove a (told_sup p a) in
+      let row_told = SS.cardinal seeds in
+      let tests = ref 0 and dag = ref 0 in
       let pos = ref seeds and neg = ref SS.empty in
       List.iter
         (fun b ->
           if b <> a && (not (SS.mem b !pos)) && not (SS.mem b !neg) then
-            if SS.exists (fun c -> c <> b && SS.mem c !neg) (told_sup b) then begin
+            if SS.exists (fun c -> c <> b && SS.mem c !neg) (told_sup p b)
+            then begin
               (* a ⋢ c for a told subsumer c of b, so a ⋢ b *)
               neg := SS.add b !neg;
-              incr dag_hits
+              incr dag
             end
             else begin
-              incr tableau_tests;
+              incr tests;
               if test a b then begin
                 pos := SS.add b !pos;
                 let known_b =
                   match Hashtbl.find_opt results b with
-                  | Some sb -> SS.union (told_sup b) sb
-                  | None -> told_sup b
+                  | Some sb -> SS.union (told_sup p b) sb
+                  | None -> told_sup p b
                 in
                 let extra = SS.diff (SS.remove a (SS.remove b known_b)) !pos in
-                dag_hits := !dag_hits + SS.cardinal extra;
+                dag := !dag + SS.cardinal extra;
                 pos := SS.union !pos extra
               end
               else neg := SS.add b !neg
             end)
-        order;
-      Hashtbl.replace results a !pos)
-    order;
+        p.order;
+      Hashtbl.replace results a !pos;
+      { atom = a;
+        row_supers = !pos;
+        row_tests = !tests;
+        row_told;
+        row_dag = !dag })
+    shard
+
+let collect p row_list =
+  let by_atom = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace by_atom r.atom r) row_list;
   let supers =
-    List.map (fun a -> (a, SS.elements (Hashtbl.find results a))) atoms
+    List.map
+      (fun a ->
+        match Hashtbl.find_opt by_atom a with
+        | Some r -> (a, SS.elements r.row_supers)
+        | None -> invalid_arg ("Classify.collect: missing row for " ^ a))
+      p.atoms
   in
+  let n = List.length p.atoms in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 row_list in
   { supers;
     stats =
       { atoms = n;
         naive_tests = n * (n - 1);
-        tableau_tests = !tableau_tests;
-        told_hits = !told_hits;
-        dag_hits = !dag_hits } }
+        tableau_tests = sum (fun r -> r.row_tests);
+        told_hits = sum (fun r -> r.row_told);
+        dag_hits = sum (fun r -> r.row_dag) } }
+
+let run ~atoms ~told ~test =
+  let p = prepare ~atoms ~told in
+  collect p (rows p ~test p.order)
 
 let supers_fn t a = try List.assoc a t.supers with Not_found -> []
 

@@ -1,81 +1,37 @@
-(* Query keys: every reasoning service bottoms out in a boolean tableau
-   verdict, distinguished by what is added to K̄ — a fresh-individual concept
-   satisfiability test or a (possibly negated) instance query. *)
-module Key = struct
-  type t =
-    | Sat of Qkey.t
-    | Instance of string * Qkey.t
-    | Not_instance of string * Qkey.t
-
-  let equal a b =
-    match (a, b) with
-    | Sat k1, Sat k2 -> Qkey.equal k1 k2
-    | Instance (x, k1), Instance (y, k2)
-    | Not_instance (x, k1), Not_instance (y, k2) ->
-        String.equal x y && Qkey.equal k1 k2
-    | _ -> false
-
-  let hash = function
-    | Sat k -> 3 * Qkey.hash k
-    | Instance (x, k) -> (5 * Qkey.hash k) + Hashtbl.hash x
-    | Not_instance (x, k) -> (7 * Qkey.hash k) + Hashtbl.hash x
-end
-
-module Cache = Verdict_cache.Make (Key)
-
 type t = {
-  kb : Kb4.t;
-  reasoner : Reasoner.t;
-  cache : bool Cache.t;
-  mutable tableau_calls : int;
+  oracle : Oracle.t;
   mutable classification : Classify.t option;
   mutable realization : Realize.t option;
 }
 
-let default_cache_capacity = 4096
+let default_cache_capacity = Oracle.default_cache_capacity
 
-let create ?(cache_capacity = default_cache_capacity) ?max_nodes ?max_branches
-    kb =
-  { kb;
-    reasoner = Reasoner.create ?max_nodes ?max_branches (Transform.kb kb);
-    cache = Cache.create ~capacity:cache_capacity;
-    tableau_calls = 0;
-    classification = None;
-    realization = None }
+let of_oracle oracle = { oracle; classification = None; realization = None }
 
-let kb t = t.kb
-let reasoner t = t.reasoner
+let create ?jobs ?(cache_capacity = default_cache_capacity) ?max_nodes
+    ?max_branches kb =
+  of_oracle (Oracle.create ?jobs ~cache_capacity ?max_nodes ?max_branches kb)
 
-let verdict t key compute =
-  Cache.find_or_add t.cache key (fun () ->
-      t.tableau_calls <- t.tableau_calls + 1;
-      compute ())
-
-let satisfiable t = Reasoner.is_consistent t.reasoner
-
-let entails_instance t a c =
-  verdict t
-    (Key.Instance (a, Qkey.of_concept c))
-    (fun () ->
-      not (Reasoner.consistent_with t.reasoner [ Transform.instance_query c a ]))
+let oracle t = t.oracle
+let kb t = Oracle.kb t.oracle
+let reasoner t = Oracle.reasoner t.oracle
+let satisfiable t = Oracle.check t.oracle Oracle.Consistent
+let entails_instance t a c = Oracle.check t.oracle (Oracle.Instance (a, c))
 
 let entails_not_instance t a c =
-  verdict t
-    (Key.Not_instance (a, Qkey.of_concept c))
-    (fun () ->
-      not
-        (Reasoner.consistent_with t.reasoner
-           [ Transform.negative_instance_query c a ]))
+  Oracle.check t.oracle (Oracle.Not_instance (a, c))
 
 let instance_truth t a c =
   Truth.of_pair
     ~told_true:(entails_instance t a c)
     ~told_false:(entails_not_instance t a c)
 
-let concept_satisfiable t c =
-  verdict t
-    (Key.Sat (Qkey.of_concept c))
-    (fun () -> Reasoner.concept_satisfiable t.reasoner c)
+let role_truth t a r b =
+  Truth.of_pair
+    ~told_true:(Oracle.check t.oracle (Oracle.Role_pos (a, r, b)))
+    ~told_false:(Oracle.check t.oracle (Oracle.Role_neg (a, r, b)))
+
+let concept_satisfiable t c = Oracle.check t.oracle (Oracle.Concept_sat c)
 
 let entails_inclusion t kind c d =
   List.for_all
@@ -102,16 +58,26 @@ let told_subsumptions (kb : Kb4.t) =
       | _ -> [])
     kb.Kb4.tbox
 
+(* The subsumption test a row submits to the oracle, inlined from
+   [subsumes] so shard workers route through their confined [check]. *)
+let subsumption_test check a b =
+  List.for_all
+    (fun test -> not (check (Oracle.Concept_sat test)))
+    (Transform.inclusion_tests Kb4.Internal (Concept.Atom a) (Concept.Atom b))
+
 let classification t =
   match t.classification with
   | Some c -> c
   | None ->
-      let atoms = (Kb4.signature t.kb).Axiom.concepts in
-      let c =
-        Classify.run ~atoms
-          ~told:(told_subsumptions t.kb)
-          ~test:(fun a b -> subsumes t a b)
+      let atoms = (Kb4.signature (kb t)).Axiom.concepts in
+      let prep = Classify.prepare ~atoms ~told:(told_subsumptions (kb t)) in
+      let shards = Oracle.shard t.oracle (Classify.order prep) in
+      let rows =
+        List.concat
+          (Oracle.map_batches t.oracle shards ~f:(fun ~check shard ->
+               Classify.rows prep ~test:(subsumption_test check) shard))
       in
+      let c = Classify.collect prep rows in
       t.classification <- Some c;
       c
 
@@ -123,33 +89,53 @@ let realization t =
   | Some r -> r
   | None ->
       let cls = classification t in
-      let signature = Kb4.signature t.kb in
-      let r =
-        Realize.run ~individuals:signature.Axiom.individuals
+      let signature = Kb4.signature (kb t) in
+      let prep =
+        Realize.prepare ~individuals:signature.Axiom.individuals
           ~atoms:signature.Axiom.concepts
           ~supers:(Classify.supers_fn cls)
-          ~check_pos:(fun a c -> entails_instance t a (Concept.Atom c))
-          ~check_neg:(fun a c -> entails_not_instance t a (Concept.Atom c))
       in
+      let shards = Oracle.shard t.oracle (Realize.individuals prep) in
+      let rows =
+        List.concat
+          (Oracle.map_batches t.oracle shards ~f:(fun ~check shard ->
+               Realize.rows prep
+                 ~check_pos:(fun a c -> check (Oracle.Instance (a, Concept.Atom c)))
+                 ~check_neg:(fun a c ->
+                   check (Oracle.Not_instance (a, Concept.Atom c)))
+                 shard))
+      in
+      let r = Realize.collect prep rows in
       t.realization <- Some r;
       r
 
 type stats = {
   cache : Verdict_cache.stats;
   tableau_calls : int;
+  jobs : int;
+  batches : int;
+  parallel_calls : int;
   classification : Classify.stats option;
   realization : Realize.stats option;
 }
 
 let stats (t : t) =
-  { cache = Cache.stats t.cache;
-    tableau_calls = t.tableau_calls;
+  let o = Oracle.stats t.oracle in
+  { cache = o.Oracle.cache;
+    tableau_calls = o.Oracle.tableau_calls;
+    jobs = o.Oracle.jobs;
+    batches = o.Oracle.batches;
+    parallel_calls = o.Oracle.parallel_calls;
     classification = Option.map (fun c -> c.Classify.stats) t.classification;
     realization = Option.map (fun r -> r.Realize.stats) t.realization }
 
 let pp_stats ppf s =
-  Format.fprintf ppf "cache: %a@.tableau calls paid: %d" Verdict_cache.pp_stats
-    s.cache s.tableau_calls;
+  Oracle.pp_stats ppf
+    { Oracle.cache = s.cache;
+      tableau_calls = s.tableau_calls;
+      jobs = s.jobs;
+      batches = s.batches;
+      parallel_calls = s.parallel_calls };
   Option.iter
     (fun c -> Format.fprintf ppf "@.classification: %a" Classify.pp_stats c)
     s.classification;

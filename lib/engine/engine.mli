@@ -1,34 +1,50 @@
 (** The memoizing classification & realization engine over the four-valued
     reduction — the query-traffic front end of the stack.
 
-    An {!t} owns the classical induced KB [K̄] (Definition 7), one tableau
-    reasoner over it, a bounded LRU {!Verdict_cache} of tableau verdicts
-    keyed by canonical {!Qkey} query keys, and lazily-built classification
-    ({!Classify}) and realization ({!Realize}) indexes.  One-shot callers
-    get the same answers as {!Para}; repeated query traffic is served from
-    the cache and the indexes instead of re-running the tableau. *)
+    An {!t} is a thin index layer over one {!Oracle}: the oracle owns the
+    classical induced KB [K̄] (Definition 7), the verdict cache and the
+    domain pool; the engine adds the lazily-built classification
+    ({!Classify}) and realization ({!Realize}) indexes and drives their row
+    loops through the oracle's batched fan-out, so independent rows run on
+    separate domains when the oracle has a pool.  One-shot callers get the
+    same answers as {!Para}; repeated query traffic is served from the
+    cache and the indexes instead of re-running the tableau. *)
 
 type t
 
 val create :
-  ?cache_capacity:int -> ?max_nodes:int -> ?max_branches:int -> Kb4.t -> t
-(** [cache_capacity] defaults to 4096 verdicts; [0] disables caching
+  ?jobs:int ->
+  ?cache_capacity:int ->
+  ?max_nodes:int ->
+  ?max_branches:int ->
+  Kb4.t ->
+  t
+(** [jobs] (default 1) is the width of the oracle's domain pool.
+    [cache_capacity] defaults to 4096 verdicts; [0] disables caching
     entirely (every query pays its tableau calls, as with bare {!Para}). *)
 
+val of_oracle : Oracle.t -> t
+(** Build the index layer over an existing oracle (sharing its cache and
+    pool with other consumers, e.g. {!Para}). *)
+
+val oracle : t -> Oracle.t
 val default_cache_capacity : int
 val kb : t -> Kb4.t
 val reasoner : t -> Reasoner.t
 
 (** {1 Cached reasoning services}
 
-    Same semantics as the corresponding {!Para} queries; verdicts are
-    memoized under canonical query keys. *)
+    Same semantics as the corresponding {!Para} queries; every verdict
+    routes through {!Oracle.check} and is memoized under canonical query
+    keys. *)
 
 val satisfiable : t -> bool
 val entails_instance : t -> string -> Concept.t -> bool
 val entails_not_instance : t -> string -> Concept.t -> bool
 val instance_truth : t -> string -> Concept.t -> Truth.t
+val role_truth : t -> string -> Role.t -> string -> Truth.t
 val entails_inclusion : t -> Kb4.inclusion -> Concept.t -> Concept.t -> bool
+val concept_satisfiable : t -> Concept.t -> bool
 
 val subsumes : t -> string -> string -> bool
 (** Atomic internal subsumption [⊏] — the classification oracle. *)
@@ -44,7 +60,9 @@ val told_subsumptions : Kb4.t -> (string * string) list
 (** {1 Indexes} *)
 
 val classification : t -> Classify.t
-(** Built on first use with told seeding and DAG pruning; cached. *)
+(** Built on first use with told seeding and DAG pruning, rows sharded
+    across the oracle's domain pool; cached.  Contents are byte-identical
+    whatever the pool width. *)
 
 val classify : t -> (string * string list) list
 (** Same contents as the naive all-pairs loop ({!Para.classify_naive}). *)
@@ -52,7 +70,8 @@ val classify : t -> (string * string list) list
 val taxonomy : t -> (string list * string list) list
 
 val realization : t -> Realize.t
-(** Built on first use on top of {!classification}; cached. *)
+(** Built on first use on top of {!classification}, individuals sharded
+    across the pool; cached. *)
 
 (** {1 Statistics} *)
 
@@ -60,6 +79,9 @@ type stats = {
   cache : Verdict_cache.stats;
   tableau_calls : int;
       (** tableau invocations actually paid (cache misses do, hits don't) *)
+  jobs : int;
+  batches : int;  (** parallel fan-outs executed by the oracle *)
+  parallel_calls : int;  (** verdicts computed off the coordinating domain *)
   classification : Classify.stats option;  (** [None] until built *)
   realization : Realize.stats option;
 }

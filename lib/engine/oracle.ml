@@ -1,0 +1,254 @@
+type query =
+  | Consistent
+  | Concept_sat of Concept.t
+  | Instance of string * Concept.t
+  | Not_instance of string * Concept.t
+  | Role_pos of string * Role.t * string
+  | Role_neg of string * Role.t * string
+
+(* Canonical cache keys: concepts go through [Qkey] so syntactically
+   different but canonically identical queries share one verdict. *)
+module Key = struct
+  type t =
+    | K_consistent
+    | K_sat of Qkey.t
+    | K_instance of string * Qkey.t
+    | K_not_instance of string * Qkey.t
+    | K_role_pos of string * Role.t * string
+    | K_role_neg of string * Role.t * string
+
+  let equal a b =
+    match (a, b) with
+    | K_consistent, K_consistent -> true
+    | K_sat k1, K_sat k2 -> Qkey.equal k1 k2
+    | K_instance (x, k1), K_instance (y, k2)
+    | K_not_instance (x, k1), K_not_instance (y, k2) ->
+        String.equal x y && Qkey.equal k1 k2
+    | K_role_pos (a1, r1, b1), K_role_pos (a2, r2, b2)
+    | K_role_neg (a1, r1, b1), K_role_neg (a2, r2, b2) ->
+        String.equal a1 a2 && Role.equal r1 r2 && String.equal b1 b2
+    | _ -> false
+
+  let hash = function
+    | K_consistent -> 0x5eed
+    | K_sat k -> 3 * Qkey.hash k
+    | K_instance (x, k) -> (5 * Qkey.hash k) + Hashtbl.hash x
+    | K_not_instance (x, k) -> (7 * Qkey.hash k) + Hashtbl.hash x
+    | K_role_pos (a, r, b) -> 11 * Hashtbl.hash (a, Role.to_string r, b)
+    | K_role_neg (a, r, b) -> 13 * Hashtbl.hash (a, Role.to_string r, b)
+end
+
+module Cache = Verdict_cache.Make (Key)
+module KH = Hashtbl.Make (Key)
+
+let key_of = function
+  | Consistent -> Key.K_consistent
+  | Concept_sat c -> Key.K_sat (Qkey.of_concept c)
+  | Instance (a, c) -> Key.K_instance (a, Qkey.of_concept c)
+  | Not_instance (a, c) -> Key.K_not_instance (a, Qkey.of_concept c)
+  | Role_pos (a, r, b) -> Key.K_role_pos (a, r, b)
+  | Role_neg (a, r, b) -> Key.K_role_neg (a, r, b)
+
+type t = {
+  kb : Kb4.t;
+  classical_kb : Axiom.kb;
+  max_nodes : int option;
+  max_branches : int option;
+  jobs : int;
+  primary : Reasoner.t;
+  mutable workers : Reasoner.t array option;
+      (* pool reasoners, length [jobs - 1]; created on first parallel batch *)
+  cache : bool Cache.t;
+  mutable tableau_calls : int;
+  mutable batches : int;
+  mutable parallel_calls : int;
+}
+
+let default_cache_capacity = 4096
+
+let create ?(jobs = 1) ?(cache_capacity = default_cache_capacity) ?max_nodes
+    ?max_branches kb =
+  let classical_kb = Transform.kb kb in
+  { kb;
+    classical_kb;
+    max_nodes;
+    max_branches;
+    jobs = max 1 jobs;
+    primary = Reasoner.create ?max_nodes ?max_branches classical_kb;
+    workers = None;
+    cache = Cache.create ~capacity:cache_capacity;
+    tableau_calls = 0;
+    batches = 0;
+    parallel_calls = 0 }
+
+let kb t = t.kb
+let classical_kb t = t.classical_kb
+let reasoner t = t.primary
+let jobs t = t.jobs
+
+(* Evaluate a query on a given reasoner — the only place verdicts are
+   actually computed.  Pure w.r.t. everything but that reasoner's own
+   statistics, so it is safe on worker domains. *)
+let eval reasoner = function
+  | Consistent -> Reasoner.is_consistent reasoner
+  | Concept_sat c -> Reasoner.concept_satisfiable reasoner c
+  | Instance (a, c) ->
+      not (Reasoner.consistent_with reasoner [ Transform.instance_query c a ])
+  | Not_instance (a, c) ->
+      not
+        (Reasoner.consistent_with reasoner
+           [ Transform.negative_instance_query c a ])
+  | Role_pos (a, r, b) ->
+      Reasoner.role_entailed reasoner a (Transform.plus_role r) b
+  | Role_neg (a, r, b) ->
+      not
+        (Reasoner.consistent_with reasoner
+           [ Axiom.Role_assertion (a, Transform.eq_role r, b) ])
+
+let check t q =
+  Cache.find_or_add t.cache (key_of q) (fun () ->
+      t.tableau_calls <- t.tableau_calls + 1;
+      eval t.primary q)
+
+let worker_reasoners t =
+  match t.workers with
+  | Some ws -> ws
+  | None ->
+      let ws =
+        Array.init (t.jobs - 1) (fun _ ->
+            Reasoner.create ?max_nodes:t.max_nodes ?max_branches:t.max_branches
+              t.classical_kb)
+      in
+      t.workers <- Some ws;
+      ws
+
+(* One worker domain: run its lane with a confined reasoner and a private
+   memo, logging every verdict it computed so the coordinator can fold the
+   work into the shared cache. *)
+let run_worker reasoner f lane =
+  let memo = KH.create 64 in
+  let log = ref [] in
+  let check q =
+    let k = key_of q in
+    match KH.find_opt memo k with
+    | Some v -> v
+    | None ->
+        let v = eval reasoner q in
+        KH.add memo k v;
+        log := (k, v) :: !log;
+        v
+  in
+  match List.map (fun (i, item) -> (i, f ~check item)) lane with
+  | out -> Ok (out, List.rev !log)
+  | exception e -> Error e
+
+let map_batches t items ~f =
+  let sequential () = List.map (fun item -> f ~check:(check t) item) items in
+  match items with
+  | [] | [ _ ] -> sequential ()
+  | _ when t.jobs <= 1 -> sequential ()
+  | _ ->
+      let workers = worker_reasoners t in
+      let lanes = Array.make (Array.length workers + 1) [] in
+      List.iteri
+        (fun i item ->
+          let l = i mod Array.length lanes in
+          lanes.(l) <- (i, item) :: lanes.(l))
+        items;
+      let lane l = List.rev lanes.(l) in
+      let domains =
+        Array.init (Array.length workers) (fun w ->
+            Domain.spawn (fun () -> run_worker workers.(w) f (lane (w + 1))))
+      in
+      (* coordinator lane runs against the shared cache while workers are in
+         flight; exceptions are deferred until every domain is joined *)
+      let lane0 =
+        match List.map (fun (i, item) -> (i, f ~check:(check t) item)) (lane 0)
+        with
+        | out -> Ok out
+        | exception e -> Error e
+      in
+      let results = Array.map Domain.join domains in
+      t.batches <- t.batches + 1;
+      let failure = ref None in
+      let keep_first e = if !failure = None then failure := Some e in
+      let outs = ref [] in
+      Array.iter
+        (function
+          | Ok (out, log) ->
+              List.iter
+                (fun (k, v) ->
+                  t.tableau_calls <- t.tableau_calls + 1;
+                  t.parallel_calls <- t.parallel_calls + 1;
+                  Cache.add t.cache k v)
+                log;
+              outs := out :: !outs
+          | Error e -> keep_first e)
+        results;
+      (match lane0 with
+      | Ok out -> outs := out :: !outs
+      | Error e -> keep_first e);
+      (match !failure with Some e -> raise e | None -> ());
+      List.concat !outs
+      |> List.sort (fun (i, _) (j, _) -> Int.compare i j)
+      |> List.map snd
+
+let shard t items =
+  if t.jobs <= 1 then if items = [] then [] else [ items ]
+  else begin
+    let lanes = Array.make t.jobs [] in
+    List.iteri (fun i item -> lanes.(i mod t.jobs) <- item :: lanes.(i mod t.jobs)) items;
+    Array.to_list lanes |> List.filter_map (function [] -> None | l -> Some (List.rev l))
+  end
+
+let check_all t qs =
+  if t.jobs <= 1 then List.map (check t) qs
+  else begin
+    (* distinct uncached keys, in first-occurrence order *)
+    let seen = KH.create 64 in
+    let pending =
+      List.filter
+        (fun q ->
+          let k = key_of q in
+          if KH.mem seen k then false
+          else begin
+            KH.add seen k ();
+            not (Cache.mem t.cache k)
+          end)
+        qs
+    in
+    let computed = KH.create 64 in
+    List.iter
+      (fun (k, v) -> KH.replace computed k v)
+      (List.concat
+         (map_batches t (shard t pending) ~f:(fun ~check lane ->
+              List.map (fun q -> (key_of q, check q)) lane)));
+    List.map
+      (fun q ->
+        match KH.find_opt computed (key_of q) with
+        | Some v -> v
+        | None -> check t q)
+      qs
+  end
+
+type stats = {
+  cache : Verdict_cache.stats;
+  tableau_calls : int;
+  jobs : int;
+  batches : int;
+  parallel_calls : int;
+}
+
+let stats (t : t) =
+  { cache = Cache.stats t.cache;
+    tableau_calls = t.tableau_calls;
+    jobs = t.jobs;
+    batches = t.batches;
+    parallel_calls = t.parallel_calls }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "cache: %a@.tableau calls paid: %d" Verdict_cache.pp_stats
+    s.cache s.tableau_calls;
+  if s.jobs > 1 then
+    Format.fprintf ppf "@.domain pool: %d domains, %d batches, %d worker verdicts"
+      s.jobs s.batches s.parallel_calls

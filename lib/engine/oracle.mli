@@ -1,0 +1,101 @@
+(** The entailment oracle — the single choke point for boolean tableau
+    verdicts.
+
+    Every reasoning service of the stack (instance and subsumption checks,
+    role entailment, satisfiability, classification, realization,
+    retrieval, conjunctive queries) bottoms out in a boolean question about
+    the classical induced KB [K̄] of Definition 7.  An {!t} owns the one
+    place those questions are answered: a canonical-keyed LRU
+    {!Verdict_cache} plus a work-sharded pool of OCaml 5 domains, one
+    classical {!Reasoner} per domain.
+
+    {b Concurrency discipline.}  The cache is {e confined to the
+    coordinating domain}: worker domains never touch it.  A worker
+    evaluates its shard against its own private reasoner with a private
+    memo table and returns a log of [(key, verdict)] pairs; the coordinator
+    folds those logs into the shared cache after joining.  This keeps the
+    (single-threaded, intrusive-list) LRU structure safe without a lock on
+    the hot sequential path.  All functions of this module must be called
+    from the domain that created the oracle. *)
+
+type t
+
+(** The closed vocabulary of boolean entailment questions.  Concepts are
+    four-valued surface concepts except in {!Concept_sat}, whose argument
+    is already a classical test concept (e.g. from
+    {!Transform.inclusion_tests}). *)
+type query =
+  | Consistent  (** is [K̄] satisfiable (= [K] four-valued satisfiable)? *)
+  | Concept_sat of Concept.t
+      (** is this classical concept satisfiable w.r.t. [K̄]? *)
+  | Instance of string * Concept.t  (** [K ⊨⁴ C(a)] *)
+  | Not_instance of string * Concept.t  (** [K ⊨⁴ (¬C)(a)] *)
+  | Role_pos of string * Role.t * string  (** [K̄ ⊨ R⁺(a,b)] *)
+  | Role_neg of string * Role.t * string
+      (** is [K̄ ∪ {R⁼(a,b)}] inconsistent? — the told-false bit of
+          [R(a,b)] under Definition 8 *)
+
+val create :
+  ?jobs:int ->
+  ?cache_capacity:int ->
+  ?max_nodes:int ->
+  ?max_branches:int ->
+  Kb4.t ->
+  t
+(** [jobs] (default 1) is the domain-pool width used by {!check_all} and
+    {!map_batches}; [1] keeps everything on the calling domain.  Worker
+    reasoners are created lazily on the first parallel batch.
+    [cache_capacity] defaults to {!default_cache_capacity}; [0] disables
+    caching (every verdict pays its tableau call). *)
+
+val default_cache_capacity : int
+val kb : t -> Kb4.t
+val classical_kb : t -> Axiom.kb
+(** The induced [K̄] of Definition 7, shared by every reasoner of the pool. *)
+
+val reasoner : t -> Reasoner.t
+(** The coordinating domain's reasoner (for non-verdict services such as
+    model extraction). *)
+
+val jobs : t -> int
+
+val check : t -> query -> bool
+(** Cached verdict for one query, evaluated on the coordinating domain. *)
+
+val check_all : t -> query list -> bool list
+(** Verdicts for a batch, in input order.  Cached keys are answered from
+    the cache; the remaining distinct keys are dealt round-robin across the
+    domain pool.  Equivalent to [List.map (check t)] (same verdicts), but
+    pays each distinct uncached key once and overlaps the tableau work. *)
+
+val map_batches : t -> 'a list -> f:(check:(query -> bool) -> 'a -> 'b) -> 'b list
+(** The pool's general fan-out: evaluate [f] on every item, in order.  With
+    [jobs = 1] (or fewer than two items) everything runs on the calling
+    domain and [check] is the cached {!check}.  Otherwise items are dealt
+    round-robin across the pool; worker items get a [check] bound to that
+    worker's confined reasoner and private memo, and the computed verdicts
+    are folded into the shared cache after the join.  [f] must route every
+    tableau question through the [check] it is given and must not touch the
+    oracle (or any other shared mutable state) directly. *)
+
+val shard : t -> 'a list -> 'a list list
+(** Deal a work list round-robin into at most [jobs] non-empty shards,
+    preserving relative order within each shard — the standard way to cut
+    row-level work (classification rows, realization individuals) into
+    {!map_batches} items. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  cache : Verdict_cache.stats;
+  tableau_calls : int;
+      (** tableau invocations actually paid, on any domain of the pool *)
+  jobs : int;
+  batches : int;  (** parallel fan-outs executed *)
+  parallel_calls : int;
+      (** verdicts computed off the coordinating domain (a subset of
+          [tableau_calls]) *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -26,7 +26,20 @@ type entry = {
 
 type t = { entries : entry list; stats : stats }
 
-let run ~individuals ~atoms ~supers ~check_pos ~check_neg =
+(* ------------------------------------------------------------------ *)
+(* Preparation: hierarchy indexes derived from the classification.  The
+   tables are fully populated here and read-only afterwards, so one [prep]
+   is safely shared by worker domains realizing disjoint individuals. *)
+
+type prep = {
+  individuals : string list;  (* sorted, unique *)
+  atoms : string list;  (* sorted, unique *)
+  order : string list;  (* top-down: fewer subsumers first *)
+  sup : (string, SS.t) Hashtbl.t;
+  subs : (string, SS.t) Hashtbl.t;
+}
+
+let prepare ~individuals ~atoms ~supers =
   let atoms = List.sort_uniq String.compare atoms in
   let individuals = List.sort_uniq String.compare individuals in
   let sup = Hashtbl.create 16 in
@@ -41,7 +54,6 @@ let run ~individuals ~atoms ~supers ~check_pos ~check_neg =
           Hashtbl.replace subs c (SS.add d cur))
         (sup_of d))
     atoms;
-  let subs_of c = Option.value ~default:SS.empty (Hashtbl.find_opt subs c) in
   (* top-down: atoms with fewer subsumers first, so a refuted concept prunes
      its whole cone of subsumees before any of them is checked *)
   let order =
@@ -51,55 +63,91 @@ let run ~individuals ~atoms ~supers ~check_pos ~check_neg =
         if c <> 0 then c else String.compare a b)
       atoms
   in
+  { individuals; atoms; order; sup; subs }
+
+let individuals p = p.individuals
+let sup_of p c = Option.value ~default:SS.empty (Hashtbl.find_opt p.sup c)
+let subs_of p c = Option.value ~default:SS.empty (Hashtbl.find_opt p.subs c)
+
+(* ------------------------------------------------------------------ *)
+(* Per-individual realization.  Individuals are mutually independent, so a
+   shard of them is a unit of domain-parallel work. *)
+
+type row = {
+  entry : entry;
+  row_pos : int;
+  row_neg : int;
+  row_pruned : int;
+}
+
+let realize_one p ~check_pos ~check_neg a =
   let positive_checks = ref 0
   and negative_checks = ref 0
   and pruned = ref 0 in
-  let entries =
+  let settled = Hashtbl.create 16 in
+  let settle c v =
+    if not (Hashtbl.mem settled c) then begin
+      Hashtbl.add settled c v;
+      incr pruned
+    end
+  in
+  List.iter
+    (fun c ->
+      if not (Hashtbl.mem settled c) then begin
+        incr positive_checks;
+        let v = check_pos a c in
+        Hashtbl.add settled c v;
+        if v then SS.iter (fun s -> settle s true) (sup_of p c)
+        else SS.iter (fun d -> settle d false) (subs_of p c)
+      end)
+    p.order;
+  let pos c = Hashtbl.find settled c in
+  let types =
+    List.map
+      (fun c ->
+        incr negative_checks;
+        let told_false = check_neg a c in
+        (c, Truth.of_pair ~told_true:(pos c) ~told_false))
+      p.atoms
+  in
+  let strictly_below d c = SS.mem c (sup_of p d) && not (SS.mem d (sup_of p c)) in
+  let most_specific =
+    List.filter
+      (fun c ->
+        pos c
+        && not (List.exists (fun d -> pos d && strictly_below d c) p.atoms))
+      p.atoms
+  in
+  { entry = { name = a; types; most_specific };
+    row_pos = !positive_checks;
+    row_neg = !negative_checks;
+    row_pruned = !pruned }
+
+let rows p ~check_pos ~check_neg shard =
+  List.map (realize_one p ~check_pos ~check_neg) shard
+
+let collect p row_list =
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace by_name r.entry.name r) row_list;
+  let ordered =
     List.map
       (fun a ->
-        let settled = Hashtbl.create 16 in
-        let settle c v =
-          if not (Hashtbl.mem settled c) then begin
-            Hashtbl.add settled c v;
-            incr pruned
-          end
-        in
-        List.iter
-          (fun c ->
-            if not (Hashtbl.mem settled c) then begin
-              incr positive_checks;
-              let v = check_pos a c in
-              Hashtbl.add settled c v;
-              if v then SS.iter (fun s -> settle s true) (sup_of c)
-              else SS.iter (fun d -> settle d false) (subs_of c)
-            end)
-          order;
-        let pos c = Hashtbl.find settled c in
-        let types =
-          List.map
-            (fun c ->
-              incr negative_checks;
-              let told_false = check_neg a c in
-              (c, Truth.of_pair ~told_true:(pos c) ~told_false))
-            atoms
-        in
-        let strictly_below d c = SS.mem c (sup_of d) && not (SS.mem d (sup_of c)) in
-        let most_specific =
-          List.filter
-            (fun c ->
-              pos c
-              && not (List.exists (fun d -> pos d && strictly_below d c) atoms))
-            atoms
-        in
-        { name = a; types; most_specific })
-      individuals
+        match Hashtbl.find_opt by_name a with
+        | Some r -> r
+        | None -> invalid_arg ("Realize.collect: missing row for " ^ a))
+      p.individuals
   in
-  let ni = List.length individuals and na = List.length atoms in
-  { entries;
+  let ni = List.length p.individuals and na = List.length p.atoms in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 ordered in
+  { entries = List.map (fun r -> r.entry) ordered;
     stats =
       { individuals = ni;
         atoms = na;
         naive_checks = 2 * ni * na;
-        positive_checks = !positive_checks;
-        negative_checks = !negative_checks;
-        pruned = !pruned } }
+        positive_checks = sum (fun r -> r.row_pos);
+        negative_checks = sum (fun r -> r.row_neg);
+        pruned = sum (fun r -> r.row_pruned) } }
+
+let run ~individuals ~atoms ~supers ~check_pos ~check_neg =
+  let p = prepare ~individuals ~atoms ~supers in
+  collect p (rows p ~check_pos ~check_neg p.individuals)

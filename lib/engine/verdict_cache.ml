@@ -73,6 +73,8 @@ module Make (K : Hashtbl.HashedType) = struct
         t.misses <- t.misses + 1;
         None
 
+  let mem t k = H.mem t.table k
+
   let evict_lru t =
     match t.back with
     | None -> ()

@@ -32,6 +32,11 @@ module Make (K : Hashtbl.HashedType) : sig
   val find : 'v t -> K.t -> 'v option
   (** Counts a hit (and refreshes recency) or a miss. *)
 
+  val mem : 'v t -> K.t -> bool
+  (** Pure membership peek: no counters, no recency update.  Used by batch
+      planners to split a query list into hits and pending work without
+      distorting the hit/miss statistics. *)
+
   val add : 'v t -> K.t -> 'v -> unit
   (** Inserts or overwrites; evicts the least recently used entry when the
       capacity is exceeded. *)
