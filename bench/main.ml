@@ -50,6 +50,27 @@ let run_group ~name tests =
 
 let bench name f = Test.make ~name (Staged.stage f)
 
+(* Bench artifacts (BENCH_*.json) are written under [--out DIR] (default:
+   the current directory) so `dune runtest` / ad-hoc runs from the repo
+   root do not dirty the work tree unless asked to. *)
+let out_dir =
+  let rec scan = function
+    | "--out" :: dir :: _ -> dir
+    | _ :: rest -> scan rest
+    | [] -> "."
+  in
+  scan (Array.to_list Sys.argv)
+
+let out_path name = Filename.concat out_dir name
+
+let write_artifact name contents =
+  let path = out_path name in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents);
+  Printf.printf "  wrote %s\n" path
+
 let section title =
   let line = String.make 72 '=' in
   Printf.printf "\n%s\n%s\n%s\n%!" line title line
@@ -487,11 +508,125 @@ let report_engine_parallel () =
       (series "query_grid" grid1 grid)
       (series "cq_batch" cq1 cq)
   in
-  let oc = open_out "BENCH_oracle.json" in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc json);
-  Printf.printf "  wrote BENCH_oracle.json\n"
+  write_artifact "BENCH_oracle.json" json
+
+(* ------------------------------------------------------------------ *)
+(* S7: Dl_obs instrumentation overhead.  Two regimes matter:
+
+   - disabled (the default): every hot-path hook is a single
+     [if !Obs.on] test, so the per-operation cost is measured directly
+     by a tight guard loop and scaled by the number of hook sites an
+     instrumented run actually crosses;
+   - enabled (a sink was requested): counters become Atomic ops and
+     spans allocate + lock, measured as wall-clock delta on the S6c
+     classification workload.
+
+   Answers must be byte-identical either way; the taxonomy is asserted
+   equal across regimes before any number is reported. *)
+
+let report_obs_overhead () =
+  section "S7: Dl_obs overhead (disabled guard cost, enabled wall cost)";
+  let kb =
+    Gen.kb4
+      { Gen.default with
+        seed = 29;
+        n_concepts = 14;
+        n_individuals = 10;
+        n_tbox = 20;
+        n_abox = 24;
+        max_depth = 1;
+        inconsistency_rate = 0.1 }
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let median xs =
+    let a = List.sort compare xs in
+    List.nth a (List.length a / 2)
+  in
+  let runs = 5 in
+  let classify_once () = Engine.classify (Engine.create ~jobs:2 kb) in
+  let time_runs () =
+    List.init runs (fun _ ->
+        let tax, dt = wall classify_once in
+        (tax, dt))
+  in
+  let was_enabled = Obs.enabled () in
+  Obs.set_enabled false;
+  let disabled = time_runs () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  let enabled = time_runs () in
+  let counter_ops =
+    List.fold_left (fun n (_, c) -> n + c) 0 (Obs.counters ())
+  in
+  let span_records = Obs.span_count () in
+  Obs.reset ();
+  Obs.set_enabled was_enabled;
+  let tax_disabled = fst (List.hd disabled) in
+  List.iter
+    (fun (tax, _) ->
+      if tax <> tax_disabled then
+        failwith "S7: taxonomy differs between Obs on and Obs off")
+    enabled;
+  (* the disabled hot path is one load + branch per hook site; measure it
+     directly so the "overhead when off" claim is not lost in run-to-run
+     wall-clock noise of the full workload *)
+  let guard_iters = 50_000_000 in
+  let c = Obs.counter "bench.s7.guard" in
+  Obs.set_enabled false;
+  let (), guard_total = wall (fun () ->
+      for _ = 1 to guard_iters do
+        Obs.incr c
+      done)
+  in
+  Obs.set_enabled was_enabled;
+  let guard_ns = guard_total /. float_of_int guard_iters *. 1e9 in
+  let t_off = median (List.map snd disabled) in
+  let t_on = median (List.map snd enabled) in
+  let ops_per_run = counter_ops / runs in
+  let spans_per_run = span_records / runs in
+  (* per enabled run, [ops_per_run] counter bumps happened; the disabled
+     run crosses the same hook sites but pays only the guard *)
+  let disabled_overhead_pct =
+    guard_ns *. float_of_int ops_per_run /. 1e9 /. t_off *. 100.
+  in
+  let enabled_overhead_pct = (t_on -. t_off) /. t_off *. 100. in
+  Printf.printf "  classify (jobs=2, S6c KB), median of %d runs:\n" runs;
+  Printf.printf "    disabled  %8.4fs\n" t_off;
+  Printf.printf "    enabled   %8.4fs   (+%.1f%%)\n" t_on enabled_overhead_pct;
+  Printf.printf "  guard (if !Obs.on) cost:      %6.2f ns/op\n" guard_ns;
+  Printf.printf "  hook crossings per run:       %6d counter ops, %d spans\n"
+    ops_per_run spans_per_run;
+  Printf.printf "  disabled-path overhead:       %6.3f%% of run time%s\n"
+    disabled_overhead_pct
+    (if disabled_overhead_pct <= 3.0 then "  (within 3% budget)"
+     else "  (EXCEEDS 3% budget)");
+  Printf.printf "  answers identical on/off:     true\n";
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"S7_obs_overhead\",\n\
+      \  \"kb\": {\"seed\": 29, \"concepts\": 14, \"individuals\": 10, \
+       \"tbox\": 20, \"abox\": 24},\n\
+      \  \"workload\": \"classify jobs=2\",\n\
+      \  \"runs\": %d,\n\
+      \  \"median_seconds_disabled\": %.6f,\n\
+      \  \"median_seconds_enabled\": %.6f,\n\
+      \  \"enabled_overhead_pct\": %.3f,\n\
+      \  \"guard_ns_per_op\": %.3f,\n\
+      \  \"counter_ops_per_enabled_run\": %d,\n\
+      \  \"spans_per_enabled_run\": %d,\n\
+      \  \"disabled_overhead_pct\": %.4f,\n\
+      \  \"disabled_overhead_budget_pct\": 3.0,\n\
+      \  \"answers_identical\": true\n\
+       }\n"
+      runs t_off t_on enabled_overhead_pct guard_ns ops_per_run spans_per_run
+      disabled_overhead_pct
+  in
+  write_artifact "BENCH_obs.json" json
 
 (* ------------------------------------------------------------------ *)
 (* Timing benches *)
@@ -686,6 +821,7 @@ let () =
   report_engine_classification ();
   report_engine_cache ();
   report_engine_parallel ();
+  report_obs_overhead ();
   section "timing series (S1-S4)";
   run_group ~name:"paper" (paper_benches ());
   run_group ~name:"scale_transform" (transform_benches ());

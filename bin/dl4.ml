@@ -96,57 +96,91 @@ let stats_flag =
     value & flag
     & info [ "stats" ]
         ~doc:
-          "Print the engine statistics footer: verdict-cache hits, tableau \
-           calls paid, domain-pool activity.")
+          "Print the uniform statistics footer (the Obs registry): tableau \
+           runs and rule firings, verdict-cache hits, oracle batches, \
+           classification/realization work.  Identical across subcommands.")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:"Write the metrics registry as a flat JSON object to $(docv).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the run's spans \
+           (tableau runs, oracle batches and worker shards, engine phases) \
+           to $(docv); load it in about:tracing or ui.perfetto.dev.")
+
+let obs_term =
+  let pack stats metrics trace = (stats, metrics, trace) in
+  Term.(const pack $ stats_flag $ metrics_json_arg $ trace_arg)
+
+(* Run a subcommand under a root span with the observability sinks the
+   user asked for.  Arming happens before any KB is loaded, so the root
+   span covers parsing, reduction and reasoning — (almost) the whole
+   wall time of the invocation. *)
+let with_obs ~cmd (stats, metrics, trace) run =
+  if stats || metrics <> None || trace <> None then Obs.set_enabled true;
+  let sp = Obs.enter ~cat:"cli" ("cli." ^ cmd) in
+  match run () with
+  | code ->
+      Obs.exit_span sp;
+      if stats then Obs.print_footer ();
+      Option.iter Obs.write_metrics_json metrics;
+      Option.iter Obs.write_trace trace;
+      code
+  | exception e ->
+      Obs.exit_span sp;
+      raise e
 
 let make_engine ~jobs ~max_nodes ~cache_size ~no_cache kb =
   Engine.create ~jobs
     ~cache_capacity:(if no_cache then 0 else cache_size)
     ~max_nodes kb
 
-let print_engine_stats e = Format.printf "%a@." Engine.pp_stats (Engine.stats e)
-
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run file classical owl max_nodes jobs stats =
-    if classical || owl then begin
-      let kb = if owl then load_owl file else load_kb file in
-      let r = Reasoner.create ~max_nodes kb in
-      List.iter (Format.printf "warning: %s@.") (Reasoner.validate r);
-      if Reasoner.is_consistent r then begin
-        Format.printf "consistent@.";
-        0
-      end
-      else begin
-        Format.printf
-          "INCONSISTENT: under two-valued semantics every conclusion follows@.";
-        1
-      end
-    end
-    else begin
-      let kb = load_kb4 file in
-      let t = Para.create ~jobs ~max_nodes kb in
-      let finish code =
-        if stats then print_engine_stats (Para.engine t);
-        code
-      in
-      if not (Para.satisfiable t) then begin
-        Format.printf "four-valued UNSATISFIABLE@.";
-        finish 1
-      end
-      else begin
-        Format.printf "four-valued satisfiable@.";
-        (match Para.contradictions t with
-        | [] -> Format.printf "no localized contradictions@."
-        | cs ->
-            Format.printf "localized contradictions (value TOP):@.";
-            List.iter
-              (fun (a, c) -> Format.printf "  %s : %s@." a c)
-              cs);
-        finish 0
-      end
-    end
+  let run file classical owl max_nodes jobs obs =
+    with_obs ~cmd:"check" obs (fun () ->
+        if classical || owl then begin
+          let kb = if owl then load_owl file else load_kb file in
+          let r = Reasoner.create ~max_nodes kb in
+          List.iter (Format.printf "warning: %s@.") (Reasoner.validate r);
+          if Reasoner.is_consistent r then begin
+            Format.printf "consistent@.";
+            0
+          end
+          else begin
+            Format.printf
+              "INCONSISTENT: under two-valued semantics every conclusion \
+               follows@.";
+            1
+          end
+        end
+        else begin
+          let kb = load_kb4 file in
+          let t = Para.create ~jobs ~max_nodes kb in
+          if not (Para.satisfiable t) then begin
+            Format.printf "four-valued UNSATISFIABLE@.";
+            1
+          end
+          else begin
+            Format.printf "four-valued satisfiable@.";
+            (match Para.contradictions t with
+            | [] -> Format.printf "no localized contradictions@."
+            | cs ->
+                Format.printf "localized contradictions (value TOP):@.";
+                List.iter (fun (a, c) -> Format.printf "  %s : %s@." a c) cs);
+            0
+          end
+        end)
   in
   Cmd.v
     (Cmd.info "check"
@@ -155,7 +189,7 @@ let check_cmd =
           localized contradictions.")
     Term.(
       const run $ file_arg $ classical_flag $ owl_flag $ max_nodes_arg
-      $ jobs_arg $ stats_flag)
+      $ jobs_arg $ obs_term)
 
 let query_cmd =
   let individual =
@@ -171,20 +205,20 @@ let query_cmd =
       & info [ "c"; "concept" ] ~docv:"CONCEPT"
           ~doc:"Concept expression in surface syntax.")
   in
-  let run file ind csrc max_nodes jobs stats =
-    let kb = load_kb4 file in
-    let c = load_concept csrc in
-    let t = Para.create ~jobs ~max_nodes kb in
-    let v = Para.instance_truth t ind c in
-    Format.printf "%s : %s  =  %a@." ind (Concept.to_string c) Truth.pp v;
-    (match v with
-    | Truth.True -> Format.printf "supported: yes;  denied: no@."
-    | Truth.False -> Format.printf "supported: no;  denied: yes@."
-    | Truth.Both ->
-        Format.printf "supported: yes;  denied: yes  (contradiction)@."
-    | Truth.Neither -> Format.printf "supported: no;  denied: no@.");
-    if stats then print_engine_stats (Para.engine t);
-    0
+  let run file ind csrc max_nodes jobs obs =
+    with_obs ~cmd:"query" obs (fun () ->
+        let kb = load_kb4 file in
+        let c = load_concept csrc in
+        let t = Para.create ~jobs ~max_nodes kb in
+        let v = Para.instance_truth t ind c in
+        Format.printf "%s : %s  =  %a@." ind (Concept.to_string c) Truth.pp v;
+        (match v with
+        | Truth.True -> Format.printf "supported: yes;  denied: no@."
+        | Truth.False -> Format.printf "supported: no;  denied: yes@."
+        | Truth.Both ->
+            Format.printf "supported: yes;  denied: yes  (contradiction)@."
+        | Truth.Neither -> Format.printf "supported: no;  denied: no@.");
+        0)
   in
   Cmd.v
     (Cmd.info "query"
@@ -193,21 +227,21 @@ let query_cmd =
           C(a).")
     Term.(
       const run $ file_arg $ individual $ concept_src $ max_nodes_arg
-      $ jobs_arg $ stats_flag)
+      $ jobs_arg $ obs_term)
 
 let classify_cmd =
-  let run file max_nodes cache_size no_cache jobs =
-    let kb = load_kb4 file in
-    let e = make_engine ~jobs ~max_nodes ~cache_size ~no_cache kb in
-    List.iter
-      (fun (cls, direct) ->
-        let lhs = String.concat " = " cls in
-        match direct with
-        | [] -> Format.printf "%s@." lhs
-        | _ -> Format.printf "%s < %s@." lhs (String.concat ", " direct))
-      (Engine.taxonomy e);
-    print_engine_stats e;
-    0
+  let run file max_nodes cache_size no_cache jobs obs =
+    with_obs ~cmd:"classify" obs (fun () ->
+        let kb = load_kb4 file in
+        let e = make_engine ~jobs ~max_nodes ~cache_size ~no_cache kb in
+        List.iter
+          (fun (cls, direct) ->
+            let lhs = String.concat " = " cls in
+            match direct with
+            | [] -> Format.printf "%s@." lhs
+            | _ -> Format.printf "%s < %s@." lhs (String.concat ", " direct))
+          (Engine.taxonomy e);
+        0)
   in
   Cmd.v
     (Cmd.info "classify"
@@ -218,7 +252,7 @@ let classify_cmd =
           saved over the naive all-pairs loop.")
     Term.(
       const run $ file_arg $ max_nodes_arg $ cache_size_arg $ no_cache_flag
-      $ jobs_arg)
+      $ jobs_arg $ obs_term)
 
 let realize_cmd =
   let all =
@@ -229,32 +263,32 @@ let realize_cmd =
             "Also print the full Belnap truth value grid (default: only the \
              most-specific types and the contradictions).")
   in
-  let run file all max_nodes cache_size no_cache jobs =
-    let kb = load_kb4 file in
-    let e = make_engine ~jobs ~max_nodes ~cache_size ~no_cache kb in
-    List.iter
-      (fun (entry : Realize.entry) ->
-        let tops =
-          List.filter_map
-            (fun (c, v) -> if v = Truth.Both then Some c else None)
-            entry.Realize.types
-        in
-        Format.printf "%s : %s%s@." entry.Realize.name
-          (match entry.Realize.most_specific with
-          | [] -> "(no told-positive atomic type)"
-          | msc -> String.concat ", " msc)
-          (match tops with
-          | [] -> ""
-          | _ -> "  [TOP: " ^ String.concat ", " tops ^ "]");
-        if all then
-          List.iter
-            (fun (c, v) ->
-              if v <> Truth.Neither then
-                Format.printf "    %-20s %a@." c Truth.pp v)
-            entry.Realize.types)
-      (Engine.realization e).Realize.entries;
-    print_engine_stats e;
-    0
+  let run file all max_nodes cache_size no_cache jobs obs =
+    with_obs ~cmd:"realize" obs (fun () ->
+        let kb = load_kb4 file in
+        let e = make_engine ~jobs ~max_nodes ~cache_size ~no_cache kb in
+        List.iter
+          (fun (entry : Realize.entry) ->
+            let tops =
+              List.filter_map
+                (fun (c, v) -> if v = Truth.Both then Some c else None)
+                entry.Realize.types
+            in
+            Format.printf "%s : %s%s@." entry.Realize.name
+              (match entry.Realize.most_specific with
+              | [] -> "(no told-positive atomic type)"
+              | msc -> String.concat ", " msc)
+              (match tops with
+              | [] -> ""
+              | _ -> "  [TOP: " ^ String.concat ", " tops ^ "]");
+            if all then
+              List.iter
+                (fun (c, v) ->
+                  if v <> Truth.Neither then
+                    Format.printf "    %-20s %a@." c Truth.pp v)
+                entry.Realize.types)
+          (Engine.realization e).Realize.entries;
+        0)
   in
   Cmd.v
     (Cmd.info "realize"
@@ -264,7 +298,7 @@ let realize_cmd =
           pruned through the classified hierarchy.")
     Term.(
       const run $ file_arg $ all $ max_nodes_arg $ cache_size_arg
-      $ no_cache_flag $ jobs_arg)
+      $ no_cache_flag $ jobs_arg $ obs_term)
 
 let transform_cmd =
   let run file =
@@ -323,17 +357,17 @@ let retrieve_cmd =
           ~doc:"Also print individuals with value f or BOT (default: only \
                 designated answers).")
   in
-  let run file csrc all max_nodes jobs stats =
-    let kb = load_kb4 file in
-    let c = load_concept csrc in
-    let t = Para.create ~jobs ~max_nodes kb in
-    List.iter
-      (fun (a, v) ->
-        if all || Truth.designated v then
-          Format.printf "  %-20s %a@." a Truth.pp v)
-      (Para.retrieve t c);
-    if stats then print_engine_stats (Para.engine t);
-    0
+  let run file csrc all max_nodes jobs obs =
+    with_obs ~cmd:"retrieve" obs (fun () ->
+        let kb = load_kb4 file in
+        let c = load_concept csrc in
+        let t = Para.create ~jobs ~max_nodes kb in
+        List.iter
+          (fun (a, v) ->
+            if all || Truth.designated v then
+              Format.printf "  %-20s %a@." a Truth.pp v)
+          (Para.retrieve t c);
+        0)
   in
   Cmd.v
     (Cmd.info "retrieve"
@@ -341,7 +375,7 @@ let retrieve_cmd =
              every named individual.")
     Term.(
       const run $ file_arg $ concept_src $ all $ max_nodes_arg $ jobs_arg
-      $ stats_flag)
+      $ obs_term)
 
 let explain_cmd =
   let individual =
@@ -361,51 +395,53 @@ let explain_cmd =
       value & flag
       & info [ "all" ] ~doc:"Enumerate several justifications (up to 10).")
   in
-  let run file ind csrc all max_nodes jobs =
-    let kb = load_kb4 file in
-    match (ind, csrc) with
-    | Some ind, Some csrc ->
-        let c = load_concept csrc in
-        let t = Para.create ~max_nodes kb in
-        let v = Para.instance_truth t ind c in
-        Format.printf "%s : %s = %a@." ind (Concept.to_string c) Truth.pp v;
-        let queries =
-          match v with
-          | Truth.True -> [ Explain.Instance (ind, c) ]
-          | Truth.False -> [ Explain.Not_instance (ind, c) ]
-          | Truth.Both -> [ Explain.Contradiction (ind, c) ]
-          | Truth.Neither -> []
-        in
-        if queries = [] then
-          Format.printf "nothing to explain: no supported information@.";
-        List.iter
-          (fun q ->
-            let js =
-              if all then Explain.all_justifications ~max_nodes kb q
-              else Option.to_list (Explain.justification ~max_nodes kb q)
+  let run file ind csrc all max_nodes jobs obs =
+    with_obs ~cmd:"explain" obs (fun () ->
+        let kb = load_kb4 file in
+        match (ind, csrc) with
+        | Some ind, Some csrc ->
+            let c = load_concept csrc in
+            let t = Para.create ~max_nodes kb in
+            let v = Para.instance_truth t ind c in
+            Format.printf "%s : %s = %a@." ind (Concept.to_string c) Truth.pp
+              v;
+            let queries =
+              match v with
+              | Truth.True -> [ Explain.Instance (ind, c) ]
+              | Truth.False -> [ Explain.Not_instance (ind, c) ]
+              | Truth.Both -> [ Explain.Contradiction (ind, c) ]
+              | Truth.Neither -> []
             in
-            List.iteri
-              (fun i j ->
-                Format.printf "@.justification %d for %a:@.%s" (i + 1)
-                  Explain.pp_query q
-                  (Surface.kb4_to_string j))
-              js)
-          queries;
-        0
-    | _ ->
-        (* no query: the contradictions scan is a batched grid — give it
-           the pool; the per-candidate justification probes stay serial *)
-        let t = Para.create ~jobs ~max_nodes kb in
-        let explained = Explain.contradictions_explained ~max_nodes t in
-        if explained = [] then
-          Format.printf "no localized contradictions@."
-        else
-          List.iter
-            (fun (a, cname, j) ->
-              Format.printf "%s : %s = TOP, because:@.%s@." a cname
-                (Surface.kb4_to_string j))
-            explained;
-        0
+            if queries = [] then
+              Format.printf "nothing to explain: no supported information@.";
+            List.iter
+              (fun q ->
+                let js =
+                  if all then Explain.all_justifications ~max_nodes kb q
+                  else Option.to_list (Explain.justification ~max_nodes kb q)
+                in
+                List.iteri
+                  (fun i j ->
+                    Format.printf "@.justification %d for %a:@.%s" (i + 1)
+                      Explain.pp_query q
+                      (Surface.kb4_to_string j))
+                  js)
+              queries;
+            0
+        | _ ->
+            (* no query: the contradictions scan is a batched grid — give it
+               the pool; the per-candidate justification probes stay serial *)
+            let t = Para.create ~jobs ~max_nodes kb in
+            let explained = Explain.contradictions_explained ~max_nodes t in
+            if explained = [] then
+              Format.printf "no localized contradictions@."
+            else
+              List.iter
+                (fun (a, cname, j) ->
+                  Format.printf "%s : %s = TOP, because:@.%s@." a cname
+                    (Surface.kb4_to_string j))
+                explained;
+            0)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -414,7 +450,7 @@ let explain_cmd =
           localized contradiction when no query is given).")
     Term.(
       const run $ file_arg $ individual $ concept_src $ all $ max_nodes_arg
-      $ jobs_arg)
+      $ jobs_arg $ obs_term)
 
 let repair_cmd =
   let run file =

@@ -108,9 +108,10 @@ let fold_bindings ~prune para q ~init ~f =
   else go init [] acc0 1 vars
 
 let all_bindings para q =
-  List.rev
-    (fold_bindings ~prune:false para q ~init:[] ~f:(fun out binding v ->
-         (binding, v) :: out))
+  Obs.with_span ~cat:"core" "cq.all_bindings" (fun () ->
+      List.rev
+        (fold_bindings ~prune:false para q ~init:[] ~f:(fun out binding v ->
+             (binding, v) :: out)))
 
 let all_bindings_naive para q =
   let individuals = (Kb4.signature (Para.kb para)).individuals in
@@ -144,10 +145,12 @@ let dedup_designated tuples =
     (List.rev dedup)
 
 let answers para q =
-  dedup_designated
-    (List.rev
-       (fold_bindings ~prune:true para q ~init:[] ~f:(fun out binding v ->
-            if Truth.designated v then (project q binding, v) :: out else out)))
+  Obs.with_span ~cat:"core" "cq.answers" (fun () ->
+      dedup_designated
+        (List.rev
+           (fold_bindings ~prune:true para q ~init:[] ~f:(fun out binding v ->
+                if Truth.designated v then (project q binding, v) :: out
+                else out))))
 
 let answers_naive para q =
   dedup_designated

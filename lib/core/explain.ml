@@ -60,8 +60,9 @@ let contract ?max_nodes axs query =
   go [] axs
 
 let justification ?max_nodes kb query =
-  if not (holds ?max_nodes kb query) then None
-  else Some (of_tagged (contract ?max_nodes (to_tagged kb) query))
+  Obs.with_span ~cat:"core" "explain.justification" (fun () ->
+      if not (holds ?max_nodes kb query) then None
+      else Some (of_tagged (contract ?max_nodes (to_tagged kb) query)))
 
 (* Reiter-style hitting-set tree enumeration. *)
 let all_justifications ?max_nodes ?(limit = 10) kb query =
@@ -95,10 +96,11 @@ let all_justifications ?max_nodes ?(limit = 10) kb query =
   List.rev !seen
 
 let contradictions_explained ?max_nodes t =
-  List.filter_map
-    (fun (a, concept_name) ->
-      let q = Contradiction (a, Concept.Atom concept_name) in
-      match justification ?max_nodes (Para.kb t) q with
-      | Some j -> Some (a, concept_name, j)
-      | None -> None)
-    (Para.contradictions t)
+  Obs.with_span ~cat:"core" "explain.contradictions" (fun () ->
+      List.filter_map
+        (fun (a, concept_name) ->
+          let q = Contradiction (a, Concept.Atom concept_name) in
+          match justification ?max_nodes (Para.kb t) q with
+          | Some j -> Some (a, concept_name, j)
+          | None -> None)
+        (Para.contradictions t))

@@ -42,12 +42,18 @@ let taxonomy t = Engine.taxonomy t.engine
    submitted to the oracle as one batch, so the pool overlaps the tableau
    work and repeated pairs share one verdict. *)
 let instance_truths t pairs =
+  let sp = Obs.enter ~cat:"core" "para.grid" in
+  if Obs.live sp then Obs.set_attr sp "pairs" (string_of_int (List.length pairs));
   let queries =
     List.concat_map
       (fun (a, c) -> [ Oracle.Instance (a, c); Oracle.Not_instance (a, c) ])
       pairs
   in
-  let verdicts = Oracle.check_all (oracle t) queries in
+  let verdicts =
+    Fun.protect
+      ~finally:(fun () -> Obs.exit_span sp)
+      (fun () -> Oracle.check_all (oracle t) queries)
+  in
   let rec zip pairs verdicts =
     match (pairs, verdicts) with
     | [], [] -> []

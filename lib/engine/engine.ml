@@ -65,19 +65,40 @@ let subsumption_test check a b =
     (fun test -> not (check (Oracle.Concept_sat test)))
     (Transform.inclusion_tests Kb4.Internal (Concept.Atom a) (Concept.Atom b))
 
+(* Registry mirrors of the per-run Classify/Realize stats, recorded at
+   collect time (the per-row counts are summed there). *)
+let c_cls_tests = Obs.counter "classify.tableau_tests"
+let c_cls_told = Obs.counter "classify.told_hits"
+let c_cls_dag = Obs.counter "classify.dag_hits"
+let c_rlz_pos = Obs.counter "realize.positive_checks"
+let c_rlz_neg = Obs.counter "realize.negative_checks"
+let c_rlz_pruned = Obs.counter "realize.pruned"
+
 let classification t =
   match t.classification with
   | Some c -> c
   | None ->
-      let atoms = (Kb4.signature (kb t)).Axiom.concepts in
-      let prep = Classify.prepare ~atoms ~told:(told_subsumptions (kb t)) in
-      let shards = Oracle.shard t.oracle (Classify.order prep) in
-      let rows =
-        List.concat
-          (Oracle.map_batches t.oracle shards ~f:(fun ~check shard ->
-               Classify.rows prep ~test:(subsumption_test check) shard))
+      let c =
+        Obs.with_span ~cat:"engine" "engine.classify" (fun () ->
+            let atoms = (Kb4.signature (kb t)).Axiom.concepts in
+            let prep =
+              Obs.with_span ~cat:"engine" "classify.prepare" (fun () ->
+                  Classify.prepare ~atoms ~told:(told_subsumptions (kb t)))
+            in
+            let shards = Oracle.shard t.oracle (Classify.order prep) in
+            let rows =
+              List.concat
+                (Oracle.map_batches t.oracle shards ~f:(fun ~check shard ->
+                     Classify.rows prep ~test:(subsumption_test check) shard))
+            in
+            Obs.with_span ~cat:"engine" "classify.collect" (fun () ->
+                let c = Classify.collect prep rows in
+                let s = c.Classify.stats in
+                Obs.add c_cls_tests s.Classify.tableau_tests;
+                Obs.add c_cls_told s.Classify.told_hits;
+                Obs.add c_cls_dag s.Classify.dag_hits;
+                c))
       in
-      let c = Classify.collect prep rows in
       t.classification <- Some c;
       c
 
@@ -89,23 +110,34 @@ let realization t =
   | Some r -> r
   | None ->
       let cls = classification t in
-      let signature = Kb4.signature (kb t) in
-      let prep =
-        Realize.prepare ~individuals:signature.Axiom.individuals
-          ~atoms:signature.Axiom.concepts
-          ~supers:(Classify.supers_fn cls)
+      let r =
+        Obs.with_span ~cat:"engine" "engine.realize" (fun () ->
+            let signature = Kb4.signature (kb t) in
+            let prep =
+              Obs.with_span ~cat:"engine" "realize.prepare" (fun () ->
+                  Realize.prepare ~individuals:signature.Axiom.individuals
+                    ~atoms:signature.Axiom.concepts
+                    ~supers:(Classify.supers_fn cls))
+            in
+            let shards = Oracle.shard t.oracle (Realize.individuals prep) in
+            let rows =
+              List.concat
+                (Oracle.map_batches t.oracle shards ~f:(fun ~check shard ->
+                     Realize.rows prep
+                       ~check_pos:(fun a c ->
+                         check (Oracle.Instance (a, Concept.Atom c)))
+                       ~check_neg:(fun a c ->
+                         check (Oracle.Not_instance (a, Concept.Atom c)))
+                       shard))
+            in
+            Obs.with_span ~cat:"engine" "realize.collect" (fun () ->
+                let r = Realize.collect prep rows in
+                let s = r.Realize.stats in
+                Obs.add c_rlz_pos s.Realize.positive_checks;
+                Obs.add c_rlz_neg s.Realize.negative_checks;
+                Obs.add c_rlz_pruned s.Realize.pruned;
+                r))
       in
-      let shards = Oracle.shard t.oracle (Realize.individuals prep) in
-      let rows =
-        List.concat
-          (Oracle.map_batches t.oracle shards ~f:(fun ~check shard ->
-               Realize.rows prep
-                 ~check_pos:(fun a c -> check (Oracle.Instance (a, Concept.Atom c)))
-                 ~check_neg:(fun a c ->
-                   check (Oracle.Not_instance (a, Concept.Atom c)))
-                 shard))
-      in
-      let r = Realize.collect prep rows in
       t.realization <- Some r;
       r
 

@@ -49,6 +49,16 @@ let key_of = function
   | Role_pos (a, r, b) -> Key.K_role_pos (a, r, b)
   | Role_neg (a, r, b) -> Key.K_role_neg (a, r, b)
 
+(* Registry mirrors of the per-instance counters below. *)
+let c_tableau_calls = Obs.counter "oracle.tableau_calls"
+let c_batches = Obs.counter "oracle.batches"
+let c_parallel_calls = Obs.counter "oracle.worker_verdicts"
+let h_eval = Obs.histogram "oracle.eval_ns"
+
+(* Per-verdict provenance: what a tableau run touched while computing a
+   verdict — the dependency set for selective cache invalidation. *)
+type prov_entry = { individuals : string list; concepts : string list }
+
 type t = {
   kb : Kb4.t;
   classical_kb : Axiom.kb;
@@ -59,6 +69,9 @@ type t = {
   mutable workers : Reasoner.t array option;
       (* pool reasoners, length [jobs - 1]; created on first parallel batch *)
   cache : bool Cache.t;
+  prov : prov_entry KH.t;
+      (* per-key provenance, populated only while {!Obs.enabled};
+         worker provenance folds in after join like the verdict logs *)
   mutable tableau_calls : int;
   mutable batches : int;
   mutable parallel_calls : int;
@@ -77,6 +90,7 @@ let create ?(jobs = 1) ?(cache_capacity = default_cache_capacity) ?max_nodes
     primary = Reasoner.create ?max_nodes ?max_branches classical_kb;
     workers = None;
     cache = Cache.create ~capacity:cache_capacity;
+    prov = KH.create 64;
     tableau_calls = 0;
     batches = 0;
     parallel_calls = 0 }
@@ -88,27 +102,67 @@ let jobs t = t.jobs
 
 (* Evaluate a query on a given reasoner — the only place verdicts are
    actually computed.  Pure w.r.t. everything but that reasoner's own
-   statistics, so it is safe on worker domains. *)
-let eval reasoner = function
-  | Consistent -> Reasoner.is_consistent reasoner
-  | Concept_sat c -> Reasoner.concept_satisfiable reasoner c
+   statistics (and the optional provenance sink), so it is safe on worker
+   domains. *)
+let eval ?prov reasoner = function
+  | Consistent -> Reasoner.is_consistent ?prov reasoner
+  | Concept_sat c -> Reasoner.concept_satisfiable ?prov reasoner c
   | Instance (a, c) ->
-      not (Reasoner.consistent_with reasoner [ Transform.instance_query c a ])
+      not
+        (Reasoner.consistent_with ?prov reasoner
+           [ Transform.instance_query c a ])
   | Not_instance (a, c) ->
       not
-        (Reasoner.consistent_with reasoner
+        (Reasoner.consistent_with ?prov reasoner
            [ Transform.negative_instance_query c a ])
   | Role_pos (a, r, b) ->
-      Reasoner.role_entailed reasoner a (Transform.plus_role r) b
+      Reasoner.role_entailed ?prov reasoner a (Transform.plus_role r) b
   | Role_neg (a, r, b) ->
       not
-        (Reasoner.consistent_with reasoner
+        (Reasoner.consistent_with ?prov reasoner
            [ Axiom.Role_assertion (a, Transform.eq_role r, b) ])
 
+let query_kind = function
+  | Consistent -> "consistent"
+  | Concept_sat _ -> "concept_sat"
+  | Instance _ -> "instance"
+  | Not_instance _ -> "not_instance"
+  | Role_pos _ -> "role_pos"
+  | Role_neg _ -> "role_neg"
+
+(* [eval] plus observability: when sinks are armed, each verdict gets a
+   span (timed into the eval-latency histogram) and a provenance entry.
+   Disabled, this is one branch on top of [eval]. *)
+let eval_obs reasoner q =
+  if not !Obs.on then (eval reasoner q, None)
+  else begin
+    let sp = Obs.enter ~cat:"oracle" "oracle.eval" in
+    Obs.set_attr sp "query" (query_kind q);
+    let prov = Tableau.fresh_prov () in
+    match eval ~prov reasoner q with
+    | v ->
+        let entry =
+          { individuals = Tableau.prov_individuals prov;
+            concepts = Tableau.prov_concepts prov }
+        in
+        Obs.set_attr sp "verdict" (string_of_bool v);
+        Obs.set_attr sp "individuals" (String.concat " " entry.individuals);
+        Obs.exit_timed sp h_eval;
+        (v, Some entry)
+    | exception e ->
+        Obs.set_attr sp "exn" (Printexc.to_string e);
+        Obs.exit_timed sp h_eval;
+        raise e
+  end
+
 let check t q =
-  Cache.find_or_add t.cache (key_of q) (fun () ->
+  let k = key_of q in
+  Cache.find_or_add t.cache k (fun () ->
       t.tableau_calls <- t.tableau_calls + 1;
-      eval t.primary q)
+      Obs.incr c_tableau_calls;
+      let v, p = eval_obs t.primary q in
+      (match p with Some p -> KH.replace t.prov k p | None -> ());
+      v)
 
 let worker_reasoners t =
   match t.workers with
@@ -123,9 +177,16 @@ let worker_reasoners t =
       ws
 
 (* One worker domain: run its lane with a confined reasoner and a private
-   memo, logging every verdict it computed so the coordinator can fold the
-   work into the shared cache. *)
-let run_worker reasoner f lane =
+   memo, logging every verdict it computed (with its provenance, when
+   sinks are armed) so the coordinator can fold the work into the shared
+   cache.  The shard span attaches to the coordinator's batch span via
+   [?parent] — worker domains have their own (empty) span stacks. *)
+let run_worker ?parent reasoner f lane =
+  let sp = Obs.enter ?parent ~cat:"oracle" "oracle.shard" in
+  if Obs.live sp then begin
+    Obs.set_attr sp "domain" (string_of_int (Domain.self () :> int));
+    Obs.set_attr sp "items" (string_of_int (List.length lane))
+  end;
   let memo = KH.create 64 in
   let log = ref [] in
   let check q =
@@ -133,22 +194,34 @@ let run_worker reasoner f lane =
     match KH.find_opt memo k with
     | Some v -> v
     | None ->
-        let v = eval reasoner q in
+        let v, p = eval_obs reasoner q in
         KH.add memo k v;
-        log := (k, v) :: !log;
+        log := (k, v, p) :: !log;
         v
   in
-  match List.map (fun (i, item) -> (i, f ~check item)) lane with
-  | out -> Ok (out, List.rev !log)
-  | exception e -> Error e
+  let result =
+    match List.map (fun (i, item) -> (i, f ~check item)) lane with
+    | out -> Ok (out, List.rev !log)
+    | exception e -> Error e
+  in
+  Obs.exit_span sp;
+  result
 
 let map_batches t items ~f =
-  let sequential () = List.map (fun item -> f ~check:(check t) item) items in
+  let sequential () =
+    Obs.with_span ~cat:"oracle" "oracle.batch" (fun () ->
+        List.map (fun item -> f ~check:(check t) item) items)
+  in
   match items with
   | [] | [ _ ] -> sequential ()
   | _ when t.jobs <= 1 -> sequential ()
   | _ ->
       let workers = worker_reasoners t in
+      let sp = Obs.enter ~cat:"oracle" "oracle.batch" in
+      if Obs.live sp then begin
+        Obs.set_attr sp "jobs" (string_of_int t.jobs);
+        Obs.set_attr sp "items" (string_of_int (List.length items))
+      end;
       let lanes = Array.make (Array.length workers + 1) [] in
       List.iteri
         (fun i item ->
@@ -158,18 +231,30 @@ let map_batches t items ~f =
       let lane l = List.rev lanes.(l) in
       let domains =
         Array.init (Array.length workers) (fun w ->
-            Domain.spawn (fun () -> run_worker workers.(w) f (lane (w + 1))))
+            Domain.spawn (fun () ->
+                run_worker ~parent:sp workers.(w) f (lane (w + 1))))
       in
       (* coordinator lane runs against the shared cache while workers are in
          flight; exceptions are deferred until every domain is joined *)
       let lane0 =
-        match List.map (fun (i, item) -> (i, f ~check:(check t) item)) (lane 0)
-        with
-        | out -> Ok out
-        | exception e -> Error e
+        let sp0 = Obs.enter ~parent:sp ~cat:"oracle" "oracle.shard" in
+        if Obs.live sp0 then begin
+          Obs.set_attr sp0 "domain" (string_of_int (Domain.self () :> int));
+          Obs.set_attr sp0 "items" (string_of_int (List.length (lane 0)))
+        end;
+        let r =
+          match
+            List.map (fun (i, item) -> (i, f ~check:(check t) item)) (lane 0)
+          with
+          | out -> Ok out
+          | exception e -> Error e
+        in
+        Obs.exit_span sp0;
+        r
       in
       let results = Array.map Domain.join domains in
       t.batches <- t.batches + 1;
+      Obs.incr c_batches;
       let failure = ref None in
       let keep_first e = if !failure = None then failure := Some e in
       let outs = ref [] in
@@ -177,10 +262,15 @@ let map_batches t items ~f =
         (function
           | Ok (out, log) ->
               List.iter
-                (fun (k, v) ->
+                (fun (k, v, p) ->
                   t.tableau_calls <- t.tableau_calls + 1;
                   t.parallel_calls <- t.parallel_calls + 1;
-                  Cache.add t.cache k v)
+                  Obs.incr c_tableau_calls;
+                  Obs.incr c_parallel_calls;
+                  Cache.add t.cache k v;
+                  match p with
+                  | Some p -> KH.replace t.prov k p
+                  | None -> ())
                 log;
               outs := out :: !outs
           | Error e -> keep_first e)
@@ -188,6 +278,7 @@ let map_batches t items ~f =
       (match lane0 with
       | Ok out -> outs := out :: !outs
       | Error e -> keep_first e);
+      Obs.exit_span sp;
       (match !failure with Some e -> raise e | None -> ());
       List.concat !outs
       |> List.sort (fun (i, _) (j, _) -> Int.compare i j)
@@ -202,8 +293,11 @@ let shard t items =
   end
 
 let check_all t qs =
-  if t.jobs <= 1 then List.map (check t) qs
+  if t.jobs <= 1 then
+    Obs.with_span ~cat:"oracle" "oracle.check_all" (fun () ->
+        List.map (check t) qs)
   else begin
+    let sp = Obs.enter ~cat:"oracle" "oracle.check_all" in
     (* distinct uncached keys, in first-occurrence order *)
     let seen = KH.create 64 in
     let pending =
@@ -217,19 +311,35 @@ let check_all t qs =
           end)
         qs
     in
-    let computed = KH.create 64 in
-    List.iter
-      (fun (k, v) -> KH.replace computed k v)
-      (List.concat
-         (map_batches t (shard t pending) ~f:(fun ~check lane ->
-              List.map (fun q -> (key_of q, check q)) lane)));
-    List.map
-      (fun q ->
-        match KH.find_opt computed (key_of q) with
-        | Some v -> v
-        | None -> check t q)
-      qs
+    if Obs.live sp then begin
+      Obs.set_attr sp "queries" (string_of_int (List.length qs));
+      Obs.set_attr sp "pending" (string_of_int (List.length pending))
+    end;
+    let finish r = Obs.exit_span sp; r in
+    match
+      let computed = KH.create 64 in
+      List.iter
+        (fun (k, v) -> KH.replace computed k v)
+        (List.concat
+           (map_batches t (shard t pending) ~f:(fun ~check lane ->
+                List.map (fun q -> (key_of q, check q)) lane)));
+      List.map
+        (fun q ->
+          match KH.find_opt computed (key_of q) with
+          | Some v -> v
+          | None -> check t q)
+        qs
+    with
+    | r -> finish r
+    | exception e ->
+        Obs.exit_span sp;
+        raise e
   end
+
+let provenance t q = KH.find_opt t.prov (key_of q)
+
+let provenances t =
+  KH.fold (fun _ p acc -> p :: acc) t.prov []
 
 type stats = {
   cache : Verdict_cache.stats;

@@ -84,6 +84,27 @@ val shard : t -> 'a list -> 'a list list
     row-level work (classification rows, realization individuals) into
     {!map_batches} items. *)
 
+(** {1 Provenance}
+
+    When observability sinks are armed ({!Obs.enabled}), every verdict
+    actually computed (on any domain of the pool) records which named
+    individuals and user-level atomic concepts its tableau run touched —
+    the dependency set needed for selective cache invalidation.  With
+    sinks off, nothing is recorded and nothing is paid. *)
+
+type prov_entry = {
+  individuals : string list;  (** named ABox individuals touched, sorted *)
+  concepts : string list;
+      (** user-level (demangled) atomic concept names touched, sorted *)
+}
+
+val provenance : t -> query -> prov_entry option
+(** The provenance of a verdict, if it was computed while sinks were
+    armed (cache hits never re-record). *)
+
+val provenances : t -> prov_entry list
+(** All recorded per-verdict provenance entries, unordered. *)
+
 (** {1 Statistics} *)
 
 type stats = {

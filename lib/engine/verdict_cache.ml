@@ -10,6 +10,12 @@ let pp_stats ppf s =
   Format.fprintf ppf "%d hits / %d misses / %d evictions (%d/%d entries)"
     s.hits s.misses s.evictions s.size s.capacity
 
+(* Registry mirrors, aggregated over every cache instance in the
+   process.  Per-instance counts stay in each instance's [stats]. *)
+let c_hits = Obs.counter "cache.hits"
+let c_misses = Obs.counter "cache.misses"
+let c_evictions = Obs.counter "cache.evictions"
+
 module Make (K : Hashtbl.HashedType) = struct
   module H = Hashtbl.Make (K)
 
@@ -67,10 +73,12 @@ module Make (K : Hashtbl.HashedType) = struct
     match H.find_opt t.table k with
     | Some n ->
         t.hits <- t.hits + 1;
+        Obs.incr c_hits;
         touch t n;
         Some n.value
     | None ->
         t.misses <- t.misses + 1;
+        Obs.incr c_misses;
         None
 
   let mem t k = H.mem t.table k
@@ -81,7 +89,8 @@ module Make (K : Hashtbl.HashedType) = struct
     | Some n ->
         unlink t n;
         H.remove t.table n.key;
-        t.evictions <- t.evictions + 1
+        t.evictions <- t.evictions + 1;
+        Obs.incr c_evictions
 
   let add t k v =
     if t.capacity > 0 then begin

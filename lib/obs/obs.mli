@@ -1,0 +1,115 @@
+(** Process-wide observability: metrics registry, hierarchical spans,
+    export sinks (human footer, flat metrics JSON, Chrome trace_event).
+
+    All instrumentation is gated on one [bool ref]; when disabled every
+    site costs a load and a branch — no allocation, no atomics. *)
+
+(** {1 Global switch} *)
+
+val on : bool ref
+(** The master gate.  Instrumentation helpers read it inline; callers
+    should flip it via {!set_enabled}. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Zero every registered metric and drop all span records.  Metrics
+    stay registered.  Only call while no worker domains are live. *)
+
+(** {1 Metrics registry}
+
+    Metrics are registered by name on first use and live for the whole
+    process; re-registering a name returns the existing metric (and
+    raises [Invalid_argument] on a kind mismatch). *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe_ns : histogram -> float -> unit
+(** Record a duration in nanoseconds into log2 buckets. *)
+
+val histogram_count : histogram -> int
+val histogram_sum_ns : histogram -> float
+
+val counters : unit -> (string * int) list
+(** All registered counters with current values, sorted by name. *)
+
+val histograms : unit -> (string * int * float) list
+(** All registered histograms as [(name, count, sum_ns)], sorted. *)
+
+(** {1 Spans} *)
+
+type span
+
+type span_record = {
+  r_id : int;
+  r_parent : int;  (** 0 = root *)
+  r_name : string;
+  r_cat : string;
+  r_tid : int;  (** domain id that ran the span *)
+  r_start_ns : float;  (** relative to process start *)
+  r_dur_ns : float;
+  r_attrs : (string * string) list;
+}
+
+val none : span
+(** The sentinel returned by {!enter} when disabled; all span
+    operations on it are no-ops. *)
+
+val live : span -> bool
+(** [false] exactly for {!none}; use to skip attr-string construction. *)
+
+val enter : ?parent:span -> ?cat:string -> string -> span
+(** Open a span.  Without [?parent] it nests under the innermost open
+    span of the calling domain (per-domain stacks), so spans opened
+    inside worker domains need an explicit [~parent] to attach to the
+    coordinator's batch span. *)
+
+val set_attr : span -> string -> string -> unit
+val exit_span : span -> unit
+
+val exit_timed : span -> histogram -> unit
+(** [exit_span] + record the duration into [histogram]. *)
+
+val with_span : ?parent:span -> ?cat:string -> string -> (unit -> 'a) -> 'a
+(** Run under a span when enabled; call the thunk directly otherwise. *)
+
+val spans : unit -> span_record list
+(** All closed spans in completion order. *)
+
+val span_count : unit -> int
+
+(** {1 Sinks} *)
+
+val pp_footer : Format.formatter -> unit -> unit
+(** Human summary: non-zero counters, histogram totals, span count. *)
+
+val print_footer : unit -> unit
+
+val metrics_json : unit -> string
+(** Flat registry dump as a JSON object. *)
+
+val write_metrics_json : string -> unit
+
+val trace_json : unit -> string
+(** Chrome [trace_event] JSON (complete "X" events, ts/dur in
+    microseconds, tid = domain id, span id/parent in [args]). *)
+
+val write_trace : string -> unit
+
+val trace_env_path : string option
+(** Path from [DL4_TRACE] ("1" selects ["dl4.trace.json"]); when set,
+    tracing was armed at module init and the trace is written at exit. *)

@@ -16,20 +16,25 @@ let create ?(max_nodes = 20_000) ?(max_branches = max_int) kb =
 let kb t = t.kb
 let stats t = t.stats
 
-let sat t extra_abox =
+let sat ?prov t extra_abox =
   Tableau.kb_satisfiable ~max_nodes:t.max_nodes ~max_branches:t.max_branches
-    ~stats:t.stats
+    ~stats:t.stats ?prov
     { t.kb with abox = t.kb.abox @ extra_abox }
 
-let is_consistent t =
-  match t.consistent with
-  | Some b -> b
-  | None ->
-      let b = sat t [] in
+let is_consistent ?prov t =
+  match (t.consistent, prov) with
+  | Some b, None -> b
+  | Some b, Some _ ->
+      (* a provenance sink was supplied: re-run so it gets populated *)
+      let b' = sat ?prov t [] in
+      assert (b = b');
+      b
+  | None, _ ->
+      let b = sat ?prov t [] in
       t.consistent <- Some b;
       b
 
-let consistent_with t extra = sat t extra
+let consistent_with ?prov t extra = sat ?prov t extra
 
 let find_model t =
   Tableau.kb_model ~max_nodes:t.max_nodes ~max_branches:t.max_branches
@@ -39,8 +44,8 @@ let find_model t =
 let fresh_individual = "q:fresh"
 let fresh_marker = "q:marker"
 
-let concept_satisfiable t c =
-  sat t [ Axiom.Instance_of (fresh_individual, c) ]
+let concept_satisfiable ?prov t c =
+  sat ?prov t [ Axiom.Instance_of (fresh_individual, c) ]
 
 let subsumes t c d =
   not (concept_satisfiable t (Concept.And (c, Concept.Not d)))
@@ -49,9 +54,9 @@ let equivalent t c d = subsumes t c d && subsumes t d c
 
 let instance_of t a c = not (sat t [ Axiom.Instance_of (a, Concept.Not c) ])
 
-let role_entailed t a r b =
+let role_entailed ?prov t a r b =
   not
-    (sat t
+    (sat ?prov t
        [ Axiom.Instance_of (b, Concept.Atom fresh_marker);
          Axiom.Instance_of
            (a, Concept.Forall (r, Concept.Not (Concept.Atom fresh_marker))) ])

@@ -14,17 +14,20 @@ val kb : t -> Axiom.kb
 val stats : t -> Tableau.stats
 (** Cumulative tableau statistics over all queries run so far. *)
 
-val is_consistent : t -> bool
-(** KB satisfiability (cached after the first call). *)
+val is_consistent : ?prov:Tableau.prov -> t -> bool
+(** KB satisfiability (cached after the first call).  Passing [?prov]
+    populates the accumulator with the run's touched individuals and
+    concept names; with a cached verdict this forces a (deterministic)
+    re-run so the provenance is still complete. *)
 
-val consistent_with : t -> Axiom.abox_axiom list -> bool
+val consistent_with : ?prov:Tableau.prov -> t -> Axiom.abox_axiom list -> bool
 (** Satisfiability of the KB together with extra assertions. *)
 
 val find_model : t -> Interp.t option
 (** A verified finite model of the KB, when the tableau's completion graph
     yields one (see {!Tableau.kb_model}). *)
 
-val concept_satisfiable : t -> Concept.t -> bool
+val concept_satisfiable : ?prov:Tableau.prov -> t -> Concept.t -> bool
 (** Is [C] satisfiable w.r.t. the KB (i.e. is [K ∪ {C(fresh)}]
     satisfiable)? *)
 
@@ -39,7 +42,7 @@ val instance_of : t -> string -> Concept.t -> bool
     unsatisfiable.  In an inconsistent KB every instance check holds — the
     triviality the paper sets out to repair. *)
 
-val role_entailed : t -> string -> Role.t -> string -> bool
+val role_entailed : ?prov:Tableau.prov -> t -> string -> Role.t -> string -> bool
 (** [K ⊨ R(a,b)], decided with a fresh marker concept:
     [K ∪ {b : X, a : ∀R.¬X}] is unsatisfiable. *)
 

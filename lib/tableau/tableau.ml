@@ -24,6 +24,62 @@ type stats = {
 
 let fresh_stats () = { branches_explored = 0; nodes_created = 0; merges = 0 }
 
+(* ------------------------------------------------------------------ *)
+(* Observability: registry metrics (all gated on [Obs.on]) and
+   per-run provenance. *)
+
+let c_runs = Obs.counter "tableau.runs"
+let c_sat = Obs.counter "tableau.sat"
+let c_unsat = Obs.counter "tableau.unsat"
+let c_nodes = Obs.counter "tableau.nodes_created"
+let c_merges = Obs.counter "tableau.merges"
+let c_branches = Obs.counter "tableau.branches"
+let c_backtracks = Obs.counter "tableau.backtracks"
+let c_blocks = Obs.counter "tableau.blocking_events"
+let h_run = Obs.histogram "tableau.run_ns"
+
+(* rule firings by rule name *)
+let c_rule_gci = Obs.counter "tableau.rule.gci"
+let c_rule_and = Obs.counter "tableau.rule.and"
+let c_rule_or_unit = Obs.counter "tableau.rule.or_unit"
+let c_rule_unfold = Obs.counter "tableau.rule.unfold"
+let c_rule_forall = Obs.counter "tableau.rule.forall"
+let c_rule_forall_trans = Obs.counter "tableau.rule.forall_trans"
+let c_rule_oneof = Obs.counter "tableau.rule.one_of"
+let c_rule_not_oneof = Obs.counter "tableau.rule.not_one_of"
+let c_rule_exists = Obs.counter "tableau.rule.exists"
+let c_rule_at_least = Obs.counter "tableau.rule.at_least"
+
+(* clash causes *)
+let c_clash_bottom = Obs.counter "tableau.clash.bottom"
+let c_clash_atomic = Obs.counter "tableau.clash.atomic"
+let c_clash_nominal = Obs.counter "tableau.clash.nominal"
+let c_clash_at_most = Obs.counter "tableau.clash.at_most"
+let c_clash_distinct = Obs.counter "tableau.clash.distinct"
+let c_clash_merge = Obs.counter "tableau.clash.merge"
+let c_clash_data = Obs.counter "tableau.clash.data"
+
+(* Per-run provenance: the named individuals and (demangled) atomic
+   concepts a tableau run touched.  Fresh query artefacts use names
+   containing ':' (see {!Reasoner.fresh_individual}) and are excluded,
+   so a run over a reduced KB reports exactly the user-level names. *)
+module NSet = Set.Make (String)
+
+type prov = { mutable p_inds : NSet.t; mutable p_atoms : NSet.t }
+
+let fresh_prov () = { p_inds = NSet.empty; p_atoms = NSet.empty }
+let prov_individuals p = NSet.elements p.p_inds
+let prov_concepts p = NSet.elements p.p_atoms
+
+let prov_add_ind p a =
+  if not (String.contains a ':') then p.p_inds <- NSet.add a p.p_inds
+
+let prov_add_atom p a =
+  match Mangle.atom_origin a with
+  | Mangle.Pos x | Mangle.Neg x -> p.p_atoms <- NSet.add x p.p_atoms
+  | Mangle.Plain s ->
+      if not (String.contains s ':') then p.p_atoms <- NSet.add s p.p_atoms
+
 type node = {
   labels : CSet.t;
   parent : int option;  (* [Some p] for blockable tree nodes *)
@@ -63,6 +119,7 @@ type ctx = {
   max_nodes : int;
   max_branches : int;
   stats : stats;
+  prov : prov option;  (* provenance sink for this run, if requested *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -124,6 +181,7 @@ let new_node ctx st ~parent ~labels:lbls =
   if st.next_id >= ctx.max_nodes then
     raise (Resource_limit (Printf.sprintf "node limit %d exceeded" ctx.max_nodes));
   ctx.stats.nodes_created <- ctx.stats.nodes_created + 1;
+  Obs.incr c_nodes;
   let id = st.next_id in
   let n = { labels = CSet.empty; parent; data_asserted = [] } in
   let st =
@@ -284,6 +342,7 @@ let rec merge ctx st ~src ~dst =
   else if are_distinct st src dst then None
   else begin
     ctx.stats.merges <- ctx.stats.merges + 1;
+    Obs.incr c_merges;
     let doomed = ISet.remove src (subtree st src) in
     let st = remove_nodes st doomed in
     let nsrc = node st src and ndst = node st dst in
@@ -367,20 +426,25 @@ let exists_distinct_clique st k ys =
   go [] ys
 
 let node_clash ctx st x =
+  (* [hit] tags the detected clash with its cause in the registry. *)
+  let hit cause = Obs.incr cause; true in
   let ls = labels st x in
-  CSet.mem Concept.Bottom ls
+  (CSet.mem Concept.Bottom ls && hit c_clash_bottom)
   || CSet.exists
        (fun c ->
          match (c : Concept.t) with
-         | Not (Atom a) -> CSet.mem (Concept.Atom a) ls
+         | Not (Atom a) -> CSet.mem (Concept.Atom a) ls && hit c_clash_atomic
          | Not (One_of os) ->
              List.exists (fun o -> SMap.find_opt o st.names = Some x) os
+             && hit c_clash_nominal
          | At_most (n, r) ->
              let ys = r_neighbours ctx st x r in
-             List.length ys > n && exists_distinct_clique st (n + 1) ys
+             List.length ys > n
+             && exists_distinct_clique st (n + 1) ys
+             && hit c_clash_at_most
          | _ -> false)
        ls
-  || are_distinct st x x
+  || (are_distinct st x x && hit c_clash_distinct)
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic saturation *)
@@ -412,53 +476,59 @@ let saturate ctx st =
     let work = !st.dirty in
     st := { !st with dirty = ISet.empty };
     touched := ISet.union !touched work;
-    let add x cs =
+    let add rule x cs =
       let cs = List.filter (fun c -> not (CSet.mem c (labels !st x))) cs in
-      if cs <> [] then st := add_labels !st x cs
+      if cs <> [] then begin
+        Obs.incr rule;
+        st := add_labels !st x cs
+      end
     in
     let ids = ISet.elements work in
     List.iter
       (fun x ->
         if IMap.mem x !st.nodes then begin
           (* GCIs on every node *)
-          add x ctx.gcis;
+          add c_rule_gci x ctx.gcis;
           CSet.iter
             (fun c ->
               if IMap.mem x !st.nodes then
                 match (c : Concept.t) with
-                | And (a, b) -> add x [ a; b ]
+                | And (a, b) -> add c_rule_and x [ a; b ]
                 | Or _ ->
                     (* unit propagation over the flattened disjunction *)
                     let lbls = labels !st x in
                     let ds = disjuncts c in
                     if not (List.exists (fun d -> CSet.mem d lbls) ds) then begin
                       match List.filter (fun d -> not (falsified lbls d)) ds with
-                      | [] -> add x [ Concept.Bottom ]
-                      | [ d ] -> add x [ d ]
+                      | [] -> add c_rule_or_unit x [ Concept.Bottom ]
+                      | [ d ] -> add c_rule_or_unit x [ d ]
                       | _ :: _ :: _ -> ()
                     end
                 | Atom a -> (
                     match SMap.find_opt a ctx.unfold with
-                    | Some cs -> add x cs
+                    | Some cs -> add c_rule_unfold x cs
                     | None -> ())
                 | Forall (s, body) ->
                     List.iter
-                      (fun y -> add y [ body ])
+                      (fun y -> add c_rule_forall y [ body ])
                       (r_neighbours ctx !st x s);
                     (* ∀₊: propagate through transitive subroles *)
                     List.iter
                       (fun r ->
                         List.iter
-                          (fun y -> add y [ Concept.Forall (r, body) ])
+                          (fun y -> add c_rule_forall_trans y [ Concept.Forall (r, body) ])
                           (r_neighbours ctx !st x r))
                       (Hierarchy.transitive_subs_below ctx.h s)
                 | One_of [ o ] -> (
                     match SMap.find_opt o !st.names with
                     | Some y when y = x -> ()
                     | Some y -> (
+                        Obs.incr c_rule_oneof;
                         match merge ctx !st ~src:x ~dst:y with
                         | Some st' -> st := st'
-                        | None -> raise Clashed)
+                        | None ->
+                            Obs.incr c_clash_merge;
+                            raise Clashed)
                     | None ->
                         (* x becomes the named node for o; promote to root
                            so it can never be pruned or blocked *)
@@ -484,14 +554,35 @@ let saturate ctx st =
                                 y )
                         in
                         st := st';
-                        if not (are_distinct !st x y) then
-                          st := add_distinct !st x y)
+                        if not (are_distinct !st x y) then begin
+                          Obs.incr c_rule_not_oneof;
+                          st := add_distinct !st x y
+                        end)
                       os
                 | _ -> ())
             (labels !st x)
         end)
       ids
   done;
+  (* Provenance is harvested per saturation pass, from the touched set:
+     this also captures work done on branches that later backtrack, so
+     UNSAT runs report what they examined, not just the final state. *)
+  (match ctx.prov with
+  | None -> ()
+  | Some p ->
+      SMap.iter (fun a _ -> prov_add_ind p a) !st.names;
+      ISet.iter
+        (fun x ->
+          match IMap.find_opt x !st.nodes with
+          | None -> ()
+          | Some n ->
+              CSet.iter
+                (fun c ->
+                  match (c : Concept.t) with
+                  | Atom a | Not (Atom a) -> prov_add_atom p a
+                  | _ -> ())
+                n.labels)
+        !touched);
   (!st, !touched)
 
 (* ------------------------------------------------------------------ *)
@@ -653,6 +744,7 @@ let blocked_checker ctx st =
           | None -> false
           | Some px -> is_blocked px || directly_blocked x
         in
+        if b then Obs.incr c_blocks;
         Hashtbl.add memo x b;
         b
   in
@@ -690,6 +782,7 @@ let find_generating ctx st =
                          result :=
                            Some
                              (fun st ->
+                               Obs.incr c_rule_exists;
                                let y, st =
                                  new_node ctx st ~parent:(Some x)
                                    ~labels:[ body ]
@@ -704,6 +797,7 @@ let find_generating ctx st =
                          result :=
                            Some
                              (fun st ->
+                               Obs.incr c_rule_at_least;
                                (* create k fresh pairwise-distinct
                                   successors *)
                                let rec go st created i =
@@ -777,9 +871,11 @@ let rec expand ctx st =
               | d :: rest -> (
                   ctx.stats.branches_explored <-
                     ctx.stats.branches_explored + 1;
+                  Obs.incr c_branches;
                   match expand ctx (add_labels st x (d :: negs)) with
                   | Some _ as r -> r
                   | None ->
+                      Obs.incr c_backtracks;
                       try_branches (Concept.nnf (Concept.Not d) :: negs) rest)
             in
             try_branches [] ds
@@ -787,20 +883,39 @@ let rec expand ctx st =
             List.find_map
               (fun (src, dst) ->
                 ctx.stats.branches_explored <- ctx.stats.branches_explored + 1;
+                Obs.incr c_branches;
                 match merge ctx st ~src ~dst with
-                | Some st' -> expand ctx st'
-                | None -> None)
+                | Some st' -> (
+                    match expand ctx st' with
+                    | Some _ as r -> r
+                    | None ->
+                        Obs.incr c_backtracks;
+                        None)
+                | None ->
+                    Obs.incr c_clash_merge;
+                    Obs.incr c_backtracks;
+                    None)
               pairs
         | Some (Nominal_choice (x, os)) ->
             List.find_map
               (fun o ->
                 ctx.stats.branches_explored <- ctx.stats.branches_explored + 1;
-                expand ctx (add_labels st x [ Concept.One_of [ o ] ]))
+                Obs.incr c_branches;
+                match expand ctx (add_labels st x [ Concept.One_of [ o ] ]) with
+                | Some _ as r -> r
+                | None ->
+                    Obs.incr c_backtracks;
+                    None)
               os
         | None -> (
             match find_generating ctx st with
             | Some apply, st -> expand ctx (apply st)
-            | None, st -> if data_ok ctx st then Some st else None)
+            | None, st ->
+                if data_ok ctx st then Some st
+                else begin
+                  Obs.incr c_clash_data;
+                  None
+                end)
       end
 
 (* ------------------------------------------------------------------ *)
@@ -853,6 +968,7 @@ let initial_state ctx (kb : Axiom.kb) =
       gen_pending = ISet.empty }
   in
   let get_node st a =
+    (match ctx.prov with Some p -> prov_add_ind p a | None -> ());
     match SMap.find_opt a st.names with
     | Some x -> (x, st)
     | None ->
@@ -886,7 +1002,9 @@ let initial_state ctx (kb : Axiom.kb) =
             let y, st = get_node st b in
             (match merge ctx st ~src:y ~dst:x with
             | Some st -> st
-            | None -> raise Clashed)
+            | None ->
+                Obs.incr c_clash_merge;
+                raise Clashed)
         | Different (a, b) ->
             let x, st = get_node st a in
             let y, st = get_node st b in
@@ -938,23 +1056,49 @@ let choose_blocking (kb : Axiom.kb) =
   if !uses_inverse then Pairwise else if !uses_at_most then Equal else Subset
 
 let completed_state ?(max_nodes = 20_000) ?(max_branches = max_int)
-    ?(stats = fresh_stats ()) (kb : Axiom.kb) =
-  let unfold, gcis = preprocess_tbox kb.tbox in
-  let ctx =
-    { h = Hierarchy.build kb.tbox;
-      unfold;
-      gcis;
-      blocking = choose_blocking kb;
-      max_nodes;
-      max_branches;
-      stats }
+    ?(stats = fresh_stats ()) ?prov (kb : Axiom.kb) =
+  Obs.incr c_runs;
+  let sp = Obs.enter ~cat:"tableau" "tableau.run" in
+  let b0 = stats.branches_explored
+  and n0 = stats.nodes_created
+  and m0 = stats.merges in
+  let finish outcome =
+    if Obs.live sp then begin
+      Obs.set_attr sp "nodes" (string_of_int (stats.nodes_created - n0));
+      Obs.set_attr sp "branches" (string_of_int (stats.branches_explored - b0));
+      Obs.set_attr sp "merges" (string_of_int (stats.merges - m0));
+      Obs.set_attr sp "sat"
+        (match outcome with Some _ -> "true" | None -> "false");
+      Obs.incr (match outcome with Some _ -> c_sat | None -> c_unsat)
+    end;
+    Obs.exit_timed sp h_run
   in
-  match initial_state ctx kb with
-  | exception Clashed -> (ctx, None)
-  | st -> (ctx, expand ctx st)
+  match
+    let unfold, gcis = preprocess_tbox kb.tbox in
+    let ctx =
+      { h = Hierarchy.build kb.tbox;
+        unfold;
+        gcis;
+        blocking = choose_blocking kb;
+        max_nodes;
+        max_branches;
+        stats;
+        prov }
+    in
+    match initial_state ctx kb with
+    | exception Clashed -> (ctx, None)
+    | st -> (ctx, expand ctx st)
+  with
+  | (_, outcome) as r ->
+      finish outcome;
+      r
+  | exception e ->
+      if Obs.live sp then Obs.set_attr sp "exn" (Printexc.to_string e);
+      Obs.exit_timed sp h_run;
+      raise e
 
-let kb_satisfiable ?max_nodes ?max_branches ?stats kb =
-  Option.is_some (snd (completed_state ?max_nodes ?max_branches ?stats kb))
+let kb_satisfiable ?max_nodes ?max_branches ?stats ?prov kb =
+  Option.is_some (snd (completed_state ?max_nodes ?max_branches ?stats ?prov kb))
 
 (* ------------------------------------------------------------------ *)
 (* Model extraction.
@@ -1165,7 +1309,7 @@ let extract_model ctx (kb : Axiom.kb) st =
       in
       if Interp.is_model candidate kb then Some candidate else None
 
-let kb_model ?max_nodes ?max_branches ?stats kb =
-  match completed_state ?max_nodes ?max_branches ?stats kb with
+let kb_model ?max_nodes ?max_branches ?stats ?prov kb =
+  match completed_state ?max_nodes ?max_branches ?stats ?prov kb with
   | _, None -> None
   | ctx, Some st -> extract_model ctx kb st

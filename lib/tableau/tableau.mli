@@ -36,8 +36,25 @@ type stats = {
   mutable merges : int;
 }
 
+type prov
+(** Per-run provenance accumulator: the named individuals and (demangled)
+    atomic concepts a tableau run touched, including work on branches that
+    were later backtracked.  Fresh query artefacts (names containing [':'],
+    e.g. [q:fresh]) are excluded, so runs over reduced KBs report exactly
+    the user-level names.  Feeds the oracle's per-verdict dependency
+    tracking (selective cache invalidation, span attributes). *)
+
+val fresh_prov : unit -> prov
+
+val prov_individuals : prov -> string list
+(** Sorted, deduplicated. *)
+
+val prov_concepts : prov -> string list
+(** Sorted, deduplicated. *)
+
 val kb_satisfiable :
-  ?max_nodes:int -> ?max_branches:int -> ?stats:stats -> Axiom.kb -> bool
+  ?max_nodes:int -> ?max_branches:int -> ?stats:stats -> ?prov:prov ->
+  Axiom.kb -> bool
 (** Decides satisfiability of the knowledge base.
     @raise Resource_limit if the completion graph exceeds [max_nodes]
     (default 20_000) or the search explores more than [max_branches]
@@ -45,8 +62,8 @@ val kb_satisfiable :
     worst-case exponential). *)
 
 val kb_model :
-  ?max_nodes:int -> ?max_branches:int -> ?stats:stats -> Axiom.kb ->
-  Interp.t option
+  ?max_nodes:int -> ?max_branches:int -> ?stats:stats -> ?prov:prov ->
+  Axiom.kb -> Interp.t option
 (** Extract a finite model from an open tableau branch: blocked branches
     are tied back to their blocking witnesses, role extensions are closed
     under the hierarchy and declared transitivity, datatype successors come

@@ -80,9 +80,25 @@ let abox_axiom (ax : Axiom.abox_axiom) : Axiom.abox_axiom =
       Axiom.Data_assertion (a, Mangle.plus_role u, v)
   | Axiom.Same _ | Axiom.Different _ -> ax
 
+let c_passes = Obs.counter "transform.passes"
+let c_tbox_out = Obs.counter "transform.tbox_axioms"
+let c_abox_out = Obs.counter "transform.abox_axioms"
+
 let kb (k : Kb4.t) : Axiom.kb =
-  { Axiom.tbox = List.concat_map tbox_axiom k.tbox;
-    abox = List.map abox_axiom k.abox }
+  let sp = Obs.enter ~cat:"transform" "transform.reduce" in
+  let out =
+    { Axiom.tbox = List.concat_map tbox_axiom k.tbox;
+      abox = List.map abox_axiom k.abox }
+  in
+  Obs.incr c_passes;
+  if Obs.live sp then begin
+    Obs.add c_tbox_out (List.length out.Axiom.tbox);
+    Obs.add c_abox_out (List.length out.Axiom.abox);
+    Obs.set_attr sp "tbox" (string_of_int (List.length out.Axiom.tbox));
+    Obs.set_attr sp "abox" (string_of_int (List.length out.Axiom.abox))
+  end;
+  Obs.exit_span sp;
+  out
 
 let inclusion_tests kind c d =
   match kind with

@@ -1,0 +1,353 @@
+(* Standalone validator for Chrome trace_event files produced by Dl_obs
+   (--trace FILE / DL4_TRACE).  Used by CI to vet the trace artifact the
+   suite writes when run with DL4_TRACE=1.
+
+   Checks:
+   - the file is a JSON object with a "traceEvents" array;
+   - every event is a complete-duration event: ph "X", string name/cat,
+     numeric ts/dur/pid/tid, dur >= 0;
+   - span identities: args.id positive and unique, args.parent resolves
+     to an existing id (or 0 for roots), and each child's [ts, ts+dur]
+     interval sits inside its parent's (small epsilon for clock grain);
+   - per-tid well-formedness: on any one tid, intervals are properly
+     nested or disjoint — never partially overlapping.
+
+   Exit 0 on success (prints a one-line summary), 1 with diagnostics
+   otherwise.  The parser below is a minimal recursive-descent JSON
+   reader: the container ships no JSON library, and the subset Dl_obs
+   emits (objects, arrays, strings, numbers) is small. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then (pos := !pos + m; v)
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        (if !pos >= n then fail "unterminated escape");
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail "bad \\u escape"
+            in
+            (* BMP only; Dl_obs never emits astral characters *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+        | _ -> fail "bad escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+type event = {
+  name : string;
+  tid : int;
+  ts : float; (* microseconds *)
+  dur : float;
+  id : int; (* 0 when the event carries no span identity *)
+  parent : int;
+}
+
+let errors = ref 0
+
+let err fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      if !errors <= 25 then Printf.eprintf "error: %s\n" msg)
+    fmt
+
+let field obj k = match obj with Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let num_field ctx obj k =
+  match field obj k with
+  | Some (Num f) -> Some f
+  | Some _ ->
+      err "%s: field %S is not a number" ctx k;
+      None
+  | None ->
+      err "%s: missing field %S" ctx k;
+      None
+
+let str_field ctx obj k =
+  match field obj k with
+  | Some (Str v) -> Some v
+  | Some _ ->
+      err "%s: field %S is not a string" ctx k;
+      None
+  | None ->
+      err "%s: missing field %S" ctx k;
+      None
+
+let event_of_json i j =
+  let ctx = Printf.sprintf "event %d" i in
+  let name = Option.value ~default:"?" (str_field ctx j "name") in
+  ignore (str_field ctx j "cat");
+  (match str_field ctx j "ph" with
+  | Some "X" | None -> ()
+  | Some ph -> err "%s (%s): ph is %S, want \"X\"" ctx name ph);
+  ignore (num_field ctx j "pid");
+  let tid =
+    match num_field ctx j "tid" with Some f -> int_of_float f | None -> 0
+  in
+  let ts = Option.value ~default:0.0 (num_field ctx j "ts") in
+  let dur = Option.value ~default:0.0 (num_field ctx j "dur") in
+  if dur < 0.0 then err "%s (%s): negative dur %f" ctx name dur;
+  let arg_int k =
+    match field j "args" with
+    | Some args -> (
+        match field args k with
+        | Some (Num f) -> int_of_float f
+        | Some (Str s) -> ( try int_of_string s with _ -> 0)
+        | _ -> 0)
+    | None -> 0
+  in
+  { name; tid; ts; dur; id = arg_int "id"; parent = arg_int "parent" }
+
+let eps_us = 10.0
+
+let check_parents events =
+  let by_id = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if e.id <> 0 then begin
+        if Hashtbl.mem by_id e.id then
+          err "span id %d (%s) is not unique" e.id e.name;
+        Hashtbl.replace by_id e.id e
+      end)
+    events;
+  List.iter
+    (fun e ->
+      if e.parent <> 0 then
+        match Hashtbl.find_opt by_id e.parent with
+        | None -> err "span %s: parent id %d not in trace" e.name e.parent
+        | Some p ->
+            if e.ts < p.ts -. eps_us then
+              err "span %s starts %.1fus before its parent %s" e.name
+                (p.ts -. e.ts) p.name;
+            if e.ts +. e.dur > p.ts +. p.dur +. eps_us then
+              err "span %s ends %.1fus after its parent %s" e.name
+                (e.ts +. e.dur -. (p.ts +. p.dur))
+                p.name)
+    events
+
+(* On one tid, complete events must be properly nested or disjoint: sort
+   by (ts, -dur) and keep a stack of enclosing intervals. *)
+let check_nesting events =
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace by_tid e.tid
+        (e :: Option.value ~default:[] (Hashtbl.find_opt by_tid e.tid)))
+    events;
+  Hashtbl.iter
+    (fun tid es ->
+      let sorted =
+        List.sort
+          (fun a b ->
+            match compare a.ts b.ts with
+            | 0 -> compare b.dur a.dur
+            | c -> c)
+          es
+      in
+      let stack = ref [] in
+      List.iter
+        (fun e ->
+          let rec pop () =
+            match !stack with
+            | top :: rest when e.ts >= top.ts +. top.dur -. eps_us ->
+                stack := rest;
+                pop ()
+            | _ -> ()
+          in
+          pop ();
+          (match !stack with
+          | top :: _ when e.ts +. e.dur > top.ts +. top.dur +. eps_us ->
+              err
+                "tid %d: span %s [%.1f, %.1f] partially overlaps %s [%.1f, \
+                 %.1f]"
+                tid e.name e.ts (e.ts +. e.dur) top.name top.ts
+                (top.ts +. top.dur)
+          | _ -> ());
+          stack := e :: !stack)
+        sorted)
+    by_tid
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+        prerr_endline "usage: check_trace FILE.trace.json";
+        exit 2
+  in
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let root =
+    try parse contents
+    with Parse_error msg ->
+      Printf.eprintf "error: %s: invalid JSON: %s\n" path msg;
+      exit 1
+  in
+  let events =
+    match field root "traceEvents" with
+    | Some (Arr evs) -> List.mapi event_of_json evs
+    | Some _ ->
+        err "%s: \"traceEvents\" is not an array" path;
+        []
+    | None ->
+        err "%s: no \"traceEvents\" field" path;
+        []
+  in
+  check_parents events;
+  check_nesting events;
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.tid) events)
+  in
+  if !errors > 0 then begin
+    Printf.eprintf "%s: %d error(s) in %d events\n" path !errors
+      (List.length events);
+    exit 1
+  end;
+  Printf.printf "%s: ok (%d events, %d tid(s))\n" path (List.length events)
+    (List.length tids)

@@ -1,0 +1,278 @@
+(* PR 3 observability tests.
+
+   - Zero-overhead contract: with no sink armed, a full engine workload
+     (classification, realization, contradiction grid at pool width
+     DL4_JOBS) must leave every counter at zero, every histogram empty,
+     no span records and no captured provenance.
+   - Grep guard: lib/engine and lib/core present their statistics through
+     the Dl_obs registry / the typed stats records, never via Printf —
+     the sources are attached as test dependencies (see test/dune).
+   - Trace correctness: with tracing on, the span records of a classify +
+     contradiction run at jobs=2 form a well-nested forest (parents exist,
+     child intervals sit inside parent intervals), parallel batches carry
+     worker-shard spans with pairwise-distinct domain ids, and every
+     per-verdict provenance entry lists exactly the named individuals of
+     the KB (paper Examples 1-4; Example 5 shares Example 3's KB).
+   - Invariance: answers are identical with tracing on or off, at pool
+     widths 1 and 2. *)
+
+let jobs =
+  match Sys.getenv_opt "DL4_JOBS" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The suite may run with DL4_TRACE armed (the CI trace job): save and
+   restore the ambient switch so the at_exit trace writer still sees
+   whatever state the environment asked for. *)
+let with_obs_state enabled f =
+  let saved = Obs.enabled () in
+  Obs.set_enabled enabled;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_enabled saved)
+    f
+
+let examples =
+  [ ("example1", Paper_examples.example1);
+    ("example2", Paper_examples.example2);
+    ("example3", Paper_examples.example3);
+    ("example4", Paper_examples.example4) ]
+
+let workload ~jobs kb =
+  let e = Engine.create ~jobs kb in
+  let taxonomy = Engine.classify e in
+  let t = Para.of_engine e in
+  let contradictions = Para.contradictions t in
+  (e, (taxonomy, contradictions))
+
+(* ------------------------------------------------------------------ *)
+(* Zero overhead when disabled *)
+
+let disabled_tests =
+  [ Alcotest.test_case "disabled sinks record nothing" `Quick (fun () ->
+        with_obs_state false (fun () ->
+            List.iter
+              (fun (_, kb) ->
+                let e, _ = workload ~jobs kb in
+                ignore (Engine.realization e);
+                Alcotest.(check int)
+                  "no provenance captured" 0
+                  (List.length (Oracle.provenances (Engine.oracle e))))
+              examples;
+            List.iter
+              (fun (name, v) ->
+                Alcotest.(check int) (name ^ " stays zero") 0 v)
+              (Obs.counters ());
+            List.iter
+              (fun (name, count, sum) ->
+                Alcotest.(check int) (name ^ " count stays zero") 0 count;
+                Alcotest.(check (float 0.0))
+                  (name ^ " sum stays zero") 0.0 sum)
+              (Obs.histograms ());
+            Alcotest.(check int) "no spans recorded" 0 (Obs.span_count ())))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Guard: stats leave lib/engine and lib/core through the registry or
+   the typed stats records, never as ad-hoc Printf output. *)
+
+let guard_tests =
+  let scan_dir dir =
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".ml")
+      |> List.sort String.compare
+    in
+    Alcotest.(check bool) (dir ^ " sources are visible") true (files <> []);
+    let pat = "Printf." in
+    let offenders = ref [] in
+    List.iter
+      (fun f ->
+        let src = read (Filename.concat dir f) in
+        let n = String.length src and m = String.length pat in
+        for i = 0 to n - m do
+          if String.sub src i m = pat then offenders := (f, i) :: !offenders
+        done)
+      files;
+    List.rev !offenders
+  in
+  [ Alcotest.test_case "no Printf-based stats in lib/engine and lib/core"
+      `Quick (fun () ->
+        let dir sub = Filename.concat ".." (Filename.concat "lib" sub) in
+        Alcotest.(check (list (pair string int)))
+          "Printf uses in lib/engine" [] (scan_dir (dir "engine"));
+        Alcotest.(check (list (pair string int)))
+          "Printf uses in lib/core" [] (scan_dir (dir "core"))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace correctness *)
+
+let eps_ns = 10_000.0 (* gettimeofday resolution is 1us; allow 10us *)
+
+let span_end (r : Obs.span_record) = r.r_start_ns +. r.r_dur_ns
+
+let check_forest label records =
+  let ids = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Obs.span_record) ->
+      Alcotest.(check bool) (label ^ ": span ids positive") true (r.r_id > 0);
+      Alcotest.(check bool)
+        (label ^ ": span ids unique") false (Hashtbl.mem ids r.r_id);
+      Hashtbl.replace ids r.r_id r)
+    records;
+  List.iter
+    (fun (r : Obs.span_record) ->
+      Alcotest.(check bool)
+        (label ^ ": duration non-negative") true (r.r_dur_ns >= 0.0);
+      if r.r_parent <> 0 then
+        match Hashtbl.find_opt ids r.r_parent with
+        | None ->
+            Alcotest.failf "%s: span %s has unknown parent %d" label r.r_name
+              r.r_parent
+        | Some p ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %s starts inside %s" label r.r_name
+                 p.Obs.r_name)
+              true
+              (r.r_start_ns >= p.Obs.r_start_ns -. eps_ns);
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: %s ends inside %s" label r.r_name
+                 p.Obs.r_name)
+              true
+              (span_end r <= span_end p +. eps_ns))
+    records
+
+(* oracle.shard spans under one batch must run on pairwise-distinct
+   domains; returns the largest shard group seen *)
+let check_shards label records =
+  let by_batch = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Obs.span_record) ->
+      if r.r_name = "oracle.shard" then
+        Hashtbl.replace by_batch r.r_parent
+          (r :: (Option.value ~default:[] (Hashtbl.find_opt by_batch r.r_parent))))
+    records;
+  Hashtbl.fold
+    (fun _parent shards widest ->
+      let domains =
+        List.filter_map
+          (fun (r : Obs.span_record) -> List.assoc_opt "domain" r.r_attrs)
+          shards
+      in
+      Alcotest.(check int)
+        (label ^ ": every shard names its domain")
+        (List.length shards) (List.length domains);
+      Alcotest.(check int)
+        (label ^ ": shard domains pairwise distinct")
+        (List.length domains)
+        (List.length (List.sort_uniq String.compare domains));
+      max widest (List.length shards))
+    by_batch 0
+
+(* Like the CLI's cli.<cmd> span, the test opens one root over the whole
+   workload; it must cover >= 95% of the union of everything recorded —
+   no span may leak (temporally) outside it. *)
+let check_roots label records =
+  let root =
+    match
+      List.filter (fun (r : Obs.span_record) -> r.r_name = "test.workload")
+        records
+    with
+    | [ r ] -> r
+    | rs ->
+        Alcotest.failf "%s: want exactly one test.workload root, got %d" label
+          (List.length rs)
+  in
+  Alcotest.(check int) (label ^ ": the root has no parent") 0 root.r_parent;
+  let start =
+    List.fold_left (fun a (r : Obs.span_record) -> min a r.r_start_ns)
+      infinity records
+  and stop =
+    List.fold_left (fun a r -> max a (span_end r)) neg_infinity records
+  in
+  let extent = stop -. start in
+  if extent > 0.0 then
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: root covers >= 95%% of the traced extent (%.1f%%)"
+         label
+         (root.r_dur_ns /. extent *. 100.))
+      true
+      (root.r_dur_ns >= 0.95 *. extent)
+
+let sorted_individuals kb =
+  List.sort_uniq String.compare (Kb4.signature kb).Axiom.individuals
+
+let trace_tests =
+  List.map
+    (fun (label, kb) ->
+      Alcotest.test_case (label ^ " trace is well-formed") `Quick (fun () ->
+          let widest, provs =
+            with_obs_state true (fun () ->
+                let e, _ =
+                  Obs.with_span ~cat:"test" "test.workload" (fun () ->
+                      workload ~jobs:2 kb)
+                in
+                let records = Obs.spans () in
+                Alcotest.(check bool)
+                  (label ^ ": spans were recorded") true (records <> []);
+                check_forest label records;
+                let widest = check_shards label records in
+                check_roots label records;
+                (widest, Oracle.provenances (Engine.oracle e)))
+          in
+          Alcotest.(check bool)
+            (label ^ ": some batch fanned out to >= 2 shards") true
+            (widest >= 2);
+          let expected = sorted_individuals kb in
+          Alcotest.(check bool)
+            (label ^ ": provenance was captured") true (provs <> []);
+          List.iter
+            (fun (p : Oracle.prov_entry) ->
+              Alcotest.(check (list string))
+                (label ^ ": provenance lists exactly the KB's individuals")
+                expected p.Oracle.individuals)
+            provs))
+    examples
+
+(* ------------------------------------------------------------------ *)
+(* Invariance: tracing and pool width never change an answer *)
+
+let invariance_tests =
+  List.map
+    (fun (label, kb) ->
+      Alcotest.test_case (label ^ " answers invariant under tracing/jobs")
+        `Quick (fun () ->
+          let baseline =
+            with_obs_state false (fun () -> snd (workload ~jobs:1 kb))
+          in
+          let traced1 =
+            with_obs_state true (fun () -> snd (workload ~jobs:1 kb))
+          in
+          let traced2 =
+            with_obs_state true (fun () -> snd (workload ~jobs:2 kb))
+          in
+          let plain2 =
+            with_obs_state false (fun () -> snd (workload ~jobs:2 kb))
+          in
+          Alcotest.(check bool)
+            (label ^ ": tracing on, jobs=1") true (traced1 = baseline);
+          Alcotest.(check bool)
+            (label ^ ": tracing on, jobs=2") true (traced2 = baseline);
+          Alcotest.(check bool)
+            (label ^ ": tracing off, jobs=2") true (plain2 = baseline)))
+    examples
+
+let () =
+  Alcotest.run "obs"
+    [ ("disabled", disabled_tests);
+      ("guard", guard_tests);
+      ("trace", trace_tests);
+      ("invariance", invariance_tests) ]
