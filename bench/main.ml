@@ -629,6 +629,139 @@ let report_obs_overhead () =
   write_artifact "BENCH_obs.json" json
 
 (* ------------------------------------------------------------------ *)
+(* S8: incremental deltas vs from-scratch rebuild.  One evolving KB, a
+   fixed delta script (new components, an in-place assertion, a
+   retraction), and after every delta the full contradiction grid is
+   re-answered two ways:
+
+   - rebuild: a fresh session over the delta-applied KB (the only option
+     before Session.apply existed) — every verdict pays its tableau call
+     again;
+   - incremental: one live session, Session.apply per delta — verdicts
+     whose provenance avoids the touched components survive and answer
+     from cache.
+
+   Grids must be identical at every step; the incremental protocol must
+   pay strictly fewer tableau calls in total. *)
+
+let report_incremental () =
+  section "S8: incremental deltas vs rebuild -> BENCH_delta.json";
+  let kb =
+    Gen.kb4
+      { Gen.default with
+        seed = 31;
+        n_concepts = 10;
+        n_individuals = 8;
+        n_tbox = 14;
+        n_abox = 18;
+        max_depth = 1;
+        inconsistency_rate = 0.1 }
+  in
+  let abox_delta add retract =
+    { Delta.add_abox = add; retract_abox = retract; add_tbox = [] }
+  in
+  let deltas =
+    [ (* a fresh two-individual component *)
+      abox_delta
+        [ Axiom.Instance_of ("u0", Concept.Atom "C0");
+          Axiom.Role_assertion ("u0", Role.name "r0", "u1") ]
+        [];
+      (* another isolated newcomer *)
+      abox_delta [ Axiom.Instance_of ("u2", Concept.Atom "C1") ] [];
+      (* touch an existing individual's component *)
+      abox_delta [ Axiom.Instance_of ("a0", Concept.Atom "C2") ] [];
+      (* retract a told assertion *)
+      abox_delta [] [ List.hd kb.Kb4.abox ] ]
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let grid t = (Para.satisfiable t, Para.contradictions t) in
+  (* incremental protocol: one session, apply + re-query per step *)
+  let s = Session.create kb in
+  let p = Para.of_session s in
+  let calls () = (Oracle.stats (Session.oracle s)).Oracle.tableau_calls in
+  let _, warm_dt = wall (fun () -> grid p) in
+  Printf.printf "  warm-up grid: %.3fs, %d tableau calls\n%!" warm_dt (calls ());
+  let incremental =
+    List.map
+      (fun d ->
+        let c0 = calls () in
+        let (st, answers), dt =
+          wall (fun () ->
+              let st = Session.apply s d in
+              (st, grid p))
+        in
+        (answers, calls () - c0, dt, st))
+      deltas
+  in
+  (* rebuild protocol: fresh stack over the accumulated KB at each step *)
+  let rebuild =
+    let acc = ref kb in
+    List.map
+      (fun d ->
+        acc := Delta.apply_kb4 !acc d;
+        let t = Para.create !acc in
+        let answers, dt = wall (fun () -> grid t) in
+        let calls =
+          (Oracle.stats (Para.oracle t)).Oracle.tableau_calls
+        in
+        (answers, calls, dt))
+      deltas
+  in
+  let rows = List.combine incremental rebuild in
+  List.iteri
+    (fun i ((ia, ic, idt, st), (ra, rc, rdt)) ->
+      if ia <> ra then
+        failwith
+          (Printf.sprintf "S8: delta %d: incremental answers differ from \
+                           rebuild" (i + 1));
+      Printf.printf
+        "  delta %d: rebuild %4d calls %8.4fs | incremental %4d calls \
+         %8.4fs  (%d evicted, %d retained)\n%!"
+        (i + 1) rc rdt ic idt st.Oracle.evicted st.Oracle.retained)
+    rows;
+  let total f = List.fold_left (fun n r -> n + f r) 0 rows in
+  let ic_total = total (fun ((_, ic, _, _), _) -> ic)
+  and rc_total = total (fun (_, (_, rc, _)) -> rc) in
+  Printf.printf "  total tableau calls: rebuild %d, incremental %d%s\n" rc_total
+    ic_total
+    (if ic_total < rc_total then "  (incremental strictly fewer)"
+     else "  (NO SAVING)");
+  if ic_total >= rc_total then
+    failwith "S8: incremental protocol did not save tableau calls";
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"S8_incremental_deltas\",\n\
+      \  \"kb\": {\"seed\": 31, \"concepts\": 10, \"individuals\": 8, \
+       \"tbox\": 14, \"abox\": 18},\n\
+      \  \"workload\": \"satisfiability + contradiction grid per delta\",\n\
+      \  \"steps\": [\n%s\n  ],\n\
+      \  \"total_tableau_calls_rebuild\": %d,\n\
+      \  \"total_tableau_calls_incremental\": %d,\n\
+      \  \"incremental_strictly_fewer\": %b,\n\
+      \  \"answers_identical\": true\n\
+       }\n"
+      (String.concat ",\n"
+         (List.mapi
+            (fun i ((_, ic, idt, st), (_, rc, rdt)) ->
+              Printf.sprintf
+                "    {\"delta\": %d, \"rebuild_calls\": %d, \
+                 \"rebuild_seconds\": %.6f, \"incremental_calls\": %d, \
+                 \"incremental_seconds\": %.6f, \"evicted\": %d, \
+                 \"retained\": %d, \"flushed\": %b}"
+                (i + 1) rc rdt ic idt st.Oracle.evicted st.Oracle.retained
+                st.Oracle.flushed)
+            rows))
+      rc_total ic_total
+      (ic_total < rc_total)
+  in
+  write_artifact "BENCH_delta.json" json
+
+(* ------------------------------------------------------------------ *)
 (* Timing benches *)
 
 let paper_benches () =
@@ -822,6 +955,7 @@ let () =
   report_engine_cache ();
   report_engine_parallel ();
   report_obs_overhead ();
+  report_incremental ();
   section "timing series (S1-S4)";
   run_group ~name:"paper" (paper_benches ());
   run_group ~name:"scale_transform" (transform_benches ());

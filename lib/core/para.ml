@@ -5,9 +5,20 @@
 type t = { engine : Engine.t }
 
 let create ?jobs ?cache_capacity ?max_nodes ?max_branches kb =
-  { engine = Engine.create ?jobs ?cache_capacity ?max_nodes ?max_branches kb }
+  let d = Session.default_config in
+  let config =
+    { Session.jobs = Option.value jobs ~default:d.Session.jobs;
+      cache_capacity =
+        Option.value cache_capacity ~default:d.Session.cache_capacity;
+      max_nodes = Option.value max_nodes ~default:d.Session.max_nodes;
+      max_branches = Option.value max_branches ~default:d.Session.max_branches }
+  in
+  { engine = Session.engine (Session.create ~config kb) }
 
 let of_engine engine = { engine }
+let of_session s = { engine = Session.engine s }
+let session t = Session.of_engine t.engine
+let apply t d = Engine.apply t.engine d
 let engine t = t.engine
 let oracle t = Engine.oracle t.engine
 let kb t = Engine.kb t.engine

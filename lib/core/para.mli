@@ -34,15 +34,33 @@ val create :
   ?max_branches:int ->
   Kb4.t ->
   t
-(** [jobs] (default 1) sizes the oracle's domain pool; [cache_capacity]
-    (default {!Engine.default_cache_capacity}) bounds the verdict cache,
-    [0] disabling it (every query pays its tableau calls — the pre-engine
-    behaviour). *)
+(** @deprecated Legacy optional-argument spelling: routes through
+    {!Session.create} with the omitted fields taken from
+    {!Session.default_config}.  Prefer building a {!Session.t} and
+    deriving the query layer with {!of_session} in new code. *)
+
+val of_session : Session.t -> t
+(** The paper-level query API over a session's shared stack (one oracle,
+    one cache, one pool — verdicts paid through the session's engine are
+    cache hits here and vice versa). *)
+
+val session : t -> Session.t
+(** The session facade over this instance's engine (same shared stack;
+    e.g. for {!Session.apply} or {!Session.config}). *)
 
 val of_engine : Engine.t -> t
-(** Wrap an existing engine, sharing its oracle (cache, pool, indexes). *)
+(** Wrap an existing engine.  The wrapper is stateless: it shares the
+    engine's oracle — verdict cache, domain pool and
+    classification/realization indexes — so a verdict or index built
+    through either wrapper serves both. *)
 
 val engine : t -> Engine.t
+
+val apply : t -> Delta.t -> Oracle.apply_stats
+(** Incremental update of the underlying KB — see {!Session.apply} and
+    {!Oracle.apply} for the invalidation contract.  All wrappers of the
+    same engine observe the updated KB. *)
+
 val oracle : t -> Oracle.t
 val kb : t -> Kb4.t
 val classical_kb : t -> Axiom.kb

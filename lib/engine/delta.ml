@@ -1,0 +1,161 @@
+(* Typed knowledge-base deltas: add/retract ABox assertions, monotone TBox
+   additions.  A delta is expressed in the user-level four-valued
+   vocabulary; the oracle maps it through the axiom-local incremental path
+   of the transform layer ([Transform.abox_delta]/[tbox_delta]) when
+   applying it to the classical induced KB. *)
+
+type t = {
+  add_abox : Axiom.abox_axiom list;
+  retract_abox : Axiom.abox_axiom list;
+  add_tbox : Kb4.tbox_axiom list;
+}
+
+let empty = { add_abox = []; retract_abox = []; add_tbox = [] }
+
+let is_empty d =
+  d.add_abox = [] && d.retract_abox = [] && d.add_tbox = []
+
+let touches_abox d = d.add_abox <> [] || d.retract_abox <> []
+
+(* Remove the first structurally-equal occurrence of each retraction;
+   absent retractions are ignored.  Must mirror
+   [Reasoner.apply_delta]'s removal on the classical side so the
+   four-valued KB and [K̄] stay in Definition-7 correspondence. *)
+let remove_each axs abox =
+  List.fold_left
+    (fun abox ax ->
+      let rec drop = function
+        | [] -> []
+        | hd :: tl -> if hd = ax then tl else hd :: drop tl
+      in
+      drop abox)
+    abox axs
+
+let apply_kb4 (kb : Kb4.t) d =
+  { Kb4.tbox = kb.Kb4.tbox @ d.add_tbox;
+    abox = remove_each d.retract_abox kb.Kb4.abox @ d.add_abox }
+
+(* ------------------------------------------------------------------ *)
+(* Touched symbols *)
+
+let abox_axiom_individuals (ax : Axiom.abox_axiom) =
+  match ax with
+  | Axiom.Instance_of (a, c) -> a :: Concept.individual_names c
+  | Axiom.Role_assertion (a, _, b) -> [ a; b ]
+  | Axiom.Data_assertion (a, _, _) -> [ a ]
+  | Axiom.Same (a, b) | Axiom.Different (a, b) -> [ a; b ]
+
+let individuals d =
+  List.sort_uniq String.compare
+    (List.concat_map abox_axiom_individuals (d.add_abox @ d.retract_abox))
+
+let abox_axiom_atoms (ax : Axiom.abox_axiom) =
+  match ax with
+  | Axiom.Instance_of (_, c) -> Concept.atom_names c
+  | Axiom.Role_assertion _ | Axiom.Data_assertion _ | Axiom.Same _
+  | Axiom.Different _ ->
+      []
+
+let tbox_axiom_atoms (ax : Kb4.tbox_axiom) =
+  match ax with
+  | Kb4.Concept_inclusion (_, c, d) ->
+      Concept.atom_names c @ Concept.atom_names d
+  | Kb4.Role_inclusion _ | Kb4.Data_role_inclusion _ | Kb4.Transitive _ -> []
+
+let atoms d =
+  List.sort_uniq String.compare
+    (List.concat_map abox_axiom_atoms (d.add_abox @ d.retract_abox)
+    @ List.concat_map tbox_axiom_atoms d.add_tbox)
+
+(* ------------------------------------------------------------------ *)
+(* Surface syntax: one statement per line, '+' adds, '-' retracts.
+
+     # comments and blank lines are fine
+     + tweety : Fly.
+     + Penguin < Bird.
+     - hasWing(tweety, w).
+
+   Retractions must be ABox assertions (TBox additions are monotone by
+   design: retracting an axiom invalidates arbitrary unfolding state, so
+   it is deliberately not expressible).  A replay script is a sequence of
+   such deltas separated by lines starting with "---". *)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let adds = Buffer.create 128 and dels = Buffer.create 128 in
+  let err = ref None in
+  List.iteri
+    (fun i line ->
+      if !err = None then
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then ()
+        else
+          let payload () = String.trim (String.sub line 1 (String.length line - 1)) in
+          match line.[0] with
+          | '+' ->
+              Buffer.add_string adds (payload ());
+              Buffer.add_char adds '\n'
+          | '-' ->
+              Buffer.add_string dels (payload ());
+              Buffer.add_char dels '\n'
+          | _ ->
+              err :=
+                Some
+                  (Format.asprintf
+                     "line %d: expected '+ <statement>.' or '- <statement>.'"
+                     (i + 1)))
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None -> (
+      let sub_parse label text =
+        match Surface.parse_kb4 text with
+        | Ok kb -> Ok kb
+        | Error e ->
+            Error (Format.asprintf "%s statements: %a" label Surface.pp_error e)
+      in
+      match sub_parse "added" (Buffer.contents adds) with
+      | Error e -> Error e
+      | Ok added -> (
+          match sub_parse "retracted" (Buffer.contents dels) with
+          | Error e -> Error e
+          | Ok retracted ->
+              if retracted.Kb4.tbox <> [] then
+                Error
+                  "retracting TBox axioms is not supported (TBox deltas are \
+                   monotone additions)"
+              else
+                Ok
+                  { add_abox = added.Kb4.abox;
+                    retract_abox = retracted.Kb4.abox;
+                    add_tbox = added.Kb4.tbox }))
+
+let parse_script text =
+  let rec chunks acc cur = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | line :: rest ->
+        if String.length (String.trim line) >= 3
+           && String.sub (String.trim line) 0 3 = "---"
+        then chunks (List.rev cur :: acc) [] rest
+        else chunks acc (line :: cur) rest
+  in
+  let rec collect i = function
+    | [] -> Ok []
+    | chunk :: rest -> (
+        match parse (String.concat "\n" chunk) with
+        | Error e -> Error (Format.asprintf "delta %d: %s" (i + 1) e)
+        | Ok d -> (
+            match collect (i + 1) rest with
+            | Error _ as e -> e
+            | Ok ds -> Ok (if is_empty d then ds else d :: ds)))
+  in
+  collect 0 (chunks [] [] (String.split_on_char '\n' text))
+
+let pp ppf d =
+  List.iter (fun ax -> Format.fprintf ppf "+ %a@." Kb4.pp_tbox_axiom ax) d.add_tbox;
+  List.iter (fun ax -> Format.fprintf ppf "+ %a@." Axiom.pp_abox_axiom ax) d.add_abox;
+  List.iter
+    (fun ax -> Format.fprintf ppf "- %a@." Axiom.pp_abox_axiom ax)
+    d.retract_abox
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,62 @@
+(** Typed knowledge-base deltas.
+
+    A delta edits the four-valued KB [K] in place: ABox assertions can be
+    added and retracted, TBox axioms can only be {e added} (monotone —
+    retracting an inclusion invalidates arbitrary absorbed/unfolded state,
+    so it deliberately has no spelling).  Deltas are expressed in the
+    user-level vocabulary; {!Oracle.apply} pushes them through the
+    axiom-local incremental path of the transform layer
+    ({!Transform.abox_delta} / {!Transform.tbox_delta}) so the classical
+    induced KB [K̄] is updated without being re-transformed. *)
+
+type t = {
+  add_abox : Axiom.abox_axiom list;
+  retract_abox : Axiom.abox_axiom list;
+      (** each retraction removes the first structurally-equal occurrence;
+          absent retractions are ignored *)
+  add_tbox : Kb4.tbox_axiom list;
+}
+
+val empty : t
+val is_empty : t -> bool
+
+val touches_abox : t -> bool
+(** Does the delta add or retract any ABox assertion? *)
+
+val apply_kb4 : Kb4.t -> t -> Kb4.t
+(** Pure application: retractions first, then additions appended. *)
+
+val individuals : t -> string list
+(** The named individuals the delta touches: subjects of every added or
+    retracted assertion, plus nominal references inside asserted concepts.
+    Sorted, deduplicated.  Seeds the connected-component closure that
+    decides which cached verdicts a delta can affect. *)
+
+val atoms : t -> string list
+(** User-level atomic concept names occurring anywhere in the delta.
+    Sorted, deduplicated. *)
+
+(** {1 Surface syntax}
+
+    One statement per line in the dl4 surface syntax, prefixed by [+]
+    (add) or [-] (retract); blank lines and [#] comments are ignored:
+
+    {v
+    + tweety : Fly.
+    + Penguin < Bird.
+    - hasWing(tweety, w).
+    v}
+
+    Retractions must be ABox assertions.  A replay script is a sequence of
+    such deltas separated by lines starting with [---]. *)
+
+val parse : string -> (t, string) result
+(** One delta. *)
+
+val parse_script : string -> (t list, string) result
+(** A [---]-separated sequence of deltas, empty chunks skipped. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the [+]/[-] surface syntax above. *)
+
+val to_string : t -> string

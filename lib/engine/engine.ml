@@ -7,10 +7,17 @@ type t = {
 let default_cache_capacity = Oracle.default_cache_capacity
 
 let of_oracle oracle = { oracle; classification = None; realization = None }
+let of_config config kb = of_oracle (Oracle.of_config config kb)
 
-let create ?jobs ?(cache_capacity = default_cache_capacity) ?max_nodes
-    ?max_branches kb =
-  of_oracle (Oracle.create ?jobs ~cache_capacity ?max_nodes ?max_branches kb)
+let create ?jobs ?cache_capacity ?max_nodes ?max_branches kb =
+  let d = Oracle.default_config in
+  of_config
+    { Oracle.jobs = Option.value jobs ~default:d.Oracle.jobs;
+      cache_capacity =
+        Option.value cache_capacity ~default:d.Oracle.cache_capacity;
+      max_nodes = Option.value max_nodes ~default:d.Oracle.max_nodes;
+      max_branches = Option.value max_branches ~default:d.Oracle.max_branches }
+    kb
 
 let oracle t = t.oracle
 let kb t = Oracle.kb t.oracle
@@ -140,6 +147,23 @@ let realization t =
       in
       t.realization <- Some r;
       r
+
+(* A delta invalidates the engine-level indexes by the same dependency
+   reasoning the oracle applies to verdicts.  Classification is a pure
+   function of the TBox and the concept signature: an ABox-only delta
+   that introduces no new atomic concepts (and did not flush — flushes
+   cover TBox growth, nominal interference and consistency transitions)
+   keeps it warm.  Realization names individuals directly, so any
+   non-empty delta drops it (rebuilt lazily, re-using surviving cached
+   verdicts). *)
+let apply t (d : Delta.t) =
+  let atoms_before = (Kb4.signature (kb t)).Axiom.concepts in
+  let s = Oracle.apply t.oracle d in
+  let atoms_after = (Kb4.signature (kb t)).Axiom.concepts in
+  if d.Delta.add_tbox <> [] || s.Oracle.flushed || atoms_before <> atoms_after
+  then t.classification <- None;
+  if not (Delta.is_empty d) then t.realization <- None;
+  s
 
 type stats = {
   cache : Verdict_cache.stats;

@@ -12,6 +12,11 @@
 
 type t
 
+val of_config : Oracle.config -> Kb4.t -> t
+(** The canonical constructor: build a fresh oracle from the unified
+    {!Oracle.config} and wrap it.  {!Session.create} routes through
+    this. *)
+
 val create :
   ?jobs:int ->
   ?cache_capacity:int ->
@@ -19,13 +24,16 @@ val create :
   ?max_branches:int ->
   Kb4.t ->
   t
-(** [jobs] (default 1) is the width of the oracle's domain pool.
-    [cache_capacity] defaults to 4096 verdicts; [0] disables caching
-    entirely (every query pays its tableau calls, as with bare {!Para}). *)
+(** @deprecated Legacy optional-argument spelling of {!of_config}: omitted
+    arguments take their {!Oracle.default_config} values.  Prefer
+    [of_config] (or the {!Session} facade) in new code. *)
 
 val of_oracle : Oracle.t -> t
-(** Build the index layer over an existing oracle (sharing its cache and
-    pool with other consumers, e.g. {!Para}). *)
+(** Build the index layer over an existing oracle.  The wrapper adds no
+    state of its own below the classification/realization indexes: it
+    shares the oracle's verdict cache and domain pool with every other
+    consumer of the same oracle (e.g. a {!Para} built over it), so a
+    verdict paid through one wrapper is a cache hit through another. *)
 
 val oracle : t -> Oracle.t
 val default_cache_capacity : int
@@ -72,6 +80,15 @@ val taxonomy : t -> (string list * string list) list
 val realization : t -> Realize.t
 (** Built on first use on top of {!classification}, individuals sharded
     across the pool; cached. *)
+
+(** {1 Incremental update} *)
+
+val apply : t -> Delta.t -> Oracle.apply_stats
+(** {!Oracle.apply} plus index maintenance: classification survives an
+    ABox-only delta that neither flushed the cache nor introduced new
+    atomic concepts (it is a pure function of TBox and concept
+    signature); realization is dropped on any non-empty delta and
+    rebuilt lazily, re-using every cached verdict that survived. *)
 
 (** {1 Statistics} *)
 

@@ -59,46 +59,75 @@ let h_eval = Obs.histogram "oracle.eval_ns"
    verdict — the dependency set for selective cache invalidation. *)
 type prov_entry = { individuals : string list; concepts : string list }
 
-type t = {
-  kb : Kb4.t;
-  classical_kb : Axiom.kb;
-  max_nodes : int option;
-  max_branches : int option;
+type config = {
   jobs : int;
+  cache_capacity : int;
+  max_nodes : int;
+  max_branches : int;
+}
+
+let default_cache_capacity = 4096
+
+let default_config =
+  { jobs = 1;
+    cache_capacity = default_cache_capacity;
+    max_nodes = 20_000;
+    max_branches = max_int }
+
+type t = {
+  mutable kb : Kb4.t;
+  mutable classical_kb : Axiom.kb;
+  config : config;
   primary : Reasoner.t;
   mutable workers : Reasoner.t array option;
-      (* pool reasoners, length [jobs - 1]; created on first parallel batch *)
+      (* pool reasoners, length [jobs - 1]; created on first parallel batch,
+         discarded by [apply] (they are rebuilt against the updated KB) *)
   cache : bool Cache.t;
   prov : prov_entry KH.t;
-      (* per-key provenance, populated only while {!Obs.enabled};
-         worker provenance folds in after join like the verdict logs *)
+      (* per-key provenance, recorded unconditionally for every computed
+         verdict; worker provenance folds in after join like verdict logs *)
+  ind_index : (string, Key.t list ref) Hashtbl.t;
+      (* individual name -> keys whose provenance mentions it *)
+  atom_index : (string, Key.t list ref) Hashtbl.t;
+      (* user-level atomic concept -> keys whose provenance mentions it *)
   mutable tableau_calls : int;
   mutable batches : int;
   mutable parallel_calls : int;
 }
 
-let default_cache_capacity = 4096
-
-let create ?(jobs = 1) ?(cache_capacity = default_cache_capacity) ?max_nodes
-    ?max_branches kb =
+let of_config (config : config) kb =
+  let config = { config with jobs = max 1 config.jobs } in
   let classical_kb = Transform.kb kb in
   { kb;
     classical_kb;
-    max_nodes;
-    max_branches;
-    jobs = max 1 jobs;
-    primary = Reasoner.create ?max_nodes ?max_branches classical_kb;
+    config;
+    primary =
+      Reasoner.create ~max_nodes:config.max_nodes
+        ~max_branches:config.max_branches classical_kb;
     workers = None;
-    cache = Cache.create ~capacity:cache_capacity;
+    cache = Cache.create ~capacity:config.cache_capacity;
     prov = KH.create 64;
+    ind_index = Hashtbl.create 64;
+    atom_index = Hashtbl.create 64;
     tableau_calls = 0;
     batches = 0;
     parallel_calls = 0 }
 
+let create ?(jobs = 1) ?(cache_capacity = default_cache_capacity) ?max_nodes
+    ?max_branches kb =
+  of_config
+    { jobs;
+      cache_capacity;
+      max_nodes = Option.value max_nodes ~default:default_config.max_nodes;
+      max_branches =
+        Option.value max_branches ~default:default_config.max_branches }
+    kb
+
 let kb t = t.kb
 let classical_kb t = t.classical_kb
 let reasoner t = t.primary
-let jobs t = t.jobs
+let config t = t.config
+let jobs t = t.config.jobs
 
 (* Evaluate a query on a given reasoner — the only place verdicts are
    actually computed.  Pure w.r.t. everything but that reasoner's own
@@ -130,29 +159,71 @@ let query_kind = function
   | Role_pos _ -> "role_pos"
   | Role_neg _ -> "role_neg"
 
-(* [eval] plus observability: when sinks are armed, each verdict gets a
-   span (timed into the eval-latency histogram) and a provenance entry.
-   Disabled, this is one branch on top of [eval]. *)
+(* Seed a fresh provenance sink with the query's own symbols.  A tableau
+   run that closes before any rule fires on a query individual would
+   otherwise record nothing for it, yet the verdict plainly depends on the
+   query: the seed makes the dependency explicit so selective invalidation
+   ([apply]) is sound even for verdicts decided "for free". *)
+let seed_prov p q =
+  let concept c =
+    List.iter (Tableau.prov_add_ind p) (Concept.individual_names c);
+    List.iter (Tableau.prov_add_atom p) (Concept.atom_names c)
+  in
+  match q with
+  | Consistent -> ()
+  | Concept_sat c -> concept c
+  | Instance (a, c) | Not_instance (a, c) ->
+      Tableau.prov_add_ind p a;
+      concept c
+  | Role_pos (a, _, b) | Role_neg (a, _, b) ->
+      Tableau.prov_add_ind p a;
+      Tableau.prov_add_ind p b
+
+(* [eval] with provenance capture (always on — the dependency index needs
+   every verdict's provenance) and observability: when sinks are armed,
+   each verdict additionally gets a span timed into the eval-latency
+   histogram. *)
 let eval_obs reasoner q =
-  if not !Obs.on then (eval reasoner q, None)
+  let prov = Tableau.fresh_prov () in
+  seed_prov prov q;
+  let entry () =
+    { individuals = Tableau.prov_individuals prov;
+      concepts = Tableau.prov_concepts prov }
+  in
+  if not !Obs.on then
+    let v = eval ~prov reasoner q in
+    (v, entry ())
   else begin
     let sp = Obs.enter ~cat:"oracle" "oracle.eval" in
     Obs.set_attr sp "query" (query_kind q);
-    let prov = Tableau.fresh_prov () in
     match eval ~prov reasoner q with
     | v ->
-        let entry =
-          { individuals = Tableau.prov_individuals prov;
-            concepts = Tableau.prov_concepts prov }
-        in
+        let entry = entry () in
         Obs.set_attr sp "verdict" (string_of_bool v);
         Obs.set_attr sp "individuals" (String.concat " " entry.individuals);
         Obs.exit_timed sp h_eval;
-        (v, Some entry)
+        (v, entry)
     | exception e ->
         Obs.set_attr sp "exn" (Printexc.to_string e);
         Obs.exit_timed sp h_eval;
         raise e
+  end
+
+(* Store a verdict's provenance and index it under every symbol it
+   mentions.  Keys already present in the provenance table keep their
+   index postings (re-computation after an eviction re-enters through the
+   fresh path, because eviction removes the provenance entry too). *)
+let record_prov t k (entry : prov_entry) =
+  let fresh = not (KH.mem t.prov k) in
+  KH.replace t.prov k entry;
+  if fresh then begin
+    let post index sym =
+      match Hashtbl.find_opt index sym with
+      | Some keys -> keys := k :: !keys
+      | None -> Hashtbl.replace index sym (ref [ k ])
+    in
+    List.iter (post t.ind_index) entry.individuals;
+    List.iter (post t.atom_index) entry.concepts
   end
 
 let check t q =
@@ -161,7 +232,7 @@ let check t q =
       t.tableau_calls <- t.tableau_calls + 1;
       Obs.incr c_tableau_calls;
       let v, p = eval_obs t.primary q in
-      (match p with Some p -> KH.replace t.prov k p | None -> ());
+      record_prov t k p;
       v)
 
 let worker_reasoners t =
@@ -169,18 +240,18 @@ let worker_reasoners t =
   | Some ws -> ws
   | None ->
       let ws =
-        Array.init (t.jobs - 1) (fun _ ->
-            Reasoner.create ?max_nodes:t.max_nodes ?max_branches:t.max_branches
-              t.classical_kb)
+        Array.init (t.config.jobs - 1) (fun _ ->
+            Reasoner.create ~max_nodes:t.config.max_nodes
+              ~max_branches:t.config.max_branches t.classical_kb)
       in
       t.workers <- Some ws;
       ws
 
 (* One worker domain: run its lane with a confined reasoner and a private
-   memo, logging every verdict it computed (with its provenance, when
-   sinks are armed) so the coordinator can fold the work into the shared
-   cache.  The shard span attaches to the coordinator's batch span via
-   [?parent] — worker domains have their own (empty) span stacks. *)
+   memo, logging every verdict it computed (with its provenance) so the
+   coordinator can fold the work into the shared cache.  The shard span
+   attaches to the coordinator's batch span via [?parent] — worker domains
+   have their own (empty) span stacks. *)
 let run_worker ?parent reasoner f lane =
   let sp = Obs.enter ?parent ~cat:"oracle" "oracle.shard" in
   if Obs.live sp then begin
@@ -214,12 +285,12 @@ let map_batches t items ~f =
   in
   match items with
   | [] | [ _ ] -> sequential ()
-  | _ when t.jobs <= 1 -> sequential ()
+  | _ when t.config.jobs <= 1 -> sequential ()
   | _ ->
       let workers = worker_reasoners t in
       let sp = Obs.enter ~cat:"oracle" "oracle.batch" in
       if Obs.live sp then begin
-        Obs.set_attr sp "jobs" (string_of_int t.jobs);
+        Obs.set_attr sp "jobs" (string_of_int t.config.jobs);
         Obs.set_attr sp "items" (string_of_int (List.length items))
       end;
       let lanes = Array.make (Array.length workers + 1) [] in
@@ -268,9 +339,7 @@ let map_batches t items ~f =
                   Obs.incr c_tableau_calls;
                   Obs.incr c_parallel_calls;
                   Cache.add t.cache k v;
-                  match p with
-                  | Some p -> KH.replace t.prov k p
-                  | None -> ())
+                  record_prov t k p)
                 log;
               outs := out :: !outs
           | Error e -> keep_first e)
@@ -285,15 +354,16 @@ let map_batches t items ~f =
       |> List.map snd
 
 let shard t items =
-  if t.jobs <= 1 then if items = [] then [] else [ items ]
+  let jobs = t.config.jobs in
+  if jobs <= 1 then if items = [] then [] else [ items ]
   else begin
-    let lanes = Array.make t.jobs [] in
-    List.iteri (fun i item -> lanes.(i mod t.jobs) <- item :: lanes.(i mod t.jobs)) items;
+    let lanes = Array.make jobs [] in
+    List.iteri (fun i item -> lanes.(i mod jobs) <- item :: lanes.(i mod jobs)) items;
     Array.to_list lanes |> List.filter_map (function [] -> None | l -> Some (List.rev l))
   end
 
 let check_all t qs =
-  if t.jobs <= 1 then
+  if t.config.jobs <= 1 then
     Obs.with_span ~cat:"oracle" "oracle.check_all" (fun () ->
         List.map (check t) qs)
   else begin
@@ -341,6 +411,201 @@ let provenance t q = KH.find_opt t.prov (key_of q)
 let provenances t =
   KH.fold (fun _ p acc -> p :: acc) t.prov []
 
+(* ------------------------------------------------------------------ *)
+(* Incremental update *)
+
+type apply_stats = {
+  evicted : int;
+  retained : int;
+  flushed : bool;
+  consistency_flipped : bool;
+  recheck_calls : int;
+}
+
+let pp_apply_stats ppf s =
+  Format.fprintf ppf "%d evicted / %d retained%s%s (%d recheck calls)"
+    s.evicted s.retained
+    (if s.flushed then ", full flush" else "")
+    (if s.consistency_flipped then ", consistency flipped" else "")
+    s.recheck_calls
+
+(* Drop everything derived: verdicts, provenance, both indexes.  Keeps
+   the cache's hit/miss counters (a flush is not a capacity eviction). *)
+let flush_all t =
+  Cache.purge t.cache;
+  KH.reset t.prov;
+  Hashtbl.reset t.ind_index;
+  Hashtbl.reset t.atom_index
+
+let evict_key t k =
+  ignore (Cache.remove t.cache k : bool);
+  KH.remove t.prov k
+
+(* Drop every key posted under [sym].  Stale postings (keys already
+   evicted through another symbol and possibly recomputed since) are
+   over-approximations: re-evicting a live verdict is sound, just
+   conservative. *)
+let evict_symbol t index sym =
+  match Hashtbl.find_opt index sym with
+  | None -> ()
+  | Some keys ->
+      Hashtbl.remove index sym;
+      List.iter (evict_key t) !keys
+
+(* Connected components of the told classical ABox graph (role and
+   data assertions, Same/Different, nominal references inside asserted
+   concepts), restricted to the components of [seeds].  A verdict whose
+   provenance avoids every individual of the delta's components cannot
+   change: the tableau for it never visits the delta's part of the ABox
+   (disjoint forests), so its run — and verdict — is literally identical. *)
+let component_closure abox seeds =
+  let parent : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None ->
+        Hashtbl.replace parent x x;
+        x
+    | Some p when String.equal p x -> x
+    | Some p ->
+        let r = find p in
+        Hashtbl.replace parent x r;
+        r
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if not (String.equal ra rb) then Hashtbl.replace parent ra rb
+  in
+  let link_all = function
+    | [] -> ()
+    | x :: rest -> List.iter (union x) rest
+  in
+  List.iter
+    (fun (ax : Axiom.abox_axiom) ->
+      match ax with
+      | Axiom.Instance_of (a, c) -> link_all (a :: Concept.individual_names c)
+      | Axiom.Role_assertion (a, _, b) -> union a b
+      | Axiom.Data_assertion (a, _, _) -> ignore (find a : string)
+      | Axiom.Same (a, b) | Axiom.Different (a, b) -> union a b)
+    abox;
+  List.iter (fun s -> ignore (find s : string)) seeds;
+  (* snapshot keys first: [find] path-compresses, and mutating a table
+     while folding over it is undefined *)
+  let names = Hashtbl.fold (fun x _ acc -> x :: acc) parent [] in
+  let roots =
+    List.sort_uniq String.compare (List.map find seeds)
+  in
+  List.filter (fun x -> List.mem (find x) roots) names
+  |> List.sort_uniq String.compare
+
+(* Do any classical TBox concepts mention a nominal?  If so, ABox
+   individuals can leak into concept satisfiability (a {o} in the TBox
+   pins o's told assertions into every model), and the disjoint-forest
+   argument behind [component_closure] breaks — ABox deltas then force a
+   full flush. *)
+let tbox_has_nominal tbox =
+  let concept c =
+    List.exists
+      (function Concept.One_of _ -> true | _ -> false)
+      (Concept.subconcepts c)
+  in
+  List.exists
+    (function
+      | Axiom.Concept_sub (c, d) -> concept c || concept d
+      | Axiom.Role_sub _ | Axiom.Data_role_sub _ | Axiom.Transitive _ -> false)
+    tbox
+
+let apply t (d : Delta.t) =
+  if Delta.is_empty d then
+    { evicted = 0;
+      retained = Cache.length t.cache;
+      flushed = false;
+      consistency_flipped = false;
+      recheck_calls = 0 }
+  else begin
+    let calls0 = t.tableau_calls in
+    (* the transition guard below needs the pre-delta status — read it
+       before mutating (pays one tableau call if not already cached) *)
+    let pre = check t Consistent in
+    let ctbox = Transform.tbox_delta d.add_tbox in
+    let cadd = Transform.abox_delta d.add_abox in
+    let cretract = Transform.abox_delta d.retract_abox in
+    (* TBox additions: an axiom the preprocessor will absorb (atomic LHS)
+       only strengthens the unfolding of that one atom — evict verdicts
+       whose provenance mentions the (demangled) atom.  Anything else
+       (GCIs, role axioms, transitivity) changes global saturation and
+       forces a full flush. *)
+    let tbox_flush, evict_atoms =
+      List.fold_left
+        (fun (flush, atoms) ax ->
+          match Tableau.absorbable_lhs ax with
+          | None -> (true, atoms)
+          | Some a -> (
+              match Mangle.atom_origin a with
+              | Mangle.Pos x | Mangle.Neg x | Mangle.Plain x ->
+                  (flush, x :: atoms)))
+        (false, []) ctbox
+    in
+    let abox_touched = Delta.touches_abox d in
+    let nominal_guard =
+      abox_touched && tbox_has_nominal (t.classical_kb.Axiom.tbox @ ctbox)
+    in
+    let flush = tbox_flush || nominal_guard in
+    (* component closure over the PRE-delta ABox plus the added
+       assertions: retracting an edge can only shrink a component, so the
+       pre-delta graph over-approximates; added edges can bridge two old
+       components, so they must be in the graph too *)
+    let touched_inds =
+      if flush || not abox_touched then []
+      else
+        component_closure
+          (t.classical_kb.Axiom.abox @ cadd)
+          (Delta.individuals d)
+    in
+    (* structural update: K in place, K̄ through the reasoner's
+       incremental prep (told indexes, absorption, hierarchy refresh),
+       pool reasoners dropped (rebuilt lazily against the new KB) *)
+    t.kb <- Delta.apply_kb4 t.kb d;
+    Reasoner.apply_delta t.primary ~add_abox:cadd ~retract_abox:cretract
+      ~add_tbox:ctbox;
+    t.classical_kb <- Reasoner.kb t.primary;
+    t.workers <- None;
+    let size0 = Cache.length t.cache in
+    if flush then flush_all t
+    else begin
+      (* global consistency always depends on the delta: a new component
+         can be inconsistent all by itself *)
+      evict_key t Key.K_consistent;
+      List.iter (evict_symbol t t.ind_index) touched_inds;
+      List.iter (evict_symbol t t.atom_index) evict_atoms
+    end;
+    let evicted = size0 - Cache.length t.cache in
+    (* consistency-transition guard: if the status flipped, every retained
+       verdict is suspect (inconsistency is global — it decides all
+       entailments at once), so flush what survived.  Inconsistent on
+       both sides retains everything: those verdicts are already the
+       trivially-determined ones. *)
+    let post = check t Consistent in
+    let flipped = post <> pre in
+    let evicted =
+      if flipped && not flush then begin
+        let consistency_prov = KH.find_opt t.prov Key.K_consistent in
+        let n = Cache.length t.cache in
+        flush_all t;
+        Cache.add t.cache Key.K_consistent post;
+        (match consistency_prov with
+        | Some e -> record_prov t Key.K_consistent e
+        | None -> ());
+        evicted + n - Cache.length t.cache
+      end
+      else evicted
+    in
+    { evicted;
+      retained = Cache.length t.cache;
+      flushed = flush || flipped;
+      consistency_flipped = flipped;
+      recheck_calls = t.tableau_calls - calls0 }
+  end
+
 type stats = {
   cache : Verdict_cache.stats;
   tableau_calls : int;
@@ -352,7 +617,7 @@ type stats = {
 let stats (t : t) =
   { cache = Cache.stats t.cache;
     tableau_calls = t.tableau_calls;
-    jobs = t.jobs;
+    jobs = t.config.jobs;
     batches = t.batches;
     parallel_calls = t.parallel_calls }
 

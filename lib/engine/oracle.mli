@@ -12,11 +12,11 @@
     {b Concurrency discipline.}  The cache is {e confined to the
     coordinating domain}: worker domains never touch it.  A worker
     evaluates its shard against its own private reasoner with a private
-    memo table and returns a log of [(key, verdict)] pairs; the coordinator
-    folds those logs into the shared cache after joining.  This keeps the
-    (single-threaded, intrusive-list) LRU structure safe without a lock on
-    the hot sequential path.  All functions of this module must be called
-    from the domain that created the oracle. *)
+    memo table and returns a log of [(key, verdict, provenance)] triples;
+    the coordinator folds those logs into the shared cache after joining.
+    This keeps the (single-threaded, intrusive-list) LRU structure safe
+    without a lock on the hot sequential path.  All functions of this
+    module must be called from the domain that created the oracle. *)
 
 type t
 
@@ -35,6 +35,32 @@ type query =
       (** is [K̄ ∪ {R⁼(a,b)}] inconsistent? — the told-false bit of
           [R(a,b)] under Definition 8 *)
 
+(** {1 Construction}
+
+    The one construction surface for the whole stack: {!Session.create},
+    {!Engine.create} and {!Para.create} all route through {!of_config}. *)
+
+type config = {
+  jobs : int;
+      (** domain-pool width used by {!check_all} and {!map_batches};
+          [1] keeps everything on the calling domain *)
+  cache_capacity : int;
+      (** verdict-cache capacity; [0] disables caching (every verdict
+          pays its tableau call) *)
+  max_nodes : int;  (** tableau node budget per run *)
+  max_branches : int;  (** tableau branch budget per run *)
+}
+
+val default_config : config
+(** [{ jobs = 1; cache_capacity = default_cache_capacity;
+      max_nodes = 20_000; max_branches = max_int }] *)
+
+val of_config : config -> Kb4.t -> t
+(** Build an oracle over the four-valued KB: transforms it to [K̄]
+    (Definition 7) and prepares the primary reasoner.  [jobs] is clamped
+    to at least 1; worker reasoners are created lazily on the first
+    parallel batch. *)
+
 val create :
   ?jobs:int ->
   ?cache_capacity:int ->
@@ -42,21 +68,23 @@ val create :
   ?max_branches:int ->
   Kb4.t ->
   t
-(** [jobs] (default 1) is the domain-pool width used by {!check_all} and
-    {!map_batches}; [1] keeps everything on the calling domain.  Worker
-    reasoners are created lazily on the first parallel batch.
-    [cache_capacity] defaults to {!default_cache_capacity}; [0] disables
-    caching (every verdict pays its tableau call). *)
+(** @deprecated Legacy optional-argument spelling.  Equivalent to
+    {!of_config} with the omitted fields taken from {!default_config};
+    prefer [of_config] (or the {!Session} facade) in new code. *)
 
 val default_cache_capacity : int
 val kb : t -> Kb4.t
+(** The current four-valued KB — reflects every applied delta. *)
+
 val classical_kb : t -> Axiom.kb
-(** The induced [K̄] of Definition 7, shared by every reasoner of the pool. *)
+(** The induced [K̄] of Definition 7, shared by every reasoner of the
+    pool — reflects every applied delta. *)
 
 val reasoner : t -> Reasoner.t
 (** The coordinating domain's reasoner (for non-verdict services such as
     model extraction). *)
 
+val config : t -> config
 val jobs : t -> int
 
 val check : t -> query -> bool
@@ -86,11 +114,12 @@ val shard : t -> 'a list -> 'a list list
 
 (** {1 Provenance}
 
-    When observability sinks are armed ({!Obs.enabled}), every verdict
-    actually computed (on any domain of the pool) records which named
-    individuals and user-level atomic concepts its tableau run touched —
-    the dependency set needed for selective cache invalidation.  With
-    sinks off, nothing is recorded and nothing is paid. *)
+    Every verdict actually computed (on any domain of the pool) records
+    which named individuals and user-level atomic concepts its tableau run
+    touched, seeded with the query's own symbols — the dependency set that
+    drives selective cache invalidation in {!apply}.  Recording is
+    unconditional: it does not depend on observability sinks being armed
+    ({!Obs.enabled} only adds spans and histograms on top). *)
 
 type prov_entry = {
   individuals : string list;  (** named ABox individuals touched, sorted *)
@@ -99,11 +128,55 @@ type prov_entry = {
 }
 
 val provenance : t -> query -> prov_entry option
-(** The provenance of a verdict, if it was computed while sinks were
-    armed (cache hits never re-record). *)
+(** The provenance of a computed verdict ([None] only if the verdict was
+    never computed, or was invalidated by a delta; cache hits never
+    re-record). *)
 
 val provenances : t -> prov_entry list
 (** All recorded per-verdict provenance entries, unordered. *)
+
+(** {1 Incremental update}
+
+    {!apply} edits the KB in place and selectively invalidates cached
+    verdicts through a provenance-keyed dependency index (individual and
+    atomic-concept symbol -> verdict keys).  A verdict survives a delta
+    when its recorded dependency set avoids every symbol the delta can
+    reach:
+
+    - ABox adds/retracts evict the verdicts whose provenance meets the
+      {e connected component} (over told role assertions, Same/Different
+      links and nominal references) of the delta's individuals — in a
+      nominal-free TBox, tableau forests for disjoint components never
+      interact, so untouched-component verdicts are bitwise identical.
+    - An absorbable TBox addition ([A ⊑ C] with atomic LHS) evicts the
+      verdicts whose provenance mentions [A]; any other TBox axiom (GCI,
+      role inclusion, transitivity) forces a full flush.
+    - The global {!Consistent} verdict is always evicted, and if its value
+      flips across the delta everything else is flushed too — an
+      (in)consistency transition re-decides every entailment at once.
+    - If the classical TBox mentions a nominal, ABox deltas also flush
+      (the disjoint-component argument breaks). *)
+
+type apply_stats = {
+  evicted : int;  (** cache entries dropped by this delta *)
+  retained : int;  (** cache entries that survived *)
+  flushed : bool;  (** did the delta force a full flush? *)
+  consistency_flipped : bool;
+      (** did [K̄]'s satisfiability change across the delta? *)
+  recheck_calls : int;
+      (** tableau calls paid inside [apply] itself (the pre/post
+          consistency probes; at most 2, fewer when cached) *)
+}
+
+val apply : t -> Delta.t -> apply_stats
+(** Apply a delta in place: updates the four-valued KB, pushes the delta
+    through the axiom-local incremental transform into [K̄] and the
+    primary reasoner's prepared state, discards pool workers (rebuilt
+    lazily), and invalidates exactly the cached verdicts the delta can
+    affect.  Subsequent queries answer against the updated KB; retained
+    verdicts are served without new tableau calls. *)
+
+val pp_apply_stats : Format.formatter -> apply_stats -> unit
 
 (** {1 Statistics} *)
 

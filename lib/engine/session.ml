@@ -1,0 +1,42 @@
+type config = Oracle.config = {
+  jobs : int;
+  cache_capacity : int;
+  max_nodes : int;
+  max_branches : int;
+}
+
+let default_config = Oracle.default_config
+
+type t = { engine : Engine.t }
+
+let create ?(config = default_config) kb = { engine = Engine.of_config config kb }
+let of_engine engine = { engine }
+let of_oracle oracle = { engine = Engine.of_oracle oracle }
+let engine t = t.engine
+let oracle t = Engine.oracle t.engine
+let kb t = Engine.kb t.engine
+let classical_kb t = Oracle.classical_kb (oracle t)
+let config t = Oracle.config (oracle t)
+let apply t d = Engine.apply t.engine d
+
+let apply_all t ds =
+  let zero =
+    { Oracle.evicted = 0;
+      retained = 0;
+      flushed = false;
+      consistency_flipped = false;
+      recheck_calls = 0 }
+  in
+  List.fold_left
+    (fun (acc : Oracle.apply_stats) d ->
+      let s = apply t d in
+      { Oracle.evicted = acc.Oracle.evicted + s.Oracle.evicted;
+        retained = s.Oracle.retained;
+        flushed = acc.Oracle.flushed || s.Oracle.flushed;
+        consistency_flipped =
+          acc.Oracle.consistency_flipped || s.Oracle.consistency_flipped;
+        recheck_calls = acc.Oracle.recheck_calls + s.Oracle.recheck_calls })
+    zero ds
+
+let stats t = Engine.stats t.engine
+let pp_stats = Engine.pp_stats

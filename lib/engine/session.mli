@@ -1,0 +1,64 @@
+(** The unified session facade — one value that owns the whole reasoning
+    stack for one evolving knowledge base.
+
+    A {!t} bundles the four-valued KB [K], its classical induced KB [K̄],
+    the entailment {!Oracle} (verdict cache + domain pool) and the
+    {!Engine} indexes behind a single {!config} record, replacing the
+    four scattered optional arguments ([?jobs], [?cache_capacity],
+    [?max_nodes], [?max_branches]) that {!Para.create}, {!Engine.create}
+    and {!Oracle.create} used to take individually.  Those spellings
+    remain as deprecated wrappers; new code builds a session (or passes a
+    {!config} to [of_config]) and derives the layer it needs:
+
+    {[
+      let s = Session.create ~config:{ Session.default_config with jobs = 4 } kb in
+      let p = Para.of_engine (Session.engine s) in
+      ...queries...
+      let _ = Session.apply s delta in     (* incremental update *)
+      ...more queries, warm cache...
+    ]} *)
+
+type config = Oracle.config = {
+  jobs : int;  (** domain-pool width, clamped to ≥ 1 *)
+  cache_capacity : int;  (** verdict-cache bound; [0] disables caching *)
+  max_nodes : int;  (** tableau node budget per run *)
+  max_branches : int;  (** tableau branch budget per run *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Kb4.t -> t
+(** Build the full stack over [kb]: transform to [K̄], prepare the
+    tableau, create the oracle and the (lazy) engine indexes. *)
+
+val of_engine : Engine.t -> t
+val of_oracle : Oracle.t -> t
+(** Wrap an existing layer; everything (cache, pool, indexes) is shared
+    with other wrappers of the same oracle. *)
+
+val engine : t -> Engine.t
+(** The index layer — classification, realization, cached query
+    services.  [Para.of_engine (engine s)] derives the paper-level
+    query API on the same shared stack. *)
+
+val oracle : t -> Oracle.t
+val kb : t -> Kb4.t
+(** The current four-valued KB, reflecting every applied delta. *)
+
+val classical_kb : t -> Axiom.kb
+val config : t -> config
+
+val apply : t -> Delta.t -> Oracle.apply_stats
+(** Apply an incremental update to the session's KB (see
+    {!Oracle.apply} for the invalidation contract).  Every layer views
+    the updated KB afterwards; retained verdicts keep serving hits. *)
+
+val apply_all : t -> Delta.t list -> Oracle.apply_stats
+(** Replay a delta script in order.  The returned stats accumulate
+    [evicted]/[recheck_calls] and OR the flush/flip flags; [retained] is
+    the final value. *)
+
+val stats : t -> Engine.stats
+val pp_stats : Format.formatter -> Engine.stats -> unit

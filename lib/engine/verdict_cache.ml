@@ -115,6 +115,14 @@ module Make (K : Hashtbl.HashedType) = struct
         add t k v;
         v
 
+  let remove t k =
+    match H.find_opt t.table k with
+    | None -> false
+    | Some n ->
+        unlink t n;
+        H.remove t.table k;
+        true
+
   let stats t =
     { hits = t.hits;
       misses = t.misses;
@@ -127,9 +135,12 @@ module Make (K : Hashtbl.HashedType) = struct
     t.misses <- 0;
     t.evictions <- 0
 
-  let clear t =
+  let purge t =
     H.reset t.table;
     t.front <- None;
-    t.back <- None;
+    t.back <- None
+
+  let clear t =
+    purge t;
     reset_stats t
 end

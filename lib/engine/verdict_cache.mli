@@ -44,8 +44,19 @@ module Make (K : Hashtbl.HashedType) : sig
   val find_or_add : 'v t -> K.t -> (unit -> 'v) -> 'v
   (** Memoizing lookup: on a miss, compute, store, return. *)
 
+  val remove : 'v t -> K.t -> bool
+  (** Drop one entry (selective invalidation, e.g. after a KB delta whose
+      touched symbols intersect the entry's provenance).  Returns whether
+      the key was present.  Does not count as an eviction — capacity
+      evictions and invalidations are different signals. *)
+
   val stats : 'v t -> stats
   val reset_stats : 'v t -> unit
+
+  val purge : 'v t -> unit
+  (** Drops all entries but keeps the hit/miss/eviction counters — a full
+      flush after a KB delta, without distorting the session's statistics. *)
+
   val clear : 'v t -> unit
   (** Drops all entries and resets the counters. *)
 end

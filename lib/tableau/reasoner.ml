@@ -1,5 +1,9 @@
 type t = {
-  kb : Axiom.kb;
+  mutable prep : Tableau.prep;
+      (* cached preprocessing (absorption, hierarchy, blocking signals):
+         computed once per KB, refreshed incrementally by [apply_delta],
+         shared by every query instead of being re-derived per tableau
+         run *)
   max_nodes : int;
   max_branches : int;
   stats : Tableau.stats;
@@ -7,19 +11,37 @@ type t = {
 }
 
 let create ?(max_nodes = 20_000) ?(max_branches = max_int) kb =
-  { kb;
+  { prep = Tableau.prepare kb;
     max_nodes;
     max_branches;
     stats = Tableau.fresh_stats ();
     consistent = None }
 
-let kb t = t.kb
+let kb t = Tableau.prep_kb t.prep
 let stats t = t.stats
 
+(* Remove the first structurally-equal occurrence of each [axs] element;
+   missing retractions are silently ignored (deltas are idempotent about
+   absent assertions). *)
+let remove_each axs abox =
+  List.fold_left
+    (fun abox ax ->
+      let rec drop = function
+        | [] -> []
+        | hd :: tl -> if hd = ax then tl else hd :: drop tl
+      in
+      drop abox)
+    abox axs
+
+let apply_delta t ~add_abox ~retract_abox ~add_tbox =
+  let abox = remove_each retract_abox (Tableau.prep_kb t.prep).Axiom.abox in
+  let abox = abox @ add_abox in
+  t.prep <- Tableau.prep_add_tbox (Tableau.prep_with_abox t.prep abox) add_tbox;
+  t.consistent <- None
+
 let sat ?prov t extra_abox =
-  Tableau.kb_satisfiable ~max_nodes:t.max_nodes ~max_branches:t.max_branches
-    ~stats:t.stats ?prov
-    { t.kb with abox = t.kb.abox @ extra_abox }
+  Tableau.prepared_satisfiable ~max_nodes:t.max_nodes
+    ~max_branches:t.max_branches ~stats:t.stats ?prov t.prep extra_abox
 
 let is_consistent ?prov t =
   match (t.consistent, prov) with
@@ -37,8 +59,8 @@ let is_consistent ?prov t =
 let consistent_with ?prov t extra = sat ?prov t extra
 
 let find_model t =
-  Tableau.kb_model ~max_nodes:t.max_nodes ~max_branches:t.max_branches
-    ~stats:t.stats t.kb
+  Tableau.prepared_model ~max_nodes:t.max_nodes ~max_branches:t.max_branches
+    ~stats:t.stats t.prep []
 
 (* Fresh names use ':', which cannot appear in surface-syntax identifiers. *)
 let fresh_individual = "q:fresh"
@@ -70,7 +92,7 @@ let same_entailed t a b =
 let different_entailed t a b = not (sat t [ Axiom.Same (a, b) ])
 
 let classify t =
-  let atoms = (Axiom.signature t.kb).concepts in
+  let atoms = (Axiom.signature (kb t)).concepts in
   List.map
     (fun a ->
       let supers =
@@ -82,7 +104,8 @@ let classify t =
     atoms
 
 let validate t =
-  let h = Hierarchy.build t.kb.tbox in
+  let target = kb t in
+  let h = Hierarchy.build target.Axiom.tbox in
   let warnings = ref [] in
   let warn fmt = Format.kasprintf (fun s -> warnings := s :: !warnings) fmt in
   let check_concept c =
@@ -104,8 +127,8 @@ let validate t =
           check_concept c;
           check_concept d
       | _ -> ())
-    t.kb.tbox;
+    target.Axiom.tbox;
   List.iter
     (function Axiom.Instance_of (_, c) -> check_concept c | _ -> ())
-    t.kb.abox;
+    target.Axiom.abox;
   List.rev !warnings

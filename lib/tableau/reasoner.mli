@@ -2,14 +2,29 @@
     reduced to KB satisfiability in the usual way (cf. §2.1 of the paper: OWL
     DL entailment reduces to [SHOIN(D)] KB (un)satisfiability).
 
-    All queries run the tableau from scratch on the (preprocessed) KB plus
-    the query assertions — there is no incremental reasoning. *)
+    Each query runs the tableau on the KB plus the query assertions, but
+    the query-independent preprocessing (absorption, role hierarchy,
+    blocking-strategy signals) is computed once per KB as a cached
+    {!Tableau.prep} and refreshed incrementally by {!apply_delta}. *)
 
 type t
 
 val create : ?max_nodes:int -> ?max_branches:int -> Axiom.kb -> t
 
 val kb : t -> Axiom.kb
+
+val apply_delta :
+  t ->
+  add_abox:Axiom.abox_axiom list ->
+  retract_abox:Axiom.abox_axiom list ->
+  add_tbox:Axiom.tbox_axiom list ->
+  unit
+(** Update the KB in place: retractions remove the first structurally
+    equal occurrence each (absent retractions are ignored), additions are
+    appended.  The cached preprocessing is refreshed incrementally — TBox
+    additions extend the absorption maps and rebuild the role hierarchy,
+    ABox changes only rescan the ABox blocking signals — and the cached
+    consistency verdict is reset. *)
 
 val stats : t -> Tableau.stats
 (** Cumulative tableau statistics over all queries run so far. *)

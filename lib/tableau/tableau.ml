@@ -446,6 +446,14 @@ let node_clash ctx st x =
        ls
   || (are_distinct st x x && hit c_clash_distinct)
 
+(* Record every name mapping to node [x] into the run's provenance: used
+   at clash and merge sites, where the involved individuals demonstrably
+   interact with the query whatever the eventual verdict. *)
+let prov_record_node ctx st x =
+  match ctx.prov with
+  | None -> ()
+  | Some p -> SMap.iter (fun a y -> if y = x then prov_add_ind p a) st.names
+
 (* ------------------------------------------------------------------ *)
 (* Deterministic saturation *)
 
@@ -472,6 +480,12 @@ let falsified lbls (d : Concept.t) =
 let saturate ctx st =
   let st = ref st in
   let touched = ref ISet.empty in
+  (* nodes on which a rule actually fired (labels grew, a merge or a
+     distinctness constraint involved them) — the only nodes whose named
+     individuals enter the run's provenance.  Told assertions that never
+     interact record nothing, which is what keeps provenance small enough
+     for selective cache invalidation to retain anything. *)
+  let fired = ref ISet.empty in
   while not (ISet.is_empty !st.dirty) do
     let work = !st.dirty in
     st := { !st with dirty = ISet.empty };
@@ -480,6 +494,7 @@ let saturate ctx st =
       let cs = List.filter (fun c -> not (CSet.mem c (labels !st x))) cs in
       if cs <> [] then begin
         Obs.incr rule;
+        fired := ISet.add x !fired;
         st := add_labels !st x cs
       end
     in
@@ -524,6 +539,7 @@ let saturate ctx st =
                     | Some y when y = x -> ()
                     | Some y -> (
                         Obs.incr c_rule_oneof;
+                        fired := ISet.add x (ISet.add y !fired);
                         match merge ctx !st ~src:x ~dst:y with
                         | Some st' -> st := st'
                         | None ->
@@ -532,6 +548,7 @@ let saturate ctx st =
                     | None ->
                         (* x becomes the named node for o; promote to root
                            so it can never be pruned or blocked *)
+                        fired := ISet.add x !fired;
                         let n = node !st x in
                         st :=
                           mark_dirty
@@ -556,6 +573,7 @@ let saturate ctx st =
                         st := st';
                         if not (are_distinct !st x y) then begin
                           Obs.incr c_rule_not_oneof;
+                          fired := ISet.add x (ISet.add y !fired);
                           st := add_distinct !st x y
                         end)
                       os
@@ -566,11 +584,17 @@ let saturate ctx st =
   done;
   (* Provenance is harvested per saturation pass, from the touched set:
      this also captures work done on branches that later backtrack, so
-     UNSAT runs report what they examined, not just the final state. *)
+     UNSAT runs report what they examined, not just the final state.
+     Individuals are harvested selectively — only names mapping to a node
+     in [fired] — while atoms stay coarse (every label of every touched
+     node): TBox-delta retention needs "this atom never appeared in any
+     label", ABox-delta retention only needs "a rule involved this
+     individual" (told-only names are covered by the component closure on
+     the eviction side). *)
   (match ctx.prov with
   | None -> ()
   | Some p ->
-      SMap.iter (fun a _ -> prov_add_ind p a) !st.names;
+      SMap.iter (fun a x -> if ISet.mem x !fired then prov_add_ind p a) !st.names;
       ISet.iter
         (fun x ->
           match IMap.find_opt x !st.nodes with
@@ -853,7 +877,9 @@ let rec expand ctx st =
   | st, touched ->
       if
         ISet.exists
-          (fun x -> IMap.mem x st.nodes && node_clash ctx st x)
+          (fun x ->
+            IMap.mem x st.nodes && node_clash ctx st x
+            && (prov_record_node ctx st x; true))
           touched
       then None
       else begin
@@ -884,6 +910,8 @@ let rec expand ctx st =
               (fun (src, dst) ->
                 ctx.stats.branches_explored <- ctx.stats.branches_explored + 1;
                 Obs.incr c_branches;
+                prov_record_node ctx st src;
+                prov_record_node ctx st dst;
                 match merge ctx st ~src ~dst with
                 | Some st' -> (
                     match expand ctx st' with
@@ -968,7 +996,10 @@ let initial_state ctx (kb : Axiom.kb) =
       gen_pending = ISet.empty }
   in
   let get_node st a =
-    (match ctx.prov with Some p -> prov_add_ind p a | None -> ());
+    (* Note: merely naming an individual does NOT enter it into the run's
+       provenance — only rule firings, merges and clashes do (see
+       [saturate]); told-only individuals are handled by the component
+       closure on the invalidation side. *)
     match SMap.find_opt a st.names with
     | Some x -> (x, st)
     | None ->
@@ -1004,6 +1035,11 @@ let initial_state ctx (kb : Axiom.kb) =
             | Some st -> st
             | None ->
                 Obs.incr c_clash_merge;
+                (match ctx.prov with
+                | Some p ->
+                    prov_add_ind p a;
+                    prov_add_ind p b
+                | None -> ());
                 raise Clashed)
         | Different (a, b) ->
             let x, st = get_node st a in
@@ -1017,46 +1053,153 @@ let initial_state ctx (kb : Axiom.kb) =
     st
   else st
 
-(* Pick the weakest sound blocking strategy for the KB's expressivity. *)
-let choose_blocking (kb : Axiom.kb) =
-  let uses_inverse = ref false and uses_at_most = ref false in
-  let scan_concept c =
-    List.iter
-      (fun (sub : Concept.t) ->
-        match sub with
-        | Exists (Role.Inv _, _)
-        | Forall (Role.Inv _, _)
-        | At_least (_, Role.Inv _) ->
-            uses_inverse := true
-        | At_most (_, r) ->
-            uses_at_most := true;
-            if Role.is_inverse r then uses_inverse := true
-        | _ -> ())
-      (Concept.subconcepts c)
-  in
-  List.iter
-    (function
-      | Axiom.Concept_sub (c, d) ->
-          scan_concept (Concept.nnf c);
-          scan_concept (Concept.nnf d);
-          (* negation can flip ≤ into ≥ and vice versa *)
-          scan_concept (Concept.nnf (Concept.Not c));
-          scan_concept (Concept.nnf (Concept.Not d))
-      | Axiom.Role_sub (r, s) ->
-          if Role.is_inverse r || Role.is_inverse s then uses_inverse := true
-      | Axiom.Data_role_sub _ | Axiom.Transitive _ -> ())
-    kb.tbox;
-  List.iter
-    (function
-      | Axiom.Instance_of (_, c) -> scan_concept (Concept.nnf c)
-      | Axiom.Role_assertion (_, r, _) ->
-          if Role.is_inverse r then uses_inverse := true
-      | Axiom.Data_assertion _ | Axiom.Same _ | Axiom.Different _ -> ())
-    kb.abox;
-  if !uses_inverse then Pairwise else if !uses_at_most then Equal else Subset
+(* ------------------------------------------------------------------ *)
+(* Blocking signals and prepared (cached) preprocessing.
 
-let completed_state ?(max_nodes = 20_000) ?(max_branches = max_int)
-    ?(stats = fresh_stats ()) ?prov (kb : Axiom.kb) =
+   A [prep] caches everything about a KB that does not change between
+   tableau runs: absorption ([unfold]/[gcis]), the role hierarchy and the
+   blocking-relevant expressivity signals of the TBox and the base ABox.
+   Reasoners keep one [prep] per KB and refresh it incrementally when a
+   delta arrives, instead of re-running absorption, [Hierarchy.build] and
+   the full signal scan on every single tableau call. *)
+
+(* Expressivity signals deciding the blocking strategy. *)
+type signals = { s_inverse : bool; s_at_most : bool }
+
+let no_signals = { s_inverse = false; s_at_most = false }
+
+let join_signals a b =
+  { s_inverse = a.s_inverse || b.s_inverse;
+    s_at_most = a.s_at_most || b.s_at_most }
+
+let concept_signals acc c =
+  List.fold_left
+    (fun acc (sub : Concept.t) ->
+      match sub with
+      | Exists (Role.Inv _, _)
+      | Forall (Role.Inv _, _)
+      | At_least (_, Role.Inv _) ->
+          { acc with s_inverse = true }
+      | At_most (_, r) ->
+          { s_at_most = true; s_inverse = acc.s_inverse || Role.is_inverse r }
+      | _ -> acc)
+    acc
+    (Concept.subconcepts c)
+
+let tbox_axiom_signals acc (ax : Axiom.tbox_axiom) =
+  match ax with
+  | Axiom.Concept_sub (c, d) ->
+      (* negation can flip ≤ into ≥ and vice versa *)
+      let acc = concept_signals acc (Concept.nnf c) in
+      let acc = concept_signals acc (Concept.nnf d) in
+      let acc = concept_signals acc (Concept.nnf (Concept.Not c)) in
+      concept_signals acc (Concept.nnf (Concept.Not d))
+  | Axiom.Role_sub (r, s) ->
+      if Role.is_inverse r || Role.is_inverse s then
+        { acc with s_inverse = true }
+      else acc
+  | Axiom.Data_role_sub _ | Axiom.Transitive _ -> acc
+
+let abox_axiom_signals acc (ax : Axiom.abox_axiom) =
+  match ax with
+  | Axiom.Instance_of (_, c) -> concept_signals acc (Concept.nnf c)
+  | Axiom.Role_assertion (_, r, _) ->
+      if Role.is_inverse r then { acc with s_inverse = true } else acc
+  | Axiom.Data_assertion _ | Axiom.Same _ | Axiom.Different _ -> acc
+
+let blocking_of { s_inverse; s_at_most } =
+  if s_inverse then Pairwise else if s_at_most then Equal else Subset
+
+type prep = {
+  p_kb : Axiom.kb;
+  p_unfold : Concept.t list SMap.t;
+  p_gcis : Concept.t list;
+  p_h : Hierarchy.t;
+  p_tbox_sig : signals;
+  p_abox_sig : signals;
+}
+
+let prep_kb p = p.p_kb
+
+let prepare (kb : Axiom.kb) =
+  let unfold, gcis = preprocess_tbox kb.tbox in
+  { p_kb = kb;
+    p_unfold = unfold;
+    p_gcis = gcis;
+    p_h = Hierarchy.build kb.tbox;
+    p_tbox_sig = List.fold_left tbox_axiom_signals no_signals kb.tbox;
+    p_abox_sig = List.fold_left abox_axiom_signals no_signals kb.abox }
+
+let prep_with_abox p abox =
+  { p with
+    p_kb = { p.p_kb with abox };
+    p_abox_sig = List.fold_left abox_axiom_signals no_signals abox }
+
+let prep_add_tbox p axs =
+  if axs = [] then p
+  else begin
+    let tbox = p.p_kb.Axiom.tbox @ axs in
+    (* absorption folds left-to-right from the cached maps — appending
+       axioms extends [unfold]/[gcis] exactly as a from-scratch pass over
+       the concatenated TBox would *)
+    let unfold, gcis =
+      List.fold_left
+        (fun (unfold, gcis) ax ->
+          match ax with
+          | Axiom.Concept_sub (c, d) -> (
+              let cs = conjuncts c in
+              match
+                List.partition
+                  (function Concept.Atom _ -> true | _ -> false)
+                  cs
+              with
+              | Concept.Atom a :: extra_atoms, rest ->
+                  let residue = extra_atoms @ rest in
+                  let rhs =
+                    if residue = [] then Concept.nnf d
+                    else
+                      Concept.nnf
+                        (Concept.Or (Concept.Not (Concept.conj residue), d))
+                  in
+                  let cur =
+                    match SMap.find_opt a unfold with
+                    | Some l -> l
+                    | None -> []
+                  in
+                  (SMap.add a (rhs :: cur) unfold, gcis)
+              | _ ->
+                  let gci = Concept.nnf (Concept.Or (Concept.Not c, d)) in
+                  (unfold, gci :: gcis))
+          | Axiom.Role_sub _ | Axiom.Data_role_sub _ | Axiom.Transitive _ ->
+              (unfold, gcis))
+        (p.p_unfold, p.p_gcis) axs
+    in
+    { p_kb = { p.p_kb with tbox };
+      p_unfold = unfold;
+      p_gcis = gcis;
+      p_h = Hierarchy.build tbox;
+      p_tbox_sig = List.fold_left tbox_axiom_signals p.p_tbox_sig axs;
+      p_abox_sig = p.p_abox_sig }
+  end
+
+(* The absorbed atomic left-hand side of a TBox axiom, when [preprocess_tbox]
+   / [prep_add_tbox] would absorb it rather than internalize it as a GCI.
+   Exposed so the invalidation layer can decide, with the exact same test,
+   whether a monotone TBox addition is local to one lazily-unfolded atom. *)
+let absorbable_lhs (ax : Axiom.tbox_axiom) =
+  match ax with
+  | Axiom.Concept_sub (c, _) -> (
+      match
+        List.partition
+          (function Concept.Atom _ -> true | _ -> false)
+          (conjuncts c)
+      with
+      | Concept.Atom a :: _, _ -> Some a
+      | _ -> None)
+  | Axiom.Role_sub _ | Axiom.Data_role_sub _ | Axiom.Transitive _ -> None
+
+let completed_state_prep ?(max_nodes = 20_000) ?(max_branches = max_int)
+    ?(stats = fresh_stats ()) ?prov prep extra =
   Obs.incr c_runs;
   let sp = Obs.enter ~cat:"tableau" "tableau.run" in
   let b0 = stats.branches_explored
@@ -1074,28 +1217,48 @@ let completed_state ?(max_nodes = 20_000) ?(max_branches = max_int)
     Obs.exit_timed sp h_run
   in
   match
-    let unfold, gcis = preprocess_tbox kb.tbox in
+    let kb =
+      if extra = [] then prep.p_kb
+      else { prep.p_kb with abox = prep.p_kb.Axiom.abox @ extra }
+    in
+    let sg =
+      List.fold_left abox_axiom_signals
+        (join_signals prep.p_tbox_sig prep.p_abox_sig)
+        extra
+    in
     let ctx =
-      { h = Hierarchy.build kb.tbox;
-        unfold;
-        gcis;
-        blocking = choose_blocking kb;
+      { h = prep.p_h;
+        unfold = prep.p_unfold;
+        gcis = prep.p_gcis;
+        blocking = blocking_of sg;
         max_nodes;
         max_branches;
         stats;
         prov }
     in
     match initial_state ctx kb with
-    | exception Clashed -> (ctx, None)
-    | st -> (ctx, expand ctx st)
+    | exception Clashed -> (ctx, kb, None)
+    | st -> (ctx, kb, expand ctx st)
   with
-  | (_, outcome) as r ->
+  | (_, _, outcome) as r ->
       finish outcome;
       r
   | exception e ->
       if Obs.live sp then Obs.set_attr sp "exn" (Printexc.to_string e);
       Obs.exit_timed sp h_run;
       raise e
+
+let completed_state ?max_nodes ?max_branches ?stats ?prov (kb : Axiom.kb) =
+  let ctx, _, outcome =
+    completed_state_prep ?max_nodes ?max_branches ?stats ?prov (prepare kb) []
+  in
+  (ctx, outcome)
+
+let prepared_satisfiable ?max_nodes ?max_branches ?stats ?prov prep extra =
+  let _, _, outcome =
+    completed_state_prep ?max_nodes ?max_branches ?stats ?prov prep extra
+  in
+  Option.is_some outcome
 
 let kb_satisfiable ?max_nodes ?max_branches ?stats ?prov kb =
   Option.is_some (snd (completed_state ?max_nodes ?max_branches ?stats ?prov kb))
@@ -1313,3 +1476,8 @@ let kb_model ?max_nodes ?max_branches ?stats ?prov kb =
   match completed_state ?max_nodes ?max_branches ?stats ?prov kb with
   | _, None -> None
   | ctx, Some st -> extract_model ctx kb st
+
+let prepared_model ?max_nodes ?max_branches ?stats ?prov prep extra =
+  match completed_state_prep ?max_nodes ?max_branches ?stats ?prov prep extra with
+  | _, _, None -> None
+  | ctx, kb, Some st -> extract_model ctx kb st

@@ -37,12 +37,25 @@ type stats = {
 }
 
 type prov
-(** Per-run provenance accumulator: the named individuals and (demangled)
-    atomic concepts a tableau run touched, including work on branches that
-    were later backtracked.  Fresh query artefacts (names containing [':'],
-    e.g. [q:fresh]) are excluded, so runs over reduced KBs report exactly
-    the user-level names.  Feeds the oracle's per-verdict dependency
-    tracking (selective cache invalidation, span attributes). *)
+(** Per-run provenance accumulator — the dependency set of a verdict, fed
+    to the oracle's selective cache invalidation (and span attributes).
+
+    {b Individuals} are recorded {e selectively}: a named individual
+    enters the provenance only when a rule fired on its node, it took part
+    in a merge or a distinctness constraint, or its node clashed.  Told
+    assertions that never interact with the query record nothing — the
+    eviction side covers those through the told ABox's connected-component
+    closure, so small provenance directly translates into more retained
+    verdicts.
+
+    {b Atoms} are recorded {e coarsely}: every top-level (possibly
+    negated) atomic concept of every touched node's label, demangled to
+    the user-level name.  TBox-delta retention relies on "this atom never
+    appeared in any label during the run", so the atom harvest must cover
+    all labels, including branches that were later backtracked.
+
+    Fresh query artefacts (names containing [':'], e.g. [q:fresh]) are
+    excluded, so runs over reduced KBs report only user-level names. *)
 
 val fresh_prov : unit -> prov
 
@@ -51,6 +64,60 @@ val prov_individuals : prov -> string list
 
 val prov_concepts : prov -> string list
 (** Sorted, deduplicated. *)
+
+val prov_add_ind : prov -> string -> unit
+(** Manually record an individual (names containing [':'] are ignored).
+    Used by the oracle to seed a verdict's provenance with the query's own
+    subjects before the run. *)
+
+val prov_add_atom : prov -> string -> unit
+(** Manually record an atomic concept, demangled to its user-level origin
+    ([A⁺]/[A⁻] both record [A]; plain names containing [':'] are
+    ignored). *)
+
+(** {1 Prepared (cached) preprocessing}
+
+    Absorption, GCI internalization, the role hierarchy and the
+    blocking-strategy signals depend only on the KB, not on the query —
+    a {!prep} computes them once so repeated tableau runs (every verdict
+    of a reasoning session) stop paying them, and KB deltas refresh them
+    incrementally instead of from scratch. *)
+
+type prep
+
+val prepare : Axiom.kb -> prep
+
+val prep_kb : prep -> Axiom.kb
+
+val prep_with_abox : prep -> Axiom.abox_axiom list -> prep
+(** Replace the base ABox (rescans only the ABox blocking signals; all
+    TBox preprocessing is reused). *)
+
+val prep_add_tbox : prep -> Axiom.tbox_axiom list -> prep
+(** Append monotone TBox additions: new axioms are absorbed/internalized
+    into the cached unfolding maps exactly as a from-scratch pass over the
+    concatenated TBox would, and the role hierarchy is rebuilt. *)
+
+val absorbable_lhs : Axiom.tbox_axiom -> string option
+(** The atomic left-hand side under which the preprocessor would absorb
+    this axiom for lazy unfolding, or [None] if it is internalized as a
+    GCI (or is a role axiom).  The invalidation layer uses this exact test
+    to decide whether a TBox addition is local to one atom. *)
+
+val prepared_satisfiable :
+  ?max_nodes:int -> ?max_branches:int -> ?stats:stats -> ?prov:prov ->
+  prep -> Axiom.abox_axiom list -> bool
+(** [prepared_satisfiable prep extra] decides satisfiability of the
+    prepared KB extended with the [extra] ABox assertions (the query).
+    Equivalent to {!kb_satisfiable} on the merged KB, without re-running
+    preprocessing.  Blocking signals of [extra] are scanned per call and
+    joined with the cached ones, so the strategy choice is identical.
+    @raise Resource_limit as {!kb_satisfiable}. *)
+
+val prepared_model :
+  ?max_nodes:int -> ?max_branches:int -> ?stats:stats -> ?prov:prov ->
+  prep -> Axiom.abox_axiom list -> Interp.t option
+(** Prepared counterpart of {!kb_model}. *)
 
 val kb_satisfiable :
   ?max_nodes:int -> ?max_branches:int -> ?stats:stats -> ?prov:prov ->

@@ -100,6 +100,14 @@ let kb (k : Kb4.t) : Axiom.kb =
   Obs.exit_span sp;
   out
 
+(* Incremental path: the reduction of Definition 7 is axiom-local (one
+   four-valued axiom maps to one or two classical axioms, independently of
+   the rest of the KB), so a delta against [K] translates by mapping only
+   the delta's axioms — [K̄] is never re-transformed. *)
+
+let abox_delta axs = List.map abox_axiom axs
+let tbox_delta axs = List.concat_map tbox_axiom axs
+
 let inclusion_tests kind c d =
   match kind with
   | Kb4.Material ->

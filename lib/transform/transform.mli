@@ -37,6 +37,21 @@ val abox_axiom : Axiom.abox_axiom -> Axiom.abox_axiom
 val kb : Kb4.t -> Axiom.kb
 (** The classical induced KB [K̄] (Definition 7). *)
 
+(** {1 Incremental path}
+
+    Definition 7 is axiom-local: [K̄]'s TBox is the concatenation of each
+    four-valued TBox axiom's translation and its ABox the pointwise image
+    of [K]'s ABox.  A delta against [K] therefore translates by mapping
+    {e only the delta's axioms} — adding the images of added axioms and
+    removing the images of retracted ones yields exactly [Transform.kb] of
+    the updated [K], without re-transforming the rest. *)
+
+val abox_delta : Axiom.abox_axiom list -> Axiom.abox_axiom list
+(** Pointwise {!abox_axiom}. *)
+
+val tbox_delta : Kb4.tbox_axiom list -> Axiom.tbox_axiom list
+(** Concatenated {!tbox_axiom} images, in input order. *)
+
 (** {1 Query compilation (Corollary 7 and instance queries)} *)
 
 val inclusion_tests : Kb4.inclusion -> Concept.t -> Concept.t -> Concept.t list

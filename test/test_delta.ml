@@ -1,0 +1,342 @@
+(* PR 4: incremental KB deltas with provenance-keyed invalidation.
+
+   - Surface syntax: parse / pp round trips, script splitting, the
+     TBox-retraction rejection.
+   - Differential invariant: for paper Examples 1-4 and two generated
+     KBs, a deterministic pseudo-random delta sequence is replayed twice
+     — incrementally through one live Session, and by rebuilding a fresh
+     stack over the delta-applied KB at every step.  Satisfiability, the
+     full (individual x atom) Belnap grid, retrieval and classification
+     must agree at every step, and the classical KB maintained by the
+     incremental reasoner prep must equal the from-scratch transform.
+   - Retention: on a KB of two disconnected components, a delta touching
+     one component keeps the other component's warm verdicts — re-asking
+     them pays zero new tableau calls, proven on the oracle's call
+     counter; their provenance demonstrably excludes the delta's
+     individuals.
+   - Index sharing: Engine.of_oracle / Para.of_engine / Session wrappers
+     share one cache — a verdict paid through one wrapper is a hit
+     through the others.
+   - Session config: the unified record and the deprecated optional-arg
+     constructors build equivalent stacks. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Surface syntax *)
+
+let ok_parse text =
+  match Delta.parse text with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "delta parse failed: %s" e
+
+let parse_tests =
+  [ Alcotest.test_case "parse and print round trip" `Quick (fun () ->
+        let d =
+          ok_parse
+            "# comment\n\
+             + tweety : Fly.\n\
+             + Penguin < Bird.\n\
+             - hasWing(tweety, w).\n"
+        in
+        checki "adds" 1 (List.length d.Delta.add_abox);
+        checki "tbox adds" 1 (List.length d.Delta.add_tbox);
+        checki "retracts" 1 (List.length d.Delta.retract_abox);
+        let d2 = ok_parse (Delta.to_string d) in
+        checkb "round trip" true (d = d2));
+    Alcotest.test_case "script splits on ---" `Quick (fun () ->
+        match
+          Delta.parse_script
+            "+ a : C.\n---\n# only a comment here\n---\n- a : C.\n"
+        with
+        | Error e -> Alcotest.failf "script: %s" e
+        | Ok ds ->
+            (* the all-comment middle chunk is skipped *)
+            checki "two non-empty deltas" 2 (List.length ds));
+    Alcotest.test_case "TBox retraction is rejected" `Quick (fun () ->
+        match Delta.parse "- Penguin < Bird.\n" with
+        | Ok _ -> Alcotest.fail "TBox retraction must not parse"
+        | Error e ->
+            checkb "message mentions monotone" true
+              (String.length e > 0));
+    Alcotest.test_case "individuals and atoms of a delta" `Quick (fun () ->
+        let d = ok_parse "+ a : C & some r.{b}.\n- s(a, c).\n" in
+        check
+          Alcotest.(list string)
+          "individuals" [ "a"; "b"; "c" ] (Delta.individuals d);
+        check Alcotest.(list string) "atoms" [ "C" ] (Delta.atoms d)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: incremental = rebuild *)
+
+let sorted = List.sort_uniq String.compare
+
+let grid_of t kb =
+  let s = Kb4.signature kb in
+  let pairs =
+    List.concat_map
+      (fun a -> List.map (fun c -> (a, Concept.Atom c)) (sorted s.Axiom.concepts))
+      (sorted s.Axiom.individuals)
+  in
+  Para.instance_truths t pairs
+
+let snapshot t kb =
+  ( Para.satisfiable t,
+    grid_of t kb,
+    (match sorted (Kb4.signature kb).Axiom.concepts with
+    | c :: _ -> Para.retrieve t (Concept.Atom c)
+    | [] -> []),
+    Para.classify t )
+
+(* A deterministic delta sequence over the KB's signature: new-component
+   additions, in-place additions, retractions of told assertions, and an
+   absorbable TBox addition; one GCI-shaped addition exercises the full
+   flush.  Every choice comes from a seeded PRNG so failures reproduce. *)
+let gen_deltas rng kb steps =
+  let s = Kb4.signature kb in
+  let atoms = match sorted s.Axiom.concepts with [] -> [ "C" ] | l -> l in
+  let roles = match sorted s.Axiom.roles with [] -> [ "r" ] | l -> l in
+  let inds =
+    match sorted s.Axiom.individuals with [] -> [ "a" ] | l -> l
+  in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let fresh_count = ref 0 in
+  let fresh () =
+    incr fresh_count;
+    Format.asprintf "z%d" !fresh_count
+  in
+  let current = ref kb in
+  List.init steps (fun _ ->
+      let d =
+        match Random.State.int rng 6 with
+        | 0 ->
+            (* fresh component *)
+            let z = fresh () in
+            { Delta.empty with
+              Delta.add_abox =
+                [ Axiom.Instance_of (z, Concept.Atom (pick atoms)) ] }
+        | 1 ->
+            (* attach to an existing individual *)
+            { Delta.empty with
+              Delta.add_abox =
+                [ Axiom.Role_assertion
+                    (pick inds, Role.name (pick roles), fresh ()) ] }
+        | 2 ->
+            (* in-place concept assertion *)
+            { Delta.empty with
+              Delta.add_abox =
+                [ Axiom.Instance_of (pick inds, Concept.Atom (pick atoms)) ] }
+        | 3 -> (
+            (* retract a told assertion, if any *)
+            match (!current).Kb4.abox with
+            | [] -> Delta.empty
+            | abox ->
+                { Delta.empty with
+                  Delta.retract_abox =
+                    [ List.nth abox (Random.State.int rng (List.length abox)) ]
+                })
+        | 4 ->
+            (* absorbable TBox addition *)
+            { Delta.empty with
+              Delta.add_tbox =
+                [ Kb4.Concept_inclusion
+                    ( Kb4.Internal,
+                      Concept.Atom (pick atoms),
+                      Concept.Atom (pick atoms) ) ] }
+        | _ ->
+            (* GCI-shaped addition: exercises the full-flush path *)
+            { Delta.empty with
+              Delta.add_tbox =
+                [ Kb4.Concept_inclusion
+                    ( Kb4.Internal,
+                      Concept.Or
+                        (Concept.Atom (pick atoms), Concept.Atom (pick atoms)),
+                      Concept.Atom (pick atoms) ) ] }
+      in
+      current := Delta.apply_kb4 !current d;
+      d)
+
+let pp_axioms kb =
+  List.sort compare
+    (List.map (Format.asprintf "%a" Axiom.pp_tbox_axiom) kb.Axiom.tbox)
+  @ List.sort compare
+      (List.map (Format.asprintf "%a" Axiom.pp_abox_axiom) kb.Axiom.abox)
+
+let differential_case label kb seed =
+  Alcotest.test_case
+    (Format.asprintf "%s: incremental = rebuild (seed %d)" label seed)
+    `Quick
+    (fun () ->
+      let rng = Random.State.make [| seed |] in
+      let deltas = gen_deltas rng kb 4 in
+      let session = Session.create kb in
+      let live = Para.of_session session in
+      ignore (snapshot live kb);
+      let acc = ref kb in
+      List.iteri
+        (fun i d ->
+          ignore (Session.apply session d : Oracle.apply_stats);
+          acc := Delta.apply_kb4 !acc d;
+          checkb
+            (Format.asprintf "%s step %d: session KB tracks the delta" label i)
+            true
+            (Session.kb session = !acc);
+          (* the classical KB maintained incrementally by the reasoner
+             prep must match the from-scratch transform *)
+          check
+            Alcotest.(list string)
+            (Format.asprintf "%s step %d: incremental transform = rebuild"
+               label i)
+            (pp_axioms (Transform.kb !acc))
+            (pp_axioms (Oracle.classical_kb (Session.oracle session)));
+          let fresh = Para.create !acc in
+          let inc = snapshot live !acc and ref_ = snapshot fresh !acc in
+          checkb
+            (Format.asprintf "%s step %d: answers identical" label i)
+            true (inc = ref_))
+        deltas)
+
+let gen_kb seed =
+  Gen.kb4
+    { Gen.default with
+      seed;
+      n_concepts = 6;
+      n_individuals = 6;
+      n_tbox = 8;
+      n_abox = 12;
+      max_depth = 1;
+      inconsistency_rate = 0.15 }
+
+let differential_tests =
+  [ differential_case "example1" Paper_examples.example1 1;
+    differential_case "example2" Paper_examples.example2 2;
+    differential_case "example3" Paper_examples.example3 3;
+    differential_case "example4" Paper_examples.example4 4;
+    differential_case "gen41" (gen_kb 41) 5;
+    differential_case "gen43" (gen_kb 43) 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Retention: verdicts of an untouched component survive for free *)
+
+let retention_tests =
+  [ Alcotest.test_case "untouched component re-asks pay zero tableau calls"
+      `Quick (fun () ->
+        (* two singleton components {a} and {b}; the TBox only relates
+           C and D, so b's verdicts never depend on a *)
+        let kb =
+          Kb4.make
+            ~tbox:
+              [ Kb4.Concept_inclusion
+                  (Kb4.Internal, Concept.Atom "C", Concept.Atom "D") ]
+            ~abox:
+              [ Axiom.Instance_of ("a", Concept.Atom "A");
+                Axiom.Instance_of ("b", Concept.Atom "B") ]
+        in
+        let s = Session.create kb in
+        let p = Para.of_session s in
+        let calls () =
+          (Oracle.stats (Session.oracle s)).Oracle.tableau_calls
+        in
+        (* warm b's verdicts and global consistency *)
+        checkb "satisfiable" true (Para.satisfiable p);
+        let vb = Para.instance_truth p "b" (Concept.Atom "B") in
+        let vbd = Para.instance_truth p "b" (Concept.Atom "D") in
+        checkb "warm-up paid tableau calls" true (calls () > 0);
+        (* b's provenance demonstrably excludes a *)
+        (match
+           Oracle.provenance (Session.oracle s)
+             (Oracle.Instance ("b", Concept.Atom "B"))
+         with
+        | None -> Alcotest.fail "provenance of the warm verdict is missing"
+        | Some e ->
+            checkb "provenance mentions b" true
+              (List.mem "b" e.Oracle.individuals);
+            checkb "provenance excludes a" false
+              (List.mem "a" e.Oracle.individuals));
+        let before = calls () in
+        let st =
+          Session.apply s
+            { Delta.empty with
+              Delta.add_abox = [ Axiom.Instance_of ("a", Concept.Atom "C") ] }
+        in
+        checkb "delta did not flush" false st.Oracle.flushed;
+        checkb "no consistency transition" false st.Oracle.consistency_flipped;
+        (* apply itself pays only the post-delta consistency probe (the
+           pre-delta status was already cached by the warm-up) *)
+        checki "apply pays exactly one tableau call" 1
+          st.Oracle.recheck_calls;
+        checki "recheck calls are the only calls" (before + 1) (calls ());
+        let after_apply = calls () in
+        (* re-asking b's verdicts is pure cache traffic *)
+        checkb "b : B unchanged" true
+          (Para.instance_truth p "b" (Concept.Atom "B") = vb);
+        checkb "b : D unchanged" true
+          (Para.instance_truth p "b" (Concept.Atom "D") = vbd);
+        checki "zero new tableau calls for the untouched component"
+          after_apply (calls ());
+        (* a's verdicts were evicted and do pay *)
+        ignore (Para.instance_truth p "a" (Concept.Atom "C"));
+        checkb "a's re-ask pays the tableau" true (calls () > after_apply)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Index sharing across wrappers *)
+
+let sharing_tests =
+  [ Alcotest.test_case "of_oracle / of_engine wrappers share one cache"
+      `Quick (fun () ->
+        let o = Oracle.of_config Oracle.default_config Paper_examples.example1 in
+        let e = Engine.of_oracle o in
+        let p = Para.of_engine e in
+        let s = Session.of_oracle o in
+        let calls () = (Oracle.stats o).Oracle.tableau_calls in
+        let v1 = Para.instance_truth p "bill" (Concept.Atom "Doctor") in
+        let paid = calls () in
+        checkb "first ask pays" true (paid > 0);
+        let v2 = Engine.instance_truth e "bill" (Concept.Atom "Doctor") in
+        let v3 =
+          Para.instance_truth
+            (Para.of_session s)
+            "bill" (Concept.Atom "Doctor")
+        in
+        checkb "all wrappers agree" true (v1 = v2 && v2 = v3);
+        checki "no wrapper re-paid the tableau" paid (calls ())) ]
+
+(* ------------------------------------------------------------------ *)
+(* Session config *)
+
+let config_tests =
+  [ Alcotest.test_case "config record and legacy arguments are equivalent"
+      `Quick (fun () ->
+        let kb = Paper_examples.example3 in
+        let config =
+          { Session.default_config with jobs = 2; cache_capacity = 64 }
+        in
+        let s = Session.create ~config kb in
+        checki "jobs" 2 (Session.config s).Session.jobs;
+        checki "cache_capacity" 64 (Session.config s).Session.cache_capacity;
+        let via_session = Para.of_session s in
+        let legacy = Para.create ~jobs:2 ~cache_capacity:64 kb in
+        checkb "same satisfiability" true
+          (Para.satisfiable via_session = Para.satisfiable legacy);
+        checkb "same contradictions" true
+          (Para.contradictions via_session = Para.contradictions legacy);
+        (* Para.session round-trips to the same shared stack *)
+        checkb "session accessor shares the oracle" true
+          (Session.oracle (Para.session via_session) == Session.oracle s));
+    Alcotest.test_case "jobs are clamped to at least 1" `Quick (fun () ->
+        let s =
+          Session.create
+            ~config:{ Session.default_config with jobs = 0 }
+            Paper_examples.example1
+        in
+        checki "clamped" 1 (Session.config s).Session.jobs) ]
+
+let () =
+  Alcotest.run "delta"
+    [ ("parse", parse_tests);
+      ("differential", differential_tests);
+      ("retention", retention_tests);
+      ("sharing", sharing_tests);
+      ("config", config_tests) ]

@@ -2,8 +2,10 @@
 
    - Zero-overhead contract: with no sink armed, a full engine workload
      (classification, realization, contradiction grid at pool width
-     DL4_JOBS) must leave every counter at zero, every histogram empty,
-     no span records and no captured provenance.
+     DL4_JOBS) must leave every counter at zero, every histogram empty
+     and no span records.  Provenance is the exception since PR 4: the
+     incremental-update dependency index needs it, so it is recorded
+     unconditionally, sinks armed or not.
    - Grep guard: lib/engine and lib/core present their statistics through
      the Dl_obs registry / the typed stats records, never via Printf —
      the sources are attached as test dependencies (see test/dune).
@@ -11,8 +13,10 @@
      contradiction run at jobs=2 form a well-nested forest (parents exist,
      child intervals sit inside parent intervals), parallel batches carry
      worker-shard spans with pairwise-distinct domain ids, and every
-     per-verdict provenance entry lists exactly the named individuals of
-     the KB (paper Examples 1-4; Example 5 shares Example 3's KB).
+     per-verdict provenance entry lists a subset of the KB's named
+     individuals, jointly covering all of them (the contradiction grid
+     queries every individual) — paper Examples 1-4; Example 5 shares
+     Example 3's KB.
    - Invariance: answers are identical with tracing on or off, at pool
      widths 1 and 2. *)
 
@@ -63,9 +67,11 @@ let disabled_tests =
               (fun (_, kb) ->
                 let e, _ = workload ~jobs kb in
                 ignore (Engine.realization e);
-                Alcotest.(check int)
-                  "no provenance captured" 0
-                  (List.length (Oracle.provenances (Engine.oracle e))))
+                (* provenance is recorded even with sinks off: the
+                   dependency index behind Oracle.apply depends on it *)
+                Alcotest.(check bool)
+                  "provenance captured regardless of sinks" true
+                  (Oracle.provenances (Engine.oracle e) <> []))
               examples;
             List.iter
               (fun (name, v) ->
@@ -234,12 +240,25 @@ let trace_tests =
           let expected = sorted_individuals kb in
           Alcotest.(check bool)
             (label ^ ": provenance was captured") true (provs <> []);
+          (* selective harvest: each verdict depends on a subset of the
+             KB's individuals; the contradiction grid queries every
+             individual, so jointly the entries cover all of them *)
           List.iter
             (fun (p : Oracle.prov_entry) ->
-              Alcotest.(check (list string))
-                (label ^ ": provenance lists exactly the KB's individuals")
-                expected p.Oracle.individuals)
-            provs))
+              Alcotest.(check bool)
+                (label ^ ": provenance stays within the KB's individuals")
+                true
+                (List.for_all (fun a -> List.mem a expected) p.Oracle.individuals))
+            provs;
+          let union =
+            List.sort_uniq String.compare
+              (List.concat_map
+                 (fun (p : Oracle.prov_entry) -> p.Oracle.individuals)
+                 provs)
+          in
+          Alcotest.(check (list string))
+            (label ^ ": provenance jointly covers the KB's individuals")
+            expected union))
     examples
 
 (* ------------------------------------------------------------------ *)
