@@ -80,7 +80,7 @@ let atoms d =
    it is deliberately not expressible).  A replay script is a sequence of
    such deltas separated by lines starting with "---". *)
 
-let parse text =
+let parse ?(first_line = 1) text =
   let lines = String.split_on_char '\n' text in
   let adds = Buffer.create 128 and dels = Buffer.create 128 in
   let err = ref None in
@@ -103,7 +103,7 @@ let parse text =
                 Some
                   (Format.asprintf
                      "line %d: expected '+ <statement>.' or '- <statement>.'"
-                     (i + 1)))
+                     (i + first_line)))
     lines;
   match !err with
   | Some e -> Error e
@@ -131,25 +131,29 @@ let parse text =
                     add_tbox = added.Kb4.tbox }))
 
 let parse_script text =
-  let rec chunks acc cur = function
-    | [] -> List.rev (List.rev cur :: acc)
+  (* each chunk carries the 1-based file line its first line sits on, so
+     per-line parse errors point into the script, not into the chunk *)
+  let rec chunks acc start cur line_no = function
+    | [] -> List.rev ((start, List.rev cur) :: acc)
     | line :: rest ->
         if String.length (String.trim line) >= 3
            && String.sub (String.trim line) 0 3 = "---"
-        then chunks (List.rev cur :: acc) [] rest
-        else chunks acc (line :: cur) rest
+        then
+          chunks ((start, List.rev cur) :: acc) (line_no + 1) [] (line_no + 1)
+            rest
+        else chunks acc start (line :: cur) (line_no + 1) rest
   in
   let rec collect i = function
     | [] -> Ok []
-    | chunk :: rest -> (
-        match parse (String.concat "\n" chunk) with
+    | (start, chunk) :: rest -> (
+        match parse ~first_line:start (String.concat "\n" chunk) with
         | Error e -> Error (Format.asprintf "delta %d: %s" (i + 1) e)
         | Ok d -> (
             match collect (i + 1) rest with
             | Error _ as e -> e
             | Ok ds -> Ok (if is_empty d then ds else d :: ds)))
   in
-  collect 0 (chunks [] [] (String.split_on_char '\n' text))
+  collect 0 (chunks [] 1 [] 1 (String.split_on_char '\n' text))
 
 let pp ppf d =
   List.iter (fun ax -> Format.fprintf ppf "+ %a@." Kb4.pp_tbox_axiom ax) d.add_tbox;

@@ -50,11 +50,15 @@ val atoms : t -> string list
     Retractions must be ABox assertions.  A replay script is a sequence of
     such deltas separated by lines starting with [---]. *)
 
-val parse : string -> (t, string) result
-(** One delta. *)
+val parse : ?first_line:int -> string -> (t, string) result
+(** One delta.  [first_line] (default [1]) offsets reported line numbers —
+    {!parse_script} uses it so errors point into the script file rather
+    than into the chunk. *)
 
 val parse_script : string -> (t list, string) result
-(** A [---]-separated sequence of deltas, empty chunks skipped. *)
+(** A [---]-separated sequence of deltas, empty chunks skipped.  Parse
+    errors are reported as [delta N: line M: ...] with [M] counted from the
+    start of the script, not of the chunk. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints in the [+]/[-] surface syntax above. *)

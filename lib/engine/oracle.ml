@@ -98,6 +98,30 @@ type t = {
 let of_config (config : config) kb =
   let config = { config with jobs = max 1 config.jobs } in
   let classical_kb = Transform.kb kb in
+  let prov = KH.create 64 in
+  let ind_index = Hashtbl.create 64 in
+  let atom_index = Hashtbl.create 64 in
+  (* Provenance lifetime is tied to cache residency: when the LRU makes
+     room (a capacity eviction, not an explicit invalidation), the
+     evicted key's provenance entry and index postings go with it.
+     Without this, a capacity-evicted key recomputed after a delta would
+     keep its pre-delta provenance, and the dependency index would
+     under-approximate it — breaking the invalidation contract. *)
+  let unpost index sym k =
+    match Hashtbl.find_opt index sym with
+    | None -> ()
+    | Some keys ->
+        keys := List.filter (fun k' -> not (Key.equal k' k)) !keys;
+        if !keys = [] then Hashtbl.remove index sym
+  in
+  let cache = Cache.create ~capacity:config.cache_capacity in
+  Cache.on_evict cache (fun k ->
+      match KH.find_opt prov k with
+      | None -> ()
+      | Some e ->
+          KH.remove prov k;
+          List.iter (fun s -> unpost ind_index s k) e.individuals;
+          List.iter (fun s -> unpost atom_index s k) e.concepts);
   { kb;
     classical_kb;
     config;
@@ -105,10 +129,10 @@ let of_config (config : config) kb =
       Reasoner.create ~max_nodes:config.max_nodes
         ~max_branches:config.max_branches classical_kb;
     workers = None;
-    cache = Cache.create ~capacity:config.cache_capacity;
-    prov = KH.create 64;
-    ind_index = Hashtbl.create 64;
-    atom_index = Hashtbl.create 64;
+    cache;
+    prov;
+    ind_index;
+    atom_index;
     tableau_calls = 0;
     batches = 0;
     parallel_calls = 0 }
@@ -210,20 +234,31 @@ let eval_obs reasoner q =
   end
 
 (* Store a verdict's provenance and index it under every symbol it
-   mentions.  Keys already present in the provenance table keep their
-   index postings (re-computation after an eviction re-enters through the
-   fresh path, because eviction removes the provenance entry too). *)
+   mentions.  With a disabled cache (capacity 0) nothing is recorded:
+   no verdict can be retained, so there is nothing to invalidate, and
+   recording would grow without bound.  When a key is re-computed while
+   an entry is still live (a pool worker re-deriving a cached key, or
+   overlap across batches), only the symbols the old entry did not
+   mention are posted — the index must always cover the recorded
+   provenance; stale postings left behind are a sound over-approximation
+   (re-evicting is conservative, never wrong). *)
 let record_prov t k (entry : prov_entry) =
-  let fresh = not (KH.mem t.prov k) in
-  KH.replace t.prov k entry;
-  if fresh then begin
-    let post index sym =
-      match Hashtbl.find_opt index sym with
-      | Some keys -> keys := k :: !keys
-      | None -> Hashtbl.replace index sym (ref [ k ])
+  if t.config.cache_capacity > 0 then begin
+    let old = KH.find_opt t.prov k in
+    KH.replace t.prov k entry;
+    let old_inds, old_atoms =
+      match old with
+      | None -> ([], [])
+      | Some e -> (e.individuals, e.concepts)
     in
-    List.iter (post t.ind_index) entry.individuals;
-    List.iter (post t.atom_index) entry.concepts
+    let post index old_syms sym =
+      if not (List.mem sym old_syms) then
+        match Hashtbl.find_opt index sym with
+        | Some keys -> keys := k :: !keys
+        | None -> Hashtbl.replace index sym (ref [ k ])
+    in
+    List.iter (post t.ind_index old_inds) entry.individuals;
+    List.iter (post t.atom_index old_atoms) entry.concepts
   end
 
 let check t q =
@@ -546,8 +581,18 @@ let apply t (d : Delta.t) =
         (false, []) ctbox
     in
     let abox_touched = Delta.touches_abox d in
+    (* Nominals break the disjoint-forest locality argument in both
+       directions.  An added TBox axiom whose body mentions a nominal —
+       even an absorbable one — names an ABox individual, so it can merge
+       previously disjoint components without touching a single ABox
+       assertion (e.g. [A ⊑ {o} ⊓ C] pulls every A-instance onto [o]):
+       such a delta always forces a full flush, independent of
+       [abox_touched].  Conversely, a nominal-free TBox delta leaves ABox
+       edits unsafe only when the {e pre-existing} TBox pins individuals
+       via nominals. *)
     let nominal_guard =
-      abox_touched && tbox_has_nominal (t.classical_kb.Axiom.tbox @ ctbox)
+      tbox_has_nominal ctbox
+      || (abox_touched && tbox_has_nominal t.classical_kb.Axiom.tbox)
     in
     let flush = tbox_flush || nominal_guard in
     (* component closure over the PRE-delta ABox plus the added

@@ -119,7 +119,13 @@ val shard : t -> 'a list -> 'a list list
     touched, seeded with the query's own symbols — the dependency set that
     drives selective cache invalidation in {!apply}.  Recording is
     unconditional: it does not depend on observability sinks being armed
-    ({!Obs.enabled} only adds spans and histograms on top). *)
+    ({!Obs.enabled} only adds spans and histograms on top).
+
+    Provenance lifetime is tied to cache residency: an entry lives exactly
+    as long as its verdict is retained, so an LRU capacity eviction drops
+    the provenance (and its index postings) together with the verdict, and
+    a disabled cache ([cache_capacity = 0]) records no provenance at all —
+    nothing can be retained, so there is nothing to invalidate. *)
 
 type prov_entry = {
   individuals : string list;  (** named ABox individuals touched, sorted *)
@@ -128,9 +134,9 @@ type prov_entry = {
 }
 
 val provenance : t -> query -> prov_entry option
-(** The provenance of a computed verdict ([None] only if the verdict was
-    never computed, or was invalidated by a delta; cache hits never
-    re-record). *)
+(** The provenance of a currently retained verdict ([None] if the verdict
+    was never computed, was invalidated by a delta, or fell out of the LRU
+    cache; cache hits never re-record). *)
 
 val provenances : t -> prov_entry list
 (** All recorded per-verdict provenance entries, unordered. *)
@@ -154,8 +160,11 @@ val provenances : t -> prov_entry list
     - The global {!Consistent} verdict is always evicted, and if its value
       flips across the delta everything else is flushed too — an
       (in)consistency transition re-decides every entailment at once.
-    - If the classical TBox mentions a nominal, ABox deltas also flush
-      (the disjoint-component argument breaks). *)
+    - Nominals disable locality in both directions: a TBox addition that
+      mentions a nominal always flushes (even absorbable — its body names
+      an individual and can merge disjoint components without touching the
+      ABox), and ABox deltas flush whenever the pre-existing classical
+      TBox mentions a nominal (the disjoint-component argument breaks). *)
 
 type apply_stats = {
   evicted : int;  (** cache entries dropped by this delta *)

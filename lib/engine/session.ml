@@ -20,13 +20,8 @@ let config t = Oracle.config (oracle t)
 let apply t d = Engine.apply t.engine d
 
 let apply_all t ds =
-  let zero =
-    { Oracle.evicted = 0;
-      retained = 0;
-      flushed = false;
-      consistency_flipped = false;
-      recheck_calls = 0 }
-  in
+  (* seed the fold with a no-op apply so an empty list still reports the
+     true retained count (and the zero record stays in one place) *)
   List.fold_left
     (fun (acc : Oracle.apply_stats) d ->
       let s = apply t d in
@@ -36,7 +31,7 @@ let apply_all t ds =
         consistency_flipped =
           acc.Oracle.consistency_flipped || s.Oracle.consistency_flipped;
         recheck_calls = acc.Oracle.recheck_calls + s.Oracle.recheck_calls })
-    zero ds
+    (apply t Delta.empty) ds
 
 let stats t = Engine.stats t.engine
 let pp_stats = Engine.pp_stats

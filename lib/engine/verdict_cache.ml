@@ -29,6 +29,7 @@ module Make (K : Hashtbl.HashedType) = struct
 
   type 'v t = {
     capacity : int;
+    mutable on_evict : K.t -> unit;
     table : 'v node H.t;
     mutable front : 'v node option;
     mutable back : 'v node option;
@@ -40,12 +41,15 @@ module Make (K : Hashtbl.HashedType) = struct
   let create ~capacity =
     let capacity = max 0 capacity in
     { capacity;
+      on_evict = (fun _ -> ());
       table = H.create (max 16 (min capacity 4096));
       front = None;
       back = None;
       hits = 0;
       misses = 0;
       evictions = 0 }
+
+  let on_evict t f = t.on_evict <- f
 
   let capacity t = t.capacity
   let length t = H.length t.table
@@ -90,7 +94,8 @@ module Make (K : Hashtbl.HashedType) = struct
         unlink t n;
         H.remove t.table n.key;
         t.evictions <- t.evictions + 1;
-        Obs.incr c_evictions
+        Obs.incr c_evictions;
+        t.on_evict n.key
 
   let add t k v =
     if t.capacity > 0 then begin

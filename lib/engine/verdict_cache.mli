@@ -26,6 +26,15 @@ module Make (K : Hashtbl.HashedType) : sig
   (** [capacity <= 0] creates a disabled cache: every lookup misses, nothing
       is stored — the switch behind the CLI's [--no-cache]. *)
 
+  val on_evict : 'v t -> (K.t -> unit) -> unit
+  (** Install a hook called with the key of every entry dropped by a
+      {e capacity} eviction (the LRU making room for a new entry) — the hook
+      lets callers keep satellite state (e.g. per-key provenance) in sync
+      with cache residency.  Replaces any previously installed hook.  It is
+      {e not} called by {!remove}, {!purge} or {!clear}: explicit
+      invalidation is the caller's own act, so the caller already knows to
+      clean up. *)
+
   val capacity : 'v t -> int
   val length : 'v t -> int
 

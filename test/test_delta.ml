@@ -61,6 +61,20 @@ let parse_tests =
         | Error e ->
             checkb "message mentions monotone" true
               (String.length e > 0));
+    Alcotest.test_case "script errors report file line numbers" `Quick
+      (fun () ->
+        (* the bogus statement sits on line 4 of the file but line 2 of
+           its chunk — the error must count from the file start *)
+        match Delta.parse_script "+ a : C.\n---\n# ok\nbogus line\n" with
+        | Ok _ -> Alcotest.fail "bogus statement must not parse"
+        | Error e ->
+            let contains sub =
+              let n = String.length e and m = String.length sub in
+              let rec go i = i + m <= n && (String.sub e i m = sub || go (i + 1)) in
+              go 0
+            in
+            checkb "names the second delta" true (contains "delta 2");
+            checkb "line counted from the file start" true (contains "line 4"));
     Alcotest.test_case "individuals and atoms of a delta" `Quick (fun () ->
         let d = ok_parse "+ a : C & some r.{b}.\n- s(a, c).\n" in
         check
@@ -164,14 +178,14 @@ let pp_axioms kb =
   @ List.sort compare
       (List.map (Format.asprintf "%a" Axiom.pp_abox_axiom) kb.Axiom.abox)
 
-let differential_case label kb seed =
+let differential_case ?(config = Session.default_config) label kb seed =
   Alcotest.test_case
     (Format.asprintf "%s: incremental = rebuild (seed %d)" label seed)
     `Quick
     (fun () ->
       let rng = Random.State.make [| seed |] in
       let deltas = gen_deltas rng kb 4 in
-      let session = Session.create kb in
+      let session = Session.create ~config kb in
       let live = Para.of_session session in
       ignore (snapshot live kb);
       let acc = ref kb in
@@ -215,7 +229,16 @@ let differential_tests =
     differential_case "example3" Paper_examples.example3 3;
     differential_case "example4" Paper_examples.example4 4;
     differential_case "gen41" (gen_kb 41) 5;
-    differential_case "gen43" (gen_kb 43) 6 ]
+    differential_case "gen43" (gen_kb 43) 6;
+    (* a tiny cache interleaves LRU capacity evictions with deltas, so
+       the provenance/index lifetime must track cache residency for the
+       invariant to hold *)
+    differential_case
+      ~config:{ Session.default_config with cache_capacity = 2 }
+      "example1, capacity 2" Paper_examples.example1 7;
+    differential_case
+      ~config:{ Session.default_config with cache_capacity = 2 }
+      "gen41, capacity 2" (gen_kb 41) 8 ]
 
 (* ------------------------------------------------------------------ *)
 (* Retention: verdicts of an untouched component survive for free *)
@@ -281,6 +304,96 @@ let retention_tests =
         checkb "a's re-ask pays the tableau" true (calls () > after_apply)) ]
 
 (* ------------------------------------------------------------------ *)
+(* Guards: nominal-bearing TBox deltas must flush *)
+
+let guard_tests =
+  [ Alcotest.test_case "TBox-only delta with a nominal body flushes" `Quick
+      (fun () ->
+        (* Counterexample to per-atom eviction: o and b start in
+           disjoint components, so a verdict about o has no A (and no b)
+           in its provenance; the absorbable axiom A < {o} & C then
+           merges every A-instance onto o without touching a single ABox
+           assertion.  Evicting only the keys that mention A would serve
+           o's verdict stale — the guard must flush. *)
+        let kb =
+          Kb4.make ~tbox:[]
+            ~abox:[ Axiom.Instance_of ("o", Concept.Atom "D") ]
+        in
+        let s = Session.create kb in
+        let o = Session.oracle s in
+        let q = Oracle.Instance ("o", Concept.Atom "C") in
+        let v0 = Oracle.check o q in
+        checkb "o : C starts undetermined" false v0;
+        let d1 =
+          { Delta.empty with
+            Delta.add_abox = [ Axiom.Instance_of ("b", Concept.Atom "A") ] }
+        in
+        let st1 = Session.apply s d1 in
+        checkb "ABox delta in a fresh component does not flush" false
+          st1.Oracle.flushed;
+        checkb "verdict correctly retained across delta 1" v0
+          (Oracle.check o q);
+        let d2 =
+          { Delta.empty with
+            Delta.add_tbox =
+              [ Kb4.Concept_inclusion
+                  ( Kb4.Internal,
+                    Concept.Atom "A",
+                    Concept.And (Concept.One_of [ "o" ], Concept.Atom "C") )
+              ] }
+        in
+        let st2 = Session.apply s d2 in
+        checkb "nominal-bearing TBox delta flushes" true st2.Oracle.flushed;
+        (* the merged b pulls C onto o: serving the pre-delta verdict
+           would be an observable staleness, not just a formality *)
+        checkb "o : C flipped by the merge" true (Oracle.check o q);
+        let acc = Delta.apply_kb4 (Delta.apply_kb4 kb d1) d2 in
+        let fresh = Session.create acc in
+        checkb "incremental = rebuild after the nominal merge"
+          (Oracle.check (Session.oracle fresh) q)
+          (Oracle.check o q)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Provenance lifetime tracks cache residency *)
+
+let residency_tests =
+  [ Alcotest.test_case "capacity evictions drop provenance too" `Quick
+      (fun () ->
+        let kb = Paper_examples.example1 in
+        let s =
+          Session.create
+            ~config:{ Session.default_config with cache_capacity = 2 }
+            kb
+        in
+        let o = Session.oracle s in
+        let sg = Kb4.signature kb in
+        List.iter
+          (fun a ->
+            List.iter
+              (fun c ->
+                ignore
+                  (Oracle.check o (Oracle.Instance (a, Concept.Atom c)) : bool))
+              sg.Axiom.concepts)
+          sg.Axiom.individuals;
+        let live = (Oracle.stats o).Oracle.cache.Verdict_cache.size in
+        checkb "cache stayed within capacity" true (live <= 2);
+        (* without the eviction hook this grows with every distinct query *)
+        checki "one provenance entry per live verdict" live
+          (List.length (Oracle.provenances o)));
+    Alcotest.test_case "disabled cache records no provenance" `Quick
+      (fun () ->
+        let s =
+          Session.create
+            ~config:{ Session.default_config with cache_capacity = 0 }
+            Paper_examples.example1
+        in
+        let p = Para.of_session s in
+        ignore (Para.satisfiable p);
+        ignore (Para.instance_truth p "bill" (Concept.Atom "Doctor"));
+        checki "nothing recorded" 0
+          (List.length (Oracle.provenances (Session.oracle s)))) ]
+
+(* ------------------------------------------------------------------ *)
 (* Index sharing across wrappers *)
 
 let sharing_tests =
@@ -331,12 +444,28 @@ let config_tests =
             ~config:{ Session.default_config with jobs = 0 }
             Paper_examples.example1
         in
-        checki "clamped" 1 (Session.config s).Session.jobs) ]
+        checki "clamped" 1 (Session.config s).Session.jobs);
+    Alcotest.test_case "apply_all on an empty list reports retained" `Quick
+      (fun () ->
+        let s = Session.create Paper_examples.example1 in
+        let p = Para.of_session s in
+        ignore (Para.satisfiable p);
+        ignore (Para.instance_truth p "bill" (Concept.Atom "Doctor"));
+        let size =
+          (Oracle.stats (Session.oracle s)).Oracle.cache.Verdict_cache.size
+        in
+        checkb "warm-up cached verdicts" true (size > 0);
+        let st = Session.apply_all s [] in
+        checki "retained reports the live cache" size st.Oracle.retained;
+        checki "nothing evicted" 0 st.Oracle.evicted;
+        checkb "no flush" false st.Oracle.flushed) ]
 
 let () =
   Alcotest.run "delta"
     [ ("parse", parse_tests);
       ("differential", differential_tests);
       ("retention", retention_tests);
+      ("guards", guard_tests);
+      ("residency", residency_tests);
       ("sharing", sharing_tests);
       ("config", config_tests) ]

@@ -117,7 +117,20 @@ let cache_tests =
         let f () = incr computed; "v" in
         ignore (Int_cache.find_or_add c 1 f);
         ignore (Int_cache.find_or_add c 1 f);
-        Alcotest.(check int) "computed once" 1 !computed)
+        Alcotest.(check int) "computed once" 1 !computed);
+    Alcotest.test_case "on_evict fires on capacity eviction only" `Quick
+      (fun () ->
+        let c = Int_cache.create ~capacity:2 in
+        let evicted = ref [] in
+        Int_cache.on_evict c (fun k -> evicted := k :: !evicted);
+        Int_cache.add c 1 "one";
+        Int_cache.add c 2 "two";
+        Int_cache.add c 3 "three";
+        Alcotest.(check (list int)) "LRU key reported" [ 1 ] !evicted;
+        (* explicit invalidation and flushes stay silent *)
+        ignore (Int_cache.remove c 2 : bool);
+        Int_cache.purge c;
+        Alcotest.(check (list int)) "remove/purge do not fire" [ 1 ] !evicted)
   ]
 
 (* ------------------------------------------------------------------ *)
