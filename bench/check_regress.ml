@@ -1,0 +1,135 @@
+(* Bench perf-regression gate (PR 5).
+
+   Usage: check_regress GATES.json BASELINE_DIR NEW_DIR
+
+   Every BENCH_*.json artifact carries the unified "dl4-bench/1"
+   envelope: a flat numeric [metrics] object next to free-form [detail].
+   GATES.json lists, per artifact and metric, the checks to run against
+   the freshly generated artifacts under NEW_DIR:
+
+   - "max" / "min": absolute budget bounds on the new value — used for
+     machine-independent ratios (overhead percentages) and invariants
+     (answers_identical = 1);
+   - "baseline_rel_tol": compare the new value against the checked-in
+     artifact under BASELINE_DIR; the new value may exceed the baseline
+     by at most the given relative fraction.  Only meaningful for
+     lower-is-better, machine-independent metrics (tableau call counts):
+     wall-clock seconds vary across machines and must not be gated this
+     way.
+
+   Exit code 0 when every gate passes, 1 otherwise; one PASS/FAIL line
+   per gate either way so CI logs show what was checked. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match Json_lite.parse (read_file path) with
+  | Ok j -> Ok j
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | exception Sys_error e -> Error e
+
+let metric_of json name =
+  match Json_lite.member "metrics" json with
+  | Some m -> (
+      match Json_lite.member name m with
+      | Some v -> Json_lite.to_num v
+      | None -> None)
+  | None -> None
+
+let () =
+  let gates_path, baseline_dir, new_dir =
+    match Sys.argv with
+    | [| _; g; b; n |] -> (g, b, n)
+    | _ ->
+        prerr_endline "usage: check_regress GATES.json BASELINE_DIR NEW_DIR";
+        exit 2
+  in
+  let gates_json =
+    match load gates_path with
+    | Ok j -> j
+    | Error e ->
+        Printf.eprintf "check_regress: %s\n" e;
+        exit 2
+  in
+  let gates =
+    match Json_lite.member "gates" gates_json with
+    | Some (Json_lite.Arr l) -> l
+    | _ ->
+        Printf.eprintf "check_regress: %s: no \"gates\" array\n" gates_path;
+        exit 2
+  in
+  let failures = ref 0 in
+  let fail fmt =
+    incr failures;
+    Printf.printf "FAIL %s\n" fmt
+  in
+  let pass fmt = Printf.printf "PASS %s\n" fmt in
+  let str name g =
+    match Json_lite.member name g with
+    | Some v -> Json_lite.to_str v
+    | None -> None
+  in
+  let num name g =
+    match Json_lite.member name g with
+    | Some v -> Json_lite.to_num v
+    | None -> None
+  in
+  List.iter
+    (fun g ->
+      match (str "file" g, str "metric" g) with
+      | Some file, Some metric -> (
+          let label ctx = Printf.sprintf "%s %s %s" file metric ctx in
+          match load (Filename.concat new_dir file) with
+          | Error e -> fail (label ("unreadable: " ^ e))
+          | Ok fresh -> (
+              match metric_of fresh metric with
+              | None -> fail (label "missing from new artifact")
+              | Some v ->
+                  (match num "max" g with
+                  | Some hi ->
+                      if v <= hi then
+                        pass (label (Printf.sprintf "%.4g <= max %.4g" v hi))
+                      else
+                        fail (label (Printf.sprintf "%.4g > max %.4g" v hi))
+                  | None -> ());
+                  (match num "min" g with
+                  | Some lo ->
+                      if v >= lo then
+                        pass (label (Printf.sprintf "%.4g >= min %.4g" v lo))
+                      else
+                        fail (label (Printf.sprintf "%.4g < min %.4g" v lo))
+                  | None -> ());
+                  (match num "baseline_rel_tol" g with
+                  | Some tol -> (
+                      match load (Filename.concat baseline_dir file) with
+                      | Error e -> fail (label ("baseline unreadable: " ^ e))
+                      | Ok base -> (
+                          match metric_of base metric with
+                          | None -> fail (label "missing from baseline")
+                          | Some b ->
+                              let bound = b *. (1.0 +. tol) in
+                              if v <= bound then
+                                pass
+                                  (label
+                                     (Printf.sprintf
+                                        "%.4g within %.0f%% of baseline %.4g"
+                                        v (tol *. 100.) b))
+                              else
+                                fail
+                                  (label
+                                     (Printf.sprintf
+                                        "%.4g exceeds baseline %.4g by more \
+                                         than %.0f%%"
+                                        v b (tol *. 100.)))))
+                  | None -> ())))
+      | _ -> fail "malformed gate entry (need \"file\" and \"metric\")")
+    gates;
+  if !failures > 0 then begin
+    Printf.printf "%d gate(s) failed\n" !failures;
+    exit 1
+  end
+  else print_endline "all gates passed"

@@ -71,6 +71,29 @@ let write_artifact name contents =
     (fun () -> output_string oc contents);
   Printf.printf "  wrote %s\n" path
 
+(* Unified bench-artifact envelope (PR 5): every BENCH_*.json carries the
+   same top level — a schema tag, a timestamp and a flat numeric
+   [metrics] object — so bench/check_regress can gate any experiment
+   without per-experiment parsers.  Experiment-specific structure lives
+   under [detail].  [metrics] values are pre-rendered JSON numbers;
+   booleans are encoded as 0/1 so gates stay uniform comparisons. *)
+let write_bench name ~experiment ~metrics ~detail =
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"dl4-bench/1\",\n\
+      \  \"experiment\": \"%s\",\n\
+      \  \"generated_unix\": %.0f,\n\
+      \  \"metrics\": {\n%s\n  },\n\
+      \  \"detail\": %s\n\
+       }\n"
+      experiment (Unix.time ())
+      (String.concat ",\n"
+         (List.map (fun (k, v) -> Printf.sprintf "    \"%s\": %s" k v) metrics))
+      detail
+  in
+  write_artifact name json
+
 let section title =
   let line = String.make 72 '=' in
   Printf.printf "\n%s\n%s\n%s\n%!" line title line
@@ -492,23 +515,28 @@ let report_engine_parallel () =
                 j dt (base /. dt))
             rows))
   in
-  let json =
+  let detail =
     Printf.sprintf
       "{\n\
-      \  \"experiment\": \"S6c_domain_pool\",\n\
       \  \"recommended_domain_count\": %d,\n\
       \  \"kb\": {\"seed\": 29, \"concepts\": 14, \"individuals\": 10, \
        \"tbox\": 20, \"abox\": 24},\n\
        %s,\n\
        %s,\n\
        %s\n\
-       }\n"
+       }"
       cores
       (series "classification" cls1 classification)
       (series "query_grid" grid1 grid)
       (series "cq_batch" cq1 cq)
   in
-  write_artifact "BENCH_oracle.json" json
+  write_bench "BENCH_oracle.json" ~experiment:"S6c_domain_pool"
+    ~metrics:
+      [ ("answers_identical", "1");
+        ("classify_seconds_j1", Printf.sprintf "%.6f" cls1);
+        ("query_grid_seconds_j1", Printf.sprintf "%.6f" grid1);
+        ("cq_batch_seconds_j1", Printf.sprintf "%.6f" cq1) ]
+    ~detail
 
 (* ------------------------------------------------------------------ *)
 (* S7: Dl_obs instrumentation overhead.  Two regimes matter:
@@ -555,7 +583,20 @@ let report_obs_overhead () =
   in
   let was_enabled = Obs.enabled () in
   Obs.set_enabled false;
+  (* warm-up before any timed regime: the first classify of the process
+     pays allocator/code warm-up that would otherwise inflate whichever
+     regime happens to run first *)
+  ignore (classify_once ());
   let disabled = time_runs () in
+  (* flight recorder armed (rings only, no dump path), every Obs sink
+     still off and the slow-query log disarmed — the always-on
+     diagnostic regime the <5% budget covers *)
+  Flight.reset ();
+  Flight.arm ();
+  let flight = time_runs () in
+  Flight.disarm ();
+  let flight_events = Flight.events_recorded () in
+  Flight.reset ();
   Obs.set_enabled true;
   Obs.reset ();
   let enabled = time_runs () in
@@ -570,7 +611,7 @@ let report_obs_overhead () =
     (fun (tax, _) ->
       if tax <> tax_disabled then
         failwith "S7: taxonomy differs between Obs on and Obs off")
-    enabled;
+    (enabled @ flight);
   (* the disabled hot path is one load + branch per hook site; measure it
      directly so the "overhead when off" claim is not lost in run-to-run
      wall-clock noise of the full workload *)
@@ -584,7 +625,17 @@ let report_obs_overhead () =
   in
   Obs.set_enabled was_enabled;
   let guard_ns = guard_total /. float_of_int guard_iters *. 1e9 in
+  (* same idea for the flight recorder's disarmed hot path: one ref load
+     + branch per hook site when off *)
+  let (), fguard_total =
+    wall (fun () ->
+        for _ = 1 to guard_iters do
+          if !Flight.on then Flight.record "bench.s7" 0 0 ""
+        done)
+  in
+  let flight_guard_ns = fguard_total /. float_of_int guard_iters *. 1e9 in
   let t_off = median (List.map snd disabled) in
+  let t_flight = median (List.map snd flight) in
   let t_on = median (List.map snd enabled) in
   let ops_per_run = counter_ops / runs in
   let spans_per_run = span_records / runs in
@@ -594,39 +645,47 @@ let report_obs_overhead () =
     guard_ns *. float_of_int ops_per_run /. 1e9 /. t_off *. 100.
   in
   let enabled_overhead_pct = (t_on -. t_off) /. t_off *. 100. in
+  let flight_overhead_pct = (t_flight -. t_off) /. t_off *. 100. in
+  let flight_events_per_run = flight_events / runs in
   Printf.printf "  classify (jobs=2, S6c KB), median of %d runs:\n" runs;
-  Printf.printf "    disabled  %8.4fs\n" t_off;
-  Printf.printf "    enabled   %8.4fs   (+%.1f%%)\n" t_on enabled_overhead_pct;
+  Printf.printf "    disabled      %8.4fs\n" t_off;
+  Printf.printf "    flight armed  %8.4fs   (+%.1f%%, %d events/run)\n"
+    t_flight flight_overhead_pct flight_events_per_run;
+  Printf.printf "    enabled       %8.4fs   (+%.1f%%)\n" t_on
+    enabled_overhead_pct;
   Printf.printf "  guard (if !Obs.on) cost:      %6.2f ns/op\n" guard_ns;
+  Printf.printf "  guard (if !Flight.on) cost:   %6.2f ns/op\n" flight_guard_ns;
   Printf.printf "  hook crossings per run:       %6d counter ops, %d spans\n"
     ops_per_run spans_per_run;
   Printf.printf "  disabled-path overhead:       %6.3f%% of run time%s\n"
     disabled_overhead_pct
     (if disabled_overhead_pct <= 3.0 then "  (within 3% budget)"
      else "  (EXCEEDS 3% budget)");
+  Printf.printf "  flight-armed overhead:        %6.3f%% of run time%s\n"
+    flight_overhead_pct
+    (if flight_overhead_pct <= 5.0 then "  (within 5% budget)"
+     else "  (EXCEEDS 5% budget)");
   Printf.printf "  answers identical on/off:     true\n";
-  let json =
-    Printf.sprintf
-      "{\n\
-      \  \"experiment\": \"S7_obs_overhead\",\n\
-      \  \"kb\": {\"seed\": 29, \"concepts\": 14, \"individuals\": 10, \
-       \"tbox\": 20, \"abox\": 24},\n\
-      \  \"workload\": \"classify jobs=2\",\n\
-      \  \"runs\": %d,\n\
-      \  \"median_seconds_disabled\": %.6f,\n\
-      \  \"median_seconds_enabled\": %.6f,\n\
-      \  \"enabled_overhead_pct\": %.3f,\n\
-      \  \"guard_ns_per_op\": %.3f,\n\
-      \  \"counter_ops_per_enabled_run\": %d,\n\
-      \  \"spans_per_enabled_run\": %d,\n\
-      \  \"disabled_overhead_pct\": %.4f,\n\
-      \  \"disabled_overhead_budget_pct\": 3.0,\n\
-      \  \"answers_identical\": true\n\
-       }\n"
-      runs t_off t_on enabled_overhead_pct guard_ns ops_per_run spans_per_run
-      disabled_overhead_pct
-  in
-  write_artifact "BENCH_obs.json" json
+  write_bench "BENCH_obs.json" ~experiment:"S7_obs_overhead"
+    ~metrics:
+      [ ("runs", string_of_int runs);
+        ("median_seconds_disabled", Printf.sprintf "%.6f" t_off);
+        ("median_seconds_flight_armed", Printf.sprintf "%.6f" t_flight);
+        ("median_seconds_enabled", Printf.sprintf "%.6f" t_on);
+        ("enabled_overhead_pct", Printf.sprintf "%.3f" enabled_overhead_pct);
+        ("flight_overhead_pct", Printf.sprintf "%.3f" flight_overhead_pct);
+        ("flight_overhead_budget_pct", "5.0");
+        ("flight_events_per_run", string_of_int flight_events_per_run);
+        ("flight_guard_ns_per_op", Printf.sprintf "%.3f" flight_guard_ns);
+        ("guard_ns_per_op", Printf.sprintf "%.3f" guard_ns);
+        ("counter_ops_per_enabled_run", string_of_int ops_per_run);
+        ("spans_per_enabled_run", string_of_int spans_per_run);
+        ("disabled_overhead_pct", Printf.sprintf "%.4f" disabled_overhead_pct);
+        ("disabled_overhead_budget_pct", "3.0");
+        ("answers_identical", "1") ]
+    ~detail:
+      "{\"kb\": {\"seed\": 29, \"concepts\": 14, \"individuals\": 10, \
+       \"tbox\": 20, \"abox\": 24}, \"workload\": \"classify jobs=2\"}"
 
 (* ------------------------------------------------------------------ *)
 (* S8: incremental deltas vs from-scratch rebuild.  One evolving KB, a
@@ -732,19 +791,14 @@ let report_incremental () =
      else "  (NO SAVING)");
   if ic_total >= rc_total then
     failwith "S8: incremental protocol did not save tableau calls";
-  let json =
+  let detail =
     Printf.sprintf
       "{\n\
-      \  \"experiment\": \"S8_incremental_deltas\",\n\
       \  \"kb\": {\"seed\": 31, \"concepts\": 10, \"individuals\": 8, \
        \"tbox\": 14, \"abox\": 18},\n\
       \  \"workload\": \"satisfiability + contradiction grid per delta\",\n\
-      \  \"steps\": [\n%s\n  ],\n\
-      \  \"total_tableau_calls_rebuild\": %d,\n\
-      \  \"total_tableau_calls_incremental\": %d,\n\
-      \  \"incremental_strictly_fewer\": %b,\n\
-      \  \"answers_identical\": true\n\
-       }\n"
+      \  \"steps\": [\n%s\n  ]\n\
+       }"
       (String.concat ",\n"
          (List.mapi
             (fun i ((_, ic, idt, st), (_, rc, rdt)) ->
@@ -756,10 +810,14 @@ let report_incremental () =
                 (i + 1) rc rdt ic idt st.Oracle.evicted st.Oracle.retained
                 st.Oracle.flushed)
             rows))
-      rc_total ic_total
-      (ic_total < rc_total)
   in
-  write_artifact "BENCH_delta.json" json
+  write_bench "BENCH_delta.json" ~experiment:"S8_incremental_deltas"
+    ~metrics:
+      [ ("total_tableau_calls_rebuild", string_of_int rc_total);
+        ("total_tableau_calls_incremental", string_of_int ic_total);
+        ("incremental_strictly_fewer", if ic_total < rc_total then "1" else "0");
+        ("answers_identical", "1") ]
+    ~detail
 
 (* ------------------------------------------------------------------ *)
 (* Timing benches *)

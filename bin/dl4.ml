@@ -68,6 +68,17 @@ let max_nodes_arg =
     & info [ "max-nodes" ] ~docv:"N"
         ~doc:"Tableau completion-graph node limit.")
 
+let max_branches_arg =
+  Arg.(
+    value & opt int max_int
+    & info [ "max-branches" ] ~docv:"N"
+        ~doc:
+          "Tableau branch budget per run (default unlimited).  A run that \
+           explores more than $(docv) nondeterministic alternatives is \
+           aborted: dl4 exits with code 3, and when the flight recorder is \
+           armed (--flight or DL4_FLIGHT) its rings are dumped at the trip \
+           point.")
+
 let cache_size_arg =
   Arg.(
     value
@@ -117,41 +128,89 @@ let trace_arg =
            (tableau runs, oracle batches and worker shards, engine phases) \
            to $(docv); load it in about:tracing or ui.perfetto.dev.")
 
+let slow_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slow-log" ] ~docv:"FILE"
+        ~doc:
+          "Append one JSONL record per slow verdict (cost record, \
+           provenance symbols, cache disposition) to $(docv).  A verdict is \
+           slow when its tableau wall time reaches the --slow-ms threshold.")
+
+let slow_ms_arg =
+  Arg.(
+    value & opt float 100.0
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:"Slow-verdict threshold for --slow-log, in milliseconds.")
+
+let flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          "Arm the flight recorder and dump its per-domain event rings to \
+           $(docv) at the end of the run (and immediately on a \
+           max-nodes/max-branches trip).")
+
 let obs_term =
-  let pack stats metrics trace = (stats, metrics, trace) in
-  Term.(const pack $ stats_flag $ metrics_json_arg $ trace_arg)
+  let pack stats metrics trace slow_log slow_ms flight =
+    (stats, metrics, trace, slow_log, slow_ms, flight)
+  in
+  Term.(
+    const pack $ stats_flag $ metrics_json_arg $ trace_arg $ slow_log_arg
+    $ slow_ms_arg $ flight_arg)
 
 (* Run a subcommand under a root span with the observability sinks the
    user asked for.  Arming happens before any KB is loaded, so the root
    span covers parsing, reduction and reasoning — (almost) the whole
-   wall time of the invocation. *)
-let with_obs ~cmd (stats, metrics, trace) run =
+   wall time of the invocation.  Sinks flush on every path, including a
+   tableau resource-limit trip (exit 3): a truncated run is exactly the
+   one whose footer, metrics and flight dump are worth reading. *)
+let with_obs ~cmd (stats, metrics, trace, slow_log, slow_ms, flight) run =
   if stats || metrics <> None || trace <> None then Obs.set_enabled true;
+  Option.iter (fun p -> Obs.arm_slow_log ~threshold_ms:slow_ms p) slow_log;
+  Option.iter (fun p -> Flight.arm ~path:p ()) flight;
+  let finish code =
+    if stats then Obs.print_footer ();
+    Option.iter Obs.write_metrics_json metrics;
+    Option.iter Obs.write_trace trace;
+    Option.iter Flight.write flight;
+    code
+  in
   let sp = Obs.enter ~cat:"cli" ("cli." ^ cmd) in
   match run () with
   | code ->
       Obs.exit_span sp;
-      if stats then Obs.print_footer ();
-      Option.iter Obs.write_metrics_json metrics;
-      Option.iter Obs.write_trace trace;
-      code
+      finish code
+  | exception Tableau.Resource_limit msg ->
+      Obs.exit_span sp;
+      Format.eprintf "dl4 %s: tableau resource limit: %s@." cmd msg;
+      (match Flight.armed_path () with
+      | Some p -> Format.eprintf "flight recording dumped to %s@." p
+      | None ->
+          Format.eprintf
+            "hint: re-run with --flight FILE (or DL4_FLIGHT=1) to capture \
+             the events leading up to the trip@.");
+      finish 3
   | exception e ->
       Obs.exit_span sp;
       raise e
 
-let make_engine ~jobs ~max_nodes ~cache_size ~no_cache kb =
+let make_engine ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache kb =
   Engine.create ~jobs
     ~cache_capacity:(if no_cache then 0 else cache_size)
-    ~max_nodes kb
+    ~max_nodes ~max_branches kb
 
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run file classical owl max_nodes jobs obs =
+  let run file classical owl max_nodes max_branches jobs obs =
     with_obs ~cmd:"check" obs (fun () ->
         if classical || owl then begin
           let kb = if owl then load_owl file else load_kb file in
-          let r = Reasoner.create ~max_nodes kb in
+          let r = Reasoner.create ~max_nodes ~max_branches kb in
           List.iter (Format.printf "warning: %s@.") (Reasoner.validate r);
           if Reasoner.is_consistent r then begin
             Format.printf "consistent@.";
@@ -166,7 +225,7 @@ let check_cmd =
         end
         else begin
           let kb = load_kb4 file in
-          let t = Para.create ~jobs ~max_nodes kb in
+          let t = Para.create ~jobs ~max_nodes ~max_branches kb in
           if not (Para.satisfiable t) then begin
             Format.printf "four-valued UNSATISFIABLE@.";
             1
@@ -189,7 +248,7 @@ let check_cmd =
           localized contradictions.")
     Term.(
       const run $ file_arg $ classical_flag $ owl_flag $ max_nodes_arg
-      $ jobs_arg $ obs_term)
+      $ max_branches_arg $ jobs_arg $ obs_term)
 
 let query_cmd =
   let individual =
@@ -205,11 +264,11 @@ let query_cmd =
       & info [ "c"; "concept" ] ~docv:"CONCEPT"
           ~doc:"Concept expression in surface syntax.")
   in
-  let run file ind csrc max_nodes jobs obs =
+  let run file ind csrc max_nodes max_branches jobs obs =
     with_obs ~cmd:"query" obs (fun () ->
         let kb = load_kb4 file in
         let c = load_concept csrc in
-        let t = Para.create ~jobs ~max_nodes kb in
+        let t = Para.create ~jobs ~max_nodes ~max_branches kb in
         let v = Para.instance_truth t ind c in
         Format.printf "%s : %s  =  %a@." ind (Concept.to_string c) Truth.pp v;
         (match v with
@@ -227,13 +286,15 @@ let query_cmd =
           C(a).")
     Term.(
       const run $ file_arg $ individual $ concept_src $ max_nodes_arg
-      $ jobs_arg $ obs_term)
+      $ max_branches_arg $ jobs_arg $ obs_term)
 
 let classify_cmd =
-  let run file max_nodes cache_size no_cache jobs obs =
+  let run file max_nodes max_branches cache_size no_cache jobs obs =
     with_obs ~cmd:"classify" obs (fun () ->
         let kb = load_kb4 file in
-        let e = make_engine ~jobs ~max_nodes ~cache_size ~no_cache kb in
+        let e =
+          make_engine ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache kb
+        in
         List.iter
           (fun (cls, direct) ->
             let lhs = String.concat " = " cls in
@@ -251,8 +312,8 @@ let classify_cmd =
           seeded and DAG-pruned; the stats line reports the tableau calls \
           saved over the naive all-pairs loop.")
     Term.(
-      const run $ file_arg $ max_nodes_arg $ cache_size_arg $ no_cache_flag
-      $ jobs_arg $ obs_term)
+      const run $ file_arg $ max_nodes_arg $ max_branches_arg $ cache_size_arg
+      $ no_cache_flag $ jobs_arg $ obs_term)
 
 let realize_cmd =
   let all =
@@ -263,10 +324,12 @@ let realize_cmd =
             "Also print the full Belnap truth value grid (default: only the \
              most-specific types and the contradictions).")
   in
-  let run file all max_nodes cache_size no_cache jobs obs =
+  let run file all max_nodes max_branches cache_size no_cache jobs obs =
     with_obs ~cmd:"realize" obs (fun () ->
         let kb = load_kb4 file in
-        let e = make_engine ~jobs ~max_nodes ~cache_size ~no_cache kb in
+        let e =
+          make_engine ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache kb
+        in
         List.iter
           (fun (entry : Realize.entry) ->
             let tops =
@@ -297,8 +360,8 @@ let realize_cmd =
           individual with their Belnap values, computed with instance checks \
           pruned through the classified hierarchy.")
     Term.(
-      const run $ file_arg $ all $ max_nodes_arg $ cache_size_arg
-      $ no_cache_flag $ jobs_arg $ obs_term)
+      const run $ file_arg $ all $ max_nodes_arg $ max_branches_arg
+      $ cache_size_arg $ no_cache_flag $ jobs_arg $ obs_term)
 
 let update_cmd =
   let delta_args =
@@ -312,14 +375,18 @@ let update_cmd =
              prefixed with + (add) or - (retract an ABox assertion).  TBox \
              changes are monotone additions.")
   in
+  (* parse failures report and return [None] instead of exiting so the
+     error path still flows through [with_obs]'s sink flush — the
+     --stats footer and --metrics-json stay uniform with every other
+     subcommand even when a delta script is malformed *)
   let load_deltas path =
     match Delta.parse_script (read_file path) with
-    | Ok ds -> ds
+    | Ok ds -> Some ds
     | Error e ->
         Format.eprintf "%s: %s@." path e;
-        exit 2
+        None
   in
-  let run file deltas max_nodes cache_size no_cache jobs obs =
+  let run file deltas max_nodes max_branches cache_size no_cache jobs obs =
     with_obs ~cmd:"update" obs (fun () ->
         let kb = load_kb4 file in
         if deltas = [] then begin
@@ -327,33 +394,37 @@ let update_cmd =
           2
         end
         else begin
-          let config =
-            { Session.default_config with
-              jobs;
-              max_nodes;
-              cache_capacity = (if no_cache then 0 else cache_size) }
-          in
-          let s = Session.create ~config kb in
-          let p = Para.of_session s in
-          (* warm the stack before replaying so the per-delta stats show
-             what selective invalidation retains *)
-          Format.printf "initial: %s, %d contradictions@."
-            (if Para.satisfiable p then "satisfiable" else "UNSATISFIABLE")
-            (List.length (Para.contradictions p));
-          let n = ref 0 in
-          List.iter
-            (fun path ->
-              List.iter
-                (fun d ->
-                  incr n;
-                  let st = Session.apply s d in
-                  Format.printf "delta %d: %a@." !n Oracle.pp_apply_stats st)
-                (load_deltas path))
-            deltas;
-          Format.printf "final: %s, %d contradictions@."
-            (if Para.satisfiable p then "satisfiable" else "UNSATISFIABLE")
-            (List.length (Para.contradictions p));
-          if Para.satisfiable p then 0 else 1
+          let scripts = List.map load_deltas deltas in
+          if List.exists Option.is_none scripts then 2
+          else begin
+            let config =
+              { Session.jobs;
+                max_nodes;
+                max_branches;
+                cache_capacity = (if no_cache then 0 else cache_size) }
+            in
+            let s = Session.create ~config kb in
+            let p = Para.of_session s in
+            (* warm the stack before replaying so the per-delta stats show
+               what selective invalidation retains *)
+            Format.printf "initial: %s, %d contradictions@."
+              (if Para.satisfiable p then "satisfiable" else "UNSATISFIABLE")
+              (List.length (Para.contradictions p));
+            let n = ref 0 in
+            List.iter
+              (fun ds ->
+                List.iter
+                  (fun d ->
+                    incr n;
+                    let st = Session.apply s d in
+                    Format.printf "delta %d: %a@." !n Oracle.pp_apply_stats st)
+                  ds)
+              (List.filter_map Fun.id scripts);
+            Format.printf "final: %s, %d contradictions@."
+              (if Para.satisfiable p then "satisfiable" else "UNSATISFIABLE")
+              (List.length (Para.contradictions p));
+            if Para.satisfiable p then 0 else 1
+          end
         end)
   in
   Cmd.v
@@ -364,8 +435,8 @@ let update_cmd =
           touched individuals and concepts are retained, the rest are \
           selectively evicted (see the per-delta stats lines).")
     Term.(
-      const run $ file_arg $ delta_args $ max_nodes_arg $ cache_size_arg
-      $ no_cache_flag $ jobs_arg $ obs_term)
+      const run $ file_arg $ delta_args $ max_nodes_arg $ max_branches_arg
+      $ cache_size_arg $ no_cache_flag $ jobs_arg $ obs_term)
 
 let transform_cmd =
   let run file =
@@ -424,11 +495,11 @@ let retrieve_cmd =
           ~doc:"Also print individuals with value f or BOT (default: only \
                 designated answers).")
   in
-  let run file csrc all max_nodes jobs obs =
+  let run file csrc all max_nodes max_branches jobs obs =
     with_obs ~cmd:"retrieve" obs (fun () ->
         let kb = load_kb4 file in
         let c = load_concept csrc in
-        let t = Para.create ~jobs ~max_nodes kb in
+        let t = Para.create ~jobs ~max_nodes ~max_branches kb in
         List.iter
           (fun (a, v) ->
             if all || Truth.designated v then
@@ -441,8 +512,8 @@ let retrieve_cmd =
        ~doc:"Four-valued instance retrieval: the Belnap value of C(a) for \
              every named individual.")
     Term.(
-      const run $ file_arg $ concept_src $ all $ max_nodes_arg $ jobs_arg
-      $ obs_term)
+      const run $ file_arg $ concept_src $ all $ max_nodes_arg
+      $ max_branches_arg $ jobs_arg $ obs_term)
 
 let explain_cmd =
   let individual =
@@ -581,6 +652,296 @@ let convert_cmd =
              functional-style syntax.")
     Term.(const run $ file_arg $ to_owl $ from_owl)
 
+(* ------------------------------------------------------------------ *)
+(* dl4 profile — offline analysis of the diagnostic artefacts the other
+   subcommands write: a --metrics-json registry dump, a --trace Chrome
+   timeline, a --slow-log JSONL file and a --flight recorder dump. *)
+
+let profile_cmd =
+  let metrics =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Metrics registry JSON written by --metrics-json.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Chrome trace_event timeline written by --trace.")
+  in
+  let slow =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "slow-log" ] ~docv:"FILE"
+          ~doc:"Slow-query JSONL log written by --slow-log or DL4_SLOW_LOG.")
+  in
+  let flight =
+    Arg.(
+      value
+      & opt (some non_dir_file) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:"Flight-recorder dump written by --flight or DL4_FLIGHT.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"Rows per hotspot table.")
+  in
+  let parse_json path =
+    match Json_lite.parse (read_file path) with
+    | Ok j -> Some j
+    | Error e ->
+        Format.eprintf "%s: %s@." path e;
+        None
+  in
+  let num j = Option.value ~default:Float.nan (Json_lite.to_num j) in
+  let mem_num name j =
+    match Json_lite.member name j with Some v -> num v | None -> Float.nan
+  in
+  let mem_str name j =
+    match Json_lite.member name j with
+    | Some v -> Option.value ~default:"" (Json_lite.to_str v)
+    | None -> ""
+  in
+  let take k l = List.filteri (fun i _ -> i < k) l in
+  let ms ns = ns /. 1e6 in
+  (* [name.count]/[name.sum_ns]/[name.buckets] triples back into
+     histograms; every other numeric key is a counter or gauge. *)
+  let profile_metrics top j =
+    let kvs = match j with Json_lite.Obj kvs -> kvs | _ -> [] in
+    let strip key suffix =
+      if String.ends_with ~suffix key then
+        Some (String.sub key 0 (String.length key - String.length suffix))
+      else None
+    in
+    let hist = Hashtbl.create 16 in
+    let hist_field key suffix =
+      match strip key suffix with
+      | None -> None
+      | Some base ->
+          if not (Hashtbl.mem hist base) then
+            Hashtbl.add hist base (ref 0, ref 0.0, ref []);
+          Some (Hashtbl.find hist base)
+    in
+    let scalars =
+      List.filter
+        (fun (key, v) ->
+          match hist_field key ".count" with
+          | Some (c, _, _) ->
+              c := int_of_float (num v);
+              false
+          | None -> (
+              match hist_field key ".sum_ns" with
+              | Some (_, s, _) ->
+                  s := num v;
+                  false
+              | None -> (
+                  match hist_field key ".buckets" with
+                  | Some (_, _, b) ->
+                      (match v with
+                      | Json_lite.Arr pairs ->
+                          b :=
+                            List.filter_map
+                              (function
+                                | Json_lite.Arr [ i; c ] ->
+                                    Some
+                                      (int_of_float (num i),
+                                       int_of_float (num c))
+                                | _ -> None)
+                              pairs
+                      | _ -> ());
+                      false
+                  | None -> true)))
+        kvs
+    in
+    let hists =
+      Hashtbl.fold (fun base (c, s, b) acc -> (base, !c, !s, !b) :: acc) hist []
+      |> List.sort (fun (_, _, s1, _) (_, _, s2, _) -> compare s2 s1)
+    in
+    if hists <> [] then begin
+      Format.printf "@.timings (from log2 buckets; quantiles exact only at \
+                     bucket boundaries, within 2x inside):@.";
+      Format.printf "  %-34s %9s %11s %9s %9s %9s %9s@." "histogram" "count"
+        "total_ms" "mean_ms" "p50_ms" "p90_ms" "p99_ms";
+      List.iter
+        (fun (base, count, sum_ns, buckets) ->
+          let q p = ms (Obs.quantile_of_buckets buckets p) in
+          Format.printf "  %-34s %9d %11.2f %9.3f %9.3f %9.3f %9.3f@." base
+            count (ms sum_ns)
+            (if count = 0 then 0.0 else ms (sum_ns /. float_of_int count))
+            (q 0.5) (q 0.9) (q 0.99))
+        (take top hists)
+    end;
+    let counters =
+      List.filter_map
+        (fun (key, v) ->
+          let x = num v in
+          if Float.is_nan x || x = 0.0 then None else Some (key, x))
+        scalars
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    if counters <> [] then begin
+      Format.printf "@.top counters/gauges:@.";
+      List.iter
+        (fun (key, v) -> Format.printf "  %-44s %14.0f@." key v)
+        (take top counters)
+    end
+  in
+  (* hotspots by inclusive span time: total/call-count per span name,
+     and the per-category split of the total recorded time *)
+  let profile_trace top j =
+    let events =
+      match Json_lite.member "traceEvents" j with
+      | Some (Json_lite.Arr l) -> l
+      | _ -> []
+    in
+    let by_name = Hashtbl.create 16 and by_cat = Hashtbl.create 8 in
+    let add tbl key dur =
+      let c, t =
+        match Hashtbl.find_opt tbl key with Some x -> x | None -> (0, 0.0)
+      in
+      Hashtbl.replace tbl key (c + 1, t +. dur)
+    in
+    List.iter
+      (fun e ->
+        let dur_us = mem_num "dur" e in
+        if not (Float.is_nan dur_us) then begin
+          add by_name (mem_str "name" e) dur_us;
+          add by_cat (mem_str "cat" e) dur_us
+        end)
+      events;
+    let rows tbl =
+      Hashtbl.fold (fun k (c, t) acc -> (k, c, t) :: acc) tbl []
+      |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+    in
+    let names = rows by_name in
+    Format.printf "@.span hotspots (inclusive time over %d events):@."
+      (List.length events);
+    Format.printf "  %-34s %9s %11s %11s@." "span" "calls" "total_ms"
+      "mean_ms";
+    List.iter
+      (fun (name, calls, total_us) ->
+        Format.printf "  %-34s %9d %11.2f %11.3f@." name calls
+          (total_us /. 1e3)
+          (total_us /. 1e3 /. float_of_int calls))
+      (take top names);
+    let cats = rows by_cat in
+    let grand = List.fold_left (fun a (_, _, t) -> a +. t) 0.0 cats in
+    if grand > 0.0 then begin
+      Format.printf "@.by category:@.";
+      List.iter
+        (fun (cat, _, total_us) ->
+          Format.printf "  %-34s %11.2f ms  %5.1f%%@." cat (total_us /. 1e3)
+            (100.0 *. total_us /. grand))
+        cats
+    end
+  in
+  let profile_slow top path =
+    let lines =
+      String.split_on_char '\n' (read_file path)
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let records =
+      List.filter_map (fun l -> Result.to_option (Json_lite.parse l)) lines
+    in
+    Format.printf "@.slow queries (%d records, %d parsed):@."
+      (List.length lines) (List.length records);
+    Format.printf "  %-10s %-44s %9s %7s %8s@." "wall_ms" "query" "nodes"
+      "runs" "branches";
+    let sorted =
+      List.sort
+        (fun a b -> compare (mem_num "wall_ms" b) (mem_num "wall_ms" a))
+        records
+    in
+    List.iter
+      (fun r ->
+        Format.printf "  %-10.2f %-44s %9.0f %7.0f %8.0f@."
+          (mem_num "wall_ms" r)
+          (mem_str "query" r) (mem_num "nodes" r) (mem_num "runs" r)
+          (mem_num "branches" r))
+      (take top sorted)
+  in
+  let profile_flight top j =
+    let domains =
+      match Json_lite.member "domains" j with
+      | Some (Json_lite.Arr l) -> l
+      | _ -> []
+    in
+    let kinds = Hashtbl.create 16 in
+    let trips = ref [] in
+    let total = ref 0 and dropped = ref 0 in
+    List.iter
+      (fun d ->
+        total := !total + int_of_float (mem_num "total" d);
+        dropped := !dropped + int_of_float (mem_num "dropped" d);
+        match Json_lite.member "events" d with
+        | Some (Json_lite.Arr evs) ->
+            List.iter
+              (fun e ->
+                let kind = mem_str "kind" e in
+                Hashtbl.replace kinds kind
+                  (1
+                  + Option.value ~default:0 (Hashtbl.find_opt kinds kind));
+                if kind = "trip" then
+                  trips :=
+                    (mem_num "ns" e, mem_str "note" e, mem_num "tid" d)
+                    :: !trips)
+              evs
+        | _ -> ())
+      domains;
+    Format.printf
+      "@.flight recording (%s): %d domains, %d events recorded, %d rotated \
+       out, %.0f dropped from extra domains@."
+      (mem_str "schema" j) (List.length domains) !total !dropped
+      (mem_num "overflow_dropped" j);
+    List.iter
+      (fun (ns, note, tid) ->
+        Format.printf "  TRIP at +%.3f ms on domain %.0f: %s@." (ms ns) tid
+          note)
+      (List.rev !trips);
+    let by_kind =
+      Hashtbl.fold (fun k c acc -> (k, c) :: acc) kinds []
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    Format.printf "  retained events by kind:@.";
+    List.iter
+      (fun (k, c) -> Format.printf "    %-32s %9d@." k c)
+      (take top by_kind)
+  in
+  let run metrics trace slow flight top =
+    if metrics = None && trace = None && slow = None && flight = None then begin
+      Format.eprintf
+        "profile: pass at least one of --metrics, --trace, --slow-log, \
+         --flight@.";
+      2
+    end
+    else begin
+      let failed = ref false in
+      let with_file path f =
+        match parse_json path with
+        | Some j -> f j
+        | None -> failed := true
+      in
+      Option.iter (fun p -> with_file p (profile_metrics top)) metrics;
+      Option.iter (fun p -> with_file p (profile_trace top)) trace;
+      Option.iter (profile_slow top) slow;
+      Option.iter (fun p -> with_file p (profile_flight top)) flight;
+      if !failed then 2 else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Analyse diagnostic artefacts offline: hotspot tables and \
+          p50/p90/p99 latencies from a --metrics-json dump, inclusive span \
+          hotspots from a --trace timeline, the slowest verdicts of a \
+          --slow-log file and the event mix of a --flight recording.")
+    Term.(const run $ metrics $ trace $ slow $ flight $ top)
+
 let main =
   Cmd.group
     (Cmd.info "dl4" ~version:"1.0.0"
@@ -598,6 +959,7 @@ let main =
       explain_cmd;
       repair_cmd;
       stats_cmd;
-      convert_cmd ]
+      convert_cmd;
+      profile_cmd ]
 
 let () = exit (Cmd.eval' main)

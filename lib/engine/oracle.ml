@@ -53,11 +53,85 @@ let key_of = function
 let c_tableau_calls = Obs.counter "oracle.tableau_calls"
 let c_batches = Obs.counter "oracle.batches"
 let c_parallel_calls = Obs.counter "oracle.worker_verdicts"
+let c_slow = Obs.counter "oracle.slow_verdicts"
+let g_cache_size = Obs.gauge "oracle.cache.size"
 let h_eval = Obs.histogram "oracle.eval_ns"
 
 (* Per-verdict provenance: what a tableau run touched while computing a
    verdict — the dependency set for selective cache invalidation. *)
 type prov_entry = { individuals : string list; concepts : string list }
+
+(* Per-verdict cost record: the tableau work one computed verdict paid,
+   attributed at the check/check_all boundary.  Recorded unconditionally
+   (like provenance) by diffing the computing reasoner's stats cells
+   around the eval — no Obs sink needs to be armed. *)
+type cost = {
+  c_query : string;  (* printable form of the query *)
+  c_kind : string;  (* query_kind *)
+  c_wall_ns : float;
+  c_runs : int;  (* tableau runs the verdict needed *)
+  c_nodes : int;
+  c_merges : int;
+  c_branches : int;
+  c_backtracks : int;
+  c_clashes : int;
+  c_blocking : int;
+  c_rule_firings : int array;  (* indexed like Tableau.rule_names *)
+  c_shard : int;  (* id of the domain that computed it *)
+  mutable c_hits : int;  (* cache hits served since computation *)
+}
+
+let cost_rules c =
+  Array.to_list
+    (Array.mapi (fun i n -> (Tableau.rule_names.(i), n)) c.c_rule_firings)
+  |> List.filter (fun (_, n) -> n > 0)
+
+(* Session-level aggregate, maintained independently of cache eviction
+   so long sessions keep honest totals while per-key records stay
+   bounded by cache residency. *)
+type cost_totals = {
+  verdicts : int;  (* computed (cache misses paid with a tableau) *)
+  cache_served : int;  (* checks answered from the cache *)
+  slow : int;  (* verdicts at or over the slow-log threshold *)
+  wall_ns : float;
+  runs : int;
+  nodes : int;
+  merges : int;
+  branches : int;
+  backtracks : int;
+  clashes : int;
+  blocking : int;
+  rule_firings : (string * int) list;  (* non-zero, by rule name *)
+}
+
+type cost_acc = {
+  mutable a_verdicts : int;
+  mutable a_served : int;
+  mutable a_slow : int;
+  mutable a_wall : float;
+  mutable a_runs : int;
+  mutable a_nodes : int;
+  mutable a_merges : int;
+  mutable a_branches : int;
+  mutable a_backtracks : int;
+  mutable a_clashes : int;
+  mutable a_blocking : int;
+  a_rules : int array;
+}
+
+let fresh_acc () =
+  { a_verdicts = 0;
+    a_served = 0;
+    a_slow = 0;
+    a_wall = 0.0;
+    a_runs = 0;
+    a_nodes = 0;
+    a_merges = 0;
+    a_branches = 0;
+    a_backtracks = 0;
+    a_clashes = 0;
+    a_blocking = 0;
+    a_rules = Array.make (Array.length Tableau.rule_names) 0 }
 
 type config = {
   jobs : int;
@@ -90,6 +164,10 @@ type t = {
       (* individual name -> keys whose provenance mentions it *)
   atom_index : (string, Key.t list ref) Hashtbl.t;
       (* user-level atomic concept -> keys whose provenance mentions it *)
+  costs : cost KH.t;
+      (* per-key cost records, lifetime tied to cache residency like
+         [prov]; session totals live in [acc] and survive eviction *)
+  acc : cost_acc;
   mutable tableau_calls : int;
   mutable batches : int;
   mutable parallel_calls : int;
@@ -115,7 +193,9 @@ let of_config (config : config) kb =
         if !keys = [] then Hashtbl.remove index sym
   in
   let cache = Cache.create ~capacity:config.cache_capacity in
+  let costs = KH.create 64 in
   Cache.on_evict cache (fun k ->
+      KH.remove costs k;
       match KH.find_opt prov k with
       | None -> ()
       | Some e ->
@@ -133,6 +213,8 @@ let of_config (config : config) kb =
     prov;
     ind_index;
     atom_index;
+    costs;
+    acc = fresh_acc ();
     tableau_calls = 0;
     batches = 0;
     parallel_calls = 0 }
@@ -183,6 +265,14 @@ let query_kind = function
   | Role_pos _ -> "role_pos"
   | Role_neg _ -> "role_neg"
 
+let query_to_string = function
+  | Consistent -> "consistent?"
+  | Concept_sat c -> "sat? " ^ Concept.to_string c
+  | Instance (a, c) -> a ^ " : " ^ Concept.to_string c
+  | Not_instance (a, c) -> a ^ " : not " ^ Concept.to_string c
+  | Role_pos (a, r, b) -> Role.to_string r ^ "(" ^ a ^ ", " ^ b ^ ")"
+  | Role_neg (a, r, b) -> "not " ^ Role.to_string r ^ "(" ^ a ^ ", " ^ b ^ ")"
+
 (* Seed a fresh provenance sink with the query's own symbols.  A tableau
    run that closes before any rule fires on a query individual would
    otherwise record nothing for it, yet the verdict plainly depends on the
@@ -203,10 +293,31 @@ let seed_prov p q =
       Tableau.prov_add_ind p a;
       Tableau.prov_add_ind p b
 
-(* [eval] with provenance capture (always on — the dependency index needs
-   every verdict's provenance) and observability: when sinks are armed,
-   each verdict additionally gets a span timed into the eval-latency
-   histogram. *)
+(* The cost of one eval: the diff of the computing reasoner's stats
+   cells around the run, plus wall time. *)
+let cost_of_diff q wall_ns (s0 : Tableau.stats) (s1 : Tableau.stats) =
+  { c_query = query_to_string q;
+    c_kind = query_kind q;
+    c_wall_ns = wall_ns;
+    c_runs = s1.runs - s0.runs;
+    c_nodes = s1.nodes_created - s0.nodes_created;
+    c_merges = s1.merges - s0.merges;
+    c_branches = s1.branches_explored - s0.branches_explored;
+    c_backtracks = s1.backtracks - s0.backtracks;
+    c_clashes = s1.clashes - s0.clashes;
+    c_blocking = s1.blocking_events - s0.blocking_events;
+    c_rule_firings =
+      Array.init
+        (Array.length s1.rule_firings)
+        (fun i -> s1.rule_firings.(i) - s0.rule_firings.(i));
+    c_shard = (Domain.self () :> int);
+    c_hits = 0 }
+
+(* [eval] with provenance and cost capture (both always on — the
+   dependency index needs every verdict's provenance, and the cost
+   records feed the slow-query log which is independent of Obs arming)
+   plus observability: when sinks are armed, each verdict additionally
+   gets a span timed into the eval-latency histogram. *)
 let eval_obs reasoner q =
   let prov = Tableau.fresh_prov () in
   seed_prov prov q;
@@ -214,9 +325,16 @@ let eval_obs reasoner q =
     { individuals = Tableau.prov_individuals prov;
       concepts = Tableau.prov_concepts prov }
   in
+  let s0 = Tableau.copy_stats (Reasoner.stats reasoner) in
+  let t0 = Unix.gettimeofday () in
+  let finish v =
+    let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    ignore (v : bool);
+    cost_of_diff q wall_ns s0 (Reasoner.stats reasoner)
+  in
   if not !Obs.on then
     let v = eval ~prov reasoner q in
-    (v, entry ())
+    (v, entry (), finish v)
   else begin
     let sp = Obs.enter ~cat:"oracle" "oracle.eval" in
     Obs.set_attr sp "query" (query_kind q);
@@ -226,7 +344,7 @@ let eval_obs reasoner q =
         Obs.set_attr sp "verdict" (string_of_bool v);
         Obs.set_attr sp "individuals" (String.concat " " entry.individuals);
         Obs.exit_timed sp h_eval;
-        (v, entry)
+        (v, entry, finish v)
     | exception e ->
         Obs.set_attr sp "exn" (Printexc.to_string e);
         Obs.exit_timed sp h_eval;
@@ -261,14 +379,91 @@ let record_prov t k (entry : prov_entry) =
     List.iter (post t.atom_index old_atoms) entry.concepts
   end
 
+(* One slow verdict as a JSONL record: the cost record, the provenance
+   symbols and the cache's disposition of the verdict. *)
+let slow_json t (c : cost) (p : prov_entry) =
+  let b = Buffer.create 256 in
+  let str s = "\"" ^ Obs.json_escape s ^ "\"" in
+  let field k v =
+    if Buffer.length b > 1 then Buffer.add_char b ',';
+    Buffer.add_string b (str k);
+    Buffer.add_char b ':';
+    Buffer.add_string b v
+  in
+  let str_list l = "[" ^ String.concat "," (List.map str l) ^ "]" in
+  Buffer.add_char b '{';
+  field "ts_unix" (Obs.json_float (Unix.time ()));
+  field "query" (str c.c_query);
+  field "kind" (str c.c_kind);
+  field "wall_ms" (Obs.json_float (c.c_wall_ns /. 1e6));
+  field "runs" (string_of_int c.c_runs);
+  field "nodes" (string_of_int c.c_nodes);
+  field "merges" (string_of_int c.c_merges);
+  field "branches" (string_of_int c.c_branches);
+  field "backtracks" (string_of_int c.c_backtracks);
+  field "clashes" (string_of_int c.c_clashes);
+  field "blocking" (string_of_int c.c_blocking);
+  field "rules"
+    ("{"
+    ^ String.concat ","
+        (List.map
+           (fun (n, v) -> str n ^ ":" ^ string_of_int v)
+           (cost_rules c))
+    ^ "}");
+  field "shard" (string_of_int c.c_shard);
+  field "individuals" (str_list p.individuals);
+  field "concepts" (str_list p.concepts);
+  field "cache_stored" (string_of_bool (t.config.cache_capacity > 0));
+  field "cache_size" (string_of_int (Cache.length t.cache));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* Account one computed verdict: per-key record (when the cache can
+   retain it), session totals (always), slow-query log (when armed and
+   over threshold).  Coordinator-side only — worker costs fold in after
+   join, like verdicts and provenance. *)
+let record_cost t k (c : cost) (p : prov_entry) =
+  let a = t.acc in
+  a.a_verdicts <- a.a_verdicts + 1;
+  a.a_wall <- a.a_wall +. c.c_wall_ns;
+  a.a_runs <- a.a_runs + c.c_runs;
+  a.a_nodes <- a.a_nodes + c.c_nodes;
+  a.a_merges <- a.a_merges + c.c_merges;
+  a.a_branches <- a.a_branches + c.c_branches;
+  a.a_backtracks <- a.a_backtracks + c.c_backtracks;
+  a.a_clashes <- a.a_clashes + c.c_clashes;
+  a.a_blocking <- a.a_blocking + c.c_blocking;
+  Array.iteri
+    (fun i n -> a.a_rules.(i) <- a.a_rules.(i) + n)
+    c.c_rule_firings;
+  if t.config.cache_capacity > 0 then KH.replace t.costs k c;
+  if c.c_wall_ns /. 1e6 >= Obs.slow_threshold_ms () then begin
+    a.a_slow <- a.a_slow + 1;
+    Obs.incr c_slow;
+    Obs.slow_log_write (slow_json t c p)
+  end
+
 let check t q =
   let k = key_of q in
-  Cache.find_or_add t.cache k (fun () ->
-      t.tableau_calls <- t.tableau_calls + 1;
-      Obs.incr c_tableau_calls;
-      let v, p = eval_obs t.primary q in
-      record_prov t k p;
-      v)
+  let computed = ref false in
+  let v =
+    Cache.find_or_add t.cache k (fun () ->
+        computed := true;
+        t.tableau_calls <- t.tableau_calls + 1;
+        Obs.incr c_tableau_calls;
+        let v, p, c = eval_obs t.primary q in
+        record_prov t k p;
+        record_cost t k c p;
+        v)
+  in
+  if not !computed then begin
+    t.acc.a_served <- t.acc.a_served + 1;
+    match KH.find_opt t.costs k with
+    | Some c -> c.c_hits <- c.c_hits + 1
+    | None -> ()
+  end;
+  Obs.set_gauge g_cache_size (float_of_int (Cache.length t.cache));
+  v
 
 let worker_reasoners t =
   match t.workers with
@@ -300,9 +495,9 @@ let run_worker ?parent reasoner f lane =
     match KH.find_opt memo k with
     | Some v -> v
     | None ->
-        let v, p = eval_obs reasoner q in
+        let v, p, c = eval_obs reasoner q in
         KH.add memo k v;
-        log := (k, v, p) :: !log;
+        log := (k, v, p, c) :: !log;
         v
   in
   let result =
@@ -368,13 +563,14 @@ let map_batches t items ~f =
         (function
           | Ok (out, log) ->
               List.iter
-                (fun (k, v, p) ->
+                (fun (k, v, p, c) ->
                   t.tableau_calls <- t.tableau_calls + 1;
                   t.parallel_calls <- t.parallel_calls + 1;
                   Obs.incr c_tableau_calls;
                   Obs.incr c_parallel_calls;
                   Cache.add t.cache k v;
-                  record_prov t k p)
+                  record_prov t k p;
+                  record_cost t k c p)
                 log;
               outs := out :: !outs
           | Error e -> keep_first e)
@@ -446,6 +642,42 @@ let provenance t q = KH.find_opt t.prov (key_of q)
 let provenances t =
   KH.fold (fun _ p acc -> p :: acc) t.prov []
 
+let cost t q = KH.find_opt t.costs (key_of q)
+
+let costs t =
+  KH.fold (fun _ c acc -> c :: acc) t.costs []
+  |> List.sort (fun a b -> Float.compare b.c_wall_ns a.c_wall_ns)
+
+let cost_totals t =
+  let a = t.acc in
+  { verdicts = a.a_verdicts;
+    cache_served = a.a_served;
+    slow = a.a_slow;
+    wall_ns = a.a_wall;
+    runs = a.a_runs;
+    nodes = a.a_nodes;
+    merges = a.a_merges;
+    branches = a.a_branches;
+    backtracks = a.a_backtracks;
+    clashes = a.a_clashes;
+    blocking = a.a_blocking;
+    rule_firings =
+      Array.to_list
+        (Array.mapi (fun i n -> (Tableau.rule_names.(i), n)) a.a_rules)
+      |> List.filter (fun (_, n) -> n > 0) }
+
+let pp_cost ppf (c : cost) =
+  Format.fprintf ppf "%8.2f ms  %6d nodes  %5d branches  %4d clashes  %s"
+    (c.c_wall_ns /. 1e6) c.c_nodes c.c_branches c.c_clashes c.c_query
+
+let pp_cost_totals ppf (s : cost_totals) =
+  Format.fprintf ppf
+    "%d verdicts computed (%.2f ms tableau wall), %d served from cache, %d \
+     slow@ %d runs, %d nodes, %d branches, %d backtracks, %d clashes, %d \
+     merges, %d blocking events"
+    s.verdicts (s.wall_ns /. 1e6) s.cache_served s.slow s.runs s.nodes
+    s.branches s.backtracks s.clashes s.merges s.blocking
+
 (* ------------------------------------------------------------------ *)
 (* Incremental update *)
 
@@ -469,12 +701,14 @@ let pp_apply_stats ppf s =
 let flush_all t =
   Cache.purge t.cache;
   KH.reset t.prov;
+  KH.reset t.costs;
   Hashtbl.reset t.ind_index;
   Hashtbl.reset t.atom_index
 
 let evict_key t k =
   ignore (Cache.remove t.cache k : bool);
-  KH.remove t.prov k
+  KH.remove t.prov k;
+  KH.remove t.costs k
 
 (* Drop every key posted under [sym].  Stale postings (keys already
    evicted through another symbol and possibly recomputed since) are
@@ -549,6 +783,13 @@ let tbox_has_nominal tbox =
       | Axiom.Role_sub _ | Axiom.Data_role_sub _ | Axiom.Transitive _ -> false)
     tbox
 
+(* Registry mirrors for the update path, so the uniform `--stats` footer
+   reflects delta work like it reflects query work. *)
+let c_deltas = Obs.counter "oracle.delta.applied"
+let c_delta_evicted = Obs.counter "oracle.delta.evicted"
+let c_delta_flushes = Obs.counter "oracle.delta.flushes"
+let c_delta_recheck = Obs.counter "oracle.delta.recheck_calls"
+
 let apply t (d : Delta.t) =
   if Delta.is_empty d then
     { evicted = 0;
@@ -556,7 +797,9 @@ let apply t (d : Delta.t) =
       flushed = false;
       consistency_flipped = false;
       recheck_calls = 0 }
-  else begin
+  else
+    Obs.with_span ~cat:"oracle" "oracle.apply" @@ fun () ->
+    begin
     let calls0 = t.tableau_calls in
     (* the transition guard below needs the pre-delta status — read it
        before mutating (pays one tableau call if not already cached) *)
@@ -644,11 +887,18 @@ let apply t (d : Delta.t) =
       end
       else evicted
     in
-    { evicted;
-      retained = Cache.length t.cache;
-      flushed = flush || flipped;
-      consistency_flipped = flipped;
-      recheck_calls = t.tableau_calls - calls0 }
+    let st =
+      { evicted;
+        retained = Cache.length t.cache;
+        flushed = flush || flipped;
+        consistency_flipped = flipped;
+        recheck_calls = t.tableau_calls - calls0 }
+    in
+    Obs.incr c_deltas;
+    Obs.add c_delta_evicted st.evicted;
+    if st.flushed then Obs.incr c_delta_flushes;
+    Obs.add c_delta_recheck st.recheck_calls;
+    st
   end
 
 type stats = {

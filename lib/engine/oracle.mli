@@ -141,6 +141,70 @@ val provenance : t -> query -> prov_entry option
 val provenances : t -> prov_entry list
 (** All recorded per-verdict provenance entries, unordered. *)
 
+(** {1 Per-verdict cost accounting}
+
+    Every verdict actually computed (on any domain of the pool) gets a
+    cost record: the diff of the computing reasoner's per-run stats cells
+    around the eval, plus wall time.  Like provenance, recording is
+    unconditional — no {!Obs} sink needs to be armed — and the per-key
+    records share the cache-residency lifetime (session totals in
+    {!cost_totals} survive eviction).  Worker-computed costs fold in
+    after the join, so all bookkeeping stays on the coordinating
+    domain.
+
+    When the {!Obs} slow-query log is armed, each computed verdict at or
+    over the threshold additionally emits one JSONL record (cost,
+    provenance symbols, cache disposition) at recording time. *)
+
+type cost = {
+  c_query : string;  (** printable form of the query *)
+  c_kind : string;  (** {!query_kind} *)
+  c_wall_ns : float;
+  c_runs : int;  (** tableau runs the verdict needed *)
+  c_nodes : int;  (** completion-graph nodes created *)
+  c_merges : int;
+  c_branches : int;  (** nondeterministic alternatives explored *)
+  c_backtracks : int;
+  c_clashes : int;
+  c_blocking : int;  (** blocking events *)
+  c_rule_firings : int array;  (** indexed like [Tableau.rule_names] *)
+  c_shard : int;  (** id of the domain that computed the verdict *)
+  mutable c_hits : int;  (** cache hits served since computation *)
+}
+
+val cost_rules : cost -> (string * int) list
+(** Non-zero rule firings by rule name. *)
+
+val cost : t -> query -> cost option
+(** The cost record of a currently retained verdict ([None] under the
+    same conditions as {!provenance}). *)
+
+val costs : t -> cost list
+(** All retained cost records, most expensive (by wall time) first. *)
+
+type cost_totals = {
+  verdicts : int;  (** verdicts computed (cache misses paid) *)
+  cache_served : int;  (** checks answered from the cache *)
+  slow : int;  (** computed verdicts at/over the slow-log threshold *)
+  wall_ns : float;  (** total eval wall time *)
+  runs : int;
+  nodes : int;
+  merges : int;
+  branches : int;
+  backtracks : int;
+  clashes : int;
+  blocking : int;
+  rule_firings : (string * int) list;  (** non-zero, by rule name *)
+}
+
+val cost_totals : t -> cost_totals
+(** Session-level aggregate since construction — independent of cache
+    eviction and KB deltas (deltas reset verdicts, not history). *)
+
+val query_to_string : query -> string
+val pp_cost : Format.formatter -> cost -> unit
+val pp_cost_totals : Format.formatter -> cost_totals -> unit
+
 (** {1 Incremental update}
 
     {!apply} edits the KB in place and selectively invalidates cached

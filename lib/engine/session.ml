@@ -35,3 +35,6 @@ let apply_all t ds =
 
 let stats t = Engine.stats t.engine
 let pp_stats = Engine.pp_stats
+let cost t q = Oracle.cost (oracle t) q
+let costs t = Oracle.costs (oracle t)
+let cost_totals t = Oracle.cost_totals (oracle t)

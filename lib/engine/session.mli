@@ -62,3 +62,16 @@ val apply_all : t -> Delta.t list -> Oracle.apply_stats
 
 val stats : t -> Engine.stats
 val pp_stats : Format.formatter -> Engine.stats -> unit
+
+(** {1 Cost accounting}
+
+    Session views of the oracle's per-verdict cost layer (see
+    {!Oracle.cost}): always on, survives deltas at the totals level. *)
+
+val cost : t -> Oracle.query -> Oracle.cost option
+val costs : t -> Oracle.cost list
+(** Retained per-verdict cost records, most expensive first. *)
+
+val cost_totals : t -> Oracle.cost_totals
+(** Aggregate work since session creation, independent of cache
+    eviction and applied deltas. *)

@@ -1,0 +1,176 @@
+(* Flight recorder (PR 5).  See flight.mli for the design contract.
+
+   Concurrency model: each domain owns one ring (found via DLS), and
+   only that domain writes to it — the registry mutex is taken once per
+   domain lifetime, at ring creation.  Dumps read rings owned by other
+   domains without synchronization; that can tear the oldest edge of a
+   ring mid-append, which is acceptable for a diagnostics snapshot and
+   irrelevant on the two paths that matter (post-trip, at-exit). *)
+
+let schema = "dl4-flight/1"
+let on = ref false
+let capacity = 1024
+let max_domains = 128
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+let t0_ns = now_ns ()
+
+type event = {
+  e_ns : float;
+  e_kind : string;
+  e_node : int;
+  e_other : int;
+  e_note : string;
+}
+
+let dummy_event = { e_ns = 0.0; e_kind = ""; e_node = -1; e_other = -1; e_note = "" }
+
+type ring = {
+  r_tid : int;
+  mutable r_next : int; (* next write slot *)
+  mutable r_total : int; (* events ever recorded into this ring *)
+  r_events : event array;
+}
+
+let rings_mutex = Mutex.create ()
+let rings : ring list ref = ref [] (* registration order, newest first *)
+let ring_count = ref 0
+let overflow_dropped = Atomic.make 0 (* events from domains beyond max_domains *)
+let dump_path : string option ref = ref None
+
+(* The DLS value is [None] for domains that arrived after the registry
+   filled up: they drop events (counted) instead of recording. *)
+let ring_key : ring option Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Mutex.lock rings_mutex;
+      let r =
+        if !ring_count >= max_domains then None
+        else begin
+          let r =
+            {
+              r_tid = (Domain.self () :> int);
+              r_next = 0;
+              r_total = 0;
+              r_events = Array.make capacity dummy_event;
+            }
+          in
+          rings := r :: !rings;
+          incr ring_count;
+          Some r
+        end
+      in
+      Mutex.unlock rings_mutex;
+      r)
+
+let record kind node other note =
+  match Domain.DLS.get ring_key with
+  | None -> Atomic.incr overflow_dropped
+  | Some r ->
+      let e = { e_ns = now_ns () -. t0_ns; e_kind = kind; e_node = node; e_other = other; e_note = note } in
+      r.r_events.(r.r_next) <- e;
+      r.r_next <- (r.r_next + 1) mod capacity;
+      r.r_total <- r.r_total + 1
+
+let arm ?path () =
+  (match path with Some _ -> dump_path := path | None -> ());
+  on := true
+
+let disarm () = on := false
+let armed_path () = !dump_path
+
+let events_recorded () =
+  Mutex.lock rings_mutex;
+  let n = List.fold_left (fun a r -> a + r.r_total) 0 !rings in
+  Mutex.unlock rings_mutex;
+  n + Atomic.get overflow_dropped
+
+let reset () =
+  Mutex.lock rings_mutex;
+  rings := [];
+  ring_count := 0;
+  Mutex.unlock rings_mutex;
+  Atomic.set overflow_dropped 0;
+  (* the calling domain's DLS slot still points at its (now
+     unregistered) ring; give it a fresh registered one *)
+  Domain.DLS.set ring_key
+    (let r =
+       {
+         r_tid = (Domain.self () :> int);
+         r_next = 0;
+         r_total = 0;
+         r_events = Array.make capacity dummy_event;
+       }
+     in
+     Mutex.lock rings_mutex;
+     rings := [ r ];
+     ring_count := 1;
+     Mutex.unlock rings_mutex;
+     Some r)
+
+let dump () =
+  let rings_snapshot =
+    Mutex.lock rings_mutex;
+    let l = List.rev !rings in
+    Mutex.unlock rings_mutex;
+    l
+  in
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "{\"schema\":\"%s\",\"capacity\":%d,\"overflow_dropped\":%d,\"domains\":["
+    schema capacity (Atomic.get overflow_dropped);
+  let first_dom = ref true in
+  List.iter
+    (fun r ->
+      let total = r.r_total in
+      let kept = min total capacity in
+      let dropped = total - kept in
+      if not !first_dom then Buffer.add_char b ',';
+      first_dom := false;
+      Printf.bprintf b "\n{\"tid\":%d,\"total\":%d,\"dropped\":%d,\"events\":["
+        r.r_tid total dropped;
+      (* oldest-first: a wrapped ring starts at r_next *)
+      let start = if total > capacity then r.r_next else 0 in
+      let first_ev = ref true in
+      for k = 0 to kept - 1 do
+        let e = r.r_events.((start + k) mod capacity) in
+        if not !first_ev then Buffer.add_char b ',';
+        first_ev := false;
+        Printf.bprintf b "\n{\"ns\":%.0f,\"kind\":\"%s\",\"node\":%d,\"other\":%d,\"note\":\"%s\"}"
+          e.e_ns (Obs.json_escape e.e_kind) e.e_node e.e_other
+          (Obs.json_escape e.e_note)
+      done;
+      Buffer.add_string b "]}")
+    rings_snapshot;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write_mutex = Mutex.create ()
+
+let write path =
+  Mutex.lock write_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock write_mutex)
+    (fun () ->
+      match open_out path with
+      | oc ->
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc (dump ()))
+      | exception Sys_error _ -> ())
+
+let trip reason =
+  record "trip" (-1) (-1) reason;
+  match !dump_path with Some p -> write p | None -> ()
+
+(* DL4_FLIGHT: arm from the environment, dump at exit. *)
+let env_path =
+  match Sys.getenv_opt "DL4_FLIGHT" with
+  | None | Some "" | Some "0" -> None
+  | Some "1" -> Some "dl4.flight.json"
+  | Some p -> Some p
+
+let () =
+  match env_path with
+  | None -> ()
+  | Some path ->
+      arm ~path ();
+      at_exit (fun () -> write path)

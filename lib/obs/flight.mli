@@ -1,0 +1,74 @@
+(** Flight recorder: a bounded ring buffer of recent tableau events per
+    domain, so a run that trips [max_nodes]/[max_branches] leaves a
+    post-mortem instead of a bare exception.
+
+    Design mirrors {!Obs}: one [bool ref] master gate read inline at
+    every site ([if !Flight.on then Flight.record ...] is a load and a
+    branch when disarmed), and recording stays cheap when armed — each
+    domain appends to its own fixed-size ring with a single writer, so
+    the hot path takes no lock and performs no allocation beyond the
+    event record.  Rings register themselves (under a mutex, once per
+    domain) in a global table capped at {!max_domains}; domains beyond
+    the cap drop events and the drops are counted.
+
+    The dump is a point-in-time JSON snapshot ({!schema}): per domain,
+    the retained events oldest-first with total/dropped accounting.
+    Reading a ring while its owner domain is still appending can tear
+    the oldest edge of that ring (the dump is diagnostics, not a
+    consistency protocol); dumps taken after a trip or at exit — the
+    two paths that matter — see quiescent rings. *)
+
+val schema : string
+(** ["dl4-flight/1"] — the [schema] field of every dump. *)
+
+val on : bool ref
+(** Master gate, read inline by instrumentation sites. *)
+
+val capacity : int
+(** Events retained per domain ring (older events are overwritten). *)
+
+val max_domains : int
+(** Rings tracked before further domains' events are dropped. *)
+
+val arm : ?path:string -> unit -> unit
+(** Start recording.  With [path], {!trip} writes the dump there
+    immediately and process exit writes it again (via the [at_exit]
+    hook installed by {!Obs}'s sibling arming or the CLI). *)
+
+val disarm : unit -> unit
+(** Stop recording; retained events survive until {!reset}. *)
+
+val armed_path : unit -> string option
+
+val record : string -> int -> int -> string -> unit
+(** [record kind node other note] appends an event to the calling
+    domain's ring.  [node]/[other] are tableau node ids ([-1] when not
+    applicable).  Callers must check [!on] first — the function itself
+    records unconditionally so tests can drive it directly. *)
+
+val trip : string -> unit
+(** Record a ["trip"] event carrying [reason] as its note and, when a
+    dump path is armed, write the dump immediately — called from the
+    tableau's resource-limit raise sites so the dump exists even if the
+    exception escapes the process. *)
+
+val dump : unit -> string
+(** The JSON snapshot: [{"schema", "capacity", "domains": [{"tid",
+    "total", "dropped", "events": [{"ns", "kind", "node", "other",
+    "note"}...]}...]}] with events oldest-first per domain and [ns]
+    relative to process start. *)
+
+val write : string -> unit
+
+val events_recorded : unit -> int
+(** Total events recorded across all rings since the last {!reset},
+    including overwritten and dropped ones. *)
+
+val env_path : string option
+(** Path from [DL4_FLIGHT] ("1" selects ["dl4.flight.json"]); when
+    set, the recorder was armed at module init and the dump is written
+    at exit. *)
+
+val reset : unit -> unit
+(** Drop all rings and counters.  Only call while no worker domains
+    are live. *)

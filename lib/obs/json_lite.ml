@@ -1,0 +1,164 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Fail of string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Fail (msg ^ " at byte " ^ string_of_int !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail ("expected '" ^ String.make 1 c ^ "'")
+  in
+  let literal word v =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then (pos := !pos + m; v)
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        (if !pos >= n then fail "unterminated escape");
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            let code =
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some c -> c
+              | None -> fail "bad \\u escape"
+            in
+            (* BMP only; the sinks this reader serves never emit astral
+               characters *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+        | _ -> fail "bad escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail msg -> Error msg
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let to_num = function Num f -> Some f | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function Arr l -> Some l | _ -> None

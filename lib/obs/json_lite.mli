@@ -1,0 +1,27 @@
+(** A minimal JSON reader for the diagnostics tooling.
+
+    The container ships no JSON library, and the exports this stack
+    consumes back (flat metrics registries, Chrome traces, flight dumps,
+    slow-query logs) use only objects, arrays, strings, numbers and
+    booleans — so a small recursive-descent reader is all [dl4 profile]
+    and the validators need.  This is a {e reader}: the export sinks in
+    {!Obs} and {!Flight} render their JSON by hand, so parsing with an
+    independent implementation still cross-checks well-formedness. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries a byte offset. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing fields and non-objects. *)
+
+val to_num : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -128,6 +128,51 @@ let observe_ns h ns =
 let histogram_count h = Atomic.get h.h_count
 let histogram_sum_ns h = Atomic.get h.h_sum_ns
 
+let histogram_bucket_counts h =
+  Array.to_list h.h_buckets
+  |> List.mapi (fun i c -> (i, Atomic.get c))
+  |> List.filter (fun (_, c) -> c > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Quantile estimation over log2 buckets.
+
+   Bucket 0 holds durations in [0, 2) ns; bucket i >= 1 holds [2^i,
+   2^(i+1)).  Within a bucket only the count survives, so a quantile is
+   estimated by linear interpolation across the bucket's range: with
+   C observations below the bucket and c inside it, the rank r = q*N
+   falls at lo + (r - C)/c * (hi - lo).
+
+   Error bounds: at a cumulative bucket boundary (r = C for some
+   bucket) the estimate is the exact boundary value 2^i.  Inside a
+   bucket the estimate and the true quantile both lie in [lo, hi) with
+   hi = 2*lo, so the estimate is within a factor of 2 of the truth
+   (absolute error < the bucket width = lo). *)
+
+let quantile_of_buckets buckets q =
+  let buckets = List.sort (fun (i, _) (j, _) -> compare i j) buckets in
+  let total = List.fold_left (fun a (_, c) -> a + c) 0 buckets in
+  if total = 0 then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int total in
+    let lo i = if i = 0 then 0.0 else ldexp 1.0 i in
+    let hi i = ldexp 1.0 (i + 1) in
+    let rec walk below = function
+      | [] -> (* rank = total and rounding: top of the last bucket *)
+          Float.nan
+      | (i, c) :: rest ->
+          let upto = float_of_int (below + c) in
+          if rank <= upto || rest = [] then
+            let f = (rank -. float_of_int below) /. float_of_int c in
+            let f = Float.max 0.0 (Float.min 1.0 f) in
+            lo i +. (f *. (hi i -. lo i))
+          else walk (below + c) rest
+    in
+    walk 0 buckets
+  end
+
+let quantile_ns h q = quantile_of_buckets (histogram_bucket_counts h) q
+
 (* ------------------------------------------------------------------ *)
 (* Spans *)
 
@@ -288,6 +333,11 @@ let histograms () =
       | _ -> None)
     (metrics ())
 
+let gauges () =
+  List.filter_map
+    (function Gauge g -> Some (g.g_name, Atomic.get g.g_value) | _ -> None)
+    (metrics ())
+
 (* ------------------------------------------------------------------ *)
 (* Sinks *)
 
@@ -412,6 +462,59 @@ let pp_footer ppf () =
 let print_footer () = Format.printf "@[<v>%a@]@." pp_footer ()
 
 (* ------------------------------------------------------------------ *)
+(* Slow-query log: an append-only JSONL sink, independent of [on] (cost
+   accounting upstream is unconditional, so slow verdicts are caught
+   even when no metrics sink is armed).  The channel opens lazily on
+   the first slow record and is flushed per line, so a post-mortem
+   after a crash still has every completed record. *)
+
+let slow_mutex = Mutex.create ()
+let slow_state : (string * float) option ref = ref None (* path, threshold ms *)
+let slow_chan : out_channel option ref = ref None
+
+let arm_slow_log ?(threshold_ms = 100.0) path =
+  with_lock slow_mutex (fun () -> slow_state := Some (path, threshold_ms))
+
+let disarm_slow_log () =
+  with_lock slow_mutex (fun () ->
+      slow_state := None;
+      match !slow_chan with
+      | Some oc ->
+          slow_chan := None;
+          close_out_noerr oc
+      | None -> ())
+
+let slow_log_armed () = !slow_state <> None
+
+let slow_log_path () =
+  match !slow_state with Some (p, _) -> Some p | None -> None
+
+let slow_threshold_ms () =
+  match !slow_state with Some (_, t) -> t | None -> Float.infinity
+
+let slow_log_write line =
+  with_lock slow_mutex (fun () ->
+      match !slow_state with
+      | None -> ()
+      | Some (path, _) -> (
+          let oc =
+            match !slow_chan with
+            | Some oc -> Some oc
+            | None -> (
+                match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+                | oc ->
+                    slow_chan := Some oc;
+                    Some oc
+                | exception Sys_error _ -> None)
+          in
+          match oc with
+          | None -> ()
+          | Some oc ->
+              output_string oc line;
+              output_char oc '\n';
+              flush oc))
+
+(* ------------------------------------------------------------------ *)
 (* DL4_TRACE: arm tracing from the environment so any binary (the CLI,
    the test suite under CI) emits a trace without flag plumbing.
    Value "1" means the default path; anything else is the path. *)
@@ -428,3 +531,25 @@ let () =
   | Some path ->
       set_enabled true;
       at_exit (fun () -> try write_trace path with Sys_error _ -> ())
+
+(* DL4_SLOW_LOG / DL4_SLOW_MS: arm the slow-query log from the
+   environment.  "1" selects the default path; DL4_SLOW_MS overrides
+   the 100 ms default threshold. *)
+
+let slow_env_path =
+  match Sys.getenv_opt "DL4_SLOW_LOG" with
+  | None | Some "" | Some "0" -> None
+  | Some "1" -> Some "dl4.slow.jsonl"
+  | Some p -> Some p
+
+let () =
+  match slow_env_path with
+  | None -> ()
+  | Some path ->
+      let threshold_ms =
+        match Sys.getenv_opt "DL4_SLOW_MS" with
+        | Some s -> ( match float_of_string_opt s with Some f -> f | None -> 100.0)
+        | None -> 100.0
+      in
+      arm_slow_log ~threshold_ms path;
+      at_exit disarm_slow_log

@@ -44,8 +44,32 @@ val observe_ns : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum_ns : histogram -> float
 
+val histogram_bucket_counts : histogram -> (int * int) list
+(** Non-empty buckets as [(bucket_index, count)]: bucket 0 counts
+    durations in [\[0, 2)] ns, bucket [i >= 1] counts [\[2^i, 2^(i+1))]. *)
+
+val quantile_of_buckets : (int * int) list -> float -> float
+(** [quantile_of_buckets buckets q] estimates the [q]-quantile (with
+    [q] clamped to [\[0, 1\]]) of the durations summarized by log2
+    [(bucket_index, count)] pairs, by linear interpolation inside the
+    bucket the rank lands in.  [nan] when the total count is zero.
+
+    Error bounds: when the rank falls on a cumulative bucket boundary
+    the estimate is {e exact} (the boundary value [2^i]); otherwise the
+    estimate and the true quantile lie in the same bucket [\[lo, 2*lo)],
+    so the estimate is within a factor of 2 of the truth (absolute
+    error below the bucket width).  Also the reader half of [dl4
+    profile]: it reconstructs these pairs from the [".buckets"] keys of
+    {!metrics_json}. *)
+
+val quantile_ns : histogram -> float -> float
+(** {!quantile_of_buckets} over a live histogram's buckets. *)
+
 val counters : unit -> (string * int) list
 (** All registered counters with current values, sorted by name. *)
+
+val gauges : unit -> (string * float) list
+(** All registered gauges with current values, sorted by name. *)
 
 val histograms : unit -> (string * int * float) list
 (** All registered histograms as [(name, count, sum_ns)], sorted. *)
@@ -113,3 +137,39 @@ val write_trace : string -> unit
 val trace_env_path : string option
 (** Path from [DL4_TRACE] ("1" selects ["dl4.trace.json"]); when set,
     tracing was armed at module init and the trace is written at exit. *)
+
+(** {1 JSON rendering helpers}
+
+    Shared by the sinks here and by callers (e.g. the oracle's
+    slow-query records) that render JSON by hand. *)
+
+val json_escape : string -> string
+val json_float : float -> string
+
+(** {1 Slow-query log}
+
+    An append-only JSONL sink.  Deliberately independent of {!on}: the
+    oracle's cost accounting is unconditional, so slow verdicts are
+    caught even when no metrics sink is armed.  Writers format their
+    own record (one JSON object per line) and hand it to
+    {!slow_log_write}, which appends and flushes under a mutex — or
+    drops it when the log is disarmed. *)
+
+val arm_slow_log : ?threshold_ms:float -> string -> unit
+(** Arm the log at [path] (appending).  [threshold_ms] defaults to
+    100 ms. *)
+
+val disarm_slow_log : unit -> unit
+val slow_log_armed : unit -> bool
+val slow_log_path : unit -> string option
+
+val slow_threshold_ms : unit -> float
+(** The armed threshold; [infinity] when disarmed, so callers can gate
+    on [wall_ms >= slow_threshold_ms ()] alone. *)
+
+val slow_log_write : string -> unit
+
+val slow_env_path : string option
+(** Path from [DL4_SLOW_LOG] ("1" selects ["dl4.slow.jsonl"]); when
+    set, the log was armed at module init with the threshold from
+    [DL4_SLOW_MS] (default 100 ms). *)

@@ -16,13 +16,36 @@ end
 
 module EMap = Map.Make (EKey)
 
+(* Rule kinds, indexed: the per-run stats array, the registry counters
+   and the flight-recorder event kinds all share this enumeration. *)
+let rule_names =
+  [| "gci"; "and"; "or_unit"; "unfold"; "forall"; "forall_trans";
+     "one_of"; "not_one_of"; "exists"; "at_least" |]
+
+let n_rule_kinds = Array.length rule_names
+
 type stats = {
+  mutable runs : int;
   mutable branches_explored : int;
   mutable nodes_created : int;
   mutable merges : int;
+  mutable clashes : int;
+  mutable backtracks : int;
+  mutable blocking_events : int;
+  rule_firings : int array; (* indexed like [rule_names] *)
 }
 
-let fresh_stats () = { branches_explored = 0; nodes_created = 0; merges = 0 }
+let fresh_stats () =
+  { runs = 0;
+    branches_explored = 0;
+    nodes_created = 0;
+    merges = 0;
+    clashes = 0;
+    backtracks = 0;
+    blocking_events = 0;
+    rule_firings = Array.make n_rule_kinds 0 }
+
+let copy_stats s = { s with rule_firings = Array.copy s.rule_firings }
 
 (* ------------------------------------------------------------------ *)
 (* Observability: registry metrics (all gated on [Obs.on]) and
@@ -38,26 +61,33 @@ let c_backtracks = Obs.counter "tableau.backtracks"
 let c_blocks = Obs.counter "tableau.blocking_events"
 let h_run = Obs.histogram "tableau.run_ns"
 
-(* rule firings by rule name *)
-let c_rule_gci = Obs.counter "tableau.rule.gci"
-let c_rule_and = Obs.counter "tableau.rule.and"
-let c_rule_or_unit = Obs.counter "tableau.rule.or_unit"
-let c_rule_unfold = Obs.counter "tableau.rule.unfold"
-let c_rule_forall = Obs.counter "tableau.rule.forall"
-let c_rule_forall_trans = Obs.counter "tableau.rule.forall_trans"
-let c_rule_oneof = Obs.counter "tableau.rule.one_of"
-let c_rule_not_oneof = Obs.counter "tableau.rule.not_one_of"
-let c_rule_exists = Obs.counter "tableau.rule.exists"
-let c_rule_at_least = Obs.counter "tableau.rule.at_least"
+(* rule firings by rule name — indices into [rule_names] *)
+let r_gci = 0
+let r_and = 1
+let r_or_unit = 2
+let r_unfold = 3
+let r_forall = 4
+let r_forall_trans = 5
+let r_one_of = 6
+let r_not_one_of = 7
+let r_exists = 8
+let r_at_least = 9
+let c_rules = Array.map (fun n -> Obs.counter ("tableau.rule." ^ n)) rule_names
+let f_rules = Array.map (fun n -> "rule." ^ n) rule_names (* flight kinds *)
 
 (* clash causes *)
-let c_clash_bottom = Obs.counter "tableau.clash.bottom"
-let c_clash_atomic = Obs.counter "tableau.clash.atomic"
-let c_clash_nominal = Obs.counter "tableau.clash.nominal"
-let c_clash_at_most = Obs.counter "tableau.clash.at_most"
-let c_clash_distinct = Obs.counter "tableau.clash.distinct"
-let c_clash_merge = Obs.counter "tableau.clash.merge"
-let c_clash_data = Obs.counter "tableau.clash.data"
+let clash_names =
+  [| "bottom"; "atomic"; "nominal"; "at_most"; "distinct"; "merge"; "data" |]
+
+let x_bottom = 0
+let x_atomic = 1
+let x_nominal = 2
+let x_at_most = 3
+let x_distinct = 4
+let x_merge = 5
+let x_data = 6
+let c_clashes = Array.map (fun n -> Obs.counter ("tableau.clash." ^ n)) clash_names
+let f_clashes = Array.map (fun n -> "clash." ^ n) clash_names
 
 (* Per-run provenance: the named individuals and (demangled) atomic
    concepts a tableau run touched.  Fresh query artefacts use names
@@ -122,6 +152,26 @@ type ctx = {
   prov : prov option;  (* provenance sink for this run, if requested *)
 }
 
+(* One site per diagnostic event: the registry counter (gated on
+   [Obs.on]), the per-run stats cell (unconditional — cost records need
+   it with no sink armed) and the flight ring (gated on [Flight.on])
+   move together. *)
+
+let fired_rule ctx ri x =
+  Obs.incr c_rules.(ri);
+  ctx.stats.rule_firings.(ri) <- ctx.stats.rule_firings.(ri) + 1;
+  if !Flight.on then Flight.record f_rules.(ri) x (-1) ""
+
+let clash_hit ctx ci x =
+  Obs.incr c_clashes.(ci);
+  ctx.stats.clashes <- ctx.stats.clashes + 1;
+  if !Flight.on then Flight.record f_clashes.(ci) x (-1) ""
+
+let backtracked ctx x =
+  Obs.incr c_backtracks;
+  ctx.stats.backtracks <- ctx.stats.backtracks + 1;
+  if !Flight.on then Flight.record "backtrack" x (-1) ""
+
 (* ------------------------------------------------------------------ *)
 (* State accessors *)
 
@@ -178,10 +228,14 @@ let add_edge_label st x y rs =
     gen_pending = ISet.add x (ISet.add y st.gen_pending) }
 
 let new_node ctx st ~parent ~labels:lbls =
-  if st.next_id >= ctx.max_nodes then
-    raise (Resource_limit (Printf.sprintf "node limit %d exceeded" ctx.max_nodes));
+  if st.next_id >= ctx.max_nodes then begin
+    let msg = Printf.sprintf "node limit %d exceeded" ctx.max_nodes in
+    if !Flight.on then Flight.trip msg;
+    raise (Resource_limit msg)
+  end;
   ctx.stats.nodes_created <- ctx.stats.nodes_created + 1;
   Obs.incr c_nodes;
+  if !Flight.on then Flight.record "node" st.next_id (-1) "";
   let id = st.next_id in
   let n = { labels = CSet.empty; parent; data_asserted = [] } in
   let st =
@@ -343,6 +397,7 @@ let rec merge ctx st ~src ~dst =
   else begin
     ctx.stats.merges <- ctx.stats.merges + 1;
     Obs.incr c_merges;
+    if !Flight.on then Flight.record "merge" src dst "";
     let doomed = ISet.remove src (subtree st src) in
     let st = remove_nodes st doomed in
     let nsrc = node st src and ndst = node st dst in
@@ -426,25 +481,25 @@ let exists_distinct_clique st k ys =
   go [] ys
 
 let node_clash ctx st x =
-  (* [hit] tags the detected clash with its cause in the registry. *)
-  let hit cause = Obs.incr cause; true in
+  (* [hit] tags the detected clash with its cause. *)
+  let hit cause = clash_hit ctx cause x; true in
   let ls = labels st x in
-  (CSet.mem Concept.Bottom ls && hit c_clash_bottom)
+  (CSet.mem Concept.Bottom ls && hit x_bottom)
   || CSet.exists
        (fun c ->
          match (c : Concept.t) with
-         | Not (Atom a) -> CSet.mem (Concept.Atom a) ls && hit c_clash_atomic
+         | Not (Atom a) -> CSet.mem (Concept.Atom a) ls && hit x_atomic
          | Not (One_of os) ->
              List.exists (fun o -> SMap.find_opt o st.names = Some x) os
-             && hit c_clash_nominal
+             && hit x_nominal
          | At_most (n, r) ->
              let ys = r_neighbours ctx st x r in
              List.length ys > n
              && exists_distinct_clique st (n + 1) ys
-             && hit c_clash_at_most
+             && hit x_at_most
          | _ -> false)
        ls
-  || (are_distinct st x x && hit c_clash_distinct)
+  || (are_distinct st x x && hit x_distinct)
 
 (* Record every name mapping to node [x] into the run's provenance: used
    at clash and merge sites, where the involved individuals demonstrably
@@ -493,7 +548,7 @@ let saturate ctx st =
     let add rule x cs =
       let cs = List.filter (fun c -> not (CSet.mem c (labels !st x))) cs in
       if cs <> [] then begin
-        Obs.incr rule;
+        fired_rule ctx rule x;
         fired := ISet.add x !fired;
         st := add_labels !st x cs
       end
@@ -503,47 +558,47 @@ let saturate ctx st =
       (fun x ->
         if IMap.mem x !st.nodes then begin
           (* GCIs on every node *)
-          add c_rule_gci x ctx.gcis;
+          add r_gci x ctx.gcis;
           CSet.iter
             (fun c ->
               if IMap.mem x !st.nodes then
                 match (c : Concept.t) with
-                | And (a, b) -> add c_rule_and x [ a; b ]
+                | And (a, b) -> add r_and x [ a; b ]
                 | Or _ ->
                     (* unit propagation over the flattened disjunction *)
                     let lbls = labels !st x in
                     let ds = disjuncts c in
                     if not (List.exists (fun d -> CSet.mem d lbls) ds) then begin
                       match List.filter (fun d -> not (falsified lbls d)) ds with
-                      | [] -> add c_rule_or_unit x [ Concept.Bottom ]
-                      | [ d ] -> add c_rule_or_unit x [ d ]
+                      | [] -> add r_or_unit x [ Concept.Bottom ]
+                      | [ d ] -> add r_or_unit x [ d ]
                       | _ :: _ :: _ -> ()
                     end
                 | Atom a -> (
                     match SMap.find_opt a ctx.unfold with
-                    | Some cs -> add c_rule_unfold x cs
+                    | Some cs -> add r_unfold x cs
                     | None -> ())
                 | Forall (s, body) ->
                     List.iter
-                      (fun y -> add c_rule_forall y [ body ])
+                      (fun y -> add r_forall y [ body ])
                       (r_neighbours ctx !st x s);
                     (* ∀₊: propagate through transitive subroles *)
                     List.iter
                       (fun r ->
                         List.iter
-                          (fun y -> add c_rule_forall_trans y [ Concept.Forall (r, body) ])
+                          (fun y -> add r_forall_trans y [ Concept.Forall (r, body) ])
                           (r_neighbours ctx !st x r))
                       (Hierarchy.transitive_subs_below ctx.h s)
                 | One_of [ o ] -> (
                     match SMap.find_opt o !st.names with
                     | Some y when y = x -> ()
                     | Some y -> (
-                        Obs.incr c_rule_oneof;
+                        fired_rule ctx r_one_of x;
                         fired := ISet.add x (ISet.add y !fired);
                         match merge ctx !st ~src:x ~dst:y with
                         | Some st' -> st := st'
                         | None ->
-                            Obs.incr c_clash_merge;
+                            clash_hit ctx x_merge x;
                             raise Clashed)
                     | None ->
                         (* x becomes the named node for o; promote to root
@@ -572,7 +627,7 @@ let saturate ctx st =
                         in
                         st := st';
                         if not (are_distinct !st x y) then begin
-                          Obs.incr c_rule_not_oneof;
+                          fired_rule ctx r_not_one_of x;
                           fired := ISet.add x (ISet.add y !fired);
                           st := add_distinct !st x y
                         end)
@@ -768,7 +823,11 @@ let blocked_checker ctx st =
           | None -> false
           | Some px -> is_blocked px || directly_blocked x
         in
-        if b then Obs.incr c_blocks;
+        if b then begin
+          Obs.incr c_blocks;
+          ctx.stats.blocking_events <- ctx.stats.blocking_events + 1;
+          if !Flight.on then Flight.record "block" x (-1) ""
+        end;
         Hashtbl.add memo x b;
         b
   in
@@ -806,7 +865,7 @@ let find_generating ctx st =
                          result :=
                            Some
                              (fun st ->
-                               Obs.incr c_rule_exists;
+                               fired_rule ctx r_exists x;
                                let y, st =
                                  new_node ctx st ~parent:(Some x)
                                    ~labels:[ body ]
@@ -821,7 +880,7 @@ let find_generating ctx st =
                          result :=
                            Some
                              (fun st ->
-                               Obs.incr c_rule_at_least;
+                               fired_rule ctx r_at_least x;
                                (* create k fresh pairwise-distinct
                                   successors *)
                                let rec go st created i =
@@ -883,10 +942,13 @@ let rec expand ctx st =
           touched
       then None
       else begin
-        if ctx.stats.branches_explored > ctx.max_branches then
-          raise
-            (Resource_limit
-               (Printf.sprintf "branch limit %d exceeded" ctx.max_branches));
+        if ctx.stats.branches_explored > ctx.max_branches then begin
+          let msg =
+            Printf.sprintf "branch limit %d exceeded" ctx.max_branches
+          in
+          if !Flight.on then Flight.trip msg;
+          raise (Resource_limit msg)
+        end;
         let choice, st = find_choice ctx st in
         match choice with
         | Some (Disjunction (x, ds)) ->
@@ -898,10 +960,12 @@ let rec expand ctx st =
                   ctx.stats.branches_explored <-
                     ctx.stats.branches_explored + 1;
                   Obs.incr c_branches;
+                  if !Flight.on then
+                    Flight.record "branch" x (List.length rest) "or";
                   match expand ctx (add_labels st x (d :: negs)) with
                   | Some _ as r -> r
                   | None ->
-                      Obs.incr c_backtracks;
+                      backtracked ctx x;
                       try_branches (Concept.nnf (Concept.Not d) :: negs) rest)
             in
             try_branches [] ds
@@ -910,6 +974,7 @@ let rec expand ctx st =
               (fun (src, dst) ->
                 ctx.stats.branches_explored <- ctx.stats.branches_explored + 1;
                 Obs.incr c_branches;
+                if !Flight.on then Flight.record "branch" src dst "merge";
                 prov_record_node ctx st src;
                 prov_record_node ctx st dst;
                 match merge ctx st ~src ~dst with
@@ -917,11 +982,11 @@ let rec expand ctx st =
                     match expand ctx st' with
                     | Some _ as r -> r
                     | None ->
-                        Obs.incr c_backtracks;
+                        backtracked ctx src;
                         None)
                 | None ->
-                    Obs.incr c_clash_merge;
-                    Obs.incr c_backtracks;
+                    clash_hit ctx x_merge src;
+                    backtracked ctx src;
                     None)
               pairs
         | Some (Nominal_choice (x, os)) ->
@@ -929,10 +994,11 @@ let rec expand ctx st =
               (fun o ->
                 ctx.stats.branches_explored <- ctx.stats.branches_explored + 1;
                 Obs.incr c_branches;
+                if !Flight.on then Flight.record "branch" x (-1) "nominal";
                 match expand ctx (add_labels st x [ Concept.One_of [ o ] ]) with
                 | Some _ as r -> r
                 | None ->
-                    Obs.incr c_backtracks;
+                    backtracked ctx x;
                     None)
               os
         | None -> (
@@ -941,7 +1007,7 @@ let rec expand ctx st =
             | None, st ->
                 if data_ok ctx st then Some st
                 else begin
-                  Obs.incr c_clash_data;
+                  clash_hit ctx x_data (-1);
                   None
                 end)
       end
@@ -1034,7 +1100,7 @@ let initial_state ctx (kb : Axiom.kb) =
             (match merge ctx st ~src:y ~dst:x with
             | Some st -> st
             | None ->
-                Obs.incr c_clash_merge;
+                clash_hit ctx x_merge x;
                 (match ctx.prov with
                 | Some p ->
                     prov_add_ind p a;
@@ -1201,7 +1267,9 @@ let absorbable_lhs (ax : Axiom.tbox_axiom) =
 let completed_state_prep ?(max_nodes = 20_000) ?(max_branches = max_int)
     ?(stats = fresh_stats ()) ?prov prep extra =
   Obs.incr c_runs;
+  stats.runs <- stats.runs + 1;
   let sp = Obs.enter ~cat:"tableau" "tableau.run" in
+  if !Flight.on then Flight.record "run.start" (-1) (-1) "";
   let b0 = stats.branches_explored
   and n0 = stats.nodes_created
   and m0 = stats.merges in
@@ -1214,6 +1282,9 @@ let completed_state_prep ?(max_nodes = 20_000) ?(max_branches = max_int)
         (match outcome with Some _ -> "true" | None -> "false");
       Obs.incr (match outcome with Some _ -> c_sat | None -> c_unsat)
     end;
+    if !Flight.on then
+      Flight.record "run.end" (-1) (-1)
+        (match outcome with Some _ -> "sat" | None -> "unsat");
     Obs.exit_timed sp h_run
   in
   match

@@ -30,11 +30,25 @@
 
 exception Resource_limit of string
 
+val rule_names : string array
+(** The expansion-rule kinds, in the index order used by
+    [stats.rule_firings], the ["tableau.rule.<name>"] registry counters
+    and the flight recorder's ["rule.<name>"] event kinds. *)
+
 type stats = {
+  mutable runs : int;  (** tableau runs started *)
   mutable branches_explored : int;
   mutable nodes_created : int;
   mutable merges : int;
+  mutable clashes : int;  (** all causes, including merge/data clashes *)
+  mutable backtracks : int;
+  mutable blocking_events : int;
+  rule_firings : int array;  (** indexed like {!rule_names} *)
 }
+(** Per-run work accounting.  Unlike the registry counters (gated on
+    [Obs.on]), these cells are bumped unconditionally: the oracle's
+    per-verdict cost records diff them around each run, with no sink
+    armed. *)
 
 type prov
 (** Per-run provenance accumulator — the dependency set of a verdict, fed
@@ -142,3 +156,7 @@ val kb_model :
     @raise Resource_limit as {!kb_satisfiable}. *)
 
 val fresh_stats : unit -> stats
+
+val copy_stats : stats -> stats
+(** A snapshot (deep copy, including the firing array) — the "before"
+    half of a per-run diff. *)
