@@ -820,6 +820,147 @@ let report_incremental () =
     ~detail
 
 (* ------------------------------------------------------------------ *)
+(* S9: persistent snapshots and the warm server vs cold per-query
+   sessions.  Three ways to answer the same atomic query grid:
+
+   - cold: a fresh Session per query — what every separate `dl4 query`
+     CLI invocation pays (minus process start-up, which only widens the
+     gap in the daemon's favour);
+   - snapshot: serialize a warm session through the dl4-snap codec,
+     decode + restore, re-answer the grid — must pay ZERO tableau calls
+     because every atomic verdict travels in the snapshot;
+   - serve: NDJSON round trips through [Serve.handle] on a warm daemon
+     state — the in-process core of a `dl4 serve` socket round trip.
+
+   All three must produce identical truth values; the serve round trip
+   must beat the cold path by >= 10x (gated in GATES.json). *)
+
+let report_serve () =
+  section "S9: snapshot restore + warm serve vs cold sessions -> BENCH_serve.json";
+  let kb =
+    Gen.kb4
+      { Gen.default with
+        seed = 41;
+        n_concepts = 10;
+        n_individuals = 8;
+        n_tbox = 14;
+        n_abox = 18;
+        max_depth = 1;
+        inconsistency_rate = 0.1 }
+  in
+  let signature = Kb4.signature kb in
+  let queries =
+    List.concat_map
+      (fun a -> List.map (fun c -> (a, c)) signature.Axiom.concepts)
+      signature.Axiom.individuals
+  in
+  let n = List.length queries in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  (* the warming [dl4 snapshot] performs: consistency, the full atomic
+     grid (both polarities), classification *)
+  let warm_session () =
+    let s = Session.create kb in
+    let p = Para.of_session s in
+    ignore (Para.satisfiable p : bool);
+    ignore (Para.contradictions p : (string * string) list);
+    ignore (Engine.classification (Session.engine s) : Classify.t);
+    s
+  in
+  let cold_answers, cold_total =
+    wall (fun () ->
+        List.map
+          (fun (a, c) ->
+            let p = Para.of_session (Session.create kb) in
+            Truth.to_string (Para.instance_truth p a (Concept.Atom c)))
+          queries)
+  in
+  (* snapshot round trip through the real codec, then the grid again *)
+  let warm = warm_session () in
+  let bytes_, snap_dt = wall (fun () -> Store.to_string (Store.capture warm)) in
+  let restored, restore_dt =
+    wall (fun () ->
+        match Store.of_string bytes_ with
+        | Error e -> failwith ("S9: decode: " ^ Store.error_to_string e)
+        | Ok snap -> (
+            match Store.restore ~kb snap with
+            | Ok s -> s
+            | Error e -> failwith ("S9: restore: " ^ Store.error_to_string e)))
+  in
+  let snap_answers, snap_total =
+    wall (fun () ->
+        let p = Para.of_session restored in
+        List.map
+          (fun (a, c) ->
+            Truth.to_string (Para.instance_truth p a (Concept.Atom c)))
+          queries)
+  in
+  let snap_calls =
+    (Engine.stats (Session.engine restored)).Engine.tableau_calls
+  in
+  (* warm serve: protocol round trips against the daemon's handler *)
+  let srv = Serve.create (warm_session ()) in
+  let serve_answers, serve_total =
+    wall (fun () ->
+        List.map
+          (fun (a, c) ->
+            let req =
+              Printf.sprintf
+                {|{"op":"query","individual":"%s","concept":"%s"}|} a c
+            in
+            let resp = Serve.handle srv req in
+            match Json_lite.parse resp with
+            | Error e -> failwith ("S9: serve response unparsable: " ^ e)
+            | Ok j -> (
+                match
+                  Option.bind (Json_lite.member "truth" j) Json_lite.to_str
+                with
+                | Some t -> t
+                | None -> failwith ("S9: serve response lacks truth: " ^ resp)))
+          queries)
+  in
+  let identical = cold_answers = snap_answers && cold_answers = serve_answers in
+  if not identical then failwith "S9: answers differ across cold/snapshot/serve";
+  if snap_calls <> 0 then
+    failwith
+      (Printf.sprintf "S9: snapshot-restored grid paid %d tableau calls"
+         snap_calls);
+  let per_q total = total /. float_of_int n *. 1000. in
+  let cold_ms = per_q cold_total in
+  let warm_roundtrip_ms = per_q serve_total in
+  let warm_speedup = cold_ms /. Float.max warm_roundtrip_ms 1e-9 in
+  Printf.printf "  %d queries (full atomic grid), snapshot %d bytes\n" n
+    (String.length bytes_);
+  Printf.printf "  cold session per query:   %8.4f ms\n" cold_ms;
+  Printf.printf "  snapshot encode/decode+restore: %.4fs / %.4fs;  grid \
+                 %8.4f ms/q, %d tableau calls\n"
+    snap_dt restore_dt (per_q snap_total) snap_calls;
+  Printf.printf "  warm serve round trip:    %8.4f ms  (speedup %.0fx)\n"
+    warm_roundtrip_ms warm_speedup;
+  Printf.printf "  answers identical across the three paths: %b\n" identical;
+  write_bench "BENCH_serve.json" ~experiment:"S9_snapshot_serve"
+    ~metrics:
+      [ ("queries", string_of_int n);
+        ("cold_ms", Printf.sprintf "%.4f" cold_ms);
+        ("warm_roundtrip_ms", Printf.sprintf "%.4f" warm_roundtrip_ms);
+        ("warm_speedup", Printf.sprintf "%.1f" warm_speedup);
+        ("warm_snapshot_tableau_calls", string_of_int snap_calls);
+        ("snapshot_bytes", string_of_int (String.length bytes_));
+        ("answers_identical", if identical then "1" else "0") ]
+    ~detail:
+      (Printf.sprintf
+         "{\"kb\": {\"seed\": 41, \"concepts\": 10, \"individuals\": 8, \
+          \"tbox\": 14, \"abox\": 18},\n\
+         \  \"workload\": \"full atomic instance-truth grid\",\n\
+         \  \"snapshot_encode_seconds\": %.6f,\n\
+         \  \"snapshot_restore_seconds\": %.6f,\n\
+         \  \"snapshot_grid_ms_per_query\": %.4f}"
+         snap_dt restore_dt (per_q snap_total))
+
+(* ------------------------------------------------------------------ *)
 (* Timing benches *)
 
 let paper_benches () =
@@ -1014,6 +1155,7 @@ let () =
   report_engine_parallel ();
   report_obs_overhead ();
   report_incremental ();
+  report_serve ();
   section "timing series (S1-S4)";
   run_group ~name:"paper" (paper_benches ());
   run_group ~name:"scale_transform" (transform_benches ());

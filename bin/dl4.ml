@@ -154,13 +154,24 @@ let flight_arg =
            $(docv) at the end of the run (and immediately on a \
            max-nodes/max-branches trip).")
 
+let flight_depth_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "flight-depth" ] ~docv:"N"
+        ~doc:
+          "Flight-recorder ring depth per domain (default 1024; the \
+           DL4_FLIGHT_DEPTH environment variable sets the same knob).  \
+           Rings keep the depth they were created with, so this takes \
+           effect before any recording starts.")
+
 let obs_term =
-  let pack stats metrics trace slow_log slow_ms flight =
-    (stats, metrics, trace, slow_log, slow_ms, flight)
+  let pack stats metrics trace slow_log slow_ms flight flight_depth =
+    (stats, metrics, trace, slow_log, slow_ms, flight, flight_depth)
   in
   Term.(
     const pack $ stats_flag $ metrics_json_arg $ trace_arg $ slow_log_arg
-    $ slow_ms_arg $ flight_arg)
+    $ slow_ms_arg $ flight_arg $ flight_depth_arg)
 
 (* Run a subcommand under a root span with the observability sinks the
    user asked for.  Arming happens before any KB is loaded, so the root
@@ -168,9 +179,11 @@ let obs_term =
    wall time of the invocation.  Sinks flush on every path, including a
    tableau resource-limit trip (exit 3): a truncated run is exactly the
    one whose footer, metrics and flight dump are worth reading. *)
-let with_obs ~cmd (stats, metrics, trace, slow_log, slow_ms, flight) run =
+let with_obs ~cmd (stats, metrics, trace, slow_log, slow_ms, flight, flight_depth)
+    run =
   if stats || metrics <> None || trace <> None then Obs.set_enabled true;
   Option.iter (fun p -> Obs.arm_slow_log ~threshold_ms:slow_ms p) slow_log;
+  Option.iter Flight.set_capacity flight_depth;
   Option.iter (fun p -> Flight.arm ~path:p ()) flight;
   let finish code =
     if stats then Obs.print_footer ();
@@ -198,15 +211,59 @@ let with_obs ~cmd (stats, metrics, trace, slow_log, slow_ms, flight) run =
       Obs.exit_span sp;
       raise e
 
-let make_engine ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache kb =
-  Engine.create ~jobs
-    ~cache_capacity:(if no_cache then 0 else cache_size)
-    ~max_nodes ~max_branches kb
+(* ------------------------------------------------------------------ *)
+(* Snapshot plumbing: every reasoning subcommand can warm-start from a
+   dl4-snap file.  Loading is strictly best-effort — any validation
+   failure (corruption, version skew, different KB) warns and falls
+   back to a cold build, because a wrong warm cache would mean wrong
+   answers while a cold build only means wasted time. *)
+
+let from_snapshot_arg =
+  Arg.(
+    value
+    & opt (some non_dir_file) None
+    & info [ "from-snapshot" ] ~docv:"SNAP"
+        ~doc:
+          "Warm-start from a snapshot written by 'dl4 snapshot' (or the \
+           serve daemon's autosave).  The snapshot must have been taken \
+           over exactly this KB; on mismatch, corruption, truncation or \
+           version skew dl4 warns and builds cold.  Cached verdicts, the \
+           classification index and the cost history carry over, so \
+           repeated queries pay zero tableau calls.  --cache-size, \
+           --max-nodes and --max-branches are taken from the snapshot \
+           (--jobs still applies).")
+
+let make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache =
+  { Session.jobs;
+    max_nodes;
+    max_branches;
+    cache_capacity = (if no_cache then 0 else cache_size) }
+
+let session_of ~config ~from_snapshot kb =
+  match from_snapshot with
+  | None -> Session.create ~config kb
+  | Some path -> (
+      match Store.load_session ~jobs:config.Session.jobs ~kb path with
+      | Ok s -> s
+      | Error e ->
+          Format.eprintf "warning: ignoring snapshot %s (%s); building cold@."
+            path (Store.error_to_string e);
+          Session.create ~config kb)
+
+(* Warm the session the way the snapshot/serve paths want it: the
+   consistency bit, the full individuals-by-atoms truth grid (covers
+   every atomic instance query in both polarities) and the
+   classification index. *)
+let warm_session s =
+  let p = Para.of_session s in
+  ignore (Para.satisfiable p : bool);
+  ignore (Para.contradictions p : (string * string) list);
+  ignore (Engine.classification (Session.engine s) : Classify.t)
 
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run file classical owl max_nodes max_branches jobs obs =
+  let run file classical owl max_nodes max_branches jobs from_snapshot obs =
     with_obs ~cmd:"check" obs (fun () ->
         if classical || owl then begin
           let kb = if owl then load_owl file else load_kb file in
@@ -225,7 +282,11 @@ let check_cmd =
         end
         else begin
           let kb = load_kb4 file in
-          let t = Para.create ~jobs ~max_nodes ~max_branches kb in
+          let config =
+            make_config ~jobs ~max_nodes ~max_branches
+              ~cache_size:Engine.default_cache_capacity ~no_cache:false
+          in
+          let t = Para.of_session (session_of ~config ~from_snapshot kb) in
           if not (Para.satisfiable t) then begin
             Format.printf "four-valued UNSATISFIABLE@.";
             1
@@ -248,7 +309,7 @@ let check_cmd =
           localized contradictions.")
     Term.(
       const run $ file_arg $ classical_flag $ owl_flag $ max_nodes_arg
-      $ max_branches_arg $ jobs_arg $ obs_term)
+      $ max_branches_arg $ jobs_arg $ from_snapshot_arg $ obs_term)
 
 let query_cmd =
   let individual =
@@ -264,11 +325,15 @@ let query_cmd =
       & info [ "c"; "concept" ] ~docv:"CONCEPT"
           ~doc:"Concept expression in surface syntax.")
   in
-  let run file ind csrc max_nodes max_branches jobs obs =
+  let run file ind csrc max_nodes max_branches jobs from_snapshot obs =
     with_obs ~cmd:"query" obs (fun () ->
         let kb = load_kb4 file in
         let c = load_concept csrc in
-        let t = Para.create ~jobs ~max_nodes ~max_branches kb in
+        let config =
+          make_config ~jobs ~max_nodes ~max_branches
+            ~cache_size:Engine.default_cache_capacity ~no_cache:false
+        in
+        let t = Para.of_session (session_of ~config ~from_snapshot kb) in
         let v = Para.instance_truth t ind c in
         Format.printf "%s : %s  =  %a@." ind (Concept.to_string c) Truth.pp v;
         (match v with
@@ -286,15 +351,17 @@ let query_cmd =
           C(a).")
     Term.(
       const run $ file_arg $ individual $ concept_src $ max_nodes_arg
-      $ max_branches_arg $ jobs_arg $ obs_term)
+      $ max_branches_arg $ jobs_arg $ from_snapshot_arg $ obs_term)
 
 let classify_cmd =
-  let run file max_nodes max_branches cache_size no_cache jobs obs =
+  let run file max_nodes max_branches cache_size no_cache jobs from_snapshot obs
+      =
     with_obs ~cmd:"classify" obs (fun () ->
         let kb = load_kb4 file in
-        let e =
-          make_engine ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache kb
+        let config =
+          make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache
         in
+        let e = Session.engine (session_of ~config ~from_snapshot kb) in
         List.iter
           (fun (cls, direct) ->
             let lhs = String.concat " = " cls in
@@ -313,7 +380,7 @@ let classify_cmd =
           saved over the naive all-pairs loop.")
     Term.(
       const run $ file_arg $ max_nodes_arg $ max_branches_arg $ cache_size_arg
-      $ no_cache_flag $ jobs_arg $ obs_term)
+      $ no_cache_flag $ jobs_arg $ from_snapshot_arg $ obs_term)
 
 let realize_cmd =
   let all =
@@ -324,12 +391,14 @@ let realize_cmd =
             "Also print the full Belnap truth value grid (default: only the \
              most-specific types and the contradictions).")
   in
-  let run file all max_nodes max_branches cache_size no_cache jobs obs =
+  let run file all max_nodes max_branches cache_size no_cache jobs from_snapshot
+      obs =
     with_obs ~cmd:"realize" obs (fun () ->
         let kb = load_kb4 file in
-        let e =
-          make_engine ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache kb
+        let config =
+          make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache
         in
+        let e = Session.engine (session_of ~config ~from_snapshot kb) in
         List.iter
           (fun (entry : Realize.entry) ->
             let tops =
@@ -361,7 +430,8 @@ let realize_cmd =
           pruned through the classified hierarchy.")
     Term.(
       const run $ file_arg $ all $ max_nodes_arg $ max_branches_arg
-      $ cache_size_arg $ no_cache_flag $ jobs_arg $ obs_term)
+      $ cache_size_arg $ no_cache_flag $ jobs_arg $ from_snapshot_arg
+      $ obs_term)
 
 let update_cmd =
   let delta_args =
@@ -386,7 +456,8 @@ let update_cmd =
         Format.eprintf "%s: %s@." path e;
         None
   in
-  let run file deltas max_nodes max_branches cache_size no_cache jobs obs =
+  let run file deltas max_nodes max_branches cache_size no_cache jobs
+      from_snapshot obs =
     with_obs ~cmd:"update" obs (fun () ->
         let kb = load_kb4 file in
         if deltas = [] then begin
@@ -398,12 +469,9 @@ let update_cmd =
           if List.exists Option.is_none scripts then 2
           else begin
             let config =
-              { Session.jobs;
-                max_nodes;
-                max_branches;
-                cache_capacity = (if no_cache then 0 else cache_size) }
+              make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache
             in
-            let s = Session.create ~config kb in
+            let s = session_of ~config ~from_snapshot kb in
             let p = Para.of_session s in
             (* warm the stack before replaying so the per-delta stats show
                what selective invalidation retains *)
@@ -436,7 +504,8 @@ let update_cmd =
           selectively evicted (see the per-delta stats lines).")
     Term.(
       const run $ file_arg $ delta_args $ max_nodes_arg $ max_branches_arg
-      $ cache_size_arg $ no_cache_flag $ jobs_arg $ obs_term)
+      $ cache_size_arg $ no_cache_flag $ jobs_arg $ from_snapshot_arg
+      $ obs_term)
 
 let transform_cmd =
   let run file =
@@ -495,11 +564,15 @@ let retrieve_cmd =
           ~doc:"Also print individuals with value f or BOT (default: only \
                 designated answers).")
   in
-  let run file csrc all max_nodes max_branches jobs obs =
+  let run file csrc all max_nodes max_branches jobs from_snapshot obs =
     with_obs ~cmd:"retrieve" obs (fun () ->
         let kb = load_kb4 file in
         let c = load_concept csrc in
-        let t = Para.create ~jobs ~max_nodes ~max_branches kb in
+        let config =
+          make_config ~jobs ~max_nodes ~max_branches
+            ~cache_size:Engine.default_cache_capacity ~no_cache:false
+        in
+        let t = Para.of_session (session_of ~config ~from_snapshot kb) in
         List.iter
           (fun (a, v) ->
             if all || Truth.designated v then
@@ -513,7 +586,7 @@ let retrieve_cmd =
              every named individual.")
     Term.(
       const run $ file_arg $ concept_src $ all $ max_nodes_arg
-      $ max_branches_arg $ jobs_arg $ obs_term)
+      $ max_branches_arg $ jobs_arg $ from_snapshot_arg $ obs_term)
 
 let explain_cmd =
   let individual =
@@ -942,6 +1015,160 @@ let profile_cmd =
           --slow-log file and the event mix of a --flight recording.")
     Term.(const run $ metrics $ trace $ slow $ flight $ top)
 
+(* ------------------------------------------------------------------ *)
+(* dl4 snapshot / serve / client — the persistent-store subsystem. *)
+
+let snapshot_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"SNAP"
+          ~doc:"Snapshot file to write (conventionally *.snap).")
+  in
+  let cold =
+    Arg.(
+      value & flag
+      & info [ "cold" ]
+          ~doc:
+            "Skip warming: snapshot only the transformed KB and whatever \
+             state exists (useful to freeze a session's exact state).  By \
+             default the session is warmed first — consistency, the full \
+             atomic truth grid and the classification index — so restored \
+             sessions answer atomic queries with zero tableau calls.")
+  in
+  let run file out cold max_nodes max_branches cache_size no_cache jobs
+      from_snapshot obs =
+    with_obs ~cmd:"snapshot" obs (fun () ->
+        let kb = load_kb4 file in
+        let config =
+          make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache
+        in
+        let s = session_of ~config ~from_snapshot kb in
+        if not cold then warm_session s;
+        let snap = Store.capture s in
+        match Store.save snap out with
+        | Error e ->
+            Format.eprintf "snapshot: %s@." (Store.error_to_string e);
+            2
+        | Ok () ->
+            Format.printf "wrote %s@.%a@." out Store.pp_summary snap;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Build (and by default warm) a session over the KB and freeze it \
+          to a versioned snapshot file.  Any subcommand can then \
+          warm-start from it with --from-snapshot; 'dl4 serve' can load \
+          and autosave it.")
+    Term.(
+      const run $ file_arg $ out $ cold $ max_nodes_arg $ max_branches_arg
+      $ cache_size_arg $ no_cache_flag $ jobs_arg $ from_snapshot_arg
+      $ obs_term)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path to listen on (created, and removed \
+                on shutdown).")
+  in
+  let snapshot_to =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-to" ] ~docv:"SNAP"
+          ~doc:
+            "Autosave target: the daemon snapshots its warm state here \
+             when idle (see --idle-save), on the 'snapshot' request and at \
+             shutdown.  Defaults to the --from-snapshot path when that is \
+             given.")
+  in
+  let idle_save =
+    Arg.(
+      value & opt float 30.0
+      & info [ "idle-save" ] ~docv:"SEC"
+          ~doc:
+            "Seconds of idle traffic after which a dirty session (new \
+             verdicts or applied deltas since the last save) is \
+             autosaved.  0 disables the idle tick.")
+  in
+  let cold =
+    Arg.(
+      value & flag
+      & info [ "cold" ]
+          ~doc:"Do not pre-warm the session before serving (default: warm \
+                consistency, the atomic truth grid and classification).")
+  in
+  let run file socket snapshot_to idle_save cold max_nodes max_branches
+      cache_size no_cache jobs from_snapshot obs =
+    with_obs ~cmd:"serve" obs (fun () ->
+        let kb = load_kb4 file in
+        let config =
+          make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache
+        in
+        let s = session_of ~config ~from_snapshot kb in
+        if not cold then warm_session s;
+        let snapshot_path =
+          match snapshot_to with Some _ -> snapshot_to | None -> from_snapshot
+        in
+        let t = Serve.create ?snapshot_path s in
+        Format.printf "dl4 serve: listening on %s (NDJSON; ops: check query \
+                       retrieve classify update stats snapshot shutdown)@."
+          socket;
+        Serve.run ~idle_save ~socket_path:socket t;
+        Format.printf "dl4 serve: shut down@.";
+        0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running daemon: hold one warm session over the KB and \
+          answer newline-delimited JSON requests on a Unix-domain socket.  \
+          Every response carries the request's marginal cost (tableau \
+          calls, cache hits, wall time) so clients can verify they are \
+          being served warm.  Query it with 'dl4 client' or nc.")
+    Term.(
+      const run $ file_arg $ socket $ snapshot_to $ idle_save $ cold
+      $ max_nodes_arg $ max_branches_arg $ cache_size_arg $ no_cache_flag
+      $ jobs_arg $ from_snapshot_arg $ obs_term)
+
+let client_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Socket of a running dl4 serve.")
+  in
+  let request =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST"
+          ~doc:"One JSON request object, e.g. \
+                '{\"op\":\"query\",\"individual\":\"tweety\",\
+                \"concept\":\"Fly\"}'.")
+  in
+  let run socket request =
+    match Serve.request ~socket_path:socket request with
+    | response ->
+        print_endline response;
+        0
+    | exception Unix.Unix_error (err, _, _) ->
+        Format.eprintf "client: %s: %s@." socket (Unix.error_message err);
+        2
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request line to a running 'dl4 serve' daemon and print \
+          the response line (a netcat-free way to drive the protocol, \
+          used by the CI smoke test).")
+    Term.(const run $ socket $ request)
+
 let main =
   Cmd.group
     (Cmd.info "dl4" ~version:"1.0.0"
@@ -960,6 +1187,9 @@ let main =
       repair_cmd;
       stats_cmd;
       convert_cmd;
-      profile_cmd ]
+      profile_cmd;
+      snapshot_cmd;
+      serve_cmd;
+      client_cmd ]
 
 let () = exit (Cmd.eval' main)

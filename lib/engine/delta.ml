@@ -80,55 +80,53 @@ let atoms d =
    it is deliberately not expressible).  A replay script is a sequence of
    such deltas separated by lines starting with "---". *)
 
+(* Each line is parsed individually (the grammar promises one statement
+   per line), so a failure can report the offending line verbatim next
+   to its file-absolute number — batch-parsing the concatenated
+   payloads, as an earlier version did, loses both. *)
+exception Parse_fail of string
+
 let parse ?(first_line = 1) text =
   let lines = String.split_on_char '\n' text in
-  let adds = Buffer.create 128 and dels = Buffer.create 128 in
-  let err = ref None in
-  List.iteri
-    (fun i line ->
-      if !err = None then
-        let line = String.trim line in
+  let fail lineno line fmt =
+    Format.kasprintf
+      (fun msg -> raise (Parse_fail (Format.sprintf "line %d: %S: %s" lineno line msg)))
+      fmt
+  in
+  try
+    let added = ref [] and retracted = ref [] in
+    List.iteri
+      (fun i raw ->
+        let line = String.trim raw in
+        let lineno = i + first_line in
         if line = "" || line.[0] = '#' then ()
         else
-          let payload () = String.trim (String.sub line 1 (String.length line - 1)) in
+          let payload =
+            String.trim (String.sub line 1 (String.length line - 1))
+          in
           match line.[0] with
-          | '+' ->
-              Buffer.add_string adds (payload ());
-              Buffer.add_char adds '\n'
-          | '-' ->
-              Buffer.add_string dels (payload ());
-              Buffer.add_char dels '\n'
+          | ('+' | '-') as sign -> (
+              match Surface.parse_kb4 payload with
+              | Error e ->
+                  fail lineno line "%s (at offset %d of the statement)"
+                    e.Surface.message e.Surface.offset
+              | Ok kb ->
+                  if sign = '+' then added := kb :: !added
+                  else if kb.Kb4.tbox <> [] then
+                    fail lineno line
+                      "retracting TBox axioms is not supported (TBox deltas \
+                       are monotone additions)"
+                  else retracted := kb :: !retracted)
           | _ ->
-              err :=
-                Some
-                  (Format.asprintf
-                     "line %d: expected '+ <statement>.' or '- <statement>.'"
-                     (i + first_line)))
-    lines;
-  match !err with
-  | Some e -> Error e
-  | None -> (
-      let sub_parse label text =
-        match Surface.parse_kb4 text with
-        | Ok kb -> Ok kb
-        | Error e ->
-            Error (Format.asprintf "%s statements: %a" label Surface.pp_error e)
-      in
-      match sub_parse "added" (Buffer.contents adds) with
-      | Error e -> Error e
-      | Ok added -> (
-          match sub_parse "retracted" (Buffer.contents dels) with
-          | Error e -> Error e
-          | Ok retracted ->
-              if retracted.Kb4.tbox <> [] then
-                Error
-                  "retracting TBox axioms is not supported (TBox deltas are \
-                   monotone additions)"
-              else
-                Ok
-                  { add_abox = added.Kb4.abox;
-                    retract_abox = retracted.Kb4.abox;
-                    add_tbox = added.Kb4.tbox }))
+              fail lineno line
+                "expected '+ <statement>.' or '- <statement>.'")
+      lines;
+    let adds = List.rev !added and dels = List.rev !retracted in
+    Ok
+      { add_abox = List.concat_map (fun (kb : Kb4.t) -> kb.Kb4.abox) adds;
+        retract_abox = List.concat_map (fun (kb : Kb4.t) -> kb.Kb4.abox) dels;
+        add_tbox = List.concat_map (fun (kb : Kb4.t) -> kb.Kb4.tbox) adds }
+  with Parse_fail e -> Error e
 
 let parse_script text =
   (* each chunk carries the 1-based file line its first line sits on, so

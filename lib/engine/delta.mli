@@ -51,14 +51,16 @@ val atoms : t -> string list
     such deltas separated by lines starting with [---]. *)
 
 val parse : ?first_line:int -> string -> (t, string) result
-(** One delta.  [first_line] (default [1]) offsets reported line numbers —
-    {!parse_script} uses it so errors point into the script file rather
-    than into the chunk. *)
+(** One delta.  Lines are parsed individually, so an error pinpoints the
+    offending line: [line M: "the line's text": reason].  [first_line]
+    (default [1]) offsets reported line numbers — {!parse_script} uses it
+    so errors point into the script file rather than into the chunk. *)
 
 val parse_script : string -> (t list, string) result
 (** A [---]-separated sequence of deltas, empty chunks skipped.  Parse
-    errors are reported as [delta N: line M: ...] with [M] counted from the
-    start of the script, not of the chunk. *)
+    errors are reported as [delta N: line M: "text": ...] with [M]
+    counted from the start of the script, not of the chunk, and the
+    offending line quoted verbatim. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints in the [+]/[-] surface syntax above. *)

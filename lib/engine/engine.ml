@@ -112,6 +112,13 @@ let classification t =
 let classify t = (classification t).Classify.supers
 let taxonomy t = Classify.taxonomy (classify t)
 
+(* Snapshot export/import: the classification index is a pure function
+   of the TBox and the concept signature, so a saved index is valid for
+   any engine over an identical KB — the store layer validates KB
+   equality before restoring. *)
+let classification_if_built t = t.classification
+let restore_classification t c = t.classification <- Some c
+
 let realization t =
   match t.realization with
   | Some r -> r

@@ -81,6 +81,20 @@ val realization : t -> Realize.t
 (** Built on first use on top of {!classification}, individuals sharded
     across the pool; cached. *)
 
+(** {1 Snapshot export / import}
+
+    The classification index is a pure function of the TBox and concept
+    signature, so it transfers between engines over identical KBs.
+    {!Dl_store} validates KB equality before calling
+    {!restore_classification}; calling it with an index built over a
+    different KB silently serves wrong taxonomies — never do that. *)
+
+val classification_if_built : t -> Classify.t option
+(** The index if it has been built (by {!classification} or a restore);
+    [None] otherwise.  Never triggers a build. *)
+
+val restore_classification : t -> Classify.t -> unit
+
 (** {1 Incremental update} *)
 
 val apply : t -> Delta.t -> Oracle.apply_stats

@@ -666,6 +666,87 @@ let cost_totals t =
         (Array.mapi (fun i n -> (Tableau.rule_names.(i), n)) a.a_rules)
       |> List.filter (fun (_, n) -> n > 0) }
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot export / import (PR 6).  The persistence layer must not see
+   the cache's internal key type, so the export vocabulary is the public
+   [query] (keys canonicalize idempotently: [key_of (query_of_key k) = k],
+   because [Concept.canon] is a retraction), paired with the verdict and
+   the satellite prov/cost records whose lifetime is tied to residency. *)
+
+type export_entry = {
+  x_query : query;
+  x_verdict : bool;
+  x_prov : prov_entry option;
+  x_cost : cost option;
+}
+
+let query_of_key = function
+  | Key.K_consistent -> Consistent
+  | Key.K_sat k -> Concept_sat (Qkey.concept k)
+  | Key.K_instance (a, k) -> Instance (a, Qkey.concept k)
+  | Key.K_not_instance (a, k) -> Not_instance (a, Qkey.concept k)
+  | Key.K_role_pos (a, r, b) -> Role_pos (a, r, b)
+  | Key.K_role_neg (a, r, b) -> Role_neg (a, r, b)
+
+let export_entries t =
+  List.map
+    (fun (k, v) ->
+      { x_query = query_of_key k;
+        x_verdict = v;
+        x_prov = KH.find_opt t.prov k;
+        x_cost = KH.find_opt t.costs k })
+    (Cache.entries t.cache)
+
+let import_entry t e =
+  let k = key_of e.x_query in
+  Cache.add t.cache k e.x_verdict;
+  (* [add] is a no-op at capacity 0, and an import overflowing the
+     capacity evicts older imports through the regular on_evict hook —
+     only record satellites for keys the cache actually retained *)
+  if Cache.mem t.cache k then begin
+    Option.iter (record_prov t k) e.x_prov;
+    Option.iter
+      (fun c -> if t.config.cache_capacity > 0 then KH.replace t.costs k c)
+      e.x_cost
+  end
+
+let import_entries t es =
+  List.iter (import_entry t) es;
+  Cache.length t.cache
+
+let rule_index =
+  let tbl = Hashtbl.create 32 in
+  Array.iteri (fun i n -> Hashtbl.replace tbl n i) Tableau.rule_names;
+  fun name -> Hashtbl.find_opt tbl name
+
+let import_totals t (s : cost_totals) =
+  let a = t.acc in
+  a.a_verdicts <- a.a_verdicts + s.verdicts;
+  a.a_served <- a.a_served + s.cache_served;
+  a.a_slow <- a.a_slow + s.slow;
+  a.a_wall <- a.a_wall +. s.wall_ns;
+  a.a_runs <- a.a_runs + s.runs;
+  a.a_nodes <- a.a_nodes + s.nodes;
+  a.a_merges <- a.a_merges + s.merges;
+  a.a_branches <- a.a_branches + s.branches;
+  a.a_backtracks <- a.a_backtracks + s.backtracks;
+  a.a_clashes <- a.a_clashes + s.clashes;
+  a.a_blocking <- a.a_blocking + s.blocking;
+  List.iter
+    (fun (name, n) ->
+      (* rule names unknown to this build (a snapshot from a different
+         rule set) are dropped — the per-rule split is diagnostic only *)
+      match rule_index name with
+      | Some i -> a.a_rules.(i) <- a.a_rules.(i) + n
+      | None -> ())
+    s.rule_firings
+
+let restore_cache_stats t (s : Verdict_cache.stats) =
+  Cache.restore_stats t.cache ~hits:s.Verdict_cache.hits
+    ~misses:s.Verdict_cache.misses ~evictions:s.Verdict_cache.evictions
+
+let cache_stats t = Cache.stats t.cache
+
 let pp_cost ppf (c : cost) =
   Format.fprintf ppf "%8.2f ms  %6d nodes  %5d branches  %4d clashes  %s"
     (c.c_wall_ns /. 1e6) c.c_nodes c.c_branches c.c_clashes c.c_query

@@ -205,6 +205,53 @@ val query_to_string : query -> string
 val pp_cost : Format.formatter -> cost -> unit
 val pp_cost_totals : Format.formatter -> cost_totals -> unit
 
+(** {1 Snapshot export / import}
+
+    The explicit state-transfer surface behind {!Dl_store}'s persistent
+    snapshots: the warm contents of the verdict cache (with the
+    provenance and cost records whose lifetime is tied to residency) and
+    the session-lifetime cost totals, expressed in the public {!query}
+    vocabulary so the cache's internal canonical key type never leaks.
+    Keys canonicalize idempotently, so re-importing an exported entry
+    reconstructs bit-identical cache keys. *)
+
+type export_entry = {
+  x_query : query;  (** the key, re-canonicalized on import *)
+  x_verdict : bool;
+  x_prov : prov_entry option;
+      (** absent only for verdicts recorded without provenance (e.g. the
+          consistency bit re-seeded across a flush) *)
+  x_cost : cost option;
+}
+
+val export_entries : t -> export_entry list
+(** Every cached verdict in recency order, {e least} recently used
+    first, so replaying the list through {!import_entries} reproduces
+    the same LRU structure. *)
+
+val import_entries : t -> export_entry list -> int
+(** Warm the cache with previously exported entries: each verdict is
+    inserted (subject to this oracle's capacity — overflow evicts the
+    oldest imports) and its provenance re-posted into the dependency
+    indexes, so selective invalidation by later deltas remains sound.
+    Imported verdicts do not count as tableau calls.  Returns the cache
+    size after the import.
+
+    Soundness is the {e caller}'s contract: entries must have been
+    exported from an oracle over an identical KB ({!Dl_store} validates
+    this before importing). *)
+
+val import_totals : t -> cost_totals -> unit
+(** Fold saved session totals into this oracle's accumulator, so a
+    re-warmed session continues the saved session's work history.  Rule
+    names unknown to this build are dropped. *)
+
+val cache_stats : t -> Verdict_cache.stats
+
+val restore_cache_stats : t -> Verdict_cache.stats -> unit
+(** Overwrite the cache's hit/miss/eviction counters with saved ones
+    (size/capacity fields are ignored). *)
+
 (** {1 Incremental update}
 
     {!apply} edits the KB in place and selectively invalidates cached

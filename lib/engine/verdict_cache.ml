@@ -128,6 +128,14 @@ module Make (K : Hashtbl.HashedType) = struct
         H.remove t.table k;
         true
 
+  let entries t =
+    (* walk back-to-front along [prev] links: LRU first, MRU last *)
+    let rec go acc = function
+      | None -> List.rev acc
+      | Some n -> go ((n.key, n.value) :: acc) n.prev
+    in
+    go [] t.back
+
   let stats t =
     { hits = t.hits;
       misses = t.misses;
@@ -139,6 +147,11 @@ module Make (K : Hashtbl.HashedType) = struct
     t.hits <- 0;
     t.misses <- 0;
     t.evictions <- 0
+
+  let restore_stats t ~hits ~misses ~evictions =
+    t.hits <- hits;
+    t.misses <- misses;
+    t.evictions <- evictions
 
   let purge t =
     H.reset t.table;

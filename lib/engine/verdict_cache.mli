@@ -59,8 +59,20 @@ module Make (K : Hashtbl.HashedType) : sig
       the key was present.  Does not count as an eviction — capacity
       evictions and invalidations are different signals. *)
 
+  val entries : 'v t -> (K.t * 'v) list
+  (** All cached entries in recency order, {e least} recently used first —
+      the order a snapshot must replay them through {!add} so the restored
+      cache reproduces the same LRU structure (the last entry re-added is
+      again the most recent). *)
+
   val stats : 'v t -> stats
   val reset_stats : 'v t -> unit
+
+  val restore_stats :
+    'v t -> hits:int -> misses:int -> evictions:int -> unit
+  (** Overwrite the hit/miss/eviction counters — the snapshot-restore
+      path, so a re-warmed session's footer continues the saved session's
+      history instead of restarting from zero. *)
 
   val purge : 'v t -> unit
   (** Drops all entries but keeps the hit/miss/eviction counters — a full

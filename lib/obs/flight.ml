@@ -9,8 +9,23 @@
 
 let schema = "dl4-flight/1"
 let on = ref false
-let capacity = 1024
+let default_capacity = 1024
 let max_domains = 128
+
+(* Ring depth for rings created from now on; existing rings keep the
+   depth they were allocated with ([Array.length r_events] is the
+   authoritative per-ring value everywhere below).  Seeded from
+   DL4_FLIGHT_DEPTH so daemon post-mortems can be deepened without a
+   recompile; the CLI's --flight-depth calls [set_capacity] before any
+   ring exists. *)
+let capacity_ref =
+  ref
+    (match Option.bind (Sys.getenv_opt "DL4_FLIGHT_DEPTH") int_of_string_opt with
+    | Some n when n > 0 -> n
+    | _ -> default_capacity)
+
+let capacity () = !capacity_ref
+let set_capacity n = capacity_ref := max 1 n
 
 let now_ns () = Unix.gettimeofday () *. 1e9
 let t0_ns = now_ns ()
@@ -51,7 +66,7 @@ let ring_key : ring option Domain.DLS.key =
               r_tid = (Domain.self () :> int);
               r_next = 0;
               r_total = 0;
-              r_events = Array.make capacity dummy_event;
+              r_events = Array.make !capacity_ref dummy_event;
             }
           in
           rings := r :: !rings;
@@ -68,7 +83,7 @@ let record kind node other note =
   | Some r ->
       let e = { e_ns = now_ns () -. t0_ns; e_kind = kind; e_node = node; e_other = other; e_note = note } in
       r.r_events.(r.r_next) <- e;
-      r.r_next <- (r.r_next + 1) mod capacity;
+      r.r_next <- (r.r_next + 1) mod Array.length r.r_events;
       r.r_total <- r.r_total + 1
 
 let arm ?path () =
@@ -98,7 +113,7 @@ let reset () =
          r_tid = (Domain.self () :> int);
          r_next = 0;
          r_total = 0;
-         r_events = Array.make capacity dummy_event;
+         r_events = Array.make !capacity_ref dummy_event;
        }
      in
      Mutex.lock rings_mutex;
@@ -116,10 +131,11 @@ let dump () =
   in
   let b = Buffer.create 4096 in
   Printf.bprintf b "{\"schema\":\"%s\",\"capacity\":%d,\"overflow_dropped\":%d,\"domains\":["
-    schema capacity (Atomic.get overflow_dropped);
+    schema !capacity_ref (Atomic.get overflow_dropped);
   let first_dom = ref true in
   List.iter
     (fun r ->
+      let capacity = Array.length r.r_events in
       let total = r.r_total in
       let kept = min total capacity in
       let dropped = total - kept in

@@ -24,8 +24,19 @@ val schema : string
 val on : bool ref
 (** Master gate, read inline by instrumentation sites. *)
 
-val capacity : int
-(** Events retained per domain ring (older events are overwritten). *)
+val default_capacity : int
+(** [1024] — the ring depth when neither {!set_capacity} nor
+    [DL4_FLIGHT_DEPTH] says otherwise. *)
+
+val capacity : unit -> int
+(** Events retained per domain ring (older events are overwritten).
+    This is the depth given to rings created {e from now on}; a ring
+    keeps the depth it was allocated with, so set it before arming. *)
+
+val set_capacity : int -> unit
+(** Change the ring depth for subsequently created rings (clamped to
+    ≥ 1).  Wired to [--flight-depth]; [DL4_FLIGHT_DEPTH] seeds the
+    initial value at module init. *)
 
 val max_domains : int
 (** Rings tracked before further domains' events are dropped. *)

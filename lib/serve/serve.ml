@@ -1,0 +1,370 @@
+(* The dl4 daemon: one warm Session behind a Unix-domain socket.
+
+   Protocol: newline-delimited JSON, one request object per line, one
+   response object per line, strictly in request order per connection.
+   Requests never kill the daemon — malformed JSON, unknown ops and bad
+   arguments all produce an [ok:false] response on the same line slot.
+
+   The request handler is deliberately separated from the socket loop:
+   [handle] maps one request line to one response line against the held
+   session, so tests (and the in-process bench harness) can drive the
+   full protocol without forking or touching the filesystem, and the
+   socket loop stays a dumb byte shuttle. *)
+
+type t = {
+  mutable para : Para.t;  (* owns the warm session; replaced never *)
+  snapshot_path : string option;  (* idle-autosave target *)
+  mutable dirty : bool;
+      (* has state changed (new verdicts, deltas) since the last save? *)
+  mutable stop : bool;  (* set by the shutdown op; read by the loop *)
+  mutable requests : int;
+}
+
+let create ?snapshot_path session =
+  { para = Para.of_session session;
+    snapshot_path;
+    dirty = false;
+    stop = false;
+    requests = 0 }
+
+let session t = Para.session t.para
+let stopped t = t.stop
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (by hand, like every export sink in this stack — the
+   reader in Json_lite is an independent implementation, so round-trip
+   tests cross-check well-formedness) *)
+
+let jstr s = "\"" ^ Obs.json_escape s ^ "\""
+
+let jnum f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+  ^ "}"
+
+let jarr items = "[" ^ String.concat "," items ^ "]"
+let jbool b = if b then "true" else "false"
+let jint n = string_of_int n
+
+(* ------------------------------------------------------------------ *)
+(* Request accessors *)
+
+exception Bad_request of string
+
+let bad fmt = Format.kasprintf (fun s -> raise (Bad_request s)) fmt
+
+let str_field name j =
+  match Option.bind (Json_lite.member name j) Json_lite.to_str with
+  | Some s -> s
+  | None -> bad "missing or non-string field %S" name
+
+let bool_field ~default name j =
+  match Json_lite.member name j with
+  | Some (Json_lite.Bool b) -> b
+  | Some _ -> bad "field %S must be a boolean" name
+  | None -> default
+
+let concept_field name j =
+  let text = str_field name j in
+  match Surface.parse_concept text with
+  | Ok c -> c
+  | Error e ->
+      bad "cannot parse concept %S: %s (at offset %d)" text
+        e.Surface.message e.Surface.offset
+
+(* ------------------------------------------------------------------ *)
+(* Per-op payloads: each returns the response fields beyond the envelope *)
+
+let op_check t _req =
+  [ ("consistent", jbool (Para.satisfiable t.para)) ]
+
+let op_query t req =
+  let a = str_field "individual" req in
+  let c = concept_field "concept" req in
+  let v = Para.instance_truth t.para a c in
+  [ ("individual", jstr a);
+    ("concept", jstr (Concept.to_string c));
+    ("truth", jstr (Truth.to_string v)) ]
+
+let op_retrieve t req =
+  let c = concept_field "concept" req in
+  let all = bool_field ~default:false "all" req in
+  let rows =
+    List.filter_map
+      (fun (a, v) ->
+        if all || not (Truth.equal v Truth.Neither) then
+          Some (jobj [ ("individual", jstr a); ("truth", jstr (Truth.to_string v)) ])
+        else None)
+      (Para.retrieve t.para c)
+  in
+  [ ("concept", jstr (Concept.to_string c)); ("instances", jarr rows) ]
+
+let op_classify t _req =
+  let taxo = Para.taxonomy t.para in
+  let rows =
+    List.map
+      (fun (cls, supers) ->
+        jobj
+          [ ("class", jarr (List.map jstr cls));
+            ("supers", jarr (List.map jstr supers)) ])
+      taxo
+  in
+  [ ("taxonomy", jarr rows) ]
+
+let op_update t req =
+  let script = str_field "script" req in
+  match Delta.parse_script script with
+  | Error msg -> bad "%s" msg
+  | Ok deltas ->
+      let s = Session.apply_all (session t) deltas in
+      t.dirty <- true;
+      [ ("applied", jint (List.length deltas));
+        ("evicted", jint s.Oracle.evicted);
+        ("retained", jint s.Oracle.retained);
+        ("flushed", jbool s.Oracle.flushed);
+        ("consistency_flipped", jbool s.Oracle.consistency_flipped) ]
+
+let cache_json (c : Verdict_cache.stats) =
+  jobj
+    [ ("hits", jint c.Verdict_cache.hits);
+      ("misses", jint c.Verdict_cache.misses);
+      ("evictions", jint c.Verdict_cache.evictions);
+      ("size", jint c.Verdict_cache.size);
+      ("capacity", jint c.Verdict_cache.capacity) ]
+
+let totals_json (s : Oracle.cost_totals) =
+  jobj
+    [ ("verdicts", jint s.Oracle.verdicts);
+      ("cache_served", jint s.Oracle.cache_served);
+      ("slow", jint s.Oracle.slow);
+      ("wall_ns", jnum s.Oracle.wall_ns);
+      ("runs", jint s.Oracle.runs);
+      ("nodes", jint s.Oracle.nodes);
+      ("branches", jint s.Oracle.branches);
+      ("clashes", jint s.Oracle.clashes) ]
+
+let op_stats t _req =
+  let s = Engine.stats (Para.engine t.para) in
+  (* no "cache" field here: the response envelope already carries the
+     live cache counters under that key *)
+  [ ("requests", jint t.requests);
+    ("tableau_calls", jint s.Engine.tableau_calls);
+    ("jobs", jint s.Engine.jobs);
+    ("batches", jint s.Engine.batches);
+    ("parallel_calls", jint s.Engine.parallel_calls);
+    ("totals", totals_json (Session.cost_totals (session t))) ]
+
+let save_snapshot t path =
+  match Store.save (Store.capture (session t)) path with
+  | Ok () ->
+      t.dirty <- false;
+      Ok ()
+  | Error e -> Error (Store.error_to_string e)
+
+let op_snapshot t req =
+  let path =
+    match Option.bind (Json_lite.member "path" req) Json_lite.to_str with
+    | Some p -> p
+    | None -> (
+        match t.snapshot_path with
+        | Some p -> p
+        | None -> bad "no \"path\" given and no default snapshot path configured")
+  in
+  match save_snapshot t path with
+  | Ok () -> [ ("saved", jstr path) ]
+  | Error msg -> bad "snapshot failed: %s" msg
+
+let op_shutdown t _req =
+  t.stop <- true;
+  [ ("stopping", jbool true) ]
+
+(* ------------------------------------------------------------------ *)
+(* The envelope: every ok-response carries the request's marginal cost
+   (the diff of the session cost totals and tableau-call count around
+   the handler — the PR 5 accounting surface) plus the live cache
+   counters, so a client can prove a query was served warm. *)
+
+let handle t line =
+  t.requests <- t.requests + 1;
+  let id =
+    match Json_lite.parse line with
+    | Ok j -> (
+        match Json_lite.member "id" j with
+        | Some (Json_lite.Str s) -> jstr s
+        | Some (Json_lite.Num n) -> jnum n
+        | _ -> "null")
+    | Error _ -> "null"
+  in
+  let fail msg = jobj [ ("id", id); ("ok", jbool false); ("error", jstr msg) ] in
+  match Json_lite.parse line with
+  | Error msg -> fail (Printf.sprintf "malformed request: %s" msg)
+  | Ok req -> (
+      let totals0 = Session.cost_totals (session t) in
+      let calls0 = (Engine.stats (Para.engine t.para)).Engine.tableau_calls in
+      let dispatch op =
+        match op with
+        | "check" -> op_check t req
+        | "query" -> op_query t req
+        | "retrieve" -> op_retrieve t req
+        | "classify" -> op_classify t req
+        | "update" -> op_update t req
+        | "stats" -> op_stats t req
+        | "snapshot" -> op_snapshot t req
+        | "shutdown" -> op_shutdown t req
+        | op -> bad "unknown op %S" op
+      in
+      match dispatch (str_field "op" req) with
+      | payload ->
+          let totals1 = Session.cost_totals (session t) in
+          let calls1 =
+            (Engine.stats (Para.engine t.para)).Engine.tableau_calls
+          in
+          if calls1 > calls0 then t.dirty <- true;
+          let cost =
+            jobj
+              [ ("tableau_calls", jint (calls1 - calls0));
+                ("verdicts", jint (totals1.Oracle.verdicts - totals0.Oracle.verdicts));
+                ( "cache_served",
+                  jint (totals1.Oracle.cache_served - totals0.Oracle.cache_served)
+                );
+                ("wall_ns", jnum (totals1.Oracle.wall_ns -. totals0.Oracle.wall_ns))
+              ]
+          in
+          let cache = cache_json (Oracle.cache_stats (Para.oracle t.para)) in
+          jobj
+            (( ("id", id) :: ("ok", jbool true) :: payload)
+            @ [ ("cost", cost); ("cache", cache) ])
+      | exception Bad_request msg -> fail msg
+      | exception e ->
+          (* last-ditch: a handler bug must degrade to an error response,
+             never to a dead daemon *)
+          fail (Printf.sprintf "internal error: %s" (Printexc.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* Socket loop: single-threaded select over the listener and every
+   client, per-client input buffers, blocking writes (responses are one
+   line; clients that stop reading only stall themselves on the next
+   request).  The idle timeout doubles as the autosave tick. *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let k = Unix.write fd b off (n - off) in
+      go (off + k)
+  in
+  go 0
+
+let autosave t =
+  if t.dirty then
+    Option.iter (fun path -> ignore (save_snapshot t path)) t.snapshot_path
+
+let run ?(idle_save = 0.) ~socket_path t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX socket_path);
+  Unix.listen srv 16;
+  let clients : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let drop fd =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove clients fd
+  in
+  (* consume every complete line buffered for [fd]; the tail (a partial
+     line) stays for the next read *)
+  let drain fd buf =
+    let data = Buffer.contents buf in
+    let rec go start =
+      match String.index_from_opt data start '\n' with
+      | None ->
+          Buffer.clear buf;
+          Buffer.add_substring buf data start (String.length data - start)
+      | Some nl ->
+          let line = String.trim (String.sub data start (nl - start)) in
+          if line <> "" then begin
+            let resp = handle t line in
+            try write_all fd (resp ^ "\n")
+            with Unix.Unix_error _ -> drop fd
+          end;
+          if not t.stop then go (nl + 1)
+          else begin
+            Buffer.clear buf;
+            Buffer.add_substring buf data (nl + 1)
+              (String.length data - nl - 1)
+          end
+    in
+    go 0
+  in
+  let rec loop () =
+    if not t.stop then begin
+      let fds = srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
+      let timeout = if idle_save > 0. then idle_save else -1. in
+      let ready, _, _ =
+        try Unix.select fds [] [] timeout
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if ready = [] then autosave t
+      else
+        List.iter
+          (fun fd ->
+            if fd == srv then begin
+              match Unix.accept srv with
+              | client, _ -> Hashtbl.replace clients client (Buffer.create 256)
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match Hashtbl.find_opt clients fd with
+              | None -> ()
+              | Some buf -> (
+                  let chunk = Bytes.create 4096 in
+                  match Unix.read fd chunk 0 4096 with
+                  | 0 -> drop fd
+                  | n ->
+                      Buffer.add_subbytes buf chunk 0 n;
+                      drain fd buf
+                  | exception Unix.Unix_error _ -> drop fd))
+          ready;
+      loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      autosave t;
+      Hashtbl.iter (fun fd _ -> try Unix.close fd with _ -> ()) clients;
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+    loop
+
+(* ------------------------------------------------------------------ *)
+(* Client side: one round-trip over the socket, used by [dl4 client]
+   and the CI smoke test so the protocol can be driven without relying
+   on netcat being present. *)
+
+let request ~socket_path line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket_path);
+      write_all fd (line ^ "\n");
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 4096 in
+      let rec read_line () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> Buffer.contents buf
+        | n -> (
+            match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
+            | Some nl ->
+                Buffer.add_subbytes buf chunk 0 nl;
+                Buffer.contents buf
+            | None ->
+                Buffer.add_subbytes buf chunk 0 n;
+                read_line ())
+      in
+      read_line ())

@@ -1,0 +1,57 @@
+(** The [dl4 serve] daemon — one warm {!Session} behind a Unix-domain
+    socket, speaking newline-delimited JSON.
+
+    {b Protocol.}  One request object per line, one response object per
+    line, answered strictly in order per connection:
+
+    {v
+    request  := { "op": OP, "id"?: string|number, ...op fields }
+    OP       := "check" | "query" | "retrieve" | "classify"
+              | "update" | "stats" | "snapshot" | "shutdown"
+
+    query    := + "individual": string, "concept": surface-syntax string
+    retrieve := + "concept": string, "all"?: bool (include Neither rows)
+    update   := + "script": delta-script text (dl4 +/- surface syntax)
+    snapshot := + "path"?: string (defaults to the configured autosave path)
+    v}
+
+    Every successful response is
+    [{"id":…, "ok":true, …payload, "cost":{…}, "cache":{…}}] where
+    [cost] is the request's {e marginal} work (tableau calls, computed
+    verdicts, cache-served checks, wall time — diffed around the
+    handler, the PR 5 accounting surface) and [cache] the live verdict
+    cache counters — so a client can prove a repeated query was served
+    warm ([cost.tableau_calls = 0]).  Failures are
+    [{"id":…, "ok":false, "error":…}]; no request — malformed JSON,
+    unknown op, bad concept syntax, delta parse errors — ever kills the
+    daemon. *)
+
+type t
+
+val create : ?snapshot_path:string -> Session.t -> t
+(** Wrap a (typically snapshot-restored) session for serving.
+    [snapshot_path] is the idle-autosave and default [snapshot]-op
+    target; omit it to disable autosave. *)
+
+val session : t -> Session.t
+
+val stopped : t -> bool
+(** Has a [shutdown] request been handled? *)
+
+val handle : t -> string -> string
+(** [handle t line] maps one request line to one response line (no
+    trailing newline).  This is the entire protocol — the socket loop
+    adds only byte shuttling — so tests and in-process benchmarks drive
+    it directly.  Never raises. *)
+
+val run : ?idle_save:float -> socket_path:string -> t -> unit
+(** Bind [socket_path] (replacing any stale socket file), serve until a
+    [shutdown] request, then autosave (if due), close every connection
+    and remove the socket file.  Single-threaded [select] loop; SIGPIPE
+    is ignored.  [idle_save > 0] arms the autosave tick: after that many
+    seconds with no traffic, a dirty session (new verdicts or applied
+    deltas since the last save) is snapshotted to [snapshot_path]. *)
+
+val request : socket_path:string -> string -> string
+(** Client side: connect, send one request line, read one response line.
+    Used by [dl4 client] and the CI smoke test (no netcat dependency). *)

@@ -123,7 +123,7 @@ let flight_tests =
   [ Alcotest.test_case "ring wraps and dump stays well-formed" `Quick
       (fun () ->
         Flight.reset ();
-        let n = Flight.capacity + 137 in
+        let n = Flight.capacity () + 137 in
         for i = 1 to n do
           Flight.record "test.ev" i (-1) (string_of_int i)
         done;
@@ -136,16 +136,16 @@ let flight_tests =
         let d = List.hd doms in
         Alcotest.(check int) "total" n (int_of_float (num (mem "total" d)));
         Alcotest.(check int)
-          "dropped" (n - Flight.capacity)
+          "dropped" (n - Flight.capacity ())
           (int_of_float (num (mem "dropped" d)));
         let events = arr (mem "events" d) in
-        Alcotest.(check int) "retained = capacity" Flight.capacity
+        Alcotest.(check int) "retained = capacity" (Flight.capacity ())
           (List.length events);
         (* oldest-first: the first retained event is the (dropped+1)-th
            recorded one, and ns never decreases *)
         let first = List.hd events in
         Alcotest.(check string)
-          "oldest retained" (string_of_int (n - Flight.capacity + 1))
+          "oldest retained" (string_of_int (n - Flight.capacity () + 1))
           (Option.value ~default:"" (Json_lite.to_str (mem "note" first)));
         let _ =
           List.fold_left
@@ -167,6 +167,27 @@ let flight_tests =
         Alcotest.(check int) "two events" 2 (List.length events);
         Alcotest.(check int) "no dropped" 0
           (int_of_float (num (mem "dropped" d)));
+        Flight.reset ());
+    Alcotest.test_case "ring depth is configurable" `Quick (fun () ->
+        let saved = Flight.capacity () in
+        Flight.set_capacity 16;
+        Flight.reset ();
+        for i = 1 to 20 do
+          Flight.record "cfg.ev" i (-1) (string_of_int i)
+        done;
+        let j = json_of_string (Flight.dump ()) in
+        Alcotest.(check int) "dump reports new depth" 16
+          (int_of_float (num (mem "capacity" j)));
+        let d = List.hd (arr (mem "domains" j)) in
+        let events = arr (mem "events" d) in
+        Alcotest.(check int) "retained = configured depth" 16
+          (List.length events);
+        Alcotest.(check string)
+          "oldest retained is the 5th"
+          "5"
+          (Option.value ~default:""
+             (Json_lite.to_str (mem "note" (List.hd events))));
+        Flight.set_capacity saved;
         Flight.reset ());
     Alcotest.test_case "trip writes an armed dump" `Quick (fun () ->
         let path = tmp_path ".flight.json" in

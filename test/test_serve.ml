@@ -1,0 +1,216 @@
+(* dl4 serve: the NDJSON protocol, in-process and over a real socket.
+
+   [Serve.handle] is the whole protocol (the socket loop only shuttles
+   bytes), so most cases drive it directly; one case forks an actual
+   daemon on a scratch socket and talks to it through [Serve.request],
+   which is what `dl4 client` and the CI smoke test use. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Response parsing (Json_lite is an independent reader, so these tests
+   double as well-formedness checks on the hand-rendered output) *)
+
+let parse_resp line =
+  match Json_lite.parse line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "response is not JSON (%s): %s" e line
+
+let mem name j =
+  match Json_lite.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks field %S" name
+
+let str name j =
+  Option.value ~default:"" (Json_lite.to_str (mem name j))
+
+let int_field name j =
+  int_of_float (Option.value ~default:Float.nan (Json_lite.to_num (mem name j)))
+
+let ok j =
+  match mem "ok" j with
+  | Json_lite.Bool b -> b
+  | _ -> Alcotest.fail "ok is not a boolean"
+
+let cost_tableau_calls j = int_field "tableau_calls" (mem "cost" j)
+
+let warm_server () =
+  let s = Session.create Paper_examples.example3 in
+  let p = Para.of_session s in
+  ignore (Para.satisfiable p : bool);
+  ignore (Para.contradictions p : (string * string) list);
+  ignore (Engine.classification (Session.engine s) : Classify.t);
+  Serve.create s
+
+let ask t line = parse_resp (Serve.handle t line)
+
+(* ------------------------------------------------------------------ *)
+(* In-process protocol *)
+
+let protocol_tests =
+  [ Alcotest.test_case "check on a warm session is free" `Quick (fun () ->
+        let t = warm_server () in
+        let r = ask t {|{"op":"check","id":"c1"}|} in
+        checkb "ok" true (ok r);
+        checks "id echoed" "c1" (str "id" r);
+        checkb "consistent" true
+          (match mem "consistent" r with Json_lite.Bool b -> b | _ -> false);
+        checki "zero tableau calls" 0 (cost_tableau_calls r));
+    Alcotest.test_case "second identical query is zero-tableau-call" `Quick
+      (fun () ->
+        let t = warm_server () in
+        let q =
+          {|{"op":"query","individual":"tweety","concept":"Fly"}|}
+        in
+        let r1 = ask t q in
+        let r2 = ask t q in
+        checkb "both ok" true (ok r1 && ok r2);
+        checks "same truth" (str "truth" r1) (str "truth" r2);
+        checki "warm query pays nothing" 0 (cost_tableau_calls r2);
+        (* the envelope's cache counters moved: the warm query was hits *)
+        checkb "served from cache" true
+          (int_field "cache_served" (mem "cost" r2) > 0));
+    Alcotest.test_case "retrieve and classify answer" `Quick (fun () ->
+        let t = warm_server () in
+        let r = ask t {|{"op":"retrieve","concept":"Bird"}|} in
+        checkb "retrieve ok" true (ok r);
+        checkb "has instances" true
+          (match mem "instances" r with
+          | Json_lite.Arr (_ :: _) -> true
+          | _ -> false);
+        let c = ask t {|{"op":"classify"}|} in
+        checkb "classify ok" true (ok c);
+        checkb "has taxonomy" true
+          (match mem "taxonomy" c with
+          | Json_lite.Arr (_ :: _) -> true
+          | _ -> false));
+    Alcotest.test_case "update applies a delta and queries see it" `Quick
+      (fun () ->
+        let t = warm_server () in
+        let r =
+          ask t {|{"op":"update","script":"+ tweety : Sings.\n"}|}
+        in
+        checkb "update ok" true (ok r);
+        checki "one delta applied" 1 (int_field "applied" r);
+        let q =
+          ask t {|{"op":"query","individual":"tweety","concept":"Sings"}|}
+        in
+        checks "new fact is told true" "t" (str "truth" q));
+    Alcotest.test_case "update parse errors quote the offending line" `Quick
+      (fun () ->
+        let t = warm_server () in
+        let r =
+          ask t {|{"op":"update","script":"+ tweety : Sings.\nbogus stuff\n"}|}
+        in
+        checkb "not ok" true (not (ok r));
+        let e = str "error" r in
+        let contains sub =
+          let n = String.length e and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub e i m = sub || go (i + 1)) in
+          go 0
+        in
+        checkb "line number named" true (contains "line 2");
+        checkb "offending text quoted" true (contains "bogus stuff"));
+    Alcotest.test_case "malformed requests do not kill the server" `Quick
+      (fun () ->
+        let t = warm_server () in
+        let bads =
+          [ "this is not json";
+            {|{"no_op_field":1}|};
+            {|{"op":"nope"}|};
+            {|{"op":"query","individual":"tweety"}|};
+            {|{"op":"query","individual":"tweety","concept":"(((("}|};
+            {|{"op":"update","script":42}|}
+          ]
+        in
+        List.iter
+          (fun bad ->
+            let r = ask t bad in
+            checkb (Printf.sprintf "%s -> ok:false" bad) true (not (ok r));
+            checkb "carries an error message" true (String.length (str "error" r) > 0))
+          bads;
+        checkb "server not stopped" true (not (Serve.stopped t));
+        (* and the very next request still works *)
+        checkb "still serving" true (ok (ask t {|{"op":"check"}|})));
+    Alcotest.test_case "stats reports request and call counters" `Quick
+      (fun () ->
+        let t = warm_server () in
+        ignore (ask t {|{"op":"check"}|});
+        let r = ask t {|{"op":"stats"}|} in
+        checkb "ok" true (ok r);
+        checki "requests counted" 2 (int_field "requests" r);
+        checkb "totals present" true
+          (match mem "totals" r with Json_lite.Obj _ -> true | _ -> false));
+    Alcotest.test_case "snapshot op writes a loadable snapshot" `Quick
+      (fun () ->
+        let t = warm_server () in
+        let path = Filename.temp_file "dl4_serve_test" ".snap" in
+        let r =
+          ask t
+            (Printf.sprintf {|{"op":"snapshot","path":"%s"}|} path)
+        in
+        checkb "ok" true (ok r);
+        (match Store.load path with
+        | Ok snap ->
+            checkb "snapshot holds the served KB" true
+              (snap.Store.s_kb = Paper_examples.example3)
+        | Error e -> Alcotest.failf "saved snapshot: %s" (Store.error_to_string e));
+        Sys.remove path);
+    Alcotest.test_case "shutdown flips the stop flag" `Quick (fun () ->
+        let t = warm_server () in
+        checkb "running" true (not (Serve.stopped t));
+        let r = ask t {|{"op":"shutdown"}|} in
+        checkb "ok" true (ok r);
+        checkb "stopped" true (Serve.stopped t)) ]
+
+(* ------------------------------------------------------------------ *)
+(* A real daemon on a scratch socket *)
+
+let socket_tests =
+  [ Alcotest.test_case "forked daemon serves and shuts down" `Quick (fun () ->
+        let socket_path = Filename.temp_file "dl4_serve_test" ".sock" in
+        match Unix.fork () with
+        | 0 ->
+            (* child: build the warm session and serve until shutdown.
+               _exit, not exit: the test runner's at_exit hooks belong
+               to the parent *)
+            let t = warm_server () in
+            (try Serve.run ~socket_path t with _ -> ());
+            Unix._exit 0
+        | pid ->
+            let deadline = Unix.gettimeofday () +. 10.0 in
+            let rec await () =
+              match Serve.request ~socket_path {|{"op":"check"}|} with
+              | resp -> resp
+              | exception Unix.Unix_error _ ->
+                  if Unix.gettimeofday () > deadline then
+                    Alcotest.fail "daemon did not come up"
+                  else begin
+                    Unix.sleepf 0.05;
+                    await ()
+                  end
+            in
+            let check_resp = parse_resp (await ()) in
+            checkb "daemon consistent" true (ok check_resp);
+            let q = {|{"op":"query","individual":"tweety","concept":"Fly"}|} in
+            let r1 = parse_resp (Serve.request ~socket_path q) in
+            let r2 = parse_resp (Serve.request ~socket_path q) in
+            checkb "query ok over the wire" true (ok r1 && ok r2);
+            checki "second query zero tableau calls" 0 (cost_tableau_calls r2);
+            (* a malformed line must not take the daemon down *)
+            let bad = parse_resp (Serve.request ~socket_path "garbage") in
+            checkb "malformed -> structured error" true (not (ok bad));
+            let again = parse_resp (Serve.request ~socket_path {|{"op":"check"}|}) in
+            checkb "daemon survived" true (ok again);
+            let bye = parse_resp (Serve.request ~socket_path {|{"op":"shutdown"}|}) in
+            checkb "shutdown acked" true (ok bye);
+            let _, status = Unix.waitpid [] pid in
+            checkb "daemon exited cleanly" true (status = Unix.WEXITED 0);
+            checkb "socket file removed" true (not (Sys.file_exists socket_path)))
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [ ("protocol", protocol_tests); ("socket", socket_tests) ]
