@@ -961,6 +961,102 @@ let report_serve () =
          snap_dt restore_dt (per_q snap_total))
 
 (* ------------------------------------------------------------------ *)
+(* S10: pluggable backends on a Horn-heavy workload.  The same
+   classification plus instance-grid workload runs three times — backend
+   pinned to the tableau, pinned to the Horn/EL completion engine, and
+   under the auto router.  Answers must be identical; auto must send at
+   least 90% of the computed verdicts to the completion backend and beat
+   the pinned tableau (both gated in GATES.json). *)
+
+let report_backends () =
+  section "S10: tableau vs horn vs auto on a Horn workload -> BENCH_backend.json";
+  (* a pure concept tree (squarely in the fragment) plus a handful of
+     leaf memberships so the instance grid is exercised too *)
+  let kb =
+    let base =
+      Kb4.of_classical ~inclusion:Kb4.Internal
+        (Gen.taxonomy ~depth:4 ~branching:3)
+    in
+    List.fold_left Kb4.add_abox base
+      [ Axiom.Instance_of ("i0", Concept.Atom "C4_0");
+        Axiom.Instance_of ("i1", Concept.Atom "C4_40");
+        Axiom.Instance_of ("i2", Concept.Atom "C4_80");
+        Axiom.Instance_of ("i2", Concept.Not (Concept.Atom "C0_0")) ]
+  in
+  let signature = Kb4.signature kb in
+  let grid =
+    List.concat_map
+      (fun a ->
+        List.map (fun c -> (a, Concept.Atom c)) signature.Axiom.concepts)
+      signature.Axiom.individuals
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let run backend =
+    let s =
+      Session.create
+        ~config:{ Session.default_config with backend } kb
+    in
+    let e = Session.engine s in
+    let p = Para.of_session s in
+    let out, dt =
+      wall (fun () ->
+          let tax = Para.classify p in
+          let truths =
+            List.map (fun (a, c) -> Para.instance_truth p a c) grid
+          in
+          (tax, truths))
+    in
+    (out, dt, Engine.stats e)
+  in
+  let tab_out, tab_dt, tab_st = run Backend.Tableau in
+  let horn_out, horn_dt, _ = run Backend.Horn in
+  let auto_out, auto_dt, auto_st = run Backend.Auto in
+  let identical = tab_out = horn_out && tab_out = auto_out in
+  if not identical then
+    failwith "S10: answers differ across tableau/horn/auto";
+  let count routes b =
+    List.assoc_opt b routes |> Option.value ~default:0
+  in
+  let horn_routed = count auto_st.Engine.routes "horn" in
+  let total_routed =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 auto_st.Engine.routes
+  in
+  let fraction =
+    if total_routed = 0 then 0.
+    else float_of_int horn_routed /. float_of_int total_routed
+  in
+  let speedup = tab_dt /. Float.max auto_dt 1e-9 in
+  Printf.printf
+    "  %d concepts, %d grid cells;  tableau %.3fs  horn %.3fs  auto %.3fs\n"
+    (List.length signature.Axiom.concepts)
+    (List.length grid) tab_dt horn_dt auto_dt;
+  Printf.printf "  auto routed %d/%d verdicts to horn (%.1f%%), speedup %.1fx\n"
+    horn_routed total_routed (100. *. fraction) speedup;
+  Printf.printf "  answers identical across the three backends: %b\n" identical;
+  write_bench "BENCH_backend.json" ~experiment:"S10_backends"
+    ~metrics:
+      [ ("answers_identical", if identical then "1" else "0");
+        ("horn_route_fraction", Printf.sprintf "%.4f" fraction);
+        ("speedup_auto_vs_tableau", Printf.sprintf "%.2f" speedup);
+        ("tableau_verdicts", string_of_int (count tab_st.Engine.routes "tableau"));
+        ("tableau_seconds", Printf.sprintf "%.4f" tab_dt);
+        ("horn_seconds", Printf.sprintf "%.4f" horn_dt);
+        ("auto_seconds", Printf.sprintf "%.4f" auto_dt) ]
+    ~detail:
+      (Printf.sprintf
+         "{\"kb\": \"taxonomy depth 4 branching 3 + 4 leaf assertions\",\n\
+         \  \"workload\": \"classify + full atomic instance-truth grid\",\n\
+         \  \"auto_routes\": {%s}}"
+         (String.concat ", "
+            (List.map
+               (fun (b, n) -> Printf.sprintf "\"%s\": %d" b n)
+               auto_st.Engine.routes)))
+
+(* ------------------------------------------------------------------ *)
 (* Timing benches *)
 
 let paper_benches () =
@@ -1156,6 +1252,7 @@ let () =
   report_obs_overhead ();
   report_incremental ();
   report_serve ();
+  report_backends ();
   section "timing series (S1-S4)";
   run_group ~name:"paper" (paper_benches ());
   run_group ~name:"scale_transform" (transform_benches ());

@@ -92,6 +92,29 @@ let no_cache_flag =
     & info [ "no-cache" ]
         ~doc:"Disable the verdict cache: every query pays its tableau calls.")
 
+let backend_arg =
+  let backend_conv =
+    Arg.conv
+      ( (fun s ->
+          match Backend.choice_of_string s with
+          | Ok c -> Ok c
+          | Error e -> Error (`Msg e)),
+        fun ppf c -> Format.pp_print_string ppf (Backend.choice_to_string c) )
+  in
+  Arg.(
+    value
+    & opt backend_conv Backend.Auto
+    & info [ "backend" ] ~docv:"B"
+        ~env:(Cmd.Env.info "DL4_BACKEND")
+        ~doc:
+          "Reasoning backend: $(b,auto) (default) routes each verdict to \
+           the cheapest complete backend — the Horn/EL completion engine \
+           when the transformed KB lies in its fragment (see 'dl4 \
+           fragment'), the tableau otherwise; $(b,tableau) pins every \
+           verdict to the tableau; $(b,horn) requires the fragment and \
+           fails on KBs outside it.  Whatever the choice, answers are \
+           identical — only the work profile changes.")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -197,6 +220,13 @@ let with_obs ~cmd (stats, metrics, trace, slow_log, slow_ms, flight, flight_dept
   | code ->
       Obs.exit_span sp;
       finish code
+  | exception Backend.Unsupported msg ->
+      Obs.exit_span sp;
+      Format.eprintf
+        "dl4 %s: %s@.hint: run 'dl4 fragment' for the full diagnosis, or \
+         drop --backend horn@."
+        cmd msg;
+      finish 2
   | exception Tableau.Resource_limit msg ->
       Obs.exit_span sp;
       Format.eprintf "dl4 %s: tableau resource limit: %s@." cmd msg;
@@ -233,11 +263,12 @@ let from_snapshot_arg =
            --max-nodes and --max-branches are taken from the snapshot \
            (--jobs still applies).")
 
-let make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache =
+let make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache ~backend =
   { Session.jobs;
     max_nodes;
     max_branches;
-    cache_capacity = (if no_cache then 0 else cache_size) }
+    cache_capacity = (if no_cache then 0 else cache_size);
+    backend }
 
 let session_of ~config ~from_snapshot kb =
   match from_snapshot with
@@ -263,7 +294,8 @@ let warm_session s =
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run file classical owl max_nodes max_branches jobs from_snapshot obs =
+  let run file classical owl max_nodes max_branches jobs backend from_snapshot
+      obs =
     with_obs ~cmd:"check" obs (fun () ->
         if classical || owl then begin
           let kb = if owl then load_owl file else load_kb file in
@@ -285,6 +317,7 @@ let check_cmd =
           let config =
             make_config ~jobs ~max_nodes ~max_branches
               ~cache_size:Engine.default_cache_capacity ~no_cache:false
+              ~backend
           in
           let t = Para.of_session (session_of ~config ~from_snapshot kb) in
           if not (Para.satisfiable t) then begin
@@ -309,7 +342,8 @@ let check_cmd =
           localized contradictions.")
     Term.(
       const run $ file_arg $ classical_flag $ owl_flag $ max_nodes_arg
-      $ max_branches_arg $ jobs_arg $ from_snapshot_arg $ obs_term)
+      $ max_branches_arg $ jobs_arg $ backend_arg $ from_snapshot_arg
+      $ obs_term)
 
 let query_cmd =
   let individual =
@@ -325,13 +359,13 @@ let query_cmd =
       & info [ "c"; "concept" ] ~docv:"CONCEPT"
           ~doc:"Concept expression in surface syntax.")
   in
-  let run file ind csrc max_nodes max_branches jobs from_snapshot obs =
+  let run file ind csrc max_nodes max_branches jobs backend from_snapshot obs =
     with_obs ~cmd:"query" obs (fun () ->
         let kb = load_kb4 file in
         let c = load_concept csrc in
         let config =
           make_config ~jobs ~max_nodes ~max_branches
-            ~cache_size:Engine.default_cache_capacity ~no_cache:false
+            ~cache_size:Engine.default_cache_capacity ~no_cache:false ~backend
         in
         let t = Para.of_session (session_of ~config ~from_snapshot kb) in
         let v = Para.instance_truth t ind c in
@@ -351,15 +385,17 @@ let query_cmd =
           C(a).")
     Term.(
       const run $ file_arg $ individual $ concept_src $ max_nodes_arg
-      $ max_branches_arg $ jobs_arg $ from_snapshot_arg $ obs_term)
+      $ max_branches_arg $ jobs_arg $ backend_arg $ from_snapshot_arg
+      $ obs_term)
 
 let classify_cmd =
-  let run file max_nodes max_branches cache_size no_cache jobs from_snapshot obs
-      =
+  let run file max_nodes max_branches cache_size no_cache jobs backend
+      from_snapshot obs =
     with_obs ~cmd:"classify" obs (fun () ->
         let kb = load_kb4 file in
         let config =
           make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache
+            ~backend
         in
         let e = Session.engine (session_of ~config ~from_snapshot kb) in
         List.iter
@@ -380,7 +416,7 @@ let classify_cmd =
           saved over the naive all-pairs loop.")
     Term.(
       const run $ file_arg $ max_nodes_arg $ max_branches_arg $ cache_size_arg
-      $ no_cache_flag $ jobs_arg $ from_snapshot_arg $ obs_term)
+      $ no_cache_flag $ jobs_arg $ backend_arg $ from_snapshot_arg $ obs_term)
 
 let realize_cmd =
   let all =
@@ -391,12 +427,13 @@ let realize_cmd =
             "Also print the full Belnap truth value grid (default: only the \
              most-specific types and the contradictions).")
   in
-  let run file all max_nodes max_branches cache_size no_cache jobs from_snapshot
-      obs =
+  let run file all max_nodes max_branches cache_size no_cache jobs backend
+      from_snapshot obs =
     with_obs ~cmd:"realize" obs (fun () ->
         let kb = load_kb4 file in
         let config =
           make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache
+            ~backend
         in
         let e = Session.engine (session_of ~config ~from_snapshot kb) in
         List.iter
@@ -430,8 +467,8 @@ let realize_cmd =
           pruned through the classified hierarchy.")
     Term.(
       const run $ file_arg $ all $ max_nodes_arg $ max_branches_arg
-      $ cache_size_arg $ no_cache_flag $ jobs_arg $ from_snapshot_arg
-      $ obs_term)
+      $ cache_size_arg $ no_cache_flag $ jobs_arg $ backend_arg
+      $ from_snapshot_arg $ obs_term)
 
 let update_cmd =
   let delta_args =
@@ -456,7 +493,7 @@ let update_cmd =
         Format.eprintf "%s: %s@." path e;
         None
   in
-  let run file deltas max_nodes max_branches cache_size no_cache jobs
+  let run file deltas max_nodes max_branches cache_size no_cache jobs backend
       from_snapshot obs =
     with_obs ~cmd:"update" obs (fun () ->
         let kb = load_kb4 file in
@@ -470,6 +507,7 @@ let update_cmd =
           else begin
             let config =
               make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache
+                ~backend
             in
             let s = session_of ~config ~from_snapshot kb in
             let p = Para.of_session s in
@@ -504,8 +542,8 @@ let update_cmd =
           selectively evicted (see the per-delta stats lines).")
     Term.(
       const run $ file_arg $ delta_args $ max_nodes_arg $ max_branches_arg
-      $ cache_size_arg $ no_cache_flag $ jobs_arg $ from_snapshot_arg
-      $ obs_term)
+      $ cache_size_arg $ no_cache_flag $ jobs_arg $ backend_arg
+      $ from_snapshot_arg $ obs_term)
 
 let transform_cmd =
   let run file =
@@ -564,13 +602,13 @@ let retrieve_cmd =
           ~doc:"Also print individuals with value f or BOT (default: only \
                 designated answers).")
   in
-  let run file csrc all max_nodes max_branches jobs from_snapshot obs =
+  let run file csrc all max_nodes max_branches jobs backend from_snapshot obs =
     with_obs ~cmd:"retrieve" obs (fun () ->
         let kb = load_kb4 file in
         let c = load_concept csrc in
         let config =
           make_config ~jobs ~max_nodes ~max_branches
-            ~cache_size:Engine.default_cache_capacity ~no_cache:false
+            ~cache_size:Engine.default_cache_capacity ~no_cache:false ~backend
         in
         let t = Para.of_session (session_of ~config ~from_snapshot kb) in
         List.iter
@@ -586,7 +624,8 @@ let retrieve_cmd =
              every named individual.")
     Term.(
       const run $ file_arg $ concept_src $ all $ max_nodes_arg
-      $ max_branches_arg $ jobs_arg $ from_snapshot_arg $ obs_term)
+      $ max_branches_arg $ jobs_arg $ backend_arg $ from_snapshot_arg
+      $ obs_term)
 
 let explain_cmd =
   let individual =
@@ -689,6 +728,56 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Knowledge-base metrics and DL expressivity (e.g. SHOIN(D)).")
+    Term.(const run $ file_arg $ classical_flag $ owl_flag)
+
+let fragment_cmd =
+  let run file classical owl =
+    let verdict =
+      if classical || owl then
+        let kb = if owl then load_owl file else load_kb file in
+        match Fragment.check kb with
+        | Fragment.Eligible -> Ok ()
+        | Fragment.Ineligible { offender; reason } ->
+            let axiom =
+              match offender with
+              | Fragment.Tbox ax -> Format.asprintf "%a" Axiom.pp_tbox_axiom ax
+              | Fragment.Abox ax -> Format.asprintf "%a" Axiom.pp_abox_axiom ax
+            in
+            Error (axiom, reason)
+      else
+        match Fragment.check_kb4 (load_kb4 file) with
+        | Ok () -> Ok ()
+        | Error (offender, reason) ->
+            let axiom =
+              match offender with
+              | `Tbox ax -> Format.asprintf "%a" Kb4.pp_tbox_axiom ax
+              | `Abox ax -> Format.asprintf "%a" Axiom.pp_abox_axiom ax
+            in
+            Error (axiom, reason)
+    in
+    match verdict with
+    | Ok () ->
+        Format.printf
+          "Horn fragment: eligible@.the completion backend decides every \
+           routed query for this KB (--backend auto routes to it)@.";
+        0
+    | Error (axiom, reason) ->
+        Format.printf "Horn fragment: NOT eligible (%s)@." reason;
+        Format.printf "first offending axiom:@.  | %s@." axiom;
+        Format.printf
+          "queries on this KB take the tableau backend (--backend horn \
+           would fail)@.";
+        1
+  in
+  Cmd.v
+    (Cmd.info "fragment"
+       ~doc:
+         "Classify the KB against the Horn/EL fragment the completion \
+          backend decides.  In four-valued mode (the default) the verdict \
+          is about the transformed classical KB of Definition 7, but the \
+          offending axiom reported is the four-valued axiom whose \
+          translation breaks the fragment.  Exits 0 when eligible, 1 when \
+          not.")
     Term.(const run $ file_arg $ classical_flag $ owl_flag)
 
 let convert_cmd =
@@ -923,8 +1012,8 @@ let profile_cmd =
     in
     Format.printf "@.slow queries (%d records, %d parsed):@."
       (List.length lines) (List.length records);
-    Format.printf "  %-10s %-44s %9s %7s %8s@." "wall_ms" "query" "nodes"
-      "runs" "branches";
+    Format.printf "  %-10s %-44s %-8s %9s %7s %8s@." "wall_ms" "query"
+      "backend" "nodes" "runs" "branches";
     let sorted =
       List.sort
         (fun a b -> compare (mem_num "wall_ms" b) (mem_num "wall_ms" a))
@@ -932,9 +1021,10 @@ let profile_cmd =
     in
     List.iter
       (fun r ->
-        Format.printf "  %-10.2f %-44s %9.0f %7.0f %8.0f@."
+        Format.printf "  %-10.2f %-44s %-8s %9.0f %7.0f %8.0f@."
           (mem_num "wall_ms" r)
-          (mem_str "query" r) (mem_num "nodes" r) (mem_num "runs" r)
+          (mem_str "query" r) (mem_str "backend" r) (mem_num "nodes" r)
+          (mem_num "runs" r)
           (mem_num "branches" r))
       (take top sorted)
   in
@@ -1037,12 +1127,13 @@ let snapshot_cmd =
              atomic truth grid and the classification index — so restored \
              sessions answer atomic queries with zero tableau calls.")
   in
-  let run file out cold max_nodes max_branches cache_size no_cache jobs
+  let run file out cold max_nodes max_branches cache_size no_cache jobs backend
       from_snapshot obs =
     with_obs ~cmd:"snapshot" obs (fun () ->
         let kb = load_kb4 file in
         let config =
           make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache
+            ~backend
         in
         let s = session_of ~config ~from_snapshot kb in
         if not cold then warm_session s;
@@ -1064,8 +1155,8 @@ let snapshot_cmd =
           and autosave it.")
     Term.(
       const run $ file_arg $ out $ cold $ max_nodes_arg $ max_branches_arg
-      $ cache_size_arg $ no_cache_flag $ jobs_arg $ from_snapshot_arg
-      $ obs_term)
+      $ cache_size_arg $ no_cache_flag $ jobs_arg $ backend_arg
+      $ from_snapshot_arg $ obs_term)
 
 let serve_cmd =
   let socket =
@@ -1104,11 +1195,12 @@ let serve_cmd =
                 consistency, the atomic truth grid and classification).")
   in
   let run file socket snapshot_to idle_save cold max_nodes max_branches
-      cache_size no_cache jobs from_snapshot obs =
+      cache_size no_cache jobs backend from_snapshot obs =
     with_obs ~cmd:"serve" obs (fun () ->
         let kb = load_kb4 file in
         let config =
           make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache
+            ~backend
         in
         let s = session_of ~config ~from_snapshot kb in
         if not cold then warm_session s;
@@ -1134,7 +1226,7 @@ let serve_cmd =
     Term.(
       const run $ file_arg $ socket $ snapshot_to $ idle_save $ cold
       $ max_nodes_arg $ max_branches_arg $ cache_size_arg $ no_cache_flag
-      $ jobs_arg $ from_snapshot_arg $ obs_term)
+      $ jobs_arg $ backend_arg $ from_snapshot_arg $ obs_term)
 
 let client_cmd =
   let socket =
@@ -1154,9 +1246,17 @@ let client_cmd =
   in
   let run socket request =
     match Serve.request ~socket_path:socket request with
-    | response ->
+    | response -> (
         print_endline response;
-        0
+        (* a protocol-level error ("ok":false) must surface in the exit
+           code — scripts and CI legs check $? and previously saw 0 *)
+        match Json_lite.parse response with
+        | Ok j -> (
+            match Json_lite.member "ok" j with
+            | Some (Json_lite.Bool true) -> 0
+            | Some _ -> 1
+            | None -> 0)
+        | Error _ -> 0)
     | exception Unix.Unix_error (err, _, _) ->
         Format.eprintf "client: %s: %s@." socket (Unix.error_message err);
         2
@@ -1186,6 +1286,7 @@ let main =
       explain_cmd;
       repair_cmd;
       stats_cmd;
+      fragment_cmd;
       convert_cmd;
       profile_cmd;
       snapshot_cmd;

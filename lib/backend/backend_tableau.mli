@@ -1,0 +1,16 @@
+(** The general tableau as a [Backend.S] — the universal fallback.
+
+    A zero-behavior-change wrapper: [eval] is byte-for-byte the query
+    mapping the oracle always used ([Reasoner.is_consistent],
+    [consistent_with] over [Transform.instance_query], …), so routing
+    through this module cannot change any verdict, cost cell or
+    provenance entry. *)
+
+include Backend.S
+
+val of_reasoner : Reasoner.t -> t
+(** Wrap an existing reasoner (shares its state — the oracle wraps its
+    primary so [Reasoner.apply_delta] keeps working through the same
+    instance). *)
+
+val reasoner : t -> Reasoner.t

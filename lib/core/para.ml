@@ -11,7 +11,8 @@ let create ?jobs ?cache_capacity ?max_nodes ?max_branches kb =
       cache_capacity =
         Option.value cache_capacity ~default:d.Session.cache_capacity;
       max_nodes = Option.value max_nodes ~default:d.Session.max_nodes;
-      max_branches = Option.value max_branches ~default:d.Session.max_branches }
+      max_branches = Option.value max_branches ~default:d.Session.max_branches;
+      backend = d.Session.backend }
   in
   { engine = Session.engine (Session.create ~config kb) }
 

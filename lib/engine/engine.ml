@@ -16,7 +16,8 @@ let create ?jobs ?cache_capacity ?max_nodes ?max_branches kb =
       cache_capacity =
         Option.value cache_capacity ~default:d.Oracle.cache_capacity;
       max_nodes = Option.value max_nodes ~default:d.Oracle.max_nodes;
-      max_branches = Option.value max_branches ~default:d.Oracle.max_branches }
+      max_branches = Option.value max_branches ~default:d.Oracle.max_branches;
+      backend = d.Oracle.backend }
     kb
 
 let oracle t = t.oracle
@@ -178,6 +179,7 @@ type stats = {
   jobs : int;
   batches : int;
   parallel_calls : int;
+  routes : (string * int) list;
   classification : Classify.stats option;
   realization : Realize.stats option;
 }
@@ -189,6 +191,7 @@ let stats (t : t) =
     jobs = o.Oracle.jobs;
     batches = o.Oracle.batches;
     parallel_calls = o.Oracle.parallel_calls;
+    routes = o.Oracle.routes;
     classification = Option.map (fun c -> c.Classify.stats) t.classification;
     realization = Option.map (fun r -> r.Realize.stats) t.realization }
 
@@ -198,7 +201,8 @@ let pp_stats ppf s =
       tableau_calls = s.tableau_calls;
       jobs = s.jobs;
       batches = s.batches;
-      parallel_calls = s.parallel_calls };
+      parallel_calls = s.parallel_calls;
+      routes = s.routes };
   Option.iter
     (fun c -> Format.fprintf ppf "@.classification: %a" Classify.pp_stats c)
     s.classification;

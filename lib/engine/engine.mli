@@ -113,6 +113,7 @@ type stats = {
   jobs : int;
   batches : int;  (** parallel fan-outs executed by the oracle *)
   parallel_calls : int;  (** verdicts computed off the coordinating domain *)
+  routes : (string * int) list;  (** computed verdicts per backend *)
   classification : Classify.stats option;  (** [None] until built *)
   realization : Realize.stats option;
 }

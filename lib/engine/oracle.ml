@@ -1,4 +1,7 @@
-type query =
+(* The query vocabulary lives in [Backend] (PR 7) so decision procedures
+   can be written against it without depending on the oracle; the alias
+   keeps [Oracle.Consistent] etc. valid for every existing caller. *)
+type query = Backend.query =
   | Consistent
   | Concept_sat of Concept.t
   | Instance of string * Concept.t
@@ -54,6 +57,8 @@ let c_tableau_calls = Obs.counter "oracle.tableau_calls"
 let c_batches = Obs.counter "oracle.batches"
 let c_parallel_calls = Obs.counter "oracle.worker_verdicts"
 let c_slow = Obs.counter "oracle.slow_verdicts"
+let c_route_tableau = Obs.counter "oracle.route.tableau"
+let c_route_horn = Obs.counter "oracle.route.horn"
 let g_cache_size = Obs.gauge "oracle.cache.size"
 let h_eval = Obs.histogram "oracle.eval_ns"
 
@@ -68,6 +73,7 @@ type prov_entry = { individuals : string list; concepts : string list }
 type cost = {
   c_query : string;  (* printable form of the query *)
   c_kind : string;  (* query_kind *)
+  c_backend : string;  (* which decision procedure computed it *)
   c_wall_ns : float;
   c_runs : int;  (* tableau runs the verdict needed *)
   c_nodes : int;
@@ -102,6 +108,7 @@ type cost_totals = {
   clashes : int;
   blocking : int;
   rule_firings : (string * int) list;  (* non-zero, by rule name *)
+  backends : (string * int) list;  (* computed verdicts per backend *)
 }
 
 type cost_acc = {
@@ -117,6 +124,7 @@ type cost_acc = {
   mutable a_clashes : int;
   mutable a_blocking : int;
   a_rules : int array;
+  a_backends : (string, int) Hashtbl.t;
 }
 
 let fresh_acc () =
@@ -131,13 +139,15 @@ let fresh_acc () =
     a_backtracks = 0;
     a_clashes = 0;
     a_blocking = 0;
-    a_rules = Array.make (Array.length Tableau.rule_names) 0 }
+    a_rules = Array.make (Array.length Tableau.rule_names) 0;
+    a_backends = Hashtbl.create 4 }
 
 type config = {
   jobs : int;
   cache_capacity : int;
   max_nodes : int;
   max_branches : int;
+  backend : Backend.choice;
 }
 
 let default_cache_capacity = 4096
@@ -146,15 +156,55 @@ let default_config =
   { jobs = 1;
     cache_capacity = default_cache_capacity;
     max_nodes = 20_000;
-    max_branches = max_int }
+    max_branches = max_int;
+    backend = Backend.Tableau }
+
+(* A per-domain backend stack: the universal tableau plus (when the
+   session's routing policy and the KB's fragment allow it) a Horn
+   completion instance.  Each domain of the pool gets its own stack —
+   backends are as mutable as the reasoners they wrap. *)
+type stack = {
+  s_tab : Backend.packed;
+  s_horn : Backend.packed option;
+}
+
+(* Route one query to the cheapest complete backend: the completion
+   engine whenever it is present (the KB is in its fragment) and claims
+   the query's shape; the tableau is the general fallback. *)
+let route stack q =
+  match stack.s_horn with
+  | Some h when Backend.can_answer h q -> h
+  | _ -> stack.s_tab
+
+(* Build the optional Horn side of a stack.  [Auto] probes the fragment
+   detector; [Horn] builds unconditionally so an ineligible KB raises
+   [Backend.Unsupported] with the first offending axiom. *)
+let build_horn (config : config) classical_kb =
+  match config.backend with
+  | Backend.Tableau -> None
+  | Backend.Auto when not (Horn_backend.complete_for classical_kb) -> None
+  | Backend.Auto | Backend.Horn ->
+      Some
+        (Backend.pack
+           (module Horn_backend)
+           (Horn_backend.create ~max_nodes:config.max_nodes
+              ~max_branches:config.max_branches classical_kb))
+
+let stack_of_reasoner config classical_kb r =
+  { s_tab = Backend.pack (module Backend_tableau) (Backend_tableau.of_reasoner r);
+    s_horn = build_horn config classical_kb }
 
 type t = {
   mutable kb : Kb4.t;
   mutable classical_kb : Axiom.kb;
   config : config;
   primary : Reasoner.t;
-  mutable workers : Reasoner.t array option;
-      (* pool reasoners, length [jobs - 1]; created on first parallel batch,
+  mutable stack : stack;
+      (* the coordinating domain's backends; [s_tab] wraps [primary],
+         the Horn side is rebuilt by [apply] (deltas can change both the
+         KB and its fragment eligibility) *)
+  mutable workers : stack array option;
+      (* pool stacks, length [jobs - 1]; created on first parallel batch,
          discarded by [apply] (they are rebuilt against the updated KB) *)
   cache : bool Cache.t;
   prov : prov_entry KH.t;
@@ -202,12 +252,15 @@ let of_config (config : config) kb =
           KH.remove prov k;
           List.iter (fun s -> unpost ind_index s k) e.individuals;
           List.iter (fun s -> unpost atom_index s k) e.concepts);
+  let primary =
+    Reasoner.create ~max_nodes:config.max_nodes
+      ~max_branches:config.max_branches classical_kb
+  in
   { kb;
     classical_kb;
     config;
-    primary =
-      Reasoner.create ~max_nodes:config.max_nodes
-        ~max_branches:config.max_branches classical_kb;
+    primary;
+    stack = stack_of_reasoner config classical_kb primary;
     workers = None;
     cache;
     prov;
@@ -220,13 +273,14 @@ let of_config (config : config) kb =
     parallel_calls = 0 }
 
 let create ?(jobs = 1) ?(cache_capacity = default_cache_capacity) ?max_nodes
-    ?max_branches kb =
+    ?max_branches ?(backend = default_config.backend) kb =
   of_config
     { jobs;
       cache_capacity;
       max_nodes = Option.value max_nodes ~default:default_config.max_nodes;
       max_branches =
-        Option.value max_branches ~default:default_config.max_branches }
+        Option.value max_branches ~default:default_config.max_branches;
+      backend }
     kb
 
 let kb t = t.kb
@@ -235,43 +289,12 @@ let reasoner t = t.primary
 let config t = t.config
 let jobs t = t.config.jobs
 
-(* Evaluate a query on a given reasoner — the only place verdicts are
-   actually computed.  Pure w.r.t. everything but that reasoner's own
-   statistics (and the optional provenance sink), so it is safe on worker
-   domains. *)
-let eval ?prov reasoner = function
-  | Consistent -> Reasoner.is_consistent ?prov reasoner
-  | Concept_sat c -> Reasoner.concept_satisfiable ?prov reasoner c
-  | Instance (a, c) ->
-      not
-        (Reasoner.consistent_with ?prov reasoner
-           [ Transform.instance_query c a ])
-  | Not_instance (a, c) ->
-      not
-        (Reasoner.consistent_with ?prov reasoner
-           [ Transform.negative_instance_query c a ])
-  | Role_pos (a, r, b) ->
-      Reasoner.role_entailed ?prov reasoner a (Transform.plus_role r) b
-  | Role_neg (a, r, b) ->
-      not
-        (Reasoner.consistent_with ?prov reasoner
-           [ Axiom.Role_assertion (a, Transform.eq_role r, b) ])
+(* The query → decision-procedure mapping that used to live here is now
+   [Backend_tableau.eval]; verdicts are computed by whichever backend
+   [route] picks from the evaluating domain's stack. *)
 
-let query_kind = function
-  | Consistent -> "consistent"
-  | Concept_sat _ -> "concept_sat"
-  | Instance _ -> "instance"
-  | Not_instance _ -> "not_instance"
-  | Role_pos _ -> "role_pos"
-  | Role_neg _ -> "role_neg"
-
-let query_to_string = function
-  | Consistent -> "consistent?"
-  | Concept_sat c -> "sat? " ^ Concept.to_string c
-  | Instance (a, c) -> a ^ " : " ^ Concept.to_string c
-  | Not_instance (a, c) -> a ^ " : not " ^ Concept.to_string c
-  | Role_pos (a, r, b) -> Role.to_string r ^ "(" ^ a ^ ", " ^ b ^ ")"
-  | Role_neg (a, r, b) -> "not " ^ Role.to_string r ^ "(" ^ a ^ ", " ^ b ^ ")"
+let query_kind = Backend.query_kind
+let query_to_string = Backend.query_to_string
 
 (* Seed a fresh provenance sink with the query's own symbols.  A tableau
    run that closes before any rule fires on a query individual would
@@ -293,11 +316,12 @@ let seed_prov p q =
       Tableau.prov_add_ind p a;
       Tableau.prov_add_ind p b
 
-(* The cost of one eval: the diff of the computing reasoner's stats
+(* The cost of one eval: the diff of the computing backend's stats
    cells around the run, plus wall time. *)
-let cost_of_diff q wall_ns (s0 : Tableau.stats) (s1 : Tableau.stats) =
+let cost_of_diff ~backend q wall_ns (s0 : Tableau.stats) (s1 : Tableau.stats) =
   { c_query = query_to_string q;
     c_kind = query_kind q;
+    c_backend = backend;
     c_wall_ns = wall_ns;
     c_runs = s1.runs - s0.runs;
     c_nodes = s1.nodes_created - s0.nodes_created;
@@ -318,27 +342,30 @@ let cost_of_diff q wall_ns (s0 : Tableau.stats) (s1 : Tableau.stats) =
    records feed the slow-query log which is independent of Obs arming)
    plus observability: when sinks are armed, each verdict additionally
    gets a span timed into the eval-latency histogram. *)
-let eval_obs reasoner q =
+let eval_obs stack q =
+  let b = route stack q in
+  let backend = Backend.name b in
   let prov = Tableau.fresh_prov () in
   seed_prov prov q;
   let entry () =
     { individuals = Tableau.prov_individuals prov;
       concepts = Tableau.prov_concepts prov }
   in
-  let s0 = Tableau.copy_stats (Reasoner.stats reasoner) in
+  let s0 = Tableau.copy_stats (Backend.stats b) in
   let t0 = Unix.gettimeofday () in
   let finish v =
     let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
     ignore (v : bool);
-    cost_of_diff q wall_ns s0 (Reasoner.stats reasoner)
+    cost_of_diff ~backend q wall_ns s0 (Backend.stats b)
   in
   if not !Obs.on then
-    let v = eval ~prov reasoner q in
+    let v = Backend.eval ~prov b q in
     (v, entry (), finish v)
   else begin
     let sp = Obs.enter ~cat:"oracle" "oracle.eval" in
     Obs.set_attr sp "query" (query_kind q);
-    match eval ~prov reasoner q with
+    Obs.set_attr sp "backend" backend;
+    match Backend.eval ~prov b q with
     | v ->
         let entry = entry () in
         Obs.set_attr sp "verdict" (string_of_bool v);
@@ -395,6 +422,7 @@ let slow_json t (c : cost) (p : prov_entry) =
   field "ts_unix" (Obs.json_float (Unix.time ()));
   field "query" (str c.c_query);
   field "kind" (str c.c_kind);
+  field "backend" (str c.c_backend);
   field "wall_ms" (Obs.json_float (c.c_wall_ns /. 1e6));
   field "runs" (string_of_int c.c_runs);
   field "nodes" (string_of_int c.c_nodes);
@@ -425,6 +453,9 @@ let slow_json t (c : cost) (p : prov_entry) =
 let record_cost t k (c : cost) (p : prov_entry) =
   let a = t.acc in
   a.a_verdicts <- a.a_verdicts + 1;
+  Hashtbl.replace a.a_backends c.c_backend
+    (1 + Option.value ~default:0 (Hashtbl.find_opt a.a_backends c.c_backend));
+  Obs.incr (if String.equal c.c_backend "horn" then c_route_horn else c_route_tableau);
   a.a_wall <- a.a_wall +. c.c_wall_ns;
   a.a_runs <- a.a_runs + c.c_runs;
   a.a_nodes <- a.a_nodes + c.c_nodes;
@@ -451,7 +482,7 @@ let check t q =
         computed := true;
         t.tableau_calls <- t.tableau_calls + 1;
         Obs.incr c_tableau_calls;
-        let v, p, c = eval_obs t.primary q in
+        let v, p, c = eval_obs t.stack q in
         record_prov t k p;
         record_cost t k c p;
         v)
@@ -465,14 +496,15 @@ let check t q =
   Obs.set_gauge g_cache_size (float_of_int (Cache.length t.cache));
   v
 
-let worker_reasoners t =
+let worker_stacks t =
   match t.workers with
   | Some ws -> ws
   | None ->
       let ws =
         Array.init (t.config.jobs - 1) (fun _ ->
-            Reasoner.create ~max_nodes:t.config.max_nodes
-              ~max_branches:t.config.max_branches t.classical_kb)
+            stack_of_reasoner t.config t.classical_kb
+              (Reasoner.create ~max_nodes:t.config.max_nodes
+                 ~max_branches:t.config.max_branches t.classical_kb))
       in
       t.workers <- Some ws;
       ws
@@ -517,7 +549,7 @@ let map_batches t items ~f =
   | [] | [ _ ] -> sequential ()
   | _ when t.config.jobs <= 1 -> sequential ()
   | _ ->
-      let workers = worker_reasoners t in
+      let workers = worker_stacks t in
       let sp = Obs.enter ~cat:"oracle" "oracle.batch" in
       if Obs.live sp then begin
         Obs.set_attr sp "jobs" (string_of_int t.config.jobs);
@@ -664,7 +696,10 @@ let cost_totals t =
     rule_firings =
       Array.to_list
         (Array.mapi (fun i n -> (Tableau.rule_names.(i), n)) a.a_rules)
-      |> List.filter (fun (_, n) -> n > 0) }
+      |> List.filter (fun (_, n) -> n > 0);
+    backends =
+      Hashtbl.fold (fun b n acc -> (b, n) :: acc) a.a_backends []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b) }
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot export / import (PR 6).  The persistence layer must not see
@@ -739,7 +774,12 @@ let import_totals t (s : cost_totals) =
       match rule_index name with
       | Some i -> a.a_rules.(i) <- a.a_rules.(i) + n
       | None -> ())
-    s.rule_firings
+    s.rule_firings;
+  List.iter
+    (fun (b, n) ->
+      Hashtbl.replace a.a_backends b
+        (n + Option.value ~default:0 (Hashtbl.find_opt a.a_backends b)))
+    s.backends
 
 let restore_cache_stats t (s : Verdict_cache.stats) =
   Cache.restore_stats t.cache ~hits:s.Verdict_cache.hits
@@ -937,6 +977,9 @@ let apply t (d : Delta.t) =
     Reasoner.apply_delta t.primary ~add_abox:cadd ~retract_abox:cretract
       ~add_tbox:ctbox;
     t.classical_kb <- Reasoner.kb t.primary;
+    (* re-stack: fragment eligibility can change with the KB (a delta can
+       push K̄ out of — or back into — the Horn fragment) *)
+    t.stack <- stack_of_reasoner t.config t.classical_kb t.primary;
     t.workers <- None;
     let size0 = Cache.length t.cache in
     if flush then flush_all t
@@ -988,6 +1031,7 @@ type stats = {
   jobs : int;
   batches : int;
   parallel_calls : int;
+  routes : (string * int) list;
 }
 
 let stats (t : t) =
@@ -995,11 +1039,19 @@ let stats (t : t) =
     tableau_calls = t.tableau_calls;
     jobs = t.config.jobs;
     batches = t.batches;
-    parallel_calls = t.parallel_calls }
+    parallel_calls = t.parallel_calls;
+    routes =
+      Hashtbl.fold (fun b n acc -> (b, n) :: acc) t.acc.a_backends []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b) }
 
 let pp_stats ppf s =
   Format.fprintf ppf "cache: %a@.tableau calls paid: %d" Verdict_cache.pp_stats
     s.cache s.tableau_calls;
+  (* route split only when something actually routed — a warm session
+     that served everything from cache keeps the historical footer *)
+  if s.routes <> [] then (
+    Format.fprintf ppf "@.routed:";
+    List.iter (fun (b, n) -> Format.fprintf ppf " %s %d" b n) s.routes);
   if s.jobs > 1 then
     Format.fprintf ppf "@.domain pool: %d domains, %d batches, %d worker verdicts"
       s.jobs s.batches s.parallel_calls

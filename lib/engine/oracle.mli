@@ -23,8 +23,9 @@ type t
 (** The closed vocabulary of boolean entailment questions.  Concepts are
     four-valued surface concepts except in {!Concept_sat}, whose argument
     is already a classical test concept (e.g. from
-    {!Transform.inclusion_tests}). *)
-type query =
+    {!Transform.inclusion_tests}).  The type is an alias of
+    {!Backend.query} — the vocabulary every pluggable backend answers. *)
+type query = Backend.query =
   | Consistent  (** is [K̄] satisfiable (= [K] four-valued satisfiable)? *)
   | Concept_sat of Concept.t
       (** is this classical concept satisfiable w.r.t. [K̄]? *)
@@ -49,23 +50,37 @@ type config = {
           pays its tableau call) *)
   max_nodes : int;  (** tableau node budget per run *)
   max_branches : int;  (** tableau branch budget per run *)
+  backend : Backend.choice;
+      (** verdict routing policy.  [Tableau] (the library default) pins
+          every verdict to the tableau — bit-for-bit the pre-backend
+          behavior.  [Auto] builds the Horn/EL completion backend when
+          K̄ is in its fragment ({!Fragment.check}) and routes each
+          verdict to it when it can answer ([can_answer]), falling back
+          to the tableau otherwise.  [Horn] demands the fragment:
+          {!of_config} raises {!Backend.Unsupported} when K̄ is outside
+          it (per-query shapes the completion engine cannot answer
+          still fall back to the tableau). *)
 }
 
 val default_config : config
 (** [{ jobs = 1; cache_capacity = default_cache_capacity;
-      max_nodes = 20_000; max_branches = max_int }] *)
+      max_nodes = 20_000; max_branches = max_int;
+      backend = Backend.Tableau }] *)
 
 val of_config : config -> Kb4.t -> t
 (** Build an oracle over the four-valued KB: transforms it to [K̄]
     (Definition 7) and prepares the primary reasoner.  [jobs] is clamped
     to at least 1; worker reasoners are created lazily on the first
-    parallel batch. *)
+    parallel batch.
+    @raise Backend.Unsupported when [config.backend = Horn] and [K̄] is
+    outside the Horn/EL fragment. *)
 
 val create :
   ?jobs:int ->
   ?cache_capacity:int ->
   ?max_nodes:int ->
   ?max_branches:int ->
+  ?backend:Backend.choice ->
   Kb4.t ->
   t
 (** @deprecated Legacy optional-argument spelling.  Equivalent to
@@ -159,6 +174,7 @@ val provenances : t -> prov_entry list
 type cost = {
   c_query : string;  (** printable form of the query *)
   c_kind : string;  (** {!query_kind} *)
+  c_backend : string;  (** backend that computed it: ["tableau"]/["horn"] *)
   c_wall_ns : float;
   c_runs : int;  (** tableau runs the verdict needed *)
   c_nodes : int;  (** completion-graph nodes created *)
@@ -195,6 +211,8 @@ type cost_totals = {
   clashes : int;
   blocking : int;
   rule_firings : (string * int) list;  (** non-zero, by rule name *)
+  backends : (string * int) list;
+      (** verdicts computed per backend, sorted by name *)
 }
 
 val cost_totals : t -> cost_totals
@@ -309,6 +327,9 @@ type stats = {
   parallel_calls : int;
       (** verdicts computed off the coordinating domain (a subset of
           [tableau_calls]) *)
+  routes : (string * int) list;
+      (** computed verdicts per backend since construction, sorted by
+          backend name; empty until something is computed *)
 }
 
 val stats : t -> stats

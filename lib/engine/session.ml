@@ -3,6 +3,7 @@ type config = Oracle.config = {
   cache_capacity : int;
   max_nodes : int;
   max_branches : int;
+  backend : Backend.choice;
 }
 
 let default_config = Oracle.default_config

@@ -23,6 +23,11 @@ type config = Oracle.config = {
   cache_capacity : int;  (** verdict-cache bound; [0] disables caching *)
   max_nodes : int;  (** tableau node budget per run *)
   max_branches : int;  (** tableau branch budget per run *)
+  backend : Backend.choice;
+      (** verdict routing: [Tableau] (default) pins every query to the
+          tableau, [Auto] routes Horn-fragment work to the completion
+          backend, [Horn] requires the fragment (raises
+          [Backend.Unsupported] otherwise) *)
 }
 
 val default_config : config

@@ -1,0 +1,119 @@
+type offender =
+  | Tbox of Axiom.tbox_axiom
+  | Abox of Axiom.abox_axiom
+
+type verdict =
+  | Eligible
+  | Ineligible of { offender : offender; reason : string }
+
+(* Concept shape checks return [Ok ()] or [Error reason] so the first
+   offense inside a nested concept surfaces in diagnostics. *)
+
+let rec el_shape (c : Concept.t) =
+  match c with
+  | Concept.Top | Concept.Bottom | Concept.Atom _ -> Ok ()
+  | Concept.And (a, b) -> (
+      match el_shape a with Ok () -> el_shape b | e -> e)
+  | Concept.Exists (Role.Name _, d) -> el_shape d
+  | Concept.Exists (Role.Inv _, _) -> Error "inverse role"
+  | Concept.Not _ -> Error "negation"
+  | Concept.Or _ -> Error "non-Horn disjunction"
+  | Concept.Forall _ -> Error "universal restriction"
+  | Concept.One_of _ -> Error "nominal"
+  | Concept.At_least _ | Concept.At_most _ -> Error "number restriction"
+  | Concept.Data_exists _ | Concept.Data_forall _ | Concept.Data_at_least _
+  | Concept.Data_at_most _ ->
+      Error "datatype construct"
+
+(* A body (LHS / goal) additionally admits ⊔ anywhere above the EL
+   structure: [L₁ ⊔ L₂ ⊑ R] is the two Horn axioms [Lᵢ ⊑ R], and the
+   same split works under ⊓ and ∃ (both distribute over ⊔). *)
+let rec body_shape (c : Concept.t) =
+  match c with
+  | Concept.Or (a, b) | Concept.And (a, b) -> (
+      match body_shape a with Ok () -> body_shape b | e -> e)
+  | Concept.Exists (Role.Name _, d) -> body_shape d
+  | _ -> el_shape c
+
+let el_concept c = el_shape c = Ok ()
+let body_concept c = body_shape c = Ok ()
+
+let concept_reason c =
+  match body_shape c with Ok () -> None | Error r -> Some r
+
+let tbox_shape (ax : Axiom.tbox_axiom) =
+  match ax with
+  | Axiom.Concept_sub (l, r) -> (
+      match body_shape l with
+      | Error e -> Error (e ^ " on the left")
+      | Ok () -> (
+          match el_shape r with
+          | Error e -> Error (e ^ " on the right")
+          | Ok () -> Ok ()))
+  | Axiom.Role_sub (Role.Name _, Role.Name _) -> Ok ()
+  | Axiom.Role_sub _ -> Error "inverse role"
+  | Axiom.Data_role_sub _ -> Error "datatype role inclusion"
+  | Axiom.Transitive _ -> Ok ()
+
+let abox_shape (ax : Axiom.abox_axiom) =
+  match ax with
+  | Axiom.Instance_of (_, c) -> el_shape c
+  | Axiom.Role_assertion (_, Role.Name _, _) -> Ok ()
+  | Axiom.Role_assertion (_, Role.Inv _, _) -> Error "inverse role"
+  | Axiom.Data_assertion _ -> Error "datatype assertion"
+  | Axiom.Same _ | Axiom.Different _ -> Ok ()
+
+let check (kb : Axiom.kb) =
+  let rec tbox = function
+    | [] -> abox kb.Axiom.abox
+    | ax :: rest -> (
+        match tbox_shape ax with
+        | Ok () -> tbox rest
+        | Error reason -> Ineligible { offender = Tbox ax; reason })
+  and abox = function
+    | [] -> Eligible
+    | ax :: rest -> (
+        match abox_shape ax with
+        | Ok () -> abox rest
+        | Error reason -> Ineligible { offender = Abox ax; reason })
+  in
+  tbox kb.Axiom.tbox
+
+let eligible kb = check kb = Eligible
+
+let explain kb =
+  match check kb with
+  | Eligible -> None
+  | Ineligible { offender; reason } ->
+      let axiom =
+        match offender with
+        | Tbox ax -> Format.asprintf "%a" Axiom.pp_tbox_axiom ax
+        | Abox ax -> Format.asprintf "%a" Axiom.pp_abox_axiom ax
+      in
+      Some (Printf.sprintf "%s; axiom: %s" reason axiom)
+
+(* Source-level scan: each four-valued axiom is checked through its own
+   transform images, so [dl4 fragment] can point at the axiom the user
+   wrote.  [Transform.kb] is exactly the concatenation of these images
+   (plus the identity on the ABox), so the verdicts agree. *)
+let check_kb4 (kb : Kb4.t) =
+  let rec tbox = function
+    | [] -> abox kb.Kb4.abox
+    | ax :: rest -> (
+        let images = Transform.tbox_axiom ax in
+        let rec scan = function
+          | [] -> tbox rest
+          | im :: ims -> (
+              match tbox_shape im with
+              | Ok () -> scan ims
+              | Error reason -> Error (`Tbox ax, reason))
+        in
+        scan images)
+  and abox = function
+    | [] -> Ok ()
+    | ax :: rest -> (
+        match abox_shape (Transform.abox_axiom ax) with
+        | Ok () -> abox rest
+        | Error reason -> Error (`Abox ax, reason))
+  in
+  tbox kb.Kb4.tbox

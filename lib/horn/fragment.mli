@@ -1,0 +1,56 @@
+(** Syntactic Horn/EL fragment detector over the transformed KB K̄.
+
+    The completion backend ({!Completion}) is a complete decision
+    procedure only when every axiom of K̄ is Horn-shaped: concept
+    inclusions [L ⊑ R] where [R] is an EL concept (atoms, ⊤, ⊥, ⊓,
+    [∃r.C] over named roles) and [L] additionally admits disjunction
+    (a disjunctive body splits into several Horn rules), named-role
+    inclusions and transitivity, and EL-shaped assertions.  Everything
+    that makes reasoning disjunctive or non-local is rejected: negation
+    (so Material concept inclusions, which transform to
+    [¬neg(C) ⊑ pos(D)], are out), disjunction on the right, universal
+    restrictions, nominals, number restrictions, inverse roles and
+    datatype constructs.
+
+    The check is per-axiom and purely syntactic, so it doubles as the
+    [dl4 fragment] diagnostic: the verdict carries the first offending
+    axiom and the reason it breaks the fragment. *)
+
+type offender =
+  | Tbox of Axiom.tbox_axiom
+  | Abox of Axiom.abox_axiom
+
+type verdict =
+  | Eligible
+  | Ineligible of { offender : offender; reason : string }
+
+val check : Axiom.kb -> verdict
+(** First-offender scan of K̄ (TBox first, told order). *)
+
+val eligible : Axiom.kb -> bool
+
+val explain : Axiom.kb -> string option
+(** [Some "reason: ...; axiom: ..."] when ineligible — the payload used
+    by [Backend.Unsupported]. *)
+
+val check_kb4 : Kb4.t -> (unit, [ `Tbox of Kb4.tbox_axiom | `Abox of Axiom.abox_axiom ] * string) result
+(** Source-level verdict for [dl4 fragment]: checks each four-valued
+    axiom through its own transform images ([Transform.tbox_axiom] /
+    [abox_axiom]), so the offender reported is the axiom the user wrote.
+    Agrees with [check (Transform.kb kb)] because both the transform and
+    the check are axiom-local. *)
+
+(** {1 Concept shapes} (shared with the completion engine) *)
+
+val el_concept : Concept.t -> bool
+(** Positive EL: ⊤, ⊥, atoms, ⊓, ∃ over named roles.  The shape that can
+    be asserted/normalized "from above" (as an RHS or an ABox concept). *)
+
+val body_concept : Concept.t -> bool
+(** EL plus disjunction anywhere: the shape definable "from below" (as
+    an LHS or an entailment goal — [⊔] in a goal is a set of alternative
+    derivations, still Horn). *)
+
+val concept_reason : Concept.t -> string option
+(** Why a concept fails {!body_concept} (first offense), e.g.
+    ["negation"], ["universal restriction"], ["nominal"]. *)

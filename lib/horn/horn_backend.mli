@@ -1,0 +1,11 @@
+(** The Horn/EL completion engine packaged as an oracle backend.
+
+    [complete_for] is {!Fragment.eligible} over K̄; [can_answer] further
+    narrows per query (a satisfiability probe must be
+    {!Completion.sat_answerable}, an instance goal must be a
+    {!Fragment.body_concept} image, a negative role query needs an inert
+    role).  On everything it accepts, [eval] agrees with the tableau
+    backend — that equivalence is what the differential suite in
+    [test/test_backend.ml] pins down. *)
+
+include Backend.S

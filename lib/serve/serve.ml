@@ -145,7 +145,9 @@ let totals_json (s : Oracle.cost_totals) =
       ("runs", jint s.Oracle.runs);
       ("nodes", jint s.Oracle.nodes);
       ("branches", jint s.Oracle.branches);
-      ("clashes", jint s.Oracle.clashes) ]
+      ("clashes", jint s.Oracle.clashes);
+      ( "backends",
+        jobj (List.map (fun (b, n) -> (b, jint n)) s.Oracle.backends) ) ]
 
 let op_stats t _req =
   let s = Engine.stats (Para.engine t.para) in
@@ -156,6 +158,7 @@ let op_stats t _req =
     ("jobs", jint s.Engine.jobs);
     ("batches", jint s.Engine.batches);
     ("parallel_calls", jint s.Engine.parallel_calls);
+    ("routes", jobj (List.map (fun (b, n) -> (b, jint n)) s.Engine.routes));
     ("totals", totals_json (Session.cost_totals (session t))) ]
 
 let save_snapshot t path =

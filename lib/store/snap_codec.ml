@@ -553,6 +553,7 @@ let r_rules_array r =
 let w_cost b (c : Oracle.cost) =
   w_string b c.Oracle.c_query;
   w_string b c.Oracle.c_kind;
+  w_string b c.Oracle.c_backend;
   w_float b c.Oracle.c_wall_ns;
   w_int b c.Oracle.c_runs;
   w_int b c.Oracle.c_nodes;
@@ -568,6 +569,7 @@ let w_cost b (c : Oracle.cost) =
 let r_cost r : Oracle.cost =
   let c_query = r_string r in
   let c_kind = r_string r in
+  let c_backend = r_string r in
   let c_wall_ns = r_float r in
   let c_runs = r_int r in
   let c_nodes = r_int r in
@@ -581,6 +583,7 @@ let r_cost r : Oracle.cost =
   let c_hits = r_int r in
   { Oracle.c_query;
     c_kind;
+    c_backend;
     c_wall_ns;
     c_runs;
     c_nodes;
@@ -618,7 +621,8 @@ let w_cost_totals b (s : Oracle.cost_totals) =
   w_int b s.Oracle.backtracks;
   w_int b s.Oracle.clashes;
   w_int b s.Oracle.blocking;
-  w_list b (w_pair w_string w_int) s.Oracle.rule_firings
+  w_list b (w_pair w_string w_int) s.Oracle.rule_firings;
+  w_list b (w_pair w_string w_int) s.Oracle.backends
 
 let r_cost_totals r : Oracle.cost_totals =
   let verdicts = r_int r in
@@ -633,6 +637,7 @@ let r_cost_totals r : Oracle.cost_totals =
   let clashes = r_int r in
   let blocking = r_int r in
   let rule_firings = r_list r (r_pair r_string r_int) in
+  let backends = r_list r (r_pair r_string r_int) in
   { Oracle.verdicts;
     cache_served;
     slow;
@@ -644,7 +649,8 @@ let r_cost_totals r : Oracle.cost_totals =
     backtracks;
     clashes;
     blocking;
-    rule_firings }
+    rule_firings;
+    backends }
 
 let w_classify_stats b (s : Classify.stats) =
   w_int b s.Classify.atoms;
@@ -674,14 +680,26 @@ let w_config b (c : Oracle.config) =
   w_int b c.Oracle.jobs;
   w_int b c.Oracle.cache_capacity;
   w_int b c.Oracle.max_nodes;
-  w_int b c.Oracle.max_branches
+  w_int b c.Oracle.max_branches;
+  w_u8 b
+    (match c.Oracle.backend with
+    | Backend.Auto -> 0
+    | Backend.Tableau -> 1
+    | Backend.Horn -> 2)
 
 let r_config r : Oracle.config =
   let jobs = r_int r in
   let cache_capacity = r_int r in
   let max_nodes = r_int r in
   let max_branches = r_int r in
-  { Oracle.jobs; cache_capacity; max_nodes; max_branches }
+  let backend =
+    match r_u8 r with
+    | 0 -> Backend.Auto
+    | 1 -> Backend.Tableau
+    | 2 -> Backend.Horn
+    | n -> corrupt "bad backend tag %d" n
+  in
+  { Oracle.jobs; cache_capacity; max_nodes; max_branches; backend }
 
 let w_cache_stats b (s : Verdict_cache.stats) =
   w_int b s.Verdict_cache.hits;

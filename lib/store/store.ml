@@ -1,9 +1,9 @@
-(* dl4-snap/1 — the versioned on-disk snapshot container.
+(* dl4-snap/2 — the versioned on-disk snapshot container.
 
    Layout:
 
      bytes 0..7    magic "dl4-snap"
-     u32           format version (= 1)
+     u32           format version (= 2)
      u32           section count
      per section:  name (length-prefixed string), u32 payload length,
                    u32 Adler-32 of the payload
@@ -23,7 +23,7 @@
    cold build, never serve from a bad snapshot. *)
 
 let magic = "dl4-snap"
-let version = 1
+let version = 2
 
 type snapshot = {
   s_config : Oracle.config;

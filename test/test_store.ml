@@ -181,9 +181,9 @@ let rejection_tests =
         let data = base () in
         let b = Bytes.of_string data in
         (* the u32 version sits right after the 8-byte magic *)
-        Bytes.set b 8 '\002';
-        expect_error "version 2" (Bytes.to_string b) (function
-          | Store.Bad_version 2 -> true
+        Bytes.set b 8 '\003';
+        expect_error "version 3" (Bytes.to_string b) (function
+          | Store.Bad_version 3 -> true
           | _ -> false));
     Alcotest.test_case "not a snapshot at all" `Quick (fun () ->
         expect_error "garbage" "definitely not a snapshot" (function
