@@ -1057,6 +1057,166 @@ let report_backends () =
                auto_st.Engine.routes)))
 
 (* ------------------------------------------------------------------ *)
+(* S11: what does the PR 8 telemetry plane cost per request?
+
+   Two measurements combine into the gated ratio:
+
+   - the *marginal* cost of arming: the same warm atomic grid runs
+     through [Serve.handle] on a disarmed daemon ([~telemetry:false])
+     and a fully armed one (registry + trace minting + access log),
+     interleaved round by round so allocator and scheduler drift hits
+     both sides equally, min-of-rounds each.  In-process paired diffs
+     are stable to ~0.1 us/query.
+
+   - the *real* round trip a client pays: one armed daemon serving the
+     grid over its unix socket via [Serve.request] (connect + write +
+     read per query), min-of-rounds.
+
+   overhead_pct = marginal / socket round trip.  We deliberately do
+   NOT compare two socket daemons against each other: per-thread
+   placement bias makes that differ by +-20% across runs, drowning a
+   ~1 us marginal.  The ratio of a paired in-process diff to a single
+   daemon's absolute round trip is what a client actually experiences
+   and is reproducible.  Answers must be identical armed vs disarmed
+   and the ratio must stay within 5% (gated in GATES.json). *)
+
+let report_telemetry () =
+  section "S11: telemetry-armed vs disarmed serve round trips -> BENCH_telemetry.json";
+  let kb =
+    Gen.kb4
+      { Gen.default with
+        seed = 41;
+        n_concepts = 10;
+        n_individuals = 8;
+        n_tbox = 14;
+        n_abox = 18;
+        max_depth = 1;
+        inconsistency_rate = 0.1 }
+  in
+  let signature = Kb4.signature kb in
+  let reqs =
+    List.concat_map
+      (fun a ->
+        List.map
+          (fun c ->
+            Printf.sprintf
+              {|{"op":"query","individual":"%s","concept":"%s"}|} a c)
+          signature.Axiom.concepts)
+      signature.Axiom.individuals
+  in
+  let n = List.length reqs in
+  let warm_session () =
+    let s = Session.create kb in
+    let p = Para.of_session s in
+    ignore (Para.satisfiable p : bool);
+    ignore (Para.contradictions p : (string * string) list);
+    ignore (Engine.classification (Session.engine s) : Classify.t);
+    s
+  in
+  let truth_of resp =
+    match Json_lite.parse resp with
+    | Error e -> failwith ("S11: serve response unparsable: " ^ e)
+    | Ok j -> (
+        match Option.bind (Json_lite.member "truth" j) Json_lite.to_str with
+        | Some t -> t
+        | None -> failwith ("S11: serve response lacks truth: " ^ resp))
+  in
+  let grid srv = List.map (fun req -> truth_of (Serve.handle srv req)) reqs in
+  let rounds = 100 in
+  let access = Filename.temp_file "dl4_bench_s11" ".access.jsonl" in
+  let disarmed = Serve.create ~telemetry:false (warm_session ()) in
+  let armed = Serve.create ~access_log:access (warm_session ()) in
+  (* warm both verdict caches before timing anything *)
+  let off_answers = grid disarmed in
+  let on_answers = grid armed in
+  let identical = off_answers = on_answers in
+  if not identical then failwith "S11: answers differ armed vs disarmed";
+  let timed srv =
+    let t0 = Unix.gettimeofday () in
+    ignore (grid srv : string list);
+    Unix.gettimeofday () -. t0
+  in
+  let off_dt = ref Float.infinity and on_dt = ref Float.infinity in
+  for _ = 1 to rounds do
+    off_dt := Float.min !off_dt (timed disarmed);
+    on_dt := Float.min !on_dt (timed armed)
+  done;
+  Serve.sync armed;
+  let per_q dt = dt /. float_of_int n *. 1e6 in
+  let marginal_us = per_q !on_dt -. per_q !off_dt in
+  (* denominator: what a client pays per query against a live armed
+     daemon, connect-per-request over the unix socket *)
+  let sock = Filename.temp_file "dl4_bench_s11" ".sock" in
+  Sys.remove sock;
+  let daemon = Serve.create ~access_log:access (warm_session ()) in
+  let th = Thread.create (fun () -> Serve.run ~socket_path:sock daemon) () in
+  let rec wait_bind k =
+    if Sys.file_exists sock then ()
+    else if k = 0 then failwith "S11: daemon did not bind"
+    else begin Thread.delay 0.01; wait_bind (k - 1) end
+  in
+  wait_bind 500;
+  let sock_grid () =
+    List.iter
+      (fun req -> ignore (Serve.request ~socket_path:sock req : string))
+      reqs
+  in
+  sock_grid ();
+  let rt_dt = ref Float.infinity in
+  for _ = 1 to 15 do
+    let t0 = Unix.gettimeofday () in
+    sock_grid ();
+    rt_dt := Float.min !rt_dt (Unix.gettimeofday () -. t0)
+  done;
+  ignore (Serve.request ~socket_path:sock {|{"op":"shutdown"}|} : string);
+  Thread.join th;
+  let roundtrip_us = per_q !rt_dt in
+  let overhead_pct = Float.max 0. marginal_us /. roundtrip_us *. 100. in
+  (* the armed daemons must have left access-log lines behind *)
+  let access_lines =
+    let ic = open_in access in
+    let rec count k =
+      match input_line ic with
+      | _ -> count (k + 1)
+      | exception End_of_file -> close_in ic; k
+    in
+    count 0
+  in
+  Sys.remove access;
+  Printf.printf "  %d warm queries/round, marginal from %d interleaved rounds\n"
+    n rounds;
+  Printf.printf "  in-process handle: disarmed %8.3f us/q, armed %8.3f us/q\n"
+    (per_q !off_dt) (per_q !on_dt);
+  Printf.printf "  marginal cost of arming: %+.3f us/q\n" marginal_us;
+  Printf.printf "  socket round trip (armed daemon): %8.3f us/q\n" roundtrip_us;
+  Printf.printf "  client-visible overhead: %.2f%%\n" overhead_pct;
+  Printf.printf "  access-log lines from the armed runs: %d\n" access_lines;
+  Printf.printf "  answers identical armed vs disarmed: %b\n" identical;
+  write_bench "BENCH_telemetry.json" ~experiment:"S11_telemetry_overhead"
+    ~metrics:
+      [ ("queries", string_of_int n);
+        ("rounds", string_of_int rounds);
+        ("disarmed_us_per_query", Printf.sprintf "%.3f" (per_q !off_dt));
+        ("armed_us_per_query", Printf.sprintf "%.3f" (per_q !on_dt));
+        ("marginal_us_per_query", Printf.sprintf "%.3f" marginal_us);
+        ("socket_roundtrip_us", Printf.sprintf "%.3f" roundtrip_us);
+        ("telemetry_overhead_pct", Printf.sprintf "%.2f" overhead_pct);
+        ("access_log_lines", string_of_int access_lines);
+        ("answers_identical", if identical then "1" else "0") ]
+    ~detail:
+      (Printf.sprintf
+         "{\"kb\": {\"seed\": 41, \"concepts\": 10, \"individuals\": 8, \
+          \"tbox\": 14, \"abox\": 18},\n\
+         \  \"marginal\": \"armed minus disarmed Serve.handle us/query, \
+          interleaved min of %d rounds each\",\n\
+         \  \"roundtrip\": \"Serve.request vs one armed daemon thread, \
+          connect per request, min of 15 rounds\",\n\
+         \  \"overhead\": \"max(0, marginal) / roundtrip\",\n\
+         \  \"armed\": \"registry + trace IDs + deferred-render access log\",\n\
+         \  \"disarmed\": \"Serve.create ~telemetry:false\"}"
+         rounds)
+
+(* ------------------------------------------------------------------ *)
 (* Timing benches *)
 
 let paper_benches () =
@@ -1253,6 +1413,7 @@ let () =
   report_incremental ();
   report_serve ();
   report_backends ();
+  report_telemetry ();
   section "timing series (S1-S4)";
   run_group ~name:"paper" (paper_benches ());
   run_group ~name:"scale_transform" (transform_benches ());

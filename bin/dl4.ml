@@ -208,6 +208,11 @@ let with_obs ~cmd (stats, metrics, trace, slow_log, slow_ms, flight, flight_dept
   Option.iter (fun p -> Obs.arm_slow_log ~threshold_ms:slow_ms p) slow_log;
   Option.iter Flight.set_capacity flight_depth;
   Option.iter (fun p -> Flight.arm ~path:p ()) flight;
+  (* one trace ID per CLI invocation: every cost record, span, slow-log
+     line and flight event of this run carries it.  The serve loop
+     re-mints per request on top of this. *)
+  let trace_id = Obs.new_trace_id () in
+  Obs.set_trace_id trace_id;
   let finish code =
     if stats then Obs.print_footer ();
     Option.iter Obs.write_metrics_json metrics;
@@ -216,6 +221,7 @@ let with_obs ~cmd (stats, metrics, trace, slow_log, slow_ms, flight, flight_dept
     code
   in
   let sp = Obs.enter ~cat:"cli" ("cli." ^ cmd) in
+  Obs.set_attr sp "trace_id" trace_id;
   match run () with
   | code ->
       Obs.exit_span sp;
@@ -1194,7 +1200,57 @@ let serve_cmd =
           ~doc:"Do not pre-warm the session before serving (default: warm \
                 consistency, the atomic truth grid and classification).")
   in
-  let run file socket snapshot_to idle_save cold max_nodes max_branches
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Prometheus-style text exposition of the daemon's \
+             telemetry registry to $(docv), atomically (tmp + rename), \
+             at startup, at shutdown and at most every --metrics-interval \
+             seconds while serving.  Point a scraper or 'watch cat' at \
+             it.")
+  in
+  let metrics_interval =
+    Arg.(
+      value & opt float 5.0
+      & info [ "metrics-interval" ] ~docv:"SEC"
+          ~doc:"Seconds between --metrics-out rewrites (clamped to >= \
+                0.05).")
+  in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL line per request to $(docv): timestamp, \
+             trace ID, op, outcome, wall ns, backend routes, cache hits, \
+             tableau calls.  Buffered (flushed on the metrics tick and at \
+             shutdown); rotated once to $(docv).1 when it would exceed \
+             --access-log-rotate bytes.")
+  in
+  let access_log_rotate =
+    Arg.(
+      value
+      & opt int Serve.default_access_log_max_bytes
+      & info [ "access-log-rotate" ] ~docv:"BYTES"
+          ~doc:"Rotate the access log when it would exceed $(docv) bytes \
+                (default 16 MiB, clamped to >= 1024).")
+  in
+  let no_telemetry =
+    Arg.(
+      value & flag
+      & info [ "no-telemetry" ]
+          ~doc:
+            "Disarm the per-request telemetry plane: no trace IDs, no \
+             per-op registry, no 'metrics' op, no access log.  Exists as \
+             the baseline bench S11 measures overhead against; leave it \
+             off in production.")
+  in
+  let run file socket snapshot_to idle_save cold metrics_out metrics_interval
+      access_log access_log_rotate no_telemetry max_nodes max_branches
       cache_size no_cache jobs backend from_snapshot obs =
     with_obs ~cmd:"serve" obs (fun () ->
         let kb = load_kb4 file in
@@ -1207,11 +1263,16 @@ let serve_cmd =
         let snapshot_path =
           match snapshot_to with Some _ -> snapshot_to | None -> from_snapshot
         in
-        let t = Serve.create ?snapshot_path s in
+        let t =
+          Serve.create ?snapshot_path ~telemetry:(not no_telemetry)
+            ?access_log ~access_log_max_bytes:access_log_rotate s
+        in
         Format.printf "dl4 serve: listening on %s (NDJSON; ops: check query \
-                       retrieve classify update stats snapshot shutdown)@."
+                       retrieve classify update stats metrics snapshot \
+                       shutdown)@."
           socket;
-        Serve.run ~idle_save ~socket_path:socket t;
+        Serve.run ~idle_save ?metrics_out ~metrics_interval
+          ~socket_path:socket t;
         Format.printf "dl4 serve: shut down@.";
         0)
   in
@@ -1220,13 +1281,16 @@ let serve_cmd =
        ~doc:
          "Long-running daemon: hold one warm session over the KB and \
           answer newline-delimited JSON requests on a Unix-domain socket.  \
-          Every response carries the request's marginal cost (tableau \
-          calls, cache hits, wall time) so clients can verify they are \
-          being served warm.  Query it with 'dl4 client' or nc.")
+          Every response carries the request's trace ID and marginal cost \
+          (tableau calls, cache hits, wall time) so clients can verify \
+          they are being served warm and correlate the daemon's logs.  \
+          Query it with 'dl4 client' or nc, watch it with 'dl4 top', \
+          scrape it with --metrics-out.")
     Term.(
       const run $ file_arg $ socket $ snapshot_to $ idle_save $ cold
-      $ max_nodes_arg $ max_branches_arg $ cache_size_arg $ no_cache_flag
-      $ jobs_arg $ backend_arg $ from_snapshot_arg $ obs_term)
+      $ metrics_out $ metrics_interval $ access_log $ access_log_rotate
+      $ no_telemetry $ max_nodes_arg $ max_branches_arg $ cache_size_arg
+      $ no_cache_flag $ jobs_arg $ backend_arg $ from_snapshot_arg $ obs_term)
 
 let client_cmd =
   let socket =
@@ -1244,8 +1308,19 @@ let client_cmd =
                 '{\"op\":\"query\",\"individual\":\"tweety\",\
                 \"concept\":\"Fly\"}'.")
   in
-  let run socket request =
-    match Serve.request ~socket_path:socket request with
+  let timeout =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout" ] ~docv:"MS"
+          ~doc:
+            "Give up after $(docv) milliseconds waiting on the daemon \
+             (connect, send or receive), exit 1 with a clear message \
+             instead of hanging forever.  0 (the default) waits \
+             indefinitely.")
+  in
+  let run socket timeout request =
+    let timeout_ms = if timeout > 0 then Some timeout else None in
+    match Serve.request ?timeout_ms ~socket_path:socket request with
     | response -> (
         print_endline response;
         (* a protocol-level error ("ok":false) must surface in the exit
@@ -1257,6 +1332,11 @@ let client_cmd =
             | Some _ -> 1
             | None -> 0)
         | Error _ -> 0)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+        Format.eprintf
+          "client: %s: timed out after %d ms waiting for the daemon@." socket
+          timeout;
+        1
     | exception Unix.Unix_error (err, _, _) ->
         Format.eprintf "client: %s: %s@." socket (Unix.error_message err);
         2
@@ -1267,7 +1347,157 @@ let client_cmd =
          "Send one request line to a running 'dl4 serve' daemon and print \
           the response line (a netcat-free way to drive the protocol, \
           used by the CI smoke test).")
-    Term.(const run $ socket $ request)
+    Term.(const run $ socket $ timeout $ request)
+
+(* dl4 top: poll a running daemon's [metrics] op and render a live
+   terminal dashboard — the operator's view of the telemetry plane. *)
+let top_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Socket of a running dl4 serve.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SEC"
+          ~doc:"Seconds between polls (clamped to >= 0.1).")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Render $(docv) frames, then exit 0.  0 (the default) \
+                polls until interrupted or the daemon goes away.")
+  in
+  let no_clear =
+    Arg.(
+      value & flag
+      & info [ "no-clear" ]
+          ~doc:"Do not clear the screen between frames (append frames \
+                instead) — for transcripts, pipes and CI.")
+  in
+  let pretty_ns ns =
+    if Float.is_nan ns then "-"
+    else if ns < 1e3 then Printf.sprintf "%.0fns" ns
+    else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+    else if ns < 1e9 then Printf.sprintf "%.1fms" (ns /. 1e6)
+    else Printf.sprintf "%.2fs" (ns /. 1e9)
+  in
+  let pretty_uptime s =
+    if s < 60. then Printf.sprintf "%.0fs" s
+    else if s < 3600. then Printf.sprintf "%.0fm%02.0fs" (Float.of_int (int_of_float s / 60)) (Float.rem s 60.)
+    else
+      Printf.sprintf "%dh%02dm" (int_of_float s / 3600)
+        (int_of_float s mod 3600 / 60)
+  in
+  let num ~default name j =
+    match Option.bind (Json_lite.member name j) Json_lite.to_num with
+    | Some f -> f
+    | None -> default
+  in
+  let render socket j cache =
+    let uptime = num ~default:0.0 "uptime_s" j in
+    let requests = int_of_float (num ~default:0.0 "requests" j) in
+    let errors = int_of_float (num ~default:0.0 "errors" j) in
+    let hits = num ~default:0.0 "hits" cache in
+    let misses = num ~default:0.0 "misses" cache in
+    let hit_rate =
+      if hits +. misses <= 0.0 then Float.nan
+      else 100.0 *. hits /. (hits +. misses)
+    in
+    Format.printf "dl4 top — %s — up %s — %d requests (%d errors) — cache hit rate %s@."
+      socket (pretty_uptime uptime) requests errors
+      (if Float.is_nan hit_rate then "-"
+       else Printf.sprintf "%.1f%%" hit_rate);
+    Format.printf "@.  %-10s %6s %5s %10s %10s %10s   %s@." "OP" "REQ" "ERR"
+      "P50" "P90" "P99" "ROUTES";
+    let ops =
+      match Option.bind (Json_lite.member "ops" j) Json_lite.to_list with
+      | Some l -> l
+      | None -> []
+    in
+    List.iter
+      (fun op ->
+        let name =
+          Option.value ~default:"?"
+            (Option.bind (Json_lite.member "op" op) Json_lite.to_str)
+        in
+        let routes =
+          match Json_lite.member "routes" op with
+          | Some (Json_lite.Obj fields) ->
+              String.concat "  "
+                (List.map
+                   (fun (b, v) ->
+                     Printf.sprintf "%s %.0f" b
+                       (Option.value ~default:0.0 (Json_lite.to_num v)))
+                   fields)
+          | _ -> ""
+        in
+        Format.printf "  %-10s %6.0f %5.0f %10s %10s %10s   %s@." name
+          (num ~default:0.0 "requests" op)
+          (num ~default:0.0 "errors" op)
+          (pretty_ns (num ~default:Float.nan "p50_ns" op))
+          (pretty_ns (num ~default:Float.nan "p90_ns" op))
+          (pretty_ns (num ~default:Float.nan "p99_ns" op))
+          routes)
+      ops;
+    Format.printf "@."
+  in
+  let run socket interval count no_clear =
+    let interval = Float.max 0.1 interval in
+    let poll () =
+      match
+        Serve.request ~timeout_ms:5000 ~socket_path:socket "{\"op\":\"metrics\"}"
+      with
+      | response -> (
+          match Json_lite.parse response with
+          | Error msg -> Error (Printf.sprintf "unparsable response: %s" msg)
+          | Ok j -> (
+              match Json_lite.member "ok" j with
+              | Some (Json_lite.Bool true) -> (
+                  match Json_lite.member "metrics" j with
+                  | Some m ->
+                      let cache =
+                        Option.value ~default:Json_lite.Null
+                          (Json_lite.member "cache" j)
+                      in
+                      Ok (m, cache)
+                  | None -> Error "response carries no metrics object")
+              | _ ->
+                  let msg =
+                    Option.value ~default:"daemon refused the metrics op"
+                      (Option.bind (Json_lite.member "error" j)
+                         Json_lite.to_str)
+                  in
+                  Error msg))
+      | exception Unix.Unix_error (err, _, _) ->
+          Error (Unix.error_message err)
+    in
+    let rec frames n =
+      match poll () with
+      | Error msg ->
+          Format.eprintf "dl4 top: %s: %s@." socket msg;
+          2
+      | Ok (m, cache) ->
+          if not no_clear then print_string "\027[H\027[2J";
+          render socket m cache;
+          if count > 0 && n + 1 >= count then 0
+          else begin
+            Unix.sleepf interval;
+            frames (n + 1)
+          end
+    in
+    frames 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running 'dl4 serve' daemon: polls the \
+          'metrics' op and renders per-op p50/p90/p99 latency, the \
+          backend route mix, error counts, cache hit rate and uptime.")
+    Term.(const run $ socket $ interval $ count $ no_clear)
 
 let main =
   Cmd.group
@@ -1291,6 +1521,7 @@ let main =
       profile_cmd;
       snapshot_cmd;
       serve_cmd;
-      client_cmd ]
+      client_cmd;
+      top_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -74,6 +74,7 @@ type cost = {
   c_query : string;  (* printable form of the query *)
   c_kind : string;  (* query_kind *)
   c_backend : string;  (* which decision procedure computed it *)
+  c_trace : string;  (* trace ID of the request that paid for it *)
   c_wall_ns : float;
   c_runs : int;  (* tableau runs the verdict needed *)
   c_nodes : int;
@@ -322,6 +323,9 @@ let cost_of_diff ~backend q wall_ns (s0 : Tableau.stats) (s1 : Tableau.stats) =
   { c_query = query_to_string q;
     c_kind = query_kind q;
     c_backend = backend;
+    (* worker domains read the coordinator's installed ID, so sharded
+       evals stay correlated with the request that batched them *)
+    c_trace = Obs.trace_id ();
     c_wall_ns = wall_ns;
     c_runs = s1.runs - s0.runs;
     c_nodes = s1.nodes_created - s0.nodes_created;
@@ -365,6 +369,8 @@ let eval_obs stack q =
     let sp = Obs.enter ~cat:"oracle" "oracle.eval" in
     Obs.set_attr sp "query" (query_kind q);
     Obs.set_attr sp "backend" backend;
+    let tid = Obs.trace_id () in
+    if tid <> "" then Obs.set_attr sp "trace_id" tid;
     match Backend.eval ~prov b q with
     | v ->
         let entry = entry () in
@@ -420,6 +426,7 @@ let slow_json t (c : cost) (p : prov_entry) =
   let str_list l = "[" ^ String.concat "," (List.map str l) ^ "]" in
   Buffer.add_char b '{';
   field "ts_unix" (Obs.json_float (Unix.time ()));
+  field "trace_id" (str c.c_trace);
   field "query" (str c.c_query);
   field "kind" (str c.c_kind);
   field "backend" (str c.c_backend);

@@ -175,6 +175,9 @@ type cost = {
   c_query : string;  (** printable form of the query *)
   c_kind : string;  (** {!query_kind} *)
   c_backend : string;  (** backend that computed it: ["tableau"]/["horn"] *)
+  c_trace : string;
+      (** trace ID current when the verdict was computed ([""] when no
+          request context was installed, see {!Obs.set_trace_id}) *)
   c_wall_ns : float;
   c_runs : int;  (** tableau runs the verdict needed *)
   c_nodes : int;  (** completion-graph nodes created *)

@@ -36,9 +36,12 @@ type event = {
   e_node : int;
   e_other : int;
   e_note : string;
+  e_trace : string; (* the trace ID current when the event was recorded *)
 }
 
-let dummy_event = { e_ns = 0.0; e_kind = ""; e_node = -1; e_other = -1; e_note = "" }
+let dummy_event =
+  { e_ns = 0.0; e_kind = ""; e_node = -1; e_other = -1; e_note = "";
+    e_trace = "" }
 
 type ring = {
   r_tid : int;
@@ -81,7 +84,10 @@ let record kind node other note =
   match Domain.DLS.get ring_key with
   | None -> Atomic.incr overflow_dropped
   | Some r ->
-      let e = { e_ns = now_ns () -. t0_ns; e_kind = kind; e_node = node; e_other = other; e_note = note } in
+      (* stamped here, not at call sites: every recording site inherits
+         request correlation without plumbing *)
+      let e = { e_ns = now_ns () -. t0_ns; e_kind = kind; e_node = node;
+                e_other = other; e_note = note; e_trace = Obs.trace_id () } in
       r.r_events.(r.r_next) <- e;
       r.r_next <- (r.r_next + 1) mod Array.length r.r_events;
       r.r_total <- r.r_total + 1
@@ -150,9 +156,12 @@ let dump () =
         let e = r.r_events.((start + k) mod capacity) in
         if not !first_ev then Buffer.add_char b ',';
         first_ev := false;
-        Printf.bprintf b "\n{\"ns\":%.0f,\"kind\":\"%s\",\"node\":%d,\"other\":%d,\"note\":\"%s\"}"
+        Printf.bprintf b "\n{\"ns\":%.0f,\"kind\":\"%s\",\"node\":%d,\"other\":%d,\"note\":\"%s\""
           e.e_ns (Obs.json_escape e.e_kind) e.e_node e.e_other
-          (Obs.json_escape e.e_note)
+          (Obs.json_escape e.e_note);
+        if e.e_trace <> "" then
+          Printf.bprintf b ",\"trace\":\"%s\"" (Obs.json_escape e.e_trace);
+        Buffer.add_char b '}'
       done;
       Buffer.add_string b "]}")
     rings_snapshot;

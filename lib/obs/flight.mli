@@ -67,7 +67,10 @@ val dump : unit -> string
 (** The JSON snapshot: [{"schema", "capacity", "domains": [{"tid",
     "total", "dropped", "events": [{"ns", "kind", "node", "other",
     "note"}...]}...]}] with events oldest-first per domain and [ns]
-    relative to process start. *)
+    relative to process start.  Events recorded while a trace ID was
+    installed ({!Obs.set_trace_id}) additionally carry a ["trace"]
+    field, correlating ring entries with the request that caused
+    them. *)
 
 val write : string -> unit
 

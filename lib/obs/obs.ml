@@ -33,6 +33,55 @@ let with_lock m f =
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 (* ------------------------------------------------------------------ *)
+(* Trace IDs (PR 8).
+
+   One opaque hex ID per unit of work — a CLI invocation or a serve
+   request.  The current ID lives in a process-global atomic rather
+   than domain-local storage on purpose: the CLI and the serve loop
+   each process exactly one request at a time, and worker domains
+   spawned for a batch must observe the coordinator's ID so their cost
+   records and flight events correlate with the request that caused
+   them.  Like the slow log, trace IDs are independent of [on]: cost
+   accounting upstream is unconditional. *)
+
+let trace_state = Atomic.make ""
+let trace_seq = Atomic.make 0
+let trace_pid = lazy (Unix.getpid ())
+let hex_digits = "0123456789abcdef"
+
+(* minting runs once per serve request inside its measured window, so it
+   is hand-rolled hex over sprintf (which alone costs ~1us) *)
+let new_trace_id () =
+  let n = Atomic.fetch_and_add trace_seq 1 in
+  let t = Unix.gettimeofday () in
+  let pid = Lazy.force trace_pid in
+  (* two independent hash mixes over (pid, wall clock, sequence) give
+     16 hex chars that are unique per process lifetime and unlikely to
+     collide across processes; no cryptographic claim is made. *)
+  let h1 = Hashtbl.hash (pid, t, n, 0x9e3779b9) in
+  let h2 = Hashtbl.hash (n, t, pid, 0x85ebca6b) in
+  let b = Bytes.create 16 in
+  let put off v k =
+    for i = 0 to k - 1 do
+      Bytes.unsafe_set b (off + i)
+        (String.unsafe_get hex_digits ((v lsr (4 * (k - 1 - i))) land 0xf))
+    done
+  in
+  put 0 h1 7;
+  put 7 h2 7;
+  put 14 n 2;
+  Bytes.unsafe_to_string b
+
+let set_trace_id id = Atomic.set trace_state id
+let clear_trace_id () = Atomic.set trace_state ""
+let trace_id () = Atomic.get trace_state
+
+let with_trace_id id f =
+  let prev = Atomic.get trace_state in
+  Atomic.set trace_state id;
+  Fun.protect ~finally:(fun () -> Atomic.set trace_state prev) f
+
+(* ------------------------------------------------------------------ *)
 (* Metrics registry *)
 
 type counter = { c_name : string; c_value : int Atomic.t }

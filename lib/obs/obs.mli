@@ -17,6 +17,32 @@ val reset : unit -> unit
 (** Zero every registered metric and drop all span records.  Metrics
     stay registered.  Only call while no worker domains are live. *)
 
+(** {1 Trace IDs}
+
+    One opaque hex ID per unit of work (a CLI invocation, a serve
+    request).  The current ID is process-global — the CLI and the serve
+    loop each handle one request at a time, and worker domains must
+    see the coordinator's ID so their cost records and flight events
+    correlate with the request that caused them.  Independent of {!on},
+    like the slow log: cost accounting upstream is unconditional. *)
+
+val new_trace_id : unit -> string
+(** Mint a fresh 16-hex-char ID (unique per process lifetime, salted
+    with pid and wall clock across processes).  Does not install it. *)
+
+val set_trace_id : string -> unit
+(** Install [id] as the current trace ID. *)
+
+val clear_trace_id : unit -> unit
+(** Reset the current trace ID to the empty string. *)
+
+val trace_id : unit -> string
+(** The current trace ID; [""] when none is installed. *)
+
+val with_trace_id : string -> (unit -> 'a) -> 'a
+(** Run the thunk with [id] installed, restoring the previous ID
+    (even on exception). *)
+
 (** {1 Metrics registry}
 
     Metrics are registered by name on first use and live for the whole
@@ -47,6 +73,11 @@ val histogram_sum_ns : histogram -> float
 val histogram_bucket_counts : histogram -> (int * int) list
 (** Non-empty buckets as [(bucket_index, count)]: bucket 0 counts
     durations in [\[0, 2)] ns, bucket [i >= 1] counts [\[2^i, 2^(i+1))]. *)
+
+val bucket_of_ns : float -> int
+(** The log2 bucket index a duration in ns falls in, under the same
+    geometry as {!histogram_bucket_counts}.  Exposed so sibling
+    registries ({!Telemetry}) share one bucket scheme. *)
 
 val quantile_of_buckets : (int * int) list -> float -> float
 (** [quantile_of_buckets buckets q] estimates the [q]-quantile (with

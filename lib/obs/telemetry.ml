@@ -1,0 +1,304 @@
+(* Telemetry: a mergeable per-op request registry (PR 8).
+
+   Where [Obs] is the process-global metrics spine armed by DL4_TRACE,
+   this module is a value: a registry instance the serve loop owns and
+   feeds one record per request, keyed by protocol op.  Per op it
+   tracks request/error counts, a log2 latency histogram (same bucket
+   geometry as [Obs] so [Obs.quantile_of_buckets] reads it), route
+   counters keyed by backend, and cache/tableau work counters.
+
+   Registries merge ([merge]) so sharded or restarted accumulations
+   can be folded together, and render two ways: a single-line JSON
+   object for the NDJSON [metrics] serve op, and a Prometheus-style
+   text exposition for [--metrics-out] scraping. *)
+
+let buckets = 64
+
+type op_stats = {
+  mutable s_requests : int;
+  mutable s_errors : int;
+  mutable s_sum_ns : float;
+  s_buckets : int array; (* bucket i counts wall times in [2^i, 2^(i+1)) ns *)
+  s_routes : (string, int) Hashtbl.t; (* backend -> verdicts computed *)
+  mutable s_cache_served : int;
+  mutable s_tableau_calls : int;
+}
+
+type t = {
+  started_unix : float;
+  ops : (string, op_stats) Hashtbl.t;
+  mu : Mutex.t;
+}
+
+let create () =
+  { started_unix = Unix.gettimeofday (); ops = Hashtbl.create 16;
+    mu = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let fresh_op () =
+  { s_requests = 0; s_errors = 0; s_sum_ns = 0.0;
+    s_buckets = Array.make buckets 0; s_routes = Hashtbl.create 4;
+    s_cache_served = 0; s_tableau_calls = 0 }
+
+let op_stats t op =
+  match Hashtbl.find_opt t.ops op with
+  | Some s -> s
+  | None ->
+      let s = fresh_op () in
+      Hashtbl.replace t.ops op s;
+      s
+
+let add_route s backend n =
+  if n > 0 then
+    Hashtbl.replace s.s_routes backend
+      (n + Option.value ~default:0 (Hashtbl.find_opt s.s_routes backend))
+
+let record t ~op ~ok ~wall_ns ?(routes = []) ?(cache_served = 0)
+    ?(tableau_calls = 0) () =
+  (* plain lock/unlock, no Fun.protect: the body is pure arithmetic
+     and Hashtbl updates (no exceptions), and this runs once per serve
+     request inside the S11 budget *)
+  Mutex.lock t.mu;
+  let s = op_stats t op in
+  s.s_requests <- s.s_requests + 1;
+  if not ok then s.s_errors <- s.s_errors + 1;
+  s.s_sum_ns <- s.s_sum_ns +. wall_ns;
+  let b = Obs.bucket_of_ns wall_ns in
+  s.s_buckets.(b) <- s.s_buckets.(b) + 1;
+  List.iter (fun (backend, n) -> add_route s backend n) routes;
+  s.s_cache_served <- s.s_cache_served + cache_served;
+  s.s_tableau_calls <- s.s_tableau_calls + tableau_calls;
+  Mutex.unlock t.mu
+
+let merge ~into src =
+  (* lock ordering: callers never merge in both directions concurrently *)
+  with_lock src (fun () ->
+      with_lock into (fun () ->
+          Hashtbl.iter
+            (fun op s ->
+              let d = op_stats into op in
+              d.s_requests <- d.s_requests + s.s_requests;
+              d.s_errors <- d.s_errors + s.s_errors;
+              d.s_sum_ns <- d.s_sum_ns +. s.s_sum_ns;
+              Array.iteri
+                (fun i c -> d.s_buckets.(i) <- d.s_buckets.(i) + c)
+                s.s_buckets;
+              Hashtbl.iter (fun b n -> add_route d b n) s.s_routes;
+              d.s_cache_served <- d.s_cache_served + s.s_cache_served;
+              d.s_tableau_calls <- d.s_tableau_calls + s.s_tableau_calls)
+            src.ops))
+
+(* ------------------------------------------------------------------ *)
+(* Read side: immutable views *)
+
+type op_view = {
+  v_op : string;
+  v_requests : int;
+  v_errors : int;
+  v_sum_ns : float;
+  v_buckets : (int * int) list; (* non-empty (bucket, count) pairs *)
+  v_routes : (string * int) list; (* sorted by backend *)
+  v_cache_served : int;
+  v_tableau_calls : int;
+}
+
+let view t =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun op s acc ->
+          let bs =
+            Array.to_list s.s_buckets
+            |> List.mapi (fun i c -> (i, c))
+            |> List.filter (fun (_, c) -> c > 0)
+          in
+          let routes =
+            Hashtbl.fold (fun b n acc -> (b, n) :: acc) s.s_routes []
+            |> List.sort compare
+          in
+          { v_op = op; v_requests = s.s_requests; v_errors = s.s_errors;
+            v_sum_ns = s.s_sum_ns; v_buckets = bs; v_routes = routes;
+            v_cache_served = s.s_cache_served;
+            v_tableau_calls = s.s_tableau_calls }
+          :: acc)
+        t.ops []
+      |> List.sort (fun a b -> compare a.v_op b.v_op))
+
+let uptime_s t = Unix.gettimeofday () -. t.started_unix
+let started_unix t = t.started_unix
+
+let requests t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ s acc -> acc + s.s_requests) t.ops 0)
+
+let errors t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ s acc -> acc + s.s_errors) t.ops 0)
+
+(* ------------------------------------------------------------------ *)
+(* JSON: one object, single line, for the NDJSON [metrics] serve op *)
+
+let schema = "dl4-metrics/1"
+
+let json t =
+  let b = Buffer.create 1024 in
+  let str s = Printf.sprintf "\"%s\"" (Obs.json_escape s) in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":%s,\"uptime_s\":%s,\"requests\":%d,\"errors\":%d,\"ops\":["
+       (str schema)
+       (Obs.json_float (uptime_s t))
+       (requests t) (errors t));
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"op\":%s,\"requests\":%d,\"errors\":%d,\"wall_ns_sum\":%s"
+           (str v.v_op) v.v_requests v.v_errors (Obs.json_float v.v_sum_ns));
+      List.iter
+        (fun q ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"p%d_ns\":%s" (int_of_float (q *. 100.))
+               (Obs.json_float (Obs.quantile_of_buckets v.v_buckets q))))
+        [ 0.5; 0.9; 0.99 ];
+      Buffer.add_string b ",\"buckets\":[";
+      List.iteri
+        (fun j (idx, c) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "[%d,%d]" idx c))
+        v.v_buckets;
+      Buffer.add_string b "],\"routes\":{";
+      List.iteri
+        (fun j (backend, n) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "%s:%d" (str backend) n))
+        v.v_routes;
+      Buffer.add_string b
+        (Printf.sprintf "},\"cache_served\":%d,\"tableau_calls\":%d}"
+           v.v_cache_served v.v_tableau_calls))
+    (view t);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition.
+
+   Label values escape backslash, double quote and newline per the
+   exposition format.
+   Histogram buckets are emitted cumulatively with [le] in seconds
+   (our buckets are log2 in ns: bucket i covers [2^i, 2^(i+1)) ns, so
+   its upper bound is 2^(i+1) ns), closing with the mandatory [+Inf]
+   bucket, [_sum] and [_count]. *)
+
+let label_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let prometheus t =
+  let b = Buffer.create 4096 in
+  let header name typ help =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ)
+  in
+  let sample name labels value =
+    let labels =
+      match labels with
+      | [] -> ""
+      | l ->
+          "{"
+          ^ String.concat ","
+              (List.map
+                 (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (label_escape v))
+                 l)
+          ^ "}"
+    in
+    Buffer.add_string b (Printf.sprintf "%s%s %s\n" name labels value)
+  in
+  let views = view t in
+  header "dl4_uptime_seconds" "gauge"
+    "Seconds since this telemetry registry was created.";
+  sample "dl4_uptime_seconds" [] (prom_float (uptime_s t));
+  header "dl4_requests_total" "counter" "Requests handled, by op.";
+  List.iter
+    (fun v ->
+      sample "dl4_requests_total" [ ("op", v.v_op) ]
+        (string_of_int v.v_requests))
+    views;
+  header "dl4_errors_total" "counter" "Requests answered with an error, by op.";
+  List.iter
+    (fun v ->
+      sample "dl4_errors_total" [ ("op", v.v_op) ] (string_of_int v.v_errors))
+    views;
+  header "dl4_route_verdicts_total" "counter"
+    "Verdicts computed per reasoning backend, by op and backend.";
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (backend, n) ->
+          sample "dl4_route_verdicts_total"
+            [ ("op", v.v_op); ("backend", backend) ]
+            (string_of_int n))
+        v.v_routes)
+    views;
+  header "dl4_cache_served_total" "counter"
+    "Verdicts served from the cache, by op.";
+  List.iter
+    (fun v ->
+      sample "dl4_cache_served_total" [ ("op", v.v_op) ]
+        (string_of_int v.v_cache_served))
+    views;
+  header "dl4_tableau_calls_total" "counter" "Tableau invocations, by op.";
+  List.iter
+    (fun v ->
+      sample "dl4_tableau_calls_total" [ ("op", v.v_op) ]
+        (string_of_int v.v_tableau_calls))
+    views;
+  header "dl4_request_duration_seconds" "histogram"
+    "Request wall time, by op.";
+  List.iter
+    (fun v ->
+      let cum = ref 0 in
+      List.iter
+        (fun (idx, c) ->
+          cum := !cum + c;
+          let le_s = ldexp 1.0 (idx + 1) /. 1e9 in
+          sample "dl4_request_duration_seconds_bucket"
+            [ ("op", v.v_op); ("le", prom_float le_s) ]
+            (string_of_int !cum))
+        v.v_buckets;
+      sample "dl4_request_duration_seconds_bucket"
+        [ ("op", v.v_op); ("le", "+Inf") ]
+        (string_of_int !cum);
+      sample "dl4_request_duration_seconds_sum" [ ("op", v.v_op) ]
+        (prom_float (v.v_sum_ns /. 1e9));
+      sample "dl4_request_duration_seconds_count" [ ("op", v.v_op) ]
+        (string_of_int v.v_requests))
+    views;
+  Buffer.contents b
+
+let write_prometheus t path =
+  (* atomic: scrape either the old exposition or the new, never a torn
+     half-write *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (match
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc (prometheus t))
+   with
+  | () -> Sys.rename tmp path
+  | exception Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ()))

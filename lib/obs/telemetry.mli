@@ -1,0 +1,82 @@
+(** A mergeable per-op request registry: the live metrics plane behind
+    the serve daemon.
+
+    Unlike {!Obs} (process-global, armed by [DL4_TRACE]) a [Telemetry.t]
+    is a value owned by whoever serves requests.  One {!record} call per
+    request accumulates, per op: request/error counts, a log2 latency
+    histogram in {!Obs.bucket_of_ns} geometry, route counters keyed by
+    backend, and cache/tableau work counters.  Registries {!merge}, and
+    render as single-line JSON (the NDJSON [metrics] serve op) or as a
+    Prometheus text exposition ([--metrics-out]). *)
+
+type t
+
+val create : unit -> t
+(** A fresh registry; its creation instant anchors {!uptime_s}. *)
+
+val record :
+  t ->
+  op:string ->
+  ok:bool ->
+  wall_ns:float ->
+  ?routes:(string * int) list ->
+  ?cache_served:int ->
+  ?tableau_calls:int ->
+  unit ->
+  unit
+(** Account one request under [op].  [routes] counts verdicts computed
+    per backend during the request; [cache_served] / [tableau_calls]
+    are the marginal cache and tableau work.  Thread-safe. *)
+
+val merge : into:t -> t -> unit
+(** Fold every op of the source registry into [into] (counts and
+    buckets add, routes union-add).  The source is left unchanged. *)
+
+(** {1 Read side} *)
+
+type op_view = {
+  v_op : string;
+  v_requests : int;
+  v_errors : int;
+  v_sum_ns : float;
+  v_buckets : (int * int) list;
+      (** non-empty [(bucket, count)] pairs, {!Obs.quantile_of_buckets}
+          geometry *)
+  v_routes : (string * int) list;  (** [(backend, verdicts)], sorted *)
+  v_cache_served : int;
+  v_tableau_calls : int;
+}
+
+val view : t -> op_view list
+(** A consistent snapshot of every op, sorted by op name. *)
+
+val uptime_s : t -> float
+val started_unix : t -> float
+val requests : t -> int
+val errors : t -> int
+
+(** {1 Renderers} *)
+
+val schema : string
+(** The [schema] field of {!json}: ["dl4-metrics/1"]. *)
+
+val json : t -> string
+(** One single-line JSON object: schema, uptime, totals, and per-op
+    stats with p50/p90/p99 estimates, buckets, routes. *)
+
+val prometheus : t -> string
+(** Prometheus text exposition: [dl4_uptime_seconds],
+    [dl4_requests_total], [dl4_errors_total],
+    [dl4_route_verdicts_total], [dl4_cache_served_total],
+    [dl4_tableau_calls_total] and the [dl4_request_duration_seconds]
+    histogram (cumulative [le] buckets in seconds closing with [+Inf],
+    [_sum], [_count]).  Label values are escaped per the format. *)
+
+val write_prometheus : t -> string -> unit
+(** Render {!prometheus} to [path] atomically (write to [path ^ ".tmp"],
+    then rename), so a concurrent scrape never reads a torn file. *)
+
+val label_escape : string -> string
+(** Exposition-format label escaping: backslash, double quote and
+    newline become two-character escapes.  Exposed for the validator
+    and tests. *)

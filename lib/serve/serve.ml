@@ -11,6 +11,35 @@
    full protocol without forking or touching the filesystem, and the
    socket loop stays a dumb byte shuttle. *)
 
+(* Rotating JSONL access log: one line per request.  The request path
+   only records a compact [pending] tuple (~100ns); JSON rendering and
+   the write syscalls are deferred to [access_drain], which runs on the
+   idle tick, the metrics tick, [sync] and shutdown — so per-request
+   overhead stays an allocation, not formatting + I/O (bench S11 gates
+   this).  When the file would exceed [a_max_bytes] it rotates once to
+   [path ^ ".1"] (replacing any previous rotation), always on a line
+   boundary. *)
+type pending = {
+  p_ts : float;
+  p_trace : string;
+  p_op : string;
+  p_id : string;  (* already a rendered JSON token *)
+  p_ok : bool;
+  p_wall_ns : float;
+  p_routes : (string * int) list;
+  p_cache_served : int;
+  p_tableau : int;
+}
+
+type access = {
+  a_path : string;
+  a_max_bytes : int;
+  mutable a_chan : out_channel option;
+  mutable a_bytes : int;  (* bytes already on disk in the live file *)
+  mutable a_pending : pending list;  (* newest first; drained FIFO *)
+  a_scratch : Buffer.t;  (* reused per-line render buffer *)
+}
+
 type t = {
   mutable para : Para.t;  (* owns the warm session; replaced never *)
   snapshot_path : string option;  (* idle-autosave target *)
@@ -18,17 +47,144 @@ type t = {
       (* has state changed (new verdicts, deltas) since the last save? *)
   mutable stop : bool;  (* set by the shutdown op; read by the loop *)
   mutable requests : int;
+  tel : Telemetry.t option;  (* None = telemetry disarmed *)
+  access : access option;
 }
 
-let create ?snapshot_path session =
+let default_access_log_max_bytes = 16 * 1024 * 1024
+
+let create ?snapshot_path ?(telemetry = true) ?access_log
+    ?(access_log_max_bytes = default_access_log_max_bytes) session =
   { para = Para.of_session session;
     snapshot_path;
     dirty = false;
     stop = false;
-    requests = 0 }
+    requests = 0;
+    tel = (if telemetry then Some (Telemetry.create ()) else None);
+    access =
+      Option.map
+        (fun path ->
+          let existing =
+            match Unix.stat path with
+            | st -> st.Unix.st_size
+            | exception Unix.Unix_error _ -> 0
+          in
+          { a_path = path;
+            a_max_bytes = max 1024 access_log_max_bytes;
+            a_chan = None;
+            a_bytes = existing;
+            a_pending = [];
+            a_scratch = Buffer.create 256 })
+        access_log }
 
 let session t = Para.session t.para
 let stopped t = t.stop
+let telemetry t = t.tel
+
+(* ------------------------------------------------------------------ *)
+(* Access-log plumbing *)
+
+let access_chan a =
+  match a.a_chan with
+  | Some oc -> Some oc
+  | None -> (
+      match open_out_gen [ Open_append; Open_creat ] 0o644 a.a_path with
+      | oc ->
+          a.a_chan <- Some oc;
+          Some oc
+      | exception Sys_error _ -> None)
+
+let access_rotate a =
+  (match a.a_chan with
+  | None -> ()
+  | Some oc ->
+      close_out_noerr oc;
+      a.a_chan <- None);
+  a.a_bytes <- 0;
+  try Sys.rename a.a_path (a.a_path ^ ".1") with Sys_error _ -> ()
+
+let rec add_pos_int b n =
+  if n >= 10 then add_pos_int b (n / 10);
+  Buffer.add_char b (Char.unsafe_chr (Char.code '0' + (n mod 10)))
+
+let add_int b n =
+  if n < 0 then begin
+    Buffer.add_char b '-';
+    add_pos_int b (-n)
+  end
+  else add_pos_int b n
+
+(* One pending record -> one JSON line in [a_scratch].  [p_trace] is
+   pure hex and [p_op] comes from the clamped op vocabulary, so neither
+   needs escaping; [p_id] is already a rendered JSON token. *)
+let render_line a p =
+  let b = a.a_scratch in
+  Buffer.clear b;
+  let add = Buffer.add_string b in
+  add {|{"ts_unix":|};
+  (* epoch with full ms precision: jnum's %.6g would truncate *)
+  let ms = int_of_float ((p.p_ts *. 1000.) +. 0.5) in
+  add_int b (ms / 1000);
+  Buffer.add_char b '.';
+  let f = ms mod 1000 in
+  if f < 100 then Buffer.add_char b '0';
+  if f < 10 then Buffer.add_char b '0';
+  add_int b f;
+  add {|,"trace_id":"|};
+  add p.p_trace;
+  add {|","op":"|};
+  add p.p_op;
+  add {|","id":|};
+  add p.p_id;
+  add (if p.p_ok then {|,"ok":true,"wall_ns":|}
+       else {|,"ok":false,"wall_ns":|});
+  add_int b (int_of_float p.p_wall_ns);
+  add {|,"routes":{|};
+  List.iteri
+    (fun i (backend, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      add (Obs.json_escape backend);
+      add {|":|};
+      add_int b n)
+    p.p_routes;
+  add {|},"cache_served":|};
+  add_int b p.p_cache_served;
+  add {|,"tableau_calls":|};
+  add_int b p.p_tableau;
+  add (if p.p_ok then {|,"outcome":"ok"}|} else {|,"outcome":"error"}|});
+  Buffer.add_char b '\n'
+
+(* Render and write the pending records.  Rare by design: called from
+   the metrics/idle ticks, [sync] and shutdown — never per request, so
+   the request path stays one allocation.  Rotation decisions are made
+   between lines, so no line is ever split across generations. *)
+let access_drain a =
+  match a.a_pending with
+  | [] -> ()
+  | newest_first ->
+      let records = List.rev newest_first in
+      a.a_pending <- [];
+      List.iter
+        (fun p ->
+          render_line a p;
+          let len = Buffer.length a.a_scratch in
+          if a.a_bytes > 0 && a.a_bytes + len > a.a_max_bytes then
+            access_rotate a;
+          match access_chan a with
+          | None -> ()
+          | Some oc -> (
+              try
+                Buffer.output_buffer oc a.a_scratch;
+                a.a_bytes <- a.a_bytes + len
+              with Sys_error _ -> ()))
+        records;
+      Option.iter (fun oc -> try flush oc with Sys_error _ -> ()) a.a_chan
+
+let access_note t p =
+  Option.iter (fun a -> a.a_pending <- p :: a.a_pending) t.access
+
+let sync t = Option.iter access_drain t.access
 
 (* ------------------------------------------------------------------ *)
 (* JSON rendering (by hand, like every export sink in this stack — the
@@ -151,6 +307,21 @@ let totals_json (s : Oracle.cost_totals) =
 
 let op_stats t _req =
   let s = Engine.stats (Para.engine t.para) in
+  let telemetry_fields =
+    match t.tel with
+    | None -> []
+    | Some tel ->
+        [ ("uptime_s", jnum (Telemetry.uptime_s tel));
+          ( "ops",
+            jobj
+              (List.map
+                 (fun v ->
+                   ( v.Telemetry.v_op,
+                     jobj
+                       [ ("requests", jint v.Telemetry.v_requests);
+                         ("errors", jint v.Telemetry.v_errors) ] ))
+                 (Telemetry.view tel)) ) ]
+  in
   (* no "cache" field here: the response envelope already carries the
      live cache counters under that key *)
   [ ("requests", jint t.requests);
@@ -158,8 +329,14 @@ let op_stats t _req =
     ("jobs", jint s.Engine.jobs);
     ("batches", jint s.Engine.batches);
     ("parallel_calls", jint s.Engine.parallel_calls);
-    ("routes", jobj (List.map (fun (b, n) -> (b, jint n)) s.Engine.routes));
-    ("totals", totals_json (Session.cost_totals (session t))) ]
+    ("routes", jobj (List.map (fun (b, n) -> (b, jint n)) s.Engine.routes)) ]
+  @ telemetry_fields
+  @ [ ("totals", totals_json (Session.cost_totals (session t))) ]
+
+let op_metrics t _req =
+  match t.tel with
+  | None -> bad "telemetry is disarmed on this daemon"
+  | Some tel -> [ ("metrics", Telemetry.json tel) ]
 
 let save_snapshot t path =
   match Store.save (Store.capture (session t)) path with
@@ -191,10 +368,30 @@ let op_shutdown t _req =
    the handler — the PR 5 accounting surface) plus the live cache
    counters, so a client can prove a query was served warm. *)
 
+(* Marginal backend routes of one request: the diff of the session's
+   per-backend computed-verdict counters around the handler. *)
+let routes_diff (t0 : Oracle.cost_totals) (t1 : Oracle.cost_totals) =
+  List.filter_map
+    (fun (backend, n1) ->
+      let n0 =
+        Option.value ~default:0 (List.assoc_opt backend t0.Oracle.backends)
+      in
+      if n1 > n0 then Some (backend, n1 - n0) else None)
+    t1.Oracle.backends
+
 let handle t line =
   t.requests <- t.requests + 1;
+  (* one trace ID per request, installed process-globally so the
+     oracle's cost records, spans, slow-log lines and flight events
+     produced while this request runs all carry it *)
+  let trace =
+    match t.tel with None -> "" | Some _ -> Obs.new_trace_id ()
+  in
+  if trace <> "" then Obs.set_trace_id trace;
+  let start = Unix.gettimeofday () in
+  let parsed = Json_lite.parse line in
   let id =
-    match Json_lite.parse line with
+    match parsed with
     | Ok j -> (
         match Json_lite.member "id" j with
         | Some (Json_lite.Str s) -> jstr s
@@ -202,50 +399,122 @@ let handle t line =
         | _ -> "null")
     | Error _ -> "null"
   in
-  let fail msg = jobj [ ("id", id); ("ok", jbool false); ("error", jstr msg) ] in
-  match Json_lite.parse line with
-  | Error msg -> fail (Printf.sprintf "malformed request: %s" msg)
-  | Ok req -> (
-      let totals0 = Session.cost_totals (session t) in
-      let calls0 = (Engine.stats (Para.engine t.para)).Engine.tableau_calls in
-      let dispatch op =
-        match op with
-        | "check" -> op_check t req
-        | "query" -> op_query t req
-        | "retrieve" -> op_retrieve t req
-        | "classify" -> op_classify t req
-        | "update" -> op_update t req
-        | "stats" -> op_stats t req
-        | "snapshot" -> op_snapshot t req
-        | "shutdown" -> op_shutdown t req
-        | op -> bad "unknown op %S" op
+  (* the op label for telemetry/access accounting: clamped to the known
+     vocabulary so a misbehaving client cannot grow label cardinality *)
+  let op_label =
+    match parsed with
+    | Error _ -> "malformed"
+    | Ok req -> (
+        match Option.bind (Json_lite.member "op" req) Json_lite.to_str with
+        (* compiled string dispatch instead of List.mem: this check runs
+           per request inside the S11 budget *)
+        | Some
+            (( "check" | "query" | "retrieve" | "classify" | "update"
+             | "stats" | "metrics" | "snapshot" | "shutdown" ) as op) ->
+            op
+        | Some _ -> "unknown"
+        | None -> "malformed")
+  in
+  (* trace is pure hex: quoted directly, no escape scan *)
+  let envelope_trace =
+    if trace = "" then [] else [ ("trace_id", "\"" ^ trace ^ "\"") ]
+  in
+  let fail msg =
+    jobj
+      ((("id", id) :: ("ok", jbool false) :: envelope_trace)
+      @ [ ("error", jstr msg) ])
+  in
+  let totals0 = Session.cost_totals (session t) in
+  let calls0 = (Engine.stats (Para.engine t.para)).Engine.tableau_calls in
+  (* the success path measures totals1/calls1 for the response's cost
+     object; the telemetry tail reuses that measurement instead of
+     paying cost_totals/stats again (both build lists per call) *)
+  let measured = ref None in
+  let measure () =
+    match !measured with
+    | Some m -> m
+    | None ->
+        let m =
+          ( Session.cost_totals (session t),
+            (Engine.stats (Para.engine t.para)).Engine.tableau_calls )
+        in
+        measured := Some m;
+        m
+  in
+  let ok, resp =
+    match parsed with
+    | Error msg -> (false, fail (Printf.sprintf "malformed request: %s" msg))
+    | Ok req -> (
+        let dispatch op =
+          match op with
+          | "check" -> op_check t req
+          | "query" -> op_query t req
+          | "retrieve" -> op_retrieve t req
+          | "classify" -> op_classify t req
+          | "update" -> op_update t req
+          | "stats" -> op_stats t req
+          | "metrics" -> op_metrics t req
+          | "snapshot" -> op_snapshot t req
+          | "shutdown" -> op_shutdown t req
+          | op -> bad "unknown op %S" op
+        in
+        match dispatch (str_field "op" req) with
+        | payload ->
+            let totals1, calls1 = measure () in
+            if calls1 > calls0 then t.dirty <- true;
+            let cost =
+              jobj
+                (envelope_trace
+                @ [ ("tableau_calls", jint (calls1 - calls0));
+                    ( "verdicts",
+                      jint (totals1.Oracle.verdicts - totals0.Oracle.verdicts)
+                    );
+                    ( "cache_served",
+                      jint
+                        (totals1.Oracle.cache_served
+                        - totals0.Oracle.cache_served) );
+                    ( "wall_ns",
+                      jnum (totals1.Oracle.wall_ns -. totals0.Oracle.wall_ns)
+                    ) ])
+            in
+            let cache = cache_json (Oracle.cache_stats (Para.oracle t.para)) in
+            ( true,
+              jobj
+                ((("id", id) :: ("ok", jbool true) :: envelope_trace)
+                @ payload
+                @ [ ("cost", cost); ("cache", cache) ]) )
+        | exception Bad_request msg -> (false, fail msg)
+        | exception e ->
+            (* last-ditch: a handler bug must degrade to an error
+               response, never to a dead daemon *)
+            ( false,
+              fail (Printf.sprintf "internal error: %s" (Printexc.to_string e))
+            ))
+  in
+  (match t.tel with
+  | None -> ()
+  | Some tel ->
+      let wall_ns = (Unix.gettimeofday () -. start) *. 1e9 in
+      let totals1, calls1 = measure () in
+      let routes = routes_diff totals0 totals1 in
+      let cache_served =
+        totals1.Oracle.cache_served - totals0.Oracle.cache_served
       in
-      match dispatch (str_field "op" req) with
-      | payload ->
-          let totals1 = Session.cost_totals (session t) in
-          let calls1 =
-            (Engine.stats (Para.engine t.para)).Engine.tableau_calls
-          in
-          if calls1 > calls0 then t.dirty <- true;
-          let cost =
-            jobj
-              [ ("tableau_calls", jint (calls1 - calls0));
-                ("verdicts", jint (totals1.Oracle.verdicts - totals0.Oracle.verdicts));
-                ( "cache_served",
-                  jint (totals1.Oracle.cache_served - totals0.Oracle.cache_served)
-                );
-                ("wall_ns", jnum (totals1.Oracle.wall_ns -. totals0.Oracle.wall_ns))
-              ]
-          in
-          let cache = cache_json (Oracle.cache_stats (Para.oracle t.para)) in
-          jobj
-            (( ("id", id) :: ("ok", jbool true) :: payload)
-            @ [ ("cost", cost); ("cache", cache) ])
-      | exception Bad_request msg -> fail msg
-      | exception e ->
-          (* last-ditch: a handler bug must degrade to an error response,
-             never to a dead daemon *)
-          fail (Printf.sprintf "internal error: %s" (Printexc.to_string e)))
+      Telemetry.record tel ~op:op_label ~ok ~wall_ns ~routes ~cache_served
+        ~tableau_calls:(calls1 - calls0) ();
+      (* formatting and I/O are deferred to the drain tick; the request
+         path pays one record allocation (the S11 budget) *)
+      access_note t
+        { p_ts = start;
+          p_trace = trace;
+          p_op = op_label;
+          p_id = id;
+          p_ok = ok;
+          p_wall_ns = wall_ns;
+          p_routes = routes;
+          p_cache_served = cache_served;
+          p_tableau = calls1 - calls0 });
+  resp
 
 (* ------------------------------------------------------------------ *)
 (* Socket loop: single-threaded select over the listener and every
@@ -267,9 +536,34 @@ let autosave t =
   if t.dirty then
     Option.iter (fun path -> ignore (save_snapshot t path)) t.snapshot_path
 
-let run ?(idle_save = 0.) ~socket_path t =
+let run ?(idle_save = 0.) ?metrics_out ?(metrics_interval = 5.) ~socket_path t
+    =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  let metrics_out =
+    match t.tel with None -> None | Some _ -> metrics_out
+  in
+  let metrics_interval = Float.max 0.05 metrics_interval in
+  let last_metrics = ref 0.0 in
+  let write_metrics () =
+    match (t.tel, metrics_out) with
+    | Some tel, Some path ->
+        last_metrics := Unix.gettimeofday ();
+        Telemetry.write_prometheus tel path
+    | _ -> ()
+  in
+  let metrics_tick () =
+    match metrics_out with
+    | None -> ()
+    | Some _ ->
+        if Unix.gettimeofday () -. !last_metrics >= metrics_interval then begin
+          write_metrics ();
+          (* the scrape file and the access log share the tick: both
+             become externally visible on the same cadence *)
+          sync t
+        end
+  in
+  write_metrics ();
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
   let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind srv (Unix.ADDR_UNIX socket_path);
@@ -307,12 +601,28 @@ let run ?(idle_save = 0.) ~socket_path t =
   let rec loop () =
     if not t.stop then begin
       let fds = srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
-      let timeout = if idle_save > 0. then idle_save else -1. in
+      let timeout =
+        let candidates =
+          (if idle_save > 0. then [ idle_save ] else [])
+          @ (match metrics_out with
+            | Some _ -> [ metrics_interval ]
+            | None -> [])
+          (* quiet daemons must still surface buffered access lines *)
+          @ (match t.access with Some _ -> [ 1.0 ] | None -> [])
+        in
+        match candidates with
+        | [] -> -1.
+        | l -> List.fold_left Float.min Float.infinity l
+      in
       let ready, _, _ =
         try Unix.select fds [] [] timeout
         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
       in
-      if ready = [] then autosave t
+      metrics_tick ();
+      if ready = [] then begin
+        autosave t;
+        sync t
+      end
       else
         List.iter
           (fun fd ->
@@ -339,6 +649,8 @@ let run ?(idle_save = 0.) ~socket_path t =
   Fun.protect
     ~finally:(fun () ->
       autosave t;
+      write_metrics ();
+      sync t;
       Hashtbl.iter (fun fd _ -> try Unix.close fd with _ -> ()) clients;
       (try Unix.close srv with Unix.Unix_error _ -> ());
       try Unix.unlink socket_path with Unix.Unix_error _ -> ())
@@ -349,8 +661,16 @@ let run ?(idle_save = 0.) ~socket_path t =
    and the CI smoke test so the protocol can be driven without relying
    on netcat being present. *)
 
-let request ~socket_path line =
+let request ?timeout_ms ~socket_path line =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match timeout_ms with
+  | Some ms when ms > 0 ->
+      let s = float_of_int ms /. 1000. in
+      (* a wedged daemon surfaces as EAGAIN/EWOULDBLOCK from [read],
+         which the CLI maps to a clear timeout message *)
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+  | _ -> ());
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->

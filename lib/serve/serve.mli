@@ -7,7 +7,7 @@
     {v
     request  := { "op": OP, "id"?: string|number, ...op fields }
     OP       := "check" | "query" | "retrieve" | "classify"
-              | "update" | "stats" | "snapshot" | "shutdown"
+              | "update" | "stats" | "metrics" | "snapshot" | "shutdown"
 
     query    := + "individual": string, "concept": surface-syntax string
     retrieve := + "concept": string, "all"?: bool (include Neither rows)
@@ -16,24 +16,54 @@
     v}
 
     Every successful response is
-    [{"id":…, "ok":true, …payload, "cost":{…}, "cache":{…}}] where
+    [{"id":…, "ok":true, "trace_id":…, …payload, "cost":{…}, "cache":{…}}]
+    where [trace_id] is the request's freshly minted trace ID (present
+    when telemetry is armed; the same ID stamps the request's cost
+    records, spans, slow-log lines, flight events and access-log line),
     [cost] is the request's {e marginal} work (tableau calls, computed
     verdicts, cache-served checks, wall time — diffed around the
-    handler, the PR 5 accounting surface) and [cache] the live verdict
-    cache counters — so a client can prove a repeated query was served
-    warm ([cost.tableau_calls = 0]).  Failures are
-    [{"id":…, "ok":false, "error":…}]; no request — malformed JSON,
-    unknown op, bad concept syntax, delta parse errors — ever kills the
-    daemon. *)
+    handler, the PR 5 accounting surface; it also repeats [trace_id])
+    and [cache] the live verdict cache counters — so a client can prove
+    a repeated query was served warm ([cost.tableau_calls = 0]).
+    Failures are [{"id":…, "ok":false, "trace_id":…, "error":…}]; no
+    request — malformed JSON, unknown op, bad concept syntax, delta
+    parse errors — ever kills the daemon.
+
+    {b Telemetry.}  Unless disarmed at {!create}, the daemon owns a
+    {!Telemetry.t} registry fed once per request (op, outcome, wall
+    time, backend routes, cache hits).  The [metrics] op returns its
+    JSON rendering; {!run} can additionally write the Prometheus text
+    exposition to a file on an interval, and every request appends one
+    line to a rotating JSONL access log when one is configured. *)
 
 type t
 
-val create : ?snapshot_path:string -> Session.t -> t
+val default_access_log_max_bytes : int
+(** 16 MiB — the rotation threshold when the caller does not choose. *)
+
+val create :
+  ?snapshot_path:string ->
+  ?telemetry:bool ->
+  ?access_log:string ->
+  ?access_log_max_bytes:int ->
+  Session.t ->
+  t
 (** Wrap a (typically snapshot-restored) session for serving.
     [snapshot_path] is the idle-autosave and default [snapshot]-op
-    target; omit it to disable autosave. *)
+    target; omit it to disable autosave.  [telemetry] (default [true])
+    arms the per-op registry and per-request trace IDs; [false] is the
+    disarmed baseline bench S11 measures against.  [access_log] names a
+    JSONL file receiving one line per request; the request path only
+    queues a compact pending record, with rendering and writes deferred
+    to a drain on the idle/metrics ticks, {!sync} and shutdown.
+    Rotated once to [path ^ ".1"] — only ever between lines — when it
+    would exceed [access_log_max_bytes] (default 16 MiB, clamped to
+    ≥ 1 KiB). *)
 
 val session : t -> Session.t
+
+val telemetry : t -> Telemetry.t option
+(** The daemon's registry; [None] when disarmed at {!create}. *)
 
 val stopped : t -> bool
 (** Has a [shutdown] request been handled? *)
@@ -42,16 +72,41 @@ val handle : t -> string -> string
 (** [handle t line] maps one request line to one response line (no
     trailing newline).  This is the entire protocol — the socket loop
     adds only byte shuttling — so tests and in-process benchmarks drive
-    it directly.  Never raises. *)
+    it directly.  Never raises.
 
-val run : ?idle_save:float -> socket_path:string -> t -> unit
+    When telemetry is armed, each call mints a trace ID and installs it
+    via {!Obs.set_trace_id} for the duration of the request, records
+    the request into the registry, and queues the access-log record. *)
+
+val sync : t -> unit
+(** Drain queued access-log records to disk so readers see every line
+    for requests handled so far.  [run] calls this on the metrics tick,
+    on idle timeouts and at shutdown; tests driving {!handle} directly
+    call it before reading the file. *)
+
+val run :
+  ?idle_save:float ->
+  ?metrics_out:string ->
+  ?metrics_interval:float ->
+  socket_path:string ->
+  t ->
+  unit
 (** Bind [socket_path] (replacing any stale socket file), serve until a
     [shutdown] request, then autosave (if due), close every connection
     and remove the socket file.  Single-threaded [select] loop; SIGPIPE
     is ignored.  [idle_save > 0] arms the autosave tick: after that many
     seconds with no traffic, a dirty session (new verdicts or applied
-    deltas since the last save) is snapshotted to [snapshot_path]. *)
+    deltas since the last save) is snapshotted to [snapshot_path].
 
-val request : socket_path:string -> string -> string
+    [metrics_out] arms the scrape file: the Prometheus exposition is
+    written there atomically (tmp + rename) at startup, at shutdown and
+    at most every [metrics_interval] seconds (default 5, clamped to
+    ≥ 0.05) while serving; the access log is flushed on the same tick.
+    Ignored when telemetry was disarmed at {!create}. *)
+
+val request : ?timeout_ms:int -> socket_path:string -> string -> string
 (** Client side: connect, send one request line, read one response line.
-    Used by [dl4 client] and the CI smoke test (no netcat dependency). *)
+    Used by [dl4 client] and the CI smoke test (no netcat dependency).
+    [timeout_ms > 0] arms [SO_RCVTIMEO]/[SO_SNDTIMEO] on the socket, so
+    a wedged daemon raises [Unix.Unix_error (EAGAIN | EWOULDBLOCK, _, _)]
+    instead of hanging the caller forever. *)

@@ -554,6 +554,7 @@ let w_cost b (c : Oracle.cost) =
   w_string b c.Oracle.c_query;
   w_string b c.Oracle.c_kind;
   w_string b c.Oracle.c_backend;
+  w_string b c.Oracle.c_trace; (* new in dl4-snap/3 *)
   w_float b c.Oracle.c_wall_ns;
   w_int b c.Oracle.c_runs;
   w_int b c.Oracle.c_nodes;
@@ -570,6 +571,7 @@ let r_cost r : Oracle.cost =
   let c_query = r_string r in
   let c_kind = r_string r in
   let c_backend = r_string r in
+  let c_trace = r_string r in
   let c_wall_ns = r_float r in
   let c_runs = r_int r in
   let c_nodes = r_int r in
@@ -584,6 +586,7 @@ let r_cost r : Oracle.cost =
   { Oracle.c_query;
     c_kind;
     c_backend;
+    c_trace;
     c_wall_ns;
     c_runs;
     c_nodes;

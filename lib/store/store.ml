@@ -1,9 +1,9 @@
-(* dl4-snap/2 — the versioned on-disk snapshot container.
+(* dl4-snap/3 — the versioned on-disk snapshot container.
 
    Layout:
 
      bytes 0..7    magic "dl4-snap"
-     u32           format version (= 2)
+     u32           format version (= 3)
      u32           section count
      per section:  name (length-prefixed string), u32 payload length,
                    u32 Adler-32 of the payload
@@ -23,7 +23,7 @@
    cold build, never serve from a bad snapshot. *)
 
 let magic = "dl4-snap"
-let version = 2
+let version = 3  (* 3: cost records carry the trace ID that paid for them *)
 
 type snapshot = {
   s_config : Oracle.config;

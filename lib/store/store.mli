@@ -1,4 +1,5 @@
-(** Persistent KB store — the [dl4-snap/1] versioned snapshot format.
+(** Persistent KB store — the [dl4-snap/3] versioned snapshot format
+    (3: cost records carry the trace ID that paid for them).
 
     A snapshot freezes the warm state of one {!Session} over one KB: the
     four-valued KB and its induced classical KB, the classification index

@@ -1,0 +1,340 @@
+(* check_prom: CI validator for the Prometheus text exposition that
+   `dl4 serve --metrics-out` writes.
+
+   Dependency-free by design (like check_trace/check_flight): a small
+   hand-rolled parser for the exposition format, independent of the
+   renderer in Telemetry, so it cross-checks the writer instead of
+   sharing its bugs.  Checks:
+
+   - line grammar: # HELP / # TYPE comments, or samples
+     `name[{labels}] value [timestamp]`
+   - metric and label names match the format's identifier grammar
+   - label values use only the legal escapes (backslash, quote, n)
+   - every sample's metric has a TYPE declared above it, exactly once
+   - no duplicate series: (name, complete label set) appears at most
+     once
+   - histograms: le labels parse, cumulative bucket counts are
+     monotonically non-decreasing in le order, the +Inf bucket exists
+     and equals the _count sample of the same series
+
+   Usage: check_prom FILE.  Exit 0 when valid, 1 with one message per
+   defect. *)
+
+let errors = ref 0
+
+let fail line fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      Printf.eprintf "check_prom: line %d: %s\n" line msg)
+    fmt
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let is_metric_name s =
+  s <> ""
+  && is_name_start s.[0]
+  && String.for_all is_name_char s
+
+(* label names may not contain ':' *)
+let is_label_name s =
+  s <> ""
+  && s.[0] <> ':'
+  && is_name_start s.[0]
+  && String.for_all (fun c -> is_name_char c && c <> ':') s
+
+let parse_value s =
+  match s with
+  | "+Inf" | "Inf" -> Some Float.infinity
+  | "-Inf" -> Some Float.neg_infinity
+  | "NaN" -> Some Float.nan
+  | s -> float_of_string_opt s
+
+(* Parse `{k="v",...}` starting after the '{'; returns (labels, rest)
+   or None on grammar errors (reported by the caller). *)
+let parse_labels lineno s =
+  let n = String.length s in
+  let labels = ref [] in
+  let rec pairs i =
+    if i >= n then (fail lineno "unterminated label set"; None)
+    else if s.[i] = '}' then Some (List.rev !labels, i + 1)
+    else begin
+      let j = ref i in
+      while !j < n && s.[!j] <> '=' && s.[!j] <> '}' do incr j done;
+      if !j >= n || s.[!j] <> '=' then begin
+        fail lineno "label without '='";
+        None
+      end
+      else begin
+        let key = String.sub s i (!j - i) in
+        if not (is_label_name key) then
+          fail lineno "invalid label name %S" key;
+        let j = !j + 1 in
+        if j >= n || s.[j] <> '"' then begin
+          fail lineno "label value of %S is not quoted" key;
+          None
+        end
+        else begin
+          (* scan the value honoring escapes *)
+          let b = Buffer.create 16 in
+          let rec value k =
+            if k >= n then begin
+              fail lineno "unterminated label value for %S" key;
+              None
+            end
+            else if s.[k] = '\\' then
+              if k + 1 >= n then begin
+                fail lineno "dangling backslash in label value for %S" key;
+                None
+              end
+              else begin
+                (match s.[k + 1] with
+                | '\\' -> Buffer.add_char b '\\'
+                | '"' -> Buffer.add_char b '"'
+                | 'n' -> Buffer.add_char b '\n'
+                | c ->
+                    fail lineno
+                      "illegal escape '\\%c' in label value for %S (only \
+                       \\\\, \\\" and \\n are allowed)"
+                      c key);
+                value (k + 2)
+              end
+            else if s.[k] = '"' then Some (k + 1)
+            else begin
+              Buffer.add_char b s.[k];
+              value (k + 1)
+            end
+          in
+          match value (j + 1) with
+          | None -> None
+          | Some k ->
+              labels := (key, Buffer.contents b) :: !labels;
+              if k < n && s.[k] = ',' then pairs (k + 1)
+              else if k < n && s.[k] = '}' then Some (List.rev !labels, k + 1)
+              else begin
+                fail lineno "expected ',' or '}' after label %S" key;
+                None
+              end
+        end
+      end
+    end
+  in
+  pairs 0
+
+type series = { s_line : int; s_value : float }
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+        prerr_endline "usage: check_prom FILE";
+        exit 2
+  in
+  let ic =
+    try open_in path
+    with Sys_error e ->
+        Printf.eprintf "check_prom: %s\n" e;
+        exit 2
+  in
+  let types : (string, string * int) Hashtbl.t = Hashtbl.create 16 in
+  let seen : (string * (string * string) list, series) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let sample_count = ref 0 in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let ln = !lineno in
+       if line = "" then ()
+       else if String.length line >= 1 && line.[0] = '#' then begin
+         match String.split_on_char ' ' line with
+         | "#" :: "TYPE" :: name :: rest ->
+             if not (is_metric_name name) then
+               fail ln "invalid metric name %S in TYPE comment" name;
+             (match rest with
+             | [ ("counter" | "gauge" | "histogram" | "summary" | "untyped") ]
+               -> ()
+             | _ -> fail ln "TYPE of %s is not a known metric type" name);
+             (match Hashtbl.find_opt types name with
+             | Some _ -> fail ln "duplicate TYPE declaration for %s" name
+             | None ->
+                 Hashtbl.replace types name
+                   ((match rest with [ t ] -> t | _ -> "untyped"), ln))
+         | "#" :: "HELP" :: name :: _ ->
+             if not (is_metric_name name) then
+               fail ln "invalid metric name %S in HELP comment" name
+         | "#" :: ("HELP" | "TYPE") :: _ ->
+             fail ln "HELP/TYPE comment without a metric name"
+         | _ -> () (* free-form comment: legal *)
+       end
+       else begin
+         (* sample line *)
+         incr sample_count;
+         let name_end = ref 0 in
+         let n = String.length line in
+         while
+           !name_end < n && is_name_char line.[!name_end]
+         do incr name_end done;
+         let name = String.sub line 0 !name_end in
+         if not (is_metric_name name) then
+           fail ln "sample does not start with a metric name: %S" line
+         else begin
+           let labels, rest_at =
+             if !name_end < n && line.[!name_end] = '{' then
+               match
+                 parse_labels ln
+                   (String.sub line (!name_end + 1) (n - !name_end - 1))
+               with
+               | Some (labels, consumed) -> (labels, !name_end + 1 + consumed)
+               | None -> ([], n)
+             else ([], !name_end)
+           in
+           let rest = String.trim (String.sub line rest_at (n - rest_at)) in
+           let value =
+             match String.split_on_char ' ' rest with
+             | v :: ([] | [ _ ]) -> parse_value v
+             | _ -> None
+           in
+           (match value with
+           | None -> fail ln "sample of %s has no parsable value: %S" name rest
+           | Some _ -> ());
+           (* the TYPE a sample belongs to: its own name, or the base
+              name for histogram/summary series suffixes *)
+           let base =
+             let strip suf =
+               if String.length name > String.length suf
+                  && String.sub name
+                       (String.length name - String.length suf)
+                       (String.length suf)
+                     = suf
+               then
+                 Some
+                   (String.sub name 0 (String.length name - String.length suf))
+               else None
+             in
+             match Hashtbl.find_opt types name with
+             | Some _ -> Some name
+             | None ->
+                 List.find_map
+                   (fun suf ->
+                     match Option.bind (strip suf) (Hashtbl.find_opt types) with
+                     | Some ("histogram", _) | Some ("summary", _) ->
+                         strip suf
+                     | _ -> None)
+                   [ "_bucket"; "_sum"; "_count" ]
+           in
+           (match base with
+           | None -> fail ln "sample %s has no TYPE declaration above it" name
+           | Some b -> (
+               match Hashtbl.find_opt types b with
+               | Some (_, tline) when tline > ln ->
+                   fail ln "sample %s appears before its TYPE (line %d)" name
+                     tline
+               | _ -> ()));
+           let key = (name, List.sort compare labels) in
+           (match Hashtbl.find_opt seen key with
+           | Some prev ->
+               fail ln "duplicate series %s (first at line %d)" name
+                 prev.s_line
+           | None ->
+               Hashtbl.replace seen key
+                 { s_line = ln;
+                   s_value = Option.value ~default:Float.nan value })
+         end
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (* histogram structure: group _bucket series by (base, labels-minus-le) *)
+  let groups :
+      (string * (string * string) list, (float * float * int) list ref)
+      Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Hashtbl.iter
+    (fun (name, labels) s ->
+      let strip_bucket =
+        if String.length name > 7
+           && String.sub name (String.length name - 7) 7 = "_bucket"
+        then Some (String.sub name 0 (String.length name - 7))
+        else None
+      in
+      match strip_bucket with
+      | Some base when
+          (match Hashtbl.find_opt types base with
+          | Some ("histogram", _) -> true
+          | _ -> false) -> (
+          let le =
+            match List.assoc_opt "le" labels with
+            | None ->
+                fail s.s_line "histogram bucket of %s lacks an le label" base;
+                None
+            | Some le -> (
+                match parse_value le with
+                | Some f -> Some f
+                | None ->
+                    fail s.s_line "unparsable le=%S on %s" le base;
+                    None)
+          in
+          match le with
+          | None -> ()
+          | Some le ->
+              let key = (base, List.remove_assoc "le" labels) in
+              let cell =
+                match Hashtbl.find_opt groups key with
+                | Some c -> c
+                | None ->
+                    let c = ref [] in
+                    Hashtbl.replace groups key c;
+                    c
+              in
+              cell := (le, s.s_value, s.s_line) :: !cell)
+      | _ -> ())
+    seen;
+  Hashtbl.iter
+    (fun (base, labels) cell ->
+      let buckets =
+        List.sort (fun (a, _, _) (b, _, _) -> compare a b) !cell
+      in
+      let rec monotone prev = function
+        | [] -> ()
+        | (le, v, ln) :: rest ->
+            if v < prev then
+              fail ln
+                "histogram %s: bucket le=%g count %g is below the previous \
+                 cumulative count %g"
+                base le v prev;
+            monotone v rest
+      in
+      monotone 0.0 buckets;
+      match List.rev buckets with
+      | (le, last, ln) :: _ ->
+          if le <> Float.infinity then
+            fail ln "histogram %s lacks a +Inf bucket" base;
+          (* +Inf bucket must agree with the _count sample *)
+          let count_key = (base ^ "_count", List.sort compare labels) in
+          (match Hashtbl.find_opt seen count_key with
+          | Some c when c.s_value <> last ->
+              fail ln "histogram %s: +Inf bucket %g disagrees with _count %g"
+                base last c.s_value
+          | Some _ -> ()
+          | None -> fail ln "histogram %s has buckets but no _count sample" base)
+      | [] -> ())
+    groups;
+  if !sample_count = 0 then begin
+    incr errors;
+    Printf.eprintf "check_prom: %s contains no samples\n" path
+  end;
+  if !errors > 0 then begin
+    Printf.eprintf "check_prom: %s: %d problem(s)\n" path !errors;
+    exit 1
+  end
+  else
+    Printf.printf "check_prom: %s ok (%d samples, %d series, %d histograms)\n"
+      path !sample_count (Hashtbl.length seen) (Hashtbl.length groups)
