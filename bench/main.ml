@@ -352,7 +352,7 @@ let report_engine_classification () =
     (fun (label, kb) ->
       let t = Para.create kb in
       let naive = Para.classify_naive t in
-      let e = Engine.create kb in
+      let e = Engine.of_config Oracle.default_config kb in
       let cls = Engine.classification e in
       let s = cls.Classify.stats in
       Printf.printf "  %-20s %-7d %-7d %-7d %-7d %-7d %s\n%!" label s.atoms
@@ -386,7 +386,7 @@ let report_engine_cache () =
       (fun (a, c) -> ignore (Engine.instance_truth e a (Concept.Atom c)))
       queries
   in
-  let e = Engine.create kb in
+  let e = Engine.of_config Oracle.default_config kb in
   let time f =
     let t0 = Sys.time () in
     f ();
@@ -440,7 +440,7 @@ let report_engine_parallel () =
   let classification =
     List.map
       (fun j ->
-        let e = Engine.create ~jobs:j kb in
+        let e = Engine.of_config { Oracle.default_config with Oracle.jobs = j } kb in
         let tax, dt = wall (fun () -> Engine.classify e) in
         (j, tax, dt))
       widths
@@ -462,7 +462,7 @@ let report_engine_parallel () =
   let grid =
     List.map
       (fun j ->
-        let t = Para.create ~jobs:j kb in
+        let t = Para.create ~config:{ Oracle.default_config with Oracle.jobs = j } kb in
         let cs, dt = wall (fun () -> Para.contradictions t) in
         (j, cs, dt))
       widths
@@ -490,7 +490,7 @@ let report_engine_parallel () =
   let cq =
     List.map
       (fun j ->
-        let t = Para.create ~jobs:j kb in
+        let t = Para.create ~config:{ Oracle.default_config with Oracle.jobs = j } kb in
         let ans, dt = wall (fun () -> List.map (Cq.answers t) queries) in
         (j, ans, dt))
       widths
@@ -575,7 +575,7 @@ let report_obs_overhead () =
     List.nth a (List.length a / 2)
   in
   let runs = 5 in
-  let classify_once () = Engine.classify (Engine.create ~jobs:2 kb) in
+  let classify_once () = Engine.classify (Engine.of_config { Oracle.default_config with Oracle.jobs = 2 } kb) in
   let time_runs () =
     List.init runs (fun _ ->
         let tax, dt = wall classify_once in
@@ -1217,6 +1217,125 @@ let report_telemetry () =
          rounds)
 
 (* ------------------------------------------------------------------ *)
+(* S12: cost-based CQ planner vs syntactic atom order *)
+
+(* A deliberately skewed KB: one rare concept (2 told instances), one
+   common one (40), a sparse role between them — and a query whose body
+   is written in the pessimal order (common atom first), so the
+   syntactic baseline pays a full [common × individuals] role grid
+   while the cost plan starts from the rare side.  Probe counts are
+   deterministic (fresh cold session per measured run, jobs = 1), so
+   they double as regression anchors. *)
+let report_planner () =
+  section "S12: cost-based CQ planner vs syntactic order -> BENCH_planner.json";
+  let n_common = 40 in
+  let kb =
+    let base =
+      Kb4.of_classical ~inclusion:Kb4.Internal
+        (Axiom.make
+           ~tbox:[ Axiom.Concept_sub (Concept.Atom "Rare", Concept.Atom "Flagged") ]
+           ~abox:[])
+    in
+    let commons =
+      List.init n_common (fun i ->
+          Axiom.Instance_of (Printf.sprintf "c%d" i, Concept.Atom "Common"))
+    in
+    let rares =
+      [ Axiom.Instance_of ("r0", Concept.Atom "Rare");
+        Axiom.Instance_of ("r1", Concept.Atom "Rare") ]
+    in
+    let links =
+      List.map
+        (fun (a, b) -> Axiom.Role_assertion (a, Role.name "links", b))
+        [ ("c0", "r0"); ("c0", "r1"); ("c1", "r0");
+          ("c1", "r1"); ("c2", "r0"); ("c3", "r1") ]
+    in
+    List.fold_left Kb4.add_abox base (commons @ rares @ links)
+  in
+  let parse_cq src =
+    match Cq.parse src with
+    | Ok q -> q
+    | Error msg -> failwith ("S12: bad cq " ^ src ^ ": " ^ msg)
+  in
+  (* body written common-first: the worst order a naive planner inherits *)
+  let q = parse_cq "?x, ?y <- Common(?x), links(?x, ?y), Rare(?y)" in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  (* each measured run pays its probes from a cold cache: fresh session,
+     single domain, compile (probe-free) outside the timed region *)
+  let measure ?threshold ?force ~order qry =
+    let s =
+      Session.create
+        ~config:{ Session.default_config with Session.jobs = 1 } kb
+    in
+    let p = Para.of_session s in
+    let plan = Cq.compile ?threshold ?force ~order p qry in
+    let answers, dt = wall (fun () -> Cq.run plan) in
+    let totals = Session.cost_totals s in
+    let probes = totals.Oracle.verdicts + totals.Oracle.cache_served in
+    (answers, dt, probes, Cq.strategy_counts plan)
+  in
+  let plan_ans, plan_dt, plan_probes, _ = measure ~order:`Cost q in
+  let syn_ans, syn_dt, syn_probes, _ = measure ~order:`Syntactic q in
+  (* reference: the PR-2 staged enumerator on its own fresh session *)
+  let ref_ans =
+    let s =
+      Session.create
+        ~config:{ Session.default_config with Session.jobs = 1 } kb
+    in
+    Cq.answers_staged (Para.of_session s) q
+  in
+  let identical = plan_ans = syn_ans && plan_ans = ref_ans in
+  if not identical then failwith "S12: answers differ across plans";
+  (* a 3-atom chain with shared join keys: fan-in makes the hash side
+     strictly cheaper, so the adaptive pick lands on hash_join once the
+     threshold admits it — and answers must not move *)
+  let q3 = parse_cq "?x <- Rare(?z), links(?y, ?z), links(?x, ?y)" in
+  let hash_ans, _, _, hash_strategies = measure ~threshold:2 ~order:`Cost q3 in
+  let nested_ans, _, _, _ =
+    measure ~force:Cq.Plan.Nested_loop ~order:`Cost q3
+  in
+  let hash_picks =
+    List.assoc_opt "hash_join" hash_strategies |> Option.value ~default:0
+  in
+  let identical3 = hash_ans = nested_ans in
+  if not identical3 then failwith "S12: answers differ hash vs nested";
+  let probe_speedup = float_of_int syn_probes /. float_of_int (max 1 plan_probes) in
+  let wall_speedup = syn_dt /. Float.max plan_dt 1e-9 in
+  Printf.printf "  %d individuals, %d designated answers\n"
+    (n_common + 2) (List.length plan_ans);
+  Printf.printf "  probes: cost plan %d, syntactic %d (%.1fx fewer)\n"
+    plan_probes syn_probes probe_speedup;
+  Printf.printf "  wall:   cost plan %.4fs, syntactic %.4fs (%.1fx faster)\n"
+    plan_dt syn_dt wall_speedup;
+  Printf.printf "  hash_join picks on the fan-in chain: %d\n" hash_picks;
+  Printf.printf "  answers identical across plans and reference: %b\n"
+    (identical && identical3);
+  write_bench "BENCH_planner.json" ~experiment:"S12_cq_planner"
+    ~metrics:
+      [ ("answers_identical",
+         if identical && identical3 then "1" else "0");
+        ("planner_probes", string_of_int plan_probes);
+        ("syntactic_probes", string_of_int syn_probes);
+        ("probe_speedup", Printf.sprintf "%.2f" probe_speedup);
+        ("wall_speedup", Printf.sprintf "%.2f" wall_speedup);
+        ("hash_join_picks", string_of_int hash_picks);
+        ("planner_seconds", Printf.sprintf "%.4f" plan_dt);
+        ("syntactic_seconds", Printf.sprintf "%.4f" syn_dt) ]
+    ~detail:
+      (Printf.sprintf
+         "{\"kb\": \"2 Rare + %d Common individuals, 6 told links pairs\",\n\
+         \  \"query\": \"?x, ?y <- Common(?x), links(?x, ?y), Rare(?y)\",\n\
+         \  \"chain_query\": \"?x <- Rare(?z), links(?y, ?z), links(?x, ?y)\",\n\
+         \  \"probes\": \"oracle verdicts + cache-served checks on a fresh \
+          cold session per run\",\n\
+         \  \"reference\": \"Cq.answers_staged on its own fresh session\"}"
+         n_common)
+
+(* ------------------------------------------------------------------ *)
 (* Timing benches *)
 
 let paper_benches () =
@@ -1339,7 +1458,7 @@ let engine_classification_benches () =
       [ bench ("classify_naive_" ^ label) (fun () ->
             Para.classify_naive (Para.create kb));
         bench ("classify_engine_" ^ label) (fun () ->
-            Engine.classify (Engine.create kb)) ])
+            Engine.classify (Engine.of_config Oracle.default_config kb)) ])
     [ ("example3", Paper_examples.example3);
       ("chains8", Gen.exception_chains ~n:8) ]
 
@@ -1366,11 +1485,11 @@ let engine_cache_benches () =
       (fun (a, c) -> ignore (Engine.instance_truth e a (Concept.Atom c)))
       queries
   in
-  let warm = Engine.create kb in
+  let warm = Engine.of_config Oracle.default_config kb in
   batch warm;
-  [ bench "query_batch_cold_cache" (fun () -> batch (Engine.create kb));
+  [ bench "query_batch_cold_cache" (fun () -> batch (Engine.of_config Oracle.default_config kb));
     bench "query_batch_warm_cache" (fun () -> batch warm);
-    bench "realize_cold" (fun () -> Engine.realization (Engine.create kb)) ]
+    bench "realize_cold" (fun () -> Engine.realization (Engine.of_config Oracle.default_config kb)) ]
 
 let ablation_benches () =
   List.map
@@ -1414,6 +1533,7 @@ let () =
   report_serve ();
   report_backends ();
   report_telemetry ();
+  report_planner ();
   section "timing series (S1-S4)";
   run_group ~name:"paper" (paper_benches ());
   run_group ~name:"scale_transform" (transform_benches ());

@@ -351,48 +351,130 @@ let check_cmd =
       $ max_branches_arg $ jobs_arg $ backend_arg $ from_snapshot_arg
       $ obs_term)
 
+(* Shared by `query --explain` and `explain-plan`: pretty-print the plan
+   with estimated vs (after execution) actual per-step cardinalities. *)
+let print_plan_text (v : Cq.Plan.view) =
+  Format.printf "query: %s@." v.Cq.Plan.v_query;
+  Format.printf "binding order: %s   individuals: %d   order: %s@."
+    (String.concat ", " (List.map (fun x -> "?" ^ x) v.Cq.Plan.v_vars))
+    v.Cq.Plan.v_individuals v.Cq.Plan.v_order;
+  Format.printf "hash-join threshold: %d%s@." v.Cq.Plan.v_threshold
+    (match v.Cq.Plan.v_forced with
+    | None -> ""
+    | Some s -> "   forced strategy: " ^ s);
+  List.iteri
+    (fun i (s : Cq.Plan.step_view) ->
+      Format.printf "  %d. %s" (i + 1) s.Cq.Plan.sv_atom;
+      if s.Cq.Plan.sv_filter then Format.printf "  [filter]"
+      else
+        Format.printf "  [binds %s]"
+          (String.concat ", "
+             (List.map (fun x -> "?" ^ x) s.Cq.Plan.sv_binds));
+      Format.printf "  est_rows=%d est_probe_ns=%.0f" s.Cq.Plan.sv_est_rows
+        s.Cq.Plan.sv_est_cost_ns;
+      (match s.Cq.Plan.sv_strategy with
+      | Some st when not s.Cq.Plan.sv_filter -> Format.printf " strategy=%s" st
+      | _ -> ());
+      (match (s.Cq.Plan.sv_actual_rows, s.Cq.Plan.sv_probes) with
+      | Some rows, Some probes ->
+          Format.printf " actual_rows=%d probes=%d" rows probes
+      | _ -> ());
+      Format.printf "@.")
+    v.Cq.Plan.v_steps
+
+let cq_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cq" ] ~docv:"CQ"
+        ~doc:
+          "Conjunctive query, e.g. '?x <- Doctor(?x), hasPatient(?x, ?y)'. \
+           Variables are ?-prefixed, bare terms are individuals; without \
+           '<-' every variable is projected.")
+
+let load_cq src =
+  match Cq.parse src with
+  | Ok q -> q
+  | Error msg ->
+      Format.eprintf "cq %S: %s@." src msg;
+      exit 2
+
 let query_cmd =
   let individual =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "i"; "individual" ] ~docv:"NAME" ~doc:"Individual to query.")
   in
   let concept_src =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "c"; "concept" ] ~docv:"CONCEPT"
           ~doc:"Concept expression in surface syntax.")
   in
-  let run file ind csrc max_nodes max_branches jobs backend from_snapshot obs =
+  let explain_flag =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "With --cq: after execution, print the chosen plan with \
+             estimated vs actual per-step cardinalities, probe counts and \
+             the join strategies picked.")
+  in
+  let run file ind csrc cq explain max_nodes max_branches jobs backend
+      from_snapshot obs =
     with_obs ~cmd:"query" obs (fun () ->
         let kb = load_kb4 file in
-        let c = load_concept csrc in
         let config =
           make_config ~jobs ~max_nodes ~max_branches
             ~cache_size:Engine.default_cache_capacity ~no_cache:false ~backend
         in
         let t = Para.of_session (session_of ~config ~from_snapshot kb) in
-        let v = Para.instance_truth t ind c in
-        Format.printf "%s : %s  =  %a@." ind (Concept.to_string c) Truth.pp v;
-        (match v with
-        | Truth.True -> Format.printf "supported: yes;  denied: no@."
-        | Truth.False -> Format.printf "supported: no;  denied: yes@."
-        | Truth.Both ->
-            Format.printf "supported: yes;  denied: yes  (contradiction)@."
-        | Truth.Neither -> Format.printf "supported: no;  denied: no@.");
-        0)
+        match cq with
+        | Some src ->
+            let q = load_cq src in
+            let plan = Cq.compile t q in
+            let answers = Cq.run plan in
+            if answers = [] then Format.printf "no designated answers@."
+            else
+              List.iter
+                (fun (tuple, v) ->
+                  Format.printf "%s  =  %a@." (String.concat ", " tuple)
+                    Truth.pp v)
+                answers;
+            if explain then print_plan_text (Cq.explain plan);
+            0
+        | None -> (
+            match (ind, csrc) with
+            | Some ind, Some csrc ->
+                let c = load_concept csrc in
+                let v = Para.instance_truth t ind c in
+                Format.printf "%s : %s  =  %a@." ind (Concept.to_string c)
+                  Truth.pp v;
+                (match v with
+                | Truth.True -> Format.printf "supported: yes;  denied: no@."
+                | Truth.False -> Format.printf "supported: no;  denied: yes@."
+                | Truth.Both ->
+                    Format.printf
+                      "supported: yes;  denied: yes  (contradiction)@."
+                | Truth.Neither -> Format.printf "supported: no;  denied: no@.");
+                0
+            | _ ->
+                Format.eprintf
+                  "dl4 query: provide either --cq, or both --individual and \
+                   --concept@.";
+                2))
   in
   Cmd.v
     (Cmd.info "query"
        ~doc:
-         "Four-valued instance query: the Belnap value the KB supports for \
-          C(a).")
+         "Four-valued query: the Belnap value the KB supports for C(a), or \
+          the designated answers of a conjunctive query (--cq).")
     Term.(
-      const run $ file_arg $ individual $ concept_src $ max_nodes_arg
-      $ max_branches_arg $ jobs_arg $ backend_arg $ from_snapshot_arg
-      $ obs_term)
+      const run $ file_arg $ individual $ concept_src $ cq_arg $ explain_flag
+      $ max_nodes_arg $ max_branches_arg $ jobs_arg $ backend_arg
+      $ from_snapshot_arg $ obs_term)
 
 let classify_cmd =
   let run file max_nodes max_branches cache_size no_cache jobs backend
@@ -657,7 +739,7 @@ let explain_cmd =
         match (ind, csrc) with
         | Some ind, Some csrc ->
             let c = load_concept csrc in
-            let t = Para.create ~max_nodes kb in
+            let t = Para.create ~config:{ Oracle.default_config with Oracle.max_nodes = max_nodes } kb in
             let v = Para.instance_truth t ind c in
             Format.printf "%s : %s = %a@." ind (Concept.to_string c) Truth.pp
               v;
@@ -687,7 +769,7 @@ let explain_cmd =
         | _ ->
             (* no query: the contradictions scan is a batched grid — give it
                the pool; the per-candidate justification probes stay serial *)
-            let t = Para.create ~jobs ~max_nodes kb in
+            let t = Para.create ~config:{ Oracle.default_config with Oracle.jobs = jobs; max_nodes = max_nodes } kb in
             let explained = Explain.contradictions_explained ~max_nodes t in
             if explained = [] then
               Format.printf "no localized contradictions@."
@@ -707,6 +789,112 @@ let explain_cmd =
     Term.(
       const run $ file_arg $ individual $ concept_src $ all $ max_nodes_arg
       $ jobs_arg $ obs_term)
+
+let explain_plan_cmd =
+  let cq_required =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "cq" ] ~docv:"CQ"
+          ~doc:
+            "Conjunctive query to plan, e.g. '?x <- Doctor(?x), \
+             hasPatient(?x, ?y)'.")
+  in
+  let join_arg =
+    let join_conv =
+      Arg.conv
+        ( (fun s ->
+            match Cq.Plan.strategy_of_name s with
+            | Some st -> Ok st
+            | None -> Error (`Msg ("unknown join strategy " ^ s))),
+          fun ppf st ->
+            Format.pp_print_string ppf (Cq.Plan.strategy_name st) )
+    in
+    Arg.(
+      value
+      & opt (some join_conv) None
+      & info [ "join" ] ~docv:"S"
+          ~doc:
+            "Force every extension step to one join strategy: $(b,nested) \
+             or $(b,hash) (default: adaptive by intermediate binding-set \
+             cardinality; the DL4_JOIN environment variable sets the same \
+             knob).")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "threshold" ] ~docv:"N"
+          ~doc:
+            "Binding-set cardinality at which extension steps switch from \
+             nested-loop to hash-join (default 8; DL4_JOIN_THRESHOLD sets \
+             the same knob).")
+  in
+  let order_arg =
+    let order_conv =
+      Arg.conv
+        ( (fun s ->
+            match s with
+            | "cost" -> Ok `Cost
+            | "syntactic" -> Ok `Syntactic
+            | _ -> Error (`Msg ("unknown order " ^ s))),
+          fun ppf o ->
+            Format.pp_print_string ppf
+              (match o with `Cost -> "cost" | `Syntactic -> "syntactic") )
+    in
+    Arg.(
+      value & opt order_conv `Cost
+      & info [ "order" ] ~docv:"O"
+          ~doc:
+            "Atom order: $(b,cost) (default, cheapest-first by estimated \
+             selectivity × probe cost) or $(b,syntactic) (body order — the \
+             bench baseline).")
+  in
+  let execute_flag =
+    Arg.(
+      value & flag
+      & info [ "execute" ]
+          ~doc:
+            "Run the plan before printing it, so the description carries \
+             actual per-step cardinalities, probe counts and the join \
+             strategies picked.")
+  in
+  let text_flag =
+    Arg.(
+      value & flag
+      & info [ "text" ]
+          ~doc:
+            "Human-readable rendering instead of the default single-line \
+             dl4-plan/1 JSON.")
+  in
+  let run file cqsrc join threshold order execute text max_nodes max_branches
+      jobs backend from_snapshot obs =
+    with_obs ~cmd:"explain-plan" obs (fun () ->
+        let kb = load_kb4 file in
+        let q = load_cq cqsrc in
+        let config =
+          make_config ~jobs ~max_nodes ~max_branches
+            ~cache_size:Engine.default_cache_capacity ~no_cache:false ~backend
+        in
+        let t = Para.of_session (session_of ~config ~from_snapshot kb) in
+        let plan = Cq.compile ?threshold ?force:join ~order t q in
+        if execute then
+          ignore (Cq.run plan : (string list * Truth.t) list);
+        if text then print_plan_text (Cq.explain plan)
+        else print_endline (Cq.explain_json plan);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "explain-plan"
+       ~doc:
+         "Compile a conjunctive query into its cost-based execution plan \
+          and print the stable machine-readable description (dl4-plan/1) \
+          without running it (unless --execute).")
+    Term.(
+      const run $ file_arg $ cq_required $ join_arg $ threshold_arg
+      $ order_arg $ execute_flag $ text_flag $ max_nodes_arg
+      $ max_branches_arg $ jobs_arg $ backend_arg $ from_snapshot_arg
+      $ obs_term)
 
 let repair_cmd =
   let run file =
@@ -1424,8 +1612,8 @@ let top_cmd =
           Option.value ~default:"?"
             (Option.bind (Json_lite.member "op" op) Json_lite.to_str)
         in
-        let routes =
-          match Json_lite.member "routes" op with
+        let counter_mix field =
+          match Json_lite.member field op with
           | Some (Json_lite.Obj fields) ->
               String.concat "  "
                 (List.map
@@ -1434,6 +1622,12 @@ let top_cmd =
                        (Option.value ~default:0.0 (Json_lite.to_num v)))
                    fields)
           | _ -> ""
+        in
+        let routes =
+          match (counter_mix "routes", counter_mix "strategies") with
+          | r, "" -> r
+          | "", s -> s
+          | r, s -> r ^ "  " ^ s
         in
         Format.printf "  %-10s %6.0f %5.0f %10s %10s %10s   %s@." name
           (num ~default:0.0 "requests" op)
@@ -1514,6 +1708,7 @@ let main =
       models_cmd;
       retrieve_cmd;
       explain_cmd;
+      explain_plan_cmd;
       repair_cmd;
       stats_cmd;
       fragment_cmd;

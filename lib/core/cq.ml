@@ -58,14 +58,30 @@ let truth_of_binding para q binding =
   in
   go Truth.True q.body
 
-(* Staged enumeration.  Variables are bound in [variables q] order (as the
-   naive cross product does); an atom is assigned to the stage of the last
-   variable it mentions and is evaluated the moment that variable is bound,
-   so a prefix whose running meet is already [f] refutes the whole subtree
-   of completions at once.  With [prune], refuted subtrees are cut (the
-   [answers] regime: [f] is never designated); without it every completion
-   is still yielded — valued [f] by absorption, with no further oracle
-   calls. *)
+(* ------------------------------------------------------------------ *)
+(* Printable form (also the serve protocol's query syntax, see [parse]) *)
+
+let term_to_string = function Var v -> "?" ^ v | Ind a -> a
+
+let atom_to_string = function
+  | Concept_atom (c, t) -> Concept.to_string c ^ "(" ^ term_to_string t ^ ")"
+  | Role_atom (r, t1, t2) ->
+      Role.to_string r ^ "(" ^ term_to_string t1 ^ ", " ^ term_to_string t2
+      ^ ")"
+
+let to_string q =
+  String.concat ", " (List.map (fun v -> "?" ^ v) q.head)
+  ^ " <- "
+  ^ String.concat ", " (List.map atom_to_string q.body)
+
+(* ------------------------------------------------------------------ *)
+(* The PR 2 staged enumerator.  Variables are bound in [variables q]
+   order (as the naive cross product does); an atom is assigned to the
+   stage of the last variable it mentions and is evaluated the moment
+   that variable is bound, so a prefix whose running meet is already [f]
+   refutes the whole subtree of completions at once.  Demoted to a
+   differential-test reference next to the [_naive] paths now that the
+   cost-based [Plan] below owns the production path. *)
 let fold_bindings ~prune para q ~init ~f =
   let individuals = (Kb4.signature (Para.kb para)).individuals in
   let vars = variables q in
@@ -107,11 +123,10 @@ let fold_bindings ~prune para q ~init ~f =
   if prune && Truth.equal acc0 Truth.False then init
   else go init [] acc0 1 vars
 
-let all_bindings para q =
-  Obs.with_span ~cat:"core" "cq.all_bindings" (fun () ->
-      List.rev
-        (fold_bindings ~prune:false para q ~init:[] ~f:(fun out binding v ->
-             (binding, v) :: out)))
+let all_bindings_staged para q =
+  List.rev
+    (fold_bindings ~prune:false para q ~init:[] ~f:(fun out binding v ->
+         (binding, v) :: out))
 
 let all_bindings_naive para q =
   let individuals = (Kb4.signature (Para.kb para)).individuals in
@@ -144,13 +159,12 @@ let dedup_designated tuples =
     (fun (_, v1) (_, v2) -> Truth.compare v1 v2)
     (List.rev dedup)
 
-let answers para q =
-  Obs.with_span ~cat:"core" "cq.answers" (fun () ->
-      dedup_designated
-        (List.rev
-           (fold_bindings ~prune:true para q ~init:[] ~f:(fun out binding v ->
-                if Truth.designated v then (project q binding, v) :: out
-                else out))))
+let answers_staged para q =
+  dedup_designated
+    (List.rev
+       (fold_bindings ~prune:true para q ~init:[] ~f:(fun out binding v ->
+            if Truth.designated v then (project q binding, v) :: out
+            else out)))
 
 let answers_naive para q =
   dedup_designated
@@ -158,3 +172,889 @@ let answers_naive para q =
        (fun (binding, v) ->
          if Truth.designated v then Some (project q binding, v) else None)
        (all_bindings_naive para q))
+
+(* ------------------------------------------------------------------ *)
+(* The cost-based planner.
+
+   [compile] turns a query into an explicit, explainable [Plan.t]:
+
+   - per-atom selectivity is estimated from told information — ABox
+     assertions folded through the told-subsumption closure (upgraded to
+     the classification index when it has already been built; [compile]
+     never triggers a build) for concept atoms, told role-edge fan-out
+     through the told role hierarchy for role atoms — and the per-kind
+     observed verdict costs of the session's cost records;
+   - atoms are ordered greedily cheapest-first: filters (all variables
+     already bound) immediately, then among atoms connected to the bound
+     variables the one with the smallest estimated (cardinality × probe
+     cost), so the most selective variables bind early;
+   - the join strategy for each extension step is picked adaptively at
+     RUN time from the actual intermediate binding-set cardinality:
+     nested-loop with substitution below [threshold] rows, hash-join on
+     the shared variables above it (the atom's relation is materialized
+     once over the distinct bound tuples as one batched oracle fan-out,
+     then hash-merged) — so a mis-estimated plan still executes soundly
+     and still switches strategy on real cardinalities.
+
+   Correctness note for pruning: the prune regime serves only the
+   designated-answer surface, and a row whose running conjunction is
+   not designated can never recover — [conj Neither x] is [Neither] or
+   [f] for every [x], and [f] is absorbing — so prune drops every
+   non-designated row (and non-designated relation entry: [conj r v0]
+   with [v0] in {[Neither], [f]} lands in {[Neither], [f]} for
+   designated [r]).  The non-prune regime keeps rows and relation
+   total: [Truth.conj Both Neither = False], so a [Neither] entry can
+   still flip a surviving row to [f]. *)
+
+(* observed strategy picks, mirrored into the Obs registry *)
+let c_plan_nested = Obs.counter "cq.plan.nested_loop"
+let c_plan_hash = Obs.counter "cq.plan.hash_join"
+
+module Plan = struct
+  type strategy = Nested_loop | Hash_join
+
+  let strategy_name = function
+    | Nested_loop -> "nested_loop"
+    | Hash_join -> "hash_join"
+
+  let strategy_of_name = function
+    | "nested" | "nested_loop" -> Some Nested_loop
+    | "hash" | "hash_join" -> Some Hash_join
+    | _ -> None
+
+  type slot_term = Slot of int | Const of string
+
+  type step = {
+    p_atom : atom;
+    p_terms : slot_term list;  (* positional: 1 concept / 2 role terms *)
+    p_new : int list;  (* slots first bound here (distinct) *)
+    p_est_rows : int;  (* estimated output cardinality at compile time *)
+    p_est_cost_ns : float;  (* estimated oracle cost of one atom probe *)
+    mutable p_strategy : strategy option;  (* run-time pick; filters None *)
+    mutable p_actual_rows : int;  (* binding-set size after this step *)
+    mutable p_probes : int;  (* atom evaluations paid at this step *)
+  }
+
+  type plan = {
+    pl_para : Para.t;
+    pl_query : t;
+    pl_vars : string array;  (* binding order: slot i holds pl_vars.(i) *)
+    pl_threshold : int;
+    pl_forced : strategy option;
+    pl_order : [ `Cost | `Syntactic ];
+    pl_steps : step list;
+    mutable pl_executed : bool;
+  }
+
+  (* read-side views: the stable, JSON-renderable plan description *)
+
+  type step_view = {
+    sv_atom : string;
+    sv_kind : string;  (* "concept" | "role" *)
+    sv_binds : string list;
+    sv_filter : bool;
+    sv_est_rows : int;
+    sv_est_cost_ns : float;
+    sv_strategy : string option;  (* after execution; filters "filter" *)
+    sv_actual_rows : int option;
+    sv_probes : int option;
+  }
+
+  type view = {
+    v_query : string;
+    v_vars : string list;
+    v_individuals : int;
+    v_threshold : int;
+    v_forced : string option;
+    v_order : string;
+    v_executed : bool;
+    v_steps : step_view list;
+  }
+end
+
+type plan = Plan.plan
+
+(* ---- told statistics ---------------------------------------------- *)
+
+let rec conjunct_atoms = function
+  | Concept.Atom a -> [ a ]
+  | Concept.And (c, d) -> conjunct_atoms c @ conjunct_atoms d
+  | _ -> []
+
+type statistics = {
+  st_n : int;
+  st_counts : (string, int) Hashtbl.t;  (* atom -> told instance count *)
+  st_pairs : (string, int) Hashtbl.t;  (* base role -> told edge count *)
+  st_srcs : (string, int) Hashtbl.t;  (* base role -> distinct sources *)
+  st_probe_ns : string -> float;  (* query kind -> observed avg ns *)
+}
+
+let tbl_get tbl k = Option.value ~default:0 (Hashtbl.find_opt tbl k)
+let tbl_add tbl k n = Hashtbl.replace tbl k (n + tbl_get tbl k)
+
+(* reflexive-transitive closure over an edge table, memo-free (the
+   signatures involved are small; cycles are handled by the seen set) *)
+let closure edges a =
+  let rec go seen = function
+    | [] -> seen
+    | x :: rest ->
+        if List.mem x seen then go seen rest
+        else
+          go (x :: seen)
+            (Option.value ~default:[] (Hashtbl.find_opt edges x) @ rest)
+  in
+  go [] [ a ]
+
+let statistics para =
+  let kb = Para.kb para in
+  let signature = Kb4.signature kb in
+  let n = List.length signature.Axiom.individuals in
+  (* concept supers: prefer the classification index when it is already
+     built (exact subsumptions); otherwise the told closure.  Never
+     force a build here — compiling must stay cheap. *)
+  let concept_supers =
+    match Engine.classification_if_built (Para.engine para) with
+    | Some cls ->
+        let h = Hashtbl.create 16 in
+        List.iter
+          (fun (a, sups) -> Hashtbl.replace h a (a :: sups))
+          cls.Classify.supers;
+        fun a -> Option.value ~default:[ a ] (Hashtbl.find_opt h a)
+    | None ->
+        let edges = Hashtbl.create 16 in
+        List.iter
+          (fun (a, b) ->
+            Hashtbl.replace edges a
+              (b :: Option.value ~default:[] (Hashtbl.find_opt edges a)))
+          (Engine.told_subsumptions kb);
+        fun a -> closure edges a
+  in
+  let role_supers =
+    let edges = Hashtbl.create 8 in
+    List.iter
+      (function
+        | Kb4.Role_inclusion ((Kb4.Internal | Kb4.Strong), r, s) ->
+            let a = Role.base r and b = Role.base s in
+            Hashtbl.replace edges a
+              (b :: Option.value ~default:[] (Hashtbl.find_opt edges a))
+        | _ -> ())
+      kb.Kb4.tbox;
+    fun r -> closure edges r
+  in
+  let seen_inst : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let seen_src : (string * string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let counts = Hashtbl.create 16 in
+  let pairs = Hashtbl.create 8 in
+  let srcs = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Axiom.Instance_of (i, c) ->
+          List.iter
+            (fun a ->
+              List.iter
+                (fun s ->
+                  if not (Hashtbl.mem seen_inst (s, i)) then begin
+                    Hashtbl.replace seen_inst (s, i) ();
+                    tbl_add counts s 1
+                  end)
+                (concept_supers a))
+            (conjunct_atoms c)
+      | Axiom.Role_assertion (x, r, _) ->
+          List.iter
+            (fun s ->
+              tbl_add pairs s 1;
+              if not (Hashtbl.mem seen_src (s, x)) then begin
+                Hashtbl.replace seen_src (s, x) ();
+                tbl_add srcs s 1
+              end)
+            (role_supers (Role.base r))
+      | _ -> ())
+    kb.Kb4.abox;
+  (* observed per-verdict cost: per query kind from the retained cost
+     records, global average as fallback, 1.0 when the session is cold
+     (a cold compile is then fully deterministic) *)
+  let session = Para.session para in
+  let totals = Session.cost_totals session in
+  let global =
+    if totals.Oracle.verdicts > 0 then
+      totals.Oracle.wall_ns /. float_of_int totals.Oracle.verdicts
+    else 1.0
+  in
+  let by_kind : (string, float * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Oracle.cost) ->
+      let sum, cnt =
+        Option.value ~default:(0.0, 0) (Hashtbl.find_opt by_kind c.Oracle.c_kind)
+      in
+      Hashtbl.replace by_kind c.Oracle.c_kind
+        (sum +. c.Oracle.c_wall_ns, cnt + 1))
+    (Session.costs session);
+  let probe_ns kind =
+    match Hashtbl.find_opt by_kind kind with
+    | Some (sum, cnt) when cnt > 0 -> sum /. float_of_int cnt
+    | _ -> global
+  in
+  { st_n = n; st_counts = counts; st_pairs = pairs; st_srcs = srcs;
+    st_probe_ns = probe_ns }
+
+(* estimated number of individuals with a designated value for [c],
+   from told information only — an ordering signal, not a bound *)
+let rec est_concept st c =
+  let n = st.st_n in
+  match c with
+  | Concept.Top -> n
+  | Concept.Bottom -> 0
+  | Concept.Atom a -> min n (tbl_get st.st_counts a)
+  | Concept.Not c -> max 0 (n - est_concept st c)
+  | Concept.And (c, d) -> min (est_concept st c) (est_concept st d)
+  | Concept.Or (c, d) -> min n (est_concept st c + est_concept st d)
+  | Concept.One_of os -> min n (List.length os)
+  | Concept.Exists (r, _) | Concept.At_least (_, r) ->
+      min n (tbl_get st.st_srcs (Role.base r))
+  | Concept.Forall _ | Concept.At_most _ -> n
+  | Concept.Data_exists _ | Concept.Data_at_least _ -> (n + 1) / 2
+  | Concept.Data_forall _ | Concept.Data_at_most _ -> n
+
+let est_pairs st r = tbl_get st.st_pairs (Role.base r)
+
+(* estimated output rows contributed by [atom] once the variables in
+   [bound] are fixed: the cardinality signal the greedy order minimizes *)
+let est_atom_rows st bound atom =
+  let free t =
+    match t with Var v -> not (Strings.mem v bound) | Ind _ -> false
+  in
+  match atom with
+  | Concept_atom (c, t) -> if free t then est_concept st c else 1
+  | Role_atom (r, t1, t2) -> (
+      let pairs = est_pairs st r in
+      match (free t1, free t2) with
+      | false, false -> 1
+      | true, true -> pairs
+      | _ -> max 1 (pairs / max 1 st.st_n))
+
+let probe_cost st = function
+  | Concept_atom _ -> st.st_probe_ns "instance" +. st.st_probe_ns "not_instance"
+  | Role_atom _ -> st.st_probe_ns "role_pos" +. st.st_probe_ns "role_neg"
+
+let default_threshold = 8
+
+let env_forced () =
+  match Sys.getenv_opt "DL4_JOIN" with
+  | Some s -> Plan.strategy_of_name s
+  | None -> None
+
+let env_threshold () =
+  match Sys.getenv_opt "DL4_JOIN_THRESHOLD" with
+  | Some s -> ( match int_of_string_opt s with
+      | Some t -> max 0 t
+      | None -> default_threshold)
+  | None -> default_threshold
+
+let compile ?threshold ?force ?(order = `Cost) para q =
+  let st = statistics para in
+  let threshold =
+    match threshold with Some t -> max 0 t | None -> env_threshold ()
+  in
+  let forced = match force with Some _ as f -> f | None -> env_forced () in
+  (* greedy cheapest-first order: filters immediately, then the
+     connected atom with the smallest estimated rows × probe cost;
+     syntactic index breaks ties so plans are deterministic *)
+  let indexed = List.mapi (fun i a -> (i, a)) q.body in
+  let ordered =
+    match order with
+    | `Syntactic -> indexed
+    | `Cost ->
+        let rec pick bound acc = function
+          | [] -> List.rev acc
+          | remaining ->
+              let score (i, a) =
+                let vs = Strings.of_list (atom_vars a) in
+                let new_vars = Strings.diff vs bound in
+                if Strings.is_empty new_vars then (0, 0, probe_cost st a, i)
+                else
+                  let connected =
+                    Strings.is_empty bound
+                    || not (Strings.is_empty (Strings.inter vs bound))
+                  in
+                  let rows = est_atom_rows st bound a in
+                  ( 1,
+                    (if connected then 0 else 1),
+                    float_of_int rows *. probe_cost st a,
+                    i )
+              in
+              let best =
+                List.fold_left
+                  (fun best cand ->
+                    if compare (score cand) (score best) < 0 then cand
+                    else best)
+                  (List.hd remaining) (List.tl remaining)
+              in
+              let bound =
+                Strings.union bound (Strings.of_list (atom_vars (snd best)))
+              in
+              pick bound (best :: acc)
+                (List.filter (fun (i, _) -> i <> fst best) remaining)
+        in
+        pick Strings.empty [] indexed
+  in
+  (* slot assignment in first-binding order *)
+  let slots = Hashtbl.create 8 in
+  let var_order = ref [] in
+  let slot_of v =
+    match Hashtbl.find_opt slots v with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.length slots in
+        Hashtbl.replace slots v s;
+        var_order := v :: !var_order;
+        s
+  in
+  let bound = ref Strings.empty in
+  let steps =
+    List.map
+      (fun (_, a) ->
+        let terms =
+          match a with
+          | Concept_atom (_, t) -> [ t ]
+          | Role_atom (_, t1, t2) -> [ t1; t2 ]
+        in
+        let est_rows = est_atom_rows st !bound a in
+        let fresh =
+          List.sort_uniq compare
+            (List.filter_map
+               (function
+                 | Var v when not (Strings.mem v !bound) -> Some v
+                 | _ -> None)
+               terms)
+        in
+        let slot_terms =
+          List.map
+            (function Var v -> Plan.Slot (slot_of v) | Ind i -> Plan.Const i)
+            terms
+        in
+        let new_slots = List.map (Hashtbl.find slots) fresh in
+        bound := Strings.union !bound (Strings.of_list fresh);
+        { Plan.p_atom = a;
+          p_terms = slot_terms;
+          p_new = List.sort_uniq compare new_slots;
+          p_est_rows = est_rows;
+          p_est_cost_ns = probe_cost st a;
+          p_strategy = None;
+          p_actual_rows = -1;
+          p_probes = -1 })
+      ordered
+  in
+  { Plan.pl_para = para;
+    pl_query = q;
+    pl_vars = Array.of_list (List.rev !var_order);
+    pl_threshold = threshold;
+    pl_forced = forced;
+    pl_order = order;
+    pl_steps = steps;
+    pl_executed = false }
+
+(* ---- execution ---------------------------------------------------- *)
+
+type row = { r_vals : string array; r_truth : Truth.t }
+
+let ground_term vals = function Plan.Const a -> a | Plan.Slot i -> vals.(i)
+
+let eval_step para (step : Plan.step) vals =
+  match (step.Plan.p_atom, step.Plan.p_terms) with
+  | Concept_atom (c, _), [ t ] ->
+      Para.instance_truth para (ground_term vals t) c
+  | Role_atom (r, _, _), [ t1; t2 ] ->
+      Para.role_truth para (ground_term vals t1) r (ground_term vals t2)
+  | _ -> assert false
+
+(* one batched oracle fan-out for a hash-join materialization: ground
+   every (key, candidate) combination of the step's atom and submit the
+   whole relation as one [check_all] batch, so the domain pool overlaps
+   the work and repeated questions share one verdict *)
+let eval_batch para (step : Plan.step) grounds =
+  match step.Plan.p_atom with
+  | Concept_atom (c, _) ->
+      List.map
+        (fun (_, _, v) -> v)
+        (Para.instance_truths para
+           (List.map
+              (fun vals ->
+                match step.Plan.p_terms with
+                | [ t ] -> (ground_term vals t, c)
+                | _ -> assert false)
+              grounds))
+  | Role_atom (r, _, _) ->
+      List.map
+        (fun (_, _, _, v) -> v)
+        (Para.role_truths para
+           (List.map
+              (fun vals ->
+                match step.Plan.p_terms with
+                | [ t1; t2 ] -> (ground_term vals t1, r, ground_term vals t2)
+                | _ -> assert false)
+              grounds))
+
+(* the prune regime's row filter: only designated prefixes can still
+   reach a designated answer (see the correctness note above) *)
+let pruned ~prune v = prune && not (Truth.designated v)
+
+let exec (plan : plan) ~prune =
+  let para = plan.Plan.pl_para in
+  let individuals = (Kb4.signature (Para.kb para)).Axiom.individuals in
+  let nvars = Array.length plan.Plan.pl_vars in
+  let table = ref [ { r_vals = Array.make nvars ""; r_truth = Truth.True } ] in
+  List.iter
+    (fun (step : Plan.step) ->
+      (* rows already valued [f] (non-prune regime only) extend by pure
+         cross product: absorption says no probe can change them *)
+      let live, dead =
+        List.partition
+          (fun r -> not (Truth.equal r.r_truth Truth.False))
+          !table
+      in
+      (match step.Plan.p_new with
+      | [] ->
+          let probes = ref 0 in
+          let live' =
+            List.filter_map
+              (fun r ->
+                incr probes;
+                let v = Truth.conj r.r_truth (eval_step para step r.r_vals) in
+                if pruned ~prune v then None
+                else Some { r with r_truth = v })
+              live
+          in
+          step.Plan.p_strategy <- None;
+          step.Plan.p_probes <- !probes;
+          table := live' @ dead
+      | new_slots ->
+          (* candidate assignments for the slots this atom binds *)
+          let cands =
+            List.fold_left
+              (fun acc s ->
+                List.concat_map
+                  (fun partial ->
+                    List.map (fun a -> (s, a) :: partial) individuals)
+                  acc)
+              [ [] ] new_slots
+          in
+          let n_cands = List.length cands in
+          let bound_slots =
+            List.sort_uniq compare
+              (List.filter_map
+                 (function
+                   | Plan.Slot s when not (List.mem s new_slots) -> Some s
+                   | _ -> None)
+                 step.Plan.p_terms)
+          in
+          let key_of r = List.map (fun s -> (s, r.r_vals.(s))) bound_slots in
+          let keys =
+            List.sort_uniq compare (List.map key_of live)
+          in
+          let rows = List.length live in
+          let nested_probes = rows * n_cands in
+          let hash_probes = List.length keys * n_cands in
+          let strategy =
+            match plan.Plan.pl_forced with
+            | Some s -> s
+            | None ->
+                if rows >= plan.Plan.pl_threshold
+                   && hash_probes < nested_probes
+                then Plan.Hash_join
+                else Plan.Nested_loop
+          in
+          let extend r assigns =
+            let vals = Array.copy r.r_vals in
+            List.iter (fun (s, a) -> vals.(s) <- a) assigns;
+            vals
+          in
+          let out = ref [] in
+          let probes = ref 0 in
+          (match strategy with
+          | Plan.Nested_loop ->
+              List.iter
+                (fun r ->
+                  List.iter
+                    (fun cand ->
+                      let vals = extend r cand in
+                      incr probes;
+                      let v = Truth.conj r.r_truth (eval_step para step vals) in
+                      if not (pruned ~prune v) then
+                        out := { r_vals = vals; r_truth = v } :: !out)
+                    cands)
+                live
+          | Plan.Hash_join ->
+              let combos =
+                List.concat_map
+                  (fun key -> List.map (fun cand -> (key, cand)) cands)
+                  keys
+              in
+              let scratch = { r_vals = Array.make nvars ""; r_truth = Truth.True } in
+              let grounds =
+                List.map
+                  (fun (key, cand) -> extend scratch (key @ cand))
+                  combos
+              in
+              let values = eval_batch para step grounds in
+              probes := List.length combos;
+              (* relation keyed by the shared (bound) slots; the prune
+                 regime keeps only designated entries (a non-designated
+                 [v0] cannot produce a designated conjunction), the
+                 non-prune regime keeps the relation total *)
+              let rel = Hashtbl.create (max 16 (List.length keys)) in
+              List.iter2
+                (fun (key, cand) v ->
+                  if not (pruned ~prune v) then
+                    Hashtbl.replace rel key
+                      ((cand, v)
+                      :: Option.value ~default:[] (Hashtbl.find_opt rel key)))
+                combos values;
+              List.iter
+                (fun r ->
+                  match Hashtbl.find_opt rel (key_of r) with
+                  | None -> ()
+                  | Some entries ->
+                      List.iter
+                        (fun (cand, v0) ->
+                          let v = Truth.conj r.r_truth v0 in
+                          if not (pruned ~prune v) then
+                            out :=
+                              { r_vals = extend r cand; r_truth = v } :: !out)
+                        entries)
+                live);
+          List.iter
+            (fun r ->
+              List.iter
+                (fun cand ->
+                  out := { r_vals = extend r cand; r_truth = Truth.False }
+                         :: !out)
+                cands)
+            dead;
+          step.Plan.p_strategy <- Some strategy;
+          step.Plan.p_probes <- !probes;
+          table := !out);
+      step.Plan.p_actual_rows <- List.length !table)
+    plan.Plan.pl_steps;
+  plan.Plan.pl_executed <- true;
+  List.iter
+    (fun (step : Plan.step) ->
+      match step.Plan.p_strategy with
+      | Some Plan.Nested_loop -> Obs.add c_plan_nested 1
+      | Some Plan.Hash_join -> Obs.add c_plan_hash 1
+      | None -> ())
+    plan.Plan.pl_steps;
+  !table
+
+(* Replays the staged/naive enumeration order (variables in sorted
+   order, individuals in signature order), so every strategy and atom
+   order produces byte-identical output lists. *)
+let canonical_rows (plan : plan) rows =
+  let individuals = (Kb4.signature (Para.kb plan.Plan.pl_para)).Axiom.individuals in
+  let rank = Hashtbl.create 32 in
+  List.iteri (fun i a -> Hashtbl.replace rank a i) individuals;
+  let sorted_vars = variables plan.Plan.pl_query in
+  let slot = Hashtbl.create 8 in
+  Array.iteri (fun i v -> Hashtbl.replace slot v i) plan.Plan.pl_vars;
+  let slots = List.map (Hashtbl.find slot) sorted_vars in
+  List.map snd
+    (List.sort
+       (fun (k1, _) (k2, _) -> compare k1 k2)
+       (List.map
+          (fun r ->
+            ( List.map (fun s -> Hashtbl.find rank r.r_vals.(s)) slots, r ))
+          rows))
+
+let binding_of (plan : plan) r =
+  let slot = Hashtbl.create 8 in
+  Array.iteri (fun i v -> Hashtbl.replace slot v i) plan.Plan.pl_vars;
+  List.map
+    (fun v -> (v, r.r_vals.(Hashtbl.find slot v)))
+    (variables plan.Plan.pl_query)
+
+let run plan =
+  Obs.with_span ~cat:"core" "cq.plan.run" (fun () ->
+      let rows = canonical_rows plan (exec plan ~prune:true) in
+      dedup_designated
+        (List.filter_map
+           (fun r ->
+             if Truth.designated r.r_truth then
+               Some (project plan.Plan.pl_query (binding_of plan r), r.r_truth)
+             else None)
+           rows))
+
+let run_bindings plan =
+  Obs.with_span ~cat:"core" "cq.plan.run_bindings" (fun () ->
+      List.map
+        (fun r -> (binding_of plan r, r.r_truth))
+        (canonical_rows plan (exec plan ~prune:false)))
+
+let strategy_counts (plan : plan) =
+  let nested = ref 0 and hash = ref 0 in
+  List.iter
+    (fun (s : Plan.step) ->
+      match s.Plan.p_strategy with
+      | Some Plan.Nested_loop -> incr nested
+      | Some Plan.Hash_join -> incr hash
+      | None -> ())
+    plan.Plan.pl_steps;
+  List.filter
+    (fun (_, n) -> n > 0)
+    [ ("hash_join", !hash); ("nested_loop", !nested) ]
+
+(* ---- explain: the stable plan description ------------------------- *)
+
+let explain (plan : plan) =
+  let step_view (s : Plan.step) =
+    let slot i = plan.Plan.pl_vars.(i) in
+    { Plan.sv_atom = atom_to_string s.Plan.p_atom;
+      sv_kind =
+        (match s.Plan.p_atom with
+        | Concept_atom _ -> "concept"
+        | Role_atom _ -> "role");
+      sv_binds = List.map slot s.Plan.p_new;
+      sv_filter = s.Plan.p_new = [];
+      sv_est_rows = s.Plan.p_est_rows;
+      sv_est_cost_ns = s.Plan.p_est_cost_ns;
+      sv_strategy =
+        (if not plan.Plan.pl_executed then None
+         else
+           match s.Plan.p_strategy with
+           | Some st -> Some (Plan.strategy_name st)
+           | None -> Some "filter");
+      sv_actual_rows =
+        (if s.Plan.p_actual_rows >= 0 then Some s.Plan.p_actual_rows else None);
+      sv_probes = (if s.Plan.p_probes >= 0 then Some s.Plan.p_probes else None)
+    }
+  in
+  { Plan.v_query = to_string plan.Plan.pl_query;
+    v_vars = Array.to_list plan.Plan.pl_vars;
+    v_individuals =
+      List.length (Kb4.signature (Para.kb plan.Plan.pl_para)).Axiom.individuals;
+    v_threshold = plan.Plan.pl_threshold;
+    v_forced = Option.map Plan.strategy_name plan.Plan.pl_forced;
+    v_order =
+      (match plan.Plan.pl_order with `Cost -> "cost" | `Syntactic -> "syntactic");
+    v_executed = plan.Plan.pl_executed;
+    v_steps = List.map step_view plan.Plan.pl_steps }
+
+let plan_schema = "dl4-plan/1"
+
+(* hand-rolled JSON, like every export sink in this stack; no [Printf]
+   in lib/core (test_obs guards that), so plain Buffer plumbing *)
+let explain_json plan =
+  let v = explain plan in
+  let b = Buffer.create 512 in
+  let str s = Buffer.add_string b ("\"" ^ Obs.json_escape s ^ "\"") in
+  let opt_int = function
+    | None -> Buffer.add_string b "null"
+    | Some n -> Buffer.add_string b (string_of_int n)
+  in
+  Buffer.add_string b "{\"schema\":";
+  str plan_schema;
+  Buffer.add_string b ",\"query\":";
+  str v.Plan.v_query;
+  Buffer.add_string b ",\"vars\":[";
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char b ',';
+      str x)
+    v.Plan.v_vars;
+  Buffer.add_string b "],\"individuals\":";
+  Buffer.add_string b (string_of_int v.Plan.v_individuals);
+  Buffer.add_string b ",\"threshold\":";
+  Buffer.add_string b (string_of_int v.Plan.v_threshold);
+  Buffer.add_string b ",\"forced\":";
+  (match v.Plan.v_forced with None -> Buffer.add_string b "null" | Some s -> str s);
+  Buffer.add_string b ",\"order\":";
+  str v.Plan.v_order;
+  Buffer.add_string b ",\"executed\":";
+  Buffer.add_string b (if v.Plan.v_executed then "true" else "false");
+  Buffer.add_string b ",\"steps\":[";
+  List.iteri
+    (fun i (s : Plan.step_view) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"atom\":";
+      str s.Plan.sv_atom;
+      Buffer.add_string b ",\"kind\":";
+      str s.Plan.sv_kind;
+      Buffer.add_string b ",\"binds\":[";
+      List.iteri
+        (fun j x ->
+          if j > 0 then Buffer.add_char b ',';
+          str x)
+        s.Plan.sv_binds;
+      Buffer.add_string b "],\"filter\":";
+      Buffer.add_string b (if s.Plan.sv_filter then "true" else "false");
+      Buffer.add_string b ",\"est_rows\":";
+      Buffer.add_string b (string_of_int s.Plan.sv_est_rows);
+      Buffer.add_string b ",\"est_cost_ns\":";
+      Buffer.add_string b (Obs.json_float s.Plan.sv_est_cost_ns);
+      Buffer.add_string b ",\"strategy\":";
+      (match s.Plan.sv_strategy with
+      | None -> Buffer.add_string b "null"
+      | Some st -> str st);
+      Buffer.add_string b ",\"actual_rows\":";
+      opt_int s.Plan.sv_actual_rows;
+      Buffer.add_string b ",\"probes\":";
+      opt_int s.Plan.sv_probes;
+      Buffer.add_char b '}')
+    v.Plan.v_steps;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* ---- the public query API, as thin wrappers over the planner ------ *)
+
+let answers para q =
+  Obs.with_span ~cat:"core" "cq.answers" (fun () -> run (compile para q))
+
+let all_bindings para q =
+  Obs.with_span ~cat:"core" "cq.all_bindings" (fun () ->
+      run_bindings (compile para q))
+
+(* ------------------------------------------------------------------ *)
+(* Surface syntax:  [?x, ?y <- Doctor(?x), hasPatient(?x, ?y)]
+   Variables are [?]-prefixed; bare terms are individuals.  Without a
+   [<-] the whole string is the body and every variable is projected
+   (sorted).  Concept prefixes parse with the full [Surface] concept
+   grammar; a role atom takes two arguments and accepts the [r^-]
+   inverse spelling. *)
+
+let split_top_level sep s =
+  let parts = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | '{' | '[' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ')' | '}' | ']' ->
+          decr depth;
+          Buffer.add_char buf c
+      | c when c = sep && !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev !parts
+
+let parse_term s =
+  let s = String.trim s in
+  if s = "" then Error "empty term"
+  else if s.[0] = '?' then
+    let v = String.sub s 1 (String.length s - 1) in
+    if v = "" then Error "empty variable name after '?'" else Ok (Var v)
+  else Ok (Ind s)
+
+let parse_atom s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n = 0 then Error "empty atom"
+  else if s.[n - 1] <> ')' then
+    Error ("atom " ^ s ^ " does not end with ')'")
+  else
+    match String.rindex_opt s '(' with
+    | None -> Error ("atom " ^ s ^ " has no argument list")
+    | Some i ->
+        let prefix = String.trim (String.sub s 0 i) in
+        let args =
+          List.map String.trim
+            (String.split_on_char ',' (String.sub s (i + 1) (n - i - 2)))
+        in
+        let terms =
+          List.fold_right
+            (fun a acc ->
+              match (parse_term a, acc) with
+              | Ok t, Ok ts -> Ok (t :: ts)
+              | (Error _ as e), _ -> e
+              | _, (Error _ as e) -> e)
+            args (Ok [])
+        in
+        if prefix = "" then Error ("atom " ^ s ^ " has no predicate")
+        else (
+          match terms with
+          | Error e -> Error (e ^ " in atom " ^ s)
+          | Ok [ t ] -> (
+              match Surface.parse_concept prefix with
+              | Ok c -> Ok (Concept_atom (c, t))
+              | Error e ->
+                  Error
+                    ("cannot parse concept " ^ prefix ^ ": " ^ e.Surface.message))
+          | Ok [ t1; t2 ] ->
+              let role =
+                if String.length prefix > 2
+                   && String.sub prefix (String.length prefix - 2) 2 = "^-"
+                then
+                  Role.inv
+                    (Role.name
+                       (String.trim
+                          (String.sub prefix 0 (String.length prefix - 2))))
+                else Role.name prefix
+              in
+              if String.contains (Role.base role) ' ' then
+                Error ("invalid role name in atom " ^ s)
+              else Ok (Role_atom (role, t1, t2))
+          | Ok _ -> Error ("atom " ^ s ^ " must have 1 or 2 arguments"))
+
+let find_arrow s =
+  let n = String.length s in
+  let rec go i =
+    if i + 1 >= n then None
+    else if s.[i] = '<' && s.[i + 1] = '-' then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse src =
+  let head_src, body_src =
+    match find_arrow src with
+    | Some i ->
+        ( Some (String.sub src 0 i),
+          String.sub src (i + 2) (String.length src - i - 2) )
+    | None -> (None, src)
+  in
+  let atom_srcs =
+    List.filter
+      (fun s -> String.trim s <> "")
+      (split_top_level ',' body_src)
+  in
+  if atom_srcs = [] then Error "empty query body"
+  else
+    let body =
+      List.fold_right
+        (fun s acc ->
+          match (parse_atom s, acc) with
+          | Ok a, Ok atoms -> Ok (a :: atoms)
+          | (Error _ as e), _ -> e
+          | _, (Error _ as e) -> e)
+        atom_srcs (Ok [])
+    in
+    match body with
+    | Error e -> Error e
+    | Ok body -> (
+        let head =
+          match head_src with
+          | None -> Ok (variables { head = []; body })
+          | Some h ->
+              List.fold_right
+                (fun s acc ->
+                  match acc with
+                  | Error _ as e -> e
+                  | Ok vs ->
+                      let s = String.trim s in
+                      if s = "" then Ok vs
+                      else if String.length s > 1 && s.[0] = '?' then
+                        Ok (String.sub s 1 (String.length s - 1) :: vs)
+                      else
+                        Error
+                          ("head term " ^ s
+                         ^ " is not a ?-prefixed variable"))
+                (String.split_on_char ',' h)
+                (Ok [])
+        in
+        match head with
+        | Error e -> Error e
+        | Ok head -> (
+            match make ~head ~body with
+            | q -> Ok q
+            | exception Invalid_argument msg -> Error msg))

@@ -11,13 +11,15 @@
     ⊤, one denied atom makes it f).  [answers] returns the tuples whose
     value is designated (t or ⊤), most certain first.
 
-    Every atom evaluation routes through the {!Para} oracle, and since PR 2
-    the evaluation is {e staged}: atoms are checked as soon as their last
-    variable is bound, so a refuted prefix ([f], the absorbing ≤t-bottom)
-    prunes the whole subtree of completions instead of grounding the full
-    |individuals|^|vars| cross product.  The [_naive] variants keep the
-    original unstaged implementations as differential-testing references —
-    same answers, more oracle traffic. *)
+    Every atom evaluation routes through the {!Para} oracle.  Since this
+    PR the production path is an explicit compile → plan → execute
+    pipeline: {!compile} builds a cost-ordered {!Plan.t} from told
+    statistics and the session's observed verdict costs, {!run} executes
+    it with an adaptive join strategy, and {!explain} renders the plan as
+    a stable, JSON-serializable description.  {!answers} and
+    {!all_bindings} remain as thin wrappers; the [_staged] (PR 2) and
+    [_naive] variants are kept as differential-testing references — same
+    answers, more oracle traffic. *)
 
 type term =
   | Var of string
@@ -38,6 +40,17 @@ val make : head:string list -> body:atom list -> t
 val variables : t -> string list
 (** All variables of the body (sorted). *)
 
+val parse : string -> (t, string) result
+(** Surface syntax: [?x, ?y <- Doctor(?x), hasPatient(?x, ?y)].
+    [?]-prefixed terms are variables, bare terms individuals; concept
+    prefixes use the full {!Surface} concept grammar; a role atom takes
+    two arguments and accepts the [r^-] inverse spelling.  Without a
+    [<-] the whole string is the body and every variable is projected
+    (sorted). *)
+
+val to_string : t -> string
+(** Printable form, re-parsable by {!parse}. *)
+
 val truth_of_binding : Para.t -> t -> (string * string) list -> Truth.t
 (** The Belnap value of the body under a complete variable binding.
     Short-circuits: atoms after the running meet hits [f] are not
@@ -47,19 +60,120 @@ val truth_of_binding_naive : Para.t -> t -> (string * string) list -> Truth.t
 (** The full fold over every atom — no short-circuit.  Same value as
     {!truth_of_binding}. *)
 
+(** The first-class query plan: an explainable artifact between parsing
+    and execution. *)
+module Plan : sig
+  type strategy = Nested_loop | Hash_join
+
+  val strategy_name : strategy -> string
+  (** ["nested_loop"] / ["hash_join"] — the spelling used by plan JSON,
+      telemetry and the [DL4_JOIN] override. *)
+
+  val strategy_of_name : string -> strategy option
+  (** Accepts ["nested"]/["nested_loop"] and ["hash"]/["hash_join"]. *)
+
+  type plan
+  (** A compiled query bound to its {!Para.t}.  Mutable: executing it
+      records per-step actual cardinalities, probe counts and the
+      strategies picked, which {!explain} then reports. *)
+
+  (** Read-side views — the stable, JSON-renderable plan description. *)
+
+  type step_view = {
+    sv_atom : string;  (** printable atom *)
+    sv_kind : string;  (** ["concept"] or ["role"] *)
+    sv_binds : string list;  (** variables first bound at this step *)
+    sv_filter : bool;  (** true when all variables were already bound *)
+    sv_est_rows : int;  (** compile-time output-cardinality estimate *)
+    sv_est_cost_ns : float;  (** observed avg cost of one atom probe *)
+    sv_strategy : string option;
+        (** after execution: ["nested_loop"], ["hash_join"] or
+            ["filter"]; [None] before execution *)
+    sv_actual_rows : int option;  (** binding-set size after this step *)
+    sv_probes : int option;  (** atom evaluations paid at this step *)
+  }
+
+  type view = {
+    v_query : string;
+    v_vars : string list;  (** binding order chosen by the planner *)
+    v_individuals : int;
+    v_threshold : int;  (** hash-join cardinality threshold *)
+    v_forced : string option;  (** strategy override, if any *)
+    v_order : string;  (** ["cost"] or ["syntactic"] *)
+    v_executed : bool;
+    v_steps : step_view list;
+  }
+end
+
+type plan = Plan.plan
+
+val compile :
+  ?threshold:int ->
+  ?force:Plan.strategy ->
+  ?order:[ `Cost | `Syntactic ] ->
+  Para.t ->
+  t ->
+  plan
+(** Compile a cost-based plan.  Per-atom selectivity is estimated from
+    told information (ABox assertions closed under told subsumption —
+    upgraded to the classification index when one has already been
+    built; compiling never triggers a build — and told role-edge
+    fan-out) and per-verdict-kind observed costs from the session's
+    cost records; atoms are ordered greedily cheapest-first so the most
+    selective variables bind early.  [threshold] is the binding-set
+    cardinality at which extension steps switch from nested-loop to
+    hash-join (default 8, overridable via [DL4_JOIN_THRESHOLD]);
+    [force] pins every extension step to one strategy (also via
+    [DL4_JOIN=nested|hash]); [order:`Syntactic] keeps body order —
+    the bench baseline.  Compiling performs no oracle probes. *)
+
+val run : plan -> (string list * Truth.t) list
+(** Execute the plan and return designated answer tuples (projected to
+    [head]), deduplicated, tuples valued [t] before ⊤ — the same list,
+    byte for byte, as {!answers_naive}, under every atom order and join
+    strategy.  Join strategy per extension step is decided at run time
+    from the {e actual} intermediate binding-set cardinality, so a
+    mis-estimated plan degrades in speed, never in correctness.  A plan
+    may be run repeatedly; each run overwrites the recorded actuals. *)
+
+val run_bindings : plan -> ((string * string) list * Truth.t) list
+(** Execute without pruning and return every complete binding with its
+    value — including [f] and ⊥ ones.  Same contents and order as
+    {!all_bindings_naive}. *)
+
+val explain : plan -> Plan.view
+(** The stable plan description; includes per-step actuals once the plan
+    has been executed. *)
+
+val explain_json : plan -> string
+(** {!explain} rendered as one-line JSON (schema tag ["dl4-plan/1"]). *)
+
+val strategy_counts : plan -> (string * int) list
+(** Strategy picks recorded by the last execution, as
+    [("hash_join", n); ("nested_loop", m)] with zero entries omitted —
+    the shape fed to the serve telemetry registry. *)
+
 val answers : Para.t -> t -> (string list * Truth.t) list
 (** Designated answer tuples (projected to [head]), deduplicated, with
-    tuples valued [t] before tuples valued ⊤.  Enumerates with staged
-    evaluation and subtree pruning. *)
-
-val answers_naive : Para.t -> t -> (string list * Truth.t) list
-(** Answers via the unpruned cross product — the differential reference. *)
+    tuples valued [t] before tuples valued ⊤.  Thin wrapper:
+    [run (compile para q)]. *)
 
 val all_bindings : Para.t -> t -> ((string * string) list * Truth.t) list
 (** Every complete binding with its value — including [f] and ⊥ ones; for
-    diagnosis and tests.  Staged evaluation: refuted prefixes still yield
-    their completions (valued [f] by absorption) without further oracle
-    calls. *)
+    diagnosis and tests.  Thin wrapper: [run_bindings (compile para q)]. *)
+
+val answers_staged : Para.t -> t -> (string list * Truth.t) list
+(** The PR 2 staged enumerator with refuted-prefix subtree pruning —
+    kept as a differential reference.  Same output as {!answers}. *)
+
+val all_bindings_staged :
+  Para.t -> t -> ((string * string) list * Truth.t) list
+(** Staged enumeration without pruning — differential reference; same
+    contents and order as {!all_bindings}. *)
+
+val answers_naive : Para.t -> t -> (string list * Truth.t) list
+(** Answers via the unpruned cross product — the ground-truth
+    differential reference. *)
 
 val all_bindings_naive :
   Para.t -> t -> ((string * string) list * Truth.t) list

@@ -19,7 +19,12 @@ let pp_query ppf = function
    are meaningless for the next.  The per-oracle cache still dedups the
    repeated probes within one candidate. *)
 let holds ?max_nodes kb query =
-  let t = Para.create ?max_nodes kb in
+  let config =
+    match max_nodes with
+    | None -> Session.default_config
+    | Some max_nodes -> { Session.default_config with Session.max_nodes }
+  in
+  let t = Para.create ~config kb in
   match query with
   | Instance (a, c) -> Para.entails_instance t a c
   | Not_instance (a, c) -> Para.entails_not_instance t a c

@@ -4,17 +4,7 @@
 
 type t = { engine : Engine.t }
 
-let create ?jobs ?cache_capacity ?max_nodes ?max_branches kb =
-  let d = Session.default_config in
-  let config =
-    { Session.jobs = Option.value jobs ~default:d.Session.jobs;
-      cache_capacity =
-        Option.value cache_capacity ~default:d.Session.cache_capacity;
-      max_nodes = Option.value max_nodes ~default:d.Session.max_nodes;
-      max_branches = Option.value max_branches ~default:d.Session.max_branches;
-      backend = d.Session.backend }
-  in
-  { engine = Session.engine (Session.create ~config kb) }
+let create ?config kb = { engine = Session.engine (Session.create ?config kb) }
 
 let of_engine engine = { engine }
 let of_session s = { engine = Session.engine s }
@@ -74,6 +64,32 @@ let instance_truths t pairs =
     | _ -> assert false
   in
   zip pairs verdicts
+
+(* The role-edge twin of [instance_truths], for the planner's hash-join
+   materialization: both information bits of every triple go out as one
+   batch. *)
+let role_truths t triples =
+  let sp = Obs.enter ~cat:"core" "para.role_grid" in
+  if Obs.live sp then
+    Obs.set_attr sp "triples" (string_of_int (List.length triples));
+  let queries =
+    List.concat_map
+      (fun (a, r, b) -> [ Oracle.Role_pos (a, r, b); Oracle.Role_neg (a, r, b) ])
+      triples
+  in
+  let verdicts =
+    Fun.protect
+      ~finally:(fun () -> Obs.exit_span sp)
+      (fun () -> Oracle.check_all (oracle t) queries)
+  in
+  let rec zip triples verdicts =
+    match (triples, verdicts) with
+    | [], [] -> []
+    | (a, r, b) :: ts, told_true :: told_false :: vs ->
+        (a, r, b, Truth.of_pair ~told_true ~told_false) :: zip ts vs
+    | _ -> assert false
+  in
+  zip triples verdicts
 
 let grid_pairs (signature : Axiom.signature) =
   List.concat_map

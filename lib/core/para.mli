@@ -27,17 +27,10 @@
 
 type t
 
-val create :
-  ?jobs:int ->
-  ?cache_capacity:int ->
-  ?max_nodes:int ->
-  ?max_branches:int ->
-  Kb4.t ->
-  t
-(** @deprecated Legacy optional-argument spelling: routes through
-    {!Session.create} with the omitted fields taken from
-    {!Session.default_config}.  Prefer building a {!Session.t} and
-    deriving the query layer with {!of_session} in new code. *)
+val create : ?config:Session.config -> Kb4.t -> t
+(** Build the query layer over a fresh session; [config] defaults to
+    {!Session.default_config}.  Equivalent to
+    [of_session (Session.create ?config kb)]. *)
 
 val of_session : Session.t -> t
 (** The paper-level query API over a session's shared stack (one oracle,
@@ -94,6 +87,14 @@ val instance_truths :
     submitted to the oracle as one {!Oracle.check_all} batch, in input
     order — the building block of {!retrieve}, {!contradictions},
     {!truth_table} and {!inconsistency_degree}. *)
+
+val role_truths :
+  t ->
+  (string * Role.t * string) list ->
+  (string * Role.t * string * Truth.t) list
+(** Batched {!role_truth}, in input order — the role-edge twin of
+    {!instance_truths}, used by the query planner's hash-join
+    materialization. *)
 
 val entails_inclusion : t -> Kb4.inclusion -> Concept.t -> Concept.t -> bool
 (** Corollary 7: [C ⊑kind D] holds in [K] iff the corresponding test

@@ -9,17 +9,6 @@ let default_cache_capacity = Oracle.default_cache_capacity
 let of_oracle oracle = { oracle; classification = None; realization = None }
 let of_config config kb = of_oracle (Oracle.of_config config kb)
 
-let create ?jobs ?cache_capacity ?max_nodes ?max_branches kb =
-  let d = Oracle.default_config in
-  of_config
-    { Oracle.jobs = Option.value jobs ~default:d.Oracle.jobs;
-      cache_capacity =
-        Option.value cache_capacity ~default:d.Oracle.cache_capacity;
-      max_nodes = Option.value max_nodes ~default:d.Oracle.max_nodes;
-      max_branches = Option.value max_branches ~default:d.Oracle.max_branches;
-      backend = d.Oracle.backend }
-    kb
-
 let oracle t = t.oracle
 let kb t = Oracle.kb t.oracle
 let reasoner t = Oracle.reasoner t.oracle

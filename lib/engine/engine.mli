@@ -17,17 +17,6 @@ val of_config : Oracle.config -> Kb4.t -> t
     {!Oracle.config} and wrap it.  {!Session.create} routes through
     this. *)
 
-val create :
-  ?jobs:int ->
-  ?cache_capacity:int ->
-  ?max_nodes:int ->
-  ?max_branches:int ->
-  Kb4.t ->
-  t
-(** @deprecated Legacy optional-argument spelling of {!of_config}: omitted
-    arguments take their {!Oracle.default_config} values.  Prefer
-    [of_config] (or the {!Session} facade) in new code. *)
-
 val of_oracle : Oracle.t -> t
 (** Build the index layer over an existing oracle.  The wrapper adds no
     state of its own below the classification/realization indexes: it

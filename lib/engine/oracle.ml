@@ -273,17 +273,6 @@ let of_config (config : config) kb =
     batches = 0;
     parallel_calls = 0 }
 
-let create ?(jobs = 1) ?(cache_capacity = default_cache_capacity) ?max_nodes
-    ?max_branches ?(backend = default_config.backend) kb =
-  of_config
-    { jobs;
-      cache_capacity;
-      max_nodes = Option.value max_nodes ~default:default_config.max_nodes;
-      max_branches =
-        Option.value max_branches ~default:default_config.max_branches;
-      backend }
-    kb
-
 let kb t = t.kb
 let classical_kb t = t.classical_kb
 let reasoner t = t.primary

@@ -75,18 +75,6 @@ val of_config : config -> Kb4.t -> t
     @raise Backend.Unsupported when [config.backend = Horn] and [K̄] is
     outside the Horn/EL fragment. *)
 
-val create :
-  ?jobs:int ->
-  ?cache_capacity:int ->
-  ?max_nodes:int ->
-  ?max_branches:int ->
-  ?backend:Backend.choice ->
-  Kb4.t ->
-  t
-(** @deprecated Legacy optional-argument spelling.  Equivalent to
-    {!of_config} with the omitted fields taken from {!default_config};
-    prefer [of_config] (or the {!Session} facade) in new code. *)
-
 val default_cache_capacity : int
 val kb : t -> Kb4.t
 (** The current four-valued KB — reflects every applied delta. *)

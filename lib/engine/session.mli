@@ -3,11 +3,9 @@
 
     A {!t} bundles the four-valued KB [K], its classical induced KB [K̄],
     the entailment {!Oracle} (verdict cache + domain pool) and the
-    {!Engine} indexes behind a single {!config} record, replacing the
-    four scattered optional arguments ([?jobs], [?cache_capacity],
-    [?max_nodes], [?max_branches]) that {!Para.create}, {!Engine.create}
-    and {!Oracle.create} used to take individually.  Those spellings
-    remain as deprecated wrappers; new code builds a session (or passes a
+    {!Engine} indexes behind a single {!config} record — the one
+    session-construction surface (the legacy per-constructor optional
+    arguments were removed).  New code builds a session (or passes a
     {!config} to [of_config]) and derives the layer it needs:
 
     {[

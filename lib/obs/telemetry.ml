@@ -20,6 +20,7 @@ type op_stats = {
   mutable s_sum_ns : float;
   s_buckets : int array; (* bucket i counts wall times in [2^i, 2^(i+1)) ns *)
   s_routes : (string, int) Hashtbl.t; (* backend -> verdicts computed *)
+  s_strategies : (string, int) Hashtbl.t; (* planner strategy -> picks *)
   mutable s_cache_served : int;
   mutable s_tableau_calls : int;
 }
@@ -41,7 +42,7 @@ let with_lock t f =
 let fresh_op () =
   { s_requests = 0; s_errors = 0; s_sum_ns = 0.0;
     s_buckets = Array.make buckets 0; s_routes = Hashtbl.create 4;
-    s_cache_served = 0; s_tableau_calls = 0 }
+    s_strategies = Hashtbl.create 4; s_cache_served = 0; s_tableau_calls = 0 }
 
 let op_stats t op =
   match Hashtbl.find_opt t.ops op with
@@ -51,13 +52,16 @@ let op_stats t op =
       Hashtbl.replace t.ops op s;
       s
 
-let add_route s backend n =
+let tbl_bump tbl key n =
   if n > 0 then
-    Hashtbl.replace s.s_routes backend
-      (n + Option.value ~default:0 (Hashtbl.find_opt s.s_routes backend))
+    Hashtbl.replace tbl key
+      (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
-let record t ~op ~ok ~wall_ns ?(routes = []) ?(cache_served = 0)
-    ?(tableau_calls = 0) () =
+let add_route s backend n = tbl_bump s.s_routes backend n
+let add_strategy s strategy n = tbl_bump s.s_strategies strategy n
+
+let record t ~op ~ok ~wall_ns ?(routes = []) ?(strategies = [])
+    ?(cache_served = 0) ?(tableau_calls = 0) () =
   (* plain lock/unlock, no Fun.protect: the body is pure arithmetic
      and Hashtbl updates (no exceptions), and this runs once per serve
      request inside the S11 budget *)
@@ -69,6 +73,7 @@ let record t ~op ~ok ~wall_ns ?(routes = []) ?(cache_served = 0)
   let b = Obs.bucket_of_ns wall_ns in
   s.s_buckets.(b) <- s.s_buckets.(b) + 1;
   List.iter (fun (backend, n) -> add_route s backend n) routes;
+  List.iter (fun (strategy, n) -> add_strategy s strategy n) strategies;
   s.s_cache_served <- s.s_cache_served + cache_served;
   s.s_tableau_calls <- s.s_tableau_calls + tableau_calls;
   Mutex.unlock t.mu
@@ -87,6 +92,7 @@ let merge ~into src =
                 (fun i c -> d.s_buckets.(i) <- d.s_buckets.(i) + c)
                 s.s_buckets;
               Hashtbl.iter (fun b n -> add_route d b n) s.s_routes;
+              Hashtbl.iter (fun st n -> add_strategy d st n) s.s_strategies;
               d.s_cache_served <- d.s_cache_served + s.s_cache_served;
               d.s_tableau_calls <- d.s_tableau_calls + s.s_tableau_calls)
             src.ops))
@@ -101,6 +107,7 @@ type op_view = {
   v_sum_ns : float;
   v_buckets : (int * int) list; (* non-empty (bucket, count) pairs *)
   v_routes : (string * int) list; (* sorted by backend *)
+  v_strategies : (string * int) list; (* sorted by strategy *)
   v_cache_served : int;
   v_tableau_calls : int;
 }
@@ -118,9 +125,13 @@ let view t =
             Hashtbl.fold (fun b n acc -> (b, n) :: acc) s.s_routes []
             |> List.sort compare
           in
+          let strategies =
+            Hashtbl.fold (fun st n acc -> (st, n) :: acc) s.s_strategies []
+            |> List.sort compare
+          in
           { v_op = op; v_requests = s.s_requests; v_errors = s.s_errors;
             v_sum_ns = s.s_sum_ns; v_buckets = bs; v_routes = routes;
-            v_cache_served = s.s_cache_served;
+            v_strategies = strategies; v_cache_served = s.s_cache_served;
             v_tableau_calls = s.s_tableau_calls }
           :: acc)
         t.ops []
@@ -175,6 +186,12 @@ let json t =
           if j > 0 then Buffer.add_char b ',';
           Buffer.add_string b (Printf.sprintf "%s:%d" (str backend) n))
         v.v_routes;
+      Buffer.add_string b "},\"strategies\":{";
+      List.iteri
+        (fun j (strategy, n) ->
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "%s:%d" (str strategy) n))
+        v.v_strategies;
       Buffer.add_string b
         (Printf.sprintf "},\"cache_served\":%d,\"tableau_calls\":%d}"
            v.v_cache_served v.v_tableau_calls))
@@ -253,6 +270,17 @@ let prometheus t =
             [ ("op", v.v_op); ("backend", backend) ]
             (string_of_int n))
         v.v_routes)
+    views;
+  header "dl4_planner_strategy_total" "counter"
+    "Query-planner join strategies executed, by op and strategy.";
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (strategy, n) ->
+          sample "dl4_planner_strategy_total"
+            [ ("op", v.v_op); ("strategy", strategy) ]
+            (string_of_int n))
+        v.v_strategies)
     views;
   header "dl4_cache_served_total" "counter"
     "Verdicts served from the cache, by op.";

@@ -20,13 +20,16 @@ val record :
   ok:bool ->
   wall_ns:float ->
   ?routes:(string * int) list ->
+  ?strategies:(string * int) list ->
   ?cache_served:int ->
   ?tableau_calls:int ->
   unit ->
   unit
 (** Account one request under [op].  [routes] counts verdicts computed
-    per backend during the request; [cache_served] / [tableau_calls]
-    are the marginal cache and tableau work.  Thread-safe. *)
+    per backend during the request; [strategies] counts query-planner
+    join-strategy picks (["nested_loop"] / ["hash_join"]) executed
+    during the request; [cache_served] / [tableau_calls] are the
+    marginal cache and tableau work.  Thread-safe. *)
 
 val merge : into:t -> t -> unit
 (** Fold every op of the source registry into [into] (counts and
@@ -43,6 +46,8 @@ type op_view = {
       (** non-empty [(bucket, count)] pairs, {!Obs.quantile_of_buckets}
           geometry *)
   v_routes : (string * int) list;  (** [(backend, verdicts)], sorted *)
+  v_strategies : (string * int) list;
+      (** [(strategy, picks)] from the query planner, sorted *)
   v_cache_served : int;
   v_tableau_calls : int;
 }
@@ -67,7 +72,8 @@ val json : t -> string
 val prometheus : t -> string
 (** Prometheus text exposition: [dl4_uptime_seconds],
     [dl4_requests_total], [dl4_errors_total],
-    [dl4_route_verdicts_total], [dl4_cache_served_total],
+    [dl4_route_verdicts_total], [dl4_planner_strategy_total],
+    [dl4_cache_served_total],
     [dl4_tableau_calls_total] and the [dl4_request_duration_seconds]
     histogram (cumulative [le] buckets in seconds closing with [+Inf],
     [_sum], [_count]).  Label values are escaped per the format. *)

@@ -47,6 +47,13 @@ type t = {
       (* has state changed (new verdicts, deltas) since the last save? *)
   mutable stop : bool;  (* set by the shutdown op; read by the loop *)
   mutable requests : int;
+  plans : (string, Cq.plan) Hashtbl.t;
+      (* per-query-shape plan cache for the warm daemon; cleared on
+         update (a delta invalidates the told statistics plans were
+         costed from) *)
+  mutable last_strategies : (string * int) list;
+      (* join-strategy picks of the request being handled, for the
+         telemetry tail *)
   tel : Telemetry.t option;  (* None = telemetry disarmed *)
   access : access option;
 }
@@ -60,6 +67,8 @@ let create ?snapshot_path ?(telemetry = true) ?access_log
     dirty = false;
     stop = false;
     requests = 0;
+    plans = Hashtbl.create 16;
+    last_strategies = [];
     tel = (if telemetry then Some (Telemetry.create ()) else None);
     access =
       Option.map
@@ -238,13 +247,56 @@ let concept_field name j =
 let op_check t _req =
   [ ("consistent", jbool (Para.satisfiable t.para)) ]
 
+(* CQ spelling of the query op: {"op":"query","cq":"?x <- C(?x), r(?x, b)"}.
+   Plans are cached per query shape (the source string) in the warm
+   daemon; the compact [plan] summary rides next to the envelope's
+   [cost]. *)
+let op_query_cq t src =
+  let cached, plan =
+    match Hashtbl.find_opt t.plans src with
+    | Some plan -> (true, plan)
+    | None -> (
+        match Cq.parse src with
+        | Error msg -> bad "cannot parse cq %S: %s" src msg
+        | Ok q ->
+            let plan = Cq.compile t.para q in
+            Hashtbl.replace t.plans src plan;
+            (false, plan))
+  in
+  let answers = Cq.run plan in
+  let strategies = Cq.strategy_counts plan in
+  t.last_strategies <- strategies;
+  let v = Cq.explain plan in
+  let summary =
+    jobj
+      [ ("order", jstr v.Cq.Plan.v_order);
+        ("steps", jint (List.length v.Cq.Plan.v_steps));
+        ("threshold", jint v.Cq.Plan.v_threshold);
+        ("cached", jbool cached);
+        ( "strategies",
+          jobj (List.map (fun (st, n) -> (st, jint n)) strategies) ) ]
+  in
+  [ ("cq", jstr src);
+    ( "answers",
+      jarr
+        (List.map
+           (fun (tuple, truth) ->
+             jobj
+               [ ("tuple", jarr (List.map jstr tuple));
+                 ("truth", jstr (Truth.to_string truth)) ])
+           answers) );
+    ("plan", summary) ]
+
 let op_query t req =
-  let a = str_field "individual" req in
-  let c = concept_field "concept" req in
-  let v = Para.instance_truth t.para a c in
-  [ ("individual", jstr a);
-    ("concept", jstr (Concept.to_string c));
-    ("truth", jstr (Truth.to_string v)) ]
+  match Option.bind (Json_lite.member "cq" req) Json_lite.to_str with
+  | Some src -> op_query_cq t src
+  | None ->
+      let a = str_field "individual" req in
+      let c = concept_field "concept" req in
+      let v = Para.instance_truth t.para a c in
+      [ ("individual", jstr a);
+        ("concept", jstr (Concept.to_string c));
+        ("truth", jstr (Truth.to_string v)) ]
 
 let op_retrieve t req =
   let c = concept_field "concept" req in
@@ -278,6 +330,8 @@ let op_update t req =
   | Ok deltas ->
       let s = Session.apply_all (session t) deltas in
       t.dirty <- true;
+      (* told statistics changed under the cached plans; recompile lazily *)
+      Hashtbl.reset t.plans;
       [ ("applied", jint (List.length deltas));
         ("evicted", jint s.Oracle.evicted);
         ("retained", jint s.Oracle.retained);
@@ -426,6 +480,7 @@ let handle t line =
   in
   let totals0 = Session.cost_totals (session t) in
   let calls0 = (Engine.stats (Para.engine t.para)).Engine.tableau_calls in
+  t.last_strategies <- [];
   (* the success path measures totals1/calls1 for the response's cost
      object; the telemetry tail reuses that measurement instead of
      paying cost_totals/stats again (both build lists per call) *)
@@ -500,7 +555,8 @@ let handle t line =
       let cache_served =
         totals1.Oracle.cache_served - totals0.Oracle.cache_served
       in
-      Telemetry.record tel ~op:op_label ~ok ~wall_ns ~routes ~cache_served
+      Telemetry.record tel ~op:op_label ~ok ~wall_ns ~routes
+        ~strategies:t.last_strategies ~cache_served
         ~tableau_calls:(calls1 - calls0) ();
       (* formatting and I/O are deferred to the drain tick; the request
          path pays one record allocation (the S11 budget) *)

@@ -1,0 +1,164 @@
+(* CI's plan validator: vets the "dl4-plan/1" JSON that `dl4
+   explain-plan` (and `query --cq` via the serve plan cache) emit.
+   Usage: check_plan FILE — the file holds one plan JSON object per
+   line.  Exit 0 when every plan is well-formed, 1 otherwise.
+
+   Checks, per plan: the schema tag; query/vars shape; a non-empty step
+   list; every step's kind and strategy drawn from the closed
+   vocabularies; binds forming an exact partition of vars (each variable
+   bound exactly once, filters binding nothing); estimates non-negative;
+   executed plans carrying actuals on every step, unexecuted plans on
+   none. *)
+
+let fail = ref false
+
+let err fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("check_plan: " ^ s);
+      fail := true)
+    fmt
+
+let to_str_list j =
+  Option.bind (Json_lite.to_list j) (fun l ->
+      List.fold_right
+        (fun x acc ->
+          match (Json_lite.to_str x, acc) with
+          | Some s, Some ss -> Some (s :: ss)
+          | _ -> None)
+        l (Some []))
+
+let str_field name j = Option.bind (Json_lite.member name j) Json_lite.to_str
+
+let int_field name j =
+  match Option.bind (Json_lite.member name j) Json_lite.to_num with
+  | Some f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let bool_field name j =
+  match Json_lite.member name j with
+  | Some (Json_lite.Bool b) -> Some b
+  | _ -> None
+
+let check_step ~lineno ~executed i step =
+  let ctx = Printf.sprintf "line %d step %d" lineno i in
+  (match str_field "atom" step with
+  | Some a when a <> "" -> ()
+  | _ -> err "%s: missing or empty atom" ctx);
+  (match str_field "kind" step with
+  | Some ("concept" | "role") -> ()
+  | Some k -> err "%s: unknown kind %S" ctx k
+  | None -> err "%s: missing kind" ctx);
+  let binds =
+    match Option.bind (Json_lite.member "binds" step) to_str_list with
+    | Some bs -> bs
+    | None ->
+        err "%s: missing binds array" ctx;
+        []
+  in
+  (match bool_field "filter" step with
+  | Some f ->
+      if f <> (binds = []) then
+        err "%s: filter flag disagrees with binds" ctx
+  | None -> err "%s: missing filter flag" ctx);
+  (match int_field "est_rows" step with
+  | Some n when n >= 0 -> ()
+  | _ -> err "%s: est_rows must be a non-negative integer" ctx);
+  (match Option.bind (Json_lite.member "est_cost_ns" step) Json_lite.to_num with
+  | Some f when f >= 0.0 -> ()
+  | _ -> err "%s: est_cost_ns must be a non-negative number" ctx);
+  (match Json_lite.member "strategy" step with
+  | Some Json_lite.Null when not executed -> ()
+  | Some Json_lite.Null -> err "%s: executed plan step lacks a strategy" ctx
+  | Some (Json_lite.Str ("nested_loop" | "hash_join" | "filter")) ->
+      if not executed then err "%s: unexecuted plan step has a strategy" ctx
+  | Some (Json_lite.Str s) -> err "%s: unknown strategy %S" ctx s
+  | _ -> err "%s: missing strategy" ctx);
+  List.iter
+    (fun field ->
+      match Json_lite.member field step with
+      | Some Json_lite.Null ->
+          if executed then err "%s: executed plan step lacks %s" ctx field
+      | Some (Json_lite.Num f) when Float.is_integer f && f >= 0.0 ->
+          if not executed then err "%s: unexecuted plan step has %s" ctx field
+      | _ -> err "%s: %s must be null or a non-negative integer" ctx field)
+    [ "actual_rows"; "probes" ];
+  binds
+
+let check_plan ~lineno j =
+  (match str_field "schema" j with
+  | Some "dl4-plan/1" -> ()
+  | Some s -> err "line %d: unknown schema %S" lineno s
+  | None -> err "line %d: missing schema" lineno);
+  (match str_field "query" j with
+  | Some q when q <> "" -> ()
+  | _ -> err "line %d: missing or empty query" lineno);
+  let vars =
+    match Option.bind (Json_lite.member "vars" j) to_str_list with
+    | Some vs -> vs
+    | None ->
+        err "line %d: missing vars array" lineno;
+        []
+  in
+  (match int_field "individuals" j with
+  | Some n when n >= 0 -> ()
+  | _ -> err "line %d: individuals must be a non-negative integer" lineno);
+  (match int_field "threshold" j with
+  | Some n when n >= 0 -> ()
+  | _ -> err "line %d: threshold must be a non-negative integer" lineno);
+  (match Json_lite.member "forced" j with
+  | Some (Json_lite.Null | Json_lite.Str ("nested_loop" | "hash_join")) -> ()
+  | _ -> err "line %d: forced must be null, nested_loop or hash_join" lineno);
+  (match str_field "order" j with
+  | Some ("cost" | "syntactic") -> ()
+  | _ -> err "line %d: order must be cost or syntactic" lineno);
+  let executed =
+    match bool_field "executed" j with
+    | Some b -> b
+    | None ->
+        err "line %d: missing executed flag" lineno;
+        false
+  in
+  match Option.bind (Json_lite.member "steps" j) Json_lite.to_list with
+  | None | Some [] -> err "line %d: steps must be a non-empty array" lineno
+  | Some steps ->
+      let bound =
+        List.concat (List.mapi (check_step ~lineno ~executed) steps)
+      in
+      let sorted = List.sort String.compare bound in
+      if sorted <> List.sort String.compare vars then
+        err "line %d: steps bind [%s] but vars are [%s]" lineno
+          (String.concat ", " sorted)
+          (String.concat ", " (List.sort String.compare vars));
+      if
+        List.length (List.sort_uniq String.compare bound)
+        <> List.length bound
+      then err "line %d: a variable is bound by more than one step" lineno
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: check_plan FILE";
+        exit 2
+  in
+  let ic = open_in path in
+  let lineno = ref 0 in
+  let plans = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         incr plans;
+         match Json_lite.parse line with
+         | Error msg -> err "line %d: unparsable JSON: %s" !lineno msg
+         | Ok j -> check_plan ~lineno:!lineno j
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !plans = 0 then err "%s: no plans found" path;
+  if !fail then exit 1;
+  Printf.printf "check_plan: %s: %d plan(s) OK\n" path !plans

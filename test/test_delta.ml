@@ -430,7 +430,7 @@ let config_tests =
         checki "jobs" 2 (Session.config s).Session.jobs;
         checki "cache_capacity" 64 (Session.config s).Session.cache_capacity;
         let via_session = Para.of_session s in
-        let legacy = Para.create ~jobs:2 ~cache_capacity:64 kb in
+        let legacy = Para.create ~config:{ Oracle.default_config with Oracle.jobs = 2; cache_capacity = 64 } kb in
         checkb "same satisfiability" true
           (Para.satisfiable via_session = Para.satisfiable legacy);
         checkb "same contradictions" true

@@ -294,7 +294,7 @@ let slow_tests =
 let cost_tests =
   [ Alcotest.test_case "computed verdicts carry cost records" `Quick
       (fun () ->
-        let o = Oracle.create Paper_examples.example1 in
+        let o = Oracle.of_config Oracle.default_config Paper_examples.example1 in
         let q = Oracle.Instance ("john", Concept.Atom "Doctor") in
         ignore (Oracle.check o q);
         (match Oracle.cost o q with
@@ -328,7 +328,7 @@ let cost_tests =
         ());
     Alcotest.test_case "capacity 0: totals survive, per-key does not" `Quick
       (fun () ->
-        let o = Oracle.create ~cache_capacity:0 Paper_examples.example1 in
+        let o = Oracle.of_config { Oracle.default_config with Oracle.cache_capacity = 0 } Paper_examples.example1 in
         let q = Oracle.Instance ("john", Concept.Atom "Doctor") in
         ignore (Oracle.check o q);
         ignore (Oracle.check o q);
@@ -360,7 +360,7 @@ let cost_tests =
           = List.length (Oracle.provenances (Session.oracle s))));
     Alcotest.test_case "worker-computed costs fold into the coordinator"
       `Quick (fun () ->
-        let t = Para.create ~jobs:2 Paper_examples.example1 in
+        let t = Para.create ~config:{ Oracle.default_config with Oracle.jobs = 2 } Paper_examples.example1 in
         ignore (Para.contradictions t);
         let cs = Oracle.costs (Para.oracle t) in
         Alcotest.(check bool) "records exist" true (cs <> []);
@@ -387,7 +387,7 @@ let gauge_tests =
     Alcotest.test_case "oracle cache-size gauge tracks the cache" `Quick
       (fun () ->
         with_obs_state true (fun () ->
-            let o = Oracle.create Paper_examples.example1 in
+            let o = Oracle.of_config Oracle.default_config Paper_examples.example1 in
             ignore (Oracle.check o Oracle.Consistent);
             let g = List.assoc_opt "oracle.cache.size" (Obs.gauges ()) in
             match g with

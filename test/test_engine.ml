@@ -139,7 +139,7 @@ let cache_tests =
 let check_classification ?(label = "") kb =
   let t = Para.create kb in
   let naive = Para.classify_naive t in
-  let e = Engine.create kb in
+  let e = Engine.of_config Oracle.default_config kb in
   let cls = Engine.classification e in
   Alcotest.check hierarchy
     (label ^ " engine classification = naive all-pairs")
@@ -184,7 +184,7 @@ let classification_tests =
         (* A < B < C < D: all 6 subsumptions follow from the told closure,
            only the 6 refutations need the oracle *)
         let kb = kb_of "A < B. B < C. C < D. x : A." in
-        let e = Engine.create kb in
+        let e = Engine.of_config Oracle.default_config kb in
         let s = (Engine.classification e).Classify.stats in
         Alcotest.(check int) "told hits" 6 s.Classify.told_hits;
         Alcotest.(check bool) "strictly fewer calls than naive" true
@@ -192,7 +192,7 @@ let classification_tests =
     Alcotest.test_case "told-equivalent atoms land in one taxonomy class"
       `Quick (fun () ->
         let kb = kb_of "A < B. B < A. A < C. x : A." in
-        let e = Engine.create kb in
+        let e = Engine.of_config Oracle.default_config kb in
         match Engine.taxonomy e with
         | [ ([ "A"; "B" ], [ "C" ]); ([ "C" ], []) ] -> ()
         | tax ->
@@ -220,8 +220,8 @@ let cache_verdict_tests =
             signature.Axiom.individuals
         in
         let t = Para.create kb in
-        let cached = Engine.create kb in
-        let uncached = Engine.create ~cache_capacity:0 kb in
+        let cached = Engine.of_config Oracle.default_config kb in
+        let uncached = Engine.of_config { Oracle.default_config with Oracle.cache_capacity = 0 } kb in
         List.iter
           (fun (a, c) ->
             let expected = Para.instance_truth t a c in
@@ -251,7 +251,7 @@ let cache_verdict_tests =
     Alcotest.test_case "canonically equal queries share one verdict" `Quick
       (fun () ->
         let kb = kb_of "x : A. x : B." in
-        let e = Engine.create kb in
+        let e = Engine.of_config Oracle.default_config kb in
         ignore (Engine.entails_instance e "x" (And (Atom "A", Atom "B")));
         let misses = (Engine.stats e).Engine.cache.Verdict_cache.misses in
         ignore (Engine.entails_instance e "x" (And (Atom "B", Atom "A")));
@@ -269,7 +269,7 @@ let cache_verdict_tests =
 
 let check_realization ?(label = "") kb =
   let t = Para.create kb in
-  let e = Engine.create kb in
+  let e = Engine.of_config Oracle.default_config kb in
   let r = Engine.realization e in
   List.iter
     (fun (entry : Realize.entry) ->
@@ -298,7 +298,7 @@ let realization_tests =
           [ 5; 6 ]);
     Alcotest.test_case "most-specific types on a chain" `Quick (fun () ->
         let kb = kb_of "A < B. B < C. x : A. y : B." in
-        let e = Engine.create kb in
+        let e = Engine.of_config Oracle.default_config kb in
         let entry name =
           List.find
             (fun (en : Realize.entry) -> en.Realize.name = name)
@@ -313,7 +313,7 @@ let realization_tests =
         (* y is told nothing: once y ∉ C is settled, A and B (told below C)
            must not be checked positively *)
         let kb = kb_of "A < B. B < C. x : A. y : D." in
-        let e = Engine.create kb in
+        let e = Engine.of_config Oracle.default_config kb in
         let r = Engine.realization e in
         let s = r.Realize.stats in
         Alcotest.(check bool) "pruned > 0" true (s.Realize.pruned > 0);

@@ -51,7 +51,7 @@ let examples =
     ("example4", Paper_examples.example4) ]
 
 let workload ~jobs kb =
-  let e = Engine.create ~jobs kb in
+  let e = Engine.of_config { Oracle.default_config with Oracle.jobs = jobs } kb in
   let taxonomy = Engine.classify e in
   let t = Para.of_engine e in
   let contradictions = Para.contradictions t in

@@ -172,8 +172,8 @@ let jobs_tests =
         (Printf.sprintf "%s: jobs=1 and jobs=%d agree" name jobs)
         `Quick
         (fun () ->
-          let t1 = Para.create ~jobs:1 kb in
-          let tn = Para.create ~jobs kb in
+          let t1 = Para.create ~config:{ Oracle.default_config with Oracle.jobs = 1 } kb in
+          let tn = Para.create ~config:{ Oracle.default_config with Oracle.jobs = jobs } kb in
           Alcotest.(check (list (pair string (list string))))
             "classify" (Para.classify t1) (Para.classify tn);
           Alcotest.(check (list (pair (list string) (list string))))
@@ -217,23 +217,23 @@ let batching_tests =
             (* duplicate the list so the dedup path is exercised *)
             let queries = grid_queries kb @ grid_queries kb in
             let point =
-              let o = Oracle.create ~jobs:1 kb in
+              let o = Oracle.of_config { Oracle.default_config with Oracle.jobs = 1 } kb in
               List.map (Oracle.check o) queries
             in
             Alcotest.(check (list bool))
               (name ^ " pooled")
               point
-              (Oracle.check_all (Oracle.create ~jobs kb) queries);
+              (Oracle.check_all (Oracle.of_config { Oracle.default_config with Oracle.jobs = jobs } kb) queries);
             Alcotest.(check (list bool))
               (name ^ " uncached")
               point
               (Oracle.check_all
-                 (Oracle.create ~jobs ~cache_capacity:0 kb)
+                 (Oracle.of_config { Oracle.default_config with Oracle.jobs = jobs; cache_capacity = 0 } kb)
                  queries))
           (fixtures ()));
     Alcotest.test_case "warm Cq.answers repeat pays 0 tableau calls" `Quick
       (fun () ->
-        let t = Para.create ~jobs clinic_kb in
+        let t = Para.create ~config:{ Oracle.default_config with Oracle.jobs = jobs } clinic_kb in
         let calls () =
           (Engine.stats (Para.engine t)).Engine.tableau_calls
         in
@@ -248,7 +248,7 @@ let batching_tests =
         (* dana : ~Surgeon, so the first atom is f and the Doctor atom must
            not be evaluated; with the cache disabled every evaluation pays
            exactly two tableau calls, making the call counts observable *)
-        let t = Para.create ~cache_capacity:0 clinic_kb in
+        let t = Para.create ~config:{ Oracle.default_config with Oracle.cache_capacity = 0 } clinic_kb in
         let calls () =
           (Engine.stats (Para.engine t)).Engine.tableau_calls
         in
@@ -275,7 +275,7 @@ let batching_tests =
               ]
         in
         let run f =
-          let t = Para.create ~cache_capacity:0 clinic_kb in
+          let t = Para.create ~config:{ Oracle.default_config with Oracle.cache_capacity = 0 } clinic_kb in
           let out = f t q in
           (out, (Engine.stats (Para.engine t)).Engine.tableau_calls)
         in
@@ -347,8 +347,8 @@ let random_tests =
     Test.make ~count:20 ~name:"random KBs: pool width never changes answers"
       ~print:print_kb gen_kb4
       (fun kb ->
-        let t1 = Para.create ~jobs:1 kb in
-        let tn = Para.create ~jobs kb in
+        let t1 = Para.create ~config:{ Oracle.default_config with Oracle.jobs = 1 } kb in
+        let tn = Para.create ~config:{ Oracle.default_config with Oracle.jobs = jobs } kb in
         Para.classify t1 = Para.classify tn
         && Para.contradictions t1 = Para.contradictions tn
         && List.for_all

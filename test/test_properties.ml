@@ -449,7 +449,7 @@ let native_tests =
       (fun kb ->
         let p =
           with_budget (fun () ->
-              Para.satisfiable (Para.create ~max_nodes:1_000 ~max_branches:1_500 kb))
+              Para.satisfiable (Para.create ~config:{ Oracle.default_config with Oracle.max_nodes = 1_000; max_branches = 1_500 } kb))
         in
         let n =
           with_budget (fun () ->
@@ -463,7 +463,7 @@ let native_tests =
       ~print:(fun kb -> Surface.kb4_to_string kb)
       gen_kb4_for_native
       (fun kb ->
-        let para = Para.create ~max_nodes:1_000 ~max_branches:1_500 kb in
+        let para = Para.create ~config:{ Oracle.default_config with Oracle.max_nodes = 1_000; max_branches = 1_500 } kb in
         let native = Tableau4.create ~max_nodes:1_000 ~max_branches:1_500 kb in
         List.for_all
           (fun a ->

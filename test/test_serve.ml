@@ -98,6 +98,46 @@ let protocol_tests =
           ask t {|{"op":"query","individual":"tweety","concept":"Sings"}|}
         in
         checks "new fact is told true" "t" (str "truth" q));
+    Alcotest.test_case "cq query answers with a plan summary; plans cached"
+      `Quick (fun () ->
+        let t = warm_server () in
+        let q = {|{"op":"query","cq":"?x <- Bird(?x)"}|} in
+        let r1 = ask t q in
+        checkb "ok" true (ok r1);
+        checks "cq echoed" "?x <- Bird(?x)" (str "cq" r1);
+        let tuples j =
+          match mem "answers" j with
+          | Json_lite.Arr rows ->
+              List.filter_map
+                (fun row ->
+                  match Json_lite.member "tuple" row with
+                  | Some (Json_lite.Arr [ Json_lite.Str a ]) -> Some a
+                  | _ -> None)
+                rows
+          | _ -> Alcotest.fail "answers is not an array"
+        in
+        checkb "tweety answers Bird(?x)" true (List.mem "tweety" (tuples r1));
+        let cached j =
+          match Json_lite.member "cached" (mem "plan" j) with
+          | Some (Json_lite.Bool b) -> b
+          | _ -> Alcotest.fail "plan.cached is not a boolean"
+        in
+        checkb "first shape compiles fresh" false (cached r1);
+        checks "plan order" "cost" (str "order" (mem "plan" r1));
+        checkb "strategies object present" true
+          (match Json_lite.member "strategies" (mem "plan" r1) with
+          | Some (Json_lite.Obj _) -> true
+          | _ -> false);
+        let r2 = ask t q in
+        checkb "second shape served from the plan cache" true (cached r2);
+        checkb "same answers from the cached plan" true
+          (tuples r1 = tuples r2);
+        (* an update invalidates the cached plans *)
+        let u = ask t {|{"op":"update","script":"+ woody : Bird.\n"}|} in
+        checkb "update ok" true (ok u);
+        let r3 = ask t q in
+        checkb "post-update shape recompiles" false (cached r3);
+        checkb "new individual answers" true (List.mem "woody" (tuples r3)));
     Alcotest.test_case "update parse errors quote the offending line" `Quick
       (fun () ->
         let t = warm_server () in

@@ -166,6 +166,53 @@ let prom_tests =
                 || find (i + 1))
            in
            find 0));
+    Alcotest.test_case "planner strategy counters flow to every renderer"
+      `Quick (fun () ->
+        let t = Telemetry.create () in
+        Telemetry.record t ~op:"query" ~ok:true ~wall_ns:1000.0
+          ~strategies:[ ("hash_join", 2); ("nested_loop", 1) ] ();
+        Telemetry.record t ~op:"query" ~ok:true ~wall_ns:1000.0
+          ~strategies:[ ("hash_join", 1) ] ();
+        let qry =
+          List.find (fun v -> v.Telemetry.v_op = "query") (Telemetry.view t)
+        in
+        checkb "view accumulates per strategy" true
+          (qry.Telemetry.v_strategies
+          = [ ("hash_join", 3); ("nested_loop", 1) ]);
+        let j = parse (Telemetry.json t) in
+        (match Json_lite.to_list (mem "ops" j) with
+        | Some [ op ] ->
+            checkb "json strategies object" true
+              (match Json_lite.member "strategies" op with
+              | Some
+                  (Json_lite.Obj
+                    [
+                      ("hash_join", Json_lite.Num 3.0);
+                      ("nested_loop", Json_lite.Num 1.0);
+                    ]) ->
+                  true
+              | _ -> false)
+        | _ -> Alcotest.fail "ops is not a 1-element array");
+        let text = Telemetry.prometheus t in
+        let lines = String.split_on_char '\n' text in
+        checkb "prometheus hash_join sample" true
+          (List.mem
+             "dl4_planner_strategy_total{op=\"query\",strategy=\"hash_join\"} 3"
+             lines);
+        checkb "prometheus nested_loop sample" true
+          (List.mem
+             "dl4_planner_strategy_total{op=\"query\",strategy=\"nested_loop\"} 1"
+             lines);
+        let other = Telemetry.create () in
+        Telemetry.record other ~op:"query" ~ok:true ~wall_ns:1.0
+          ~strategies:[ ("nested_loop", 4) ] ();
+        Telemetry.merge ~into:t other;
+        let qry =
+          List.find (fun v -> v.Telemetry.v_op = "query") (Telemetry.view t)
+        in
+        checkb "merge union-adds strategies" true
+          (qry.Telemetry.v_strategies
+          = [ ("hash_join", 3); ("nested_loop", 5) ]));
     Alcotest.test_case "atomic write leaves no tmp file" `Quick (fun () ->
         let t = Telemetry.create () in
         Telemetry.record t ~op:"check" ~ok:true ~wall_ns:42.0 ();
