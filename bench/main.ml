@@ -1336,6 +1336,138 @@ let report_planner () =
          n_common)
 
 (* ------------------------------------------------------------------ *)
+(* S13: the audit plane — census cost vs the per-fact naive reference,
+   and exactly-B CQ answers through the plan path vs the naive sweep *)
+
+let report_audit () =
+  section "S13: inconsistency census + exactly-B queries -> BENCH_audit.json";
+  (* synthetic mixed-consistency KB: a broad Common population, a few
+     Rare individuals, told links, and every 7th individual poisoned
+     with Common & ~Common — so the census sees all of t/f/B/N *)
+  let n = 30 in
+  let kb =
+    let base =
+      Kb4.of_classical ~inclusion:Kb4.Internal
+        (Axiom.make
+           ~tbox:
+             [ Axiom.Concept_sub (Concept.Atom "Rare", Concept.Atom "Flagged") ]
+           ~abox:[])
+    in
+    let commons =
+      List.init n (fun i ->
+          Axiom.Instance_of (Printf.sprintf "c%d" i, Concept.Atom "Common"))
+    in
+    let poisons =
+      List.filteri (fun i _ -> i mod 7 = 0) commons
+      |> List.map (function
+           | Axiom.Instance_of (a, c) -> Axiom.Instance_of (a, Concept.Not c)
+           | ax -> ax)
+    in
+    let rares =
+      [ Axiom.Instance_of ("r0", Concept.Atom "Rare");
+        Axiom.Instance_of ("r1", Concept.Atom "Rare") ]
+    in
+    let links =
+      List.map
+        (fun (a, b) -> Axiom.Role_assertion (a, Role.name "links", b))
+        [ ("c0", "r0"); ("c0", "r1"); ("c1", "r0");
+          ("c1", "r1"); ("c2", "r0"); ("c3", "r1") ]
+    in
+    List.fold_left Kb4.add_abox base (commons @ poisons @ rares @ links)
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  (* every measured run pays from a cold cache: fresh single-domain
+     session, probes = verdicts + cache-served checks *)
+  let fresh () =
+    let s =
+      Session.create
+        ~config:{ Session.default_config with Session.jobs = 1 } kb
+    in
+    (s, Para.of_session s)
+  in
+  let budget s =
+    let totals = Session.cost_totals s in
+    (totals.Oracle.verdicts + totals.Oracle.cache_served, totals.Oracle.runs)
+  in
+  (* census: batched grids vs the per-fact reference *)
+  let s1, p1 = fresh () in
+  let census, census_dt = wall (fun () -> Audit.census p1) in
+  let census_probes, census_tableau = budget s1 in
+  let s2, p2 = fresh () in
+  let naive, naive_dt = wall (fun () -> Audit.census_naive p2) in
+  let naive_probes, _ = budget s2 in
+  let render (cs : Audit.census) =
+    List.map
+      (fun (f, v) -> Audit.fact_to_string f ^ "=" ^ Truth.to_string v)
+      cs.Audit.cs_entries
+  in
+  let census_identical = render census = render naive in
+  if not census_identical then failwith "S13: census differs from naive";
+  (* exactly-B answers: plan path (batched joins dedupe probes) vs the
+     naive per-binding sweep *)
+  let q =
+    match Cq.parse "?x, ?y <- Common(?x), links(?x, ?y), Rare(?y)" with
+    | Ok q -> q
+    | Error msg -> failwith ("S13: bad cq: " ^ msg)
+  in
+  let values = [ Truth.Both; Truth.Neither ] in
+  let s3, p3 = fresh () in
+  let plan = Cq.compile ~order:`Cost p3 q in
+  let plan_ans, plan_dt = wall (fun () -> Cq.run_exactly plan ~values) in
+  let plan_probes, _ = budget s3 in
+  let s4, p4 = fresh () in
+  let naive_ans, naive_exact_dt =
+    wall (fun () -> Cq.answers_exactly_naive p4 ~values q)
+  in
+  let naive_exact_probes, _ = budget s4 in
+  let exact_identical = plan_ans = naive_ans in
+  if not exact_identical then failwith "S13: exactly answers differ";
+  let probe_speedup =
+    float_of_int naive_exact_probes /. float_of_int (max 1 plan_probes)
+  in
+  let wall_speedup = naive_exact_dt /. Float.max plan_dt 1e-9 in
+  Printf.printf "  census: %d facts (%d B, ratio %.3f) in %.4fs, %d probes \
+                 (%d tableau calls); naive %.4fs, %d probes\n"
+    (List.length census.Audit.cs_entries)
+    (Audit.count census Truth.Both)
+    (Audit.inconsistency_ratio census)
+    census_dt census_probes census_tableau naive_dt naive_probes;
+  Printf.printf "  exactly-{B,N}: %d answers; plan %d probes %.4fs, naive \
+                 sweep %d probes %.4fs (%.1fx fewer probes, %.1fx faster)\n"
+    (List.length plan_ans) plan_probes plan_dt naive_exact_probes
+    naive_exact_dt probe_speedup wall_speedup;
+  write_bench "BENCH_audit.json" ~experiment:"S13_audit"
+    ~metrics:
+      [ ("census_identical", if census_identical then "1" else "0");
+        ("answers_identical", if exact_identical then "1" else "0");
+        ("census_facts", string_of_int (List.length census.Audit.cs_entries));
+        ("census_b_count", string_of_int (Audit.count census Truth.Both));
+        ("census_probes", string_of_int census_probes);
+        ("census_tableau_calls", string_of_int census_tableau);
+        ("naive_census_probes", string_of_int naive_probes);
+        ("census_seconds", Printf.sprintf "%.4f" census_dt);
+        ("naive_census_seconds", Printf.sprintf "%.4f" naive_dt);
+        ("exact_plan_probes", string_of_int plan_probes);
+        ("exact_naive_probes", string_of_int naive_exact_probes);
+        ("exact_probe_speedup", Printf.sprintf "%.2f" probe_speedup);
+        ("exact_wall_speedup", Printf.sprintf "%.2f" wall_speedup) ]
+    ~detail:
+      (Printf.sprintf
+         "{\"kb\": \"%d Common individuals (every 7th also ~Common), 2 \
+          Rare, 6 links pairs\",\n\
+         \  \"census\": \"individuals x atomic concepts grid + told role \
+          assertions, batched vs per-fact naive, fresh cold session per \
+          run\",\n\
+         \  \"query\": \"?x, ?y <- Common(?x), links(?x, ?y), Rare(?y) \
+          with --exactly B,N\",\n\
+         \  \"probes\": \"oracle verdicts + cache-served checks\"}"
+         n)
+
+(* ------------------------------------------------------------------ *)
 (* Timing benches *)
 
 let paper_benches () =
@@ -1534,6 +1666,7 @@ let () =
   report_backends ();
   report_telemetry ();
   report_planner ();
+  report_audit ();
   section "timing series (S1-S4)";
   run_group ~name:"paper" (paper_benches ());
   run_group ~name:"scale_transform" (transform_benches ());

@@ -422,7 +422,19 @@ let query_cmd =
              estimated vs actual per-step cardinalities, probe counts and \
              the join strategies picked.")
   in
-  let run file ind csrc cq explain max_nodes max_branches jobs backend
+  let exactly =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "exactly" ] ~docv:"VALUES"
+          ~doc:
+            "With --cq: instead of the designated answers, return the \
+             tuples whose conjunction takes exactly one of the given \
+             truth values (comma-separated from t, f, B/TOP, N/BOT) — \
+             e.g. --exactly B lists the exactly-contradictory matches, \
+             --exactly B,N everything undecided-or-conflicting.")
+  in
+  let run file ind csrc cq explain exactly max_nodes max_branches jobs backend
       from_snapshot obs =
     with_obs ~cmd:"query" obs (fun () ->
         let kb = load_kb4 file in
@@ -435,8 +447,20 @@ let query_cmd =
         | Some src ->
             let q = load_cq src in
             let plan = Cq.compile t q in
-            let answers = Cq.run plan in
-            if answers = [] then Format.printf "no designated answers@."
+            let answers =
+              match exactly with
+              | None -> Cq.run plan
+              | Some spec -> (
+                  match Truth.set_of_string spec with
+                  | Error msg ->
+                      Format.eprintf "--exactly %S: %s@." spec msg;
+                      exit 2
+                  | Ok values -> Cq.run_exactly plan ~values)
+            in
+            if answers = [] then
+              Format.printf "%s@."
+                (if exactly = None then "no designated answers"
+                 else "no answers with exactly those values")
             else
               List.iter
                 (fun (tuple, v) ->
@@ -473,8 +497,89 @@ let query_cmd =
           the designated answers of a conjunctive query (--cq).")
     Term.(
       const run $ file_arg $ individual $ concept_src $ cq_arg $ explain_flag
-      $ max_nodes_arg $ max_branches_arg $ jobs_arg $ backend_arg
+      $ exactly $ max_nodes_arg $ max_branches_arg $ jobs_arg $ backend_arg
       $ from_snapshot_arg $ obs_term)
+
+(* dl4 audit: the contradiction census of the KB as a dl4-audit/1
+   report — the offline face of the serve daemon's [audit] op. *)
+let audit_cmd =
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K"
+          ~doc:
+            "Rank the $(docv) most-contradictory individuals and concepts \
+             in the report.")
+  in
+  let exactly =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "exactly" ] ~docv:"VALUES"
+          ~doc:
+            "Also list every audited fact whose exact value is in the \
+             comma-separated set (from t, f, B/TOP, N/BOT), e.g. \
+             --exactly B for the contradicted facts.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the report to $(docv) atomically (tmp + rename) instead \
+             of stdout, so a concurrent reader never sees a torn file.")
+  in
+  let run file top exactly out max_nodes max_branches cache_size no_cache
+      jobs backend from_snapshot obs =
+    with_obs ~cmd:"audit" obs (fun () ->
+        if top < 0 then begin
+          Format.eprintf "--top must be non-negative@.";
+          exit 2
+        end;
+        let exactly =
+          match exactly with
+          | None -> None
+          | Some spec -> (
+              match Truth.set_of_string spec with
+              | Error msg ->
+                  Format.eprintf "--exactly %S: %s@." spec msg;
+                  exit 2
+              | Ok values -> Some values)
+        in
+        let kb = load_kb4 file in
+        let config =
+          make_config ~jobs ~max_nodes ~max_branches ~cache_size ~no_cache
+            ~backend
+        in
+        let t = Para.of_session (session_of ~config ~from_snapshot kb) in
+        let report =
+          Audit.report_json ~top ?exactly t (Audit.census t)
+        in
+        (match out with
+        | None -> print_endline report
+        | Some path ->
+            let tmp = path ^ ".tmp" in
+            let oc = open_out tmp in
+            output_string oc report;
+            output_char oc '\n';
+            close_out oc;
+            Sys.rename tmp path);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Sweep every named individual against every atomic concept (and \
+          every told role assertion) through the four-valued semantics and \
+          report the KB's health as one dl4-audit/1 JSON object: per-value \
+          counts, the degree-of-inconsistency ratio |TOP|/|decided|, \
+          per-concept contradiction rates and the most-contradictory \
+          individuals and concepts with provenance.")
+    Term.(
+      const run $ file_arg $ top $ exactly $ out $ max_nodes_arg
+      $ max_branches_arg $ cache_size_arg $ no_cache_flag $ jobs_arg
+      $ backend_arg $ from_snapshot_arg $ obs_term)
 
 let classify_cmd =
   let run file max_nodes max_branches cache_size no_cache jobs backend
@@ -1437,9 +1542,21 @@ let serve_cmd =
              the baseline bench S11 measures overhead against; leave it \
              off in production.")
   in
+  let drift_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "drift-log" ] ~docv:"FILE"
+          ~doc:
+            "Track truth-value drift: bracket every 'update' request with \
+             a census and append one JSONL record per delta that changed \
+             any fact's exact value (e.g. t -> TOP when a delta poisons \
+             the KB) to $(docv).  Arming this makes updates pay up to two \
+             censuses each.")
+  in
   let run file socket snapshot_to idle_save cold metrics_out metrics_interval
-      access_log access_log_rotate no_telemetry max_nodes max_branches
-      cache_size no_cache jobs backend from_snapshot obs =
+      access_log access_log_rotate no_telemetry drift_log max_nodes
+      max_branches cache_size no_cache jobs backend from_snapshot obs =
     with_obs ~cmd:"serve" obs (fun () ->
         let kb = load_kb4 file in
         let config =
@@ -1453,11 +1570,11 @@ let serve_cmd =
         in
         let t =
           Serve.create ?snapshot_path ~telemetry:(not no_telemetry)
-            ?access_log ~access_log_max_bytes:access_log_rotate s
+            ?access_log ~access_log_max_bytes:access_log_rotate ?drift_log s
         in
         Format.printf "dl4 serve: listening on %s (NDJSON; ops: check query \
-                       retrieve classify update stats metrics snapshot \
-                       shutdown)@."
+                       retrieve classify update stats metrics audit \
+                       snapshot shutdown)@."
           socket;
         Serve.run ~idle_save ?metrics_out ~metrics_interval
           ~socket_path:socket t;
@@ -1477,8 +1594,9 @@ let serve_cmd =
     Term.(
       const run $ file_arg $ socket $ snapshot_to $ idle_save $ cold
       $ metrics_out $ metrics_interval $ access_log $ access_log_rotate
-      $ no_telemetry $ max_nodes_arg $ max_branches_arg $ cache_size_arg
-      $ no_cache_flag $ jobs_arg $ backend_arg $ from_snapshot_arg $ obs_term)
+      $ no_telemetry $ drift_log $ max_nodes_arg $ max_branches_arg
+      $ cache_size_arg $ no_cache_flag $ jobs_arg $ backend_arg
+      $ from_snapshot_arg $ obs_term)
 
 let client_cmd =
   let socket =
@@ -1599,6 +1717,30 @@ let top_cmd =
       socket (pretty_uptime uptime) requests errors
       (if Float.is_nan hit_rate then "-"
        else Printf.sprintf "%.1f%%" hit_rate);
+    (* the KB-health row: present once the daemon has refreshed its
+       snapshot; census numbers appear after the first audit *)
+    (match Json_lite.member "kb" j with
+    | Some kb ->
+        let kint name = int_of_float (num ~default:0.0 name kb) in
+        let truth =
+          match Json_lite.member "truth" kb with
+          | Some (Json_lite.Obj fields) ->
+              Printf.sprintf " — truth %s — inconsistency %.2f%%"
+                (String.concat " "
+                   (List.map
+                      (fun (v, n) ->
+                        Printf.sprintf "%s:%.0f" v
+                          (Option.value ~default:0.0 (Json_lite.to_num n)))
+                      fields))
+                (100.0 *. num ~default:0.0 "inconsistency_ratio" kb)
+          | _ -> ""
+        in
+        Format.printf
+          "  KB: %d individuals — %d tbox + %d abox axioms — %d cached \
+           verdicts%s@."
+          (kint "individuals") (kint "tbox_axioms") (kint "abox_axioms")
+          (kint "cached_verdicts") truth
+    | None -> ());
     Format.printf "@.  %-10s %6s %5s %10s %10s %10s   %s@." "OP" "REQ" "ERR"
       "P50" "P90" "P99" "ROUTES";
     let ops =
@@ -1701,6 +1843,7 @@ let main =
           four-valued description logic SHOIN(D)4.")
     [ check_cmd;
       query_cmd;
+      audit_cmd;
       classify_cmd;
       realize_cmd;
       update_cmd;

@@ -3,6 +3,7 @@ type term = Var of string | Ind of string
 type atom =
   | Concept_atom of Concept.t * term
   | Role_atom of Role.t * term * term
+  | Exact of Truth.t list * atom
 
 type t = { head : string list; body : atom list }
 
@@ -10,9 +11,29 @@ module Strings = Set.Make (String)
 
 let term_vars = function Var v -> [ v ] | Ind _ -> []
 
-let atom_vars = function
+let rec atom_vars = function
   | Concept_atom (_, t) -> term_vars t
   | Role_atom (_, t1, t2) -> term_vars t1 @ term_vars t2
+  | Exact (_, a) -> atom_vars a
+
+(* the base (probe-able) atom under any stack of exact-value selectors *)
+let rec base_atom = function Exact (_, a) -> base_atom a | a -> a
+
+(* the characteristic function of an exact-value selector: a classical
+   (two-valued) verdict on the inner atom's Belnap value — [t] when the
+   value is exactly in the requested set, [f] otherwise.  Classicality is
+   what lets selector atoms ride the designated-answer machinery (incl.
+   pruning) unchanged. *)
+let characteristic values v =
+  if List.mem v values then Truth.True else Truth.False
+
+(* the composed selector of an atom (identity for plain atoms), applied
+   outermost-last so nested selectors mean what they say *)
+let rec selector = function
+  | Exact (values, a) ->
+      let inner = selector a in
+      fun v -> characteristic values (inner v)
+  | Concept_atom _ | Role_atom _ -> Fun.id
 
 let variables q =
   Strings.elements
@@ -37,10 +58,11 @@ let resolve binding = function
       | Some a -> a
       | None -> invalid_arg ("Cq: unbound variable " ^ v))
 
-let truth_of_atom para binding = function
+let rec truth_of_atom para binding = function
   | Concept_atom (c, t) -> Para.instance_truth para (resolve binding t) c
   | Role_atom (r, t1, t2) ->
       Para.role_truth para (resolve binding t1) r (resolve binding t2)
+  | Exact (values, a) -> characteristic values (truth_of_atom para binding a)
 
 let truth_of_binding_naive para q binding =
   List.fold_left
@@ -63,11 +85,15 @@ let truth_of_binding para q binding =
 
 let term_to_string = function Var v -> "?" ^ v | Ind a -> a
 
-let atom_to_string = function
+let rec atom_to_string = function
   | Concept_atom (c, t) -> Concept.to_string c ^ "(" ^ term_to_string t ^ ")"
   | Role_atom (r, t1, t2) ->
       Role.to_string r ^ "(" ^ term_to_string t1 ^ ", " ^ term_to_string t2
       ^ ")"
+  | Exact (values, a) ->
+      atom_to_string a ^ "={"
+      ^ String.concat "," (List.map Truth.short_string values)
+      ^ "}"
 
 let to_string q =
   String.concat ", " (List.map (fun v -> "?" ^ v) q.head)
@@ -172,6 +198,36 @@ let answers_naive para q =
        (fun (binding, v) ->
          if Truth.designated v then Some (project q binding, v) else None)
        (all_bindings_naive para q))
+
+(* Exact-value answers keep every requested value (not only designated
+   ones), so deduplication is by (tuple, value) pair — first occurrence in
+   enumeration order — followed by the same ≤t-rank sort the designated
+   surface uses.  Both the plan path and the naive reference feed this
+   one function over identically-ordered binding lists, which is what
+   makes the two outputs byte-identical. *)
+let dedup_exact tuples =
+  let seen = Hashtbl.create 16 in
+  let dedup =
+    List.filter
+      (fun tv ->
+        if Hashtbl.mem seen tv then false
+        else begin
+          Hashtbl.replace seen tv ();
+          true
+        end)
+      tuples
+  in
+  List.stable_sort (fun (_, v1) (_, v2) -> Truth.compare v1 v2) dedup
+
+let exactly_of_bindings q ~values bindings =
+  dedup_exact
+    (List.filter_map
+       (fun (binding, v) ->
+         if List.mem v values then Some (project q binding, v) else None)
+       bindings)
+
+let answers_exactly_naive para ~values q =
+  exactly_of_bindings q ~values (all_bindings_naive para q)
 
 (* ------------------------------------------------------------------ *)
 (* The cost-based planner.
@@ -419,7 +475,7 @@ let est_pairs st r = tbl_get st.st_pairs (Role.base r)
 
 (* estimated output rows contributed by [atom] once the variables in
    [bound] are fixed: the cardinality signal the greedy order minimizes *)
-let est_atom_rows st bound atom =
+let rec est_atom_rows st bound atom =
   let free t =
     match t with Var v -> not (Strings.mem v bound) | Ind _ -> false
   in
@@ -431,10 +487,15 @@ let est_atom_rows st bound atom =
       | false, false -> 1
       | true, true -> pairs
       | _ -> max 1 (pairs / max 1 st.st_n))
+  | Exact (_, a) ->
+      (* the selector reshuffles which rows survive, not how many the
+         probe fan-out produces — estimate on the inner atom *)
+      est_atom_rows st bound a
 
-let probe_cost st = function
+let rec probe_cost st = function
   | Concept_atom _ -> st.st_probe_ns "instance" +. st.st_probe_ns "not_instance"
   | Role_atom _ -> st.st_probe_ns "role_pos" +. st.st_probe_ns "role_neg"
+  | Exact (_, a) -> probe_cost st a
 
 let default_threshold = 8
 
@@ -514,9 +575,10 @@ let compile ?threshold ?force ?(order = `Cost) para q =
     List.map
       (fun (_, a) ->
         let terms =
-          match a with
+          match base_atom a with
           | Concept_atom (_, t) -> [ t ]
           | Role_atom (_, t1, t2) -> [ t1; t2 ]
+          | Exact _ -> assert false
         in
         let est_rows = est_atom_rows st !bound a in
         let fresh =
@@ -560,22 +622,25 @@ type row = { r_vals : string array; r_truth : Truth.t }
 let ground_term vals = function Plan.Const a -> a | Plan.Slot i -> vals.(i)
 
 let eval_step para (step : Plan.step) vals =
-  match (step.Plan.p_atom, step.Plan.p_terms) with
-  | Concept_atom (c, _), [ t ] ->
-      Para.instance_truth para (ground_term vals t) c
-  | Role_atom (r, _, _), [ t1; t2 ] ->
-      Para.role_truth para (ground_term vals t1) r (ground_term vals t2)
-  | _ -> assert false
+  let sel = selector step.Plan.p_atom in
+  sel
+    (match (base_atom step.Plan.p_atom, step.Plan.p_terms) with
+    | Concept_atom (c, _), [ t ] ->
+        Para.instance_truth para (ground_term vals t) c
+    | Role_atom (r, _, _), [ t1; t2 ] ->
+        Para.role_truth para (ground_term vals t1) r (ground_term vals t2)
+    | _ -> assert false)
 
 (* one batched oracle fan-out for a hash-join materialization: ground
    every (key, candidate) combination of the step's atom and submit the
    whole relation as one [check_all] batch, so the domain pool overlaps
    the work and repeated questions share one verdict *)
 let eval_batch para (step : Plan.step) grounds =
-  match step.Plan.p_atom with
+  let sel = selector step.Plan.p_atom in
+  match base_atom step.Plan.p_atom with
   | Concept_atom (c, _) ->
       List.map
-        (fun (_, _, v) -> v)
+        (fun (_, _, v) -> sel v)
         (Para.instance_truths para
            (List.map
               (fun vals ->
@@ -585,7 +650,7 @@ let eval_batch para (step : Plan.step) grounds =
               grounds))
   | Role_atom (r, _, _) ->
       List.map
-        (fun (_, _, _, v) -> v)
+        (fun (_, _, _, v) -> sel v)
         (Para.role_truths para
            (List.map
               (fun vals ->
@@ -593,6 +658,7 @@ let eval_batch para (step : Plan.step) grounds =
                 | [ t1; t2 ] -> (ground_term vals t1, r, ground_term vals t2)
                 | _ -> assert false)
               grounds))
+  | Exact _ -> assert false
 
 (* the prune regime's row filter: only designated prefixes can still
    reach a designated answer (see the correctness note above) *)
@@ -788,6 +854,15 @@ let run_bindings plan =
         (fun r -> (binding_of plan r, r.r_truth))
         (canonical_rows plan (exec plan ~prune:false)))
 
+(* Exact-value execution must use the non-prune regime: selecting [f] or
+   ⊥ tuples means keeping exactly the rows pruning is licensed to drop. *)
+let run_exactly plan ~values =
+  Obs.with_span ~cat:"core" "cq.plan.run_exactly" (fun () ->
+      exactly_of_bindings plan.Plan.pl_query ~values
+        (List.map
+           (fun r -> (binding_of plan r, r.r_truth))
+           (canonical_rows plan (exec plan ~prune:false))))
+
 let strategy_counts (plan : plan) =
   let nested = ref 0 and hash = ref 0 in
   List.iter
@@ -808,9 +883,10 @@ let explain (plan : plan) =
     let slot i = plan.Plan.pl_vars.(i) in
     { Plan.sv_atom = atom_to_string s.Plan.p_atom;
       sv_kind =
-        (match s.Plan.p_atom with
+        (match base_atom s.Plan.p_atom with
         | Concept_atom _ -> "concept"
-        | Role_atom _ -> "role");
+        | Role_atom _ -> "role"
+        | Exact _ -> assert false);
       sv_binds = List.map slot s.Plan.p_new;
       sv_filter = s.Plan.p_new = [];
       sv_est_rows = s.Plan.p_est_rows;
@@ -911,6 +987,10 @@ let all_bindings para q =
   Obs.with_span ~cat:"core" "cq.all_bindings" (fun () ->
       run_bindings (compile para q))
 
+let answers_exactly para ~values q =
+  Obs.with_span ~cat:"core" "cq.answers_exactly" (fun () ->
+      run_exactly (compile para q) ~values)
+
 (* ------------------------------------------------------------------ *)
 (* Surface syntax:  [?x, ?y <- Doctor(?x), hasPatient(?x, ?y)]
    Variables are [?]-prefixed; bare terms are individuals.  Without a
@@ -946,12 +1026,33 @@ let parse_term s =
     if v = "" then Error "empty variable name after '?'" else Ok (Var v)
   else Ok (Ind s)
 
-let parse_atom s =
+(* an exact-value selector suffix: [=B] or [={B,N}] after the closing
+   paren (braces keep multi-value sets intact through the top-level comma
+   split) *)
+let parse_value_set s =
+  let s = String.trim s in
+  let n = String.length s in
+  let s =
+    if n >= 2 && s.[0] = '{' && s.[n - 1] = '}' then String.sub s 1 (n - 2)
+    else s
+  in
+  Truth.set_of_string s
+
+let rec parse_atom s =
   let s = String.trim s in
   let n = String.length s in
   if n = 0 then Error "empty atom"
-  else if s.[n - 1] <> ')' then
-    Error ("atom " ^ s ^ " does not end with ')'")
+  else if s.[n - 1] <> ')' then (
+    match String.rindex_opt s '=' with
+    | Some i when i > 0 && String.contains (String.sub s 0 i) ')' -> (
+        match
+          ( parse_atom (String.sub s 0 i),
+            parse_value_set (String.sub s (i + 1) (n - i - 1)) )
+        with
+        | Ok a, Ok values -> Ok (Exact (values, a))
+        | (Error _ as e), _ -> e
+        | _, Error e -> Error (e ^ " in atom " ^ s))
+    | _ -> Error ("atom " ^ s ^ " does not end with ')'"))
   else
     match String.rindex_opt s '(' with
     | None -> Error ("atom " ^ s ^ " has no argument list")

@@ -28,6 +28,15 @@ type term =
 type atom =
   | Concept_atom of Concept.t * term
   | Role_atom of Role.t * term * term
+  | Exact of Truth.t list * atom
+      (** Exact-truth-value selector (Bienvenu, Bourgaux & Kozhemiachenko
+          2024): [Exact (vs, a)] evaluates the inner atom and maps its
+          Belnap value through the characteristic function of [vs] — [t]
+          when the value is {e exactly} one of [vs], [f] otherwise.  The
+          result is classical (two-valued), so selector atoms compose with
+          conjunction and ride the designated-answer surface — e.g.
+          [Exact ([Both], Concept_atom (c, Var "x"))] retrieves the
+          exactly-contradictory individuals of [c] through {!answers}. *)
 
 type t = {
   head : string list;  (** distinguished variables, in answer-tuple order *)
@@ -46,7 +55,10 @@ val parse : string -> (t, string) result
     prefixes use the full {!Surface} concept grammar; a role atom takes
     two arguments and accepts the [r^-] inverse spelling.  Without a
     [<-] the whole string is the body and every variable is projected
-    (sorted). *)
+    (sorted).  An atom may carry an exact-value selector suffix —
+    [Doctor(?x)=B] or [hasPatient(?x, ?y)={B,N}] — parsed to {!Exact}
+    (value names as in {!Truth.of_string}; braces keep multi-value sets
+    intact through the comma split). *)
 
 val to_string : t -> string
 (** Printable form, re-parsable by {!parse}. *)
@@ -141,6 +153,14 @@ val run_bindings : plan -> ((string * string) list * Truth.t) list
     value — including [f] and ⊥ ones.  Same contents and order as
     {!all_bindings_naive}. *)
 
+val run_exactly : plan -> values:Truth.t list -> (string list * Truth.t) list
+(** Execute the plan {e without pruning} (selecting [f] or ⊥ tuples means
+    keeping exactly the rows pruning drops) and return the projected
+    tuples whose body value is exactly one of [values], deduplicated by
+    (tuple, value) pair, ≤t-stronger values first — byte-identical to
+    {!answers_exactly_naive} under every atom order, join strategy, jobs
+    setting and backend. *)
+
 val explain : plan -> Plan.view
 (** The stable plan description; includes per-step actuals once the plan
     has been executed. *)
@@ -161,6 +181,17 @@ val answers : Para.t -> t -> (string list * Truth.t) list
 val all_bindings : Para.t -> t -> ((string * string) list * Truth.t) list
 (** Every complete binding with its value — including [f] and ⊥ ones; for
     diagnosis and tests.  Thin wrapper: [run_bindings (compile para q)]. *)
+
+val answers_exactly :
+  Para.t -> values:Truth.t list -> t -> (string list * Truth.t) list
+(** Exact-value answers ([dl4 query --cq ... --exactly]): the tuples whose
+    body value is exactly one of [values].  Thin wrapper:
+    [run_exactly (compile para q) ~values]. *)
+
+val answers_exactly_naive :
+  Para.t -> values:Truth.t list -> t -> (string list * Truth.t) list
+(** Exact-value answers via the unpruned cross product — the ground-truth
+    differential reference for {!answers_exactly}. *)
 
 val answers_staged : Para.t -> t -> (string list * Truth.t) list
 (** The PR 2 staged enumerator with refuted-prefix subtree pruning —

@@ -66,4 +66,40 @@ let to_string = function
   | Both -> "TOP"
   | Neither -> "BOT"
 
+let short_string = function
+  | True -> "t"
+  | False -> "f"
+  | Both -> "B"
+  | Neither -> "N"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "t" | "true" -> Some True
+  | "f" | "false" -> Some False
+  | "b" | "top" | "both" -> Some Both
+  | "n" | "bot" | "neither" -> Some Neither
+  | _ -> None
+
+let set_of_string s =
+  let parts =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then Error "empty truth-value set"
+  else
+    let rec go acc = function
+      | [] ->
+          (* Stable order, each value at most once. *)
+          Ok (List.filter (fun v -> List.mem v acc) all)
+      | p :: rest -> (
+          match of_string p with
+          | Some v -> go (if List.mem v acc then acc else v :: acc) rest
+          | None ->
+              Error
+                (Printf.sprintf
+                   "unknown truth value %S (expected t, f, B/TOP or N/BOT)" p))
+    in
+    go [] parts
+
 let pp ppf v = Format.pp_print_string ppf (to_string v)

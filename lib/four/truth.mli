@@ -78,3 +78,15 @@ val pp : Format.formatter -> t -> unit
 (** Prints [t], [f], [TOP] (⊤) or [BOT] (⊥). *)
 
 val to_string : t -> string
+
+val short_string : t -> string
+(** One-letter label for metrics and reports: [t], [f], [B] (⊤) or [N] (⊥). *)
+
+val of_string : string -> t option
+(** Parse a value name.  Accepts (case-insensitively) [t]/[true],
+    [f]/[false], [B]/[TOP]/[both] and [N]/[BOT]/[neither]. *)
+
+val set_of_string : string -> (t list, string) result
+(** Parse a comma-separated value set (e.g. ["B"] or ["B,N"]) into a
+    deduplicated list in the fixed [all] order.  Errors on the empty set or
+    an unknown name. *)

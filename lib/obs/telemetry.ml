@@ -25,15 +25,30 @@ type op_stats = {
   mutable s_tableau_calls : int;
 }
 
+(* KB-health snapshot, set by whoever owns the KB (the serve loop, on
+   its metrics interval): static size gauges always, truth-value census
+   gauges once an audit has run ([kb_truth_counts] empty until then).
+   Truth values travel as their short labels ("t"/"f"/"B"/"N") so this
+   module stays below lib/four in the stack. *)
+type kb_health = {
+  kb_individuals : int;
+  kb_tbox_axioms : int;
+  kb_abox_axioms : int;
+  kb_cached_verdicts : int;
+  kb_truth_counts : (string * int) list;
+  kb_inconsistency_ratio : float;
+}
+
 type t = {
   started_unix : float;
   ops : (string, op_stats) Hashtbl.t;
+  mutable kb : kb_health option;
   mu : Mutex.t;
 }
 
 let create () =
   { started_unix = Unix.gettimeofday (); ops = Hashtbl.create 16;
-    mu = Mutex.create () }
+    kb = None; mu = Mutex.create () }
 
 let with_lock t f =
   Mutex.lock t.mu;
@@ -78,6 +93,9 @@ let record t ~op ~ok ~wall_ns ?(routes = []) ?(strategies = [])
   s.s_tableau_calls <- s.s_tableau_calls + tableau_calls;
   Mutex.unlock t.mu
 
+let set_kb_health t h = with_lock t (fun () -> t.kb <- Some h)
+let kb_health t = with_lock t (fun () -> t.kb)
+
 let merge ~into src =
   (* lock ordering: callers never merge in both directions concurrently *)
   with_lock src (fun () ->
@@ -95,7 +113,10 @@ let merge ~into src =
               Hashtbl.iter (fun st n -> add_strategy d st n) s.s_strategies;
               d.s_cache_served <- d.s_cache_served + s.s_cache_served;
               d.s_tableau_calls <- d.s_tableau_calls + s.s_tableau_calls)
-            src.ops))
+            src.ops;
+          (* the KB snapshot is a gauge, not a sum: the destination's
+             (newer) snapshot wins when both carry one *)
+          if into.kb = None then into.kb <- src.kb))
 
 (* ------------------------------------------------------------------ *)
 (* Read side: immutable views *)
@@ -196,7 +217,28 @@ let json t =
         (Printf.sprintf "},\"cache_served\":%d,\"tableau_calls\":%d}"
            v.v_cache_served v.v_tableau_calls))
     (view t);
-  Buffer.add_string b "]}";
+  Buffer.add_string b "]";
+  (match kb_health t with
+  | None -> ()
+  | Some h ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"kb\":{\"individuals\":%d,\"tbox_axioms\":%d,\"abox_axioms\":%d,\"cached_verdicts\":%d"
+           h.kb_individuals h.kb_tbox_axioms h.kb_abox_axioms
+           h.kb_cached_verdicts);
+      if h.kb_truth_counts <> [] then begin
+        Buffer.add_string b ",\"truth\":{";
+        List.iteri
+          (fun i (label, n) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (Printf.sprintf "%s:%d" (str label) n))
+          h.kb_truth_counts;
+        Buffer.add_string b
+          (Printf.sprintf "},\"inconsistency_ratio\":%s"
+             (Obs.json_float h.kb_inconsistency_ratio))
+      end;
+      Buffer.add_char b '}');
+  Buffer.add_string b "}";
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -249,6 +291,35 @@ let prometheus t =
   header "dl4_uptime_seconds" "gauge"
     "Seconds since this telemetry registry was created.";
   sample "dl4_uptime_seconds" [] (prom_float (uptime_s t));
+  (match kb_health t with
+  | None -> ()
+  | Some h ->
+      header "dl4_kb_individuals" "gauge"
+        "Named individuals in the served knowledge base.";
+      sample "dl4_kb_individuals" [] (string_of_int h.kb_individuals);
+      header "dl4_kb_axioms" "gauge"
+        "Axioms in the served knowledge base, by box.";
+      sample "dl4_kb_axioms" [ ("box", "tbox") ]
+        (string_of_int h.kb_tbox_axioms);
+      sample "dl4_kb_axioms" [ ("box", "abox") ]
+        (string_of_int h.kb_abox_axioms);
+      header "dl4_kb_cached_verdicts" "gauge"
+        "Verdicts currently resident in the oracle cache.";
+      sample "dl4_kb_cached_verdicts" []
+        (string_of_int h.kb_cached_verdicts);
+      if h.kb_truth_counts <> [] then begin
+        header "dl4_kb_truth_total" "gauge"
+          "Audited facts by exact truth value (last census).";
+        List.iter
+          (fun (label, n) ->
+            sample "dl4_kb_truth_total" [ ("value", label) ]
+              (string_of_int n))
+          h.kb_truth_counts;
+        header "dl4_kb_inconsistency_ratio" "gauge"
+          "Contradictory fraction of decided facts (last census).";
+        sample "dl4_kb_inconsistency_ratio" []
+          (prom_float h.kb_inconsistency_ratio)
+      end);
   header "dl4_requests_total" "counter" "Requests handled, by op.";
   List.iter
     (fun v ->

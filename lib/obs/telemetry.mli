@@ -33,7 +33,32 @@ val record :
 
 val merge : into:t -> t -> unit
 (** Fold every op of the source registry into [into] (counts and
-    buckets add, routes union-add).  The source is left unchanged. *)
+    buckets add, routes union-add).  The source is left unchanged.
+    The destination keeps its own KB-health snapshot when it has one
+    (it is a gauge, not a sum). *)
+
+(** {1 KB health}
+
+    A point-in-time snapshot of the served knowledge base, refreshed by
+    the serve loop on its metrics interval.  Static size gauges are
+    always meaningful; the truth-value census gauges carry data only
+    once an audit has run ([kb_truth_counts] empty until then).  Truth
+    values travel as their short labels ([t]/[f]/[B]/[N]) so this module
+    stays independent of the logic layer. *)
+
+type kb_health = {
+  kb_individuals : int;
+  kb_tbox_axioms : int;
+  kb_abox_axioms : int;
+  kb_cached_verdicts : int;
+  kb_truth_counts : (string * int) list;
+  kb_inconsistency_ratio : float;
+}
+
+val set_kb_health : t -> kb_health -> unit
+(** Replace the snapshot (thread-safe). *)
+
+val kb_health : t -> kb_health option
 
 (** {1 Read side} *)
 
@@ -66,8 +91,9 @@ val schema : string
 (** The [schema] field of {!json}: ["dl4-metrics/1"]. *)
 
 val json : t -> string
-(** One single-line JSON object: schema, uptime, totals, and per-op
-    stats with p50/p90/p99 estimates, buckets, routes. *)
+(** One single-line JSON object: schema, uptime, totals, per-op stats
+    with p50/p90/p99 estimates, buckets, routes — plus a [kb] object
+    when a KB-health snapshot is set. *)
 
 val prometheus : t -> string
 (** Prometheus text exposition: [dl4_uptime_seconds],
@@ -76,7 +102,11 @@ val prometheus : t -> string
     [dl4_cache_served_total],
     [dl4_tableau_calls_total] and the [dl4_request_duration_seconds]
     histogram (cumulative [le] buckets in seconds closing with [+Inf],
-    [_sum], [_count]).  Label values are escaped per the format. *)
+    [_sum], [_count]).  When a KB-health snapshot is set, also the
+    gauges [dl4_kb_individuals], [dl4_kb_axioms{box=...}],
+    [dl4_kb_cached_verdicts] and — once a census has run —
+    [dl4_kb_truth_total{value=...}] and [dl4_kb_inconsistency_ratio].
+    Label values are escaped per the format. *)
 
 val write_prometheus : t -> string -> unit
 (** Render {!prometheus} to [path] atomically (write to [path ^ ".tmp"],

@@ -40,6 +40,16 @@ type access = {
   a_scratch : Buffer.t;  (* reused per-line render buffer *)
 }
 
+(* Census-drift JSONL sink: one line per applied delta that changed any
+   fact's truth value.  Drift lines are rare (one per update, none when
+   nothing changed) and each one already paid a census, so rendering
+   inline — unlike the deferred access log — costs nothing that
+   matters. *)
+type drift = {
+  d_path : string;
+  mutable d_chan : out_channel option;
+}
+
 type t = {
   mutable para : Para.t;  (* owns the warm session; replaced never *)
   snapshot_path : string option;  (* idle-autosave target *)
@@ -51,25 +61,32 @@ type t = {
       (* per-query-shape plan cache for the warm daemon; cleared on
          update (a delta invalidates the told statistics plans were
          costed from) *)
+  mutable census : Audit.census option;
+      (* cached audit census of the current KB; invalidated on update *)
   mutable last_strategies : (string * int) list;
       (* join-strategy picks of the request being handled, for the
          telemetry tail *)
   tel : Telemetry.t option;  (* None = telemetry disarmed *)
   access : access option;
+  drift : drift option;
 }
 
 let default_access_log_max_bytes = 16 * 1024 * 1024
 
 let create ?snapshot_path ?(telemetry = true) ?access_log
-    ?(access_log_max_bytes = default_access_log_max_bytes) session =
+    ?(access_log_max_bytes = default_access_log_max_bytes) ?drift_log session
+    =
   { para = Para.of_session session;
     snapshot_path;
     dirty = false;
     stop = false;
     requests = 0;
     plans = Hashtbl.create 16;
+    census = None;
     last_strategies = [];
     tel = (if telemetry then Some (Telemetry.create ()) else None);
+    drift =
+      Option.map (fun path -> { d_path = path; d_chan = None }) drift_log;
     access =
       Option.map
         (fun path ->
@@ -196,6 +213,73 @@ let access_note t p =
 let sync t = Option.iter access_drain t.access
 
 (* ------------------------------------------------------------------ *)
+(* Audit census + drift plumbing *)
+
+(* the cached census of the current KB, computed on first demand *)
+let census t =
+  match t.census with
+  | Some cs -> cs
+  | None ->
+      let cs = Audit.census t.para in
+      t.census <- Some cs;
+      cs
+
+let drift_chan d =
+  match d.d_chan with
+  | Some oc -> Some oc
+  | None -> (
+      match open_out_gen [ Open_append; Open_creat ] 0o644 d.d_path with
+      | oc ->
+          d.d_chan <- Some oc;
+          Some oc
+      | exception Sys_error _ -> None)
+
+let drift_note t ~before ~after =
+  Option.iter
+    (fun d ->
+      let trace = match Obs.trace_id () with "" -> None | s -> Some s in
+      match
+        Audit.drift_line ?trace ~ts_unix:(Unix.gettimeofday ()) ~before
+          ~after ()
+      with
+      | None -> ()
+      | Some line -> (
+          match drift_chan d with
+          | None -> ()
+          | Some oc -> (
+              try
+                output_string oc line;
+                output_char oc '\n';
+                flush oc
+              with Sys_error _ -> ())))
+    t.drift
+
+(* KB-health snapshot for the telemetry gauges: cheap static sizes
+   always, census-derived truth counts once an audit has run *)
+let refresh_kb_health t =
+  match t.tel with
+  | None -> ()
+  | Some tel ->
+      let stats = Kb_stats.of_kb4 (Para.kb t.para) in
+      let cache = Oracle.cache_stats (Para.oracle t.para) in
+      let truth_counts, ratio =
+        match t.census with
+        | None -> ([], 0.)
+        | Some cs ->
+            ( List.map
+                (fun v -> (Truth.short_string v, Audit.count cs v))
+                Truth.all,
+              Audit.inconsistency_ratio cs )
+      in
+      Telemetry.set_kb_health tel
+        { Telemetry.kb_individuals = stats.Kb_stats.individuals;
+          kb_tbox_axioms = stats.Kb_stats.tbox_axioms;
+          kb_abox_axioms = stats.Kb_stats.abox_axioms;
+          kb_cached_verdicts = cache.Verdict_cache.size;
+          kb_truth_counts = truth_counts;
+          kb_inconsistency_ratio = ratio }
+
+(* ------------------------------------------------------------------ *)
 (* JSON rendering (by hand, like every export sink in this stack — the
    reader in Json_lite is an independent implementation, so round-trip
    tests cross-check well-formedness) *)
@@ -231,6 +315,12 @@ let bool_field ~default name j =
   match Json_lite.member name j with
   | Some (Json_lite.Bool b) -> b
   | Some _ -> bad "field %S must be a boolean" name
+  | None -> default
+
+let int_field ~default name j =
+  match Json_lite.member name j with
+  | Some (Json_lite.Num n) -> int_of_float n
+  | Some _ -> bad "field %S must be a number" name
   | None -> default
 
 let concept_field name j =
@@ -328,10 +418,21 @@ let op_update t req =
   match Delta.parse_script script with
   | Error msg -> bad "%s" msg
   | Ok deltas ->
+      (* the drift sink needs the pre-delta census; an armed sink is an
+         explicit opt-in to paying one census per update when none is
+         cached yet *)
+      let before =
+        match t.drift with None -> None | Some _ -> Some (census t)
+      in
       let s = Session.apply_all (session t) deltas in
       t.dirty <- true;
       (* told statistics changed under the cached plans; recompile lazily *)
       Hashtbl.reset t.plans;
+      (* the census describes the pre-delta KB *)
+      t.census <- None;
+      Option.iter
+        (fun before -> drift_note t ~before ~after:(census t))
+        before;
       [ ("applied", jint (List.length deltas));
         ("evicted", jint s.Oracle.evicted);
         ("retained", jint s.Oracle.retained);
@@ -390,7 +491,26 @@ let op_stats t _req =
 let op_metrics t _req =
   match t.tel with
   | None -> bad "telemetry is disarmed on this daemon"
-  | Some tel -> [ ("metrics", Telemetry.json tel) ]
+  | Some tel ->
+      refresh_kb_health t;
+      [ ("metrics", Telemetry.json tel) ]
+
+(* {"op":"audit","top"?:K,"exactly"?:"B,N"}: the dl4-audit/1 report of
+   the cached census (computed on first demand, invalidated on update) *)
+let op_audit t req =
+  let top = int_field ~default:5 "top" req in
+  if top < 0 then bad "field \"top\" must be non-negative";
+  let exactly =
+    match Option.bind (Json_lite.member "exactly" req) Json_lite.to_str with
+    | None -> None
+    | Some s -> (
+        match Truth.set_of_string s with
+        | Ok vs -> Some vs
+        | Error e -> bad "%s" e)
+  in
+  let cached = t.census <> None in
+  let report = Audit.report_json ~top ?exactly t.para (census t) in
+  [ ("cached", jbool cached); ("audit", report) ]
 
 let save_snapshot t path =
   match Store.save (Store.capture (session t)) path with
@@ -464,7 +584,8 @@ let handle t line =
            per request inside the S11 budget *)
         | Some
             (( "check" | "query" | "retrieve" | "classify" | "update"
-             | "stats" | "metrics" | "snapshot" | "shutdown" ) as op) ->
+             | "stats" | "metrics" | "audit" | "snapshot" | "shutdown" ) as op)
+          ->
             op
         | Some _ -> "unknown"
         | None -> "malformed")
@@ -509,6 +630,7 @@ let handle t line =
           | "update" -> op_update t req
           | "stats" -> op_stats t req
           | "metrics" -> op_metrics t req
+          | "audit" -> op_audit t req
           | "snapshot" -> op_snapshot t req
           | "shutdown" -> op_shutdown t req
           | op -> bad "unknown op %S" op
@@ -605,6 +727,7 @@ let run ?(idle_save = 0.) ?metrics_out ?(metrics_interval = 5.) ~socket_path t
     match (t.tel, metrics_out) with
     | Some tel, Some path ->
         last_metrics := Unix.gettimeofday ();
+        refresh_kb_health t;
         Telemetry.write_prometheus tel path
     | _ -> ()
   in

@@ -6,12 +6,14 @@
 
     {v
     request  := { "op": OP, "id"?: string|number, ...op fields }
-    OP       := "check" | "query" | "retrieve" | "classify"
-              | "update" | "stats" | "metrics" | "snapshot" | "shutdown"
+    OP       := "check" | "query" | "retrieve" | "classify" | "update"
+              | "stats" | "metrics" | "audit" | "snapshot" | "shutdown"
 
     query    := + "individual": string, "concept": surface-syntax string
     retrieve := + "concept": string, "all"?: bool (include Neither rows)
     update   := + "script": delta-script text (dl4 +/- surface syntax)
+    audit    := + "top"?: number (default 5), "exactly"?: string
+                (truth-value set, e.g. "B" or "B,N")
     snapshot := + "path"?: string (defaults to the configured autosave path)
     v}
 
@@ -46,6 +48,7 @@ val create :
   ?telemetry:bool ->
   ?access_log:string ->
   ?access_log_max_bytes:int ->
+  ?drift_log:string ->
   Session.t ->
   t
 (** Wrap a (typically snapshot-restored) session for serving.
@@ -58,7 +61,20 @@ val create :
     to a drain on the idle/metrics ticks, {!sync} and shutdown.
     Rotated once to [path ^ ".1"] — only ever between lines — when it
     would exceed [access_log_max_bytes] (default 16 MiB, clamped to
-    ≥ 1 KiB). *)
+    ≥ 1 KiB).
+
+    [drift_log] arms truth-value drift tracking: every [update] request
+    is bracketed by a census (the cached one before, a fresh one after),
+    and each transition set ({!Audit.diff} — e.g. a fact moving [t]→⊤)
+    appends one {!Audit.drift_line} JSONL record to the file.  Arming it
+    makes updates pay up to two censuses — an explicit operator opt-in.
+
+    The [audit] op serves {!Audit.report_json} for a census of the live
+    KB, cached across requests and invalidated by [update]; its response
+    carries ["cached": true] when the census was served warm.  The
+    census also feeds the [dl4_kb_truth_total{value=…}] /
+    [dl4_kb_inconsistency_ratio] KB-health gauges, refreshed with the
+    static size gauges on the metrics tick and by the [metrics] op. *)
 
 val session : t -> Session.t
 

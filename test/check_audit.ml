@@ -1,0 +1,235 @@
+(* CI's audit-report validator: vets the "dl4-audit/1" JSON that `dl4
+   audit` (and the serve daemon's [audit] op) emit.
+   Usage: check_audit FILE — the file holds one report object per line.
+   Exit 0 when every report is well-formed, 1 otherwise.
+
+   Checks, per report: the schema tag; KB dimensions non-negative and
+   consistent with the counts (the four per-value counts summing to the
+   swept fact space |individuals × concepts| + |role facts|); decided =
+   t + f + B; the inconsistency ratio in [0, 1] and equal to
+   B / decided; per_concept covering each concept at most once with
+   b_rate = B / decided per row; top lists sorted by descending B count
+   and bounded by the census; the facts array (when an exactly filter
+   was requested) carrying only values from the requested set. *)
+
+let fail = ref false
+
+let err fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("check_audit: " ^ s);
+      fail := true)
+    fmt
+
+let str_field name j = Option.bind (Json_lite.member name j) Json_lite.to_str
+
+let int_field name j =
+  match Option.bind (Json_lite.member name j) Json_lite.to_num with
+  | Some f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let num_field name j = Option.bind (Json_lite.member name j) Json_lite.to_num
+
+let nonneg ~lineno ?label name j =
+  match int_field name j with
+  | Some n when n >= 0 -> n
+  | _ ->
+      err "line %d: %s must be a non-negative integer" lineno
+        (Option.value ~default:name label);
+      0
+
+let value_labels = [ "t"; "f"; "B"; "N" ]
+
+let check_report ~lineno j =
+  (match str_field "schema" j with
+  | Some "dl4-audit/1" -> ()
+  | Some s -> err "line %d: unknown schema %S" lineno s
+  | None -> err "line %d: missing schema" lineno);
+  let kb =
+    match Json_lite.member "kb" j with
+    | Some kb -> kb
+    | None ->
+        err "line %d: missing kb object" lineno;
+        Json_lite.Obj []
+  in
+  let individuals = nonneg ~lineno ~label:"kb.individuals" "individuals" kb in
+  let concepts = nonneg ~lineno ~label:"kb.concepts" "concepts" kb in
+  let role_facts = nonneg ~lineno ~label:"kb.role_facts" "role_facts" kb in
+  ignore (nonneg ~lineno ~label:"kb.tbox_axioms" "tbox_axioms" kb : int);
+  ignore (nonneg ~lineno ~label:"kb.abox_axioms" "abox_axioms" kb : int);
+  let swept = (individuals * concepts) + role_facts in
+  let counts =
+    match Json_lite.member "counts" j with
+    | Some c -> c
+    | None ->
+        err "line %d: missing counts object" lineno;
+        Json_lite.Obj []
+  in
+  (match counts with
+  | Json_lite.Obj fields ->
+      List.iter
+        (fun (k, _) ->
+          if not (List.mem k value_labels) then
+            err "line %d: counts key %S outside the value vocabulary" lineno k)
+        fields
+  | _ -> err "line %d: counts must be an object" lineno);
+  let count v = nonneg ~lineno ~label:("counts." ^ v) v counts in
+  let ct = count "t" and cf = count "f" and cb = count "B" and cn = count "N" in
+  if ct + cf + cb + cn <> swept then
+    err "line %d: counts sum to %d but the sweep is %d facts" lineno
+      (ct + cf + cb + cn) swept;
+  let decided = nonneg ~lineno "decided" j in
+  if decided <> ct + cf + cb then
+    err "line %d: decided %d is not t+f+B = %d" lineno decided (ct + cf + cb);
+  (match num_field "inconsistency_ratio" j with
+  | Some r ->
+      if r < 0.0 || r > 1.0 then
+        err "line %d: inconsistency_ratio %g outside [0, 1]" lineno r;
+      let expect =
+        if decided = 0 then 0.0 else float_of_int cb /. float_of_int decided
+      in
+      if Float.abs (r -. expect) > 1e-6 then
+        err "line %d: inconsistency_ratio %g but B/decided is %g" lineno r
+          expect
+  | None -> err "line %d: missing inconsistency_ratio" lineno);
+  (match Option.bind (Json_lite.member "per_concept" j) Json_lite.to_list with
+  | None -> err "line %d: missing per_concept array" lineno
+  | Some rows ->
+      if List.length rows <> concepts then
+        err "line %d: per_concept has %d rows for %d concepts" lineno
+          (List.length rows) concepts;
+      let seen = Hashtbl.create 16 in
+      List.iteri
+        (fun i row ->
+          let ctx = Printf.sprintf "line %d per_concept %d" lineno i in
+          (match str_field "concept" row with
+          | Some c when c <> "" ->
+              if Hashtbl.mem seen c then err "%s: duplicate concept %S" ctx c;
+              Hashtbl.replace seen c ()
+          | _ -> err "%s: missing concept name" ctx);
+          let b =
+            match int_field "B" row with
+            | Some n when n >= 0 -> n
+            | _ ->
+                err "%s: B must be a non-negative integer" ctx;
+                0
+          in
+          let d =
+            match int_field "decided" row with
+            | Some n when n >= b -> n
+            | _ ->
+                err "%s: decided must be an integer >= B" ctx;
+                max b 1
+          in
+          match num_field "b_rate" row with
+          | Some r ->
+              let expect =
+                if d = 0 then 0.0 else float_of_int b /. float_of_int d
+              in
+              if Float.abs (r -. expect) > 1e-6 then
+                err "%s: b_rate %g but B/decided is %g" ctx r expect
+          | None -> err "%s: missing b_rate" ctx)
+        rows);
+  let check_top name ~key =
+    match Option.bind (Json_lite.member name j) Json_lite.to_list with
+    | None -> err "line %d: missing %s array" lineno name
+    | Some rows ->
+        let last = ref max_int in
+        List.iteri
+          (fun i row ->
+            let ctx = Printf.sprintf "line %d %s %d" lineno name i in
+            (match str_field key row with
+            | Some s when s <> "" -> ()
+            | _ -> err "%s: missing %s" ctx key);
+            match int_field "B" row with
+            | Some n when n >= 1 ->
+                if n > !last then err "%s: not sorted by descending B" ctx;
+                last := n
+            | _ -> err "%s: B must be a positive integer" ctx)
+          rows
+  in
+  check_top "top_individuals" ~key:"individual";
+  check_top "top_concepts" ~key:"concept";
+  (match Option.bind (Json_lite.member "top_individuals" j) Json_lite.to_list with
+  | Some rows ->
+      List.iteri
+        (fun i row ->
+          match Json_lite.member "provenance" row with
+          | Some prov ->
+              List.iter
+                (fun field ->
+                  match
+                    Option.bind (Json_lite.member field prov) Json_lite.to_list
+                  with
+                  | Some _ -> ()
+                  | None ->
+                      err "line %d top_individuals %d: provenance lacks %s"
+                        lineno i field)
+                [ "individuals"; "concepts" ]
+          | None ->
+              err "line %d top_individuals %d: missing provenance" lineno i)
+        rows
+  | None -> ());
+  match Json_lite.member "exactly" j with
+  | None ->
+      if Json_lite.member "facts" j <> None then
+        err "line %d: facts array without an exactly filter" lineno
+  | Some requested ->
+      let allowed =
+        match Json_lite.to_list requested with
+        | Some l -> List.filter_map Json_lite.to_str l
+        | None ->
+            err "line %d: exactly must be an array" lineno;
+            []
+      in
+      List.iter
+        (fun v ->
+          if not (List.mem v value_labels) then
+            err "line %d: exactly value %S outside the vocabulary" lineno v)
+        allowed;
+      (* the facts carry long-form labels; map before checking *)
+      let short = function
+        | "t" -> "t" | "f" -> "f" | "TOP" -> "B" | "BOT" -> "N" | s -> s
+      in
+      (match Option.bind (Json_lite.member "facts" j) Json_lite.to_list with
+      | None -> err "line %d: exactly filter without a facts array" lineno
+      | Some facts ->
+          List.iteri
+            (fun i f ->
+              let ctx = Printf.sprintf "line %d facts %d" lineno i in
+              (match str_field "fact" f with
+              | Some s when s <> "" -> ()
+              | _ -> err "%s: missing fact" ctx);
+              match str_field "value" f with
+              | Some v when List.mem (short v) allowed -> ()
+              | Some v -> err "%s: value %S outside the requested set" ctx v
+              | None -> err "%s: missing value" ctx)
+            facts)
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: check_audit FILE";
+        exit 2
+  in
+  let ic = open_in path in
+  let lineno = ref 0 in
+  let reports = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         incr reports;
+         match Json_lite.parse line with
+         | Error msg -> err "line %d: unparsable JSON: %s" !lineno msg
+         | Ok j -> check_report ~lineno:!lineno j
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !reports = 0 then err "%s: no reports found" path;
+  if !fail then exit 1;
+  Printf.printf "check_audit: %s: %d report(s) OK\n" path !reports

@@ -321,6 +321,33 @@ let propagation_tests =
                && str "kind" e = "test")
              events);
         Flight.reset ());
+    Alcotest.test_case "horn-backend verdicts carry the installed id" `Quick
+      (fun () ->
+        (* regression: the completion-engine route must stamp [c_trace]
+           exactly like the tableau route does *)
+        let kb =
+          Surface.parse_kb4_exn
+            "Bird < Fly.\nPenguin < Bird.\ntweety : Penguin.\n"
+        in
+        let s =
+          Session.create
+            ~config:
+              { Session.default_config with Session.backend = Backend.Horn }
+            kb
+        in
+        let p = Para.of_session s in
+        let tid = "feedcafe00000002" in
+        Obs.with_trace_id tid (fun () ->
+            ignore (Para.instance_truth p "tweety" (Concept.Atom "Fly")
+                    : Truth.t));
+        let horn =
+          List.filter
+            (fun c -> c.Oracle.c_backend = "horn")
+            (Session.costs s)
+        in
+        checkb "horn computed the verdicts" true (horn <> []);
+        checkb "every horn cost record carries the id" true
+          (List.for_all (fun c -> c.Oracle.c_trace = tid) horn));
     Alcotest.test_case "every request gets a distinct id" `Quick (fun () ->
         let t = warm_server () in
         let id1 = str "trace_id" (parse (Serve.handle t {|{"op":"check"}|})) in
